@@ -1,0 +1,212 @@
+// Ablations over the design choices DESIGN.md §4 calls out (not in the
+// paper, which fixes these by fiat):
+//   1. software-prefetch distance (the paper fixes it to one cache line),
+//   2. delta width forced to 8 vs 16 bit (where both are possible),
+//   3. dynamic-scheduling chunk size vs OpenMP auto,
+//   4. long-row split threshold around the default max(64, 8*avg).
+#include <cstdio>
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "gen/generators.hpp"
+#include "kernels/compose.hpp"
+#include "kernels/spmv.hpp"
+#include "optimize/optimized_spmv.hpp"
+#include "sparse/reorder.hpp"
+#include "support/rng.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace spmvopt;
+
+double measure(const CsrMatrix& a,
+               const std::function<void(const value_t*, value_t*)>& fn,
+               const perf::MeasureConfig& m) {
+  const std::vector<value_t> x = gen::test_vector(a.ncols());
+  std::vector<value_t> y(static_cast<std::size_t>(a.nrows()));
+  const double flops = 2.0 * static_cast<double>(a.nnz());
+  return perf::measure_rate([&] { fn(x.data(), y.data()); }, flops, m).gflops;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_host_preamble("Ablations: prefetch distance, delta width, "
+                             "chunk size, split threshold");
+  const perf::MeasureConfig m = perf::MeasureConfig::from_env();
+  const double scale = bench::suite_scale();
+
+  // 1. Prefetch distance on an irregular (ML-class) matrix.
+  {
+    const CsrMatrix a = gen::random_uniform(
+        static_cast<index_t>(150000 * scale), 10, 3);
+    const auto part = balanced_nnz_partition(a.rowptr(), a.nrows(),
+                                             default_threads());
+    Table t({"pf_distance_elems", "gflops"});
+    t.add_row({"0 (no prefetch)",
+               Table::num(measure(a, [&](const value_t* x, value_t* y) {
+                 kernels::spmv_balanced(a, part, x, y);
+               }, m), 2)});
+    for (index_t dist : {2, 4, 8, 16, 32, 64}) {
+      t.add_row({std::to_string(dist),
+                 Table::num(measure(a, [&](const value_t* x, value_t* y) {
+                   kernels::spmv_prefetch(a, part, x, y, dist);
+                 }, m), 2)});
+    }
+    std::printf("-- prefetch distance (random_uniform; paper fixes 1 line = %zu elems)\n",
+                cpu_info().doubles_per_line());
+    t.print(std::cout);
+    std::printf("\n");
+  }
+
+  // 2. Delta width: force u16 on a u8-eligible matrix to price the choice.
+  {
+    const CsrMatrix a = gen::banded(static_cast<index_t>(120000 * scale),
+                                    120, 24, 9);
+    const auto part = balanced_nnz_partition(a.rowptr(), a.nnz() >= 0 ? a.nrows() : 0,
+                                             default_threads());
+    Table t({"index_encoding", "format_MiB", "gflops"});
+    t.add_row({"raw 32-bit",
+               Table::num(static_cast<double>(a.format_bytes()) / (1 << 20), 2),
+               Table::num(measure(a, [&](const value_t* x, value_t* y) {
+                 kernels::spmv_vector(a, part, x, y);
+               }, m), 2)});
+    const auto d8 = DeltaCsrMatrix::encode(a);
+    if (d8 && d8->width() == DeltaWidth::U8) {
+      t.add_row({"delta u8",
+                 Table::num(static_cast<double>(d8->format_bytes()) / (1 << 20), 2),
+                 Table::num(measure(a, [&](const value_t* x, value_t* y) {
+                   kernels::spmv_delta_vector(*d8, part, x, y);
+                 }, m), 2)});
+    }
+    std::printf("-- index compression (banded matrix)\n");
+    t.print(std::cout);
+    std::printf("\n");
+  }
+
+  // 3. Dynamic chunk size vs auto on a power-law (IMB-class) matrix.
+  {
+    const CsrMatrix a = gen::power_law(static_cast<index_t>(200000 * scale),
+                                       12, 1.8, 7);
+    Table t({"schedule", "gflops"});
+    for (int chunk : {1, 8, 64, 512}) {
+      t.add_row({"dynamic," + std::to_string(chunk),
+                 Table::num(measure(a, [&](const value_t* x, value_t* y) {
+                   kernels::spmv_omp_dynamic(a, x, y, chunk);
+                 }, m), 2)});
+    }
+    t.add_row({"guided", Table::num(measure(a, [&](const value_t* x, value_t* y) {
+                 kernels::spmv_omp_guided(a, x, y);
+               }, m), 2)});
+    t.add_row({"auto (paper's IMB choice)",
+               Table::num(measure(a, [&](const value_t* x, value_t* y) {
+                 kernels::spmv_omp_auto(a, x, y);
+               }, m), 2)});
+    std::printf("-- scheduling (power-law matrix)\n");
+    t.print(std::cout);
+    std::printf("\n");
+  }
+
+  // 4. Long-row split threshold on a few-dense-rows matrix.
+  {
+    const index_t n = static_cast<index_t>(150000 * scale);
+    const CsrMatrix a = gen::few_dense_rows(n, 3, 8, n / 2, 11);
+    const index_t dflt = SplitCsrMatrix::default_threshold(a);
+    Table t({"split_threshold", "long_rows", "gflops"});
+    for (index_t thr : {dflt / 4, dflt / 2, dflt, dflt * 2, dflt * 8}) {
+      if (thr < 1) continue;
+      const SplitCsrMatrix s = SplitCsrMatrix::split(a, thr);
+      const auto part = balanced_nnz_partition(
+          s.short_part().rowptr(), s.short_part().nrows(), default_threads());
+      const std::string label = std::to_string(thr) +
+                                (thr == dflt ? " (default)" : "");
+      t.add_row({label, std::to_string(s.num_long_rows()),
+                 Table::num(measure(a, [&](const value_t* x, value_t* y) {
+                   kernels::spmv_split(s, part, x, y);
+                 }, m), 2)});
+    }
+    std::printf("-- long-row split threshold (few-dense-rows matrix)\n");
+    t.print(std::cout);
+    std::printf("\n");
+  }
+
+  // 5. Extension formats (§V plug-and-play): SELL-C-σ and register-blocked
+  //    CSR against the CSR-based pool, on a stencil (regular) and a blocked
+  //    (FEM-like) matrix.
+  {
+    struct Workload {
+      const char* name;
+      CsrMatrix a;
+    };
+    const index_t g = static_cast<index_t>(220 * std::sqrt(scale));
+    Workload workloads[] = {
+        {"stencil2d", gen::stencil_2d_5pt(g, g)},
+        {"block-fem", gen::block_diagonal_dense(
+                          static_cast<index_t>(20000 * scale), 8, 31)},
+    };
+    Table t({"matrix", "plan", "gflops", "format_MiB"});
+    for (auto& w : workloads) {
+      std::vector<optimize::Plan> plans;
+      plans.push_back(optimize::Plan{});
+      optimize::Plan vec;
+      vec.compute = kernels::Compute::Vector;
+      plans.push_back(vec);
+      optimize::Plan dvec = vec;
+      dvec.delta = true;
+      plans.push_back(dvec);
+      plans.push_back(optimize::sell_plan());
+      plans.push_back(optimize::bcsr_plan());
+      for (const auto& plan : plans) {
+        const auto spmv = optimize::OptimizedSpmv::create(w.a, plan);
+        t.add_row({w.name, spmv.plan().to_string(),
+                   Table::num(measure(w.a, [&](const value_t* x, value_t* y) {
+                     spmv.run(x, y);
+                   }, m), 2),
+                   Table::num(static_cast<double>(spmv.format_bytes()) / (1 << 20), 2)});
+      }
+    }
+    std::printf("-- extension formats vs CSR pool\n");
+    t.print(std::cout);
+    std::printf("\n");
+  }
+
+  // 6. RCM reordering vs software prefetching on an artificially scrambled
+  //    stencil: prefetching *hides* x-access latency (the paper's ML
+  //    optimization), RCM *removes* the irregularity.
+  {
+    const auto g = static_cast<index_t>(380 * std::sqrt(scale));
+    const CsrMatrix grid = gen::stencil_2d_5pt(g, g);
+    Xoshiro256 rng(17);
+    Permutation shuffle = Permutation::identity(grid.nrows());
+    for (index_t i = grid.nrows() - 1; i > 0; --i)
+      std::swap(shuffle.perm[static_cast<std::size_t>(i)],
+                shuffle.perm[rng.bounded(static_cast<std::uint64_t>(i) + 1)]);
+    const CsrMatrix scrambled = permute_symmetric(grid, shuffle);
+    const CsrMatrix rcm =
+        permute_symmetric(scrambled, reverse_cuthill_mckee(scrambled));
+    const auto part_s = balanced_nnz_partition(scrambled.rowptr(),
+                                               scrambled.nrows(), default_threads());
+    const auto part_r = balanced_nnz_partition(rcm.rowptr(), rcm.nrows(),
+                                               default_threads());
+    Table t({"variant", "bandwidth", "gflops"});
+    t.add_row({"scrambled baseline", std::to_string(matrix_bandwidth(scrambled)),
+               Table::num(measure(scrambled, [&](const value_t* x, value_t* y) {
+                 kernels::spmv_balanced(scrambled, part_s, x, y);
+               }, m), 2)});
+    t.add_row({"scrambled + prefetch", std::to_string(matrix_bandwidth(scrambled)),
+               Table::num(measure(scrambled, [&](const value_t* x, value_t* y) {
+                 kernels::spmv_prefetch(scrambled, part_s, x, y,
+                                        static_cast<index_t>(cpu_info().doubles_per_line()));
+               }, m), 2)});
+    t.add_row({"RCM-reordered baseline", std::to_string(matrix_bandwidth(rcm)),
+               Table::num(measure(rcm, [&](const value_t* x, value_t* y) {
+                 kernels::spmv_balanced(rcm, part_r, x, y);
+               }, m), 2)});
+    std::printf("-- RCM reordering vs prefetching (scrambled 2-D stencil)\n");
+    t.print(std::cout);
+  }
+  return 0;
+}

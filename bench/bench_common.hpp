@@ -1,0 +1,52 @@
+// Shared plumbing for the table/figure-reproduction benches.
+//
+// Environment knobs (all optional):
+//   SPMVOPT_SCALE   suite size factor in (0,1], default 1.0 (quick mode 0.35)
+//   SPMVOPT_ITERS   SpMV ops per measurement block (default 128 per §IV-A;
+//                   quick mode 16)
+//   SPMVOPT_RUNS    measurement blocks, harmonic-mean summarized (default 5;
+//                   quick mode 2)
+//   SPMVOPT_THREADS OpenMP threads (default: all)
+//   SPMVOPT_QUICK=1 shrink everything for a smoke run
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "gen/suite.hpp"
+#include "perf/measure.hpp"
+#include "perf/stream.hpp"
+#include "support/cpu_info.hpp"
+#include "support/env.hpp"
+
+namespace spmvopt::bench {
+
+inline double suite_scale() {
+  const std::string s = env_string("SPMVOPT_SCALE", "");
+  if (!s.empty()) {
+    const double v = std::atof(s.c_str());
+    if (v > 0.0 && v <= 1.0) return v;
+    std::fprintf(stderr, "warning: ignoring bad SPMVOPT_SCALE '%s'\n", s.c_str());
+  }
+  return quick_mode() ? 0.35 : 1.0;
+}
+
+/// Print the host characteristics every figure in the paper is conditioned
+/// on (the Table III row for this machine).
+inline void print_host_preamble(const char* bench_name) {
+  const CpuInfo& cpu = cpu_info();
+  std::printf("# %s\n", bench_name);
+  std::printf("# host: %s | %d threads | LLC %zu KiB | line %zu B\n",
+              cpu.model_name.empty() ? "(unknown cpu)" : cpu.model_name.c_str(),
+              default_threads(), cpu.llc_bytes / 1024, cpu.cache_line_bytes);
+  const perf::BandwidthProfile& bw = perf::bandwidth_profile();
+  std::printf("# STREAM triad: %.1f GB/s (DRAM), %.1f GB/s (LLC)\n",
+              bw.dram_gbps, bw.llc_gbps);
+  const perf::MeasureConfig m = perf::MeasureConfig::from_env();
+  std::printf("# methodology: %d runs x %d iterations, harmonic mean; "
+              "suite scale %.2f\n\n",
+              m.runs, m.iterations, suite_scale());
+}
+
+}  // namespace spmvopt::bench

@@ -1,0 +1,48 @@
+// Fig. 1 — Speedup (or slowdown) of individual software optimizations
+// applied to the CSR SpMV kernel, per matrix of the evaluation suite.
+//
+// Columns match the paper's three series: software prefetching,
+// vectorization, and auto scheduling, each relative to the balanced-nnz
+// baseline.  Values < 1 are the slowdowns the paper highlights as the reason
+// blind optimization is dangerous.
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "gen/generators.hpp"
+#include "optimize/optimized_spmv.hpp"
+#include "optimize/optimizers.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace spmvopt;
+  bench::print_host_preamble("Fig. 1: per-optimization speedup over baseline CSR");
+
+  const perf::MeasureConfig m = perf::MeasureConfig::from_env();
+
+  optimize::Plan pf;
+  pf.prefetch = true;
+  optimize::Plan vec;
+  vec.compute = kernels::Compute::Vector;
+  optimize::Plan autos;
+  autos.sched = kernels::Sched::Auto;
+
+  Table table({"matrix", "baseline_gflops", "sw_prefetch", "vectorization",
+               "auto_sched"});
+
+  for (const auto& entry : gen::evaluation_suite(bench::suite_scale())) {
+    const CsrMatrix a = entry.make();
+    const auto baseline = optimize::OptimizedSpmv::create(a, optimize::Plan{});
+    const double base = optimize::measure_spmv_gflops(baseline, a, m);
+    auto speedup = [&](const optimize::Plan& plan) {
+      const auto spmv = optimize::OptimizedSpmv::create(a, plan);
+      return optimize::measure_spmv_gflops(spmv, a, m) / base;
+    };
+    table.add_row({entry.name, Table::num(base, 2), Table::num(speedup(pf), 2),
+                   Table::num(speedup(vec), 2), Table::num(speedup(autos), 2)});
+    std::fflush(stdout);
+  }
+  table.print(std::cout);
+  return 0;
+}

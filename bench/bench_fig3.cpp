@@ -1,0 +1,38 @@
+// Fig. 3 — Baseline CSR performance and the per-class upper bounds
+// (P_ML, P_IMB, P_CMP, P_MB, P_peak) of §III-B, per matrix.
+//
+// The relations the paper reads off this figure (and that the profile-guided
+// classifier's rules encode) can be checked per row:
+//   P_CSR ≈ P_ML   → no latency bottleneck
+//   P_ML >> P_CSR  → ML class, etc.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "classify/profile_classifier.hpp"
+#include "perf/bounds.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace spmvopt;
+  bench::print_host_preamble(
+      "Fig. 3: CSR baseline and per-class upper bounds (Gflop/s)");
+
+  perf::BoundsConfig cfg;
+  cfg.measure = perf::MeasureConfig::from_env();
+
+  Table table({"matrix", "CSR", "ML", "IMB", "CMP", "MB", "Peak", "fits_llc",
+               "classes"});
+  for (const auto& entry : gen::evaluation_suite(bench::suite_scale())) {
+    const CsrMatrix a = entry.make();
+    const perf::PerfBounds b = perf::measure_bounds(a, cfg);
+    const auto classes = classify::classify_from_bounds(b);
+    table.add_row({entry.name, Table::num(b.p_csr, 2), Table::num(b.p_ml, 2),
+                   Table::num(b.p_imb, 2), Table::num(b.p_cmp, 2),
+                   Table::num(b.p_mb, 2), Table::num(b.p_peak, 2),
+                   b.fits_llc ? "yes" : "no", classes.to_string()});
+    std::fflush(stdout);
+  }
+  table.print(std::cout);
+  return 0;
+}

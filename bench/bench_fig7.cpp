@@ -1,0 +1,124 @@
+// Fig. 7 — The SpMV performance landscape: MKL-proxy CSR, MKL-proxy
+// Inspector-Executor, our baseline, the oracle, and the profile- and
+// feature-guided optimizers, per matrix of the evaluation suite, plus the
+// classes the profile-guided classifier detected (the annotations above the
+// paper's bars).
+//
+// The paper shows three platforms (KNC/KNL/Broadwell); this bench runs on
+// the host it is executed on and the optimizer re-tunes itself here —
+// that is the architecture-adaptivity claim (DESIGN.md §3).  The summary
+// lines at the end are the paper's headline "average speedup over MKL CSR"
+// numbers for this host.
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "gen/generators.hpp"
+#include "classify/feature_classifier.hpp"
+#include "mklcompat/inspector_executor.hpp"
+#include "mklcompat/ref_csr.hpp"
+#include "optimize/optimizers.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+#include "support/timing.hpp"
+
+namespace {
+
+using namespace spmvopt;
+
+double measure_fn(const CsrMatrix& a,
+                  const std::function<void(const value_t*, value_t*)>& fn,
+                  const perf::MeasureConfig& m) {
+  const std::vector<value_t> x = gen::test_vector(a.ncols());
+  std::vector<value_t> y(static_cast<std::size_t>(a.nrows()));
+  const double flops = 2.0 * static_cast<double>(a.nnz());
+  return perf::measure_rate([&] { fn(x.data(), y.data()); }, flops, m).gflops;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_host_preamble(
+      "Fig. 7: SpMV performance landscape (Gflop/s per optimizer)");
+
+  const perf::MeasureConfig m = perf::MeasureConfig::from_env();
+  // Decision phases (profiling runs, oracle/trivial sweeps) use a cheaper
+  // budget; the *reported* rate of every selected kernel uses the full one.
+  optimize::OptimizerConfig decide_cfg;
+  decide_cfg.measure.iterations = std::max(8, m.iterations / 2);
+  decide_cfg.measure.runs = 2;
+  decide_cfg.measure.warmup = 1;
+
+  // Offline stage of the feature-guided optimizer: train on the pool.
+  const int pool_size = quick_mode() ? 40 : 120;
+  std::printf("training feature-guided classifier on %d pool matrices...\n",
+              pool_size);
+  Timer train_timer;
+  std::vector<CsrMatrix> pool;
+  for (const auto& e : gen::training_pool(pool_size)) pool.push_back(e.make());
+  perf::BoundsConfig label_cfg;
+  label_cfg.measure.iterations = quick_mode() ? 4 : 12;
+  label_cfg.measure.runs = 1;
+  label_cfg.measure.warmup = 1;
+  const auto trained =
+      classify::train_from_pool(pool, features::onnz_feature_set(), {}, label_cfg);
+  pool.clear();
+  std::printf("offline training took %.1f s\n\n", train_timer.elapsed_sec());
+
+  // oracle_ext additionally searches the SELL-C-σ / BCSR extension formats —
+  // the headroom beyond the paper's CSR pool on this host.
+  optimize::OptimizerConfig ext_cfg = decide_cfg;
+  ext_cfg.oracle_extensions = true;
+
+  Table table({"matrix", "classes", "MKL", "MKL_IE", "baseline", "oracle",
+               "prof", "feat", "oracle_ext"});
+  std::vector<double> sp_prof, sp_feat, sp_ie, sp_oracle, sp_ext;
+
+  for (const auto& entry : gen::evaluation_suite(bench::suite_scale())) {
+    const CsrMatrix a = entry.make();
+
+    const double mkl = measure_fn(
+        a, [&a](const value_t* x, value_t* y) { mklcompat::ref_dcsrmv(a, x, y); },
+        m);
+    const auto ie = mklcompat::InspectorExecutorSpmv::analyze(a);
+    const double ie_gflops = measure_fn(
+        a, [&ie](const value_t* x, value_t* y) { ie.execute(x, y); }, m);
+
+    const auto baseline = optimize::OptimizedSpmv::create(a, optimize::Plan{});
+    const double base = optimize::measure_spmv_gflops(baseline, a, m);
+
+    const auto oracle = optimize::optimize_oracle(a, decide_cfg);
+    const double oracle_gflops = optimize::measure_spmv_gflops(oracle.spmv, a, m);
+
+    const auto prof = optimize::optimize_profile(a, decide_cfg);
+    const double prof_gflops = optimize::measure_spmv_gflops(prof.spmv, a, m);
+
+    const auto feat = optimize::optimize_feature(a, trained.classifier, decide_cfg);
+    const double feat_gflops = optimize::measure_spmv_gflops(feat.spmv, a, m);
+
+    const auto ext = optimize::optimize_oracle(a, ext_cfg);
+    const double ext_gflops = optimize::measure_spmv_gflops(ext.spmv, a, m);
+
+    table.add_row({entry.name, prof.classes.to_string(), Table::num(mkl, 2),
+                   Table::num(ie_gflops, 2), Table::num(base, 2),
+                   Table::num(oracle_gflops, 2), Table::num(prof_gflops, 2),
+                   Table::num(feat_gflops, 2), Table::num(ext_gflops, 2)});
+    sp_prof.push_back(prof_gflops / mkl);
+    sp_feat.push_back(feat_gflops / mkl);
+    sp_ie.push_back(ie_gflops / mkl);
+    sp_oracle.push_back(oracle_gflops / mkl);
+    sp_ext.push_back(ext_gflops / mkl);
+    std::fflush(stdout);
+  }
+  table.print(std::cout);
+
+  std::printf("\naverage speedup over MKL-proxy CSR (arithmetic mean, as in §IV-C):\n");
+  std::printf("  profile-guided     %.2fx\n", arithmetic_mean(sp_prof));
+  std::printf("  feature-guided     %.2fx\n", arithmetic_mean(sp_feat));
+  std::printf("  inspector-executor %.2fx\n", arithmetic_mean(sp_ie));
+  std::printf("  oracle             %.2fx\n", arithmetic_mean(sp_oracle));
+  std::printf("  oracle+extensions  %.2fx   (SELL-C-sigma / BCSR headroom)\n",
+              arithmetic_mean(sp_ext));
+  return 0;
+}

@@ -1,0 +1,110 @@
+// Fig. 4 (caption) — "Parameters T_ML = 1.25 and T_IMB = 1.24 were optimized
+// through exhaustive grid search ... maximizing the average performance gain
+// of the corresponding optimizations on a large set of matrices."
+//
+// This bench reruns that offline tuning on this host, over T_ML, T_IMB and
+// the T_CMP guard this implementation adds (DESIGN.md §4):
+//   1. measure per-class bounds for every pool matrix once,
+//   2. measure the speedup of the Table II plan of every possible class set
+//      once per matrix,
+//   3. exhaustively search the threshold grid; each point is scored by the
+//      average speedup of the plans its classifications select.
+#include <cstdio>
+#include <iostream>
+#include <map>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "classify/profile_classifier.hpp"
+#include "gen/generators.hpp"
+#include "ml/search.hpp"
+#include "optimize/optimizers.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace spmvopt;
+
+struct MatrixRecord {
+  perf::PerfBounds bounds;
+  // Speedup over baseline for the Table II plan of every class-set value
+  // (indexed by ClassSet::bits(), 0..15).
+  std::array<double, 16> speedup_by_classes{};
+};
+
+}  // namespace
+
+int main() {
+  bench::print_host_preamble(
+      "Grid search: profile-classifier thresholds (Fig. 4 caption protocol)");
+
+  const int pool_size = quick_mode() ? 24 : 60;
+  perf::BoundsConfig bcfg;
+  bcfg.measure.iterations = quick_mode() ? 4 : 12;
+  bcfg.measure.runs = 2;
+  bcfg.measure.warmup = 1;
+  const perf::MeasureConfig m = bcfg.measure;
+
+  std::printf("profiling %d pool matrices and measuring all class plans...\n",
+              pool_size);
+  std::vector<MatrixRecord> records;
+  for (const auto& entry : gen::training_pool(pool_size)) {
+    const CsrMatrix a = entry.make();
+    MatrixRecord rec;
+    rec.bounds = perf::measure_bounds(a, bcfg);
+
+    const auto baseline = optimize::OptimizedSpmv::create(a, optimize::Plan{});
+    const double base = optimize::measure_spmv_gflops(baseline, a, m);
+    std::map<std::string, double> plan_cache;  // distinct plans only
+    for (unsigned bits = 0; bits < 16; ++bits) {
+      const auto plan = optimize::plan_for_classes(classify::ClassSet(bits), a);
+      const std::string key = plan.to_string();
+      auto it = plan_cache.find(key);
+      if (it == plan_cache.end()) {
+        const auto spmv = optimize::OptimizedSpmv::create(a, plan);
+        it = plan_cache.emplace(key,
+                                optimize::measure_spmv_gflops(spmv, a, m) / base)
+                 .first;
+      }
+      rec.speedup_by_classes[bits] = it->second;
+    }
+    records.push_back(rec);
+    std::fflush(stdout);
+  }
+
+  // Score one threshold triple: average speedup of the selected plans.
+  auto score = [&records](const std::vector<double>& v) {
+    classify::ProfileParams p;
+    p.t_ml = v[0];
+    p.t_imb = v[1];
+    p.t_cmp = v[2];
+    double sum = 0.0;
+    for (const MatrixRecord& rec : records) {
+      const auto cls = classify::classify_from_bounds(rec.bounds, p);
+      sum += rec.speedup_by_classes[cls.bits()];
+    }
+    return sum / static_cast<double>(records.size());
+  };
+
+  const std::vector<double> t_axis{1.00, 1.05, 1.10, 1.15, 1.20, 1.25,
+                                   1.30, 1.40, 1.50, 1.75, 2.00};
+  const auto best = ml::grid_search({t_axis, t_axis, t_axis}, score);
+
+  std::printf("\nbest thresholds on this host: T_ML=%.2f T_IMB=%.2f T_CMP=%.2f"
+              " (avg speedup %.3fx)\n",
+              best.values[0], best.values[1], best.values[2], best.score);
+  classify::ProfileParams dflt;
+  std::printf("library defaults:             T_ML=%.2f T_IMB=%.2f T_CMP=%.2f"
+              " (avg speedup %.3fx)\n",
+              dflt.t_ml, dflt.t_imb, dflt.t_cmp,
+              score({dflt.t_ml, dflt.t_imb, dflt.t_cmp}));
+  std::printf("paper's published values:     T_ML=1.25 T_IMB=1.24\n\n");
+
+  // A T_CMP slice through the grid at the paper's T_ML/T_IMB, showing the
+  // sensitivity that motivated the added guard.
+  Table table({"T_CMP", "avg_speedup"});
+  for (double t : t_axis)
+    table.add_row({Table::num(t, 2), Table::num(score({1.25, 1.24, t}), 3)});
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,129 @@
+// Kernel microbenchmarks (google-benchmark): ns/op and effective GB/s for
+// every kernel variant in the optimization pool, on three structurally
+// distinct representatives (regular stencil, irregular random, skewed
+// power-law).  Complements the figure benches with per-kernel latency data.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "gen/generators.hpp"
+#include "kernels/compose.hpp"
+#include "kernels/spmv.hpp"
+#include "optimize/optimized_spmv.hpp"
+#include "support/cpu_info.hpp"
+
+namespace {
+
+using namespace spmvopt;
+
+struct Workload {
+  CsrMatrix a;
+  std::vector<value_t> x;
+  std::vector<value_t> y;
+
+  explicit Workload(CsrMatrix m)
+      : a(std::move(m)),
+        x(gen::test_vector(a.ncols())),
+        y(static_cast<std::size_t>(a.nrows())) {}
+};
+
+Workload& workload(int which) {
+  static Workload stencil{gen::stencil_3d_7pt(32, 32, 32)};
+  static Workload random{gen::random_uniform(40000, 12, 3)};
+  static Workload skewed{gen::few_dense_rows(40000, 3, 6, 30000, 5)};
+  switch (which) {
+    case 0: return stencil;
+    case 1: return random;
+    default: return skewed;
+  }
+}
+
+const char* workload_name(int which) {
+  switch (which) {
+    case 0: return "stencil3d";
+    case 1: return "random";
+    default: return "skewed";
+  }
+}
+
+void set_counters(benchmark::State& state, const CsrMatrix& a) {
+  state.counters["nnz"] = static_cast<double>(a.nnz());
+  state.counters["GFLOPS"] = benchmark::Counter(
+      2.0 * static_cast<double>(a.nnz()) * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate, benchmark::Counter::OneK::kIs1000);
+  state.counters["GBps"] = benchmark::Counter(
+      static_cast<double>(a.working_set_bytes()) *
+          static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate, benchmark::Counter::OneK::kIs1024);
+}
+
+void BM_Plan(benchmark::State& state, optimize::Plan plan) {
+  Workload& w = workload(static_cast<int>(state.range(0)));
+  const auto spmv = optimize::OptimizedSpmv::create(w.a, plan);
+  for (auto _ : state) {
+    spmv.run(w.x.data(), w.y.data());
+    benchmark::DoNotOptimize(w.y.data());
+  }
+  set_counters(state, w.a);
+  state.SetLabel(std::string(workload_name(static_cast<int>(state.range(0)))) +
+                 "/" + spmv.plan().to_string());
+}
+
+void BM_Serial(benchmark::State& state) {
+  Workload& w = workload(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    kernels::spmv_serial(w.a, w.x.data(), w.y.data());
+    benchmark::DoNotOptimize(w.y.data());
+  }
+  set_counters(state, w.a);
+  state.SetLabel(std::string(workload_name(static_cast<int>(state.range(0)))) +
+                 "/serial");
+}
+
+optimize::Plan make_plan(kernels::Sched s, bool pf, kernels::Compute c,
+                         bool delta, bool split) {
+  optimize::Plan p;
+  p.sched = s;
+  p.prefetch = pf;
+  p.compute = c;
+  p.delta = delta;
+  p.split_long_rows = split;
+  return p;
+}
+
+}  // namespace
+
+BENCHMARK(BM_Serial)->DenseRange(0, 2)->Unit(benchmark::kMicrosecond);
+
+BENCHMARK_CAPTURE(BM_Plan, baseline, optimize::Plan{})
+    ->DenseRange(0, 2)->Unit(benchmark::kMicrosecond);
+BENCHMARK_CAPTURE(BM_Plan, prefetch,
+                  make_plan(kernels::Sched::BalancedStatic, true,
+                            kernels::Compute::Scalar, false, false))
+    ->DenseRange(0, 2)->Unit(benchmark::kMicrosecond);
+BENCHMARK_CAPTURE(BM_Plan, vector,
+                  make_plan(kernels::Sched::BalancedStatic, false,
+                            kernels::Compute::Vector, false, false))
+    ->DenseRange(0, 2)->Unit(benchmark::kMicrosecond);
+BENCHMARK_CAPTURE(BM_Plan, unroll_vector,
+                  make_plan(kernels::Sched::BalancedStatic, false,
+                            kernels::Compute::UnrollVector, false, false))
+    ->DenseRange(0, 2)->Unit(benchmark::kMicrosecond);
+BENCHMARK_CAPTURE(BM_Plan, delta_vector,
+                  make_plan(kernels::Sched::BalancedStatic, false,
+                            kernels::Compute::Vector, true, false))
+    ->DenseRange(0, 2)->Unit(benchmark::kMicrosecond);
+BENCHMARK_CAPTURE(BM_Plan, auto_sched,
+                  make_plan(kernels::Sched::Auto, false,
+                            kernels::Compute::Scalar, false, false))
+    ->DenseRange(0, 2)->Unit(benchmark::kMicrosecond);
+BENCHMARK_CAPTURE(BM_Plan, split_long_rows,
+                  make_plan(kernels::Sched::BalancedStatic, false,
+                            kernels::Compute::Scalar, false, true))
+    ->DenseRange(0, 2)->Unit(benchmark::kMicrosecond);
+BENCHMARK_CAPTURE(BM_Plan, pf_vec_auto,
+                  make_plan(kernels::Sched::Auto, true,
+                            kernels::Compute::Vector, false, false))
+    ->DenseRange(0, 2)->Unit(benchmark::kMicrosecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,56 @@
+// Table III (bandwidth rows) — STREAM triad sustainable bandwidth on this
+// host, swept across working-set sizes so both operating points the paper
+// reports (main memory and LLC) are visible, plus the cache-transition curve
+// between them.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace spmvopt;
+  const CpuInfo& cpu = cpu_info();
+  std::printf("# Table III: STREAM triad bandwidth (this host)\n");
+  std::printf("# host: %s | %d threads | L1d %zu KiB | L2 %zu KiB | LLC %zu KiB\n\n",
+              cpu.model_name.empty() ? "(unknown)" : cpu.model_name.c_str(),
+              default_threads(), cpu.l1d_bytes / 1024, cpu.l2_bytes / 1024,
+              cpu.llc_bytes / 1024);
+
+  const int threads = default_threads();
+  const int reps = quick_mode() ? 3 : 10;
+
+  Table table({"working_set", "region", "triad_GBps"});
+  // Sweep from L1-resident to 4x LLC.
+  for (double factor : {0.25, 0.5, 1.0}) {
+    const auto elems = static_cast<std::size_t>(
+        factor * static_cast<double>(cpu.l1d_bytes) / (3 * sizeof(double)));
+    if (elems < 64) continue;
+    table.add_row({std::to_string(3 * elems * sizeof(double) / 1024) + " KiB",
+                   "L1", Table::num(perf::stream_triad_gbps(elems, threads, reps), 1)});
+  }
+  for (double factor : {0.5, 1.0}) {
+    const auto elems = static_cast<std::size_t>(
+        factor * static_cast<double>(cpu.l2_bytes) / (3 * sizeof(double)));
+    table.add_row({std::to_string(3 * elems * sizeof(double) / 1024) + " KiB",
+                   "L2", Table::num(perf::stream_triad_gbps(elems, threads, reps), 1)});
+  }
+  for (double factor : {0.25, 0.5}) {
+    const auto elems = static_cast<std::size_t>(
+        factor * static_cast<double>(cpu.llc_bytes) / (3 * sizeof(double)));
+    table.add_row({std::to_string(3 * elems * sizeof(double) / (1024 * 1024)) + " MiB",
+                   "LLC", Table::num(perf::stream_triad_gbps(elems, threads, reps), 1)});
+  }
+  for (double factor : {1.5, 4.0}) {
+    const auto elems = static_cast<std::size_t>(
+        factor * static_cast<double>(cpu.llc_bytes) / (3 * sizeof(double)));
+    table.add_row({std::to_string(3 * elems * sizeof(double) / (1024 * 1024)) + " MiB",
+                   "DRAM", Table::num(perf::stream_triad_gbps(elems, threads, reps), 1)});
+  }
+  table.print(std::cout);
+
+  const perf::BandwidthProfile& bw = perf::bandwidth_profile();
+  std::printf("\nTable III row for this host: STREAM triad main/llc = "
+              "%.0f/%.0f GB/s\n", bw.dram_gbps, bw.llc_gbps);
+  return 0;
+}

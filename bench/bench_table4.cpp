@@ -1,0 +1,93 @@
+// Table IV — Feature-guided decision-tree classifier accuracy.
+//
+// Reproduces the paper's protocol end to end:
+//   1. generate the training pool (stand-in for the 210 UF matrices),
+//   2. label every matrix with the profile-guided classifier (§III-D3),
+//   3. extract Table I features,
+//   4. leave-one-out cross-validate a multilabel CART tree on the Θ(N) and
+//      Θ(NNZ) feature subsets of Table IV,
+//   5. report Exact and Partial Match Ratios.
+// Label distribution and the fitted tree are printed for inspection.
+#include <cstdio>
+#include <iostream>
+#include <map>
+
+#include "bench_common.hpp"
+#include "classify/feature_classifier.hpp"
+#include "features/features.hpp"
+#include "ml/cross_validation.hpp"
+#include "support/table.hpp"
+#include "support/timing.hpp"
+
+int main() {
+  using namespace spmvopt;
+  bench::print_host_preamble("Table IV: feature-guided classifier accuracy (LOO CV)");
+
+  const int pool_size = quick_mode() ? 60 : 210;
+
+  // Labeling effort: the offline stage can afford moderate profiling.
+  perf::BoundsConfig label_cfg;
+  label_cfg.measure.iterations = quick_mode() ? 4 : 16;
+  label_cfg.measure.runs = 2;
+  label_cfg.measure.warmup = 1;
+
+  std::printf("labeling %d pool matrices with the profile-guided classifier...\n",
+              pool_size);
+  Timer label_timer;
+  ml::Dataset full;  // all 14 features; subsets are projected from it
+  std::map<std::string, int> label_histogram;
+  for (const auto& entry : gen::training_pool(pool_size)) {
+    const CsrMatrix a = entry.make();
+    const auto f = features::extract_features(a);
+    const auto labeled = classify::classify_profile(a, {}, label_cfg);
+    std::vector<double> row(static_cast<std::size_t>(features::kFeatureCount));
+    for (int i = 0; i < features::kFeatureCount; ++i)
+      row[static_cast<std::size_t>(i)] = f[static_cast<features::FeatureId>(i)];
+    full.X.push_back(std::move(row));
+    full.Y.push_back(labeled.classes.to_labels());
+    ++label_histogram[labeled.classes.to_string()];
+  }
+  std::printf("labeling took %.1f s\n\nlabel distribution:\n",
+              label_timer.elapsed_sec());
+  for (const auto& [classes, count] : label_histogram)
+    std::printf("  %-20s %d\n", classes.c_str(), count);
+
+  auto project = [&full](const std::vector<features::FeatureId>& ids) {
+    ml::Dataset ds;
+    ds.Y = full.Y;
+    for (const auto& row : full.X) {
+      std::vector<double> r;
+      r.reserve(ids.size());
+      for (auto id : ids) r.push_back(row[static_cast<std::size_t>(id)]);
+      ds.X.push_back(std::move(r));
+    }
+    return ds;
+  };
+
+  Table table({"features", "complexity", "accuracy_exact_%", "accuracy_partial_%"});
+  {
+    const auto scores = ml::leave_one_out(project(features::on_feature_set()));
+    table.add_row({"nnz{min,max,sd} bw_avg dispersion{avg,sd}", "O(N)",
+                   Table::num(100.0 * scores.exact, 0),
+                   Table::num(100.0 * scores.partial, 0)});
+  }
+  {
+    const auto scores = ml::leave_one_out(project(features::onnz_feature_set()));
+    table.add_row(
+        {"size bw{avg,sd} nnz{min,max,avg,sd} misses_avg dispersion_sd",
+         "O(NNZ)", Table::num(100.0 * scores.exact, 0),
+         Table::num(100.0 * scores.partial, 0)});
+  }
+  std::printf("\n");
+  table.print(std::cout);
+
+  // Fit the O(NNZ) tree on the full pool and show it.
+  ml::DecisionTree tree;
+  tree.fit(project(features::onnz_feature_set()));
+  std::vector<std::string> names;
+  for (auto id : features::onnz_feature_set())
+    names.push_back(features::feature_name(id));
+  std::printf("\nfitted O(NNZ) tree (%zu nodes, depth %d):\n%s\n",
+              tree.node_count(), tree.depth(), tree.to_text(names).c_str());
+  return 0;
+}

@@ -1,0 +1,148 @@
+// Table V — Minimum number of solver iterations required to amortize each
+// optimizer's runtime overhead, relative to the MKL-proxy CSR kernel:
+//
+//   N_iters,min = t_pre / (t_MKL - t_optimizer)
+//
+// Rows: trivial-single, trivial-combined, profile-guided, feature-guided,
+// Inspector-Executor.  Columns: best / average / worst over the evaluation
+// suite (matrices where the optimizer does not beat MKL are skipped, as the
+// overhead can then never amortize).
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <map>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "gen/generators.hpp"
+#include "classify/feature_classifier.hpp"
+#include "mklcompat/inspector_executor.hpp"
+#include "mklcompat/ref_csr.hpp"
+#include "optimize/optimizers.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+#include "support/timing.hpp"
+
+namespace {
+
+using namespace spmvopt;
+
+/// Seconds per SpMV with the paper's Table V protocol (64 iterations).
+template <class Fn>
+double sec_per_op(const CsrMatrix& a, const Fn& fn, int iters) {
+  const std::vector<value_t> x = gen::test_vector(a.ncols());
+  std::vector<value_t> y(static_cast<std::size_t>(a.nrows()));
+  fn(x.data(), y.data());  // warm
+  Timer t;
+  for (int i = 0; i < iters; ++i) fn(x.data(), y.data());
+  return t.elapsed_sec() / iters;
+}
+
+struct Amortization {
+  std::vector<double> n_iters;  // per matrix where amortization is possible
+  int never = 0;                // matrices where the optimizer never wins
+};
+
+}  // namespace
+
+int main() {
+  bench::print_host_preamble(
+      "Table V: solver iterations to amortize optimizer overhead vs MKL-proxy");
+
+  const int iters = quick_mode() ? 16 : 64;  // the paper's "64 SpMV iterations"
+  optimize::OptimizerConfig cfg;             // decision-phase effort
+  cfg.measure.iterations = quick_mode() ? 4 : 16;
+  cfg.measure.runs = 1;
+  cfg.measure.warmup = 1;
+
+  // Feature-guided optimizer needs its offline model (cost not charged).
+  const int pool_size = quick_mode() ? 30 : 80;
+  std::printf("training feature-guided classifier (%d pool matrices, offline)...\n\n",
+              pool_size);
+  std::vector<CsrMatrix> pool;
+  for (const auto& e : gen::training_pool(pool_size)) pool.push_back(e.make());
+  perf::BoundsConfig label_cfg;
+  label_cfg.measure.iterations = 8;
+  label_cfg.measure.runs = 1;
+  label_cfg.measure.warmup = 1;
+  const auto trained =
+      classify::train_from_pool(pool, features::onnz_feature_set(), {}, label_cfg);
+  pool.clear();
+
+  std::map<std::string, Amortization> rows;
+  const char* kOrder[] = {"trivial-single", "trivial-combined",
+                          "profile-guided", "feature-guided",
+                          "MKL Inspector-Executor"};
+
+  for (const auto& entry : gen::evaluation_suite(bench::suite_scale())) {
+    const CsrMatrix a = entry.make();
+    const double t_mkl = sec_per_op(
+        a, [&a](const value_t* x, value_t* y) { mklcompat::ref_dcsrmv(a, x, y); },
+        iters);
+
+    auto account = [&](const char* name, double t_pre, double t_opt) {
+      if (t_opt >= t_mkl) {
+        ++rows[name].never;
+        return;
+      }
+      rows[name].n_iters.push_back(t_pre / (t_mkl - t_opt));
+    };
+
+    {
+      const auto out = optimize::optimize_trivial_single(a, cfg);
+      account("trivial-single", out.preprocess_seconds,
+              sec_per_op(a, [&out](const value_t* x, value_t* y) {
+                out.spmv.run(x, y);
+              }, iters));
+    }
+    {
+      const auto out = optimize::optimize_trivial_combined(a, cfg);
+      account("trivial-combined", out.preprocess_seconds,
+              sec_per_op(a, [&out](const value_t* x, value_t* y) {
+                out.spmv.run(x, y);
+              }, iters));
+    }
+    {
+      const auto out = optimize::optimize_profile(a, cfg);
+      account("profile-guided", out.preprocess_seconds,
+              sec_per_op(a, [&out](const value_t* x, value_t* y) {
+                out.spmv.run(x, y);
+              }, iters));
+    }
+    {
+      const auto out = optimize::optimize_feature(a, trained.classifier, cfg);
+      account("feature-guided", out.preprocess_seconds,
+              sec_per_op(a, [&out](const value_t* x, value_t* y) {
+                out.spmv.run(x, y);
+              }, iters));
+    }
+    {
+      const auto ie = mklcompat::InspectorExecutorSpmv::analyze(a);
+      account("MKL Inspector-Executor", ie.analysis_seconds(),
+              sec_per_op(a, [&ie](const value_t* x, value_t* y) {
+                ie.execute(x, y);
+              }, iters));
+    }
+    std::printf("  measured %s\n", entry.name.c_str());
+    std::fflush(stdout);
+  }
+
+  std::printf("\n");
+  Table table({"optimizer", "Niters_best", "Niters_avg", "Niters_worst",
+               "no_win_matrices"});
+  for (const char* name : kOrder) {
+    const Amortization& am = rows[name];
+    if (am.n_iters.empty()) {
+      table.add_row({name, "-", "-", "-", std::to_string(am.never)});
+      continue;
+    }
+    table.add_row({name, Table::num(std::ceil(min_of(am.n_iters)), 0),
+                   Table::num(std::ceil(arithmetic_mean(am.n_iters)), 0),
+                   Table::num(std::ceil(max_of(am.n_iters)), 0),
+                   std::to_string(am.never)});
+  }
+  table.print(std::cout);
+  std::printf("\n(no_win_matrices: suite entries where the optimized kernel "
+              "did not beat the MKL-proxy, so no iteration count amortizes)\n");
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Matrix inspection tool: the full §III analysis for one matrix.
+//
+// Prints the Table I structural features, the measured per-class performance
+// bounds of §III-B, the profile-guided classification (Fig. 4), and the
+// Table II optimization plan — everything the optimizer knows before it
+// commits to a kernel.
+//
+// Usage: inspect_matrix [path/to/matrix.mtx | suite:NAME]
+//   suite:NAME picks a matrix from the paper's evaluation suite, e.g.
+//   suite:poisson3Db or suite:rajat30 (generated stand-ins, DESIGN.md §3).
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "classify/profile_classifier.hpp"
+#include "features/features.hpp"
+#include "gen/suite.hpp"
+#include "optimize/plan.hpp"
+#include "sparse/mmio.hpp"
+#include "support/cpu_info.hpp"
+
+namespace {
+
+spmvopt::CsrMatrix load(const std::string& arg) {
+  using namespace spmvopt;
+  if (arg.rfind("suite:", 0) == 0) {
+    const std::string name = arg.substr(6);
+    for (const auto& e : gen::evaluation_suite(0.5))
+      if (e.name == name) return e.make();
+    throw std::runtime_error("no suite matrix named '" + name + "'");
+  }
+  return CsrMatrix::from_coo(read_matrix_market_file(arg));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace spmvopt;
+  const std::string arg = argc > 1 ? argv[1] : "suite:poisson3Db";
+
+  CsrMatrix A;
+  try {
+    A = load(arg);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+
+  const CpuInfo& cpu = cpu_info();
+  std::printf("== host ==\n%s\nLLC %zu KiB, line %zu B, %d threads\n\n",
+              cpu.model_name.c_str(), cpu.llc_bytes / 1024,
+              cpu.cache_line_bytes, default_threads());
+
+  std::printf("== matrix (%s) ==\n%d x %d, %d nonzeros, %.1f nnz/row, "
+              "%.2f MiB as CSR\n\n",
+              arg.c_str(), A.nrows(), A.ncols(), A.nnz(),
+              static_cast<double>(A.nnz()) / A.nrows(),
+              static_cast<double>(A.format_bytes()) / (1024.0 * 1024.0));
+
+  std::printf("== structural features (Table I) ==\n");
+  const auto f = features::extract_features(A);
+  for (int i = 0; i < features::kFeatureCount; ++i) {
+    const auto id = static_cast<features::FeatureId>(i);
+    std::printf("  %-15s %.6g\n", features::feature_name(id), f[id]);
+  }
+
+  std::printf("\n== per-class bounds (Section III-B), measured ==\n");
+  perf::BoundsConfig cfg;
+  cfg.measure.iterations = 16;
+  cfg.measure.runs = 2;
+  const auto result = classify::classify_profile(A, {}, cfg);
+  const auto& b = result.bounds;
+  std::printf("  P_CSR  %7.2f Gflop/s   (baseline)\n", b.p_csr);
+  std::printf("  P_MB   %7.2f Gflop/s   (B_max %.1f GB/s, %s)\n", b.p_mb,
+              b.bmax_gbps, b.fits_llc ? "LLC-resident" : "DRAM-resident");
+  std::printf("  P_ML   %7.2f Gflop/s\n", b.p_ml);
+  std::printf("  P_IMB  %7.2f Gflop/s\n", b.p_imb);
+  std::printf("  P_CMP  %7.2f Gflop/s\n", b.p_cmp);
+  std::printf("  P_peak %7.2f Gflop/s\n", b.p_peak);
+
+  std::printf("\n== classification (Fig. 4) ==\n  classes: %s\n",
+              result.classes.to_string().c_str());
+  const auto plan = optimize::plan_for_classes(result.classes, A);
+  std::printf("  plan (Table II): %s\n", plan.to_string().c_str());
+  return 0;
+}

@@ -1,0 +1,57 @@
+#include "classify/classes.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace spmvopt::classify {
+
+const char* bottleneck_name(Bottleneck b) {
+  switch (b) {
+    case Bottleneck::MB: return "MB";
+    case Bottleneck::ML: return "ML";
+    case Bottleneck::IMB: return "IMB";
+    case Bottleneck::CMP: return "CMP";
+  }
+  throw std::invalid_argument("bottleneck_name: bad class");
+}
+
+int ClassSet::count() const noexcept { return std::popcount(bits_); }
+
+std::string ClassSet::to_string() const {
+  if (empty()) return "{}";
+  std::string out = "{";
+  for (Bottleneck b :
+       {Bottleneck::MB, Bottleneck::ML, Bottleneck::IMB, Bottleneck::CMP}) {
+    if (has(b)) {
+      if (out.size() > 1) out += ",";
+      out += bottleneck_name(b);
+    }
+  }
+  out += "}";
+  return out;
+}
+
+std::vector<int> ClassSet::to_labels() const {
+  return {has(Bottleneck::MB) ? 1 : 0, has(Bottleneck::ML) ? 1 : 0,
+          has(Bottleneck::IMB) ? 1 : 0, has(Bottleneck::CMP) ? 1 : 0,
+          empty() ? 1 : 0};
+}
+
+ClassSet ClassSet::from_labels(const std::vector<int>& labels) {
+  if (labels.size() != static_cast<std::size_t>(kNumLabels))
+    throw std::invalid_argument("ClassSet::from_labels: need 5 labels");
+  ClassSet s;
+  if (labels[0]) s.add(Bottleneck::MB);
+  if (labels[1]) s.add(Bottleneck::ML);
+  if (labels[2]) s.add(Bottleneck::IMB);
+  if (labels[3]) s.add(Bottleneck::CMP);
+  // labels[4] (NONE) is implied by emptiness; a tree may emit an
+  // inconsistent combination, in which case the explicit classes win.
+  return s;
+}
+
+std::vector<std::string> ClassSet::label_names() {
+  return {"MB", "ML", "IMB", "CMP", "NONE"};
+}
+
+}  // namespace spmvopt::classify

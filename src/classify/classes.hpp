@@ -1,0 +1,60 @@
+// Bottleneck classes (§III-A) and the multilabel encoding shared by both
+// classifiers.
+//
+// The optimization-selection problem is multiclass *and* multilabel: a matrix
+// may be simultaneously memory-latency bound and thread-imbalanced, and the
+// corresponding optimizations are applied jointly (§III-E).  A fifth "dummy"
+// label (§III-D) marks matrices not worth optimizing at all.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace spmvopt::classify {
+
+enum class Bottleneck : unsigned {
+  MB = 1u << 0,   ///< memory bandwidth bound
+  ML = 1u << 1,   ///< memory latency bound (irregular x accesses)
+  IMB = 1u << 2,  ///< thread imbalance
+  CMP = 1u << 3,  ///< computational bottleneck
+};
+
+/// A set of bottleneck classes.  Empty == the dummy "don't optimize" class.
+class ClassSet {
+ public:
+  constexpr ClassSet() = default;
+  constexpr explicit ClassSet(unsigned bits) : bits_(bits & 0xFu) {}
+
+  constexpr void add(Bottleneck b) noexcept { bits_ |= static_cast<unsigned>(b); }
+  constexpr void remove(Bottleneck b) noexcept {
+    bits_ &= ~static_cast<unsigned>(b);
+  }
+  [[nodiscard]] constexpr bool has(Bottleneck b) const noexcept {
+    return (bits_ & static_cast<unsigned>(b)) != 0;
+  }
+  [[nodiscard]] constexpr bool empty() const noexcept { return bits_ == 0; }
+  [[nodiscard]] constexpr unsigned bits() const noexcept { return bits_; }
+  [[nodiscard]] constexpr bool operator==(const ClassSet&) const = default;
+
+  /// Number of set classes.
+  [[nodiscard]] int count() const noexcept;
+
+  /// "{ML, IMB}"‐style rendering; "{}" for the dummy class.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Multilabel encoding for the decision tree: [MB, ML, IMB, CMP, NONE],
+  /// with NONE = 1 exactly when the set is empty.
+  [[nodiscard]] std::vector<int> to_labels() const;
+  static ClassSet from_labels(const std::vector<int>& labels);
+
+  /// Label names in to_labels() order.
+  [[nodiscard]] static std::vector<std::string> label_names();
+  static constexpr int kNumLabels = 5;
+
+ private:
+  unsigned bits_ = 0;
+};
+
+[[nodiscard]] const char* bottleneck_name(Bottleneck b);
+
+}  // namespace spmvopt::classify

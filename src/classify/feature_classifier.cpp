@@ -1,0 +1,120 @@
+#include "classify/feature_classifier.hpp"
+
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace spmvopt::classify {
+
+FeatureClassifier::FeatureClassifier(
+    std::vector<features::FeatureId> feature_set, ml::TreeParams params)
+    : features_(std::move(feature_set)), params_(params) {
+  if (features_.empty())
+    throw std::invalid_argument("FeatureClassifier: empty feature set");
+}
+
+void FeatureClassifier::train(
+    const std::vector<features::FeatureVector>& feats,
+    const std::vector<ClassSet>& labels) {
+  if (feats.size() != labels.size() || feats.empty())
+    throw std::invalid_argument("FeatureClassifier::train: bad inputs");
+  ml::Dataset ds;
+  ds.X.reserve(feats.size());
+  ds.Y.reserve(labels.size());
+  for (std::size_t i = 0; i < feats.size(); ++i) {
+    ds.X.push_back(features::project(feats[i], features_));
+    ds.Y.push_back(labels[i].to_labels());
+  }
+  tree_.fit(ds, params_);
+  train_x_ = std::move(ds.X);
+  train_y_ = std::move(ds.Y);
+}
+
+ClassSet FeatureClassifier::classify(const features::FeatureVector& f) const {
+  if (!trained()) throw std::logic_error("FeatureClassifier: not trained");
+  return ClassSet::from_labels(tree_.predict(features::project(f, features_)));
+}
+
+ClassSet FeatureClassifier::classify(const CsrMatrix& A) const {
+  // Only the features the tree consumes are extracted, so a Θ(N) feature
+  // set really costs Θ(N) online (Table I / Table V).
+  return classify(features::extract_features_subset(A, features_));
+}
+
+void FeatureClassifier::save(std::ostream& out) const {
+  if (!trained()) throw std::logic_error("FeatureClassifier::save: not trained");
+  out << "spmvopt-feature-classifier 1\n";
+  out << features_.size();
+  for (features::FeatureId id : features_) out << ' ' << static_cast<int>(id);
+  out << '\n';
+  out << params_.max_depth << ' ' << params_.min_samples_leaf << ' '
+      << params_.min_samples_split << '\n';
+  out << train_x_.size() << ' ' << ClassSet::kNumLabels << '\n';
+  out.precision(17);
+  for (std::size_t i = 0; i < train_x_.size(); ++i) {
+    for (double v : train_x_[i]) out << v << ' ';
+    for (int v : train_y_[i]) out << v << ' ';
+    out << '\n';
+  }
+  if (!out) throw std::runtime_error("FeatureClassifier::save: write failed");
+}
+
+FeatureClassifier FeatureClassifier::load(std::istream& in) {
+  std::string magic;
+  int version = 0;
+  in >> magic >> version;
+  if (!in || magic != "spmvopt-feature-classifier" || version != 1)
+    throw std::runtime_error("FeatureClassifier::load: bad header");
+  std::size_t nf = 0;
+  in >> nf;
+  if (!in || nf == 0 || nf > 64)
+    throw std::runtime_error("FeatureClassifier::load: bad feature count");
+  std::vector<features::FeatureId> fset(nf);
+  for (auto& id : fset) {
+    int raw = -1;
+    in >> raw;
+    if (!in || raw < 0 || raw >= features::kFeatureCount)
+      throw std::runtime_error("FeatureClassifier::load: bad feature id");
+    id = static_cast<features::FeatureId>(raw);
+  }
+  ml::TreeParams params;
+  in >> params.max_depth >> params.min_samples_leaf >> params.min_samples_split;
+  std::size_t nsamples = 0;
+  int nlabels = 0;
+  in >> nsamples >> nlabels;
+  if (!in || nsamples == 0 || nlabels != ClassSet::kNumLabels)
+    throw std::runtime_error("FeatureClassifier::load: bad sample header");
+
+  FeatureClassifier fc(std::move(fset), params);
+  ml::Dataset ds;
+  ds.X.assign(nsamples, std::vector<double>(nf));
+  ds.Y.assign(nsamples, std::vector<int>(static_cast<std::size_t>(nlabels)));
+  for (std::size_t i = 0; i < nsamples; ++i) {
+    for (auto& v : ds.X[i]) in >> v;
+    for (auto& v : ds.Y[i]) in >> v;
+  }
+  if (!in) throw std::runtime_error("FeatureClassifier::load: truncated data");
+  fc.tree_.fit(ds, params);
+  fc.train_x_ = std::move(ds.X);
+  fc.train_y_ = std::move(ds.Y);
+  return fc;
+}
+
+TrainingResult train_from_pool(const std::vector<CsrMatrix>& pool,
+                               std::vector<features::FeatureId> feature_set,
+                               const ProfileParams& profile_params,
+                               const perf::BoundsConfig& bounds_cfg) {
+  if (pool.empty()) throw std::invalid_argument("train_from_pool: empty pool");
+  TrainingResult out{FeatureClassifier(std::move(feature_set)), {}, {}};
+  out.features.reserve(pool.size());
+  out.labels.reserve(pool.size());
+  for (const CsrMatrix& A : pool) {
+    out.features.push_back(features::extract_features(A));
+    out.labels.push_back(
+        classify_profile(A, profile_params, bounds_cfg).classes);
+  }
+  out.classifier.train(out.features, out.labels);
+  return out;
+}
+
+}  // namespace spmvopt::classify

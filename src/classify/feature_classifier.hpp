@@ -1,0 +1,79 @@
+// Feature-guided classifier (§III-D).
+//
+// A decision tree over cheaply-computed structural features (Table I),
+// trained offline on a pool of matrices labeled by the profile-guided
+// classifier (§III-D3), queried online with on-the-fly feature extraction.
+// Online cost: one Θ(N)/Θ(NNZ) feature pass plus an O(log N_samples) tree
+// walk — the most lightweight optimizer of Table V.
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "classify/classes.hpp"
+#include "classify/profile_classifier.hpp"
+#include "features/features.hpp"
+#include "ml/decision_tree.hpp"
+
+namespace spmvopt::classify {
+
+class FeatureClassifier {
+ public:
+  /// Construct untrained with the feature subset the tree will consume
+  /// (defaults to the Θ(NNZ) set of Table IV, the most accurate one).
+  /// Default tree regularization (depth 8, >= 2 samples per leaf) is chosen
+  /// for the few-hundred-sample pools this library trains on; pass explicit
+  /// params to override.
+  explicit FeatureClassifier(
+      std::vector<features::FeatureId> feature_set = features::onnz_feature_set(),
+      ml::TreeParams params = {.max_depth = 8, .min_samples_leaf = 2,
+                               .min_samples_split = 4});
+
+  /// Train from pre-extracted feature vectors and labels.
+  void train(const std::vector<features::FeatureVector>& features,
+             const std::vector<ClassSet>& labels);
+
+  /// Classify one matrix: extract features on the fly and query the tree.
+  [[nodiscard]] ClassSet classify(const CsrMatrix& A) const;
+
+  /// Classify from an already-extracted feature vector.
+  [[nodiscard]] ClassSet classify(const features::FeatureVector& f) const;
+
+  [[nodiscard]] bool trained() const noexcept { return tree_.trained(); }
+  [[nodiscard]] const ml::DecisionTree& tree() const noexcept { return tree_; }
+  [[nodiscard]] const std::vector<features::FeatureId>& feature_set()
+      const noexcept {
+    return features_;
+  }
+
+  /// Serialize / restore the trained model (offline training artifact).
+  void save(std::ostream& out) const;
+  static FeatureClassifier load(std::istream& in);
+
+ private:
+  std::vector<features::FeatureId> features_;
+  ml::TreeParams params_;
+  ml::DecisionTree tree_;
+
+  // Kept for save(): retraining from the stored dataset reproduces the tree
+  // exactly (CART here is deterministic), so the model file is simply the
+  // training set — compact and robust to internal representation changes.
+  std::vector<std::vector<double>> train_x_;
+  std::vector<std::vector<int>> train_y_;
+};
+
+/// Offline training stage: label `pool` with the profile-guided classifier
+/// (the §III-D3 labeling choice) and fit.  `bounds_cfg` controls the
+/// profiling effort per pool matrix.
+struct TrainingResult {
+  FeatureClassifier classifier;
+  std::vector<features::FeatureVector> features;
+  std::vector<ClassSet> labels;
+};
+[[nodiscard]] TrainingResult train_from_pool(
+    const std::vector<CsrMatrix>& pool,
+    std::vector<features::FeatureId> feature_set = features::onnz_feature_set(),
+    const ProfileParams& profile_params = {},
+    const perf::BoundsConfig& bounds_cfg = {});
+
+}  // namespace spmvopt::classify

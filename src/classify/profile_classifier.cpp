@@ -1,0 +1,51 @@
+#include "classify/profile_classifier.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "perf/partitioned_ml.hpp"
+
+namespace spmvopt::classify {
+
+ClassSet classify_from_bounds(const perf::PerfBounds& b,
+                              const ProfileParams& p) {
+  if (b.p_csr <= 0.0)
+    throw std::invalid_argument("classify_from_bounds: nonpositive P_CSR");
+  if (p.t_ml <= 0.0 || p.t_imb <= 0.0 || p.approx_tol < 1.0 || p.t_cmp <= 0.0)
+    throw std::invalid_argument("classify_from_bounds: bad hyperparameters");
+
+  ClassSet cls;
+  // Fig. 4, lines 3-5.
+  if (b.p_imb / b.p_csr > p.t_imb) cls.add(Bottleneck::IMB);
+  // Fig. 4, lines 6-8.
+  if (b.p_ml / b.p_csr > p.t_ml) cls.add(Bottleneck::ML);
+  // Fig. 4, lines 9-11: bandwidth saturated and not compute-limited.
+  const bool csr_approx_mb =
+      b.p_mb / b.p_csr <= p.approx_tol && b.p_csr / b.p_mb <= p.approx_tol;
+  if (csr_approx_mb && b.p_mb < b.p_cmp && b.p_cmp < b.p_peak)
+    cls.add(Bottleneck::MB);
+  // Fig. 4, lines 12-14: see Eq. (1) — P_CMP below P_MB means the matrix is
+  // not memory bound; P_CMP above P_peak means a cache-resident working set.
+  // Guarded by t_cmp: the bound must also promise a real gain (see header).
+  if ((b.p_mb > b.p_cmp || b.p_cmp > b.p_peak) &&
+      b.p_cmp / b.p_csr > p.t_cmp)
+    cls.add(Bottleneck::CMP);
+  return cls;
+}
+
+ProfileResult classify_profile(const CsrMatrix& A, const ProfileParams& p,
+                               const perf::BoundsConfig& cfg) {
+  ProfileResult r;
+  r.bounds = perf::measure_bounds(A, cfg);
+  r.classes = classify_from_bounds(r.bounds, p);
+  if (p.ml_partitions > 1 && !r.classes.has(Bottleneck::ML)) {
+    const int parts = std::min<int>(p.ml_partitions, std::max<index_t>(1, A.nrows()));
+    const auto pml = perf::partitioned_ml_ratios(A, parts, cfg.measure,
+                                                 cfg.nthreads);
+    r.partition_ml_max = pml.max_ratio();
+    if (r.partition_ml_max > p.t_ml) r.classes.add(Bottleneck::ML);
+  }
+  return r;
+}
+
+}  // namespace spmvopt::classify

@@ -1,0 +1,54 @@
+// Profile-guided classifier (§III-C, Fig. 4).
+//
+// Rule-based classification over the measured per-class bounds:
+//   IMB when P_IMB / P_CSR > T_IMB
+//   ML  when P_ML  / P_CSR > T_ML
+//   MB  when P_CSR ≈ P_MB and P_MB < P_CMP < P_peak
+//   CMP when P_MB > P_CMP or P_CMP > P_peak
+// T_ML = 1.25 and T_IMB = 1.24 are the paper's grid-searched defaults; the
+// informal "≈" is a ratio tolerance exposed as a third hyperparameter.
+#pragma once
+
+#include "classify/classes.hpp"
+#include "perf/bounds.hpp"
+
+namespace spmvopt::classify {
+
+struct ProfileParams {
+  double t_ml = 1.25;
+  double t_imb = 1.24;
+  double approx_tol = 1.15;  ///< P_CSR ≈ P_MB  ⇔  P_MB / P_CSR <= approx_tol
+  /// Extra guard on the CMP rule: the CMP bound must also promise a gain,
+  /// P_CMP / P_CSR > t_cmp, before the class is emitted.  The paper's rule
+  /// has no margin; on hosts where the no-indirection micro-benchmark is
+  /// uniformly below the analytic P_MB (e.g. a single wide core that cannot
+  /// saturate bandwidth) the unguarded rule fires for every matrix,
+  /// including ones the CMP optimization slows down.  Tuned by the same
+  /// grid search as t_ml/t_imb (bench_gridsearch).
+  double t_cmp = 1.15;
+  /// Partition-wise ML detection (the paper's §IV-C future-work extension,
+  /// implemented in perf/partitioned_ml.hpp): when > 1, the matrix is also
+  /// probed in this many nnz-balanced row blocks and ML is flagged if *any*
+  /// block clears t_ml — catching matrices like rajat30 whose irregularity
+  /// hides inside a region the whole-matrix average washes out.  1 disables
+  /// (the paper's published behaviour).
+  int ml_partitions = 1;
+};
+
+/// Pure rule evaluation on precomputed bounds (unit-testable in isolation).
+[[nodiscard]] ClassSet classify_from_bounds(const perf::PerfBounds& b,
+                                            const ProfileParams& p = {});
+
+/// Full online workflow: measure the bounds (the profiling phase whose cost
+/// Table V charges to this optimizer), then classify.
+struct ProfileResult {
+  perf::PerfBounds bounds;
+  ClassSet classes;
+  /// Max per-block ML ratio; 0 when ml_partitions == 1.
+  double partition_ml_max = 0.0;
+};
+[[nodiscard]] ProfileResult classify_profile(const CsrMatrix& A,
+                                             const ProfileParams& p = {},
+                                             const perf::BoundsConfig& cfg = {});
+
+}  // namespace spmvopt::classify

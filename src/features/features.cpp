@@ -1,0 +1,154 @@
+#include "features/features.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "support/cpu_info.hpp"
+
+namespace spmvopt::features {
+
+const char* feature_name(FeatureId id) {
+  switch (id) {
+    case FeatureId::Size: return "size";
+    case FeatureId::Density: return "density";
+    case FeatureId::NnzMin: return "nnz_min";
+    case FeatureId::NnzMax: return "nnz_max";
+    case FeatureId::NnzAvg: return "nnz_avg";
+    case FeatureId::NnzSd: return "nnz_sd";
+    case FeatureId::BwMin: return "bw_min";
+    case FeatureId::BwMax: return "bw_max";
+    case FeatureId::BwAvg: return "bw_avg";
+    case FeatureId::BwSd: return "bw_sd";
+    case FeatureId::ScatterAvg: return "dispersion_avg";
+    case FeatureId::ScatterSd: return "dispersion_sd";
+    case FeatureId::ClusteringAvg: return "clustering_avg";
+    case FeatureId::MissesAvg: return "misses_avg";
+    case FeatureId::kCount: break;
+  }
+  throw std::invalid_argument("feature_name: bad id");
+}
+
+namespace {
+
+/// Shared aggregation loop.  The gap scan (clustering/misses) is the only
+/// Θ(NNZ) part; ScanGaps=false keeps the whole extraction Θ(N).
+template <bool ScanGaps>
+FeatureVector extract_impl(const CsrMatrix& A, std::size_t cache_line_elems,
+                           std::size_t llc_bytes) {
+  if (cache_line_elems == 0) cache_line_elems = cpu_info().doubles_per_line();
+  if (llc_bytes == 0) llc_bytes = cpu_info().llc_bytes;
+  const index_t n = A.nrows();
+  if (n == 0) throw std::invalid_argument("extract_features: empty matrix");
+  const index_t* rowptr = A.rowptr();
+  const index_t* colind = A.colind();
+  const double dn = static_cast<double>(n);
+
+  double nnz_min = 1e300, nnz_max = 0.0, nnz_sum = 0.0, nnz_sq = 0.0;
+  double bw_min = 1e300, bw_max = 0.0, bw_sum = 0.0, bw_sq = 0.0;
+  double sc_sum = 0.0, sc_sq = 0.0;
+  double cl_sum = 0.0;
+  double miss_sum = 0.0;
+
+  for (index_t i = 0; i < n; ++i) {
+    const index_t lo = rowptr[i];
+    const index_t hi = rowptr[i + 1];
+    const double len = static_cast<double>(hi - lo);
+    const double bw =
+        hi - lo >= 2 ? static_cast<double>(colind[hi - 1] - colind[lo]) : 0.0;
+    const double scatter = len > 0.0 ? len / (bw + 1.0) : 0.0;
+
+    // clustering_i and misses_i share the gap scan (Θ(NNZ) total).
+    double clustering = 0.0;
+    double misses = 0.0;
+    if constexpr (ScanGaps) {
+      double groups = hi > lo ? 1.0 : 0.0;
+      for (index_t j = lo + 1; j < hi; ++j) {
+        const index_t gap = colind[j] - colind[j - 1];
+        if (gap != 1) groups += 1.0;
+        if (static_cast<std::size_t>(gap) > cache_line_elems) misses += 1.0;
+      }
+      clustering = len > 0.0 ? groups / len : 0.0;
+    }
+
+    nnz_min = std::min(nnz_min, len);
+    nnz_max = std::max(nnz_max, len);
+    nnz_sum += len;
+    nnz_sq += len * len;
+    bw_min = std::min(bw_min, bw);
+    bw_max = std::max(bw_max, bw);
+    bw_sum += bw;
+    bw_sq += bw * bw;
+    sc_sum += scatter;
+    sc_sq += scatter * scatter;
+    cl_sum += clustering;
+    miss_sum += misses;
+  }
+
+  auto sd = [dn](double sum, double sq) {
+    const double mean = sum / dn;
+    const double var = sq / dn - mean * mean;
+    return var > 0.0 ? std::sqrt(var) : 0.0;
+  };
+
+  FeatureVector f;
+  f[FeatureId::Size] = A.working_set_bytes() <= llc_bytes ? 1.0 : 0.0;
+  f[FeatureId::Density] = static_cast<double>(A.nnz()) / (dn * dn);
+  f[FeatureId::NnzMin] = nnz_min;
+  f[FeatureId::NnzMax] = nnz_max;
+  f[FeatureId::NnzAvg] = nnz_sum / dn;
+  f[FeatureId::NnzSd] = sd(nnz_sum, nnz_sq);
+  f[FeatureId::BwMin] = bw_min;
+  f[FeatureId::BwMax] = bw_max;
+  f[FeatureId::BwAvg] = bw_sum / dn;
+  f[FeatureId::BwSd] = sd(bw_sum, bw_sq);
+  f[FeatureId::ScatterAvg] = sc_sum / dn;
+  f[FeatureId::ScatterSd] = sd(sc_sum, sc_sq);
+  f[FeatureId::ClusteringAvg] = cl_sum / dn;
+  f[FeatureId::MissesAvg] = miss_sum / dn;
+  return f;
+}
+
+}  // namespace
+
+FeatureVector extract_features(const CsrMatrix& A,
+                               std::size_t cache_line_elems,
+                               std::size_t llc_bytes) {
+  return extract_impl<true>(A, cache_line_elems, llc_bytes);
+}
+
+bool needs_nnz_scan(const std::vector<FeatureId>& ids) {
+  for (FeatureId id : ids)
+    if (id == FeatureId::ClusteringAvg || id == FeatureId::MissesAvg)
+      return true;
+  return false;
+}
+
+FeatureVector extract_features_subset(const CsrMatrix& A,
+                                      const std::vector<FeatureId>& ids,
+                                      std::size_t cache_line_elems,
+                                      std::size_t llc_bytes) {
+  return needs_nnz_scan(ids)
+             ? extract_impl<true>(A, cache_line_elems, llc_bytes)
+             : extract_impl<false>(A, cache_line_elems, llc_bytes);
+}
+
+std::vector<FeatureId> on_feature_set() {
+  return {FeatureId::NnzMin,     FeatureId::NnzMax,    FeatureId::NnzSd,
+          FeatureId::BwAvg,      FeatureId::ScatterAvg, FeatureId::ScatterSd};
+}
+
+std::vector<FeatureId> onnz_feature_set() {
+  return {FeatureId::Size,   FeatureId::BwAvg,     FeatureId::BwSd,
+          FeatureId::NnzMin, FeatureId::NnzMax,    FeatureId::NnzAvg,
+          FeatureId::NnzSd,  FeatureId::MissesAvg, FeatureId::ScatterSd};
+}
+
+std::vector<double> project(const FeatureVector& f,
+                            const std::vector<FeatureId>& ids) {
+  std::vector<double> out;
+  out.reserve(ids.size());
+  for (FeatureId id : ids) out.push_back(f[id]);
+  return out;
+}
+
+}  // namespace spmvopt::features

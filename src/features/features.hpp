@@ -1,0 +1,91 @@
+// Structural matrix features (Table I) for the feature-guided classifier.
+//
+// Per-row quantities, with nnz_i the row length and cols the sorted column
+// indices of row i:
+//   bw_i         = cols.last - cols.first   (0 for rows with < 2 nonzeros)
+//   scatter_i    = nnz_i / (bw_i + 1)        (a.k.a. "dispersion" in
+//                  Table IV; +1 keeps single-element rows finite — the paper
+//                  leaves that case unspecified)
+//   clustering_i = ngroups_i / nnz_i, ngroups = runs of consecutive columns
+//   misses_i     = #elements whose gap from the previous element in the row
+//                  exceeds the elements that fit in one cache line
+// Aggregates use population statistics over all N rows (empty rows count
+// with zeros), matching the Θ(N)/Θ(NNZ) extraction costs of Table I.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "sparse/csr.hpp"
+
+namespace spmvopt::features {
+
+/// Feature identifiers, in the order of Table I.
+enum class FeatureId : int {
+  Size = 0,       ///< 1 when the SpMV working set fits in the LLC, else 0
+  Density,        ///< NNZ / N^2
+  NnzMin,
+  NnzMax,
+  NnzAvg,
+  NnzSd,
+  BwMin,
+  BwMax,
+  BwAvg,
+  BwSd,
+  ScatterAvg,     ///< "dispersion_avg" in Table IV
+  ScatterSd,      ///< "dispersion_sd" in Table IV
+  ClusteringAvg,
+  MissesAvg,
+  kCount
+};
+
+inline constexpr int kFeatureCount = static_cast<int>(FeatureId::kCount);
+
+/// All Table I features for one matrix.
+struct FeatureVector {
+  std::array<double, kFeatureCount> v{};
+
+  [[nodiscard]] double operator[](FeatureId id) const noexcept {
+    return v[static_cast<std::size_t>(static_cast<int>(id))];
+  }
+  [[nodiscard]] double& operator[](FeatureId id) noexcept {
+    return v[static_cast<std::size_t>(static_cast<int>(id))];
+  }
+};
+
+/// Human-readable feature name ("nnz_max", "dispersion_sd", ...).
+[[nodiscard]] const char* feature_name(FeatureId id);
+
+/// Extract all features in one pass.  `cache_line_elems` defaults to the
+/// host's cache line (doubles per line) and `llc_bytes` to the host LLC;
+/// both are overridable for tests and cross-platform what-if analyses.
+[[nodiscard]] FeatureVector extract_features(const CsrMatrix& A,
+                                             std::size_t cache_line_elems = 0,
+                                             std::size_t llc_bytes = 0);
+
+/// True when any feature in `ids` requires the Θ(NNZ) gap scan
+/// (clustering_avg or misses_avg); everything else is Θ(N) per Table I.
+[[nodiscard]] bool needs_nnz_scan(const std::vector<FeatureId>& ids);
+
+/// Extract only the features in `ids` (others are left zero), skipping the
+/// Θ(NNZ) gap scan when `ids` permits — this realizes the Table I
+/// complexities and is what the feature-guided classifier's online phase
+/// calls, so an O(N) feature set really costs O(N).
+[[nodiscard]] FeatureVector extract_features_subset(
+    const CsrMatrix& A, const std::vector<FeatureId>& ids,
+    std::size_t cache_line_elems = 0, std::size_t llc_bytes = 0);
+
+/// The Θ(N) feature subset of Table IV (first row): nnz{min,max,sd}, bw_avg,
+/// dispersion{avg,sd}.
+[[nodiscard]] std::vector<FeatureId> on_feature_set();
+
+/// The Θ(NNZ) feature subset of Table IV (second row): size, bw{avg,sd},
+/// nnz{min,max,avg,sd}, misses_avg, dispersion_sd.
+[[nodiscard]] std::vector<FeatureId> onnz_feature_set();
+
+/// Project a FeatureVector onto a subset, in subset order (classifier input).
+[[nodiscard]] std::vector<double> project(const FeatureVector& f,
+                                          const std::vector<FeatureId>& ids);
+
+}  // namespace spmvopt::features

@@ -1,0 +1,364 @@
+#include "gen/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "support/rng.hpp"
+
+namespace spmvopt::gen {
+
+namespace {
+
+void require_positive(index_t n, const char* what) {
+  if (n <= 0) throw std::invalid_argument(std::string(what) + " must be > 0");
+}
+
+value_t random_value(Xoshiro256& rng) { return rng.uniform(0.1, 1.0); }
+
+/// Draw `k` distinct columns in [0, n) into `out` (small-k rejection).
+void distinct_columns(Xoshiro256& rng, index_t n, index_t k,
+                      std::vector<index_t>& out) {
+  out.clear();
+  if (k >= n) {
+    out.resize(static_cast<std::size_t>(n));
+    for (index_t j = 0; j < n; ++j) out[static_cast<std::size_t>(j)] = j;
+    return;
+  }
+  while (static_cast<index_t>(out.size()) < k) {
+    const auto c = static_cast<index_t>(rng.bounded(static_cast<std::uint64_t>(n)));
+    if (std::find(out.begin(), out.end(), c) == out.end()) out.push_back(c);
+  }
+  std::sort(out.begin(), out.end());
+}
+
+}  // namespace
+
+CsrMatrix dense(index_t n, std::uint64_t seed) {
+  require_positive(n, "dense: n");
+  Xoshiro256 rng(seed);
+  aligned_vector<index_t> rowptr(static_cast<std::size_t>(n) + 1);
+  aligned_vector<index_t> colind(static_cast<std::size_t>(n) *
+                                 static_cast<std::size_t>(n));
+  aligned_vector<value_t> values(colind.size());
+  for (index_t i = 0; i <= n; ++i)
+    rowptr[static_cast<std::size_t>(i)] = i * n;
+  std::size_t k = 0;
+  for (index_t i = 0; i < n; ++i)
+    for (index_t j = 0; j < n; ++j, ++k) {
+      colind[k] = j;
+      values[k] = random_value(rng);
+    }
+  return CsrMatrix(n, n, std::move(rowptr), std::move(colind), std::move(values));
+}
+
+CsrMatrix stencil_2d_5pt(index_t nx, index_t ny) {
+  require_positive(nx, "stencil_2d_5pt: nx");
+  require_positive(ny, "stencil_2d_5pt: ny");
+  const index_t n = nx * ny;
+  CooMatrix coo(n, n);
+  coo.reserve(static_cast<std::size_t>(n) * 5);
+  for (index_t y = 0; y < ny; ++y)
+    for (index_t x = 0; x < nx; ++x) {
+      const index_t i = y * nx + x;
+      coo.add(i, i, 4.0);
+      if (x > 0) coo.add(i, i - 1, -1.0);
+      if (x + 1 < nx) coo.add(i, i + 1, -1.0);
+      if (y > 0) coo.add(i, i - nx, -1.0);
+      if (y + 1 < ny) coo.add(i, i + nx, -1.0);
+    }
+  coo.compress();
+  return CsrMatrix::from_coo(coo);
+}
+
+CsrMatrix stencil_3d_7pt(index_t nx, index_t ny, index_t nz) {
+  require_positive(nx, "stencil_3d_7pt: nx");
+  require_positive(ny, "stencil_3d_7pt: ny");
+  require_positive(nz, "stencil_3d_7pt: nz");
+  const index_t n = nx * ny * nz;
+  CooMatrix coo(n, n);
+  coo.reserve(static_cast<std::size_t>(n) * 7);
+  for (index_t z = 0; z < nz; ++z)
+    for (index_t y = 0; y < ny; ++y)
+      for (index_t x = 0; x < nx; ++x) {
+        const index_t i = (z * ny + y) * nx + x;
+        coo.add(i, i, 6.0);
+        if (x > 0) coo.add(i, i - 1, -1.0);
+        if (x + 1 < nx) coo.add(i, i + 1, -1.0);
+        if (y > 0) coo.add(i, i - nx, -1.0);
+        if (y + 1 < ny) coo.add(i, i + nx, -1.0);
+        if (z > 0) coo.add(i, i - nx * ny, -1.0);
+        if (z + 1 < nz) coo.add(i, i + nx * ny, -1.0);
+      }
+  coo.compress();
+  return CsrMatrix::from_coo(coo);
+}
+
+CsrMatrix stencil_3d_27pt(index_t nx, index_t ny, index_t nz) {
+  require_positive(nx, "stencil_3d_27pt: nx");
+  require_positive(ny, "stencil_3d_27pt: ny");
+  require_positive(nz, "stencil_3d_27pt: nz");
+  const index_t n = nx * ny * nz;
+  CooMatrix coo(n, n);
+  coo.reserve(static_cast<std::size_t>(n) * 27);
+  for (index_t z = 0; z < nz; ++z)
+    for (index_t y = 0; y < ny; ++y)
+      for (index_t x = 0; x < nx; ++x) {
+        const index_t i = (z * ny + y) * nx + x;
+        for (index_t dz = -1; dz <= 1; ++dz)
+          for (index_t dy = -1; dy <= 1; ++dy)
+            for (index_t dx = -1; dx <= 1; ++dx) {
+              const index_t X = x + dx, Y = y + dy, Z = z + dz;
+              if (X < 0 || X >= nx || Y < 0 || Y >= ny || Z < 0 || Z >= nz)
+                continue;
+              const index_t j = (Z * ny + Y) * nx + X;
+              coo.add(i, j, i == j ? 26.0 : -1.0);
+            }
+      }
+  coo.compress();
+  return CsrMatrix::from_coo(coo);
+}
+
+CsrMatrix banded(index_t n, index_t half_bw, index_t nnz_per_row,
+                 std::uint64_t seed) {
+  require_positive(n, "banded: n");
+  require_positive(half_bw, "banded: half_bw");
+  require_positive(nnz_per_row, "banded: nnz_per_row");
+  Xoshiro256 rng(seed);
+  CooMatrix coo(n, n);
+  coo.reserve(static_cast<std::size_t>(n) * static_cast<std::size_t>(nnz_per_row + 1));
+  std::vector<index_t> cols;
+  for (index_t i = 0; i < n; ++i) {
+    const index_t lo = std::max<index_t>(0, i - half_bw);
+    const index_t hi = std::min<index_t>(n - 1, i + half_bw);
+    const index_t span = hi - lo + 1;
+    const index_t k = std::min(nnz_per_row, span);
+    cols.clear();
+    while (static_cast<index_t>(cols.size()) < k) {
+      const auto c =
+          lo + static_cast<index_t>(rng.bounded(static_cast<std::uint64_t>(span)));
+      if (std::find(cols.begin(), cols.end(), c) == cols.end()) cols.push_back(c);
+    }
+    bool has_diag = false;
+    for (index_t c : cols) {
+      if (c == i) { has_diag = true; continue; }
+      coo.add(i, c, -random_value(rng));
+    }
+    (void)has_diag;
+    coo.add(i, i, static_cast<value_t>(nnz_per_row) + 1.0);
+  }
+  coo.compress();
+  return CsrMatrix::from_coo(coo);
+}
+
+CsrMatrix random_uniform(index_t n, index_t nnz_per_row, std::uint64_t seed) {
+  require_positive(n, "random_uniform: n");
+  require_positive(nnz_per_row, "random_uniform: nnz_per_row");
+  Xoshiro256 rng(seed);
+  aligned_vector<index_t> rowptr(static_cast<std::size_t>(n) + 1);
+  std::vector<index_t> cols;
+  CooMatrix coo(n, n);
+  coo.reserve(static_cast<std::size_t>(n) * static_cast<std::size_t>(nnz_per_row));
+  for (index_t i = 0; i < n; ++i) {
+    distinct_columns(rng, n, nnz_per_row, cols);
+    for (index_t c : cols) coo.add(i, c, random_value(rng));
+  }
+  (void)rowptr;
+  coo.compress();
+  return CsrMatrix::from_coo(coo);
+}
+
+CsrMatrix rmat(int scale, index_t edge_factor, double a, double b, double c,
+               std::uint64_t seed) {
+  if (scale < 1 || scale > 28) throw std::invalid_argument("rmat: bad scale");
+  require_positive(edge_factor, "rmat: edge_factor");
+  const double d = 1.0 - a - b - c;
+  if (a < 0 || b < 0 || c < 0 || d < 0)
+    throw std::invalid_argument("rmat: probabilities must sum to <= 1");
+  const index_t n = static_cast<index_t>(1) << scale;
+  const std::size_t nedges =
+      static_cast<std::size_t>(n) * static_cast<std::size_t>(edge_factor);
+  Xoshiro256 rng(seed);
+  CooMatrix coo(n, n);
+  coo.reserve(nedges);
+  for (std::size_t e = 0; e < nedges; ++e) {
+    index_t row = 0, col = 0;
+    for (int level = 0; level < scale; ++level) {
+      const double r = rng.uniform();
+      row <<= 1;
+      col <<= 1;
+      if (r < a) {
+        // top-left quadrant
+      } else if (r < a + b) {
+        col |= 1;
+      } else if (r < a + b + c) {
+        row |= 1;
+      } else {
+        row |= 1;
+        col |= 1;
+      }
+    }
+    coo.add(row, col, random_value(rng));
+  }
+  coo.compress();
+  return CsrMatrix::from_coo(coo);
+}
+
+CsrMatrix power_law(index_t n, index_t avg_nnz, double alpha,
+                    std::uint64_t seed) {
+  require_positive(n, "power_law: n");
+  require_positive(avg_nnz, "power_law: avg_nnz");
+  if (alpha <= 1.0) throw std::invalid_argument("power_law: alpha must be > 1");
+  Xoshiro256 rng(seed);
+  // Row lengths ~ Pareto with shape alpha, scaled so the sample mean lands
+  // near avg_nnz: draw u ∈ (0,1], len = ceil(x_m * u^{-1/alpha}); the Pareto
+  // mean is x_m * alpha/(alpha-1), so x_m = avg * (alpha-1)/alpha.
+  const double xm =
+      std::max(1.0, static_cast<double>(avg_nnz) * (alpha - 1.0) / alpha);
+  CooMatrix coo(n, n);
+  coo.reserve(static_cast<std::size_t>(n) * static_cast<std::size_t>(avg_nnz));
+  std::vector<index_t> cols;
+  for (index_t i = 0; i < n; ++i) {
+    const double u = 1.0 - rng.uniform();  // (0, 1]
+    double lenf = xm * std::pow(u, -1.0 / alpha);
+    lenf = std::min(lenf, static_cast<double>(n));
+    const auto len = static_cast<index_t>(std::max(1.0, std::ceil(lenf)));
+    if (len <= 16) {
+      distinct_columns(rng, n, len, cols);
+      for (index_t c : cols) coo.add(i, c, random_value(rng));
+    } else {
+      // Long rows: allow (rare) duplicates, summed by compress().
+      for (index_t k = 0; k < len; ++k)
+        coo.add(i, static_cast<index_t>(rng.bounded(static_cast<std::uint64_t>(n))),
+                random_value(rng));
+    }
+  }
+  coo.compress();
+  return CsrMatrix::from_coo(coo);
+}
+
+CsrMatrix few_dense_rows(index_t n, index_t base_nnz, index_t num_dense,
+                         index_t dense_len, std::uint64_t seed) {
+  require_positive(n, "few_dense_rows: n");
+  require_positive(base_nnz, "few_dense_rows: base_nnz");
+  if (num_dense < 0 || num_dense > n)
+    throw std::invalid_argument("few_dense_rows: bad num_dense");
+  require_positive(dense_len, "few_dense_rows: dense_len");
+  Xoshiro256 rng(seed);
+  CooMatrix coo(n, n);
+  coo.reserve(static_cast<std::size_t>(n) * static_cast<std::size_t>(base_nnz) +
+              static_cast<std::size_t>(num_dense) *
+                  static_cast<std::size_t>(dense_len));
+  std::vector<index_t> cols;
+  // Dense rows spread evenly through the matrix.
+  std::vector<bool> is_dense(static_cast<std::size_t>(n), false);
+  for (index_t k = 0; k < num_dense; ++k) {
+    const index_t row = static_cast<index_t>(
+        (static_cast<std::int64_t>(k) * n) / std::max<index_t>(1, num_dense));
+    is_dense[static_cast<std::size_t>(row)] = true;
+  }
+  for (index_t i = 0; i < n; ++i) {
+    if (is_dense[static_cast<std::size_t>(i)]) {
+      const index_t len = std::min(dense_len, n);
+      // Contiguous run starting at a random offset: dense rows in circuit
+      // matrices hit long column ranges.
+      const index_t start = static_cast<index_t>(
+          rng.bounded(static_cast<std::uint64_t>(n - len + 1)));
+      for (index_t c = start; c < start + len; ++c)
+        coo.add(i, c, random_value(rng));
+    } else {
+      distinct_columns(rng, std::min<index_t>(n, 2 * base_nnz + 1),
+                       std::min<index_t>(base_nnz, n), cols);
+      // Band the short rows near the diagonal (circuit signature).
+      for (index_t c : cols) {
+        index_t col = i - base_nnz + c;
+        col = std::clamp<index_t>(col, 0, n - 1);
+        coo.add(i, col, random_value(rng));
+      }
+    }
+  }
+  coo.compress();
+  return CsrMatrix::from_coo(coo);
+}
+
+CsrMatrix short_rows(index_t n, double avg_nnz, std::uint64_t seed) {
+  require_positive(n, "short_rows: n");
+  if (avg_nnz <= 0) throw std::invalid_argument("short_rows: avg_nnz <= 0");
+  Xoshiro256 rng(seed);
+  CooMatrix coo(n, n);
+  coo.reserve(static_cast<std::size_t>(static_cast<double>(n) * avg_nnz));
+  for (index_t i = 0; i < n; ++i) {
+    // Geometric-ish row lengths: most rows 0-3 entries, occasional hub.
+    index_t len = 0;
+    double p = avg_nnz / (avg_nnz + 1.0);
+    while (rng.uniform() < p && len < n) {
+      ++len;
+      p *= 0.9;  // thin the tail
+    }
+    if (rng.uniform() < 0.001) len = std::min<index_t>(n, len + 200);  // hubs
+    for (index_t k = 0; k < len; ++k)
+      coo.add(i, static_cast<index_t>(rng.bounded(static_cast<std::uint64_t>(n))),
+              random_value(rng));
+  }
+  coo.compress();
+  return CsrMatrix::from_coo(coo);
+}
+
+CsrMatrix block_diagonal_dense(index_t n, index_t block, std::uint64_t seed) {
+  require_positive(n, "block_diagonal_dense: n");
+  require_positive(block, "block_diagonal_dense: block");
+  Xoshiro256 rng(seed);
+  CooMatrix coo(n, n);
+  coo.reserve(static_cast<std::size_t>(n) * static_cast<std::size_t>(block));
+  for (index_t b = 0; b < n; b += block) {
+    const index_t hi = std::min<index_t>(n, b + block);
+    for (index_t i = b; i < hi; ++i)
+      for (index_t j = b; j < hi; ++j)
+        coo.add(i, j, i == j ? static_cast<value_t>(block) : -random_value(rng));
+  }
+  coo.compress();
+  return CsrMatrix::from_coo(coo);
+}
+
+CsrMatrix diagonal(index_t n, value_t value) {
+  require_positive(n, "diagonal: n");
+  aligned_vector<index_t> rowptr(static_cast<std::size_t>(n) + 1);
+  aligned_vector<index_t> colind(static_cast<std::size_t>(n));
+  aligned_vector<value_t> values(static_cast<std::size_t>(n), value);
+  for (index_t i = 0; i <= n; ++i) rowptr[static_cast<std::size_t>(i)] = i;
+  for (index_t i = 0; i < n; ++i) colind[static_cast<std::size_t>(i)] = i;
+  return CsrMatrix(n, n, std::move(rowptr), std::move(colind), std::move(values));
+}
+
+CsrMatrix make_diagonally_dominant(const CsrMatrix& csr, value_t margin) {
+  if (csr.nrows() != csr.ncols())
+    throw std::invalid_argument("make_diagonally_dominant: matrix not square");
+  CooMatrix coo(csr.nrows(), csr.ncols());
+  for (index_t i = 0; i < csr.nrows(); ++i) {
+    value_t off_sum = 0.0;
+    bool has_diag = false;
+    for (index_t j = csr.rowptr()[i]; j < csr.rowptr()[i + 1]; ++j) {
+      const index_t c = csr.colind()[j];
+      const value_t v = csr.values()[j];
+      if (c == i) {
+        has_diag = true;
+        continue;  // replaced below
+      }
+      off_sum += std::abs(v);
+      coo.add(i, c, v);
+    }
+    (void)has_diag;
+    coo.add(i, i, off_sum + margin);
+  }
+  coo.compress();
+  return CsrMatrix::from_coo(coo);
+}
+
+std::vector<value_t> test_vector(index_t n, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<value_t> x(static_cast<std::size_t>(n));
+  for (auto& v : x) v = rng.uniform(0.5, 1.5);
+  return x;
+}
+
+}  // namespace spmvopt::gen

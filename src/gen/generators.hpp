@@ -1,0 +1,83 @@
+// Synthetic sparse-matrix generators.
+//
+// Each generator produces a family with a controlled structural signature so
+// that together they span the paper's bottleneck classes (DESIGN.md §3):
+//   * stencils / banded        → regular access, bandwidth-bound (MB)
+//   * uniform random columns   → irregular access, latency-bound (ML)
+//   * power-law row lengths    → workload imbalance (IMB)
+//   * few dense rows / tiny    → computational bottlenecks (CMP)
+// All generators are deterministic for a given seed (xoshiro256**).
+#pragma once
+
+#include <vector>
+
+#include "sparse/csr.hpp"
+#include "support/types.hpp"
+
+namespace spmvopt::gen {
+
+/// Fully dense n×n stored as sparse ("small-dense"/"large-dense" in Fig. 1).
+[[nodiscard]] CsrMatrix dense(index_t n, std::uint64_t seed = 1);
+
+/// 2-D 5-point Poisson stencil on an nx×ny grid (parabolic_fem-like); SPD.
+[[nodiscard]] CsrMatrix stencil_2d_5pt(index_t nx, index_t ny);
+
+/// 3-D 7-point Poisson stencil on an nx×ny×nz grid (poisson3Db-like); SPD.
+[[nodiscard]] CsrMatrix stencil_3d_7pt(index_t nx, index_t ny, index_t nz);
+
+/// 3-D 27-point stencil (FEM_3D_thermal2-like, denser rows); SPD.
+[[nodiscard]] CsrMatrix stencil_3d_27pt(index_t nx, index_t ny, index_t nz);
+
+/// Random banded matrix: each row gets `nnz_per_row` entries uniformly inside
+/// a band of half-width `half_bw` around the diagonal (pkustk/boneS10-like
+/// FEM signature). Symmetrized, diagonally dominated (usable for CG).
+[[nodiscard]] CsrMatrix banded(index_t n, index_t half_bw, index_t nnz_per_row,
+                               std::uint64_t seed = 1);
+
+/// Uniform random: every row has exactly `nnz_per_row` entries at uniformly
+/// random columns (delaunay/ins2-like irregularity → ML class).
+[[nodiscard]] CsrMatrix random_uniform(index_t n, index_t nnz_per_row,
+                                       std::uint64_t seed = 1);
+
+/// Scale-free graph adjacency via the RMAT recursive process
+/// (web-Google / citation-network signature). `scale` ⇒ n = 2^scale rows,
+/// nnz ≈ n * edge_factor.
+[[nodiscard]] CsrMatrix rmat(int scale, index_t edge_factor, double a, double b,
+                             double c, std::uint64_t seed = 1);
+
+/// Row lengths drawn from a Zipf/power-law with exponent `alpha` and mean
+/// ≈ avg_nnz; columns uniform (flickr/wikipedia-like: IMB + ML).
+[[nodiscard]] CsrMatrix power_law(index_t n, index_t avg_nnz, double alpha,
+                                  std::uint64_t seed = 1);
+
+/// Mostly-diagonal matrix with `num_dense` rows of `dense_len` nonzeros
+/// (ASIC_680k / rajat30 / FullChip signature: nnz concentrated in a few
+/// dense rows → IMB + CMP).
+[[nodiscard]] CsrMatrix few_dense_rows(index_t n, index_t base_nnz,
+                                       index_t num_dense, index_t dense_len,
+                                       std::uint64_t seed = 1);
+
+/// Web-crawl-like: very short rows (average ≈ `avg_nnz`, many empty or
+/// 1-element rows, a power-law tail) → loop-overhead / CMP signature
+/// (webbase-1M).
+[[nodiscard]] CsrMatrix short_rows(index_t n, double avg_nnz,
+                                   std::uint64_t seed = 1);
+
+/// Dense `block`×`block` blocks along the diagonal (nd24k-like: long dense
+/// rows, high flop:byte → MB/CMP).
+[[nodiscard]] CsrMatrix block_diagonal_dense(index_t n, index_t block,
+                                             std::uint64_t seed = 1);
+
+/// Identity-like diagonal matrix (degenerate edge case).
+[[nodiscard]] CsrMatrix diagonal(index_t n, value_t value = 1.0);
+
+/// Make a square CSR matrix strictly diagonally dominant in place (adds a
+/// diagonal entry where missing): turns any generated pattern into a matrix
+/// CG/GMRES converge on.
+[[nodiscard]] CsrMatrix make_diagonally_dominant(const CsrMatrix& csr,
+                                                 value_t margin = 1.0);
+
+/// Deterministic dense input vector for benchmarks: x[i] ∈ [0.5, 1.5).
+[[nodiscard]] std::vector<value_t> test_vector(index_t n, std::uint64_t seed = 7);
+
+}  // namespace spmvopt::gen

@@ -1,0 +1,230 @@
+#include "gen/suite.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "gen/generators.hpp"
+
+namespace spmvopt::gen {
+
+namespace {
+
+index_t scaled(index_t n, double scale) {
+  return std::max<index_t>(8, static_cast<index_t>(std::lround(n * scale)));
+}
+
+}  // namespace
+
+std::vector<SuiteEntry> evaluation_suite(double scale) {
+  if (scale <= 0.0 || scale > 1.0)
+    throw std::invalid_argument("evaluation_suite: scale must be in (0, 1]");
+  const double s = scale;            // linear dimension factor
+  const double s3 = std::cbrt(scale);  // for 3-D grids (volume ~ scale)
+  const double s2 = std::sqrt(scale);  // for 2-D grids
+
+  std::vector<SuiteEntry> suite;
+  auto add = [&suite](std::string name, std::string family,
+                      std::function<CsrMatrix()> make) {
+    suite.push_back({std::move(name), std::move(family), std::move(make)});
+  };
+
+  // Paper order (x-axis of Fig. 1 / 3 / 7). Each entry names the UF matrix
+  // it stands in for; the generator reproduces its structural signature.
+  add("small-dense", "dense", [=] { return dense(scaled(384, s2)); });
+  add("poisson3Db", "stencil3d7", [=] {
+    const index_t g = scaled(44, s3);
+    return stencil_3d_7pt(g, g, g);
+  });
+  add("citationCiteseer", "rmat",
+      [=] { return rmat(s < 0.75 ? 15 : 17, 7, 0.45, 0.20, 0.20, 11); });
+  add("pkustk08", "banded",
+      [=] { return banded(scaled(28000, s), 400, 36, 12); });
+  add("ins2", "random_uniform",
+      [=] { return random_uniform(scaled(110000, s), 9, 13); });
+  add("FEM_3D_thermal2", "stencil3d27", [=] {
+    const index_t g = scaled(31, s3);
+    return stencil_3d_27pt(g, g, g);
+  });
+  add("delaunay_n19", "random_uniform",
+      [=] { return random_uniform(scaled(180000, s), 6, 14); });
+  add("barrier2-12", "banded",
+      [=] { return banded(scaled(100000, s), 150, 12, 15); });
+  add("parabolic_fem", "stencil2d5", [=] {
+    const index_t g = scaled(560, s2);
+    return stencil_2d_5pt(g, g);
+  });
+  add("offshore", "banded",
+      [=] { return banded(scaled(110000, s), 2000, 18, 16); });
+  add("webbase-1M", "short_rows",
+      [=] { return short_rows(scaled(280000, s), 3.1, 17); });
+  add("ASIC_680k", "few_dense_rows", [=] {
+    const index_t n = scaled(180000, s);
+    return few_dense_rows(n, 3, 10, std::min<index_t>(n, 70000), 18);
+  });
+  add("consph", "banded",
+      [=] { return banded(scaled(60000, s), 300, 40, 19); });
+  add("amazon-2008", "rmat",
+      [=] { return rmat(s < 0.75 ? 15 : 17, 9, 0.50, 0.20, 0.20, 20); });
+  add("web-Google", "rmat",
+      [=] { return rmat(s < 0.75 ? 16 : 18, 6, 0.57, 0.19, 0.19, 21); });
+  add("rajat30", "few_dense_rows", [=] {
+    const index_t n = scaled(140000, s);
+    return few_dense_rows(n, 3, 6, std::min<index_t>(n, 100000), 22);
+  });
+  add("degme", "few_dense_rows", [=] {
+    const index_t n = scaled(110000, s);
+    return few_dense_rows(n, 2, 8, std::min<index_t>(n, 55000), 23);
+  });
+  add("pattern1", "block_dense",
+      [=] { return block_diagonal_dense(scaled(8000, s), 250, 24); });
+  add("G3_circuit", "stencil2d5", [=] {
+    const index_t g = scaled(690, s2);
+    return stencil_2d_5pt(g, g);
+  });
+  add("thermal2", "banded",
+      [=] { return banded(scaled(330000, s), 2000, 7, 25); });
+  add("flickr", "power_law",
+      [=] { return power_law(scaled(260000, s), 14, 1.8, 26); });
+  add("SiO2", "banded",
+      [=] { return banded(scaled(80000, s), 800, 38, 27); });
+  add("TSOPF_RS_b2383", "block_dense",
+      [=] { return block_diagonal_dense(scaled(9000, s), 200, 28); });
+  add("Ga41As41H72", "power_law",
+      [=] { return power_law(scaled(85000, s), 40, 2.5, 29); });
+  add("eu-2005", "rmat",
+      [=] { return rmat(s < 0.75 ? 16 : 18, 11, 0.55, 0.20, 0.15, 30); });
+  add("wikipedia-20051105", "power_law",
+      [=] { return power_law(scaled(360000, s), 12, 1.7, 31); });
+  add("human_gene1", "power_law",
+      [=] { return power_law(scaled(20000, s), 150, 2.2, 32); });
+  add("nd24k", "block_dense",
+      [=] { return block_diagonal_dense(scaled(13000, s), 180, 33); });
+  add("FullChip", "few_dense_rows", [=] {
+    const index_t n = scaled(220000, s);
+    return few_dense_rows(n, 3, 4, std::min<index_t>(n, 150000), 34);
+  });
+  add("boneS10", "banded",
+      [=] { return banded(scaled(110000, s), 300, 40, 35); });
+  add("circuit5M", "few_dense_rows", [=] {
+    const index_t n = scaled(260000, s);
+    return few_dense_rows(n, 3, 28, std::min<index_t>(n, 40000), 36);
+  });
+  add("large-dense", "dense", [=] { return dense(scaled(1800, s2)); });
+
+  return suite;
+}
+
+std::vector<SuiteEntry> test_suite() {
+  std::vector<SuiteEntry> suite;
+  auto add = [&suite](std::string name, std::string family,
+                      std::function<CsrMatrix()> make) {
+    suite.push_back({std::move(name), std::move(family), std::move(make)});
+  };
+  add("tiny-dense", "dense", [] { return dense(48); });
+  add("tiny-poisson2d", "stencil2d5", [] { return stencil_2d_5pt(24, 24); });
+  add("tiny-poisson3d", "stencil3d7", [] { return stencil_3d_7pt(9, 9, 9); });
+  add("tiny-banded", "banded", [] { return banded(800, 40, 9, 5); });
+  add("tiny-random", "random_uniform", [] { return random_uniform(700, 7, 6); });
+  add("tiny-rmat", "rmat", [] { return rmat(9, 8, 0.55, 0.2, 0.15, 7); });
+  add("tiny-powerlaw", "power_law", [] { return power_law(900, 10, 1.9, 8); });
+  add("tiny-fewdense", "few_dense_rows",
+      [] { return few_dense_rows(1000, 3, 4, 700, 9); });
+  add("tiny-shortrows", "short_rows", [] { return short_rows(1200, 2.5, 10); });
+  add("tiny-blockdense", "block_dense",
+      [] { return block_diagonal_dense(512, 32, 11); });
+  add("tiny-diagonal", "diagonal", [] { return diagonal(640); });
+  return suite;
+}
+
+std::vector<SuiteEntry> training_pool(int count) {
+  if (count < 1) throw std::invalid_argument("training_pool: count < 1");
+  std::vector<SuiteEntry> pool;
+  pool.reserve(static_cast<std::size_t>(count));
+  // Ten families, cycled; parameters vary deterministically with k so the
+  // pool covers each family's parameter range.
+  for (int k = 0; k < count; ++k) {
+    const std::uint64_t seed = 1000 + static_cast<std::uint64_t>(k);
+    const int fam = k % 10;
+    const int step = k / 10;  // 0..20 for count=210
+    std::string name = "train-" + std::to_string(k);
+    switch (fam) {
+      case 0: {
+        const index_t g = static_cast<index_t>(10 + 2 * step);  // 3d grid
+        pool.push_back({name, "stencil3d7",
+                        [g] { return stencil_3d_7pt(g, g, g); }});
+        break;
+      }
+      case 1: {
+        const index_t g = static_cast<index_t>(40 + 12 * step);
+        pool.push_back({name, "stencil2d5",
+                        [g] { return stencil_2d_5pt(g, g); }});
+        break;
+      }
+      case 2: {
+        const index_t n = static_cast<index_t>(2000 + 1500 * step);
+        const index_t bw = static_cast<index_t>(20 + 30 * step);
+        const index_t nnz = static_cast<index_t>(6 + 2 * (step % 8));
+        pool.push_back({name, "banded",
+                        [=] { return banded(n, bw, nnz, seed); }});
+        break;
+      }
+      case 3: {
+        const index_t n = static_cast<index_t>(3000 + 2500 * step);
+        const index_t nnz = static_cast<index_t>(4 + (step % 10));
+        pool.push_back({name, "random_uniform",
+                        [=] { return random_uniform(n, nnz, seed); }});
+        break;
+      }
+      case 4: {
+        const int scale = 10 + (step % 5);
+        const index_t ef = static_cast<index_t>(6 + (step % 6));
+        pool.push_back({name, "rmat", [=] {
+                          return rmat(scale, ef, 0.5, 0.2, 0.2, seed);
+                        }});
+        break;
+      }
+      case 5: {
+        const index_t n = static_cast<index_t>(4000 + 2500 * step);
+        const index_t avg = static_cast<index_t>(8 + (step % 12));
+        const double alpha = 1.6 + 0.1 * (step % 8);
+        pool.push_back({name, "power_law",
+                        [=] { return power_law(n, avg, alpha, seed); }});
+        break;
+      }
+      case 6: {
+        const index_t n = static_cast<index_t>(5000 + 3000 * step);
+        const index_t dense_rows = static_cast<index_t>(2 + (step % 6));
+        const index_t dense_len = std::min<index_t>(n, static_cast<index_t>(
+            n / 2 + 100 * step));
+        pool.push_back({name, "few_dense_rows", [=] {
+                          return few_dense_rows(n, 3, dense_rows, dense_len, seed);
+                        }});
+        break;
+      }
+      case 7: {
+        const index_t n = static_cast<index_t>(6000 + 3000 * step);
+        const double avg = 2.0 + 0.3 * (step % 6);
+        pool.push_back({name, "short_rows",
+                        [=] { return short_rows(n, avg, seed); }});
+        break;
+      }
+      case 8: {
+        const index_t n = static_cast<index_t>(512 + 256 * step);
+        const index_t block = static_cast<index_t>(24 + 12 * (step % 8));
+        pool.push_back({name, "block_dense", [=] {
+                          return block_diagonal_dense(n, block, seed);
+                        }});
+        break;
+      }
+      default: {
+        const index_t n = static_cast<index_t>(64 + 32 * step);
+        pool.push_back({name, "dense", [=] { return dense(n, seed); }});
+        break;
+      }
+    }
+  }
+  return pool;
+}
+
+}  // namespace spmvopt::gen

@@ -1,0 +1,36 @@
+// The matrix suites of the paper, rebuilt synthetically (DESIGN.md §3).
+//
+// * `evaluation_suite()` — stand-ins for the ~30 UF matrices on the x-axis of
+//   Fig. 1 / Fig. 3 / Fig. 7, in paper order, each generated with the
+//   structural signature of its namesake (size scaled to laptop memory).
+// * `training_pool()` — stand-in for the 210-matrix training set of the
+//   feature-guided classifier (§III-D2): a sweep over all generator families
+//   and parameter ranges.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sparse/csr.hpp"
+
+namespace spmvopt::gen {
+
+struct SuiteEntry {
+  std::string name;       ///< matrix name as it appears in the paper's plots
+  std::string family;     ///< generator family (for the substitution table)
+  std::function<CsrMatrix()> make;  ///< builds the matrix on demand
+};
+
+/// The Fig. 1/3/7 evaluation suite.  `scale` in (0, 1] shrinks dimensions for
+/// quick runs (quick mode uses 0.35).
+[[nodiscard]] std::vector<SuiteEntry> evaluation_suite(double scale = 1.0);
+
+/// A small deterministic subset of the evaluation suite for unit tests.
+[[nodiscard]] std::vector<SuiteEntry> test_suite();
+
+/// The classifier training pool: `count` generated matrices sweeping all
+/// families. Matrices are small (1e3–3e4 rows) so labeling is fast.
+[[nodiscard]] std::vector<SuiteEntry> training_pool(int count = 210);
+
+}  // namespace spmvopt::gen

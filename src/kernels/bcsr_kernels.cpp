@@ -1,0 +1,78 @@
+#include "kernels/bcsr_kernels.hpp"
+
+#include <algorithm>
+
+namespace spmvopt::kernels {
+
+namespace {
+
+/// Full blocks only (callers route edge block rows to the generic path).
+template <int BR, int BC>
+inline void block_row_fixed(const BcsrMatrix& A, index_t bi, const value_t* x,
+                            value_t* y) noexcept {
+  const index_t* blockind = A.blockind();
+  const value_t* values = A.values();
+  value_t acc[BR] = {};
+  for (index_t b = A.blockptr()[bi]; b < A.blockptr()[bi + 1]; ++b) {
+    const value_t* blk = values + static_cast<std::size_t>(b) * (BR * BC);
+    const value_t* xv = x + blockind[b] * BC;
+    for (int r = 0; r < BR; ++r)
+      for (int c = 0; c < BC; ++c) acc[r] += blk[r * BC + c] * xv[c];
+  }
+  value_t* yv = y + bi * BR;
+  for (int r = 0; r < BR; ++r) yv[r] = acc[r];
+}
+
+void block_row_generic(const BcsrMatrix& A, index_t bi, const value_t* x,
+                       value_t* y) noexcept {
+  const index_t br = A.block_rows();
+  const index_t bc = A.block_cols();
+  const index_t r0 = bi * br;
+  const index_t live_rows = std::min<index_t>(A.nrows() - r0, br);
+  value_t acc[8] = {};
+  for (index_t b = A.blockptr()[bi]; b < A.blockptr()[bi + 1]; ++b) {
+    const index_t c0 = A.blockind()[b] * bc;
+    const value_t* blk = A.values() + static_cast<std::size_t>(b) *
+                                          static_cast<std::size_t>(br * bc);
+    const index_t live_cols = std::min<index_t>(A.ncols() - c0, bc);
+    for (index_t r = 0; r < live_rows; ++r)
+      for (index_t c = 0; c < live_cols; ++c)
+        acc[r] += blk[r * bc + c] * x[c0 + c];
+  }
+  for (index_t r = 0; r < live_rows; ++r) y[r0 + r] = acc[r];
+}
+
+/// Number of leading block rows that are full in both dimensions (the last
+/// block row may hang over the matrix edge; blocks overhanging the right
+/// edge only exist in that same tail when ncols % bc != 0 — but a *column*
+/// overhang can occur anywhere, so the fast path also requires ncols % bc == 0).
+index_t fast_block_rows(const BcsrMatrix& A) noexcept {
+  if (A.ncols() % A.block_cols() != 0) return 0;
+  return A.nrows() / A.block_rows();
+}
+
+}  // namespace
+
+void spmv_bcsr(const BcsrMatrix& A, const value_t* x, value_t* y) noexcept {
+  const index_t nbrows = A.num_block_rows();
+  const index_t fast = fast_block_rows(A);
+  const index_t br = A.block_rows();
+  const index_t bc = A.block_cols();
+
+  if (br == 2 && bc == 2) {
+#pragma omp parallel for schedule(static)
+    for (index_t bi = 0; bi < fast; ++bi) block_row_fixed<2, 2>(A, bi, x, y);
+  } else if (br == 4 && bc == 4) {
+#pragma omp parallel for schedule(static)
+    for (index_t bi = 0; bi < fast; ++bi) block_row_fixed<4, 4>(A, bi, x, y);
+  } else if (br == 8 && bc == 8) {
+#pragma omp parallel for schedule(static)
+    for (index_t bi = 0; bi < fast; ++bi) block_row_fixed<8, 8>(A, bi, x, y);
+  } else {
+#pragma omp parallel for schedule(static)
+    for (index_t bi = 0; bi < fast; ++bi) block_row_generic(A, bi, x, y);
+  }
+  for (index_t bi = fast; bi < nbrows; ++bi) block_row_generic(A, bi, x, y);
+}
+
+}  // namespace spmvopt::kernels

@@ -1,0 +1,16 @@
+// Parallel SpMV over register-blocked CSR.
+//
+// R accumulators live in registers for the whole block row; x is read
+// contiguously per block (the register-blocking win of OSKI [26]).
+// Specialized inner loops exist for the common 2x2 and 4x4 shapes; other
+// shapes use the generic loop.
+#pragma once
+
+#include "sparse/bcsr.hpp"
+
+namespace spmvopt::kernels {
+
+/// y = A * x, parallel over block rows.
+void spmv_bcsr(const BcsrMatrix& A, const value_t* x, value_t* y) noexcept;
+
+}  // namespace spmvopt::kernels

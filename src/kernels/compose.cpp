@@ -1,0 +1,185 @@
+#include "kernels/compose.hpp"
+
+#include <omp.h>
+
+#include <stdexcept>
+
+namespace spmvopt::kernels {
+
+namespace {
+
+template <Sched S, bool PF, Compute C>
+void csr_kernel_t(const CsrMatrix& A, const RowPartition& part,
+                  const value_t* x, value_t* y, index_t pf_dist, int chunk) {
+  const index_t* rowptr = A.rowptr();
+  const index_t* colind = A.colind();
+  const value_t* vals = A.values();
+  const index_t n = A.nrows();
+  if constexpr (S == Sched::BalancedStatic) {
+    (void)chunk;
+#pragma omp parallel num_threads(part.nthreads())
+    {
+      const int t = omp_get_thread_num();
+      const index_t lo = part.bounds[static_cast<std::size_t>(t)];
+      const index_t hi = part.bounds[static_cast<std::size_t>(t) + 1];
+      for (index_t i = lo; i < hi; ++i)
+        y[i] = row_sum<C, PF>(vals + rowptr[i], colind + rowptr[i],
+                              rowptr[i + 1] - rowptr[i], x, pf_dist);
+    }
+  } else if constexpr (S == Sched::Auto) {
+    (void)part;
+    (void)chunk;
+#pragma omp parallel for schedule(auto)
+    for (index_t i = 0; i < n; ++i)
+      y[i] = row_sum<C, PF>(vals + rowptr[i], colind + rowptr[i],
+                            rowptr[i + 1] - rowptr[i], x, pf_dist);
+  } else {
+    (void)part;
+#pragma omp parallel for schedule(dynamic, chunk)
+    for (index_t i = 0; i < n; ++i)
+      y[i] = row_sum<C, PF>(vals + rowptr[i], colind + rowptr[i],
+                            rowptr[i + 1] - rowptr[i], x, pf_dist);
+  }
+}
+
+template <Sched S, bool PF, Compute C, class DeltaT>
+void delta_rows(const DeltaCsrMatrix& A, const DeltaT* deltas,
+                const RowPartition& part, const value_t* x, value_t* y,
+                index_t pf_dist, int chunk) {
+  const index_t* rowptr = A.rowptr();
+  const index_t* bases = A.bases();
+  const value_t* vals = A.values();
+  const index_t n = A.nrows();
+  if constexpr (S == Sched::BalancedStatic) {
+    (void)chunk;
+#pragma omp parallel num_threads(part.nthreads())
+    {
+      const int t = omp_get_thread_num();
+      const index_t lo = part.bounds[static_cast<std::size_t>(t)];
+      const index_t hi = part.bounds[static_cast<std::size_t>(t) + 1];
+      for (index_t i = lo; i < hi; ++i)
+        y[i] = row_sum_delta<C, PF>(vals + rowptr[i], deltas + rowptr[i],
+                                    bases[i], rowptr[i + 1] - rowptr[i], x,
+                                    pf_dist);
+    }
+  } else if constexpr (S == Sched::Auto) {
+    (void)part;
+    (void)chunk;
+#pragma omp parallel for schedule(auto)
+    for (index_t i = 0; i < n; ++i)
+      y[i] = row_sum_delta<C, PF>(vals + rowptr[i], deltas + rowptr[i],
+                                  bases[i], rowptr[i + 1] - rowptr[i], x,
+                                  pf_dist);
+  } else {
+    (void)part;
+#pragma omp parallel for schedule(dynamic, chunk)
+    for (index_t i = 0; i < n; ++i)
+      y[i] = row_sum_delta<C, PF>(vals + rowptr[i], deltas + rowptr[i],
+                                  bases[i], rowptr[i + 1] - rowptr[i], x,
+                                  pf_dist);
+  }
+}
+
+template <Sched S, bool PF, Compute C>
+void delta_kernel_t(const DeltaCsrMatrix& A, const RowPartition& part,
+                    const value_t* x, value_t* y, index_t pf_dist, int chunk) {
+  if (A.width() == DeltaWidth::U8)
+    delta_rows<S, PF, C>(A, A.deltas8(), part, x, y, pf_dist, chunk);
+  else
+    delta_rows<S, PF, C>(A, A.deltas16(), part, x, y, pf_dist, chunk);
+}
+
+template <template <Sched, bool, Compute> class KernelT, class Fn>
+Fn select(Sched sched, bool prefetch, Compute compute) {
+  // 3 x 2 x 3 instantiations, resolved by a nested switch.
+  switch (sched) {
+    case Sched::BalancedStatic:
+      if (prefetch) {
+        switch (compute) {
+          case Compute::Scalar: return KernelT<Sched::BalancedStatic, true, Compute::Scalar>::fn;
+          case Compute::Vector: return KernelT<Sched::BalancedStatic, true, Compute::Vector>::fn;
+          case Compute::UnrollVector: return KernelT<Sched::BalancedStatic, true, Compute::UnrollVector>::fn;
+        }
+      } else {
+        switch (compute) {
+          case Compute::Scalar: return KernelT<Sched::BalancedStatic, false, Compute::Scalar>::fn;
+          case Compute::Vector: return KernelT<Sched::BalancedStatic, false, Compute::Vector>::fn;
+          case Compute::UnrollVector: return KernelT<Sched::BalancedStatic, false, Compute::UnrollVector>::fn;
+        }
+      }
+      break;
+    case Sched::Auto:
+      if (prefetch) {
+        switch (compute) {
+          case Compute::Scalar: return KernelT<Sched::Auto, true, Compute::Scalar>::fn;
+          case Compute::Vector: return KernelT<Sched::Auto, true, Compute::Vector>::fn;
+          case Compute::UnrollVector: return KernelT<Sched::Auto, true, Compute::UnrollVector>::fn;
+        }
+      } else {
+        switch (compute) {
+          case Compute::Scalar: return KernelT<Sched::Auto, false, Compute::Scalar>::fn;
+          case Compute::Vector: return KernelT<Sched::Auto, false, Compute::Vector>::fn;
+          case Compute::UnrollVector: return KernelT<Sched::Auto, false, Compute::UnrollVector>::fn;
+        }
+      }
+      break;
+    case Sched::Dynamic:
+      if (prefetch) {
+        switch (compute) {
+          case Compute::Scalar: return KernelT<Sched::Dynamic, true, Compute::Scalar>::fn;
+          case Compute::Vector: return KernelT<Sched::Dynamic, true, Compute::Vector>::fn;
+          case Compute::UnrollVector: return KernelT<Sched::Dynamic, true, Compute::UnrollVector>::fn;
+        }
+      } else {
+        switch (compute) {
+          case Compute::Scalar: return KernelT<Sched::Dynamic, false, Compute::Scalar>::fn;
+          case Compute::Vector: return KernelT<Sched::Dynamic, false, Compute::Vector>::fn;
+          case Compute::UnrollVector: return KernelT<Sched::Dynamic, false, Compute::UnrollVector>::fn;
+        }
+      }
+      break;
+  }
+  throw std::invalid_argument("select_kernel: invalid configuration");
+}
+
+template <Sched S, bool PF, Compute C>
+struct CsrKernel {
+  static constexpr CsrKernelFn fn = &csr_kernel_t<S, PF, C>;
+};
+
+template <Sched S, bool PF, Compute C>
+struct DeltaKernel {
+  static constexpr DeltaKernelFn fn = &delta_kernel_t<S, PF, C>;
+};
+
+}  // namespace
+
+CsrKernelFn select_csr_kernel(Sched sched, bool prefetch, Compute compute) {
+  return select<CsrKernel, CsrKernelFn>(sched, prefetch, compute);
+}
+
+DeltaKernelFn select_delta_kernel(Sched sched, bool prefetch, Compute compute) {
+  return select<DeltaKernel, DeltaKernelFn>(sched, prefetch, compute);
+}
+
+void spmv_split_composed(const SplitCsrMatrix& A, const RowPartition& part,
+                         const value_t* x, value_t* y, CsrKernelFn phase1,
+                         index_t pf_dist, int chunk) noexcept {
+  phase1(A.short_part(), part, x, y, pf_dist, chunk);
+
+  const index_t L = A.num_long_rows();
+  const index_t* lrows = A.long_rows();
+  const index_t* lrowptr = A.long_rowptr();
+  const index_t* lcolind = A.long_colind();
+  const value_t* lvals = A.long_values();
+  for (index_t k = 0; k < L; ++k) {
+    const index_t lo = lrowptr[k];
+    const index_t hi = lrowptr[k + 1];
+    value_t sum = 0.0;
+#pragma omp parallel for schedule(static) reduction(+ : sum)
+    for (index_t j = lo; j < hi; ++j) sum += lvals[j] * x[lcolind[j]];
+    y[lrows[k]] = sum;
+  }
+}
+
+}  // namespace spmvopt::kernels

@@ -1,0 +1,43 @@
+// Composed kernels: the full optimization-combination space.
+//
+// The optimizer (§III-E) may *jointly* apply optimizations when multiple
+// bottlenecks are detected, e.g. auto scheduling + prefetching + vectorization
+// for an {ML, IMB} matrix.  Each combination is a template instantiation
+// (our stand-in for the paper's JIT-generated code); `select_csr_kernel` /
+// `select_delta_kernel` return the specialized function for a given
+// (schedule, prefetch, compute) triple.
+#pragma once
+
+#include "kernels/row_body.hpp"
+#include "sparse/csr.hpp"
+#include "sparse/delta_csr.hpp"
+#include "sparse/split_csr.hpp"
+#include "support/partition.hpp"
+
+namespace spmvopt::kernels {
+
+enum class Sched { BalancedStatic, Auto, Dynamic };
+
+/// Composed CSR kernel signature.  `pf_dist` is ignored unless the kernel was
+/// selected with prefetch; `chunk` only matters for Sched::Dynamic.
+using CsrKernelFn = void (*)(const CsrMatrix& A, const RowPartition& part,
+                             const value_t* x, value_t* y, index_t pf_dist,
+                             int chunk);
+
+/// Composed delta-CSR kernel signature (width is dispatched internally).
+using DeltaKernelFn = void (*)(const DeltaCsrMatrix& A,
+                               const RowPartition& part, const value_t* x,
+                               value_t* y, index_t pf_dist, int chunk);
+
+[[nodiscard]] CsrKernelFn select_csr_kernel(Sched sched, bool prefetch,
+                                            Compute compute);
+[[nodiscard]] DeltaKernelFn select_delta_kernel(Sched sched, bool prefetch,
+                                                Compute compute);
+
+/// Decomposed SpMV with a configurable phase-1 kernel over the short part;
+/// phase 2 (all-threads-per-long-row + reduction) is fixed.
+void spmv_split_composed(const SplitCsrMatrix& A, const RowPartition& part,
+                         const value_t* x, value_t* y, CsrKernelFn phase1,
+                         index_t pf_dist, int chunk) noexcept;
+
+}  // namespace spmvopt::kernels

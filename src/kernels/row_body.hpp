@@ -1,0 +1,286 @@
+// Inner-loop bodies for the SpMV kernel family.
+//
+// One row dot-product, specialized at compile time on:
+//   * Compute: scalar | vectorized (AVX-512 > AVX2 > scalar fallback) |
+//     unrolled+vectorized (two accumulators) — the CMP/MB optimizations.
+//   * PF: software prefetching of x[colind[j + dist]] into L1 with a fixed
+//     distance of one cache line of elements (§III-E) — the ML optimization.
+//   * index encoding: raw 32-bit columns or 8/16-bit deltas (MB optimization).
+//
+// These templates are what the paper's JIT would emit; the optimizer picks an
+// instantiation at runtime (DESIGN.md §3, substitution table).
+#pragma once
+
+#include <immintrin.h>
+
+#include "support/types.hpp"
+
+namespace spmvopt::kernels {
+
+enum class Compute { Scalar, Vector, UnrollVector };
+
+/// Prefetch x[col] into L1.
+inline void prefetch_x(const value_t* x, index_t col) noexcept {
+  _mm_prefetch(reinterpret_cast<const char*>(x + col), _MM_HINT_T0);
+}
+
+namespace detail {
+
+#if defined(__AVX512F__)
+
+// Not _mm512_reduce_add_pd: GCC-12's implementation feeds
+// _mm256_undefined_pd() into a masked extract, tripping a
+// -Wmaybe-uninitialized false positive once inlined into user code.
+inline double hsum(__m512d v) noexcept {
+  alignas(64) double t[8];
+  _mm512_store_pd(t, v);
+  return ((t[0] + t[1]) + (t[2] + t[3])) + ((t[4] + t[5]) + (t[6] + t[7]));
+}
+
+template <bool PF>
+inline value_t row_sum_vector(const value_t* vals, const index_t* cols,
+                              index_t len, const value_t* x,
+                              index_t pf_dist) noexcept {
+  __m512d acc = _mm512_setzero_pd();
+  index_t j = 0;
+  for (; j + 8 <= len; j += 8) {
+    if constexpr (PF) {
+      if (j + pf_dist < len) prefetch_x(x, cols[j + pf_dist]);
+    }
+    const __m256i idx =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(cols + j));
+    const __m512d xv = _mm512_mask_i32gather_pd(_mm512_setzero_pd(), 0xFF, idx, x, 8);
+    const __m512d av = _mm512_loadu_pd(vals + j);
+    acc = _mm512_fmadd_pd(av, xv, acc);
+  }
+  value_t sum = hsum(acc);
+  for (; j < len; ++j) sum += vals[j] * x[cols[j]];
+  return sum;
+}
+
+template <bool PF>
+inline value_t row_sum_unroll_vector(const value_t* vals, const index_t* cols,
+                                     index_t len, const value_t* x,
+                                     index_t pf_dist) noexcept {
+  __m512d acc0 = _mm512_setzero_pd();
+  __m512d acc1 = _mm512_setzero_pd();
+  index_t j = 0;
+  for (; j + 16 <= len; j += 16) {
+    if constexpr (PF) {
+      if (j + pf_dist < len) prefetch_x(x, cols[j + pf_dist]);
+      if (j + 8 + pf_dist < len) prefetch_x(x, cols[j + 8 + pf_dist]);
+    }
+    const __m256i i0 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(cols + j));
+    const __m256i i1 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(cols + j + 8));
+    acc0 = _mm512_fmadd_pd(_mm512_loadu_pd(vals + j),
+                           _mm512_mask_i32gather_pd(_mm512_setzero_pd(), 0xFF, i0, x, 8), acc0);
+    acc1 = _mm512_fmadd_pd(_mm512_loadu_pd(vals + j + 8),
+                           _mm512_mask_i32gather_pd(_mm512_setzero_pd(), 0xFF, i1, x, 8), acc1);
+  }
+  value_t sum = hsum(_mm512_add_pd(acc0, acc1));
+  for (; j < len; ++j) sum += vals[j] * x[cols[j]];
+  return sum;
+}
+
+#elif defined(__AVX2__)
+
+inline double hsum(__m256d v) noexcept {
+  __m128d lo = _mm256_castpd256_pd128(v);
+  const __m128d hi = _mm256_extractf128_pd(v, 1);
+  lo = _mm_add_pd(lo, hi);
+  const __m128d swapped = _mm_unpackhi_pd(lo, lo);
+  return _mm_cvtsd_f64(_mm_add_sd(lo, swapped));
+}
+
+template <bool PF>
+inline value_t row_sum_vector(const value_t* vals, const index_t* cols,
+                              index_t len, const value_t* x,
+                              index_t pf_dist) noexcept {
+  __m256d acc = _mm256_setzero_pd();
+  index_t j = 0;
+  for (; j + 4 <= len; j += 4) {
+    if constexpr (PF) {
+      if (j + pf_dist < len) prefetch_x(x, cols[j + pf_dist]);
+    }
+    const __m128i idx =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(cols + j));
+    const __m256d xv = _mm256_i32gather_pd(x, idx, 8);
+    const __m256d av = _mm256_loadu_pd(vals + j);
+    acc = _mm256_fmadd_pd(av, xv, acc);
+  }
+  value_t sum = hsum(acc);
+  for (; j < len; ++j) sum += vals[j] * x[cols[j]];
+  return sum;
+}
+
+template <bool PF>
+inline value_t row_sum_unroll_vector(const value_t* vals, const index_t* cols,
+                                     index_t len, const value_t* x,
+                                     index_t pf_dist) noexcept {
+  __m256d acc0 = _mm256_setzero_pd();
+  __m256d acc1 = _mm256_setzero_pd();
+  index_t j = 0;
+  for (; j + 8 <= len; j += 8) {
+    if constexpr (PF) {
+      if (j + pf_dist < len) prefetch_x(x, cols[j + pf_dist]);
+      if (j + 4 + pf_dist < len) prefetch_x(x, cols[j + 4 + pf_dist]);
+    }
+    const __m128i i0 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(cols + j));
+    const __m128i i1 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(cols + j + 4));
+    acc0 = _mm256_fmadd_pd(_mm256_loadu_pd(vals + j),
+                           _mm256_i32gather_pd(x, i0, 8), acc0);
+    acc1 = _mm256_fmadd_pd(_mm256_loadu_pd(vals + j + 4),
+                           _mm256_i32gather_pd(x, i1, 8), acc1);
+  }
+  value_t sum = hsum(_mm256_add_pd(acc0, acc1));
+  for (; j < len; ++j) sum += vals[j] * x[cols[j]];
+  return sum;
+}
+
+#else  // scalar fallback for non-AVX builds
+
+template <bool PF>
+inline value_t row_sum_vector(const value_t* vals, const index_t* cols,
+                              index_t len, const value_t* x,
+                              index_t pf_dist) noexcept {
+  value_t sum = 0.0;
+  for (index_t j = 0; j < len; ++j) {
+    if constexpr (PF) {
+      if (j + pf_dist < len) prefetch_x(x, cols[j + pf_dist]);
+    }
+    sum += vals[j] * x[cols[j]];
+  }
+  return sum;
+}
+
+template <bool PF>
+inline value_t row_sum_unroll_vector(const value_t* vals, const index_t* cols,
+                                     index_t len, const value_t* x,
+                                     index_t pf_dist) noexcept {
+  value_t s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+  index_t j = 0;
+  for (; j + 4 <= len; j += 4) {
+    if constexpr (PF) {
+      if (j + pf_dist < len) prefetch_x(x, cols[j + pf_dist]);
+    }
+    s0 += vals[j] * x[cols[j]];
+    s1 += vals[j + 1] * x[cols[j + 1]];
+    s2 += vals[j + 2] * x[cols[j + 2]];
+    s3 += vals[j + 3] * x[cols[j + 3]];
+  }
+  value_t sum = (s0 + s1) + (s2 + s3);
+  for (; j < len; ++j) sum += vals[j] * x[cols[j]];
+  return sum;
+}
+
+#endif
+
+}  // namespace detail
+
+/// One CSR row: sum_j vals[j] * x[cols[j]], j in [0, len).
+template <Compute C, bool PF>
+inline value_t row_sum(const value_t* vals, const index_t* cols, index_t len,
+                       const value_t* x, index_t pf_dist) noexcept {
+  if constexpr (C == Compute::Scalar) {
+    value_t sum = 0.0;
+    for (index_t j = 0; j < len; ++j) {
+      if constexpr (PF) {
+        if (j + pf_dist < len) prefetch_x(x, cols[j + pf_dist]);
+      }
+      sum += vals[j] * x[cols[j]];
+    }
+    return sum;
+  } else if constexpr (C == Compute::Vector) {
+    return detail::row_sum_vector<PF>(vals, cols, len, x, pf_dist);
+  } else {
+    return detail::row_sum_unroll_vector<PF>(vals, cols, len, x, pf_dist);
+  }
+}
+
+/// One delta-encoded row.  `deltas[0]` is 0 (the base is absolute); columns
+/// are reconstructed by a running prefix sum.  With PF, a second decode
+/// cursor runs `pf_dist` elements ahead to know which x line to prefetch —
+/// the decode is a 1-cycle add, so the look-ahead costs almost nothing.
+/// The vector variants decode a block of absolute indices into a stack
+/// buffer, then gather — the decode is the serial prefix sum, the FMA work is
+/// vectorized (what the paper's "compression + vectorization" combo does).
+template <Compute C, bool PF, class DeltaT>
+inline value_t row_sum_delta(const value_t* vals, const DeltaT* deltas,
+                             index_t base, index_t len, const value_t* x,
+                             index_t pf_dist) noexcept {
+  if constexpr (C == Compute::Scalar) {
+    value_t sum = 0.0;
+    index_t col = base;
+    index_t col_pf = base;
+    if constexpr (PF) {
+      for (index_t j = 1; j <= pf_dist && j < len; ++j)
+        col_pf += static_cast<index_t>(deltas[j]);
+      prefetch_x(x, col_pf);
+    }
+    for (index_t j = 0; j < len; ++j) {
+      if (j > 0) col += static_cast<index_t>(deltas[j]);
+      if constexpr (PF) {
+        if (j + pf_dist + 1 < len) {
+          col_pf += static_cast<index_t>(deltas[j + pf_dist + 1]);
+          prefetch_x(x, col_pf);
+        }
+      }
+      sum += vals[j] * x[col];
+    }
+    return sum;
+  } else {
+    // Vector / UnrollVector: decode blocks of kBlock absolute columns, then
+    // reuse the raw-index SIMD body on the decoded block.
+    if (len <= 0) return 0.0;
+    constexpr index_t kBlock = 64;
+    index_t cols[kBlock];
+    value_t sum = 0.0;
+    index_t col = base;
+    cols[0] = col;
+    // First block: element 0 is the absolute base, the rest are deltas.
+    index_t blk = len < kBlock ? len : kBlock;
+    for (index_t k = 1; k < blk; ++k) {
+      col += static_cast<index_t>(deltas[k]);
+      cols[k] = col;
+    }
+    sum += row_sum<C, PF>(vals, cols, blk, x, pf_dist);
+    for (index_t j = blk; j < len; j += blk) {
+      blk = len - j < kBlock ? len - j : kBlock;
+      for (index_t k = 0; k < blk; ++k) {
+        col += static_cast<index_t>(deltas[j + k]);
+        cols[k] = col;
+      }
+      sum += row_sum<C, PF>(vals + j, cols, blk, x, pf_dist);
+    }
+    return sum;
+  }
+}
+
+/// One row of the P_CMP micro-benchmark kernel (§III-B): all indirection
+/// removed, every product reads x[row] — unit-stride accesses only.
+template <Compute C>
+inline value_t row_sum_noindex(const value_t* vals, index_t len,
+                               value_t xi) noexcept {
+  if constexpr (C == Compute::Scalar) {
+    value_t sum = 0.0;
+    for (index_t j = 0; j < len; ++j) sum += vals[j] * xi;
+    return sum;
+  } else {
+    value_t s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+    index_t j = 0;
+    for (; j + 4 <= len; j += 4) {
+      s0 += vals[j];
+      s1 += vals[j + 1];
+      s2 += vals[j + 2];
+      s3 += vals[j + 3];
+    }
+    value_t sum = ((s0 + s1) + (s2 + s3)) * xi;
+    for (; j < len; ++j) sum += vals[j] * xi;
+    return sum;
+  }
+}
+
+}  // namespace spmvopt::kernels

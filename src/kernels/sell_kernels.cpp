@@ -1,0 +1,109 @@
+#include "kernels/sell_kernels.hpp"
+
+#include <immintrin.h>
+
+namespace spmvopt::kernels {
+
+index_t sell_native_chunk() noexcept {
+#if defined(__AVX512F__)
+  return 8;
+#elif defined(__AVX2__)
+  return 4;
+#else
+  return 1;
+#endif
+}
+
+namespace {
+
+void sell_chunk_scalar(const SellMatrix& A, index_t c, const value_t* x,
+                       value_t* y) noexcept {
+  const index_t chunk = A.chunk();
+  const index_t base = A.chunk_ptr()[c];
+  const index_t width = A.chunk_len()[c];
+  const index_t* colind = A.colind();
+  const value_t* values = A.values();
+  for (index_t lane = 0; lane < chunk; ++lane) {
+    const index_t p = c * chunk + lane;
+    if (p >= A.nrows()) break;
+    value_t sum = 0.0;
+    for (index_t j = 0; j < width; ++j) {
+      const auto k = static_cast<std::size_t>(base + j * chunk + lane);
+      sum += values[k] * x[colind[k]];
+    }
+    y[A.row_perm()[p]] = sum;
+  }
+}
+
+#if defined(__AVX512F__)
+
+void sell_chunk_simd(const SellMatrix& A, index_t c, const value_t* x,
+                     value_t* y) noexcept {
+  const index_t base = A.chunk_ptr()[c];
+  const index_t width = A.chunk_len()[c];
+  const index_t* colind = A.colind();
+  const value_t* values = A.values();
+  __m512d acc = _mm512_setzero_pd();
+  for (index_t j = 0; j < width; ++j) {
+    const auto k = base + j * 8;
+    const __m256i idx =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(colind + k));
+    const __m512d xv =
+        _mm512_mask_i32gather_pd(_mm512_setzero_pd(), 0xFF, idx, x, 8);
+    acc = _mm512_fmadd_pd(_mm512_loadu_pd(values + k), xv, acc);
+  }
+  alignas(64) double lanes[8];
+  _mm512_store_pd(lanes, acc);
+  const index_t p0 = c * 8;
+  const index_t live = A.nrows() - p0 < 8 ? A.nrows() - p0 : 8;
+  for (index_t lane = 0; lane < live; ++lane)
+    y[A.row_perm()[p0 + lane]] = lanes[lane];
+}
+
+#elif defined(__AVX2__)
+
+void sell_chunk_simd(const SellMatrix& A, index_t c, const value_t* x,
+                     value_t* y) noexcept {
+  const index_t base = A.chunk_ptr()[c];
+  const index_t width = A.chunk_len()[c];
+  const index_t* colind = A.colind();
+  const value_t* values = A.values();
+  __m256d acc = _mm256_setzero_pd();
+  for (index_t j = 0; j < width; ++j) {
+    const auto k = base + j * 4;
+    const __m128i idx =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(colind + k));
+    acc = _mm256_fmadd_pd(_mm256_loadu_pd(values + k),
+                          _mm256_i32gather_pd(x, idx, 8), acc);
+  }
+  alignas(32) double lanes[4];
+  _mm256_store_pd(lanes, acc);
+  const index_t p0 = c * 4;
+  const index_t live = A.nrows() - p0 < 4 ? A.nrows() - p0 : 4;
+  for (index_t lane = 0; lane < live; ++lane)
+    y[A.row_perm()[p0 + lane]] = lanes[lane];
+}
+
+#else
+
+void sell_chunk_simd(const SellMatrix& A, index_t c, const value_t* x,
+                     value_t* y) noexcept {
+  sell_chunk_scalar(A, c, x, y);
+}
+
+#endif
+
+}  // namespace
+
+void spmv_sell(const SellMatrix& A, const value_t* x, value_t* y) noexcept {
+  const index_t nchunks = A.num_chunks();
+  if (A.chunk() == sell_native_chunk()) {
+#pragma omp parallel for schedule(static)
+    for (index_t c = 0; c < nchunks; ++c) sell_chunk_simd(A, c, x, y);
+  } else {
+#pragma omp parallel for schedule(static)
+    for (index_t c = 0; c < nchunks; ++c) sell_chunk_scalar(A, c, x, y);
+  }
+}
+
+}  // namespace spmvopt::kernels

@@ -1,0 +1,21 @@
+// Parallel / SIMD SpMV over SELL-C-σ.
+//
+// When the chunk height equals the machine's SIMD width (8 for AVX-512,
+// 4 for AVX2), one vector register holds one accumulator per row of the
+// chunk, and every step is a unit-stride load of C values + C columns and a
+// gather from x — no horizontal reduction until the chunk ends.
+#pragma once
+
+#include "sparse/sell.hpp"
+
+namespace spmvopt::kernels {
+
+/// The chunk height for which the SIMD path exists on this build
+/// (8 with AVX-512, 4 with AVX2, 1 otherwise).
+[[nodiscard]] index_t sell_native_chunk() noexcept;
+
+/// y = A * x, parallel over chunks; uses the SIMD path when
+/// A.chunk() == sell_native_chunk(), a scalar loop otherwise.
+void spmv_sell(const SellMatrix& A, const value_t* x, value_t* y) noexcept;
+
+}  // namespace spmvopt::kernels

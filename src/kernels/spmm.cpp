@@ -1,0 +1,96 @@
+#include "kernels/spmm.hpp"
+
+#include <omp.h>
+
+#include <algorithm>
+
+namespace spmvopt::kernels {
+
+namespace {
+
+/// One row with a compile-time rhs count: the accumulator block stays in
+/// registers and the inner updates are unit-stride FMAs over X's rows.
+template <int K>
+inline void row_block_fixed(const CsrMatrix& A, index_t i, const value_t* X,
+                            value_t* Y) noexcept {
+  value_t acc[K] = {};
+  for (index_t j = A.rowptr()[i]; j < A.rowptr()[i + 1]; ++j) {
+    const value_t v = A.values()[j];
+    const value_t* xr = X + static_cast<std::size_t>(A.colind()[j]) * K;
+    for (int r = 0; r < K; ++r) acc[r] += v * xr[r];
+  }
+  value_t* yr = Y + static_cast<std::size_t>(i) * K;
+  for (int r = 0; r < K; ++r) yr[r] = acc[r];
+}
+
+void row_block_generic(const CsrMatrix& A, index_t i, const value_t* X,
+                       value_t* Y, index_t k) noexcept {
+  value_t* yr = Y + static_cast<std::size_t>(i) * static_cast<std::size_t>(k);
+  std::fill(yr, yr + k, 0.0);
+  for (index_t j = A.rowptr()[i]; j < A.rowptr()[i + 1]; ++j) {
+    const value_t v = A.values()[j];
+    const value_t* xr =
+        X + static_cast<std::size_t>(A.colind()[j]) * static_cast<std::size_t>(k);
+    for (index_t r = 0; r < k; ++r) yr[r] += v * xr[r];
+  }
+}
+
+template <int K>
+void run_fixed(const CsrMatrix& A, const RowPartition& part, const value_t* X,
+               value_t* Y) noexcept {
+#pragma omp parallel num_threads(part.nthreads())
+  {
+    const int t = omp_get_thread_num();
+    const index_t lo = part.bounds[static_cast<std::size_t>(t)];
+    const index_t hi = part.bounds[static_cast<std::size_t>(t) + 1];
+    for (index_t i = lo; i < hi; ++i) row_block_fixed<K>(A, i, X, Y);
+  }
+}
+
+}  // namespace
+
+void spmm(const CsrMatrix& A, const RowPartition& part, const value_t* X,
+          value_t* Y, index_t k) noexcept {
+  switch (k) {
+    case 1: run_fixed<1>(A, part, X, Y); return;
+    case 2: run_fixed<2>(A, part, X, Y); return;
+    case 4: run_fixed<4>(A, part, X, Y); return;
+    case 8: run_fixed<8>(A, part, X, Y); return;
+    case 16: run_fixed<16>(A, part, X, Y); return;
+    default: break;
+  }
+#pragma omp parallel num_threads(part.nthreads())
+  {
+    const int t = omp_get_thread_num();
+    const index_t lo = part.bounds[static_cast<std::size_t>(t)];
+    const index_t hi = part.bounds[static_cast<std::size_t>(t) + 1];
+    for (index_t i = lo; i < hi; ++i) row_block_generic(A, i, X, Y, k);
+  }
+}
+
+void spmm_unfused(const CsrMatrix& A, const RowPartition& part,
+                  const value_t* X, value_t* Y, index_t k) noexcept {
+  // Strided per-rhs SpMV over the same row-major layout (reference).
+  const index_t n = A.nrows();
+#pragma omp parallel num_threads(part.nthreads())
+  {
+    const int t = omp_get_thread_num();
+    const index_t lo = part.bounds[static_cast<std::size_t>(t)];
+    const index_t hi = part.bounds[static_cast<std::size_t>(t) + 1];
+    for (index_t r = 0; r < k; ++r) {
+      for (index_t i = lo; i < hi; ++i) {
+        value_t sum = 0.0;
+        for (index_t j = A.rowptr()[i]; j < A.rowptr()[i + 1]; ++j)
+          sum += A.values()[j] *
+                 X[static_cast<std::size_t>(A.colind()[j]) *
+                       static_cast<std::size_t>(k) +
+                   static_cast<std::size_t>(r)];
+        Y[static_cast<std::size_t>(i) * static_cast<std::size_t>(k) +
+          static_cast<std::size_t>(r)] = sum;
+      }
+    }
+  }
+  (void)n;
+}
+
+}  // namespace spmvopt::kernels

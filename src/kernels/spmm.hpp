@@ -1,0 +1,26 @@
+// Multi-vector SpMV (SpMM): Y = A * X for a block of k right-hand sides.
+//
+// Block Krylov methods and multi-rhs solves amortize the matrix traffic over
+// k vectors: the colind/value streams are read once per k products, lifting
+// the flop:byte ratio by ~k and sidestepping the gather problem entirely —
+// X rows are contiguous, so the SIMD unit runs on unit-stride data.  This is
+// the classic answer to the paper's MB bottleneck when the *application*
+// (not the format) can change.
+#pragma once
+
+#include "sparse/csr.hpp"
+#include "support/partition.hpp"
+
+namespace spmvopt::kernels {
+
+/// Y = A * X.  X is row-major n_cols x k (x_j of rhs r at X[j*k + r]);
+/// Y is row-major n_rows x k.  k >= 1.  Parallel over the row partition.
+void spmm(const CsrMatrix& A, const RowPartition& part, const value_t* X,
+          value_t* Y, index_t k) noexcept;
+
+/// Convenience: k separate SpMV calls (the unfused reference the fused
+/// kernel is validated and benchmarked against).
+void spmm_unfused(const CsrMatrix& A, const RowPartition& part,
+                  const value_t* X, value_t* Y, index_t k) noexcept;
+
+}  // namespace spmvopt::kernels

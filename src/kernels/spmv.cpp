@@ -1,0 +1,243 @@
+#include "kernels/spmv.hpp"
+
+#include <omp.h>
+
+#include "support/timing.hpp"
+
+namespace spmvopt::kernels {
+
+namespace {
+
+/// Shared structure of all partitioned kernels: each thread walks its
+/// contiguous row block and applies RowBody to every row.
+template <class RowBody>
+inline void run_partitioned(const CsrMatrix& A, const RowPartition& part,
+                            value_t* y, double* thread_seconds,
+                            const RowBody& body) noexcept {
+  const index_t* rowptr = A.rowptr();
+#pragma omp parallel num_threads(part.nthreads())
+  {
+    const int t = omp_get_thread_num();
+    Timer timer;
+    const index_t lo = part.bounds[static_cast<std::size_t>(t)];
+    const index_t hi = part.bounds[static_cast<std::size_t>(t) + 1];
+    for (index_t i = lo; i < hi; ++i)
+      y[i] = body(i, rowptr[i], rowptr[i + 1]);
+    if (thread_seconds != nullptr) thread_seconds[t] = timer.elapsed_sec();
+  }
+}
+
+}  // namespace
+
+void spmv_serial(const CsrMatrix& A, const value_t* x, value_t* y) noexcept {
+  const index_t* rowptr = A.rowptr();
+  const index_t* colind = A.colind();
+  const value_t* vals = A.values();
+  for (index_t i = 0; i < A.nrows(); ++i) {
+    value_t sum = 0.0;
+    for (index_t j = rowptr[i]; j < rowptr[i + 1]; ++j)
+      sum += vals[j] * x[colind[j]];
+    y[i] = sum;
+  }
+}
+
+void spmv_omp_static(const CsrMatrix& A, const value_t* x, value_t* y) noexcept {
+  const index_t* rowptr = A.rowptr();
+  const index_t* colind = A.colind();
+  const value_t* vals = A.values();
+  const index_t n = A.nrows();
+#pragma omp parallel for schedule(static)
+  for (index_t i = 0; i < n; ++i)
+    y[i] = row_sum<Compute::Scalar, false>(vals + rowptr[i], colind + rowptr[i],
+                                           rowptr[i + 1] - rowptr[i], x, 0);
+}
+
+void spmv_balanced(const CsrMatrix& A, const RowPartition& part,
+                   const value_t* x, value_t* y,
+                   double* thread_seconds) noexcept {
+  const index_t* colind = A.colind();
+  const value_t* vals = A.values();
+  run_partitioned(A, part, y, thread_seconds,
+                  [&](index_t, index_t lo, index_t hi) noexcept {
+                    return row_sum<Compute::Scalar, false>(
+                        vals + lo, colind + lo, hi - lo, x, 0);
+                  });
+}
+
+void spmv_omp_dynamic(const CsrMatrix& A, const value_t* x, value_t* y,
+                      int chunk) noexcept {
+  const index_t* rowptr = A.rowptr();
+  const index_t* colind = A.colind();
+  const value_t* vals = A.values();
+  const index_t n = A.nrows();
+#pragma omp parallel for schedule(dynamic, chunk)
+  for (index_t i = 0; i < n; ++i)
+    y[i] = row_sum<Compute::Scalar, false>(vals + rowptr[i], colind + rowptr[i],
+                                           rowptr[i + 1] - rowptr[i], x, 0);
+}
+
+void spmv_omp_guided(const CsrMatrix& A, const value_t* x, value_t* y) noexcept {
+  const index_t* rowptr = A.rowptr();
+  const index_t* colind = A.colind();
+  const value_t* vals = A.values();
+  const index_t n = A.nrows();
+#pragma omp parallel for schedule(guided)
+  for (index_t i = 0; i < n; ++i)
+    y[i] = row_sum<Compute::Scalar, false>(vals + rowptr[i], colind + rowptr[i],
+                                           rowptr[i + 1] - rowptr[i], x, 0);
+}
+
+void spmv_omp_auto(const CsrMatrix& A, const value_t* x, value_t* y) noexcept {
+  const index_t* rowptr = A.rowptr();
+  const index_t* colind = A.colind();
+  const value_t* vals = A.values();
+  const index_t n = A.nrows();
+#pragma omp parallel for schedule(auto)
+  for (index_t i = 0; i < n; ++i)
+    y[i] = row_sum<Compute::Scalar, false>(vals + rowptr[i], colind + rowptr[i],
+                                           rowptr[i + 1] - rowptr[i], x, 0);
+}
+
+void spmv_prefetch(const CsrMatrix& A, const RowPartition& part,
+                   const value_t* x, value_t* y, index_t pf_dist) noexcept {
+  const index_t* colind = A.colind();
+  const value_t* vals = A.values();
+  run_partitioned(A, part, y, nullptr,
+                  [&, pf_dist](index_t, index_t lo, index_t hi) noexcept {
+                    return row_sum<Compute::Scalar, true>(
+                        vals + lo, colind + lo, hi - lo, x, pf_dist);
+                  });
+}
+
+void spmv_vector(const CsrMatrix& A, const RowPartition& part,
+                 const value_t* x, value_t* y) noexcept {
+  const index_t* colind = A.colind();
+  const value_t* vals = A.values();
+  run_partitioned(A, part, y, nullptr,
+                  [&](index_t, index_t lo, index_t hi) noexcept {
+                    return row_sum<Compute::Vector, false>(
+                        vals + lo, colind + lo, hi - lo, x, 0);
+                  });
+}
+
+void spmv_unroll_vector(const CsrMatrix& A, const RowPartition& part,
+                        const value_t* x, value_t* y) noexcept {
+  const index_t* colind = A.colind();
+  const value_t* vals = A.values();
+  run_partitioned(A, part, y, nullptr,
+                  [&](index_t, index_t lo, index_t hi) noexcept {
+                    return row_sum<Compute::UnrollVector, false>(
+                        vals + lo, colind + lo, hi - lo, x, 0);
+                  });
+}
+
+namespace {
+
+template <class DeltaT, Compute C>
+inline void spmv_delta_impl(const DeltaCsrMatrix& A, const DeltaT* deltas,
+                            const RowPartition& part, const value_t* x,
+                            value_t* y) noexcept {
+  const index_t* rowptr = A.rowptr();
+  const index_t* bases = A.bases();
+  const value_t* vals = A.values();
+#pragma omp parallel num_threads(part.nthreads())
+  {
+    const int t = omp_get_thread_num();
+    const index_t lo = part.bounds[static_cast<std::size_t>(t)];
+    const index_t hi = part.bounds[static_cast<std::size_t>(t) + 1];
+    for (index_t i = lo; i < hi; ++i) {
+      const index_t b = rowptr[i];
+      y[i] = row_sum_delta<C, false>(vals + b, deltas + b, bases[i],
+                                     rowptr[i + 1] - b, x, 0);
+    }
+  }
+}
+
+}  // namespace
+
+void spmv_delta(const DeltaCsrMatrix& A, const RowPartition& part,
+                const value_t* x, value_t* y) noexcept {
+  if (A.width() == DeltaWidth::U8)
+    spmv_delta_impl<std::uint8_t, Compute::Scalar>(A, A.deltas8(), part, x, y);
+  else
+    spmv_delta_impl<std::uint16_t, Compute::Scalar>(A, A.deltas16(), part, x, y);
+}
+
+void spmv_delta_vector(const DeltaCsrMatrix& A, const RowPartition& part,
+                       const value_t* x, value_t* y) noexcept {
+  if (A.width() == DeltaWidth::U8)
+    spmv_delta_impl<std::uint8_t, Compute::Vector>(A, A.deltas8(), part, x, y);
+  else
+    spmv_delta_impl<std::uint16_t, Compute::Vector>(A, A.deltas16(), part, x, y);
+}
+
+void spmv_split(const SplitCsrMatrix& A, const RowPartition& short_part,
+                const value_t* x, value_t* y) noexcept {
+  // Phase 1: normal balanced pass over the short part (long rows are empty
+  // there and get y[row] = 0, overwritten in phase 2).
+  spmv_balanced(A.short_part(), short_part, x, y);
+
+  // Phase 2: every long row is computed by all threads with a reduction of
+  // partial results (§III-E).
+  const index_t L = A.num_long_rows();
+  const index_t* lrows = A.long_rows();
+  const index_t* lrowptr = A.long_rowptr();
+  const index_t* lcolind = A.long_colind();
+  const value_t* lvals = A.long_values();
+  for (index_t k = 0; k < L; ++k) {
+    const index_t lo = lrowptr[k];
+    const index_t hi = lrowptr[k + 1];
+    value_t sum = 0.0;
+#pragma omp parallel for schedule(static) reduction(+ : sum)
+    for (index_t j = lo; j < hi; ++j) sum += lvals[j] * x[lcolind[j]];
+    y[lrows[k]] = sum;
+  }
+}
+
+void spmv_transpose(const CsrMatrix& A, const value_t* x, value_t* y) noexcept {
+  const index_t* rowptr = A.rowptr();
+  const index_t* colind = A.colind();
+  const value_t* vals = A.values();
+  const index_t n = A.nrows();
+  const index_t m = A.ncols();
+#pragma omp parallel for schedule(static)
+  for (index_t j = 0; j < m; ++j) y[j] = 0.0;
+#pragma omp parallel for schedule(static)
+  for (index_t i = 0; i < n; ++i) {
+    const value_t xi = x[i];
+    for (index_t k = rowptr[i]; k < rowptr[i + 1]; ++k) {
+      const value_t contrib = vals[k] * xi;
+#pragma omp atomic
+      y[colind[k]] += contrib;
+    }
+  }
+}
+
+CsrMatrix make_regular_access_copy(const CsrMatrix& A) {
+  aligned_vector<index_t> rowptr(A.rowptr(), A.rowptr() + A.nrows() + 1);
+  aligned_vector<value_t> values(A.values(), A.values() + A.nnz());
+  aligned_vector<index_t> colind(static_cast<std::size_t>(A.nnz()));
+  // Every access in row i reads x[i]: fully regular, no irregularity left.
+  // Needs ncols > row index, which holds for square matrices; for wide
+  // matrices the row index is clamped.
+  const index_t maxcol = A.ncols() - 1;
+  for (index_t i = 0; i < A.nrows(); ++i) {
+    const index_t c = i < maxcol ? i : maxcol;
+    for (index_t j = A.rowptr()[i]; j < A.rowptr()[i + 1]; ++j)
+      colind[static_cast<std::size_t>(j)] = c;
+  }
+  return CsrMatrix(A.nrows(), A.ncols(), std::move(rowptr), std::move(colind),
+                   std::move(values));
+}
+
+void spmv_noindex(const CsrMatrix& A, const RowPartition& part,
+                  const value_t* x, value_t* y) noexcept {
+  const value_t* vals = A.values();
+  run_partitioned(A, part, y, nullptr,
+                  [&](index_t i, index_t lo, index_t hi) noexcept {
+                    return row_sum_noindex<Compute::Scalar>(vals + lo, hi - lo,
+                                                            x[i]);
+                  });
+}
+
+}  // namespace spmvopt::kernels

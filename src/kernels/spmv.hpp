@@ -1,0 +1,83 @@
+// Parallel SpMV kernels: y = A * x.
+//
+// Hot paths: noexcept, no allocation, validated inputs assumed
+// (x has A.ncols() entries, y has A.nrows()).  The *baseline* of the paper
+// (§IV-A) is `spmv_balanced` — a static 1-D row partitioning where each
+// thread owns a contiguous block with approximately equal nnz.
+#pragma once
+
+#include "kernels/row_body.hpp"
+#include "sparse/csr.hpp"
+#include "sparse/delta_csr.hpp"
+#include "sparse/split_csr.hpp"
+#include "support/partition.hpp"
+
+namespace spmvopt::kernels {
+
+/// Serial reference-speed kernel (Fig. 2 verbatim).
+void spmv_serial(const CsrMatrix& A, const value_t* x, value_t* y) noexcept;
+
+/// OpenMP schedule(static) over rows — equal row counts per thread.
+void spmv_omp_static(const CsrMatrix& A, const value_t* x, value_t* y) noexcept;
+
+/// The paper's baseline: balanced-nnz static partition.  When
+/// `thread_seconds` is non-null it must have part.nthreads() entries and
+/// receives each thread's kernel time (used by the P_IMB bound).
+void spmv_balanced(const CsrMatrix& A, const RowPartition& part,
+                   const value_t* x, value_t* y,
+                   double* thread_seconds = nullptr) noexcept;
+
+/// OpenMP schedule(dynamic, chunk).
+void spmv_omp_dynamic(const CsrMatrix& A, const value_t* x, value_t* y,
+                      int chunk) noexcept;
+
+/// OpenMP schedule(guided).
+void spmv_omp_guided(const CsrMatrix& A, const value_t* x, value_t* y) noexcept;
+
+/// OpenMP schedule(auto) — the IMB optimization for computational
+/// unevenness (Table II delegates the mapping to the runtime).
+void spmv_omp_auto(const CsrMatrix& A, const value_t* x, value_t* y) noexcept;
+
+/// Software prefetching on x (ML optimization): one prefetch per inner-loop
+/// iteration at a fixed distance of `pf_dist` elements (§III-E: the number
+/// of elements in one cache line), into L1.
+void spmv_prefetch(const CsrMatrix& A, const RowPartition& part,
+                   const value_t* x, value_t* y, index_t pf_dist) noexcept;
+
+/// Vectorized (widest SIMD available at build time).
+void spmv_vector(const CsrMatrix& A, const RowPartition& part,
+                 const value_t* x, value_t* y) noexcept;
+
+/// Inner-loop unrolling + vectorization (CMP optimization).
+void spmv_unroll_vector(const CsrMatrix& A, const RowPartition& part,
+                        const value_t* x, value_t* y) noexcept;
+
+/// Delta-compressed column indices, scalar and vectorized (MB optimization).
+void spmv_delta(const DeltaCsrMatrix& A, const RowPartition& part,
+                const value_t* x, value_t* y) noexcept;
+void spmv_delta_vector(const DeltaCsrMatrix& A, const RowPartition& part,
+                       const value_t* x, value_t* y) noexcept;
+
+/// Decomposed SpMV for matrices with very long rows (Fig. 6): phase 1 runs a
+/// normal balanced pass over the short part, phase 2 computes every long row
+/// with all threads plus a reduction.
+void spmv_split(const SplitCsrMatrix& A, const RowPartition& short_part,
+                const value_t* x, value_t* y) noexcept;
+
+/// y = A^T * x (y has A.ncols() entries).  Utility kernel for solvers that
+/// need the transpose product without materializing A^T; parallel over rows
+/// with atomic column updates, so unlike the other kernels it is not
+/// bitwise-deterministic across thread counts (FP addition order varies).
+void spmv_transpose(const CsrMatrix& A, const value_t* x, value_t* y) noexcept;
+
+/// P_ML micro-benchmark support (§III-B): a copy of A with every column
+/// index set to the row index, turning all x accesses regular.  Running any
+/// CSR kernel on the result realizes the latency-free upper bound.
+[[nodiscard]] CsrMatrix make_regular_access_copy(const CsrMatrix& A);
+
+/// P_CMP micro-benchmark kernel (§III-B): indirect references eliminated,
+/// unit-stride accesses only (x[i] per row, colind never loaded).
+void spmv_noindex(const CsrMatrix& A, const RowPartition& part,
+                  const value_t* x, value_t* y) noexcept;
+
+}  // namespace spmvopt::kernels

@@ -1,0 +1,77 @@
+#include "mklcompat/inspector_executor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "gen/generators.hpp"
+#include "support/timing.hpp"
+
+namespace spmvopt::mklcompat {
+
+InspectorExecutorSpmv InspectorExecutorSpmv::analyze(const CsrMatrix& A,
+                                                     const Hints& hints,
+                                                     int nthreads) {
+  Timer timer;
+  InspectorExecutorSpmv ie;
+
+  // Inspect: one O(N) pass over the row structure.
+  const index_t n = A.nrows();
+  double sum = 0.0, sq = 0.0;
+  index_t nnz_max = 0;
+  for (index_t i = 0; i < n; ++i) {
+    const double len = static_cast<double>(A.row_nnz(i));
+    sum += len;
+    sq += len * len;
+    nnz_max = std::max(nnz_max, A.row_nnz(i));
+  }
+  const double avg = n > 0 ? sum / static_cast<double>(n) : 0.0;
+  const double var = n > 0 ? sq / static_cast<double>(n) - avg * avg : 0.0;
+  const double sd = var > 0.0 ? std::sqrt(var) : 0.0;
+
+  // Shortlist internal kernels from the structure.
+  std::vector<std::pair<optimize::Plan, std::string>> shortlist;
+  {
+    optimize::Plan vec;
+    vec.compute = kernels::Compute::Vector;
+    shortlist.emplace_back(vec, "static-vectorized");
+  }
+  if (avg > 0.0 && sd > 2.0 * avg) {
+    optimize::Plan dyn;
+    dyn.sched = kernels::Sched::Dynamic;
+    dyn.compute = kernels::Compute::Vector;
+    shortlist.emplace_back(dyn, "dynamic-vectorized");
+  }
+  if (static_cast<double>(nnz_max) > 64.0 * std::max(1.0, avg)) {
+    optimize::Plan split;
+    split.split_long_rows = true;
+    split.compute = kernels::Compute::Vector;
+    shortlist.emplace_back(split, "two-phase-long-rows");
+  }
+
+  // Optimize: trial-time the shortlist.  The effort scales with the hinted
+  // reuse, as MKL's optimize stage does.
+  const int trial_iters = std::clamp(hints.expected_calls / 16, 2, 16);
+  std::vector<value_t> x = gen::test_vector(A.ncols());
+  std::vector<value_t> y(static_cast<std::size_t>(A.nrows()), 0.0);
+
+  double best_sec = 1e300;
+  for (auto& [plan, name] : shortlist) {
+    optimize::OptimizedSpmv candidate =
+        optimize::OptimizedSpmv::create(A, plan, nthreads);
+    candidate.run(x.data(), y.data());  // warm
+    Timer trial;
+    for (int it = 0; it < trial_iters; ++it) candidate.run(x.data(), y.data());
+    const double sec = trial.elapsed_sec() / trial_iters;
+    if (sec < best_sec) {
+      best_sec = sec;
+      ie.spmv_ = std::move(candidate);
+      ie.kernel_name_ = name;
+    }
+  }
+
+  ie.pre_sec_ = timer.elapsed_sec();
+  return ie;
+}
+
+}  // namespace spmvopt::mklcompat

@@ -1,0 +1,49 @@
+// Inspector-Executor SpMV — the stand-in for MKL's `mkl_sparse_d_mv` after
+// `mkl_sparse_set_mv_hint` + `mkl_sparse_optimize` (DESIGN.md §3).
+//
+// analyze() inspects the matrix (row-length statistics), shortlists internal
+// kernels, trial-times the shortlist, and commits to the winner.  The whole
+// analysis cost is reported — it is the Inspector-Executor row of Table V.
+#pragma once
+
+#include <string>
+
+#include "optimize/optimized_spmv.hpp"
+#include "sparse/csr.hpp"
+
+namespace spmvopt::mklcompat {
+
+struct MvHints {
+  /// Expected number of mv calls (mkl_sparse_set_mv_hint); more expected
+  /// calls justify more trial iterations during optimize().
+  int expected_calls = 128;
+};
+
+class InspectorExecutorSpmv {
+ public:
+  using Hints = MvHints;
+
+  /// The inspector phase.  `nthreads` <= 0 means default_threads().
+  static InspectorExecutorSpmv analyze(const CsrMatrix& A,
+                                       const Hints& hints = {},
+                                       int nthreads = 0);
+
+  /// The executor phase: y = A * x.
+  void execute(const value_t* x, value_t* y) const noexcept {
+    spmv_.run(x, y);
+  }
+
+  [[nodiscard]] double analysis_seconds() const noexcept { return pre_sec_; }
+  [[nodiscard]] const std::string& chosen_kernel() const noexcept {
+    return kernel_name_;
+  }
+
+ private:
+  InspectorExecutorSpmv() = default;
+
+  optimize::OptimizedSpmv spmv_;
+  double pre_sec_ = 0.0;
+  std::string kernel_name_;
+};
+
+}  // namespace spmvopt::mklcompat

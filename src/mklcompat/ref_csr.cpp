@@ -1,0 +1,34 @@
+#include "mklcompat/ref_csr.hpp"
+
+namespace spmvopt::mklcompat {
+
+void ref_dcsrmv(const CsrMatrix& A, const value_t* x, value_t* y) noexcept {
+  const index_t* rowptr = A.rowptr();
+  const index_t* colind = A.colind();
+  const value_t* vals = A.values();
+  const index_t n = A.nrows();
+#pragma omp parallel for schedule(static)
+  for (index_t i = 0; i < n; ++i) {
+    value_t sum = 0.0;
+    for (index_t j = rowptr[i]; j < rowptr[i + 1]; ++j)
+      sum += vals[j] * x[colind[j]];
+    y[i] = sum;
+  }
+}
+
+void ref_dcsrmv(value_t alpha, const CsrMatrix& A, const value_t* x,
+                value_t beta, value_t* y) noexcept {
+  const index_t* rowptr = A.rowptr();
+  const index_t* colind = A.colind();
+  const value_t* vals = A.values();
+  const index_t n = A.nrows();
+#pragma omp parallel for schedule(static)
+  for (index_t i = 0; i < n; ++i) {
+    value_t sum = 0.0;
+    for (index_t j = rowptr[i]; j < rowptr[i + 1]; ++j)
+      sum += vals[j] * x[colind[j]];
+    y[i] = alpha * sum + beta * y[i];
+  }
+}
+
+}  // namespace spmvopt::mklcompat

@@ -1,0 +1,20 @@
+// Reference vendor-style CSR SpMV — the stand-in for MKL's `mkl_dcsrmv`
+// (DESIGN.md §3).
+//
+// A competent, generically-tuned kernel: OpenMP static row partitioning with
+// a vendor-typical chunking, no matrix-specific adaptation.  It is the
+// baseline every optimizer in Fig. 7 / Table V is compared against.
+#pragma once
+
+#include "sparse/csr.hpp"
+
+namespace spmvopt::mklcompat {
+
+/// y = A * x (proxy for mkl_dcsrmv with matdescra "G..C").
+void ref_dcsrmv(const CsrMatrix& A, const value_t* x, value_t* y) noexcept;
+
+/// y = alpha * A * x + beta * y (full BLAS-style form).
+void ref_dcsrmv(value_t alpha, const CsrMatrix& A, const value_t* x,
+                value_t beta, value_t* y) noexcept;
+
+}  // namespace spmvopt::mklcompat

@@ -1,0 +1,61 @@
+#include "ml/cross_validation.hpp"
+
+#include <stdexcept>
+
+#include "ml/metrics.hpp"
+
+namespace spmvopt::ml {
+
+namespace {
+
+/// Train on ds minus [test_lo, test_hi), predict the held-out rows.
+void run_fold(const Dataset& ds, std::size_t test_lo, std::size_t test_hi,
+              const TreeParams& params, std::vector<std::vector<int>>& preds,
+              std::vector<std::vector<int>>& truth) {
+  Dataset train;
+  train.X.reserve(ds.size() - (test_hi - test_lo));
+  train.Y.reserve(train.X.capacity());
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    if (i >= test_lo && i < test_hi) continue;
+    train.X.push_back(ds.X[i]);
+    train.Y.push_back(ds.Y[i]);
+  }
+  DecisionTree tree;
+  tree.fit(train, params);
+  for (std::size_t i = test_lo; i < test_hi; ++i) {
+    preds.push_back(tree.predict(ds.X[i]));
+    truth.push_back(ds.Y[i]);
+  }
+}
+
+}  // namespace
+
+CvScores leave_one_out(const Dataset& ds, const TreeParams& params) {
+  ds.validate();
+  if (ds.size() < 2) throw std::invalid_argument("leave_one_out: need >= 2 samples");
+  std::vector<std::vector<int>> preds, truth;
+  preds.reserve(ds.size());
+  truth.reserve(ds.size());
+  for (std::size_t i = 0; i < ds.size(); ++i)
+    run_fold(ds, i, i + 1, params, preds, truth);
+  return {exact_match_ratio(preds, truth), partial_match_ratio(preds, truth)};
+}
+
+CvScores k_fold(const Dataset& ds, int folds, const TreeParams& params) {
+  ds.validate();
+  if (folds < 2 || static_cast<std::size_t>(folds) > ds.size())
+    throw std::invalid_argument("k_fold: bad fold count");
+  std::vector<std::vector<int>> preds, truth;
+  const std::size_t n = ds.size();
+  for (int f = 0; f < folds; ++f) {
+    const std::size_t lo = n * static_cast<std::size_t>(f) /
+                           static_cast<std::size_t>(folds);
+    const std::size_t hi = n * (static_cast<std::size_t>(f) + 1) /
+                           static_cast<std::size_t>(folds);
+    if (lo == hi) continue;
+    run_fold(ds, lo, hi, params, preds, truth);
+  }
+  return {exact_match_ratio(preds, truth), partial_match_ratio(preds, truth)};
+}
+
+}  // namespace spmvopt::ml

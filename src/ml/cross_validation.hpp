@@ -1,0 +1,25 @@
+// Leave-One-Out cross-validation (§IV-B): for k samples, k experiments each
+// training on k-1 and testing on the held-out one; the reported score is the
+// average over the k experiments.
+#pragma once
+
+#include "ml/decision_tree.hpp"
+
+namespace spmvopt::ml {
+
+struct CvScores {
+  double exact = 0.0;    ///< Exact Match Ratio
+  double partial = 0.0;  ///< Partial Match Ratio
+};
+
+/// LOO CV of a DecisionTree on `ds`.  O(k · fit cost); fine for the
+/// 210-sample training pools this project uses.
+[[nodiscard]] CvScores leave_one_out(const Dataset& ds,
+                                     const TreeParams& params = {});
+
+/// k-fold CV (contiguous folds, no shuffling — callers pre-shuffle if their
+/// data is ordered). `folds` must be in [2, ds.size()].
+[[nodiscard]] CvScores k_fold(const Dataset& ds, int folds,
+                              const TreeParams& params = {});
+
+}  // namespace spmvopt::ml

@@ -1,0 +1,216 @@
+#include "ml/decision_tree.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+namespace spmvopt::ml {
+
+void Dataset::validate() const {
+  if (X.size() != Y.size())
+    throw std::invalid_argument("Dataset: |X| != |Y|");
+  if (X.empty()) throw std::invalid_argument("Dataset: empty");
+  const std::size_t d = X.front().size();
+  const std::size_t l = Y.front().size();
+  if (d == 0 || l == 0)
+    throw std::invalid_argument("Dataset: zero features or labels");
+  for (const auto& row : X)
+    if (row.size() != d) throw std::invalid_argument("Dataset: ragged X");
+  for (const auto& row : Y) {
+    if (row.size() != l) throw std::invalid_argument("Dataset: ragged Y");
+    for (int v : row)
+      if (v != 0 && v != 1)
+        throw std::invalid_argument("Dataset: labels must be 0/1");
+  }
+}
+
+namespace {
+
+/// Summed per-label Gini impurity of a label-count vector over `n` samples:
+/// sum_l 2 p_l (1 - p_l).
+double gini(const std::vector<double>& pos_counts, double n) {
+  if (n <= 0.0) return 0.0;
+  double g = 0.0;
+  for (double c : pos_counts) {
+    const double p = c / n;
+    g += 2.0 * p * (1.0 - p);
+  }
+  return g;
+}
+
+}  // namespace
+
+void DecisionTree::fit(const Dataset& ds, const TreeParams& params) {
+  ds.validate();
+  if (params.max_depth < 1 || params.min_samples_leaf < 1 ||
+      params.min_samples_split < 2)
+    throw std::invalid_argument("DecisionTree: bad params");
+  nodes_.clear();
+  depth_ = 0;
+  nfeatures_ = ds.nfeatures();
+  nlabels_ = ds.nlabels();
+  std::vector<int> idx(ds.size());
+  std::iota(idx.begin(), idx.end(), 0);
+  build(idx, 0, static_cast<int>(idx.size()), 0, ds, params);
+}
+
+int DecisionTree::build(std::vector<int>& idx, int lo, int hi, int depth,
+                        const Dataset& ds, const TreeParams& params) {
+  depth_ = std::max(depth_, depth);
+  const int n = hi - lo;
+  std::vector<double> pos(static_cast<std::size_t>(nlabels_), 0.0);
+  for (int k = lo; k < hi; ++k)
+    for (int l = 0; l < nlabels_; ++l)
+      pos[static_cast<std::size_t>(l)] +=
+          ds.Y[static_cast<std::size_t>(idx[static_cast<std::size_t>(k)])]
+              [static_cast<std::size_t>(l)];
+
+  const double node_gini = gini(pos, static_cast<double>(n));
+
+  auto make_leaf = [&]() {
+    Node leaf;
+    leaf.leaf_prob.resize(static_cast<std::size_t>(nlabels_));
+    for (int l = 0; l < nlabels_; ++l)
+      leaf.leaf_prob[static_cast<std::size_t>(l)] =
+          pos[static_cast<std::size_t>(l)] / static_cast<double>(n);
+    nodes_.push_back(std::move(leaf));
+    return static_cast<int>(nodes_.size()) - 1;
+  };
+
+  if (depth >= params.max_depth || n < params.min_samples_split ||
+      node_gini == 0.0)
+    return make_leaf();
+
+  // Best split: scan every feature with samples sorted by that feature.
+  int best_feature = -1;
+  double best_threshold = 0.0;
+  double best_score = std::numeric_limits<double>::infinity();
+  std::vector<int> order(idx.begin() + lo, idx.begin() + hi);
+  std::vector<double> left_pos(static_cast<std::size_t>(nlabels_));
+
+  for (int f = 0; f < nfeatures_; ++f) {
+    std::sort(order.begin(), order.end(), [&](int a, int b) {
+      return ds.X[static_cast<std::size_t>(a)][static_cast<std::size_t>(f)] <
+             ds.X[static_cast<std::size_t>(b)][static_cast<std::size_t>(f)];
+    });
+    std::fill(left_pos.begin(), left_pos.end(), 0.0);
+    for (int k = 0; k < n - 1; ++k) {
+      const auto& yk = ds.Y[static_cast<std::size_t>(order[static_cast<std::size_t>(k)])];
+      for (int l = 0; l < nlabels_; ++l)
+        left_pos[static_cast<std::size_t>(l)] += yk[static_cast<std::size_t>(l)];
+      const double xa =
+          ds.X[static_cast<std::size_t>(order[static_cast<std::size_t>(k)])]
+              [static_cast<std::size_t>(f)];
+      const double xb =
+          ds.X[static_cast<std::size_t>(order[static_cast<std::size_t>(k) + 1])]
+              [static_cast<std::size_t>(f)];
+      if (xa == xb) continue;  // cannot split between equal values
+      const int nl = k + 1;
+      const int nr = n - nl;
+      if (nl < params.min_samples_leaf || nr < params.min_samples_leaf)
+        continue;
+      std::vector<double> right_pos(static_cast<std::size_t>(nlabels_));
+      for (int l = 0; l < nlabels_; ++l)
+        right_pos[static_cast<std::size_t>(l)] =
+            pos[static_cast<std::size_t>(l)] - left_pos[static_cast<std::size_t>(l)];
+      const double score =
+          (static_cast<double>(nl) * gini(left_pos, nl) +
+           static_cast<double>(nr) * gini(right_pos, nr)) /
+          static_cast<double>(n);
+      if (score < best_score) {
+        best_score = score;
+        best_feature = f;
+        best_threshold = 0.5 * (xa + xb);
+      }
+    }
+  }
+
+  if (best_feature < 0 || best_score >= node_gini) return make_leaf();
+
+  // Partition idx[lo,hi) in place around the chosen split.
+  const auto mid_it = std::stable_partition(
+      idx.begin() + lo, idx.begin() + hi, [&](int a) {
+        return ds.X[static_cast<std::size_t>(a)]
+                   [static_cast<std::size_t>(best_feature)] <= best_threshold;
+      });
+  const int mid = static_cast<int>(mid_it - idx.begin());
+  if (mid == lo || mid == hi) return make_leaf();  // numeric edge case
+
+  Node split;
+  split.feature = best_feature;
+  split.threshold = best_threshold;
+  nodes_.push_back(std::move(split));
+  const int self = static_cast<int>(nodes_.size()) - 1;
+  const int left = build(idx, lo, mid, depth + 1, ds, params);
+  const int right = build(idx, mid, hi, depth + 1, ds, params);
+  nodes_[static_cast<std::size_t>(self)].left = left;
+  nodes_[static_cast<std::size_t>(self)].right = right;
+  return self;
+}
+
+const DecisionTree::Node& DecisionTree::descend(
+    const std::vector<double>& x) const {
+  if (nodes_.empty()) throw std::logic_error("DecisionTree: not trained");
+  if (static_cast<int>(x.size()) != nfeatures_)
+    throw std::invalid_argument("DecisionTree: feature arity mismatch");
+  int cur = 0;
+  while (nodes_[static_cast<std::size_t>(cur)].feature >= 0) {
+    const Node& nd = nodes_[static_cast<std::size_t>(cur)];
+    cur = x[static_cast<std::size_t>(nd.feature)] <= nd.threshold ? nd.left
+                                                                  : nd.right;
+  }
+  return nodes_[static_cast<std::size_t>(cur)];
+}
+
+std::vector<int> DecisionTree::predict(const std::vector<double>& x) const {
+  const Node& leaf = descend(x);
+  std::vector<int> y(leaf.leaf_prob.size());
+  for (std::size_t l = 0; l < y.size(); ++l)
+    y[l] = leaf.leaf_prob[l] > 0.5 ? 1 : 0;
+  return y;
+}
+
+std::vector<double> DecisionTree::predict_proba(
+    const std::vector<double>& x) const {
+  return descend(x).leaf_prob;
+}
+
+std::size_t DecisionTree::leaf_count() const noexcept {
+  std::size_t c = 0;
+  for (const Node& nd : nodes_)
+    if (nd.feature < 0) ++c;
+  return c;
+}
+
+std::string DecisionTree::to_text(
+    const std::vector<std::string>& feature_names) const {
+  std::ostringstream os;
+  if (nodes_.empty()) return "(untrained)";
+  // Iterative preorder with depth markers.
+  std::vector<std::pair<int, int>> stack{{0, 0}};
+  while (!stack.empty()) {
+    const auto [node, depth] = stack.back();
+    stack.pop_back();
+    const Node& nd = nodes_[static_cast<std::size_t>(node)];
+    for (int i = 0; i < depth; ++i) os << "|   ";
+    if (nd.feature < 0) {
+      os << "leaf: [";
+      for (std::size_t l = 0; l < nd.leaf_prob.size(); ++l)
+        os << (l ? " " : "") << (nd.leaf_prob[l] > 0.5 ? 1 : 0);
+      os << "]\n";
+    } else {
+      const std::string fname =
+          nd.feature < static_cast<int>(feature_names.size())
+              ? feature_names[static_cast<std::size_t>(nd.feature)]
+              : "f" + std::to_string(nd.feature);
+      os << fname << " <= " << nd.threshold << "\n";
+      stack.emplace_back(nd.right, depth + 1);
+      stack.emplace_back(nd.left, depth + 1);
+    }
+  }
+  return os.str();
+}
+
+}  // namespace spmvopt::ml

@@ -1,0 +1,80 @@
+// CART decision tree with multi-output (multilabel) leaves.
+//
+// The feature-guided classifier (§III-D) is "a Decision Tree classifier
+// adjusted to perform multilabel classification", trained with an optimized
+// CART variant: build cost O(N_features · N_samples · log N_samples), query
+// cost O(log N_samples).  The paper used scikit-learn; this is our own
+// implementation with the same algorithm (DESIGN.md §3): binary splits on
+// real-valued features chosen to minimize the summed per-label Gini
+// impurity, leaves predicting the per-label majority.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace spmvopt::ml {
+
+/// Training data: X[i] is a feature vector, Y[i] the binary label vector
+/// (one entry per class; multiple may be 1 — multilabel).
+struct Dataset {
+  std::vector<std::vector<double>> X;
+  std::vector<std::vector<int>> Y;
+
+  [[nodiscard]] std::size_t size() const noexcept { return X.size(); }
+  [[nodiscard]] int nfeatures() const noexcept {
+    return X.empty() ? 0 : static_cast<int>(X.front().size());
+  }
+  [[nodiscard]] int nlabels() const noexcept {
+    return Y.empty() ? 0 : static_cast<int>(Y.front().size());
+  }
+  /// Throws std::invalid_argument unless all rows are consistent.
+  void validate() const;
+};
+
+struct TreeParams {
+  int max_depth = 12;
+  int min_samples_leaf = 1;
+  int min_samples_split = 2;
+};
+
+class DecisionTree {
+ public:
+  /// Fit on `ds` (CART, Gini).  Throws on empty/inconsistent data.
+  void fit(const Dataset& ds, const TreeParams& params = {});
+
+  /// Per-label 0/1 prediction (majority at the reached leaf).
+  [[nodiscard]] std::vector<int> predict(const std::vector<double>& x) const;
+
+  /// Per-label probability estimate (label frequency at the leaf).
+  [[nodiscard]] std::vector<double> predict_proba(
+      const std::vector<double>& x) const;
+
+  [[nodiscard]] bool trained() const noexcept { return !nodes_.empty(); }
+  [[nodiscard]] int depth() const noexcept { return depth_; }
+  [[nodiscard]] std::size_t node_count() const noexcept { return nodes_.size(); }
+  [[nodiscard]] std::size_t leaf_count() const noexcept;
+
+  /// Indented text dump ("|--- f3 <= 2.5 ...") for inspection tools.
+  [[nodiscard]] std::string to_text(
+      const std::vector<std::string>& feature_names) const;
+
+ private:
+  struct Node {
+    int feature = -1;        ///< -1 for leaves
+    double threshold = 0.0;  ///< go left when x[feature] <= threshold
+    int left = -1;
+    int right = -1;
+    std::vector<double> leaf_prob;  ///< per-label P(label=1); leaves only
+  };
+
+  int build(std::vector<int>& idx, int lo, int hi, int depth,
+            const Dataset& ds, const TreeParams& params);
+  [[nodiscard]] const Node& descend(const std::vector<double>& x) const;
+
+  std::vector<Node> nodes_;
+  int nlabels_ = 0;
+  int nfeatures_ = 0;
+  int depth_ = 0;
+};
+
+}  // namespace spmvopt::ml

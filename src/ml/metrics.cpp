@@ -1,0 +1,57 @@
+#include "ml/metrics.hpp"
+
+#include <stdexcept>
+
+namespace spmvopt::ml {
+
+bool exact_match(const std::vector<int>& predicted,
+                 const std::vector<int>& actual) {
+  if (predicted.size() != actual.size())
+    throw std::invalid_argument("exact_match: arity mismatch");
+  return predicted == actual;
+}
+
+bool partial_match(const std::vector<int>& predicted,
+                   const std::vector<int>& actual) {
+  if (predicted.size() != actual.size())
+    throw std::invalid_argument("partial_match: arity mismatch");
+  bool any_true = false;
+  for (std::size_t l = 0; l < actual.size(); ++l) {
+    if (actual[l] == 1) {
+      any_true = true;
+      if (predicted[l] == 1) return true;
+    }
+  }
+  if (!any_true) {
+    // Empty label set (dummy class): correct iff the prediction is empty too.
+    for (int v : predicted)
+      if (v == 1) return false;
+    return true;
+  }
+  return false;
+}
+
+namespace {
+double ratio(const std::vector<std::vector<int>>& predicted,
+             const std::vector<std::vector<int>>& actual,
+             bool (*match)(const std::vector<int>&, const std::vector<int>&)) {
+  if (predicted.size() != actual.size() || predicted.empty())
+    throw std::invalid_argument("match ratio: batch mismatch or empty");
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < predicted.size(); ++i)
+    if (match(predicted[i], actual[i])) ++hits;
+  return static_cast<double>(hits) / static_cast<double>(predicted.size());
+}
+}  // namespace
+
+double exact_match_ratio(const std::vector<std::vector<int>>& predicted,
+                         const std::vector<std::vector<int>>& actual) {
+  return ratio(predicted, actual, &exact_match);
+}
+
+double partial_match_ratio(const std::vector<std::vector<int>>& predicted,
+                           const std::vector<std::vector<int>>& actual) {
+  return ratio(predicted, actual, &partial_match);
+}
+
+}  // namespace spmvopt::ml

@@ -1,0 +1,28 @@
+// Multilabel accuracy metrics (§IV-B).
+//
+//   Exact Match Ratio   — prediction fully equals the label set.
+//   Partial Match Ratio — prediction shares at least one set class with the
+//     labels (the paper tolerates partially-correct predictions because at
+//     least one applied optimization then addresses a real bottleneck).
+//     When both sets are empty (the dummy "not worth optimizing" class) the
+//     prediction counts as correct.
+#pragma once
+
+#include <vector>
+
+namespace spmvopt::ml {
+
+[[nodiscard]] bool exact_match(const std::vector<int>& predicted,
+                               const std::vector<int>& actual);
+[[nodiscard]] bool partial_match(const std::vector<int>& predicted,
+                                 const std::vector<int>& actual);
+
+/// Fractions over a batch; both vectors of rows must be equally sized.
+[[nodiscard]] double exact_match_ratio(
+    const std::vector<std::vector<int>>& predicted,
+    const std::vector<std::vector<int>>& actual);
+[[nodiscard]] double partial_match_ratio(
+    const std::vector<std::vector<int>>& predicted,
+    const std::vector<std::vector<int>>& actual);
+
+}  // namespace spmvopt::ml

@@ -1,0 +1,90 @@
+#include "ml/search.hpp"
+
+#include <stdexcept>
+
+namespace spmvopt::ml {
+
+GridPoint grid_search(
+    const std::vector<std::vector<double>>& axes,
+    const std::function<double(const std::vector<double>&)>& score) {
+  if (axes.empty()) throw std::invalid_argument("grid_search: no axes");
+  for (const auto& a : axes)
+    if (a.empty()) throw std::invalid_argument("grid_search: empty axis");
+
+  GridPoint best;
+  best.score = -1e300;
+  std::vector<std::size_t> cursor(axes.size(), 0);
+  std::vector<double> point(axes.size());
+  while (true) {
+    for (std::size_t i = 0; i < axes.size(); ++i) point[i] = axes[i][cursor[i]];
+    const double s = score(point);
+    if (s > best.score) {
+      best.score = s;
+      best.values = point;
+    }
+    // Odometer increment.
+    std::size_t i = 0;
+    for (; i < axes.size(); ++i) {
+      if (++cursor[i] < axes[i].size()) break;
+      cursor[i] = 0;
+    }
+    if (i == axes.size()) break;
+  }
+  return best;
+}
+
+namespace {
+
+Dataset project_columns(const Dataset& ds, const std::vector<int>& cols) {
+  Dataset out;
+  out.X.reserve(ds.size());
+  out.Y = ds.Y;
+  for (const auto& row : ds.X) {
+    std::vector<double> r;
+    r.reserve(cols.size());
+    for (int c : cols) r.push_back(row[static_cast<std::size_t>(c)]);
+    out.X.push_back(std::move(r));
+  }
+  return out;
+}
+
+}  // namespace
+
+FeatureSubsetResult best_feature_subset(const Dataset& ds,
+                                        const std::vector<int>& candidates,
+                                        int max_size,
+                                        const TreeParams& params) {
+  ds.validate();
+  if (candidates.empty())
+    throw std::invalid_argument("best_feature_subset: no candidates");
+  if (max_size < 1) throw std::invalid_argument("best_feature_subset: max_size < 1");
+  for (int c : candidates)
+    if (c < 0 || c >= ds.nfeatures())
+      throw std::invalid_argument("best_feature_subset: bad column");
+
+  FeatureSubsetResult best;
+  best.scores.exact = -1.0;
+
+  const std::size_t m = candidates.size();
+  // Enumerate subsets via bitmask; skip those above max_size.
+  const std::size_t limit = std::size_t{1} << m;
+  if (m > 20)
+    throw std::invalid_argument("best_feature_subset: too many candidates");
+  for (std::size_t mask = 1; mask < limit; ++mask) {
+    if (static_cast<int>(__builtin_popcountll(mask)) > max_size) continue;
+    std::vector<int> cols;
+    for (std::size_t i = 0; i < m; ++i)
+      if (mask & (std::size_t{1} << i)) cols.push_back(candidates[i]);
+    const Dataset proj = project_columns(ds, cols);
+    const CvScores scores = leave_one_out(proj, params);
+    if (scores.exact > best.scores.exact ||
+        (scores.exact == best.scores.exact &&
+         cols.size() < best.features.size())) {
+      best.features = cols;
+      best.scores = scores;
+    }
+  }
+  return best;
+}
+
+}  // namespace spmvopt::ml

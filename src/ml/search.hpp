@@ -1,0 +1,40 @@
+// Hyperparameter grid search and exhaustive feature-subset search.
+//
+// * Grid search tunes the profile-guided classifier's thresholds T_ML and
+//   T_IMB (Fig. 4 caption: "optimized through exhaustive grid search",
+//   maximizing the average performance gain of the selected optimizations).
+// * Feature-subset search mirrors §IV-B: "the selection of features for the
+//   classifiers has been a result of exhaustive search."
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "ml/cross_validation.hpp"
+
+namespace spmvopt::ml {
+
+struct GridPoint {
+  std::vector<double> values;  ///< one value per axis
+  double score = 0.0;
+};
+
+/// Exhaustive search over the Cartesian product of `axes`; returns the point
+/// maximizing `score`.  Throws when any axis is empty.
+[[nodiscard]] GridPoint grid_search(
+    const std::vector<std::vector<double>>& axes,
+    const std::function<double(const std::vector<double>&)>& score);
+
+struct FeatureSubsetResult {
+  std::vector<int> features;  ///< column indices into the full dataset
+  CvScores scores;
+};
+
+/// Exhaustive search over all subsets of `candidates` with size in
+/// [1, max_size], scored by LOO exact-match on the projected dataset.
+/// Cost: sum_k C(|candidates|, k) LOO runs — keep |candidates| modest.
+[[nodiscard]] FeatureSubsetResult best_feature_subset(
+    const Dataset& ds, const std::vector<int>& candidates, int max_size,
+    const TreeParams& params = {});
+
+}  // namespace spmvopt::ml

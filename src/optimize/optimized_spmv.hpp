@@ -1,0 +1,69 @@
+// OptimizedSpmv: a Plan bound to a matrix, ready to run.
+//
+// `create()` performs all preprocessing the plan requires — balanced-nnz
+// partitioning, delta encoding, long-row decomposition — selects the
+// specialized kernel instantiation (the JIT stand-in, DESIGN.md §3), and
+// records the total preprocessing time (the t_pre of Table V).
+//
+// Lifetime: OptimizedSpmv holds a *view* of the input matrix when the plan
+// runs on plain CSR (no copy — SpMV operands are large); the caller must
+// keep `A` alive for as long as run() is used.  Plans that convert the
+// format (delta, split) own their converted data.
+#pragma once
+
+#include <span>
+
+#include "optimize/plan.hpp"
+#include "sparse/delta_csr.hpp"
+#include "sparse/sell.hpp"
+#include "sparse/bcsr.hpp"
+#include "sparse/split_csr.hpp"
+#include "support/partition.hpp"
+
+namespace spmvopt::optimize {
+
+class OptimizedSpmv {
+ public:
+  /// Empty (not yet bound to a matrix); assign from create() before run().
+  OptimizedSpmv() = default;
+
+  /// Preprocess `A` for `plan`.  When the plan requests delta compression
+  /// but the matrix has in-row gaps above 16 bits, the plan silently falls
+  /// back to raw indices (query `plan()` for what actually runs).
+  /// `nthreads` <= 0 means default_threads().
+  static OptimizedSpmv create(const CsrMatrix& A, const Plan& plan,
+                              int nthreads = 0);
+
+  /// y = A * x.  Hot path: unchecked, noexcept.
+  void run(const value_t* x, value_t* y) const noexcept;
+
+  /// Checked overload.
+  void run(std::span<const value_t> x, std::span<value_t> y) const;
+
+  [[nodiscard]] const Plan& plan() const noexcept { return plan_; }
+  [[nodiscard]] double preprocessing_seconds() const noexcept { return pre_sec_; }
+  [[nodiscard]] index_t nrows() const noexcept { return nrows_; }
+  [[nodiscard]] index_t ncols() const noexcept { return ncols_; }
+  [[nodiscard]] int nthreads() const noexcept { return part_.nthreads(); }
+
+  /// Bytes of the matrix representation actually used at run time
+  /// (after compression / decomposition).
+  [[nodiscard]] std::size_t format_bytes() const noexcept;
+
+ private:
+  Plan plan_;
+  const CsrMatrix* csr_ = nullptr;  ///< view; null when a converted format owns
+  std::optional<DeltaCsrMatrix> delta_;
+  std::optional<SplitCsrMatrix> split_;
+  std::optional<SellMatrix> sell_;
+  std::optional<BcsrMatrix> bcsr_;
+  RowPartition part_;
+  kernels::CsrKernelFn csr_fn_ = nullptr;
+  kernels::DeltaKernelFn delta_fn_ = nullptr;
+  index_t pf_dist_ = 8;
+  double pre_sec_ = 0.0;
+  index_t nrows_ = 0;
+  index_t ncols_ = 0;
+};
+
+}  // namespace spmvopt::optimize

@@ -1,0 +1,102 @@
+#include "optimize/optimizers.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include "gen/generators.hpp"
+#include "support/timing.hpp"
+
+namespace spmvopt::optimize {
+
+double measure_spmv_gflops(const OptimizedSpmv& spmv, const CsrMatrix& A,
+                           const perf::MeasureConfig& cfg) {
+  std::vector<value_t> x = gen::test_vector(A.ncols());
+  std::vector<value_t> y(static_cast<std::size_t>(A.nrows()), 0.0);
+  const double flops = 2.0 * static_cast<double>(A.nnz());
+  return perf::measure_rate([&] { spmv.run(x.data(), y.data()); }, flops, cfg)
+      .gflops;
+}
+
+OptimizeOutcome optimize_profile(const CsrMatrix& A,
+                                 const OptimizerConfig& cfg) {
+  OptimizeOutcome out;
+  Accumulator pre;
+
+  pre.start();
+  perf::BoundsConfig bcfg;
+  bcfg.measure = cfg.measure;
+  bcfg.nthreads = cfg.nthreads;
+  const auto result = classify::classify_profile(A, cfg.profile_params, bcfg);
+  pre.stop();
+
+  out.classes = result.classes;
+  out.plan = plan_for_classes(out.classes, A);
+  out.spmv = OptimizedSpmv::create(A, out.plan, cfg.nthreads);
+  out.preprocess_seconds =
+      pre.total_sec() + out.spmv.preprocessing_seconds();
+  return out;
+}
+
+OptimizeOutcome optimize_feature(const CsrMatrix& A,
+                                 const classify::FeatureClassifier& clf,
+                                 const OptimizerConfig& cfg) {
+  if (!clf.trained())
+    throw std::invalid_argument("optimize_feature: classifier not trained");
+  OptimizeOutcome out;
+  Timer timer;
+  // Online phase: feature extraction + O(log n) tree query only — the
+  // offline training cost is not charged (§III-D, Table V).
+  out.classes = clf.classify(A);
+  const double decide_sec = timer.elapsed_sec();
+
+  out.plan = plan_for_classes(out.classes, A);
+  out.spmv = OptimizedSpmv::create(A, out.plan, cfg.nthreads);
+  out.preprocess_seconds = decide_sec + out.spmv.preprocessing_seconds();
+  return out;
+}
+
+namespace {
+
+/// Sweep candidates, measuring each (conversion + timing both charged to
+/// t_pre, as the trivial optimizers must pay every candidate's setup).
+OptimizeOutcome sweep(const CsrMatrix& A, const std::vector<Plan>& candidates,
+                      const OptimizerConfig& cfg, bool charge_pre) {
+  if (candidates.empty()) throw std::invalid_argument("sweep: no candidates");
+  OptimizeOutcome best;
+  double best_gflops = -1.0;
+  double pre_total = 0.0;
+
+  for (const Plan& plan : candidates) {
+    Timer timer;
+    OptimizedSpmv spmv = OptimizedSpmv::create(A, plan, cfg.nthreads);
+    const double gflops = measure_spmv_gflops(spmv, A, cfg.measure);
+    pre_total += timer.elapsed_sec();
+    if (gflops > best_gflops) {
+      best_gflops = gflops;
+      best.plan = spmv.plan();
+      best.spmv = std::move(spmv);
+    }
+  }
+  best.preprocess_seconds = charge_pre ? pre_total : 0.0;
+  return best;
+}
+
+}  // namespace
+
+OptimizeOutcome optimize_trivial_single(const CsrMatrix& A,
+                                        const OptimizerConfig& cfg) {
+  return sweep(A, single_optimization_plans(), cfg, /*charge_pre=*/true);
+}
+
+OptimizeOutcome optimize_trivial_combined(const CsrMatrix& A,
+                                          const OptimizerConfig& cfg) {
+  return sweep(A, combined_optimization_plans(), cfg, /*charge_pre=*/true);
+}
+
+OptimizeOutcome optimize_oracle(const CsrMatrix& A,
+                                const OptimizerConfig& cfg) {
+  return sweep(A, enumerate_plans(A, cfg.oracle_extensions), cfg,
+               /*charge_pre=*/true);
+}
+
+}  // namespace spmvopt::optimize

@@ -1,0 +1,67 @@
+// The optimizer family evaluated in §IV (Fig. 7 columns and Table V rows).
+//
+//   profile-guided  — online profiling → Fig. 4 rules → Table II plan
+//   feature-guided  — feature extraction → pre-trained tree → Table II plan
+//   trivial-single  — measure all 5 single optimizations, keep the best
+//   trivial-combined— singles + pairwise joins (15 candidates), keep the best
+//   oracle          — exhaustive over every executable plan ("the perfect
+//                     optimizer that always selects the best optimization")
+// Every optimizer reports t_pre: decision-making plus format-conversion cost,
+// which Table V converts into the minimum solver iterations to amortize.
+#pragma once
+
+#include "classify/feature_classifier.hpp"
+#include "classify/profile_classifier.hpp"
+#include "optimize/optimized_spmv.hpp"
+#include "perf/measure.hpp"
+
+namespace spmvopt::optimize {
+
+struct OptimizeOutcome {
+  Plan plan;                       ///< the plan that will run
+  classify::ClassSet classes;      ///< detected classes (adaptive optimizers)
+  double preprocess_seconds = 0.0; ///< t_pre: decision + conversion
+  OptimizedSpmv spmv;              ///< ready-to-run kernel
+};
+
+struct OptimizerConfig {
+  int nthreads = 0;  ///< <= 0: default_threads()
+  /// Effort of *measurement-based* decision phases (profiling runs of the
+  /// profile-guided classifier, candidate sweeps of the trivial optimizers).
+  perf::MeasureConfig measure = perf::MeasureConfig::from_env();
+  classify::ProfileParams profile_params{};
+  /// Oracle only: also search the extension formats (SELL-C-σ, BCSR).  Off
+  /// by default so the oracle matches the paper's definition — "the best
+  /// optimization available" in *its* pool.
+  bool oracle_extensions = false;
+};
+
+/// Profile-guided adaptive optimizer (§III-C).
+[[nodiscard]] OptimizeOutcome optimize_profile(const CsrMatrix& A,
+                                               const OptimizerConfig& cfg = {});
+
+/// Feature-guided adaptive optimizer (§III-D); `clf` must be trained.
+[[nodiscard]] OptimizeOutcome optimize_feature(
+    const CsrMatrix& A, const classify::FeatureClassifier& clf,
+    const OptimizerConfig& cfg = {});
+
+/// Trivial optimizer sweeping the 5 single optimizations.
+[[nodiscard]] OptimizeOutcome optimize_trivial_single(
+    const CsrMatrix& A, const OptimizerConfig& cfg = {});
+
+/// Trivial optimizer sweeping singles + pairs (15 candidates).
+[[nodiscard]] OptimizeOutcome optimize_trivial_combined(
+    const CsrMatrix& A, const OptimizerConfig& cfg = {});
+
+/// Oracle: exhaustive over enumerate_plans(A).  t_pre is reported but the
+/// oracle exists as an upper reference, not a practical optimizer.
+[[nodiscard]] OptimizeOutcome optimize_oracle(const CsrMatrix& A,
+                                              const OptimizerConfig& cfg = {});
+
+/// Shared helper: measure the Gflop/s of one prepared kernel per the paper's
+/// methodology (used by benches and the sweeping optimizers).
+[[nodiscard]] double measure_spmv_gflops(const OptimizedSpmv& spmv,
+                                         const CsrMatrix& A,
+                                         const perf::MeasureConfig& cfg);
+
+}  // namespace spmvopt::optimize

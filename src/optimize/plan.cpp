@@ -1,0 +1,151 @@
+#include "optimize/plan.hpp"
+
+#include <algorithm>
+
+#include "sparse/delta_csr.hpp"
+#include "sparse/bcsr.hpp"
+#include "sparse/split_csr.hpp"
+
+namespace spmvopt::optimize {
+
+using classify::Bottleneck;
+using classify::ClassSet;
+using kernels::Compute;
+using kernels::Sched;
+
+std::string Plan::to_string() const {
+  if (is_baseline()) return "baseline";
+  std::string s;
+  auto append = [&s](const char* part) {
+    if (!s.empty()) s += "+";
+    s += part;
+  };
+  if (sell) return "sell";
+  if (bcsr) return "bcsr";
+  switch (sched) {
+    case Sched::BalancedStatic: break;  // the default; not printed
+    case Sched::Auto: append("auto"); break;
+    case Sched::Dynamic: append("dynamic"); break;
+  }
+  if (split_long_rows) append("split");
+  if (prefetch) append("pf");
+  if (delta) append("delta");
+  switch (compute) {
+    case Compute::Scalar: break;
+    case Compute::Vector: append("vec"); break;
+    case Compute::UnrollVector: append("unroll-vec"); break;
+  }
+  return s.empty() ? "baseline" : s;
+}
+
+Plan plan_for_classes(ClassSet classes, const CsrMatrix& A) {
+  Plan plan;
+  if (classes.has(Bottleneck::MB)) {
+    plan.delta = true;
+    plan.compute = Compute::Vector;
+  }
+  if (classes.has(Bottleneck::ML)) plan.prefetch = true;
+  if (classes.has(Bottleneck::IMB)) {
+    // §III-E sub-selection: highly uneven row lengths → decomposition;
+    // otherwise computational unevenness → OpenMP auto scheduling.
+    const index_t threshold = SplitCsrMatrix::default_threshold(A);
+    index_t nnz_max = 0;
+    for (index_t i = 0; i < A.nrows(); ++i)
+      nnz_max = std::max(nnz_max, A.row_nnz(i));
+    if (nnz_max >= threshold)
+      plan.split_long_rows = true;
+    else
+      plan.sched = Sched::Auto;
+  }
+  if (classes.has(Bottleneck::CMP)) plan.compute = Compute::UnrollVector;
+  // Feasibility: the decomposed kernel keeps raw indices.
+  if (plan.split_long_rows) plan.delta = false;
+  return plan;
+}
+
+std::vector<Plan> single_optimization_plans() {
+  std::vector<Plan> plans(5);
+  plans[0].delta = true;                       // MB: compression
+  plans[0].compute = Compute::Vector;          //     + vectorization
+  plans[1].prefetch = true;                    // ML: software prefetch
+  plans[2].split_long_rows = true;             // IMB-a: decomposition
+  plans[3].sched = Sched::Auto;                // IMB-b: auto scheduling
+  plans[4].compute = Compute::UnrollVector;    // CMP: unroll + vectorize
+  return plans;
+}
+
+Plan merge_plans(const Plan& a, const Plan& b) {
+  Plan m;
+  m.sched = (a.sched == Sched::Auto || b.sched == Sched::Auto)
+                ? Sched::Auto
+                : (a.sched == Sched::Dynamic || b.sched == Sched::Dynamic
+                       ? Sched::Dynamic
+                       : Sched::BalancedStatic);
+  m.prefetch = a.prefetch || b.prefetch;
+  m.compute = std::max(a.compute, b.compute);  // enum order: Scalar<Vec<Unroll
+  m.delta = a.delta || b.delta;
+  m.split_long_rows = a.split_long_rows || b.split_long_rows;
+  m.dynamic_chunk = std::max(a.dynamic_chunk, b.dynamic_chunk);
+  if (m.split_long_rows) m.delta = false;
+  // Whole-format changes absorb any joined CSR optimization (sell wins over
+  // bcsr if both were requested — it handles more patterns).
+  if (a.bcsr || b.bcsr) m = bcsr_plan();
+  if (a.sell || b.sell) m = sell_plan();
+  return m;
+}
+
+std::vector<Plan> combined_optimization_plans() {
+  const std::vector<Plan> singles = single_optimization_plans();
+  std::vector<Plan> plans = singles;
+  for (std::size_t i = 0; i < singles.size(); ++i)
+    for (std::size_t j = i + 1; j < singles.size(); ++j) {
+      const Plan merged = merge_plans(singles[i], singles[j]);
+      if (std::find(plans.begin(), plans.end(), merged) == plans.end())
+        plans.push_back(merged);
+    }
+  return plans;
+}
+
+std::vector<Plan> enumerate_plans(const CsrMatrix& A,
+                                  bool include_extensions) {
+  const bool delta_ok = DeltaCsrMatrix::required_width(A).has_value();
+  std::vector<Plan> plans;
+  for (Sched sched : {Sched::BalancedStatic, Sched::Auto})
+    for (bool split : {false, true})
+      for (bool pf : {false, true})
+        for (Compute compute :
+             {Compute::Scalar, Compute::Vector, Compute::UnrollVector})
+          for (bool delta : {false, true}) {
+            if (delta && (!delta_ok || split)) continue;
+            Plan p;
+            p.sched = sched;
+            p.split_long_rows = split;
+            p.prefetch = pf;
+            p.compute = compute;
+            p.delta = delta;
+            plans.push_back(p);
+          }
+  if (include_extensions) {
+    plans.push_back(sell_plan());
+    // BCSR only enters the search space when its sampled fill estimate says
+    // some block shape pays (OSKI's precondition) — otherwise it degenerates
+    // to plain CSR and would duplicate the baseline plan.
+    if (BcsrMatrix::choose_block_size(A) != std::pair<index_t, index_t>{1, 1})
+      plans.push_back(bcsr_plan());
+  }
+  return plans;
+}
+
+Plan sell_plan() {
+  Plan p;
+  p.sell = true;
+  return p;
+}
+
+Plan bcsr_plan() {
+  Plan p;
+  p.bcsr = true;
+  return p;
+}
+
+}  // namespace spmvopt::optimize

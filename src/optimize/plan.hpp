@@ -1,0 +1,87 @@
+// Optimization plans: which optimizations of Table II are applied, jointly.
+//
+// A Plan is the unit the optimizer reasons about — the paper's classes map
+// onto plan fields (Table II):
+//   MB  → delta column compression + vectorization
+//   ML  → software prefetching on x
+//   IMB → long-row decomposition (uneven row lengths) or OpenMP auto
+//         scheduling (computational unevenness), selected by matrix features
+//   CMP → inner-loop unrolling + vectorization
+// Multiple detected classes merge into one plan (jointly applied).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "classify/classes.hpp"
+#include "kernels/compose.hpp"
+#include "sparse/csr.hpp"
+
+namespace spmvopt::optimize {
+
+struct Plan {
+  kernels::Sched sched = kernels::Sched::BalancedStatic;
+  bool prefetch = false;
+  kernels::Compute compute = kernels::Compute::Scalar;
+  bool delta = false;            ///< compress column indices (8/16-bit)
+  bool split_long_rows = false;  ///< Fig. 5/6 decomposition
+  /// SELL-C-σ storage (extension optimization, §V plug-and-play demo).
+  /// A whole-format change: incompatible with delta/split/prefetch, and the
+  /// kernel is inherently vectorized, so the other fields are ignored.
+  bool sell = false;
+  /// OSKI-style register-blocked CSR (extension, [26]).  Whole-format like
+  /// sell; block shape is auto-chosen from the sampled fill estimate, and
+  /// the plan falls back to plain CSR when no blocking pays (query the
+  /// created OptimizedSpmv's plan() for what actually runs).
+  bool bcsr = false;
+  int dynamic_chunk = 64;        ///< only for Sched::Dynamic
+
+  [[nodiscard]] bool operator==(const Plan&) const = default;
+
+  /// Baseline CSR (no optimization applied).
+  [[nodiscard]] bool is_baseline() const noexcept {
+    return *this == Plan{};
+  }
+
+  /// "auto+pf+vec+delta"-style rendering; "baseline" for the default plan.
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Table II: map a detected class set to a joint plan.  The IMB
+/// sub-selection (§III-E) needs the matrix: rows with nnz_max well above
+/// nnz_avg choose decomposition, otherwise auto scheduling.
+[[nodiscard]] Plan plan_for_classes(classify::ClassSet classes,
+                                    const CsrMatrix& A);
+
+/// The five *single* optimizations of the trivial-single optimizer
+/// (Table V): compression+vec, prefetch, decomposition, auto-sched,
+/// unroll+vec.
+[[nodiscard]] std::vector<Plan> single_optimization_plans();
+
+/// Singles plus all feasible pairwise joins (the trivial-combined space of
+/// Table V: 15 candidates before feasibility filtering).
+[[nodiscard]] std::vector<Plan> combined_optimization_plans();
+
+/// Merge two plans (joint application).  Conflicts resolve toward the
+/// stronger variant (UnrollVector > Vector > Scalar; split wins over delta —
+/// the decomposed kernel keeps raw indices).
+[[nodiscard]] Plan merge_plans(const Plan& a, const Plan& b);
+
+/// Every plan the runtime can execute on `A` (oracle search space): the
+/// cross product of schedule x prefetch x compute x {raw, delta} x
+/// {plain, split}, minus combinations the matrix cannot support
+/// (delta when gaps exceed 16 bits, split together with delta).  With
+/// `include_extensions` the SELL-C-σ and BCSR whole-format plans join the
+/// space; without it the space is exactly the paper's CSR-based pool (the
+/// oracle of Fig. 7 is defined over that pool).
+[[nodiscard]] std::vector<Plan> enumerate_plans(const CsrMatrix& A,
+                                                bool include_extensions = true);
+
+/// The SELL-C-σ extension plan (not emitted by plan_for_classes — Table II
+/// keeps the paper's pool — but available to the oracle and callers).
+[[nodiscard]] Plan sell_plan();
+
+/// The register-blocked-CSR extension plan (same status as sell_plan()).
+[[nodiscard]] Plan bcsr_plan();
+
+}  // namespace spmvopt::optimize

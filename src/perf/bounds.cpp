@@ -1,0 +1,69 @@
+#include "perf/bounds.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "gen/generators.hpp"
+#include "kernels/spmv.hpp"
+#include "support/cpu_info.hpp"
+#include "support/partition.hpp"
+#include "support/stats.hpp"
+
+namespace spmvopt::perf {
+
+PerfBounds measure_bounds(const CsrMatrix& A, const BoundsConfig& cfg) {
+  const int nthreads = cfg.nthreads > 0 ? cfg.nthreads : default_threads();
+  const auto part = balanced_nnz_partition(A.rowptr(), A.nrows(), nthreads);
+  const double flops = 2.0 * static_cast<double>(A.nnz());
+
+  PerfBounds b;
+  const BandwidthProfile& bw = bandwidth_profile(nthreads);
+  b.fits_llc = A.working_set_bytes() <= cpu_info().llc_bytes;
+  b.bmax_gbps = bw.bmax_for(A.working_set_bytes());
+
+  // Analytic bounds: compulsory misses set the minimum traffic (§III-B).
+  const double sxy = static_cast<double>(A.nrows() + A.ncols()) * sizeof(value_t);
+  const double m_mb = static_cast<double>(A.format_bytes()) + sxy;
+  const double m_peak = static_cast<double>(A.values_bytes()) + sxy;
+  b.p_mb = flops / (m_mb / (b.bmax_gbps * 1e9)) / 1e9;
+  b.p_peak = flops / (m_peak / (b.bmax_gbps * 1e9)) / 1e9;
+
+  std::vector<value_t> x = gen::test_vector(A.ncols());
+  std::vector<value_t> y(static_cast<std::size_t>(A.nrows()), 0.0);
+
+  // Baseline P_CSR, recording per-thread times on every invocation so
+  // P_IMB can use the median (the run also doubles as the baseline timing).
+  std::vector<double> thread_sec(static_cast<std::size_t>(nthreads), 0.0);
+  std::vector<double> medians;
+  const RateSummary csr = measure_rate(
+      [&] {
+        kernels::spmv_balanced(A, part, x.data(), y.data(), thread_sec.data());
+        medians.push_back(median(thread_sec));
+      },
+      flops, cfg.measure);
+  b.p_csr = csr.gflops;
+
+  // P_IMB = 2*NNZ / t_median (t from the baseline run's per-thread times).
+  const double t_median = median(medians);
+  b.p_imb = t_median > 0.0 ? flops / t_median / 1e9 : b.p_csr;
+
+  // P_ML: baseline kernel on the regular-access copy (colind := row index).
+  {
+    const CsrMatrix regular = kernels::make_regular_access_copy(A);
+    const RateSummary ml = measure_rate(
+        [&] { kernels::spmv_balanced(regular, part, x.data(), y.data()); },
+        flops, cfg.measure);
+    b.p_ml = ml.gflops;
+  }
+
+  // P_CMP: all indirection eliminated, unit-stride accesses only.
+  {
+    const RateSummary cmp = measure_rate(
+        [&] { kernels::spmv_noindex(A, part, x.data(), y.data()); }, flops,
+        cfg.measure);
+    b.p_cmp = cmp.gflops;
+  }
+  return b;
+}
+
+}  // namespace spmvopt::perf

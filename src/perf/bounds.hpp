@@ -1,0 +1,42 @@
+// Per-class performance upper bounds (§III-B).
+//
+// For each bottleneck class the paper derives the performance attainable if
+// that bottleneck were completely eliminated:
+//   P_MB   = 2·NNZ / ((S_format + S_x + S_y) / B_max)   — analytic
+//   P_ML   — measured: baseline kernel on a copy with colind[j] := row index
+//   P_IMB  = 2·NNZ / t_median over per-thread times      — from baseline run
+//   P_CMP  — measured: kernel with all indirection removed (x[i] only)
+//   P_peak = 2·NNZ / ((S_values + S_x + S_y) / B_max)    — analytic
+// Comparing these against the measured baseline P_CSR drives the
+// profile-guided classifier (Fig. 4).
+#pragma once
+
+#include "perf/measure.hpp"
+#include "perf/stream.hpp"
+#include "sparse/csr.hpp"
+
+namespace spmvopt::perf {
+
+struct PerfBounds {
+  double p_csr = 0.0;   ///< measured baseline (balanced-nnz CSR) Gflop/s
+  double p_mb = 0.0;
+  double p_ml = 0.0;
+  double p_imb = 0.0;
+  double p_cmp = 0.0;
+  double p_peak = 0.0;
+  bool fits_llc = false;  ///< working set within the LLC (footnote-2 B_max)
+  double bmax_gbps = 0.0; ///< the B_max actually used
+};
+
+struct BoundsConfig {
+  MeasureConfig measure = MeasureConfig::from_env();
+  int nthreads = 0;  ///< <= 0: default_threads()
+};
+
+/// Run the bound-and-bottleneck analysis for `A` on this host.
+/// Cost: a few measured kernels — this is the optimizer's "online profiling"
+/// phase whose overhead Table V accounts for.
+[[nodiscard]] PerfBounds measure_bounds(const CsrMatrix& A,
+                                        const BoundsConfig& cfg = {});
+
+}  // namespace spmvopt::perf

@@ -1,0 +1,15 @@
+#include "perf/measure.hpp"
+
+#include "support/env.hpp"
+
+namespace spmvopt::perf {
+
+MeasureConfig MeasureConfig::from_env() {
+  MeasureConfig cfg;
+  cfg.iterations = bench_iterations();
+  cfg.runs = bench_runs();
+  cfg.warmup = quick_mode() ? 1 : 2;
+  return cfg;
+}
+
+}  // namespace spmvopt::perf

@@ -1,0 +1,49 @@
+// Timed-measurement harness implementing the paper's methodology (§IV-A):
+// one measurement = arithmetic mean over a block of back-to-back (warm-cache)
+// kernel invocations; `runs` such measurements are summarized with the
+// harmonic mean of their rates.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "support/stats.hpp"
+#include "support/timing.hpp"
+
+namespace spmvopt::perf {
+
+struct MeasureConfig {
+  int iterations = 128;  ///< SpMV operations per measurement block
+  int runs = 5;          ///< measurement blocks (harmonic-mean summarized)
+  int warmup = 2;        ///< untimed invocations before the first block
+
+  /// Values from the environment (SPMVOPT_ITERS / SPMVOPT_RUNS / quick mode).
+  [[nodiscard]] static MeasureConfig from_env();
+};
+
+/// Times `op()` per the methodology; returns harmonic-mean Gflop/s etc.
+/// for a kernel performing `flops` floating-point operations per call.
+template <class F>
+[[nodiscard]] RateSummary measure_rate(F&& op, double flops,
+                                       const MeasureConfig& cfg) {
+  for (int w = 0; w < cfg.warmup; ++w) op();
+  std::vector<double> sec_per_op;
+  sec_per_op.reserve(static_cast<std::size_t>(cfg.runs));
+  for (int r = 0; r < cfg.runs; ++r) {
+    Timer timer;
+    for (int i = 0; i < cfg.iterations; ++i) op();
+    sec_per_op.push_back(timer.elapsed_sec() /
+                         static_cast<double>(cfg.iterations));
+  }
+  return summarize_rates(sec_per_op, flops);
+}
+
+/// Plain seconds for a one-shot operation (preprocessing cost accounting).
+template <class F>
+[[nodiscard]] std::pair<double, decltype(std::declval<F>()())> timed(F&& op) {
+  Timer timer;
+  auto result = op();
+  return {timer.elapsed_sec(), std::move(result)};
+}
+
+}  // namespace spmvopt::perf

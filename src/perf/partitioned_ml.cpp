@@ -1,0 +1,70 @@
+#include "perf/partitioned_ml.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "gen/generators.hpp"
+#include "kernels/spmv.hpp"
+#include "support/cpu_info.hpp"
+#include "support/partition.hpp"
+
+namespace spmvopt::perf {
+
+double PartitionMlResult::max_ratio() const noexcept {
+  double best = 0.0;
+  for (double r : ratios) best = std::max(best, r);
+  return best;
+}
+
+namespace {
+
+double ml_ratio_of(const CsrMatrix& block, const std::vector<value_t>& x,
+                   std::vector<value_t>& y, int nthreads,
+                   const MeasureConfig& cfg) {
+  const auto part = balanced_nnz_partition(block.rowptr(), block.nrows(),
+                                           nthreads);
+  const double flops = 2.0 * static_cast<double>(block.nnz());
+  if (block.nnz() == 0) return 1.0;
+  const RateSummary base = measure_rate(
+      [&] { kernels::spmv_balanced(block, part, x.data(), y.data()); }, flops,
+      cfg);
+  const CsrMatrix regular = kernels::make_regular_access_copy(block);
+  const RateSummary ml = measure_rate(
+      [&] { kernels::spmv_balanced(regular, part, x.data(), y.data()); },
+      flops, cfg);
+  return ml.gflops / base.gflops;
+}
+
+}  // namespace
+
+PartitionMlResult partitioned_ml_ratios(const CsrMatrix& A, int parts,
+                                        const MeasureConfig& cfg,
+                                        int nthreads) {
+  if (parts < 1 || parts > std::max<index_t>(1, A.nrows()))
+    throw std::invalid_argument("partitioned_ml_ratios: bad part count");
+  const int t = nthreads > 0 ? nthreads : default_threads();
+
+  std::vector<value_t> x = gen::test_vector(A.ncols());
+  std::vector<value_t> y(static_cast<std::size_t>(A.nrows()), 0.0);
+
+  PartitionMlResult out;
+  out.whole_ratio = ml_ratio_of(A, x, y, t, cfg);
+
+  // nnz-balanced block boundaries, so each measurement times similar work.
+  const RowPartition blocks = balanced_nnz_partition(A.rowptr(), A.nrows(), parts);
+  out.ratios.reserve(static_cast<std::size_t>(parts));
+  for (int p = 0; p < parts; ++p) {
+    const index_t lo = blocks.bounds[static_cast<std::size_t>(p)];
+    const index_t hi = blocks.bounds[static_cast<std::size_t>(p) + 1];
+    if (lo == hi) {
+      out.ratios.push_back(1.0);
+      continue;
+    }
+    const CsrMatrix block = A.extract_rows(lo, hi);
+    std::vector<value_t> yb(static_cast<std::size_t>(block.nrows()), 0.0);
+    out.ratios.push_back(ml_ratio_of(block, x, yb, t, cfg));
+  }
+  return out;
+}
+
+}  // namespace spmvopt::perf

@@ -1,0 +1,32 @@
+// Partition-wise latency-bound detection — the paper's stated future work.
+//
+// §IV-C: for rajat30 "the benchmark that exposes irregularity ... can
+// actually detect the irregularity in this matrix by looking at it in
+// partitions, instead of looking at it as a whole.  We intend to extend our
+// classification approach to incorporate this idea in future work."
+//
+// Whole-matrix P_ML averages the irregular region away when most rows are
+// regular.  Here the matrix is split into `parts` contiguous row blocks with
+// ~equal nnz; the P_ML micro-benchmark runs per block, and the classifier
+// may flag ML when *any* block clears the T_ML threshold.
+#pragma once
+
+#include <vector>
+
+#include "perf/measure.hpp"
+#include "sparse/csr.hpp"
+
+namespace spmvopt::perf {
+
+struct PartitionMlResult {
+  std::vector<double> ratios;  ///< per-block P_ML / P_CSR
+  double whole_ratio = 0.0;    ///< the whole-matrix ratio, for comparison
+  [[nodiscard]] double max_ratio() const noexcept;
+};
+
+/// Measure per-block ML ratios.  `parts` in [1, nrows]; blocks are
+/// nnz-balanced so each timing covers comparable work.
+[[nodiscard]] PartitionMlResult partitioned_ml_ratios(
+    const CsrMatrix& A, int parts, const MeasureConfig& cfg, int nthreads = 0);
+
+}  // namespace spmvopt::perf

@@ -1,0 +1,23 @@
+#include "perf/roofline.hpp"
+
+#include <algorithm>
+
+namespace spmvopt::perf {
+
+double spmv_operational_intensity(const CsrMatrix& A) noexcept {
+  const double flops = 2.0 * static_cast<double>(A.nnz());
+  const double bytes =
+      static_cast<double>(A.working_set_bytes());
+  return bytes > 0.0 ? flops / bytes : 0.0;
+}
+
+double roofline_gflops(double intensity_flop_per_byte, double bandwidth_gbps,
+                       double peak_gflops) noexcept {
+  return std::min(peak_gflops, bandwidth_gbps * intensity_flop_per_byte);
+}
+
+double ridge_point(double bandwidth_gbps, double peak_gflops) noexcept {
+  return bandwidth_gbps > 0.0 ? peak_gflops / bandwidth_gbps : 0.0;
+}
+
+}  // namespace spmvopt::perf

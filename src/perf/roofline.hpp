@@ -1,0 +1,27 @@
+// Roofline model helpers (Williams et al. [17]).
+//
+// The CMP class definition (§III-A) talks about matrices whose operational
+// intensity pushes them "closer to the ridge point of the Roofline model";
+// these helpers quantify that for reports and tests.
+#pragma once
+
+#include <cstddef>
+
+#include "sparse/csr.hpp"
+
+namespace spmvopt::perf {
+
+/// Operational intensity of CSR SpMV in flop/byte: 2·NNZ flops over the
+/// compulsory traffic (matrix + x + y).
+[[nodiscard]] double spmv_operational_intensity(const CsrMatrix& A) noexcept;
+
+/// Attainable Gflop/s under the Roofline: min(peak_flops, B * intensity).
+[[nodiscard]] double roofline_gflops(double intensity_flop_per_byte,
+                                     double bandwidth_gbps,
+                                     double peak_gflops) noexcept;
+
+/// Ridge point: the intensity at which the machine turns compute-bound.
+[[nodiscard]] double ridge_point(double bandwidth_gbps,
+                                 double peak_gflops) noexcept;
+
+}  // namespace spmvopt::perf

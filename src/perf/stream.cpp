@@ -1,0 +1,56 @@
+#include "perf/stream.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "support/aligned.hpp"
+#include "support/cpu_info.hpp"
+#include "support/timing.hpp"
+
+namespace spmvopt::perf {
+
+double BandwidthProfile::bmax_for(std::size_t working_set_bytes) const noexcept {
+  return working_set_bytes <= cpu_info().llc_bytes ? llc_gbps : dram_gbps;
+}
+
+double stream_triad_gbps(std::size_t elems, int nthreads, int repetitions) {
+  if (elems == 0) throw std::invalid_argument("stream_triad: empty array");
+  if (repetitions < 1) throw std::invalid_argument("stream_triad: repetitions < 1");
+  aligned_vector<double> a(elems, 0.0), b(elems, 1.0), c(elems, 2.0);
+  const double s = 3.0;
+  double* pa = a.data();
+  const double* pb = b.data();
+  const double* pc = c.data();
+
+  double best_sec = 1e300;
+  for (int rep = 0; rep < repetitions + 1; ++rep) {  // first rep = warmup
+    Timer timer;
+#pragma omp parallel for schedule(static) num_threads(nthreads)
+    for (std::size_t i = 0; i < elems; ++i) pa[i] = pb[i] + s * pc[i];
+    const double sec = timer.elapsed_sec();
+    if (rep > 0) best_sec = std::min(best_sec, sec);
+  }
+  // STREAM counts 3 arrays (2 reads + 1 write) of 8-byte elements.
+  const double bytes = 3.0 * static_cast<double>(elems) * sizeof(double);
+  return bytes / best_sec / 1e9;
+}
+
+const BandwidthProfile& bandwidth_profile(int nthreads) {
+  static const BandwidthProfile profile = [nthreads] {
+    const int t = nthreads > 0 ? nthreads : default_threads();
+    const std::size_t llc = cpu_info().llc_bytes;
+    BandwidthProfile p;
+    // DRAM point: 4x the LLC so the triad streams from memory.
+    p.dram_gbps = stream_triad_gbps(4 * llc / (3 * sizeof(double)), t, 5);
+    // LLC point: a quarter of the LLC, repeated to stay resident.
+    p.llc_gbps = stream_triad_gbps(
+        std::max<std::size_t>(4096, llc / (4 * 3 * sizeof(double))), t, 20);
+    // On hosts whose LLC is so large the "DRAM" point still fits a slice of
+    // cache, keep the invariant llc >= dram anyway.
+    p.llc_gbps = std::max(p.llc_gbps, p.dram_gbps);
+    return p;
+  }();
+  return profile;
+}
+
+}  // namespace spmvopt::perf

@@ -1,0 +1,32 @@
+// STREAM-triad bandwidth probe (McCalpin [25]).
+//
+// Table III reports each platform's sustainable triad bandwidth twice: out of
+// main memory and out of the LLC.  The P_MB / P_peak bounds (§III-B) divide
+// memory traffic by B_max, "adjusted upwards for matrices that fit in the
+// system's cache hierarchy" (footnote 2) — so we measure both operating
+// points on the host at startup and pick per matrix.
+#pragma once
+
+#include <cstddef>
+
+namespace spmvopt::perf {
+
+struct BandwidthProfile {
+  double dram_gbps = 0.0;  ///< triad bandwidth, working set >> LLC
+  double llc_gbps = 0.0;   ///< triad bandwidth, working set inside LLC
+
+  /// B_max for a kernel with the given working-set size (footnote 2).
+  [[nodiscard]] double bmax_for(std::size_t working_set_bytes) const noexcept;
+};
+
+/// Triad a[i] = b[i] + s*c[i] over three arrays of `elems` doubles with
+/// `nthreads` OpenMP threads; returns sustained GB/s (3 arrays moved,
+/// write-allocate traffic not counted, as STREAM does).
+[[nodiscard]] double stream_triad_gbps(std::size_t elems, int nthreads,
+                                       int repetitions = 10);
+
+/// Measure both operating points (cached after the first call — the probe
+/// costs a few hundred ms).  `nthreads` <= 0 means default_threads().
+[[nodiscard]] const BandwidthProfile& bandwidth_profile(int nthreads = 0);
+
+}  // namespace spmvopt::perf

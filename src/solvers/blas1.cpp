@@ -1,0 +1,53 @@
+#include "solvers/blas1.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace spmvopt::solvers {
+
+namespace {
+void require_same(std::size_t a, std::size_t b) {
+  if (a != b) throw std::invalid_argument("blas1: size mismatch");
+}
+}  // namespace
+
+value_t dot(std::span<const value_t> a, std::span<const value_t> b) {
+  require_same(a.size(), b.size());
+  value_t s = 0.0;
+  const std::size_t n = a.size();
+#pragma omp parallel for schedule(static) reduction(+ : s)
+  for (std::size_t i = 0; i < n; ++i) s += a[i] * b[i];
+  return s;
+}
+
+value_t nrm2(std::span<const value_t> a) { return std::sqrt(dot(a, a)); }
+
+void axpy(value_t alpha, std::span<const value_t> x, std::span<value_t> y) {
+  require_same(x.size(), y.size());
+  const std::size_t n = x.size();
+#pragma omp parallel for schedule(static)
+  for (std::size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void xpby(std::span<const value_t> x, value_t beta, std::span<value_t> y) {
+  require_same(x.size(), y.size());
+  const std::size_t n = x.size();
+#pragma omp parallel for schedule(static)
+  for (std::size_t i = 0; i < n; ++i) y[i] = x[i] + beta * y[i];
+}
+
+void scal(value_t alpha, std::span<value_t> x) {
+  for (auto& v : x) v *= alpha;
+}
+
+void copy(std::span<const value_t> src, std::span<value_t> dst) {
+  require_same(src.size(), dst.size());
+  std::copy(src.begin(), src.end(), dst.begin());
+}
+
+void fill(std::span<value_t> x, value_t v) {
+  std::fill(x.begin(), x.end(), v);
+}
+
+}  // namespace spmvopt::solvers

@@ -1,0 +1,20 @@
+// Dense level-1 helpers the Krylov solvers are built from.
+#pragma once
+
+#include <span>
+
+#include "support/types.hpp"
+
+namespace spmvopt::solvers {
+
+[[nodiscard]] value_t dot(std::span<const value_t> a, std::span<const value_t> b);
+[[nodiscard]] value_t nrm2(std::span<const value_t> a);
+/// y += alpha * x
+void axpy(value_t alpha, std::span<const value_t> x, std::span<value_t> y);
+/// y = x + beta * y   (the CG/BiCGSTAB "xpby" update)
+void xpby(std::span<const value_t> x, value_t beta, std::span<value_t> y);
+void scal(value_t alpha, std::span<value_t> x);
+void copy(std::span<const value_t> src, std::span<value_t> dst);
+void fill(std::span<value_t> x, value_t v);
+
+}  // namespace spmvopt::solvers

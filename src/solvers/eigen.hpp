@@ -1,0 +1,58 @@
+// Eigenvalue estimation — the second half of the paper's motivation: SpMV is
+// "a fundamental building block of iterative methods for ... the
+// approximation of eigenvalues of large sparse matrices" (§I).
+//
+// * power_method        — dominant eigenpair (largest |λ|) of any operator.
+// * lanczos_extreme     — smallest/largest eigenvalues of a *symmetric*
+//   operator via the Lanczos tridiagonalization (Ritz values from the
+//   tridiagonal matrix, eigenvalues of which come from bisection with Sturm
+//   sequences — no external LAPACK needed).
+// Both do exactly one SpMV per iteration, the regime the optimizer targets.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "solvers/operator.hpp"
+
+namespace spmvopt::solvers {
+
+struct EigenOptions {
+  int max_iterations = 300;
+  double tolerance = 1e-9;  ///< on the eigenvalue change per iteration
+};
+
+struct EigenResult {
+  double eigenvalue = 0.0;
+  std::vector<value_t> eigenvector;  ///< normalized; empty for lanczos
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// Dominant eigenpair by power iteration with Rayleigh-quotient estimates.
+/// `seed` controls the deterministic random start vector.
+[[nodiscard]] EigenResult power_method(const LinearOperator& A,
+                                       const EigenOptions& opt = {},
+                                       std::uint64_t seed = 1);
+
+struct LanczosResult {
+  double lambda_min = 0.0;
+  double lambda_max = 0.0;
+  int iterations = 0;  ///< Krylov dimension reached (== SpMV count)
+};
+
+/// Extreme eigenvalues of a symmetric operator by `steps` Lanczos iterations
+/// with full reorthogonalization (robust for the moderate step counts used
+/// here).  Throws std::invalid_argument for a non-square operator.
+[[nodiscard]] LanczosResult lanczos_extreme(const LinearOperator& A,
+                                            int steps = 50,
+                                            std::uint64_t seed = 1);
+
+/// All eigenvalues of a symmetric tridiagonal matrix (diag, offdiag) by
+/// bisection with Sturm-sequence counts; ascending order.  Exposed for
+/// testing and reuse.
+[[nodiscard]] std::vector<double> tridiag_eigenvalues(
+    std::span<const double> diag, std::span<const double> offdiag,
+    double tol = 1e-12);
+
+}  // namespace spmvopt::solvers

@@ -1,0 +1,235 @@
+#include "solvers/krylov.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "solvers/blas1.hpp"
+
+namespace spmvopt::solvers {
+
+namespace {
+
+void require_square_system(const LinearOperator& A, std::size_t b, std::size_t x) {
+  if (A.nrows() != A.ncols())
+    throw std::invalid_argument("solver: operator must be square");
+  if (b != static_cast<std::size_t>(A.nrows()) || x != b)
+    throw std::invalid_argument("solver: vector size mismatch");
+}
+
+}  // namespace
+
+SolveResult cg(const LinearOperator& A, std::span<const value_t> b,
+               std::span<value_t> x, const SolverOptions& opt) {
+  require_square_system(A, b.size(), x.size());
+  const std::size_t n = b.size();
+  std::vector<value_t> r(n), p(n), Ap(n);
+
+  const double bnorm = nrm2(b);
+  if (bnorm == 0.0) {
+    fill(x, 0.0);
+    return {true, 0, 0.0};
+  }
+
+  // r = b - A x
+  A.apply(x, r);
+  for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - r[i];
+  copy(r, p);
+  double rr = dot(r, r);
+
+  SolveResult result;
+  for (int it = 0; it < opt.max_iterations; ++it) {
+    result.iterations = it + 1;
+    A.apply(p, Ap);
+    const double pAp = dot(p, Ap);
+    if (pAp <= 0.0) break;  // not SPD (or breakdown)
+    const double alpha = rr / pAp;
+    axpy(alpha, p, x);
+    axpy(-alpha, Ap, r);
+    const double rr_new = dot(r, r);
+    result.residual_norm = std::sqrt(rr_new) / bnorm;
+    if (result.residual_norm <= opt.rel_tolerance) {
+      result.converged = true;
+      return result;
+    }
+    xpby(r, rr_new / rr, p);  // p = r + beta p
+    rr = rr_new;
+  }
+  result.residual_norm = std::sqrt(rr) / bnorm;
+  return result;
+}
+
+SolveResult bicgstab(const LinearOperator& A, std::span<const value_t> b,
+                     std::span<value_t> x, const SolverOptions& opt) {
+  require_square_system(A, b.size(), x.size());
+  const std::size_t n = b.size();
+  std::vector<value_t> r(n), r0(n), p(n), v(n), s(n), t(n);
+
+  const double bnorm = nrm2(b);
+  if (bnorm == 0.0) {
+    fill(x, 0.0);
+    return {true, 0, 0.0};
+  }
+
+  A.apply(x, r);
+  for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - r[i];
+  copy(r, r0);
+  copy(r, p);
+  double rho = dot(r0, r);
+
+  SolveResult result;
+  for (int it = 0; it < opt.max_iterations; ++it) {
+    result.iterations = it + 1;
+    if (rho == 0.0) break;
+    A.apply(p, v);
+    const double alpha_den = dot(r0, v);
+    if (alpha_den == 0.0) break;
+    const double alpha = rho / alpha_den;
+    for (std::size_t i = 0; i < n; ++i) s[i] = r[i] - alpha * v[i];
+    const double snorm = nrm2(s);
+    if (snorm / bnorm <= opt.rel_tolerance) {
+      axpy(alpha, p, x);
+      result.converged = true;
+      result.residual_norm = snorm / bnorm;
+      return result;
+    }
+    A.apply(s, t);
+    const double tt = dot(t, t);
+    if (tt == 0.0) break;
+    const double omega = dot(t, s) / tt;
+    if (omega == 0.0) break;
+    axpy(alpha, p, x);
+    axpy(omega, s, x);
+    for (std::size_t i = 0; i < n; ++i) r[i] = s[i] - omega * t[i];
+    result.residual_norm = nrm2(r) / bnorm;
+    if (result.residual_norm <= opt.rel_tolerance) {
+      result.converged = true;
+      return result;
+    }
+    const double rho_new = dot(r0, r);
+    const double beta = (rho_new / rho) * (alpha / omega);
+    rho = rho_new;
+    for (std::size_t i = 0; i < n; ++i)
+      p[i] = r[i] + beta * (p[i] - omega * v[i]);
+  }
+  return result;
+}
+
+SolveResult gmres(const LinearOperator& A, std::span<const value_t> b,
+                  std::span<value_t> x, int restart, const SolverOptions& opt) {
+  require_square_system(A, b.size(), x.size());
+  if (restart < 1) throw std::invalid_argument("gmres: restart < 1");
+  const std::size_t n = b.size();
+  const int m = restart;
+
+  const double bnorm = nrm2(b);
+  if (bnorm == 0.0) {
+    fill(x, 0.0);
+    return {true, 0, 0.0};
+  }
+
+  // Krylov basis V (m+1 vectors) and Hessenberg H ((m+1) x m, column-major
+  // per column j of size j+2), plus Givens rotations.
+  std::vector<std::vector<value_t>> V(static_cast<std::size_t>(m) + 1,
+                                      std::vector<value_t>(n));
+  std::vector<std::vector<value_t>> H(static_cast<std::size_t>(m),
+                                      std::vector<value_t>(static_cast<std::size_t>(m) + 1, 0.0));
+  std::vector<value_t> cs(static_cast<std::size_t>(m), 0.0);
+  std::vector<value_t> sn(static_cast<std::size_t>(m), 0.0);
+  std::vector<value_t> g(static_cast<std::size_t>(m) + 1, 0.0);
+  std::vector<value_t> w(n);
+
+  SolveResult result;
+  int total_iters = 0;
+
+  while (total_iters < opt.max_iterations) {
+    // r = b - A x;  V[0] = r / ||r||
+    A.apply(x, w);
+    for (std::size_t i = 0; i < n; ++i) V[0][i] = b[i] - w[i];
+    double beta = nrm2(V[0]);
+    result.residual_norm = beta / bnorm;
+    if (result.residual_norm <= opt.rel_tolerance) {
+      result.converged = true;
+      result.iterations = total_iters;
+      return result;
+    }
+    scal(1.0 / beta, V[0]);
+    std::fill(g.begin(), g.end(), 0.0);
+    g[0] = beta;
+
+    int j = 0;
+    for (; j < m && total_iters < opt.max_iterations; ++j, ++total_iters) {
+      // Arnoldi with modified Gram-Schmidt.
+      A.apply(V[static_cast<std::size_t>(j)], w);
+      for (int i = 0; i <= j; ++i) {
+        const double h = dot(w, V[static_cast<std::size_t>(i)]);
+        H[static_cast<std::size_t>(j)][static_cast<std::size_t>(i)] = h;
+        axpy(-h, V[static_cast<std::size_t>(i)], w);
+      }
+      const double hnext = nrm2(w);
+      H[static_cast<std::size_t>(j)][static_cast<std::size_t>(j) + 1] = hnext;
+      if (hnext != 0.0) {
+        copy(w, V[static_cast<std::size_t>(j) + 1]);
+        scal(1.0 / hnext, V[static_cast<std::size_t>(j) + 1]);
+      }
+
+      // Apply previous Givens rotations to the new column.
+      auto& hj = H[static_cast<std::size_t>(j)];
+      for (int i = 0; i < j; ++i) {
+        const double tmp = cs[static_cast<std::size_t>(i)] * hj[static_cast<std::size_t>(i)] +
+                           sn[static_cast<std::size_t>(i)] * hj[static_cast<std::size_t>(i) + 1];
+        hj[static_cast<std::size_t>(i) + 1] =
+            -sn[static_cast<std::size_t>(i)] * hj[static_cast<std::size_t>(i)] +
+            cs[static_cast<std::size_t>(i)] * hj[static_cast<std::size_t>(i) + 1];
+        hj[static_cast<std::size_t>(i)] = tmp;
+      }
+      // New rotation annihilating H[j+1][j].
+      const double denom = std::hypot(hj[static_cast<std::size_t>(j)],
+                                      hj[static_cast<std::size_t>(j) + 1]);
+      if (denom == 0.0) {
+        cs[static_cast<std::size_t>(j)] = 1.0;
+        sn[static_cast<std::size_t>(j)] = 0.0;
+      } else {
+        cs[static_cast<std::size_t>(j)] = hj[static_cast<std::size_t>(j)] / denom;
+        sn[static_cast<std::size_t>(j)] = hj[static_cast<std::size_t>(j) + 1] / denom;
+      }
+      hj[static_cast<std::size_t>(j)] = denom;
+      hj[static_cast<std::size_t>(j) + 1] = 0.0;
+      const double gtmp = cs[static_cast<std::size_t>(j)] * g[static_cast<std::size_t>(j)];
+      g[static_cast<std::size_t>(j) + 1] =
+          -sn[static_cast<std::size_t>(j)] * g[static_cast<std::size_t>(j)];
+      g[static_cast<std::size_t>(j)] = gtmp;
+
+      result.residual_norm =
+          std::abs(g[static_cast<std::size_t>(j) + 1]) / bnorm;
+      if (result.residual_norm <= opt.rel_tolerance) {
+        ++j;
+        ++total_iters;
+        break;
+      }
+    }
+
+    // Solve the triangular system H y = g and update x.
+    std::vector<value_t> yv(static_cast<std::size_t>(j), 0.0);
+    for (int i = j - 1; i >= 0; --i) {
+      double s = g[static_cast<std::size_t>(i)];
+      for (int k = i + 1; k < j; ++k)
+        s -= H[static_cast<std::size_t>(k)][static_cast<std::size_t>(i)] *
+             yv[static_cast<std::size_t>(k)];
+      yv[static_cast<std::size_t>(i)] =
+          s / H[static_cast<std::size_t>(i)][static_cast<std::size_t>(i)];
+    }
+    for (int i = 0; i < j; ++i)
+      axpy(yv[static_cast<std::size_t>(i)], V[static_cast<std::size_t>(i)], x);
+
+    if (result.residual_norm <= opt.rel_tolerance) {
+      result.converged = true;
+      result.iterations = total_iters;
+      return result;
+    }
+  }
+  result.iterations = total_iters;
+  return result;
+}
+
+}  // namespace spmvopt::solvers

@@ -1,0 +1,43 @@
+// Krylov solvers: CG, BiCGSTAB and restarted GMRES.
+//
+// These are the §IV-D application context: iterative methods that call SpMV
+// hundreds-to-thousands of times, across which an optimizer's preprocessing
+// cost amortizes (Table V).  All solvers work through LinearOperator so they
+// run identically on baseline CSR and on any OptimizedSpmv plan.
+#pragma once
+
+#include <span>
+
+#include "solvers/operator.hpp"
+
+namespace spmvopt::solvers {
+
+struct SolverOptions {
+  int max_iterations = 1000;
+  double rel_tolerance = 1e-8;  ///< on ||r|| / ||b||
+};
+
+struct SolveResult {
+  bool converged = false;
+  int iterations = 0;
+  double residual_norm = 0.0;  ///< final relative residual
+};
+
+/// Conjugate Gradient — requires a symmetric positive-definite operator.
+[[nodiscard]] SolveResult cg(const LinearOperator& A, std::span<const value_t> b,
+                             std::span<value_t> x, const SolverOptions& opt = {});
+
+/// BiCGSTAB — general nonsymmetric systems.
+[[nodiscard]] SolveResult bicgstab(const LinearOperator& A,
+                                   std::span<const value_t> b,
+                                   std::span<value_t> x,
+                                   const SolverOptions& opt = {});
+
+/// GMRES(restart) with Givens rotations — general nonsymmetric systems.
+/// `iterations` counts inner iterations (SpMV calls).
+[[nodiscard]] SolveResult gmres(const LinearOperator& A,
+                                std::span<const value_t> b,
+                                std::span<value_t> x, int restart = 30,
+                                const SolverOptions& opt = {});
+
+}  // namespace spmvopt::solvers

@@ -1,0 +1,42 @@
+#include "solvers/operator.hpp"
+
+#include <stdexcept>
+
+#include "kernels/spmv.hpp"
+#include "support/cpu_info.hpp"
+#include "support/partition.hpp"
+
+namespace spmvopt::solvers {
+
+LinearOperator::LinearOperator(index_t nrows, index_t ncols, ApplyFn apply)
+    : nrows_(nrows), ncols_(ncols), apply_(std::move(apply)) {
+  if (nrows < 0 || ncols < 0 || !apply_)
+    throw std::invalid_argument("LinearOperator: bad arguments");
+}
+
+LinearOperator LinearOperator::from_csr(const CsrMatrix& A) {
+  auto part = balanced_nnz_partition(A.rowptr(), A.nrows(), default_threads());
+  return LinearOperator(
+      A.nrows(), A.ncols(),
+      [&A, part = std::move(part)](const value_t* x, value_t* y) {
+        kernels::spmv_balanced(A, part, x, y);
+      });
+}
+
+LinearOperator LinearOperator::from_optimized(
+    const optimize::OptimizedSpmv& spmv) {
+  return LinearOperator(spmv.nrows(), spmv.ncols(),
+                        [&spmv](const value_t* x, value_t* y) {
+                          spmv.run(x, y);
+                        });
+}
+
+void LinearOperator::apply(std::span<const value_t> x,
+                           std::span<value_t> y) const {
+  if (x.size() != static_cast<std::size_t>(ncols_) ||
+      y.size() != static_cast<std::size_t>(nrows_))
+    throw std::invalid_argument("LinearOperator::apply: size mismatch");
+  apply_(x.data(), y.data());
+}
+
+}  // namespace spmvopt::solvers

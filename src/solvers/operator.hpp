@@ -1,0 +1,37 @@
+// Linear-operator abstraction: lets the iterative solvers (the §IV-D context
+// that motivates the lightweight-optimizer design) run on either a plain CSR
+// matrix or an OptimizedSpmv without caring which.
+#pragma once
+
+#include <functional>
+#include <span>
+
+#include "optimize/optimized_spmv.hpp"
+#include "sparse/csr.hpp"
+
+namespace spmvopt::solvers {
+
+class LinearOperator {
+ public:
+  using ApplyFn = std::function<void(const value_t*, value_t*)>;
+
+  LinearOperator(index_t nrows, index_t ncols, ApplyFn apply);
+
+  /// Views `A` (caller keeps it alive).
+  static LinearOperator from_csr(const CsrMatrix& A);
+  /// Views `spmv` (caller keeps it alive).
+  static LinearOperator from_optimized(const optimize::OptimizedSpmv& spmv);
+
+  [[nodiscard]] index_t nrows() const noexcept { return nrows_; }
+  [[nodiscard]] index_t ncols() const noexcept { return ncols_; }
+
+  /// y = A * x (checked sizes).
+  void apply(std::span<const value_t> x, std::span<value_t> y) const;
+
+ private:
+  index_t nrows_;
+  index_t ncols_;
+  ApplyFn apply_;
+};
+
+}  // namespace spmvopt::solvers

@@ -1,0 +1,74 @@
+#include "solvers/pagerank.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace spmvopt::solvers {
+
+CsrMatrix transition_matrix(const CsrMatrix& A) {
+  if (A.nrows() != A.ncols())
+    throw std::invalid_argument("transition_matrix: adjacency must be square");
+  const index_t n = A.nrows();
+  CooMatrix coo(n, n);
+  coo.reserve(static_cast<std::size_t>(A.nnz()));
+  for (index_t i = 0; i < n; ++i) {
+    const index_t deg = A.row_nnz(i);
+    if (deg == 0) continue;  // dangling: handled in the iteration
+    const value_t w = 1.0 / static_cast<value_t>(deg);
+    for (index_t j = A.rowptr()[i]; j < A.rowptr()[i + 1]; ++j)
+      coo.add(A.colind()[j], i, w);  // transpose: P[dst][src]
+  }
+  coo.compress();
+  return CsrMatrix::from_coo(coo);
+}
+
+std::vector<index_t> dangling_nodes(const CsrMatrix& A) {
+  std::vector<index_t> out;
+  for (index_t i = 0; i < A.nrows(); ++i)
+    if (A.row_nnz(i) == 0) out.push_back(i);
+  return out;
+}
+
+PageRankResult pagerank_with_operator(const LinearOperator& transition,
+                                      const std::vector<index_t>& dangling,
+                                      index_t n, const PageRankOptions& opt) {
+  if (opt.damping <= 0.0 || opt.damping >= 1.0)
+    throw std::invalid_argument("pagerank: damping must be in (0, 1)");
+  if (n <= 0) throw std::invalid_argument("pagerank: empty graph");
+
+  PageRankResult result;
+  result.scores.assign(static_cast<std::size_t>(n),
+                       1.0 / static_cast<value_t>(n));
+  std::vector<value_t> next(static_cast<std::size_t>(n));
+
+  for (int it = 0; it < opt.max_iterations; ++it) {
+    result.iterations = it + 1;
+    transition.apply(result.scores, next);
+    // Dangling mass is spread uniformly; plus the teleport term.
+    value_t dangling_mass = 0.0;
+    for (index_t d : dangling)
+      dangling_mass += result.scores[static_cast<std::size_t>(d)];
+    const value_t base =
+        (1.0 - opt.damping) / static_cast<value_t>(n) +
+        opt.damping * dangling_mass / static_cast<value_t>(n);
+    value_t delta = 0.0;
+    for (std::size_t i = 0; i < next.size(); ++i) {
+      next[i] = base + opt.damping * next[i];
+      delta += std::abs(next[i] - result.scores[i]);
+    }
+    result.scores.swap(next);
+    if (delta <= opt.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+  return result;
+}
+
+PageRankResult pagerank(const CsrMatrix& A, const PageRankOptions& opt) {
+  const CsrMatrix P = transition_matrix(A);
+  const LinearOperator op = LinearOperator::from_csr(P);
+  return pagerank_with_operator(op, dangling_nodes(A), A.nrows(), opt);
+}
+
+}  // namespace spmvopt::solvers

@@ -1,0 +1,45 @@
+// PageRank power iteration — the graph-analytics workload the introduction
+// motivates (power-law web/citation matrices are exactly the IMB/CMP cases
+// the optimizer targets).
+#pragma once
+
+#include <vector>
+
+#include "solvers/operator.hpp"
+#include "sparse/csr.hpp"
+
+namespace spmvopt::solvers {
+
+struct PageRankOptions {
+  double damping = 0.85;
+  int max_iterations = 200;
+  double tolerance = 1e-9;  ///< on the L1 change per iteration
+};
+
+struct PageRankResult {
+  std::vector<value_t> scores;  ///< sums to 1
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// PageRank of the directed graph whose adjacency is `A` (A[i][j] != 0 means
+/// an edge i -> j).  The iteration multiplies by the column-stochastic
+/// transpose, which we build once (the preprocessing an SpMV optimizer would
+/// amortize over the iterations).  `op` optionally overrides the multiply
+/// with an optimized kernel built on `transition(A)`.
+[[nodiscard]] PageRankResult pagerank(const CsrMatrix& A,
+                                      const PageRankOptions& opt = {});
+
+/// Same, but multiplying with a caller-supplied operator over the transition
+/// matrix (e.g. an OptimizedSpmv of transition_matrix(A)); `dangling` must be
+/// the rows of A with no out-links.
+[[nodiscard]] PageRankResult pagerank_with_operator(
+    const LinearOperator& transition, const std::vector<index_t>& dangling,
+    index_t n, const PageRankOptions& opt = {});
+
+/// The column-stochastic transition matrix P = (D^-1 A)^T used above.
+[[nodiscard]] CsrMatrix transition_matrix(const CsrMatrix& A);
+/// Row indices of A with an empty row (dangling nodes).
+[[nodiscard]] std::vector<index_t> dangling_nodes(const CsrMatrix& A);
+
+}  // namespace spmvopt::solvers

@@ -1,0 +1,40 @@
+// Stationary iterations: Jacobi, Gauss-Seidel, and Chebyshev acceleration.
+//
+// The smoothers every multigrid/preconditioner stack is built on, plus the
+// Chebyshev iteration — a CG-like method that needs *no* inner products
+// (attractive at scale), driven by the spectral bounds that lanczos_extreme
+// estimates.  All of them are SpMV-per-iteration workloads.
+#pragma once
+
+#include <span>
+
+#include "solvers/krylov.hpp"
+#include "solvers/operator.hpp"
+#include "sparse/csr.hpp"
+
+namespace spmvopt::solvers {
+
+/// Damped Jacobi: x += omega * D^{-1} (b - A x).  Requires a nonzero
+/// diagonal.  Converges for diagonally dominant A when omega in (0, 1].
+[[nodiscard]] SolveResult jacobi(const CsrMatrix& A, std::span<const value_t> b,
+                                 std::span<value_t> x, value_t omega = 1.0,
+                                 const SolverOptions& opt = {});
+
+/// Forward Gauss-Seidel sweeps (serial by nature).
+[[nodiscard]] SolveResult gauss_seidel(const CsrMatrix& A,
+                                       std::span<const value_t> b,
+                                       std::span<value_t> x,
+                                       const SolverOptions& opt = {});
+
+/// Chebyshev iteration for SPD A with spectrum inside [lambda_min,
+/// lambda_max] (e.g. from lanczos_extreme, padded a few percent).  One SpMV
+/// and zero reductions per iteration; the residual norm is only evaluated
+/// every `check_every` iterations to preserve that property.
+[[nodiscard]] SolveResult chebyshev(const LinearOperator& A,
+                                    std::span<const value_t> b,
+                                    std::span<value_t> x, double lambda_min,
+                                    double lambda_max,
+                                    const SolverOptions& opt = {},
+                                    int check_every = 10);
+
+}  // namespace spmvopt::solvers

@@ -1,0 +1,85 @@
+// Register-blocked CSR (BCSR) with fixed R x C blocks — the core OSKI
+// optimization (Vuduc et al. [26], the paper's canonical autotuning
+// predecessor).
+//
+// The matrix is tiled into aligned R x C blocks; any block containing at
+// least one nonzero is stored densely (explicit zero fill), with one column
+// index per *block* instead of per element.  The kernel keeps R accumulators
+// in registers and reads x contiguously per block, trading `fill_ratio()`
+// extra flops/bytes for regular access — profitable when the pattern is
+// naturally blocked (FEM matrices), ruinous when it is not, which is why
+// `choose_block_size()` estimates fill from a row sample first (OSKI's
+// heuristic).
+#pragma once
+
+#include <utility>
+
+#include "sparse/csr.hpp"
+#include "support/aligned.hpp"
+#include "support/types.hpp"
+
+namespace spmvopt {
+
+class BcsrMatrix {
+ public:
+  /// Convert with fixed block dimensions (1 <= br, bc <= 8).
+  static BcsrMatrix from_csr(const CsrMatrix& csr, index_t br, index_t bc);
+
+  /// OSKI-style block-size selection: estimate the fill ratio of each
+  /// candidate block shape from a sample of `sample_rows` block rows and
+  /// pick the shape minimizing estimated (fill * work); returns {1, 1} when
+  /// no blocking is estimated to pay off.
+  [[nodiscard]] static std::pair<index_t, index_t> choose_block_size(
+      const CsrMatrix& csr, index_t sample_rows = 512);
+
+  /// Estimated stored-elements / nnz for the given block shape, from a
+  /// uniform sample of block rows (exact when sample covers all rows).
+  [[nodiscard]] static double estimate_fill(const CsrMatrix& csr, index_t br,
+                                            index_t bc,
+                                            index_t sample_rows = 512);
+
+  [[nodiscard]] index_t nrows() const noexcept { return nrows_; }
+  [[nodiscard]] index_t ncols() const noexcept { return ncols_; }
+  [[nodiscard]] index_t nnz() const noexcept { return nnz_; }
+  [[nodiscard]] index_t block_rows() const noexcept { return br_; }
+  [[nodiscard]] index_t block_cols() const noexcept { return bc_; }
+  [[nodiscard]] index_t num_block_rows() const noexcept {
+    return static_cast<index_t>(blockptr_.size()) - 1;
+  }
+  [[nodiscard]] index_t num_blocks() const noexcept {
+    return blockptr_.empty() ? 0 : blockptr_.back();
+  }
+
+  /// Stored elements / nnz (>= 1; the blocking overhead).
+  [[nodiscard]] double fill_ratio() const noexcept;
+  [[nodiscard]] std::size_t format_bytes() const noexcept;
+
+  [[nodiscard]] const index_t* blockptr() const noexcept {
+    return blockptr_.data();
+  }
+  [[nodiscard]] const index_t* blockind() const noexcept {
+    return blockind_.data();
+  }
+  [[nodiscard]] const value_t* values() const noexcept { return values_.data(); }
+
+  /// Reference multiply for tests; the parallel kernel is in
+  /// kernels/bcsr_kernels.hpp.
+  void multiply(const value_t* x, value_t* y) const noexcept;
+
+  /// Back to CSR (drops the explicit zeros), for round-trip verification.
+  [[nodiscard]] CsrMatrix to_csr() const;
+
+ private:
+  BcsrMatrix() = default;
+
+  index_t nrows_ = 0;
+  index_t ncols_ = 0;
+  index_t nnz_ = 0;
+  index_t br_ = 1;
+  index_t bc_ = 1;
+  aligned_vector<index_t> blockptr_;  ///< per block row, into blockind_
+  aligned_vector<index_t> blockind_;  ///< block-column index per block
+  aligned_vector<value_t> values_;    ///< br*bc per block, row-major
+};
+
+}  // namespace spmvopt

@@ -1,0 +1,81 @@
+#include "sparse/binary_io.hpp"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace spmvopt {
+
+namespace {
+
+constexpr char kMagic[8] = {'S', 'P', 'M', 'V', 'C', 'S', 'R', '1'};
+
+template <class T>
+void write_raw(std::ostream& out, const T* data, std::size_t count) {
+  out.write(reinterpret_cast<const char*>(data),
+            static_cast<std::streamsize>(count * sizeof(T)));
+}
+
+template <class T>
+void read_raw(std::istream& in, T* data, std::size_t count) {
+  in.read(reinterpret_cast<char*>(data),
+          static_cast<std::streamsize>(count * sizeof(T)));
+  if (!in) throw std::runtime_error("csr binary: truncated file");
+}
+
+}  // namespace
+
+void write_csr_binary(std::ostream& out, const CsrMatrix& csr) {
+  out.write(kMagic, sizeof(kMagic));
+  const std::int64_t dims[3] = {csr.nrows(), csr.ncols(), csr.nnz()};
+  write_raw(out, dims, 3);
+  write_raw(out, csr.rowptr(), static_cast<std::size_t>(csr.nrows()) + 1);
+  write_raw(out, csr.colind(), static_cast<std::size_t>(csr.nnz()));
+  write_raw(out, csr.values(), static_cast<std::size_t>(csr.nnz()));
+  if (!out) throw std::runtime_error("csr binary: write failed");
+}
+
+void write_csr_binary_file(const std::string& path, const CsrMatrix& csr) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("csr binary: cannot open '" + path + "'");
+  write_csr_binary(out, csr);
+}
+
+CsrMatrix read_csr_binary(std::istream& in) {
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
+    throw std::runtime_error("csr binary: bad magic (not a spmvopt CSR file)");
+  std::int64_t dims[3];
+  read_raw(in, dims, 3);
+  if (dims[0] < 0 || dims[1] < 0 || dims[2] < 0 ||
+      dims[0] > std::numeric_limits<index_t>::max() ||
+      dims[1] > std::numeric_limits<index_t>::max() ||
+      dims[2] > std::numeric_limits<index_t>::max())
+    throw std::runtime_error("csr binary: implausible dimensions");
+  const auto nrows = static_cast<index_t>(dims[0]);
+  const auto ncols = static_cast<index_t>(dims[1]);
+  const auto nnz = static_cast<std::size_t>(dims[2]);
+
+  aligned_vector<index_t> rowptr(static_cast<std::size_t>(nrows) + 1);
+  aligned_vector<index_t> colind(nnz);
+  aligned_vector<value_t> values(nnz);
+  read_raw(in, rowptr.data(), rowptr.size());
+  read_raw(in, colind.data(), colind.size());
+  read_raw(in, values.data(), values.size());
+  // The CsrMatrix constructor re-validates structure.
+  return CsrMatrix(nrows, ncols, std::move(rowptr), std::move(colind),
+                   std::move(values));
+}
+
+CsrMatrix read_csr_binary_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("csr binary: cannot open '" + path + "'");
+  return read_csr_binary(in);
+}
+
+}  // namespace spmvopt

@@ -1,0 +1,26 @@
+// Binary CSR cache.
+//
+// Matrix Market parsing is text-bound and dominates load time for large
+// matrices; real deployments parse once and reload a validated binary image
+// on every run (OSKI and SparseX both do this).  Format: a magic/version
+// header, dimensions, then the three raw arrays.  Reads re-validate through
+// the CsrMatrix constructor, so a corrupted file cannot produce an
+// inconsistent matrix.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "sparse/csr.hpp"
+
+namespace spmvopt {
+
+void write_csr_binary(std::ostream& out, const CsrMatrix& csr);
+void write_csr_binary_file(const std::string& path, const CsrMatrix& csr);
+
+/// Throws std::runtime_error on bad magic/version/truncation and
+/// std::invalid_argument if the arrays fail CSR validation.
+[[nodiscard]] CsrMatrix read_csr_binary(std::istream& in);
+[[nodiscard]] CsrMatrix read_csr_binary_file(const std::string& path);
+
+}  // namespace spmvopt

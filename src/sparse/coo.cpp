@@ -1,0 +1,43 @@
+#include "sparse/coo.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace spmvopt {
+
+CooMatrix::CooMatrix(index_t nrows, index_t ncols)
+    : nrows_(nrows), ncols_(ncols) {
+  if (nrows < 0 || ncols < 0)
+    throw std::invalid_argument("CooMatrix: negative dimension");
+}
+
+void CooMatrix::add(index_t row, index_t col, value_t value) {
+  if (row < 0 || row >= nrows_ || col < 0 || col >= ncols_)
+    throw std::out_of_range("CooMatrix::add: coordinate out of range");
+  entries_.push_back({row, col, value});
+}
+
+void CooMatrix::add_symmetric(index_t row, index_t col, value_t value) {
+  add(row, col, value);
+  if (row != col) add(col, row, value);
+}
+
+void CooMatrix::compress() {
+  std::sort(entries_.begin(), entries_.end(),
+            [](const Triplet& a, const Triplet& b) {
+              return a.row != b.row ? a.row < b.row : a.col < b.col;
+            });
+  // Sum duplicates in place.
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (out > 0 && entries_[out - 1].row == entries_[i].row &&
+        entries_[out - 1].col == entries_[i].col) {
+      entries_[out - 1].value += entries_[i].value;
+    } else {
+      entries_[out++] = entries_[i];
+    }
+  }
+  entries_.resize(out);
+}
+
+}  // namespace spmvopt

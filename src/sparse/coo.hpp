@@ -1,0 +1,48 @@
+// Coordinate-format triplet builder.
+//
+// All generators and the Matrix Market reader produce COO; CSR (the storage
+// format everything in the paper builds on) is derived from it.
+#pragma once
+
+#include <vector>
+
+#include "support/types.hpp"
+
+namespace spmvopt {
+
+struct Triplet {
+  index_t row = 0;
+  index_t col = 0;
+  value_t value = 0.0;
+};
+
+class CooMatrix {
+ public:
+  CooMatrix() = default;
+  /// Creates an empty nrows x ncols matrix.  Throws on negative dimensions.
+  CooMatrix(index_t nrows, index_t ncols);
+
+  /// Append one entry.  Throws std::out_of_range on invalid coordinates.
+  void add(index_t row, index_t col, value_t value);
+
+  /// Append `value` at (row,col) and (col,row); the diagonal only once.
+  void add_symmetric(index_t row, index_t col, value_t value);
+
+  /// Sort entries into row-major order and sum duplicates in place.
+  void compress();
+
+  [[nodiscard]] index_t nrows() const noexcept { return nrows_; }
+  [[nodiscard]] index_t ncols() const noexcept { return ncols_; }
+  [[nodiscard]] std::size_t nnz() const noexcept { return entries_.size(); }
+  [[nodiscard]] const std::vector<Triplet>& entries() const noexcept {
+    return entries_;
+  }
+  void reserve(std::size_t n) { entries_.reserve(n); }
+
+ private:
+  index_t nrows_ = 0;
+  index_t ncols_ = 0;
+  std::vector<Triplet> entries_;
+};
+
+}  // namespace spmvopt

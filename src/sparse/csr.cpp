@@ -1,0 +1,150 @@
+#include "sparse/csr.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace spmvopt {
+
+CsrMatrix::CsrMatrix(index_t nrows, index_t ncols,
+                     aligned_vector<index_t> rowptr,
+                     aligned_vector<index_t> colind,
+                     aligned_vector<value_t> values)
+    : nrows_(nrows),
+      ncols_(ncols),
+      rowptr_(std::move(rowptr)),
+      colind_(std::move(colind)),
+      values_(std::move(values)) {
+  validate();
+}
+
+void CsrMatrix::validate() const {
+  if (nrows_ < 0 || ncols_ < 0)
+    throw std::invalid_argument("CsrMatrix: negative dimension");
+  if (rowptr_.size() != static_cast<std::size_t>(nrows_) + 1)
+    throw std::invalid_argument("CsrMatrix: rowptr size != nrows+1");
+  if (rowptr_.front() != 0)
+    throw std::invalid_argument("CsrMatrix: rowptr[0] != 0");
+  for (std::size_t i = 1; i < rowptr_.size(); ++i)
+    if (rowptr_[i] < rowptr_[i - 1])
+      throw std::invalid_argument("CsrMatrix: rowptr not monotone");
+  const auto nnz = static_cast<std::size_t>(rowptr_.back());
+  if (colind_.size() != nnz || values_.size() != nnz)
+    throw std::invalid_argument("CsrMatrix: colind/values size != nnz");
+  for (index_t c : colind_)
+    if (c < 0 || c >= ncols_)
+      throw std::invalid_argument("CsrMatrix: column index out of range");
+}
+
+CsrMatrix CsrMatrix::from_coo(const CooMatrix& coo) {
+  const index_t n = coo.nrows();
+  const auto& e = coo.entries();
+
+  aligned_vector<index_t> rowptr(static_cast<std::size_t>(n) + 1, 0);
+  for (const Triplet& t : e) ++rowptr[static_cast<std::size_t>(t.row) + 1];
+  for (std::size_t i = 1; i < rowptr.size(); ++i) rowptr[i] += rowptr[i - 1];
+
+  aligned_vector<index_t> colind(e.size());
+  aligned_vector<value_t> values(e.size());
+  // Scatter by row using a moving cursor per row.
+  aligned_vector<index_t> cursor(rowptr.begin(), rowptr.end() - 1);
+  for (const Triplet& t : e) {
+    const auto pos = static_cast<std::size_t>(cursor[static_cast<std::size_t>(t.row)]++);
+    colind[pos] = t.col;
+    values[pos] = t.value;
+  }
+  // Sort columns within each row (pairwise with values).
+  for (index_t i = 0; i < n; ++i) {
+    const auto lo = static_cast<std::size_t>(rowptr[static_cast<std::size_t>(i)]);
+    const auto hi = static_cast<std::size_t>(rowptr[static_cast<std::size_t>(i) + 1]);
+    if (hi - lo < 2) continue;
+    std::vector<std::size_t> order(hi - lo);
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return colind[lo + a] < colind[lo + b];
+    });
+    aligned_vector<index_t> ctmp(hi - lo);
+    aligned_vector<value_t> vtmp(hi - lo);
+    for (std::size_t k = 0; k < order.size(); ++k) {
+      ctmp[k] = colind[lo + order[k]];
+      vtmp[k] = values[lo + order[k]];
+    }
+    std::copy(ctmp.begin(), ctmp.end(), colind.begin() + static_cast<std::ptrdiff_t>(lo));
+    std::copy(vtmp.begin(), vtmp.end(), values.begin() + static_cast<std::ptrdiff_t>(lo));
+  }
+  return CsrMatrix(n, coo.ncols(), std::move(rowptr), std::move(colind),
+                   std::move(values));
+}
+
+std::size_t CsrMatrix::format_bytes() const noexcept {
+  return rowptr_.size() * sizeof(index_t) + colind_.size() * sizeof(index_t) +
+         values_.size() * sizeof(value_t);
+}
+
+std::size_t CsrMatrix::values_bytes() const noexcept {
+  return values_.size() * sizeof(value_t);
+}
+
+std::size_t CsrMatrix::working_set_bytes() const noexcept {
+  return format_bytes() + static_cast<std::size_t>(ncols_) * sizeof(value_t) +
+         static_cast<std::size_t>(nrows_) * sizeof(value_t);
+}
+
+void CsrMatrix::multiply(std::span<const value_t> x,
+                         std::span<value_t> y) const {
+  if (x.size() != static_cast<std::size_t>(ncols_) ||
+      y.size() != static_cast<std::size_t>(nrows_))
+    throw std::invalid_argument("CsrMatrix::multiply: vector size mismatch");
+  for (index_t i = 0; i < nrows_; ++i) {
+    value_t sum = 0.0;
+    for (index_t j = rowptr_[static_cast<std::size_t>(i)];
+         j < rowptr_[static_cast<std::size_t>(i) + 1]; ++j) {
+      sum += values_[static_cast<std::size_t>(j)] *
+             x[static_cast<std::size_t>(colind_[static_cast<std::size_t>(j)])];
+    }
+    y[static_cast<std::size_t>(i)] = sum;
+  }
+}
+
+bool CsrMatrix::is_symmetric(value_t tol) const {
+  if (nrows_ != ncols_) return false;
+  // For each (i, j, v), binary-search row j for column i.
+  for (index_t i = 0; i < nrows_; ++i) {
+    for (index_t k = rowptr_[static_cast<std::size_t>(i)];
+         k < rowptr_[static_cast<std::size_t>(i) + 1]; ++k) {
+      const index_t j = colind_[static_cast<std::size_t>(k)];
+      const value_t v = values_[static_cast<std::size_t>(k)];
+      const index_t* lo = colind_.data() + rowptr_[static_cast<std::size_t>(j)];
+      const index_t* hi = colind_.data() + rowptr_[static_cast<std::size_t>(j) + 1];
+      const index_t* pos = std::lower_bound(lo, hi, i);
+      if (pos == hi || *pos != i) return false;
+      const value_t w = values_[static_cast<std::size_t>(pos - colind_.data())];
+      if (std::abs(v - w) > tol) return false;
+    }
+  }
+  return true;
+}
+
+CsrMatrix CsrMatrix::extract_rows(index_t begin, index_t end) const {
+  if (begin < 0 || end < begin || end > nrows_)
+    throw std::out_of_range("CsrMatrix::extract_rows: bad range");
+  const index_t base = rowptr_[static_cast<std::size_t>(begin)];
+  const index_t stop = rowptr_[static_cast<std::size_t>(end)];
+  aligned_vector<index_t> rowptr(static_cast<std::size_t>(end - begin) + 1);
+  for (index_t i = begin; i <= end; ++i)
+    rowptr[static_cast<std::size_t>(i - begin)] =
+        rowptr_[static_cast<std::size_t>(i)] - base;
+  aligned_vector<index_t> colind(colind_.begin() + base, colind_.begin() + stop);
+  aligned_vector<value_t> values(values_.begin() + base, values_.begin() + stop);
+  return CsrMatrix(end - begin, ncols_, std::move(rowptr), std::move(colind),
+                   std::move(values));
+}
+
+bool CsrMatrix::equals(const CsrMatrix& other) const noexcept {
+  return nrows_ == other.nrows_ && ncols_ == other.ncols_ &&
+         rowptr_ == other.rowptr_ && colind_ == other.colind_ &&
+         values_ == other.values_;
+}
+
+}  // namespace spmvopt

@@ -1,0 +1,86 @@
+// Compressed Sparse Row storage (§II, Fig. 2) — the base format of the
+// whole optimization pool.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "sparse/coo.hpp"
+#include "support/aligned.hpp"
+#include "support/types.hpp"
+
+namespace spmvopt {
+
+class CsrMatrix {
+ public:
+  CsrMatrix() = default;
+
+  /// Build from (validated) raw arrays.  Throws std::invalid_argument when
+  /// the arrays are inconsistent (rowptr non-monotone, colind out of range,
+  /// sizes mismatched).
+  CsrMatrix(index_t nrows, index_t ncols, aligned_vector<index_t> rowptr,
+            aligned_vector<index_t> colind, aligned_vector<value_t> values);
+
+  /// Convert from COO.  Duplicates must already be summed via compress();
+  /// entries need not be sorted (a counting pass orders them by row; columns
+  /// are sorted within each row).
+  static CsrMatrix from_coo(const CooMatrix& coo);
+
+  [[nodiscard]] index_t nrows() const noexcept { return nrows_; }
+  [[nodiscard]] index_t ncols() const noexcept { return ncols_; }
+  [[nodiscard]] index_t nnz() const noexcept {
+    return nrows_ > 0 ? rowptr_[static_cast<std::size_t>(nrows_)] : 0;
+  }
+  [[nodiscard]] index_t row_nnz(index_t i) const noexcept {
+    return rowptr_[static_cast<std::size_t>(i) + 1] -
+           rowptr_[static_cast<std::size_t>(i)];
+  }
+
+  [[nodiscard]] const index_t* rowptr() const noexcept { return rowptr_.data(); }
+  [[nodiscard]] const index_t* colind() const noexcept { return colind_.data(); }
+  [[nodiscard]] const value_t* values() const noexcept { return values_.data(); }
+  [[nodiscard]] value_t* values_mut() noexcept { return values_.data(); }
+
+  [[nodiscard]] std::span<const index_t> rowptr_span() const noexcept {
+    return {rowptr_.data(), rowptr_.size()};
+  }
+  [[nodiscard]] std::span<const index_t> colind_span() const noexcept {
+    return {colind_.data(), colind_.size()};
+  }
+  [[nodiscard]] std::span<const value_t> values_span() const noexcept {
+    return {values_.data(), values_.size()};
+  }
+
+  /// Bytes of the matrix data structure itself (S_format in §III-B):
+  /// rowptr + colind + values.
+  [[nodiscard]] std::size_t format_bytes() const noexcept;
+  /// Bytes of the values array only (S_values, for P_peak).
+  [[nodiscard]] std::size_t values_bytes() const noexcept;
+  /// Full SpMV working set: S_format + S_x + S_y.
+  [[nodiscard]] std::size_t working_set_bytes() const noexcept;
+
+  /// Reference (serial, obviously-correct) y = A*x for tests and baselines.
+  void multiply(std::span<const value_t> x, std::span<value_t> y) const;
+
+  /// True when every stored (i,j) has a stored (j,i) with the same value.
+  /// O(nnz log nnz); intended for tests and tools, not hot paths.
+  [[nodiscard]] bool is_symmetric(value_t tol = 0.0) const;
+
+  /// A deep structural equality check (dims, pattern, exact values).
+  [[nodiscard]] bool equals(const CsrMatrix& other) const noexcept;
+
+  /// Copy of rows [begin, end) as a (end-begin) x ncols matrix.  Used by the
+  /// partition-wise bottleneck analysis (the paper's §IV-C future-work idea).
+  [[nodiscard]] CsrMatrix extract_rows(index_t begin, index_t end) const;
+
+ private:
+  void validate() const;
+
+  index_t nrows_ = 0;
+  index_t ncols_ = 0;
+  aligned_vector<index_t> rowptr_;
+  aligned_vector<index_t> colind_;
+  aligned_vector<value_t> values_;
+};
+
+}  // namespace spmvopt

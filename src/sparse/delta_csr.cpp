@@ -1,0 +1,86 @@
+#include "sparse/delta_csr.hpp"
+
+#include <limits>
+
+namespace spmvopt {
+
+std::optional<DeltaWidth> DeltaCsrMatrix::required_width(const CsrMatrix& csr) {
+  const index_t* rowptr = csr.rowptr();
+  const index_t* colind = csr.colind();
+  index_t max_gap = 0;
+  for (index_t i = 0; i < csr.nrows(); ++i) {
+    for (index_t j = rowptr[i] + 1; j < rowptr[i + 1]; ++j) {
+      const index_t gap = colind[j] - colind[j - 1];
+      if (gap > max_gap) max_gap = gap;
+    }
+  }
+  if (max_gap <= std::numeric_limits<std::uint8_t>::max()) return DeltaWidth::U8;
+  if (max_gap <= std::numeric_limits<std::uint16_t>::max()) return DeltaWidth::U16;
+  return std::nullopt;
+}
+
+std::optional<DeltaCsrMatrix> DeltaCsrMatrix::encode(const CsrMatrix& csr) {
+  const auto width = required_width(csr);
+  if (!width) return std::nullopt;
+
+  DeltaCsrMatrix m;
+  m.nrows_ = csr.nrows();
+  m.ncols_ = csr.ncols();
+  m.width_ = *width;
+  m.rowptr_.assign(csr.rowptr(), csr.rowptr() + csr.nrows() + 1);
+  m.values_.assign(csr.values(), csr.values() + csr.nnz());
+  m.bases_.assign(static_cast<std::size_t>(csr.nrows()), 0);
+
+  const index_t* rowptr = csr.rowptr();
+  const index_t* colind = csr.colind();
+  const auto nnz = static_cast<std::size_t>(csr.nnz());
+  if (m.width_ == DeltaWidth::U8)
+    m.deltas8_.assign(nnz, 0);
+  else
+    m.deltas16_.assign(nnz, 0);
+
+  for (index_t i = 0; i < csr.nrows(); ++i) {
+    const index_t lo = rowptr[i];
+    const index_t hi = rowptr[i + 1];
+    if (lo == hi) continue;
+    m.bases_[static_cast<std::size_t>(i)] = colind[lo];
+    for (index_t j = lo + 1; j < hi; ++j) {
+      const index_t gap = colind[j] - colind[j - 1];
+      if (m.width_ == DeltaWidth::U8)
+        m.deltas8_[static_cast<std::size_t>(j)] = static_cast<std::uint8_t>(gap);
+      else
+        m.deltas16_[static_cast<std::size_t>(j)] = static_cast<std::uint16_t>(gap);
+    }
+  }
+  return m;
+}
+
+std::size_t DeltaCsrMatrix::format_bytes() const noexcept {
+  const std::size_t delta_bytes =
+      width_ == DeltaWidth::U8 ? deltas8_.size() * sizeof(std::uint8_t)
+                               : deltas16_.size() * sizeof(std::uint16_t);
+  return rowptr_.size() * sizeof(index_t) + bases_.size() * sizeof(index_t) +
+         delta_bytes + values_.size() * sizeof(value_t);
+}
+
+CsrMatrix DeltaCsrMatrix::decode() const {
+  aligned_vector<index_t> rowptr(rowptr_.begin(), rowptr_.end());
+  aligned_vector<value_t> values(values_.begin(), values_.end());
+  aligned_vector<index_t> colind(values_.size());
+  for (index_t i = 0; i < nrows_; ++i) {
+    const index_t lo = rowptr_[static_cast<std::size_t>(i)];
+    const index_t hi = rowptr_[static_cast<std::size_t>(i) + 1];
+    index_t col = lo < hi ? bases_[static_cast<std::size_t>(i)] : 0;
+    for (index_t j = lo; j < hi; ++j) {
+      if (j > lo)
+        col += width_ == DeltaWidth::U8
+                   ? static_cast<index_t>(deltas8_[static_cast<std::size_t>(j)])
+                   : static_cast<index_t>(deltas16_[static_cast<std::size_t>(j)]);
+      colind[static_cast<std::size_t>(j)] = col;
+    }
+  }
+  return CsrMatrix(nrows_, ncols_, std::move(rowptr), std::move(colind),
+                   std::move(values));
+}
+
+}  // namespace spmvopt

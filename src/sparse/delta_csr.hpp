@@ -1,0 +1,72 @@
+// Delta-compressed CSR (the MB-class optimization of Table II).
+//
+// Column indices are stored as deltas from the previous nonzero in the same
+// row (Pooch & Nieder [23]); the first nonzero of each row keeps an absolute
+// 32-bit base.  Per §III-E we use 8- OR 16-bit deltas — never a mix — to
+// avoid branching in the kernel: one width is chosen for the whole matrix,
+// and a matrix whose in-row gaps exceed 65535 is simply not encodable
+// (the optimizer then falls back to plain CSR).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "sparse/csr.hpp"
+#include "support/aligned.hpp"
+#include "support/types.hpp"
+
+namespace spmvopt {
+
+enum class DeltaWidth : std::uint8_t { U8 = 1, U16 = 2 };
+
+class DeltaCsrMatrix {
+ public:
+  /// Encode `csr`.  Returns std::nullopt when some in-row column gap does not
+  /// fit the 16-bit delta (the format would need mixed widths, which the
+  /// paper rules out).
+  static std::optional<DeltaCsrMatrix> encode(const CsrMatrix& csr);
+
+  /// The smallest width that can represent every in-row gap of `csr`,
+  /// or nullopt when >16 bits would be needed.
+  static std::optional<DeltaWidth> required_width(const CsrMatrix& csr);
+
+  [[nodiscard]] index_t nrows() const noexcept { return nrows_; }
+  [[nodiscard]] index_t ncols() const noexcept { return ncols_; }
+  [[nodiscard]] index_t nnz() const noexcept {
+    return nrows_ > 0 ? rowptr_[static_cast<std::size_t>(nrows_)] : 0;
+  }
+  [[nodiscard]] DeltaWidth width() const noexcept { return width_; }
+
+  [[nodiscard]] const index_t* rowptr() const noexcept { return rowptr_.data(); }
+  /// Absolute column of the first nonzero in each row (unused entry for
+  /// empty rows).
+  [[nodiscard]] const index_t* bases() const noexcept { return bases_.data(); }
+  [[nodiscard]] const std::uint8_t* deltas8() const noexcept {
+    return deltas8_.data();
+  }
+  [[nodiscard]] const std::uint16_t* deltas16() const noexcept {
+    return deltas16_.data();
+  }
+  [[nodiscard]] const value_t* values() const noexcept { return values_.data(); }
+
+  /// Bytes of this representation (rowptr + bases + deltas + values):
+  /// the S_format that enters the P_MB bound after compression.
+  [[nodiscard]] std::size_t format_bytes() const noexcept;
+
+  /// Decode back to plain CSR (tests / round-trip verification).
+  [[nodiscard]] CsrMatrix decode() const;
+
+ private:
+  DeltaCsrMatrix() = default;
+
+  index_t nrows_ = 0;
+  index_t ncols_ = 0;
+  DeltaWidth width_ = DeltaWidth::U8;
+  aligned_vector<index_t> rowptr_;
+  aligned_vector<index_t> bases_;
+  aligned_vector<std::uint8_t> deltas8_;
+  aligned_vector<std::uint16_t> deltas16_;
+  aligned_vector<value_t> values_;
+};
+
+}  // namespace spmvopt

@@ -1,0 +1,61 @@
+#include "sparse/dense.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace spmvopt {
+
+DenseMatrix::DenseMatrix(index_t nrows, index_t ncols)
+    : nrows_(nrows), ncols_(ncols) {
+  if (nrows < 0 || ncols < 0)
+    throw std::invalid_argument("DenseMatrix: negative dimension");
+  data_.assign(static_cast<std::size_t>(nrows) * static_cast<std::size_t>(ncols),
+               0.0);
+}
+
+DenseMatrix DenseMatrix::from_csr(const CsrMatrix& csr) {
+  DenseMatrix d(csr.nrows(), csr.ncols());
+  for (index_t i = 0; i < csr.nrows(); ++i)
+    for (index_t j = csr.rowptr()[i]; j < csr.rowptr()[i + 1]; ++j)
+      d.at(i, csr.colind()[j]) += csr.values()[j];
+  return d;
+}
+
+value_t& DenseMatrix::at(index_t i, index_t j) {
+  if (i < 0 || i >= nrows_ || j < 0 || j >= ncols_)
+    throw std::out_of_range("DenseMatrix::at");
+  return data_[static_cast<std::size_t>(i) * static_cast<std::size_t>(ncols_) +
+               static_cast<std::size_t>(j)];
+}
+
+value_t DenseMatrix::at(index_t i, index_t j) const {
+  return const_cast<DenseMatrix*>(this)->at(i, j);
+}
+
+void DenseMatrix::multiply(std::span<const value_t> x,
+                           std::span<value_t> y) const {
+  if (x.size() != static_cast<std::size_t>(ncols_) ||
+      y.size() != static_cast<std::size_t>(nrows_))
+    throw std::invalid_argument("DenseMatrix::multiply: size mismatch");
+  for (index_t i = 0; i < nrows_; ++i) {
+    value_t sum = 0.0;
+    const value_t* row =
+        data_.data() + static_cast<std::size_t>(i) * static_cast<std::size_t>(ncols_);
+    for (index_t j = 0; j < ncols_; ++j)
+      sum += row[static_cast<std::size_t>(j)] * x[static_cast<std::size_t>(j)];
+    y[static_cast<std::size_t>(i)] = sum;
+  }
+}
+
+CsrMatrix DenseMatrix::to_csr(value_t drop_tol) const {
+  CooMatrix coo(nrows_, ncols_);
+  for (index_t i = 0; i < nrows_; ++i)
+    for (index_t j = 0; j < ncols_; ++j) {
+      const value_t v = at(i, j);
+      if (std::abs(v) > drop_tol) coo.add(i, j, v);
+    }
+  coo.compress();
+  return CsrMatrix::from_coo(coo);
+}
+
+}  // namespace spmvopt

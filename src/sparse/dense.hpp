@@ -1,0 +1,36 @@
+// Row-major dense matrix: the obviously-correct reference all sparse kernels
+// are validated against, plus small dense linear algebra for the GMRES solver.
+#pragma once
+
+#include <span>
+
+#include "sparse/csr.hpp"
+#include "support/types.hpp"
+
+namespace spmvopt {
+
+class DenseMatrix {
+ public:
+  DenseMatrix() = default;
+  DenseMatrix(index_t nrows, index_t ncols);
+
+  static DenseMatrix from_csr(const CsrMatrix& csr);
+
+  [[nodiscard]] index_t nrows() const noexcept { return nrows_; }
+  [[nodiscard]] index_t ncols() const noexcept { return ncols_; }
+
+  [[nodiscard]] value_t& at(index_t i, index_t j);
+  [[nodiscard]] value_t at(index_t i, index_t j) const;
+
+  void multiply(std::span<const value_t> x, std::span<value_t> y) const;
+
+  /// Convert to CSR keeping entries with |v| > drop_tol.
+  [[nodiscard]] CsrMatrix to_csr(value_t drop_tol = 0.0) const;
+
+ private:
+  index_t nrows_ = 0;
+  index_t ncols_ = 0;
+  std::vector<value_t> data_;
+};
+
+}  // namespace spmvopt

@@ -1,0 +1,159 @@
+#include "sparse/mmio.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace spmvopt {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t line_no, const std::string& what) {
+  throw std::runtime_error("matrix market: line " + std::to_string(line_no) +
+                           ": " + what);
+}
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return s;
+}
+
+struct Banner {
+  bool coordinate = true;
+  enum class Field { Real, Integer, Pattern } field = Field::Real;
+  enum class Symmetry { General, Symmetric, SkewSymmetric } symmetry =
+      Symmetry::General;
+};
+
+Banner parse_banner(const std::string& line, std::size_t line_no) {
+  std::istringstream ss(line);
+  std::string magic, object, format, field, symmetry;
+  ss >> magic >> object >> format >> field >> symmetry;
+  if (lower(magic) != "%%matrixmarket") fail(line_no, "missing %%MatrixMarket banner");
+  if (lower(object) != "matrix") fail(line_no, "unsupported object '" + object + "'");
+  Banner b;
+  const std::string fmt = lower(format);
+  if (fmt == "coordinate") b.coordinate = true;
+  else if (fmt == "array") b.coordinate = false;
+  else fail(line_no, "unsupported format '" + format + "'");
+  const std::string f = lower(field);
+  if (f == "real") b.field = Banner::Field::Real;
+  else if (f == "integer") b.field = Banner::Field::Integer;
+  else if (f == "pattern") b.field = Banner::Field::Pattern;
+  else fail(line_no, "unsupported field '" + field + "'");
+  const std::string s = lower(symmetry);
+  if (s == "general") b.symmetry = Banner::Symmetry::General;
+  else if (s == "symmetric") b.symmetry = Banner::Symmetry::Symmetric;
+  else if (s == "skew-symmetric") b.symmetry = Banner::Symmetry::SkewSymmetric;
+  else fail(line_no, "unsupported symmetry '" + symmetry + "'");
+  if (!b.coordinate && b.field == Banner::Field::Pattern)
+    fail(line_no, "array format cannot be pattern");
+  return b;
+}
+
+/// Next non-comment, non-blank line; returns false at EOF.
+bool next_data_line(std::istream& in, std::string& line, std::size_t& line_no) {
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos) continue;
+    if (line[first] == '%') continue;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+CooMatrix read_matrix_market(std::istream& in) {
+  std::string line;
+  std::size_t line_no = 0;
+  if (!std::getline(in, line)) fail(1, "empty stream");
+  ++line_no;
+  const Banner banner = parse_banner(line, line_no);
+
+  if (!next_data_line(in, line, line_no)) fail(line_no, "missing size line");
+
+  if (banner.coordinate) {
+    std::istringstream ss(line);
+    long nrows = -1, ncols = -1, nnz = -1;
+    ss >> nrows >> ncols >> nnz;
+    if (ss.fail() || nrows < 0 || ncols < 0 || nnz < 0)
+      fail(line_no, "malformed coordinate size line");
+    CooMatrix coo(static_cast<index_t>(nrows), static_cast<index_t>(ncols));
+    coo.reserve(static_cast<std::size_t>(nnz) *
+                (banner.symmetry == Banner::Symmetry::General ? 1 : 2));
+    for (long k = 0; k < nnz; ++k) {
+      if (!next_data_line(in, line, line_no))
+        fail(line_no, "unexpected end of file: expected " + std::to_string(nnz) +
+                          " entries, got " + std::to_string(k));
+      std::istringstream es(line);
+      long i = 0, j = 0;
+      double v = 1.0;
+      es >> i >> j;
+      if (banner.field != Banner::Field::Pattern) es >> v;
+      if (es.fail()) fail(line_no, "malformed entry");
+      if (i < 1 || i > nrows || j < 1 || j > ncols)
+        fail(line_no, "index out of range");
+      const auto r = static_cast<index_t>(i - 1);
+      const auto c = static_cast<index_t>(j - 1);
+      coo.add(r, c, v);
+      if (r != c) {
+        if (banner.symmetry == Banner::Symmetry::Symmetric) coo.add(c, r, v);
+        if (banner.symmetry == Banner::Symmetry::SkewSymmetric) coo.add(c, r, -v);
+      }
+    }
+    coo.compress();
+    return coo;
+  }
+
+  // Array (dense, column-major).
+  std::istringstream ss(line);
+  long nrows = -1, ncols = -1;
+  ss >> nrows >> ncols;
+  if (ss.fail() || nrows < 0 || ncols < 0)
+    fail(line_no, "malformed array size line");
+  CooMatrix coo(static_cast<index_t>(nrows), static_cast<index_t>(ncols));
+  for (long j = 0; j < ncols; ++j) {
+    for (long i = 0; i < nrows; ++i) {
+      if (!next_data_line(in, line, line_no))
+        fail(line_no, "unexpected end of file in array data");
+      std::istringstream es(line);
+      double v = 0.0;
+      es >> v;
+      if (es.fail()) fail(line_no, "malformed array value");
+      if (v != 0.0)
+        coo.add(static_cast<index_t>(i), static_cast<index_t>(j), v);
+    }
+  }
+  coo.compress();
+  return coo;
+}
+
+CooMatrix read_matrix_market_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("matrix market: cannot open '" + path + "'");
+  return read_matrix_market(in);
+}
+
+void write_matrix_market(std::ostream& out, const CsrMatrix& csr) {
+  out << "%%MatrixMarket matrix coordinate real general\n";
+  out << csr.nrows() << ' ' << csr.ncols() << ' ' << csr.nnz() << '\n';
+  out << std::setprecision(17);
+  for (index_t i = 0; i < csr.nrows(); ++i)
+    for (index_t j = csr.rowptr()[i]; j < csr.rowptr()[i + 1]; ++j)
+      out << (i + 1) << ' ' << (csr.colind()[j] + 1) << ' ' << csr.values()[j]
+          << '\n';
+}
+
+void write_matrix_market_file(const std::string& path, const CsrMatrix& csr) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("matrix market: cannot open '" + path + "'");
+  write_matrix_market(out, csr);
+}
+
+}  // namespace spmvopt

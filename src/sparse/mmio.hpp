@@ -1,0 +1,33 @@
+// Matrix Market (.mtx) I/O.
+//
+// The paper's suites come from the University of Florida Sparse Matrix
+// Collection, which distributes Matrix Market files; this reader lets users
+// run the optimizer on the real collection when it is available, while the
+// synthetic generators stand in for it offline (DESIGN.md §3).
+//
+// Supported: `matrix coordinate real|integer|pattern general|symmetric|
+// skew-symmetric` and `matrix array real|integer general`.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "sparse/coo.hpp"
+#include "sparse/csr.hpp"
+
+namespace spmvopt {
+
+/// Parse a Matrix Market stream into COO (symmetry expanded, duplicates
+/// summed).  Throws std::runtime_error with a line-numbered message on
+/// malformed input.
+[[nodiscard]] CooMatrix read_matrix_market(std::istream& in);
+
+/// Convenience: open `path` and parse.  Throws std::runtime_error when the
+/// file cannot be opened.
+[[nodiscard]] CooMatrix read_matrix_market_file(const std::string& path);
+
+/// Write CSR as `matrix coordinate real general` with full double precision.
+void write_matrix_market(std::ostream& out, const CsrMatrix& csr);
+void write_matrix_market_file(const std::string& path, const CsrMatrix& csr);
+
+}  // namespace spmvopt

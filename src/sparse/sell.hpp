@@ -1,0 +1,75 @@
+// SELL-C-σ storage (Kreutzer et al. [12], cited by the paper as related
+// work on SIMD-friendly formats).
+//
+// Rows are sorted by length inside windows of σ rows, grouped into chunks of
+// C consecutive (sorted) rows, and each chunk is padded to its longest row
+// and stored column-major — so a SIMD lane per row runs the whole chunk with
+// unit-stride value/column loads.  Included here as the demonstration of the
+// paper's plug-and-play claim (§V): a new optimization slots into the pool
+// by being assigned to a class (MB/CMP) without touching either classifier.
+#pragma once
+
+#include "sparse/csr.hpp"
+#include "support/aligned.hpp"
+#include "support/types.hpp"
+
+namespace spmvopt {
+
+class SellMatrix {
+ public:
+  /// Convert from CSR.  `chunk` (C) is the SIMD height, `sigma` the sorting
+  /// window in rows (σ = 1 disables sorting; σ multiple of C recommended).
+  /// Throws std::invalid_argument on nonpositive parameters.
+  static SellMatrix from_csr(const CsrMatrix& csr, index_t chunk = 8,
+                             index_t sigma = 256);
+
+  [[nodiscard]] index_t nrows() const noexcept { return nrows_; }
+  [[nodiscard]] index_t ncols() const noexcept { return ncols_; }
+  [[nodiscard]] index_t nnz() const noexcept { return nnz_; }
+  [[nodiscard]] index_t chunk() const noexcept { return chunk_; }
+  [[nodiscard]] index_t num_chunks() const noexcept {
+    return static_cast<index_t>(chunk_len_.size());
+  }
+
+  /// Stored elements / nnz - 1: the padding cost of the format (what the
+  /// paper's compression-efficiency arguments trade against SIMD speed).
+  [[nodiscard]] double padding_overhead() const noexcept;
+  [[nodiscard]] std::size_t format_bytes() const noexcept;
+
+  /// Original row index of sorted-position p.
+  [[nodiscard]] const index_t* row_perm() const noexcept {
+    return row_perm_.data();
+  }
+  [[nodiscard]] const index_t* chunk_ptr() const noexcept {
+    return chunk_ptr_.data();
+  }
+  [[nodiscard]] const index_t* chunk_len() const noexcept {
+    return chunk_len_.data();
+  }
+  [[nodiscard]] const index_t* colind() const noexcept { return colind_.data(); }
+  [[nodiscard]] const value_t* values() const noexcept { return values_.data(); }
+  /// Real (unpadded) length of sorted row p.
+  [[nodiscard]] const index_t* row_len() const noexcept {
+    return row_len_.data();
+  }
+
+  /// Reference multiply (serial) for tests; the OpenMP/SIMD kernel is in
+  /// kernels/sell_kernels.hpp.
+  void multiply(const value_t* x, value_t* y) const noexcept;
+
+ private:
+  SellMatrix() = default;
+
+  index_t nrows_ = 0;
+  index_t ncols_ = 0;
+  index_t nnz_ = 0;
+  index_t chunk_ = 8;
+  aligned_vector<index_t> row_perm_;   ///< sorted position -> original row
+  aligned_vector<index_t> row_len_;    ///< per sorted position
+  aligned_vector<index_t> chunk_ptr_;  ///< element offset per chunk (+1 end)
+  aligned_vector<index_t> chunk_len_;  ///< padded width per chunk
+  aligned_vector<index_t> colind_;     ///< column-major within chunk, padded
+  aligned_vector<value_t> values_;
+};
+
+}  // namespace spmvopt

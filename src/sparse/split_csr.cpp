@@ -1,0 +1,112 @@
+#include "sparse/split_csr.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace spmvopt {
+
+index_t SplitCsrMatrix::default_threshold(const CsrMatrix& csr) {
+  if (csr.nrows() == 0) return 64;
+  const double avg =
+      static_cast<double>(csr.nnz()) / static_cast<double>(csr.nrows());
+  return std::max<index_t>(64, static_cast<index_t>(8.0 * avg));
+}
+
+SplitCsrMatrix SplitCsrMatrix::split(const CsrMatrix& csr,
+                                     index_t long_row_threshold) {
+  if (long_row_threshold < 1)
+    throw std::invalid_argument("SplitCsrMatrix: threshold < 1");
+
+  const index_t n = csr.nrows();
+  const index_t* rowptr = csr.rowptr();
+  const index_t* colind = csr.colind();
+  const value_t* values = csr.values();
+
+  SplitCsrMatrix out;
+  aligned_vector<index_t> srowptr(static_cast<std::size_t>(n) + 1, 0);
+  out.long_rowptr_.push_back(0);
+
+  // Pass 1: classify rows and size both parts.
+  index_t short_nnz = 0;
+  for (index_t i = 0; i < n; ++i) {
+    const index_t len = rowptr[i + 1] - rowptr[i];
+    if (len >= long_row_threshold) {
+      out.long_rows_.push_back(i);
+      out.long_rowptr_.push_back(out.long_rowptr_.back() + len);
+    } else {
+      short_nnz += len;
+    }
+    srowptr[static_cast<std::size_t>(i) + 1] = short_nnz;
+  }
+
+  aligned_vector<index_t> scolind(static_cast<std::size_t>(short_nnz));
+  aligned_vector<value_t> svalues(static_cast<std::size_t>(short_nnz));
+  out.long_colind_.resize(static_cast<std::size_t>(out.long_rowptr_.back()));
+  out.long_values_.resize(static_cast<std::size_t>(out.long_rowptr_.back()));
+
+  // Pass 2: scatter.
+  std::size_t lk = 0;
+  for (index_t i = 0; i < n; ++i) {
+    const index_t lo = rowptr[i];
+    const index_t hi = rowptr[i + 1];
+    const index_t len = hi - lo;
+    if (len >= long_row_threshold) {
+      std::copy(colind + lo, colind + hi, out.long_colind_.begin() +
+                                              static_cast<std::ptrdiff_t>(lk));
+      std::copy(values + lo, values + hi, out.long_values_.begin() +
+                                              static_cast<std::ptrdiff_t>(lk));
+      lk += static_cast<std::size_t>(len);
+    } else {
+      const auto dst = static_cast<std::ptrdiff_t>(srowptr[static_cast<std::size_t>(i)]);
+      std::copy(colind + lo, colind + hi, scolind.begin() + dst);
+      std::copy(values + lo, values + hi, svalues.begin() + dst);
+    }
+  }
+
+  out.short_ = CsrMatrix(n, csr.ncols(), std::move(srowptr), std::move(scolind),
+                         std::move(svalues));
+  return out;
+}
+
+index_t SplitCsrMatrix::nnz() const noexcept {
+  return short_.nnz() + (long_rowptr_.empty() ? 0 : long_rowptr_.back());
+}
+
+CsrMatrix SplitCsrMatrix::merge() const {
+  const index_t n = short_.nrows();
+  aligned_vector<index_t> rowptr(static_cast<std::size_t>(n) + 1, 0);
+
+  // Row lengths from both parts.
+  for (index_t i = 0; i < n; ++i)
+    rowptr[static_cast<std::size_t>(i) + 1] = short_.row_nnz(i);
+  for (std::size_t k = 0; k < long_rows_.size(); ++k)
+    rowptr[static_cast<std::size_t>(long_rows_[k]) + 1] +=
+        long_rowptr_[k + 1] - long_rowptr_[k];
+  for (std::size_t i = 1; i < rowptr.size(); ++i) rowptr[i] += rowptr[i - 1];
+
+  aligned_vector<index_t> colind(static_cast<std::size_t>(rowptr.back()));
+  aligned_vector<value_t> values(static_cast<std::size_t>(rowptr.back()));
+
+  for (index_t i = 0; i < n; ++i) {
+    const auto dst = static_cast<std::ptrdiff_t>(rowptr[static_cast<std::size_t>(i)]);
+    const index_t lo = short_.rowptr()[i];
+    const index_t hi = short_.rowptr()[i + 1];
+    std::copy(short_.colind() + lo, short_.colind() + hi, colind.begin() + dst);
+    std::copy(short_.values() + lo, short_.values() + hi, values.begin() + dst);
+  }
+  for (std::size_t k = 0; k < long_rows_.size(); ++k) {
+    const index_t row = long_rows_[k];
+    // A long row's short part is empty, so it starts at rowptr[row].
+    const auto dst = static_cast<std::ptrdiff_t>(rowptr[static_cast<std::size_t>(row)]);
+    const index_t lo = long_rowptr_[k];
+    const index_t hi = long_rowptr_[k + 1];
+    std::copy(long_colind_.data() + lo, long_colind_.data() + hi,
+              colind.begin() + dst);
+    std::copy(long_values_.data() + lo, long_values_.data() + hi,
+              values.begin() + dst);
+  }
+  return CsrMatrix(n, short_.ncols(), std::move(rowptr), std::move(colind),
+                   std::move(values));
+}
+
+}  // namespace spmvopt

@@ -1,0 +1,65 @@
+// Long-row decomposition (Fig. 5 / Fig. 6) — the IMB-class optimization for
+// matrices with highly uneven row lengths.
+//
+// The matrix is split into (a) a "short" CSR part holding every row whose
+// length is below the threshold (long rows become empty), and (b) the long
+// rows stored densely packed.  SpMV then runs in two phases: a normal
+// parallel pass over the short part, followed by a pass where *every* long
+// row is computed by all threads cooperatively with a reduction of partial
+// sums (§III-E).
+#pragma once
+
+#include "sparse/csr.hpp"
+#include "support/aligned.hpp"
+#include "support/types.hpp"
+
+namespace spmvopt {
+
+class SplitCsrMatrix {
+ public:
+  /// Move rows with nnz >= `long_row_threshold` into the long part.
+  /// Throws std::invalid_argument for threshold < 1.
+  static SplitCsrMatrix split(const CsrMatrix& csr, index_t long_row_threshold);
+
+  /// Default threshold used by the optimizer: rows at least
+  /// max(64, 8 * nnz_avg) nonzeros long count as "long".
+  [[nodiscard]] static index_t default_threshold(const CsrMatrix& csr);
+
+  [[nodiscard]] const CsrMatrix& short_part() const noexcept { return short_; }
+  [[nodiscard]] index_t num_long_rows() const noexcept {
+    return static_cast<index_t>(long_rows_.size());
+  }
+  /// Row id of the k-th long row (the paper's `lrowind`).
+  [[nodiscard]] const index_t* long_rows() const noexcept {
+    return long_rows_.data();
+  }
+  /// Offsets into long_colind/long_values per long row; size L+1.
+  [[nodiscard]] const index_t* long_rowptr() const noexcept {
+    return long_rowptr_.data();
+  }
+  [[nodiscard]] const index_t* long_colind() const noexcept {
+    return long_colind_.data();
+  }
+  [[nodiscard]] const value_t* long_values() const noexcept {
+    return long_values_.data();
+  }
+
+  [[nodiscard]] index_t nrows() const noexcept { return short_.nrows(); }
+  [[nodiscard]] index_t ncols() const noexcept { return short_.ncols(); }
+  /// Total nonzeros across both parts (== original matrix nnz).
+  [[nodiscard]] index_t nnz() const noexcept;
+
+  /// Reassemble the original matrix (round-trip verification in tests).
+  [[nodiscard]] CsrMatrix merge() const;
+
+ private:
+  SplitCsrMatrix() = default;
+
+  CsrMatrix short_;
+  aligned_vector<index_t> long_rows_;
+  aligned_vector<index_t> long_rowptr_;
+  aligned_vector<index_t> long_colind_;
+  aligned_vector<value_t> long_values_;
+};
+
+}  // namespace spmvopt

@@ -1,0 +1,104 @@
+#include "sparse/sym_csr.hpp"
+
+#include <omp.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "support/cpu_info.hpp"
+#include "support/partition.hpp"
+
+namespace spmvopt {
+
+SymCsrMatrix SymCsrMatrix::from_symmetric_csr(const CsrMatrix& full,
+                                              value_t tol) {
+  if (full.nrows() != full.ncols())
+    throw std::invalid_argument("SymCsrMatrix: matrix must be square");
+  if (!full.is_symmetric(tol))
+    throw std::invalid_argument("SymCsrMatrix: matrix is not symmetric");
+
+  CooMatrix coo(full.nrows(), full.ncols());
+  for (index_t i = 0; i < full.nrows(); ++i)
+    for (index_t k = full.rowptr()[i]; k < full.rowptr()[i + 1]; ++k)
+      if (full.colind()[k] <= i) coo.add(i, full.colind()[k], full.values()[k]);
+  coo.compress();
+
+  SymCsrMatrix m;
+  m.lower_ = CsrMatrix::from_coo(coo);
+  m.full_nnz_ = full.nnz();
+  return m;
+}
+
+void SymCsrMatrix::multiply(const value_t* x, value_t* y) const noexcept {
+  const index_t n = lower_.nrows();
+  for (index_t i = 0; i < n; ++i) y[i] = 0.0;
+  for (index_t i = 0; i < n; ++i) {
+    value_t sum = 0.0;
+    for (index_t k = lower_.rowptr()[i]; k < lower_.rowptr()[i + 1]; ++k) {
+      const index_t j = lower_.colind()[k];
+      const value_t v = lower_.values()[k];
+      sum += v * x[j];
+      if (j != i) y[j] += v * x[i];  // the mirrored upper-triangle entry
+    }
+    y[i] += sum;
+  }
+}
+
+CsrMatrix SymCsrMatrix::to_full() const {
+  CooMatrix coo(lower_.nrows(), lower_.ncols());
+  for (index_t i = 0; i < lower_.nrows(); ++i)
+    for (index_t k = lower_.rowptr()[i]; k < lower_.rowptr()[i + 1]; ++k)
+      coo.add_symmetric(i, lower_.colind()[k], lower_.values()[k]);
+  coo.compress();
+  return CsrMatrix::from_coo(coo);
+}
+
+}  // namespace spmvopt
+
+namespace spmvopt::kernels {
+
+void spmv_sym(const SymCsrMatrix& A, const value_t* x, value_t* y,
+              int nthreads) {
+  const CsrMatrix& L = A.lower();
+  const index_t n = L.nrows();
+  const int t = nthreads > 0 ? nthreads : default_threads();
+  const auto part = balanced_nnz_partition(L.rowptr(), n, t);
+
+  // Per-thread scatter buffers for the mirrored contributions; thread 0
+  // writes into y directly (its buffer IS y after the direct pass).
+  std::vector<aligned_vector<value_t>> scratch(
+      static_cast<std::size_t>(t), aligned_vector<value_t>());
+
+#pragma omp parallel num_threads(t)
+  {
+    const int tid = omp_get_thread_num();
+    auto& buf = scratch[static_cast<std::size_t>(tid)];
+    buf.assign(static_cast<std::size_t>(n), 0.0);
+    const index_t lo = part.bounds[static_cast<std::size_t>(tid)];
+    const index_t hi = part.bounds[static_cast<std::size_t>(tid) + 1];
+    for (index_t i = lo; i < hi; ++i) {
+      value_t sum = 0.0;
+      for (index_t k = L.rowptr()[i]; k < L.rowptr()[i + 1]; ++k) {
+        const index_t j = L.colind()[k];
+        const value_t v = L.values()[k];
+        sum += v * x[j];
+        if (j != i) buf[static_cast<std::size_t>(j)] += v * x[i];
+      }
+      buf[static_cast<std::size_t>(i)] += sum;
+    }
+#pragma omp barrier
+    // Reduce the buffers into y, each thread owning a contiguous slice.
+    const index_t r0 = static_cast<index_t>(
+        static_cast<std::int64_t>(n) * tid / t);
+    const index_t r1 = static_cast<index_t>(
+        static_cast<std::int64_t>(n) * (tid + 1) / t);
+    for (index_t i = r0; i < r1; ++i) {
+      value_t acc = 0.0;
+      for (int b = 0; b < t; ++b)
+        acc += scratch[static_cast<std::size_t>(b)][static_cast<std::size_t>(i)];
+      y[i] = acc;
+    }
+  }
+}
+
+}  // namespace spmvopt::kernels

@@ -1,0 +1,62 @@
+// Cache-line / SIMD-aligned storage.
+//
+// SpMV kernels issue aligned vector loads from the value and index arrays and
+// rely on arrays not sharing cache lines with unrelated data (false sharing on
+// the per-thread partials of the decomposed kernel).  Every array the kernels
+// touch is therefore an `aligned_vector`, aligned to kAlign bytes.
+#pragma once
+
+#include <cstddef>
+#include <cstdlib>
+#include <limits>
+#include <new>
+#include <vector>
+
+namespace spmvopt {
+
+/// Alignment used for all numeric arrays: one cache line, which also
+/// satisfies the strictest SIMD requirement we use (64 B for AVX-512).
+inline constexpr std::size_t kAlign = 64;
+
+/// Minimal C++17 allocator producing kAlign-aligned allocations.
+template <class T>
+struct AlignedAllocator {
+  using value_type = T;
+
+  AlignedAllocator() noexcept = default;
+  template <class U>
+  AlignedAllocator(const AlignedAllocator<U>&) noexcept {}
+
+  [[nodiscard]] T* allocate(std::size_t n) {
+    if (n > std::numeric_limits<std::size_t>::max() / sizeof(T))
+      throw std::bad_array_new_length();
+    // std::aligned_alloc requires the size to be a multiple of the alignment.
+    const std::size_t bytes = ((n * sizeof(T) + kAlign - 1) / kAlign) * kAlign;
+    void* p = std::aligned_alloc(kAlign, bytes);
+    if (p == nullptr) throw std::bad_alloc();
+    return static_cast<T*>(p);
+  }
+
+  void deallocate(T* p, std::size_t) noexcept { std::free(p); }
+
+  template <class U>
+  bool operator==(const AlignedAllocator<U>&) const noexcept {
+    return true;
+  }
+  template <class U>
+  bool operator!=(const AlignedAllocator<U>&) const noexcept {
+    return false;
+  }
+};
+
+/// std::vector whose data() is kAlign-aligned.
+template <class T>
+using aligned_vector = std::vector<T, AlignedAllocator<T>>;
+
+/// Tells the compiler (and the reader) a pointer is kAlign-aligned.
+template <class T>
+[[nodiscard]] inline T* assume_aligned(T* p) noexcept {
+  return static_cast<T*>(__builtin_assume_aligned(p, kAlign));
+}
+
+}  // namespace spmvopt

@@ -1,0 +1,103 @@
+#include "support/cpu_info.hpp"
+
+#include <omp.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "support/env.hpp"
+
+namespace spmvopt {
+
+namespace {
+
+// Parse strings such as "32K", "2048K", "55M" from sysfs cache size files.
+std::size_t parse_size(const std::string& s) {
+  if (s.empty()) return 0;
+  std::size_t value = 0;
+  std::size_t i = 0;
+  while (i < s.size() && s[i] >= '0' && s[i] <= '9') {
+    value = value * 10 + static_cast<std::size_t>(s[i] - '0');
+    ++i;
+  }
+  if (i < s.size()) {
+    if (s[i] == 'K' || s[i] == 'k') value *= 1024;
+    else if (s[i] == 'M' || s[i] == 'm') value *= 1024 * 1024;
+    else if (s[i] == 'G' || s[i] == 'g') value *= 1024ull * 1024 * 1024;
+  }
+  return value;
+}
+
+std::string read_first_line(const std::string& path) {
+  std::ifstream in(path);
+  std::string line;
+  if (in) std::getline(in, line);
+  return line;
+}
+
+CpuInfo detect() {
+  CpuInfo info;
+
+  // Model name from /proc/cpuinfo.
+  {
+    std::ifstream in("/proc/cpuinfo");
+    std::string line;
+    while (in && std::getline(in, line)) {
+      if (line.rfind("model name", 0) == 0) {
+        const auto colon = line.find(':');
+        if (colon != std::string::npos)
+          info.model_name = line.substr(colon + 2);
+        break;
+      }
+    }
+  }
+
+  // Cache hierarchy from sysfs; keep the largest level seen as LLC.
+  const std::string base = "/sys/devices/system/cpu/cpu0/cache/index";
+  for (int idx = 0; idx < 8; ++idx) {
+    const std::string dir = base + std::to_string(idx) + "/";
+    const std::string level = read_first_line(dir + "level");
+    const std::string type = read_first_line(dir + "type");
+    const std::string size = read_first_line(dir + "size");
+    if (level.empty() || size.empty()) continue;
+    const std::size_t bytes = parse_size(size);
+    if (bytes == 0) continue;
+    if (level == "1" && type == "Data") info.l1d_bytes = bytes;
+    if (level == "2") info.l2_bytes = bytes;
+    if (bytes > info.llc_bytes || level == "3") info.llc_bytes = bytes;
+    const std::string cl = read_first_line(dir + "coherency_line_size");
+    if (!cl.empty()) {
+      const std::size_t line_bytes = parse_size(cl);
+      if (line_bytes != 0) info.cache_line_bytes = line_bytes;
+    }
+  }
+
+  info.logical_cpus = omp_get_num_procs();
+#if defined(__AVX2__)
+  info.has_avx2 = __builtin_cpu_supports("avx2");
+#endif
+#if defined(__AVX512F__)
+  info.has_avx512f = __builtin_cpu_supports("avx512f");
+#endif
+  return info;
+}
+
+}  // namespace
+
+const CpuInfo& cpu_info() {
+  static const CpuInfo info = detect();
+  return info;
+}
+
+int default_threads() {
+  static const int n = [] {
+    const long env = env_long("SPMVOPT_THREADS", 0);
+    if (env > 0) return static_cast<int>(env);
+    return omp_get_max_threads();
+  }();
+  return n;
+}
+
+}  // namespace spmvopt

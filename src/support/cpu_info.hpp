@@ -1,0 +1,37 @@
+// Host introspection: cache sizes, SIMD capability, thread count.
+//
+// The optimizer is architecture-adaptive (§III): the `size` feature of
+// Table I needs the LLC capacity, the misses feature needs the cache-line
+// size, and the prefetch distance is "the number of elements that fit in a
+// single cache line" (§III-E).  All of that is read from the host at runtime.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace spmvopt {
+
+struct CpuInfo {
+  std::string model_name;           ///< from /proc/cpuinfo, may be empty
+  std::size_t cache_line_bytes = 64;
+  std::size_t l1d_bytes = 32 * 1024;
+  std::size_t l2_bytes = 1024 * 1024;
+  std::size_t llc_bytes = 8 * 1024 * 1024;  ///< last-level cache capacity
+  int logical_cpus = 1;
+  bool has_avx2 = false;
+  bool has_avx512f = false;
+
+  /// Elements of type double per cache line — the software-prefetch distance.
+  [[nodiscard]] std::size_t doubles_per_line() const noexcept {
+    return cache_line_bytes / sizeof(double);
+  }
+};
+
+/// Detect once and cache; safe to call from multiple threads after first use.
+[[nodiscard]] const CpuInfo& cpu_info();
+
+/// Number of OpenMP threads the library will use.  Honors the
+/// SPMVOPT_THREADS environment variable, else omp_get_max_threads().
+[[nodiscard]] int default_threads();
+
+}  // namespace spmvopt

@@ -1,0 +1,38 @@
+#include "support/env.hpp"
+
+#include <cstdlib>
+
+namespace spmvopt {
+
+long env_long(const char* name, long fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  const long parsed = std::strtol(v, &end, 10);
+  if (end == v) return fallback;
+  return parsed;
+}
+
+std::string env_string(const char* name, const std::string& fallback) {
+  const char* v = std::getenv(name);
+  return (v == nullptr || *v == '\0') ? fallback : std::string(v);
+}
+
+bool quick_mode() { return env_long("SPMVOPT_QUICK", 0) != 0; }
+
+int bench_iterations() {
+  const long v = env_long("SPMVOPT_ITERS", 0);
+  if (v > 0) return static_cast<int>(v);
+  // The paper's protocol is 128 iterations (§IV-A); the default is trimmed
+  // so a full bench sweep finishes in minutes on a laptop.  Set
+  // SPMVOPT_ITERS=128 SPMVOPT_RUNS=5 to match the paper exactly.
+  return quick_mode() ? 16 : 40;
+}
+
+int bench_runs() {
+  const long v = env_long("SPMVOPT_RUNS", 0);
+  if (v > 0) return static_cast<int>(v);
+  return quick_mode() ? 2 : 3;
+}
+
+}  // namespace spmvopt

@@ -1,0 +1,27 @@
+// Environment-variable knobs shared by benches and tools.
+#pragma once
+
+#include <string>
+
+namespace spmvopt {
+
+/// Integer env var with fallback; returns `fallback` when unset or malformed.
+[[nodiscard]] long env_long(const char* name, long fallback);
+
+/// String env var with fallback.
+[[nodiscard]] std::string env_string(const char* name, const std::string& fallback);
+
+/// True when SPMVOPT_QUICK=1: benches shrink matrices / iteration counts so
+/// the full suite finishes in seconds (used by CI-style smoke runs).
+[[nodiscard]] bool quick_mode();
+
+/// Number of timed SpMV operations per measurement block.
+/// Default 40 (paper: 128, §IV-A — set SPMVOPT_ITERS=128 to match);
+/// quick mode 16.
+[[nodiscard]] int bench_iterations();
+
+/// Number of measurement runs summarized with the harmonic mean.
+/// Default 3 (paper: 5 — set SPMVOPT_RUNS=5 to match); quick mode 2.
+[[nodiscard]] int bench_runs();
+
+}  // namespace spmvopt

@@ -1,0 +1,45 @@
+#include "support/partition.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace spmvopt {
+
+RowPartition balanced_nnz_partition(const index_t* rowptr, index_t nrows,
+                                    int nthreads) {
+  if (nthreads < 1) throw std::invalid_argument("partition: nthreads < 1");
+  if (nrows < 0) throw std::invalid_argument("partition: nrows < 0");
+  RowPartition p;
+  p.bounds.resize(static_cast<std::size_t>(nthreads) + 1);
+  p.bounds[0] = 0;
+  const index_t nnz = nrows > 0 ? rowptr[nrows] : 0;
+  for (int t = 1; t < nthreads; ++t) {
+    // First row whose starting offset reaches this thread's share boundary.
+    const index_t target = static_cast<index_t>(
+        (static_cast<std::int64_t>(nnz) * t) / nthreads);
+    const index_t* pos = std::lower_bound(rowptr, rowptr + nrows + 1, target);
+    index_t row = static_cast<index_t>(pos - rowptr);
+    row = std::clamp(row, p.bounds[t - 1], nrows);
+    p.bounds[t] = row;
+  }
+  p.bounds[static_cast<std::size_t>(nthreads)] = nrows;
+  return p;
+}
+
+RowPartition static_rows_partition(index_t nrows, int nthreads) {
+  if (nthreads < 1) throw std::invalid_argument("partition: nthreads < 1");
+  if (nrows < 0) throw std::invalid_argument("partition: nrows < 0");
+  RowPartition p;
+  p.bounds.resize(static_cast<std::size_t>(nthreads) + 1);
+  const index_t base = nthreads > 0 ? nrows / nthreads : nrows;
+  const index_t rem = nthreads > 0 ? nrows % nthreads : 0;
+  index_t row = 0;
+  for (int t = 0; t < nthreads; ++t) {
+    p.bounds[t] = row;
+    row += base + (t < rem ? 1 : 0);
+  }
+  p.bounds[static_cast<std::size_t>(nthreads)] = nrows;
+  return p;
+}
+
+}  // namespace spmvopt

@@ -1,0 +1,33 @@
+// 1-D row partitioning schemes for SpMV.
+//
+// The paper's baseline (§IV-A): "a static one-dimensional row partitioning
+// scheme, where each partition has approximately equal number of nonzero
+// elements and is assigned to a single thread."
+#pragma once
+
+#include <vector>
+
+#include "support/types.hpp"
+
+namespace spmvopt {
+
+/// Row ranges per thread: thread t owns rows [bounds[t], bounds[t+1]).
+struct RowPartition {
+  std::vector<index_t> bounds;  ///< size = nthreads + 1, bounds[0] == 0
+
+  [[nodiscard]] int nthreads() const noexcept {
+    return static_cast<int>(bounds.size()) - 1;
+  }
+};
+
+/// Split rows so every thread gets a contiguous block with ~equal nnz.
+/// `rowptr` is the CSR row pointer (size nrows+1, rowptr[0] == 0).
+/// Threads may receive empty ranges when nthreads > nrows.
+[[nodiscard]] RowPartition balanced_nnz_partition(const index_t* rowptr,
+                                                  index_t nrows, int nthreads);
+
+/// Plain block partition: ~equal row counts per thread (what OpenMP
+/// schedule(static) does); used by the MKL-proxy kernel.
+[[nodiscard]] RowPartition static_rows_partition(index_t nrows, int nthreads);
+
+}  // namespace spmvopt

@@ -1,0 +1,86 @@
+#include "support/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace spmvopt {
+
+namespace {
+void require_nonempty(std::span<const double> xs) {
+  if (xs.empty()) throw std::invalid_argument("stats: empty input");
+}
+}  // namespace
+
+double arithmetic_mean(std::span<const double> xs) {
+  require_nonempty(xs);
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double harmonic_mean(std::span<const double> xs) {
+  require_nonempty(xs);
+  double s = 0.0;
+  for (double x : xs) {
+    if (x <= 0.0) throw std::invalid_argument("harmonic_mean: nonpositive value");
+    s += 1.0 / x;
+  }
+  return static_cast<double>(xs.size()) / s;
+}
+
+double geometric_mean(std::span<const double> xs) {
+  require_nonempty(xs);
+  double s = 0.0;
+  for (double x : xs) {
+    if (x <= 0.0) throw std::invalid_argument("geometric_mean: nonpositive value");
+    s += std::log(x);
+  }
+  return std::exp(s / static_cast<double>(xs.size()));
+}
+
+double stddev(std::span<const double> xs) {
+  const double mu = arithmetic_mean(xs);
+  double s = 0.0;
+  for (double x : xs) s += (x - mu) * (x - mu);
+  return std::sqrt(s / static_cast<double>(xs.size()));
+}
+
+double median(std::span<const double> xs) {
+  require_nonempty(xs);
+  std::vector<double> v(xs.begin(), xs.end());
+  const std::size_t mid = v.size() / 2;
+  std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(mid), v.end());
+  double hi = v[mid];
+  if (v.size() % 2 == 1) return hi;
+  std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(mid) - 1,
+                   v.begin() + static_cast<std::ptrdiff_t>(mid));
+  return 0.5 * (v[mid - 1] + hi);
+}
+
+double min_of(std::span<const double> xs) {
+  require_nonempty(xs);
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double max_of(std::span<const double> xs) {
+  require_nonempty(xs);
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+RateSummary summarize_rates(std::span<const double> sec_per_op, double flops) {
+  require_nonempty(sec_per_op);
+  std::vector<double> rates;
+  rates.reserve(sec_per_op.size());
+  for (double s : sec_per_op) {
+    if (s <= 0.0) throw std::invalid_argument("summarize_rates: nonpositive time");
+    rates.push_back(flops / s / 1e9);
+  }
+  RateSummary out;
+  out.gflops = harmonic_mean(rates);
+  out.best_gflops = max_of(rates);
+  out.seconds_per_op = flops / (out.gflops * 1e9);
+  return out;
+}
+
+}  // namespace spmvopt

@@ -1,0 +1,37 @@
+// Summary statistics.
+//
+// The paper's methodology (§IV-A): a performance rate for one run is the rate
+// of arithmetic means of absolute counts over a block of SpMV operations;
+// rates across runs are summarized with the *harmonic* mean.  P_IMB (§III-B)
+// uses the *median* per-thread time to damp outliers.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace spmvopt {
+
+[[nodiscard]] double arithmetic_mean(std::span<const double> xs);
+[[nodiscard]] double harmonic_mean(std::span<const double> xs);
+[[nodiscard]] double geometric_mean(std::span<const double> xs);
+/// Population standard deviation (the paper's sd features divide by N).
+[[nodiscard]] double stddev(std::span<const double> xs);
+/// Median; averages the two middle elements for even sizes. Copies its input.
+[[nodiscard]] double median(std::span<const double> xs);
+[[nodiscard]] double min_of(std::span<const double> xs);
+[[nodiscard]] double max_of(std::span<const double> xs);
+
+/// One measured kernel rate: `runs` repetitions, each timing `iters_per_run`
+/// back-to-back invocations (warm cache), summarized per the paper.
+struct RateSummary {
+  double gflops = 0.0;        ///< harmonic mean across runs
+  double best_gflops = 0.0;   ///< fastest single run
+  double seconds_per_op = 0.0;///< derived from `gflops` and the flop count
+};
+
+/// Summarize per-run average seconds for a kernel doing `flops` floating-point
+/// operations per invocation.
+[[nodiscard]] RateSummary summarize_rates(std::span<const double> sec_per_op,
+                                          double flops);
+
+}  // namespace spmvopt

@@ -1,0 +1,63 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace spmvopt {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  if (headers_.empty()) throw std::invalid_argument("Table: empty header");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size())
+    throw std::invalid_argument("Table: row arity mismatch");
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+namespace {
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  for (char c : s)
+    if (!std::isdigit(static_cast<unsigned char>(c)) && c != '.' && c != '-' &&
+        c != '+' && c != 'e' && c != 'E' && c != 'x')
+      return false;
+  return true;
+}
+}  // namespace
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) os << "  ";
+      if (looks_numeric(row[c]))
+        os << std::setw(static_cast<int>(width[c])) << std::right << row[c];
+      else
+        os << std::setw(static_cast<int>(width[c])) << std::left << row[c];
+    }
+    os << '\n';
+  };
+
+  print_row(headers_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < width.size(); ++c) total += width[c] + (c ? 2 : 0);
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+}  // namespace spmvopt

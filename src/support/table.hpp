@@ -1,0 +1,29 @@
+// Plain-text table printer for the bench binaries, which regenerate the
+// paper's tables and figure series as aligned columns on stdout.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace spmvopt {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append one row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: format a double with `precision` decimals.
+  [[nodiscard]] static std::string num(double v, int precision = 2);
+
+  /// Render with column alignment (numbers right-aligned heuristically).
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace spmvopt

@@ -1,0 +1,10 @@
+#include "support/timing.hpp"
+
+namespace spmvopt {
+
+double now_sec() noexcept {
+  using clock = std::chrono::steady_clock;
+  return std::chrono::duration<double>(clock::now().time_since_epoch()).count();
+}
+
+}  // namespace spmvopt

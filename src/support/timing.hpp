@@ -1,0 +1,51 @@
+// Wall-clock timing utilities used by the measurement methodology of §IV-A:
+// rates are computed from arithmetic means of absolute counts (flops, seconds)
+// over a block of SpMV invocations, then summarized across runs with the
+// harmonic mean (see stats.hpp).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace spmvopt {
+
+/// Seconds since an arbitrary steady epoch.
+[[nodiscard]] double now_sec() noexcept;
+
+/// Simple scoped-free stopwatch over std::chrono::steady_clock.
+class Timer {
+ public:
+  Timer() noexcept { reset(); }
+
+  void reset() noexcept { start_ = clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  [[nodiscard]] double elapsed_sec() const noexcept {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Accumulates elapsed time across start/stop sections (e.g. the total
+/// preprocessing cost t_pre of an optimizer, summed over its phases).
+class Accumulator {
+ public:
+  void start() noexcept { timer_.reset(); running_ = true; }
+  void stop() noexcept {
+    if (running_) total_ += timer_.elapsed_sec();
+    running_ = false;
+  }
+  void add(double sec) noexcept { total_ += sec; }
+  [[nodiscard]] double total_sec() const noexcept { return total_; }
+  void reset() noexcept { total_ = 0.0; running_ = false; }
+
+ private:
+  Timer timer_;
+  double total_ = 0.0;
+  bool running_ = false;
+};
+
+}  // namespace spmvopt

@@ -1,0 +1,15 @@
+// Fundamental scalar types used across the library.
+//
+// The paper's kernels use double-precision values (§IV-A) and 32-bit column
+// indices (the compression optimization of Table II exists precisely because
+// those 4-byte indices dominate CSR traffic for double values).
+#pragma once
+
+#include <cstdint>
+
+namespace spmvopt {
+
+using index_t = std::int32_t;  ///< row/column index and row-pointer entry
+using value_t = double;        ///< nonzero value
+
+}  // namespace spmvopt

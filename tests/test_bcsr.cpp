@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gen/generators.hpp"
+#include "gen/suite.hpp"
+#include "kernels/bcsr_kernels.hpp"
+#include "sparse/bcsr.hpp"
+
+namespace spmvopt {
+namespace {
+
+void expect_matches_csr(const CsrMatrix& a, const BcsrMatrix& b) {
+  const std::vector<value_t> x = gen::test_vector(a.ncols());
+  std::vector<value_t> expected(static_cast<std::size_t>(a.nrows()));
+  a.multiply(x, expected);
+  std::vector<value_t> y(static_cast<std::size_t>(a.nrows()), std::nan(""));
+  b.multiply(x.data(), y.data());
+  for (std::size_t i = 0; i < y.size(); ++i)
+    ASSERT_NEAR(y[i], expected[i], 1e-9 * std::max(1.0, std::abs(expected[i])));
+  std::fill(y.begin(), y.end(), std::nan(""));
+  kernels::spmv_bcsr(b, x.data(), y.data());
+  for (std::size_t i = 0; i < y.size(); ++i)
+    ASSERT_NEAR(y[i], expected[i], 1e-9 * std::max(1.0, std::abs(expected[i])));
+}
+
+TEST(Bcsr, CorrectOnAllTestFamiliesAndShapes) {
+  for (const auto& entry : gen::test_suite()) {
+    const CsrMatrix a = entry.make();
+    for (index_t br : {1, 2, 3, 4, 8})
+      for (index_t bc : {1, 2, 4, 8}) {
+        SCOPED_TRACE(entry.name + " " + std::to_string(br) + "x" +
+                     std::to_string(bc));
+        expect_matches_csr(a, BcsrMatrix::from_csr(a, br, bc));
+      }
+  }
+}
+
+TEST(Bcsr, RowCountNotMultipleOfBlock) {
+  const CsrMatrix a = gen::random_uniform(101, 5, 7);  // 101 % 4 != 0
+  expect_matches_csr(a, BcsrMatrix::from_csr(a, 4, 4));
+}
+
+TEST(Bcsr, RoundTripToCsr) {
+  const CsrMatrix a = gen::power_law(300, 7, 2.0, 5);
+  const BcsrMatrix b = BcsrMatrix::from_csr(a, 4, 2);
+  EXPECT_TRUE(b.to_csr().equals(a));
+}
+
+TEST(Bcsr, PerfectlyBlockedMatrixHasFillOne) {
+  // 4x4 dense diagonal blocks tiled on a multiple-of-4 grid.
+  const CsrMatrix a = gen::block_diagonal_dense(64, 4, 3);
+  const BcsrMatrix b = BcsrMatrix::from_csr(a, 4, 4);
+  EXPECT_DOUBLE_EQ(b.fill_ratio(), 1.0);
+  // One index per 16 elements: format must shrink vs CSR.
+  EXPECT_LT(b.format_bytes(), a.format_bytes());
+}
+
+TEST(Bcsr, ScatteredMatrixHasHighFill) {
+  const CsrMatrix a = gen::random_uniform(500, 4, 9);
+  const BcsrMatrix b = BcsrMatrix::from_csr(a, 4, 4);
+  EXPECT_GT(b.fill_ratio(), 4.0);  // isolated nonzeros cost ~16x
+}
+
+TEST(Bcsr, EstimateFillIsExactWithFullSample) {
+  const CsrMatrix a = gen::banded(400, 30, 8, 3);
+  for (index_t br : {2, 4})
+    for (index_t bc : {2, 4}) {
+      const BcsrMatrix b = BcsrMatrix::from_csr(a, br, bc);
+      EXPECT_NEAR(BcsrMatrix::estimate_fill(a, br, bc, a.nrows()),
+                  b.fill_ratio(), 1e-12);
+    }
+}
+
+TEST(Bcsr, SampledEstimateNearExact) {
+  const CsrMatrix a = gen::banded(3000, 50, 10, 7);
+  const double exact = BcsrMatrix::from_csr(a, 4, 4).fill_ratio();
+  const double sampled = BcsrMatrix::estimate_fill(a, 4, 4, 64);
+  EXPECT_NEAR(sampled, exact, 0.15 * exact);
+}
+
+TEST(Bcsr, ChoosesBlockingForBlockedMatrix) {
+  const CsrMatrix a = gen::block_diagonal_dense(256, 8, 3);
+  const auto [br, bc] = BcsrMatrix::choose_block_size(a);
+  EXPECT_GT(br * bc, 1);  // blocking pays on a perfectly blocked matrix
+}
+
+TEST(Bcsr, DeclinesBlockingForScatteredMatrix) {
+  const CsrMatrix a = gen::random_uniform(2000, 4, 11);
+  const auto [br, bc] = BcsrMatrix::choose_block_size(a);
+  EXPECT_EQ(br, 1);
+  EXPECT_EQ(bc, 1);
+}
+
+TEST(Bcsr, RejectsBadBlockDims) {
+  const CsrMatrix a = gen::diagonal(8);
+  EXPECT_THROW((void)BcsrMatrix::from_csr(a, 0, 2), std::invalid_argument);
+  EXPECT_THROW((void)BcsrMatrix::from_csr(a, 2, 9), std::invalid_argument);
+}
+
+TEST(Bcsr, EmptyMatrix) {
+  CooMatrix coo(6, 6);
+  coo.compress();
+  const CsrMatrix a = CsrMatrix::from_coo(coo);
+  const BcsrMatrix b = BcsrMatrix::from_csr(a, 2, 2);
+  EXPECT_EQ(b.num_blocks(), 0);
+  const std::vector<value_t> x(6, 1.0);
+  std::vector<value_t> y(6, 9.0);
+  kernels::spmv_bcsr(b, x.data(), y.data());
+  for (value_t v : y) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+}  // namespace
+}  // namespace spmvopt

@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+
+#include "gen/generators.hpp"
+#include "kernels/spmv.hpp"
+#include "sparse/binary_io.hpp"
+
+namespace spmvopt {
+namespace {
+
+TEST(BinaryIo, RoundTripStream) {
+  const CsrMatrix a = gen::power_law(500, 8, 2.0, 7);
+  std::stringstream buf(std::ios::in | std::ios::out | std::ios::binary);
+  write_csr_binary(buf, a);
+  const CsrMatrix b = read_csr_binary(buf);
+  EXPECT_TRUE(a.equals(b));
+}
+
+TEST(BinaryIo, RoundTripFile) {
+  const CsrMatrix a = gen::stencil_2d_5pt(20, 20);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "spmvopt_test.csrbin").string();
+  write_csr_binary_file(path, a);
+  const CsrMatrix b = read_csr_binary_file(path);
+  EXPECT_TRUE(a.equals(b));
+  std::remove(path.c_str());
+}
+
+TEST(BinaryIo, RoundTripEmptyMatrix) {
+  CooMatrix coo(3, 3);
+  coo.compress();
+  const CsrMatrix a = CsrMatrix::from_coo(coo);
+  std::stringstream buf(std::ios::in | std::ios::out | std::ios::binary);
+  write_csr_binary(buf, a);
+  EXPECT_TRUE(read_csr_binary(buf).equals(a));
+}
+
+TEST(BinaryIo, RejectsBadMagic) {
+  std::stringstream buf(std::ios::in | std::ios::out | std::ios::binary);
+  buf << "NOTACSRFILE-PADDING-PADDING";
+  EXPECT_THROW((void)read_csr_binary(buf), std::runtime_error);
+}
+
+TEST(BinaryIo, RejectsTruncation) {
+  const CsrMatrix a = gen::diagonal(64);
+  std::stringstream buf(std::ios::in | std::ios::out | std::ios::binary);
+  write_csr_binary(buf, a);
+  const std::string full = buf.str();
+  std::stringstream cut(full.substr(0, full.size() / 2),
+                        std::ios::in | std::ios::binary);
+  EXPECT_THROW((void)read_csr_binary(cut), std::runtime_error);
+}
+
+TEST(BinaryIo, RejectsCorruptedStructure) {
+  const CsrMatrix a = gen::diagonal(8);
+  std::stringstream buf(std::ios::in | std::ios::out | std::ios::binary);
+  write_csr_binary(buf, a);
+  std::string bytes = buf.str();
+  // Flip a colind byte to an out-of-range value (colind block starts after
+  // magic + dims + rowptr).
+  const std::size_t colind_off = 8 + 3 * 8 + 9 * 4;
+  bytes[colind_off + 3] = 0x7F;  // high byte -> huge column index
+  std::stringstream bad(bytes, std::ios::in | std::ios::binary);
+  EXPECT_THROW((void)read_csr_binary(bad), std::invalid_argument);
+}
+
+TEST(BinaryIo, MissingFileThrows) {
+  EXPECT_THROW((void)read_csr_binary_file("/nonexistent/x.csrbin"),
+               std::runtime_error);
+}
+
+TEST(Transpose, MatchesExplicitTranspose) {
+  const CsrMatrix a = gen::power_law(300, 7, 2.0, 5);
+  // Build A^T explicitly via COO.
+  CooMatrix coo(a.ncols(), a.nrows());
+  for (index_t i = 0; i < a.nrows(); ++i)
+    for (index_t k = a.rowptr()[i]; k < a.rowptr()[i + 1]; ++k)
+      coo.add(a.colind()[k], i, a.values()[k]);
+  coo.compress();
+  const CsrMatrix at = CsrMatrix::from_coo(coo);
+
+  const std::vector<value_t> x = gen::test_vector(a.nrows());
+  std::vector<value_t> expected(static_cast<std::size_t>(a.ncols()));
+  at.multiply(x, expected);
+  std::vector<value_t> y(static_cast<std::size_t>(a.ncols()));
+  kernels::spmv_transpose(a, x.data(), y.data());
+  for (std::size_t i = 0; i < y.size(); ++i)
+    EXPECT_NEAR(y[i], expected[i], 1e-9 * std::max(1.0, std::abs(expected[i])));
+}
+
+TEST(Transpose, RectangularMatrix) {
+  CooMatrix coo(2, 4);
+  coo.add(0, 0, 1.0);
+  coo.add(0, 3, 2.0);
+  coo.add(1, 1, 3.0);
+  coo.compress();
+  const CsrMatrix a = CsrMatrix::from_coo(coo);
+  const std::vector<value_t> x{10.0, 100.0};
+  std::vector<value_t> y(4);
+  kernels::spmv_transpose(a, x.data(), y.data());
+  EXPECT_DOUBLE_EQ(y[0], 10.0);
+  EXPECT_DOUBLE_EQ(y[1], 300.0);
+  EXPECT_DOUBLE_EQ(y[2], 0.0);
+  EXPECT_DOUBLE_EQ(y[3], 20.0);
+}
+
+}  // namespace
+}  // namespace spmvopt

@@ -1,0 +1,98 @@
+// Smoke tests for the spmvopt_cli tool: exercise the subcommand surface as a
+// user would, through the actual binary (path injected by CMake).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+namespace {
+
+std::string cli() { return SPMVOPT_CLI_PATH; }
+
+std::string tmp_path(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+int run(const std::string& args) {
+  const std::string cmd = cli() + " " + args + " > /dev/null 2>&1";
+  return std::system(cmd.c_str());
+}
+
+/// Run and capture stdout.
+std::pair<int, std::string> run_capture(const std::string& args) {
+  const std::string out_file = tmp_path("spmvopt_cli_out.txt");
+  const std::string cmd = cli() + " " + args + " > " + out_file + " 2>&1";
+  const int rc = std::system(cmd.c_str());
+  std::ifstream in(out_file);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  std::remove(out_file.c_str());
+  return {rc, content};
+}
+
+TEST(Cli, BinaryExists) {
+  ASSERT_TRUE(std::filesystem::exists(cli())) << cli();
+}
+
+TEST(Cli, NoArgsShowsUsageAndFails) {
+  EXPECT_NE(run(""), 0);
+}
+
+TEST(Cli, UnknownCommandFails) {
+  EXPECT_NE(run("frobnicate"), 0);
+}
+
+TEST(Cli, GenerateConvertInspectPipeline) {
+  const std::string mtx = tmp_path("spmvopt_cli_p.mtx");
+  const std::string bin = tmp_path("spmvopt_cli_p.csrbin");
+  EXPECT_EQ(run("generate poisson2d " + mtx + " 24"), 0);
+  EXPECT_EQ(run("convert " + mtx + " " + bin), 0);
+  const auto [rc, out] = run_capture("inspect " + bin);
+  EXPECT_EQ(rc, 0);
+  EXPECT_NE(out.find("features (Table I)"), std::string::npos);
+  EXPECT_NE(out.find("classes:"), std::string::npos);
+  std::remove(mtx.c_str());
+  std::remove(bin.c_str());
+}
+
+TEST(Cli, GenerateRejectsUnknownFamily) {
+  EXPECT_NE(run("generate nosuchfamily " + tmp_path("x.mtx")), 0);
+}
+
+TEST(Cli, ConvertRejectsUnknownExtension) {
+  const std::string mtx = tmp_path("spmvopt_cli_q.mtx");
+  ASSERT_EQ(run("generate dense " + mtx + " 16"), 0);
+  EXPECT_NE(run("convert " + mtx + " " + tmp_path("out.xyz")), 0);
+  std::remove(mtx.c_str());
+}
+
+TEST(Cli, TrainThenOptimizeWithModel) {
+  const std::string model = tmp_path("spmvopt_cli_model.txt");
+  const std::string mtx = tmp_path("spmvopt_cli_m.mtx");
+  ASSERT_EQ(run("generate banded " + mtx + " 40"), 0);
+  ASSERT_EQ(run("train " + model + " 20"), 0);
+  const auto [rc, out] = run_capture("optimize " + mtx + " " + model);
+  EXPECT_EQ(rc, 0);
+  EXPECT_NE(out.find("feature-guided"), std::string::npos);
+  EXPECT_NE(out.find("Gflop/s"), std::string::npos);
+  std::remove(model.c_str());
+  std::remove(mtx.c_str());
+}
+
+TEST(Cli, BenchListsPlansSortedByRate) {
+  const auto [rc, out] = run_capture("bench suite:small-dense");
+  EXPECT_EQ(rc, 0);
+  EXPECT_NE(out.find("baseline"), std::string::npos);
+  EXPECT_NE(out.find("sell"), std::string::npos);
+}
+
+TEST(Cli, MissingFileReportsError) {
+  const auto [rc, out] = run_capture("inspect /nonexistent/file.mtx");
+  EXPECT_NE(rc, 0);
+  EXPECT_NE(out.find("error:"), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "sparse/coo.hpp"
+#include "sparse/csr.hpp"
+#include "sparse/dense.hpp"
+
+namespace spmvopt {
+namespace {
+
+CooMatrix small_coo() {
+  // 3x4:
+  //   [ 1 0 2 0 ]
+  //   [ 0 0 0 0 ]
+  //   [ 3 4 0 5 ]
+  CooMatrix coo(3, 4);
+  coo.add(2, 3, 5.0);
+  coo.add(0, 0, 1.0);
+  coo.add(2, 0, 3.0);
+  coo.add(0, 2, 2.0);
+  coo.add(2, 1, 4.0);
+  return coo;
+}
+
+TEST(Coo, AddValidatesRange) {
+  CooMatrix coo(2, 2);
+  EXPECT_THROW(coo.add(2, 0, 1.0), std::out_of_range);
+  EXPECT_THROW(coo.add(0, -1, 1.0), std::out_of_range);
+}
+
+TEST(Coo, NegativeDimensionThrows) {
+  EXPECT_THROW(CooMatrix(-1, 2), std::invalid_argument);
+}
+
+TEST(Coo, CompressSortsRowMajor) {
+  CooMatrix coo = small_coo();
+  coo.compress();
+  const auto& e = coo.entries();
+  ASSERT_EQ(e.size(), 5u);
+  for (std::size_t i = 1; i < e.size(); ++i) {
+    const bool ordered = e[i - 1].row < e[i].row ||
+                         (e[i - 1].row == e[i].row && e[i - 1].col < e[i].col);
+    EXPECT_TRUE(ordered);
+  }
+}
+
+TEST(Coo, CompressSumsDuplicates) {
+  CooMatrix coo(2, 2);
+  coo.add(0, 0, 1.0);
+  coo.add(0, 0, 2.5);
+  coo.add(1, 1, 1.0);
+  coo.compress();
+  ASSERT_EQ(coo.nnz(), 2u);
+  EXPECT_DOUBLE_EQ(coo.entries()[0].value, 3.5);
+}
+
+TEST(Coo, AddSymmetricMirrorsOffDiagonal) {
+  CooMatrix coo(3, 3);
+  coo.add_symmetric(0, 1, 2.0);
+  coo.add_symmetric(2, 2, 5.0);
+  coo.compress();
+  EXPECT_EQ(coo.nnz(), 3u);  // (0,1), (1,0), (2,2)
+}
+
+TEST(Csr, FromCooMatchesDense) {
+  CooMatrix coo = small_coo();
+  coo.compress();
+  const CsrMatrix csr = CsrMatrix::from_coo(coo);
+  EXPECT_EQ(csr.nrows(), 3);
+  EXPECT_EQ(csr.ncols(), 4);
+  EXPECT_EQ(csr.nnz(), 5);
+  EXPECT_EQ(csr.row_nnz(0), 2);
+  EXPECT_EQ(csr.row_nnz(1), 0);
+  EXPECT_EQ(csr.row_nnz(2), 3);
+
+  const DenseMatrix d = DenseMatrix::from_csr(csr);
+  EXPECT_DOUBLE_EQ(d.at(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(d.at(0, 2), 2.0);
+  EXPECT_DOUBLE_EQ(d.at(2, 0), 3.0);
+  EXPECT_DOUBLE_EQ(d.at(2, 1), 4.0);
+  EXPECT_DOUBLE_EQ(d.at(2, 3), 5.0);
+  EXPECT_DOUBLE_EQ(d.at(1, 1), 0.0);
+}
+
+TEST(Csr, FromCooHandlesUnsortedInput) {
+  CooMatrix coo(2, 2);
+  coo.add(1, 1, 4.0);
+  coo.add(0, 1, 2.0);
+  coo.add(1, 0, 3.0);
+  coo.add(0, 0, 1.0);
+  coo.compress();
+  const CsrMatrix csr = CsrMatrix::from_coo(coo);
+  // Columns sorted within rows.
+  EXPECT_EQ(csr.colind()[0], 0);
+  EXPECT_EQ(csr.colind()[1], 1);
+  EXPECT_DOUBLE_EQ(csr.values()[0], 1.0);
+  EXPECT_DOUBLE_EQ(csr.values()[3], 4.0);
+}
+
+TEST(Csr, ValidationCatchesBadRowptr) {
+  aligned_vector<index_t> rowptr{0, 2, 1};  // non-monotone
+  aligned_vector<index_t> colind{0, 1};
+  aligned_vector<value_t> values{1.0, 2.0};
+  EXPECT_THROW(CsrMatrix(2, 2, rowptr, colind, values), std::invalid_argument);
+}
+
+TEST(Csr, ValidationCatchesBadColind) {
+  aligned_vector<index_t> rowptr{0, 1};
+  aligned_vector<index_t> colind{5};  // out of range for ncols=2
+  aligned_vector<value_t> values{1.0};
+  EXPECT_THROW(CsrMatrix(1, 2, rowptr, colind, values), std::invalid_argument);
+}
+
+TEST(Csr, ValidationCatchesSizeMismatch) {
+  aligned_vector<index_t> rowptr{0, 2};
+  aligned_vector<index_t> colind{0};  // nnz says 2
+  aligned_vector<value_t> values{1.0, 2.0};
+  EXPECT_THROW(CsrMatrix(1, 2, rowptr, colind, values), std::invalid_argument);
+}
+
+TEST(Csr, MultiplyMatchesDense) {
+  CooMatrix coo = small_coo();
+  coo.compress();
+  const CsrMatrix csr = CsrMatrix::from_coo(coo);
+  const DenseMatrix dense = DenseMatrix::from_csr(csr);
+  const std::vector<value_t> x{1.0, 2.0, 3.0, 4.0};
+  std::vector<value_t> y1(3), y2(3);
+  csr.multiply(x, y1);
+  dense.multiply(x, y2);
+  for (int i = 0; i < 3; ++i) EXPECT_DOUBLE_EQ(y1[static_cast<std::size_t>(i)], y2[static_cast<std::size_t>(i)]);
+}
+
+TEST(Csr, MultiplyChecksSizes) {
+  CooMatrix coo = small_coo();
+  coo.compress();
+  const CsrMatrix csr = CsrMatrix::from_coo(coo);
+  std::vector<value_t> x(3), y(3);  // x should be 4
+  EXPECT_THROW(csr.multiply(x, y), std::invalid_argument);
+}
+
+TEST(Csr, FormatBytes) {
+  CooMatrix coo = small_coo();
+  coo.compress();
+  const CsrMatrix csr = CsrMatrix::from_coo(coo);
+  // rowptr: 4 * 4B, colind: 5 * 4B, values: 5 * 8B.
+  EXPECT_EQ(csr.format_bytes(), 4u * 4 + 5u * 4 + 5u * 8);
+  EXPECT_EQ(csr.values_bytes(), 5u * 8);
+  EXPECT_EQ(csr.working_set_bytes(), csr.format_bytes() + (4u + 3u) * 8);
+}
+
+TEST(Csr, IsSymmetric) {
+  CooMatrix coo(3, 3);
+  coo.add_symmetric(0, 1, 2.0);
+  coo.add_symmetric(1, 2, 3.0);
+  coo.add(0, 0, 1.0);
+  coo.compress();
+  const CsrMatrix sym = CsrMatrix::from_coo(coo);
+  EXPECT_TRUE(sym.is_symmetric());
+
+  CooMatrix coo2(2, 2);
+  coo2.add(0, 1, 1.0);
+  coo2.compress();
+  EXPECT_FALSE(CsrMatrix::from_coo(coo2).is_symmetric());
+}
+
+TEST(Csr, EqualsIsDeep) {
+  CooMatrix coo = small_coo();
+  coo.compress();
+  const CsrMatrix a = CsrMatrix::from_coo(coo);
+  const CsrMatrix b = CsrMatrix::from_coo(coo);
+  EXPECT_TRUE(a.equals(b));
+}
+
+TEST(Dense, ToCsrRoundTrip) {
+  DenseMatrix d(2, 3);
+  d.at(0, 1) = 2.0;
+  d.at(1, 2) = -1.0;
+  const CsrMatrix csr = d.to_csr();
+  EXPECT_EQ(csr.nnz(), 2);
+  const DenseMatrix back = DenseMatrix::from_csr(csr);
+  for (index_t i = 0; i < 2; ++i)
+    for (index_t j = 0; j < 3; ++j) EXPECT_DOUBLE_EQ(back.at(i, j), d.at(i, j));
+}
+
+TEST(Dense, DropTolerance) {
+  DenseMatrix d(1, 3);
+  d.at(0, 0) = 1e-12;
+  d.at(0, 1) = 1.0;
+  EXPECT_EQ(d.to_csr(1e-9).nnz(), 1);
+}
+
+}  // namespace
+}  // namespace spmvopt

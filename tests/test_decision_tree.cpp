@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include "ml/cross_validation.hpp"
+#include "ml/decision_tree.hpp"
+#include "ml/search.hpp"
+#include "support/rng.hpp"
+
+namespace spmvopt::ml {
+namespace {
+
+/// Single-label dataset separable on x[0] at 0.5.
+Dataset separable_1d(int n) {
+  Dataset ds;
+  Xoshiro256 rng(1);
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.uniform();
+    ds.X.push_back({x, rng.uniform()});  // second feature is noise
+    ds.Y.push_back({x > 0.5 ? 1 : 0});
+  }
+  return ds;
+}
+
+/// Two labels: label0 = x0 > 0.5, label1 = x1 > 0.5 (independent).
+Dataset multilabel_2d(int n) {
+  Dataset ds;
+  Xoshiro256 rng(2);
+  for (int i = 0; i < n; ++i) {
+    const double a = rng.uniform(), b = rng.uniform();
+    ds.X.push_back({a, b});
+    ds.Y.push_back({a > 0.5 ? 1 : 0, b > 0.5 ? 1 : 0});
+  }
+  return ds;
+}
+
+TEST(DecisionTree, FitsSeparableData) {
+  const Dataset ds = separable_1d(200);
+  DecisionTree tree;
+  tree.fit(ds);
+  for (std::size_t i = 0; i < ds.size(); ++i)
+    EXPECT_EQ(tree.predict(ds.X[i]), ds.Y[i]) << "sample " << i;
+}
+
+TEST(DecisionTree, GeneralizesSeparableData) {
+  DecisionTree tree;
+  tree.fit(separable_1d(400));
+  EXPECT_EQ(tree.predict({0.9, 0.1})[0], 1);
+  EXPECT_EQ(tree.predict({0.1, 0.9})[0], 0);
+}
+
+TEST(DecisionTree, MultilabelPredictsBothLabels) {
+  DecisionTree tree;
+  tree.fit(multilabel_2d(500));
+  EXPECT_EQ(tree.predict({0.9, 0.9}), (std::vector<int>{1, 1}));
+  EXPECT_EQ(tree.predict({0.9, 0.1}), (std::vector<int>{1, 0}));
+  EXPECT_EQ(tree.predict({0.1, 0.9}), (std::vector<int>{0, 1}));
+  EXPECT_EQ(tree.predict({0.1, 0.1}), (std::vector<int>{0, 0}));
+}
+
+TEST(DecisionTree, MaxDepthLimitsTree) {
+  const Dataset ds = multilabel_2d(300);
+  DecisionTree shallow;
+  TreeParams p;
+  p.max_depth = 1;
+  shallow.fit(ds, p);
+  EXPECT_LE(shallow.depth(), 1);
+  EXPECT_LE(shallow.leaf_count(), 2u);
+}
+
+TEST(DecisionTree, MinSamplesLeafRespected) {
+  const Dataset ds = separable_1d(50);
+  TreeParams p;
+  p.min_samples_leaf = 20;
+  DecisionTree tree;
+  tree.fit(ds, p);
+  // With leaves >= 20 of 50 samples there can be at most 2 leaves.
+  EXPECT_LE(tree.leaf_count(), 2u);
+}
+
+TEST(DecisionTree, PureNodeBecomesLeafImmediately) {
+  Dataset ds;
+  for (int i = 0; i < 10; ++i) {
+    ds.X.push_back({static_cast<double>(i)});
+    ds.Y.push_back({1});
+  }
+  DecisionTree tree;
+  tree.fit(ds);
+  EXPECT_EQ(tree.node_count(), 1u);
+  EXPECT_EQ(tree.predict({3.0})[0], 1);
+}
+
+TEST(DecisionTree, ConstantFeatureCannotSplit) {
+  Dataset ds;
+  for (int i = 0; i < 10; ++i) {
+    ds.X.push_back({1.0});
+    ds.Y.push_back({i % 2});
+  }
+  DecisionTree tree;
+  tree.fit(ds);
+  EXPECT_EQ(tree.node_count(), 1u);  // no valid split between equal values
+}
+
+TEST(DecisionTree, PredictValidatesArity) {
+  DecisionTree tree;
+  tree.fit(separable_1d(50));
+  EXPECT_THROW((void)tree.predict({1.0}), std::invalid_argument);
+}
+
+TEST(DecisionTree, UntrainedThrows) {
+  const DecisionTree tree;
+  EXPECT_THROW((void)tree.predict({1.0, 2.0}), std::logic_error);
+}
+
+TEST(DecisionTree, RejectsBadDataset) {
+  Dataset ds;
+  ds.X.push_back({1.0});
+  ds.Y.push_back({2});  // labels must be 0/1
+  DecisionTree tree;
+  EXPECT_THROW(tree.fit(ds), std::invalid_argument);
+
+  Dataset ragged;
+  ragged.X = {{1.0}, {1.0, 2.0}};
+  ragged.Y = {{0}, {1}};
+  EXPECT_THROW(tree.fit(ragged), std::invalid_argument);
+}
+
+TEST(DecisionTree, ProbaSumsPerLabel) {
+  DecisionTree tree;
+  tree.fit(multilabel_2d(100));
+  const auto proba = tree.predict_proba({0.7, 0.2});
+  ASSERT_EQ(proba.size(), 2u);
+  for (double p : proba) {
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+}
+
+TEST(DecisionTree, TextDumpMentionsFeatures) {
+  DecisionTree tree;
+  tree.fit(separable_1d(100));
+  const std::string text = tree.to_text({"alpha", "beta"});
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+  EXPECT_NE(text.find("leaf"), std::string::npos);
+}
+
+TEST(CrossValidation, LooPerfectOnSeparable) {
+  const CvScores s = leave_one_out(separable_1d(120));
+  EXPECT_GT(s.exact, 0.9);
+  EXPECT_GE(s.partial, s.exact);
+}
+
+TEST(CrossValidation, KFoldRunsAndScoresReasonably) {
+  const CvScores s = k_fold(multilabel_2d(200), 5);
+  EXPECT_GT(s.exact, 0.6);
+  EXPECT_GE(s.partial, s.exact);
+}
+
+TEST(CrossValidation, RejectsBadArgs) {
+  Dataset tiny;
+  tiny.X = {{1.0}};
+  tiny.Y = {{0}};
+  EXPECT_THROW((void)leave_one_out(tiny), std::invalid_argument);
+  EXPECT_THROW((void)k_fold(separable_1d(10), 1), std::invalid_argument);
+}
+
+TEST(GridSearch, FindsMaximumOnGrid) {
+  // score = -(x-2)^2 - (y-3)^2, maximized at (2, 3).
+  const GridPoint best = grid_search(
+      {{0, 1, 2, 3}, {1, 2, 3, 4}}, [](const std::vector<double>& v) {
+        return -(v[0] - 2) * (v[0] - 2) - (v[1] - 3) * (v[1] - 3);
+      });
+  EXPECT_DOUBLE_EQ(best.values[0], 2.0);
+  EXPECT_DOUBLE_EQ(best.values[1], 3.0);
+  EXPECT_DOUBLE_EQ(best.score, 0.0);
+}
+
+TEST(GridSearch, SingleAxis) {
+  const GridPoint best = grid_search(
+      {{1, 5, 9}}, [](const std::vector<double>& v) { return -v[0]; });
+  EXPECT_DOUBLE_EQ(best.values[0], 1.0);
+}
+
+TEST(GridSearch, RejectsEmptyAxis) {
+  EXPECT_THROW((void)grid_search({{}}, [](const std::vector<double>&) {
+                 return 0.0;
+               }),
+               std::invalid_argument);
+}
+
+TEST(FeatureSearch, FindsInformativeFeature) {
+  // Feature 1 is informative, features 0 and 2 are noise.
+  Dataset ds;
+  Xoshiro256 rng(4);
+  for (int i = 0; i < 150; ++i) {
+    const double sig = rng.uniform();
+    ds.X.push_back({rng.uniform(), sig, rng.uniform()});
+    ds.Y.push_back({sig > 0.5 ? 1 : 0});
+  }
+  const FeatureSubsetResult best = best_feature_subset(ds, {0, 1, 2}, 2);
+  ASSERT_FALSE(best.features.empty());
+  EXPECT_EQ(best.features[0], 1);  // smallest subset achieving top score
+  EXPECT_GT(best.scores.exact, 0.9);
+}
+
+TEST(FeatureSearch, RejectsBadColumns) {
+  const Dataset ds = separable_1d(20);
+  EXPECT_THROW((void)best_feature_subset(ds, {5}, 1), std::invalid_argument);
+  EXPECT_THROW((void)best_feature_subset(ds, {}, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace spmvopt::ml

@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include "gen/generators.hpp"
+#include "sparse/delta_csr.hpp"
+
+namespace spmvopt {
+namespace {
+
+TEST(DeltaCsr, RoundTripDense) {
+  const CsrMatrix a = gen::dense(32);
+  const auto d = DeltaCsrMatrix::encode(a);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->width(), DeltaWidth::U8);  // gaps are all 1
+  EXPECT_TRUE(d->decode().equals(a));
+}
+
+TEST(DeltaCsr, RoundTripStencil) {
+  const CsrMatrix a = gen::stencil_2d_5pt(16, 16);
+  const auto d = DeltaCsrMatrix::encode(a);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_TRUE(d->decode().equals(a));
+}
+
+TEST(DeltaCsr, RoundTripRandom) {
+  // Random columns in a 200-wide matrix: gaps fit 8 bits.
+  const CsrMatrix a = gen::random_uniform(200, 8, 42);
+  const auto d = DeltaCsrMatrix::encode(a);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_TRUE(d->decode().equals(a));
+}
+
+TEST(DeltaCsr, SelectsU16WhenNeeded) {
+  // Two elements 1000 apart: too wide for u8, fits u16.
+  CooMatrix coo(2, 2000);
+  coo.add(0, 0, 1.0);
+  coo.add(0, 1000, 2.0);
+  coo.compress();
+  const CsrMatrix a = CsrMatrix::from_coo(coo);
+  EXPECT_EQ(DeltaCsrMatrix::required_width(a), DeltaWidth::U16);
+  const auto d = DeltaCsrMatrix::encode(a);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->width(), DeltaWidth::U16);
+  EXPECT_TRUE(d->decode().equals(a));
+}
+
+TEST(DeltaCsr, RefusesGapsOver16Bits) {
+  CooMatrix coo(1, 100000);
+  coo.add(0, 0, 1.0);
+  coo.add(0, 90000, 2.0);
+  coo.compress();
+  const CsrMatrix a = CsrMatrix::from_coo(coo);
+  EXPECT_FALSE(DeltaCsrMatrix::required_width(a).has_value());
+  EXPECT_FALSE(DeltaCsrMatrix::encode(a).has_value());
+}
+
+TEST(DeltaCsr, FirstColumnIsAbsoluteBase) {
+  // Row starting at a large column with small in-row gaps must still be u8:
+  // only *in-row gaps* count, the base is absolute.
+  CooMatrix coo(1, 100000);
+  coo.add(0, 90000, 1.0);
+  coo.add(0, 90001, 2.0);
+  coo.compress();
+  const CsrMatrix a = CsrMatrix::from_coo(coo);
+  const auto d = DeltaCsrMatrix::encode(a);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->width(), DeltaWidth::U8);
+  EXPECT_EQ(d->bases()[0], 90000);
+  EXPECT_TRUE(d->decode().equals(a));
+}
+
+TEST(DeltaCsr, HandlesEmptyRows) {
+  CooMatrix coo(4, 4);
+  coo.add(0, 0, 1.0);
+  coo.add(3, 3, 2.0);  // rows 1, 2 empty
+  coo.compress();
+  const CsrMatrix a = CsrMatrix::from_coo(coo);
+  const auto d = DeltaCsrMatrix::encode(a);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_TRUE(d->decode().equals(a));
+}
+
+TEST(DeltaCsr, U8CompressionShrinksFootprint) {
+  const CsrMatrix a = gen::dense(64);
+  const auto d = DeltaCsrMatrix::encode(a);
+  ASSERT_TRUE(d.has_value());
+  // u8 deltas replace 4-byte colind: the format must shrink.
+  EXPECT_LT(d->format_bytes(), a.format_bytes());
+}
+
+TEST(DeltaCsr, NeverMixesWidths) {
+  // Matrix with one u16-requiring row: the entire matrix must use u16
+  // ("8- or 16-bit deltas wherever possible, but never both", §III-E).
+  CooMatrix coo(2, 2000);
+  coo.add(0, 0, 1.0);
+  coo.add(0, 1, 1.0);  // row 0 would fit u8
+  coo.add(1, 0, 1.0);
+  coo.add(1, 1000, 1.0);  // row 1 needs u16
+  coo.compress();
+  const auto d = DeltaCsrMatrix::encode(CsrMatrix::from_coo(coo));
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->width(), DeltaWidth::U16);
+}
+
+}  // namespace
+}  // namespace spmvopt

@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gen/generators.hpp"
+#include "solvers/eigen.hpp"
+
+namespace spmvopt::solvers {
+namespace {
+
+TEST(TridiagEigen, DiagonalMatrix) {
+  // diag(3, 1, 2) has eigenvalues {1, 2, 3}.
+  const std::vector<double> d{3.0, 1.0, 2.0};
+  const std::vector<double> e{0.0, 0.0};
+  const auto eig = tridiag_eigenvalues(d, e);
+  ASSERT_EQ(eig.size(), 3u);
+  EXPECT_NEAR(eig[0], 1.0, 1e-9);
+  EXPECT_NEAR(eig[1], 2.0, 1e-9);
+  EXPECT_NEAR(eig[2], 3.0, 1e-9);
+}
+
+TEST(TridiagEigen, LaplacianClosedForm) {
+  // 1-D Laplacian tridiag(-1, 2, -1) of size n has eigenvalues
+  // 2 - 2 cos(k pi / (n+1)).
+  const int n = 12;
+  const std::vector<double> d(static_cast<std::size_t>(n), 2.0);
+  const std::vector<double> e(static_cast<std::size_t>(n) - 1, -1.0);
+  const auto eig = tridiag_eigenvalues(d, e);
+  for (int k = 1; k <= n; ++k) {
+    const double exact = 2.0 - 2.0 * std::cos(k * M_PI / (n + 1));
+    EXPECT_NEAR(eig[static_cast<std::size_t>(k) - 1], exact, 1e-8);
+  }
+}
+
+TEST(TridiagEigen, ValidatesSizes) {
+  const std::vector<double> d{1.0, 2.0};
+  const std::vector<double> bad{0.0, 0.0};
+  EXPECT_THROW((void)tridiag_eigenvalues(d, bad), std::invalid_argument);
+}
+
+TEST(PowerMethod, DiagonalDominantEigenvalue) {
+  CooMatrix coo(5, 5);
+  const double evs[5] = {1.0, -2.0, 3.0, 0.5, 7.0};
+  for (index_t i = 0; i < 5; ++i) coo.add(i, i, evs[i]);
+  coo.compress();
+  const CsrMatrix a = CsrMatrix::from_coo(coo);
+  const auto r = power_method(LinearOperator::from_csr(a));
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(r.eigenvalue, 7.0, 1e-6);
+  // Eigenvector concentrates on coordinate 4.
+  EXPECT_GT(std::abs(r.eigenvector[4]), 0.999);
+}
+
+TEST(PowerMethod, StencilLargestEigenvalue) {
+  // 2-D 5-point Laplacian on an m x m grid: lambda_max =
+  // 4 + 4 cos(pi/(m+1)) ... precisely 8 sin^2(m pi / (2(m+1))) per dimension
+  // sum; easier: compare against Lanczos below. Here check range (0, 8).
+  const CsrMatrix a = gen::stencil_2d_5pt(16, 16);
+  EigenOptions opt;
+  opt.max_iterations = 2000;
+  opt.tolerance = 1e-12;
+  const auto r = power_method(LinearOperator::from_csr(a), opt);
+  EXPECT_TRUE(r.converged);
+  EXPECT_GT(r.eigenvalue, 6.0);
+  EXPECT_LT(r.eigenvalue, 8.0);
+  // Residual check: ||A v - lambda v|| small.
+  std::vector<value_t> av(r.eigenvector.size());
+  a.multiply(r.eigenvector, av);
+  double res = 0.0;
+  for (std::size_t i = 0; i < av.size(); ++i)
+    res += (av[i] - r.eigenvalue * r.eigenvector[i]) *
+           (av[i] - r.eigenvalue * r.eigenvector[i]);
+  EXPECT_LT(std::sqrt(res), 1e-3);
+}
+
+TEST(PowerMethod, RejectsRectangular) {
+  CooMatrix coo(2, 3);
+  coo.add(0, 0, 1.0);
+  coo.compress();
+  const auto op = LinearOperator::from_csr(CsrMatrix::from_coo(coo));
+  EXPECT_THROW((void)power_method(op), std::invalid_argument);
+}
+
+TEST(Lanczos, RecoversLaplacianExtremes) {
+  // 1-D Laplacian as a sparse matrix: extreme eigenvalues known in closed
+  // form; Lanczos converges to the extremes fastest.
+  const index_t n = 200;
+  CooMatrix coo(n, n);
+  for (index_t i = 0; i < n; ++i) {
+    coo.add(i, i, 2.0);
+    if (i + 1 < n) coo.add_symmetric(i, i + 1, -1.0);
+  }
+  coo.compress();
+  const CsrMatrix a = CsrMatrix::from_coo(coo);
+  const auto r = lanczos_extreme(LinearOperator::from_csr(a), 80, 3);
+  const double exact_min = 2.0 - 2.0 * std::cos(M_PI / (n + 1));
+  const double exact_max = 2.0 - 2.0 * std::cos(n * M_PI / (n + 1));
+  // The Laplacian spectrum clusters at both ends, so 80 Krylov steps give
+  // ~4 correct digits, not machine precision.
+  EXPECT_NEAR(r.lambda_max, exact_max, 1e-3);
+  EXPECT_NEAR(r.lambda_min, exact_min, 1e-3);
+}
+
+TEST(Lanczos, DiagonalSpectrumBounds) {
+  CooMatrix coo(50, 50);
+  for (index_t i = 0; i < 50; ++i) coo.add(i, i, static_cast<double>(i + 1));
+  coo.compress();
+  const CsrMatrix a = CsrMatrix::from_coo(coo);
+  const auto r = lanczos_extreme(LinearOperator::from_csr(a), 50, 7);
+  EXPECT_NEAR(r.lambda_min, 1.0, 1e-6);
+  EXPECT_NEAR(r.lambda_max, 50.0, 1e-6);
+}
+
+TEST(Lanczos, EarlyTerminationOnInvariantSubspace) {
+  // Identity: the Krylov space collapses after one step.
+  const CsrMatrix a = gen::diagonal(30, 1.0);
+  const auto r = lanczos_extreme(LinearOperator::from_csr(a), 20, 5);
+  EXPECT_LE(r.iterations, 2);
+  EXPECT_NEAR(r.lambda_min, 1.0, 1e-9);
+  EXPECT_NEAR(r.lambda_max, 1.0, 1e-9);
+}
+
+TEST(Lanczos, ValidatesArgs) {
+  const CsrMatrix a = gen::diagonal(4);
+  EXPECT_THROW((void)lanczos_extreme(LinearOperator::from_csr(a), 0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace spmvopt::solvers

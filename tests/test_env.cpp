@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "support/env.hpp"
+
+namespace spmvopt {
+namespace {
+
+// These mutate the process environment; gtest runs tests in one process, so
+// each test restores what it changes.
+class EnvGuard {
+ public:
+  explicit EnvGuard(const char* name) : name_(name) {
+    const char* old = std::getenv(name);
+    if (old != nullptr) saved_ = old;
+    had_ = old != nullptr;
+  }
+  ~EnvGuard() {
+    if (had_)
+      setenv(name_, saved_.c_str(), 1);
+    else
+      unsetenv(name_);
+  }
+
+ private:
+  const char* name_;
+  std::string saved_;
+  bool had_ = false;
+};
+
+TEST(Env, LongParsesAndFallsBack) {
+  EnvGuard guard("SPMVOPT_TEST_VAR");
+  unsetenv("SPMVOPT_TEST_VAR");
+  EXPECT_EQ(env_long("SPMVOPT_TEST_VAR", 42), 42);
+  setenv("SPMVOPT_TEST_VAR", "17", 1);
+  EXPECT_EQ(env_long("SPMVOPT_TEST_VAR", 42), 17);
+  setenv("SPMVOPT_TEST_VAR", "-3", 1);
+  EXPECT_EQ(env_long("SPMVOPT_TEST_VAR", 42), -3);
+  setenv("SPMVOPT_TEST_VAR", "junk", 1);
+  EXPECT_EQ(env_long("SPMVOPT_TEST_VAR", 42), 42);
+  setenv("SPMVOPT_TEST_VAR", "", 1);
+  EXPECT_EQ(env_long("SPMVOPT_TEST_VAR", 42), 42);
+}
+
+TEST(Env, StringFallsBack) {
+  EnvGuard guard("SPMVOPT_TEST_STR");
+  unsetenv("SPMVOPT_TEST_STR");
+  EXPECT_EQ(env_string("SPMVOPT_TEST_STR", "dflt"), "dflt");
+  setenv("SPMVOPT_TEST_STR", "value", 1);
+  EXPECT_EQ(env_string("SPMVOPT_TEST_STR", "dflt"), "value");
+}
+
+TEST(Env, ItersRunsOverrides) {
+  EnvGuard gi("SPMVOPT_ITERS"), gr("SPMVOPT_RUNS"), gq("SPMVOPT_QUICK");
+  unsetenv("SPMVOPT_QUICK");
+  setenv("SPMVOPT_ITERS", "77", 1);
+  setenv("SPMVOPT_RUNS", "9", 1);
+  EXPECT_EQ(bench_iterations(), 77);
+  EXPECT_EQ(bench_runs(), 9);
+  unsetenv("SPMVOPT_ITERS");
+  unsetenv("SPMVOPT_RUNS");
+  EXPECT_EQ(bench_iterations(), 40);  // documented default
+  EXPECT_EQ(bench_runs(), 3);
+  setenv("SPMVOPT_QUICK", "1", 1);
+  EXPECT_TRUE(quick_mode());
+  EXPECT_EQ(bench_iterations(), 16);
+  EXPECT_EQ(bench_runs(), 2);
+}
+
+}  // namespace
+}  // namespace spmvopt

@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "features/features.hpp"
+#include "gen/generators.hpp"
+
+namespace spmvopt {
+namespace {
+
+using features::extract_features;
+using features::FeatureId;
+using features::FeatureVector;
+
+// Hand-checkable 4x4:
+//   row 0: cols {0, 1, 2, 3}  (nnz 4, bw 3, 1 group)
+//   row 1: cols {0, 3}        (nnz 2, bw 3, 2 groups, 1 "miss" w/ line=2)
+//   row 2: cols {2}           (nnz 1, bw 0, 1 group)
+//   row 3: empty              (nnz 0, bw 0)
+CsrMatrix hand_matrix() {
+  CooMatrix coo(4, 4);
+  for (index_t j = 0; j < 4; ++j) coo.add(0, j, 1.0);
+  coo.add(1, 0, 1.0);
+  coo.add(1, 3, 1.0);
+  coo.add(2, 2, 1.0);
+  coo.compress();
+  return CsrMatrix::from_coo(coo);
+}
+
+TEST(Features, NnzStatistics) {
+  const FeatureVector f = extract_features(hand_matrix(), 2, 1);
+  EXPECT_DOUBLE_EQ(f[FeatureId::NnzMin], 0.0);
+  EXPECT_DOUBLE_EQ(f[FeatureId::NnzMax], 4.0);
+  EXPECT_DOUBLE_EQ(f[FeatureId::NnzAvg], 7.0 / 4.0);
+  // Population sd of {4,2,1,0}: mean 1.75, var (5.0625+0.0625+0.5625+3.0625)/4
+  const double var = (5.0625 + 0.0625 + 0.5625 + 3.0625) / 4.0;
+  EXPECT_NEAR(f[FeatureId::NnzSd], std::sqrt(var), 1e-12);
+}
+
+TEST(Features, Density) {
+  const FeatureVector f = extract_features(hand_matrix(), 2, 1);
+  EXPECT_DOUBLE_EQ(f[FeatureId::Density], 7.0 / 16.0);
+}
+
+TEST(Features, BandwidthStatistics) {
+  const FeatureVector f = extract_features(hand_matrix(), 2, 1);
+  // bw: {3, 3, 0, 0}.
+  EXPECT_DOUBLE_EQ(f[FeatureId::BwMin], 0.0);
+  EXPECT_DOUBLE_EQ(f[FeatureId::BwMax], 3.0);
+  EXPECT_DOUBLE_EQ(f[FeatureId::BwAvg], 1.5);
+  EXPECT_NEAR(f[FeatureId::BwSd], 1.5, 1e-12);
+}
+
+TEST(Features, ScatterAkaDispersion) {
+  const FeatureVector f = extract_features(hand_matrix(), 2, 1);
+  // scatter = nnz/(bw+1): {4/4, 2/4, 1/1, 0} = {1, .5, 1, 0}, avg = 0.625.
+  EXPECT_DOUBLE_EQ(f[FeatureId::ScatterAvg], 0.625);
+}
+
+TEST(Features, Clustering) {
+  const FeatureVector f = extract_features(hand_matrix(), 2, 1);
+  // groups/nnz: row0 1/4, row1 2/2, row2 1/1, row3 0 → avg = 2.25/4.
+  EXPECT_DOUBLE_EQ(f[FeatureId::ClusteringAvg], (0.25 + 1.0 + 1.0 + 0.0) / 4.0);
+}
+
+TEST(Features, MissesCountsLargeGaps) {
+  // Cache line of 2 elements: row 1's gap of 3 (> 2) is one miss.
+  const FeatureVector f = extract_features(hand_matrix(), 2, 1);
+  EXPECT_DOUBLE_EQ(f[FeatureId::MissesAvg], 1.0 / 4.0);
+  // With an 8-element line nothing misses.
+  const FeatureVector f8 = extract_features(hand_matrix(), 8, 1);
+  EXPECT_DOUBLE_EQ(f8[FeatureId::MissesAvg], 0.0);
+}
+
+TEST(Features, SizeFlagRespectsLlcOverride) {
+  const CsrMatrix a = hand_matrix();
+  EXPECT_DOUBLE_EQ(extract_features(a, 8, 10'000'000)[FeatureId::Size], 1.0);
+  EXPECT_DOUBLE_EQ(extract_features(a, 8, 16)[FeatureId::Size], 0.0);
+}
+
+TEST(Features, DenseMatrixIsMaximallyClustered) {
+  const FeatureVector f = extract_features(gen::dense(32), 8, 1);
+  EXPECT_NEAR(f[FeatureId::ClusteringAvg], 1.0 / 32.0, 1e-12);
+  EXPECT_DOUBLE_EQ(f[FeatureId::MissesAvg], 0.0);
+  EXPECT_DOUBLE_EQ(f[FeatureId::Density], 1.0);
+}
+
+TEST(Features, RandomMatrixHasHighMisses) {
+  const CsrMatrix a = gen::random_uniform(2000, 16, 3);
+  const FeatureVector f = extract_features(a, 8, 1);
+  // 16 random columns over 2000: almost every gap exceeds a cache line.
+  EXPECT_GT(f[FeatureId::MissesAvg], 10.0);
+  EXPECT_GT(f[FeatureId::BwAvg], 1000.0);
+}
+
+TEST(Features, PowerLawHasHighNnzSd) {
+  const auto few = extract_features(gen::few_dense_rows(1500, 3, 4, 1000, 5), 8, 1);
+  const auto uni = extract_features(gen::random_uniform(1500, 5, 5), 8, 1);
+  EXPECT_GT(few[FeatureId::NnzSd], 10.0 * uni[FeatureId::NnzSd] + 1.0);
+}
+
+TEST(Features, ProjectKeepsOrder) {
+  const FeatureVector f = extract_features(hand_matrix(), 2, 1);
+  const auto v = features::project(f, {FeatureId::NnzMax, FeatureId::Density});
+  ASSERT_EQ(v.size(), 2u);
+  EXPECT_DOUBLE_EQ(v[0], 4.0);
+  EXPECT_DOUBLE_EQ(v[1], 7.0 / 16.0);
+}
+
+TEST(Features, TableIvSubsetsAreWellFormed) {
+  EXPECT_EQ(features::on_feature_set().size(), 6u);
+  EXPECT_EQ(features::onnz_feature_set().size(), 9u);
+  for (auto id : features::onnz_feature_set())
+    EXPECT_NE(features::feature_name(id), nullptr);
+}
+
+TEST(Features, EmptyMatrixThrows) {
+  CooMatrix coo(0, 0);
+  coo.compress();
+  EXPECT_THROW((void)extract_features(CsrMatrix::from_coo(coo)),
+               std::invalid_argument);
+}
+
+TEST(Features, NeedsNnzScanOnlyForGapFeatures) {
+  EXPECT_FALSE(features::needs_nnz_scan(features::on_feature_set()));
+  EXPECT_TRUE(features::needs_nnz_scan(features::onnz_feature_set()));
+  EXPECT_FALSE(features::needs_nnz_scan({FeatureId::NnzMax, FeatureId::BwSd}));
+  EXPECT_TRUE(features::needs_nnz_scan({FeatureId::ClusteringAvg}));
+  EXPECT_TRUE(features::needs_nnz_scan({FeatureId::MissesAvg}));
+}
+
+TEST(Features, SubsetExtractionMatchesFullForRequestedIds) {
+  const CsrMatrix a = gen::power_law(800, 9, 2.0, 3);
+  const FeatureVector full = extract_features(a, 8, 1);
+  for (const auto& ids :
+       {features::on_feature_set(), features::onnz_feature_set()}) {
+    const FeatureVector sub = features::extract_features_subset(a, ids, 8, 1);
+    for (auto id : ids) EXPECT_DOUBLE_EQ(sub[id], full[id]);
+  }
+}
+
+TEST(Features, SubsetExtractionZeroesUnrequestedGapFeatures) {
+  const CsrMatrix a = gen::random_uniform(500, 6, 5);
+  const FeatureVector sub =
+      features::extract_features_subset(a, features::on_feature_set(), 8, 1);
+  EXPECT_DOUBLE_EQ(sub[FeatureId::ClusteringAvg], 0.0);
+  EXPECT_DOUBLE_EQ(sub[FeatureId::MissesAvg], 0.0);
+}
+
+TEST(Features, AllNamesDistinct) {
+  std::set<std::string> names;
+  for (int i = 0; i < features::kFeatureCount; ++i)
+    names.insert(features::feature_name(static_cast<FeatureId>(i)));
+  EXPECT_EQ(names.size(), static_cast<std::size_t>(features::kFeatureCount));
+}
+
+}  // namespace
+}  // namespace spmvopt

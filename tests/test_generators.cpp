@@ -1,0 +1,227 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <set>
+#include <vector>
+
+#include "gen/generators.hpp"
+#include "gen/suite.hpp"
+
+namespace spmvopt {
+namespace {
+
+TEST(Generators, DenseIsFullyDense) {
+  const CsrMatrix a = gen::dense(10);
+  EXPECT_EQ(a.nrows(), 10);
+  EXPECT_EQ(a.nnz(), 100);
+  for (index_t i = 0; i < 10; ++i) EXPECT_EQ(a.row_nnz(i), 10);
+}
+
+TEST(Generators, DenseIsDeterministic) {
+  EXPECT_TRUE(gen::dense(16, 5).equals(gen::dense(16, 5)));
+}
+
+TEST(Generators, Stencil2dShape) {
+  const CsrMatrix a = gen::stencil_2d_5pt(4, 5);
+  EXPECT_EQ(a.nrows(), 20);
+  EXPECT_TRUE(a.is_symmetric());
+  // Interior rows have 5 nonzeros, corners 3.
+  index_t max_nnz = 0, min_nnz = 100;
+  for (index_t i = 0; i < a.nrows(); ++i) {
+    max_nnz = std::max(max_nnz, a.row_nnz(i));
+    min_nnz = std::min(min_nnz, a.row_nnz(i));
+  }
+  EXPECT_EQ(max_nnz, 5);
+  EXPECT_EQ(min_nnz, 3);
+}
+
+TEST(Generators, Stencil3dRowSumsAreNonnegative) {
+  // -1 off-diagonals, +6 diagonal: weak diagonal dominance (SPD Laplacian).
+  const CsrMatrix a = gen::stencil_3d_7pt(5, 5, 5);
+  EXPECT_EQ(a.nrows(), 125);
+  EXPECT_TRUE(a.is_symmetric());
+  for (index_t i = 0; i < a.nrows(); ++i) {
+    value_t sum = 0.0;
+    for (index_t j = a.rowptr()[i]; j < a.rowptr()[i + 1]; ++j)
+      sum += a.values()[j];
+    EXPECT_GE(sum, 0.0);
+  }
+}
+
+TEST(Generators, Stencil27PointHasDenserRows) {
+  const CsrMatrix a = gen::stencil_3d_27pt(5, 5, 5);
+  index_t max_nnz = 0;
+  for (index_t i = 0; i < a.nrows(); ++i)
+    max_nnz = std::max(max_nnz, a.row_nnz(i));
+  EXPECT_EQ(max_nnz, 27);
+}
+
+TEST(Generators, BandedStaysInBand) {
+  const index_t half_bw = 30;
+  const CsrMatrix a = gen::banded(500, half_bw, 9, 3);
+  for (index_t i = 0; i < a.nrows(); ++i)
+    for (index_t j = a.rowptr()[i]; j < a.rowptr()[i + 1]; ++j)
+      EXPECT_LE(std::abs(a.colind()[j] - i), half_bw);
+}
+
+TEST(Generators, BandedHasDiagonal) {
+  const CsrMatrix a = gen::banded(100, 10, 5, 3);
+  for (index_t i = 0; i < a.nrows(); ++i) {
+    bool has_diag = false;
+    for (index_t j = a.rowptr()[i]; j < a.rowptr()[i + 1]; ++j)
+      if (a.colind()[j] == i) has_diag = true;
+    EXPECT_TRUE(has_diag);
+  }
+}
+
+TEST(Generators, RandomUniformRowLengths) {
+  const CsrMatrix a = gen::random_uniform(300, 7, 1);
+  for (index_t i = 0; i < a.nrows(); ++i) EXPECT_EQ(a.row_nnz(i), 7);
+}
+
+TEST(Generators, RmatDimensions) {
+  const CsrMatrix a = gen::rmat(10, 8, 0.5, 0.2, 0.2, 3);
+  EXPECT_EQ(a.nrows(), 1024);
+  EXPECT_LE(a.nnz(), 1024 * 8);  // duplicates collapse
+  EXPECT_GT(a.nnz(), 1024 * 4);  // but most edges survive
+}
+
+TEST(Generators, RmatIsSkewed) {
+  // With a=0.55 the degree distribution must be heavily skewed.
+  const CsrMatrix a = gen::rmat(12, 8, 0.55, 0.2, 0.15, 3);
+  index_t max_nnz = 0;
+  double avg = static_cast<double>(a.nnz()) / a.nrows();
+  for (index_t i = 0; i < a.nrows(); ++i)
+    max_nnz = std::max(max_nnz, a.row_nnz(i));
+  EXPECT_GT(static_cast<double>(max_nnz), 8.0 * avg);
+}
+
+TEST(Generators, PowerLawMeanApproximatesTarget) {
+  const CsrMatrix a = gen::power_law(5000, 12, 2.0, 5);
+  const double avg = static_cast<double>(a.nnz()) / a.nrows();
+  EXPECT_GT(avg, 5.0);
+  EXPECT_LT(avg, 40.0);
+}
+
+TEST(Generators, FewDenseRowsConcentratesNnz) {
+  const CsrMatrix a = gen::few_dense_rows(2000, 3, 5, 1500, 7);
+  // The 5 dense rows should hold a large share of all nonzeros.
+  std::vector<index_t> lens;
+  for (index_t i = 0; i < a.nrows(); ++i) lens.push_back(a.row_nnz(i));
+  std::sort(lens.begin(), lens.end(), std::greater<>());
+  const double top5 = static_cast<double>(lens[0] + lens[1] + lens[2] +
+                                          lens[3] + lens[4]);
+  EXPECT_GT(top5 / static_cast<double>(a.nnz()), 0.4);
+}
+
+TEST(Generators, ShortRowsAreShortOnAverage) {
+  const CsrMatrix a = gen::short_rows(5000, 3.0, 7);
+  const double avg = static_cast<double>(a.nnz()) / a.nrows();
+  EXPECT_LT(avg, 6.0);
+}
+
+TEST(Generators, BlockDiagonalStructure) {
+  const CsrMatrix a = gen::block_diagonal_dense(64, 16, 3);
+  EXPECT_EQ(a.nnz(), 4 * 16 * 16);
+  for (index_t i = 0; i < a.nrows(); ++i) {
+    const index_t block = i / 16;
+    for (index_t j = a.rowptr()[i]; j < a.rowptr()[i + 1]; ++j)
+      EXPECT_EQ(a.colind()[j] / 16, block);
+  }
+}
+
+TEST(Generators, DiagonalIsIdentityLike) {
+  const CsrMatrix a = gen::diagonal(10, 2.0);
+  EXPECT_EQ(a.nnz(), 10);
+  for (index_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(a.colind()[i], i);
+    EXPECT_DOUBLE_EQ(a.values()[i], 2.0);
+  }
+}
+
+TEST(Generators, MakeDiagonallyDominant) {
+  const CsrMatrix a = gen::make_diagonally_dominant(
+      gen::random_uniform(200, 6, 9), 1.0);
+  for (index_t i = 0; i < a.nrows(); ++i) {
+    value_t diag = 0.0, off = 0.0;
+    for (index_t j = a.rowptr()[i]; j < a.rowptr()[i + 1]; ++j) {
+      if (a.colind()[j] == i)
+        diag = a.values()[j];
+      else
+        off += std::abs(a.values()[j]);
+    }
+    EXPECT_GE(diag, off + 0.999);
+  }
+}
+
+TEST(Generators, InvalidArgsThrow) {
+  EXPECT_THROW((void)gen::dense(0), std::invalid_argument);
+  EXPECT_THROW((void)gen::banded(10, 0, 3), std::invalid_argument);
+  EXPECT_THROW((void)gen::rmat(0, 8, 0.5, 0.2, 0.2), std::invalid_argument);
+  EXPECT_THROW((void)gen::rmat(10, 8, 0.8, 0.3, 0.2), std::invalid_argument);
+  EXPECT_THROW((void)gen::power_law(100, 5, 1.0), std::invalid_argument);
+  // Rectangular matrices cannot be made diagonally dominant.
+  CooMatrix rect(2, 3);
+  rect.add(0, 0, 1.0);
+  rect.compress();
+  EXPECT_THROW(
+      (void)gen::make_diagonally_dominant(CsrMatrix::from_coo(rect), 1.0),
+      std::invalid_argument);
+}
+
+TEST(Suite, EvaluationSuiteHasPaperMatrices) {
+  const auto suite = gen::evaluation_suite(0.05);
+  EXPECT_GE(suite.size(), 30u);
+  EXPECT_EQ(suite.front().name, "small-dense");
+  EXPECT_EQ(suite.back().name, "large-dense");
+  // Spot-check a few names from the paper's x-axis.
+  auto has = [&](const char* name) {
+    for (const auto& e : suite)
+      if (e.name == name) return true;
+    return false;
+  };
+  EXPECT_TRUE(has("poisson3Db"));
+  EXPECT_TRUE(has("webbase-1M"));
+  EXPECT_TRUE(has("rajat30"));
+  EXPECT_TRUE(has("wikipedia-20051105"));
+}
+
+TEST(Suite, EntriesBuildValidMatrices) {
+  for (const auto& e : gen::test_suite()) {
+    const CsrMatrix a = e.make();
+    EXPECT_GT(a.nrows(), 0) << e.name;
+    EXPECT_GT(a.nnz(), 0) << e.name;
+  }
+}
+
+TEST(Suite, ScaleShrinksMatrices) {
+  auto big = gen::evaluation_suite(1.0);
+  auto small = gen::evaluation_suite(0.05);
+  // Compare one non-grid entry (index 4: ins2 / random_uniform).
+  EXPECT_GT(big[4].make().nnz(), small[4].make().nnz());
+}
+
+TEST(Suite, ScaleValidation) {
+  EXPECT_THROW((void)gen::evaluation_suite(0.0), std::invalid_argument);
+  EXPECT_THROW((void)gen::evaluation_suite(1.5), std::invalid_argument);
+}
+
+TEST(Suite, TrainingPoolCoversFamilies) {
+  const auto pool = gen::training_pool(30);
+  EXPECT_EQ(pool.size(), 30u);
+  std::set<std::string> families;
+  for (const auto& e : pool) families.insert(e.family);
+  EXPECT_GE(families.size(), 10u);
+}
+
+TEST(Suite, TrainingPoolMatricesAreValid) {
+  for (const auto& e : gen::training_pool(10)) {
+    const CsrMatrix a = e.make();
+    EXPECT_GT(a.nnz(), 0) << e.name;
+  }
+}
+
+}  // namespace
+}  // namespace spmvopt

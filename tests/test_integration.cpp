@@ -1,0 +1,128 @@
+// End-to-end pipeline tests: generate → classify → optimize → solve, the
+// exact workflow a downstream user of the library runs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "classify/feature_classifier.hpp"
+#include "gen/generators.hpp"
+#include "gen/suite.hpp"
+#include "mklcompat/inspector_executor.hpp"
+#include "optimize/optimizers.hpp"
+#include "solvers/krylov.hpp"
+#include "solvers/pagerank.hpp"
+
+namespace spmvopt {
+namespace {
+
+optimize::OptimizerConfig fast_config() {
+  optimize::OptimizerConfig cfg;
+  cfg.nthreads = 2;
+  cfg.measure.iterations = 2;
+  cfg.measure.runs = 1;
+  cfg.measure.warmup = 0;
+  return cfg;
+}
+
+TEST(Integration, CgOnProfileOptimizedSpmvMatchesBaselineSolution) {
+  const CsrMatrix a = gen::stencil_2d_5pt(24, 24);
+  const std::vector<value_t> x_true = gen::test_vector(a.ncols(), 55);
+  std::vector<value_t> b(static_cast<std::size_t>(a.nrows()));
+  a.multiply(x_true, b);
+
+  const auto out = optimize::optimize_profile(a, fast_config());
+  const auto op = solvers::LinearOperator::from_optimized(out.spmv);
+  std::vector<value_t> x(static_cast<std::size_t>(a.nrows()), 0.0);
+  const auto r = solvers::cg(op, b, x);
+  ASSERT_TRUE(r.converged);
+  for (std::size_t i = 0; i < x.size(); ++i)
+    EXPECT_NEAR(x[i], x_true[i], 1e-5);
+}
+
+TEST(Integration, FullFeatureGuidedPipeline) {
+  // Offline: train from a pool labeled by the profile-guided classifier.
+  std::vector<CsrMatrix> pool;
+  for (const auto& e : gen::test_suite()) pool.push_back(e.make());
+  perf::BoundsConfig bounds_cfg;
+  bounds_cfg.measure.iterations = 2;
+  bounds_cfg.measure.runs = 1;
+  bounds_cfg.measure.warmup = 0;
+  bounds_cfg.nthreads = 2;
+  const auto trained = classify::train_from_pool(
+      pool, features::onnz_feature_set(), {}, bounds_cfg);
+
+  // Online: optimize an unseen matrix and verify correctness.
+  const CsrMatrix a = gen::power_law(1500, 9, 1.9, 321);
+  const auto out = optimize::optimize_feature(a, trained.classifier,
+                                              fast_config());
+  const std::vector<value_t> x = gen::test_vector(a.ncols());
+  std::vector<value_t> expected(static_cast<std::size_t>(a.nrows()));
+  a.multiply(x, expected);
+  std::vector<value_t> y(static_cast<std::size_t>(a.nrows()), std::nan(""));
+  out.spmv.run(x.data(), y.data());
+  for (std::size_t i = 0; i < y.size(); ++i)
+    ASSERT_NEAR(y[i], expected[i], 1e-9 * std::max(1.0, std::abs(expected[i])));
+}
+
+TEST(Integration, PageRankOnOptimizedTransitionMatrix) {
+  const CsrMatrix g = gen::rmat(9, 6, 0.55, 0.2, 0.15, 17);
+  const CsrMatrix p = solvers::transition_matrix(g);
+
+  const auto out = optimize::optimize_trivial_single(p, fast_config());
+  const auto op = solvers::LinearOperator::from_optimized(out.spmv);
+  const auto opt_result = solvers::pagerank_with_operator(
+      op, solvers::dangling_nodes(g), g.nrows());
+  const auto ref_result = solvers::pagerank(g);
+  ASSERT_EQ(opt_result.scores.size(), ref_result.scores.size());
+  for (std::size_t i = 0; i < ref_result.scores.size(); ++i)
+    EXPECT_NEAR(opt_result.scores[i], ref_result.scores[i], 1e-8);
+}
+
+TEST(Integration, AllOptimizersAgreeNumerically) {
+  const CsrMatrix a = gen::few_dense_rows(900, 3, 4, 600, 77);
+  const std::vector<value_t> x = gen::test_vector(a.ncols());
+  std::vector<value_t> expected(static_cast<std::size_t>(a.nrows()));
+  a.multiply(x, expected);
+
+  const auto cfg = fast_config();
+  std::vector<optimize::OptimizeOutcome> outcomes;
+  outcomes.push_back(optimize::optimize_profile(a, cfg));
+  outcomes.push_back(optimize::optimize_trivial_single(a, cfg));
+  outcomes.push_back(optimize::optimize_trivial_combined(a, cfg));
+  outcomes.push_back(optimize::optimize_oracle(a, cfg));
+  for (const auto& out : outcomes) {
+    SCOPED_TRACE(out.plan.to_string());
+    std::vector<value_t> y(static_cast<std::size_t>(a.nrows()));
+    out.spmv.run(x.data(), y.data());
+    for (std::size_t i = 0; i < y.size(); ++i)
+      ASSERT_NEAR(y[i], expected[i],
+                  1e-9 * std::max(1.0, std::abs(expected[i])));
+  }
+}
+
+TEST(Integration, AmortizationFormulaOfTableV) {
+  // N_iters,min = t_pre / (t_mkl - t_opt): with synthetic numbers the
+  // formula must reproduce hand-computed iterations.
+  const double t_pre = 0.10, t_mkl = 0.002, t_opt = 0.001;
+  const double n_iters = t_pre / (t_mkl - t_opt);
+  EXPECT_NEAR(n_iters, 100.0, 1e-9);
+}
+
+TEST(Integration, InspectorExecutorInSolverLoop) {
+  const CsrMatrix a =
+      gen::make_diagonally_dominant(gen::random_uniform(300, 5, 41), 2.0);
+  const auto ie = mklcompat::InspectorExecutorSpmv::analyze(a, {}, 2);
+  solvers::LinearOperator op(
+      a.nrows(), a.ncols(),
+      [&ie](const value_t* x, value_t* y) { ie.execute(x, y); });
+  const std::vector<value_t> x_true = gen::test_vector(a.ncols(), 5);
+  std::vector<value_t> b(static_cast<std::size_t>(a.nrows()));
+  a.multiply(x_true, b);
+  std::vector<value_t> x(static_cast<std::size_t>(a.nrows()), 0.0);
+  const auto r = solvers::bicgstab(op, b, x);
+  ASSERT_TRUE(r.converged);
+  for (std::size_t i = 0; i < x.size(); ++i) EXPECT_NEAR(x[i], x_true[i], 1e-5);
+}
+
+}  // namespace
+}  // namespace spmvopt

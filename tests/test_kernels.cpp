@@ -1,0 +1,249 @@
+// Correctness of every SpMV kernel variant against the serial dense-checked
+// reference, swept over the structural families of the test suite
+// (TEST_P: kernel x matrix).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "gen/generators.hpp"
+#include "gen/suite.hpp"
+#include "kernels/compose.hpp"
+#include "kernels/spmv.hpp"
+#include "support/cpu_info.hpp"
+
+namespace spmvopt {
+namespace {
+
+using kernels::Compute;
+using kernels::Sched;
+
+struct NamedKernel {
+  std::string name;
+  // Runs y = A*x with every preprocessing the kernel needs done inside.
+  std::function<void(const CsrMatrix&, const value_t*, value_t*)> run;
+};
+
+std::vector<NamedKernel> all_kernels() {
+  const int threads = 4;  // oversubscription is fine for correctness
+  std::vector<NamedKernel> ks;
+
+  ks.push_back({"serial", [](const CsrMatrix& a, const value_t* x, value_t* y) {
+                  kernels::spmv_serial(a, x, y);
+                }});
+  ks.push_back({"omp_static", [](const CsrMatrix& a, const value_t* x, value_t* y) {
+                  kernels::spmv_omp_static(a, x, y);
+                }});
+  ks.push_back({"balanced", [threads](const CsrMatrix& a, const value_t* x, value_t* y) {
+                  const auto part =
+                      balanced_nnz_partition(a.rowptr(), a.nrows(), threads);
+                  kernels::spmv_balanced(a, part, x, y);
+                }});
+  ks.push_back({"dynamic", [](const CsrMatrix& a, const value_t* x, value_t* y) {
+                  kernels::spmv_omp_dynamic(a, x, y, 16);
+                }});
+  ks.push_back({"guided", [](const CsrMatrix& a, const value_t* x, value_t* y) {
+                  kernels::spmv_omp_guided(a, x, y);
+                }});
+  ks.push_back({"auto", [](const CsrMatrix& a, const value_t* x, value_t* y) {
+                  kernels::spmv_omp_auto(a, x, y);
+                }});
+  ks.push_back({"prefetch", [threads](const CsrMatrix& a, const value_t* x, value_t* y) {
+                  const auto part =
+                      balanced_nnz_partition(a.rowptr(), a.nrows(), threads);
+                  kernels::spmv_prefetch(a, part, x, y, 8);
+                }});
+  ks.push_back({"vector", [threads](const CsrMatrix& a, const value_t* x, value_t* y) {
+                  const auto part =
+                      balanced_nnz_partition(a.rowptr(), a.nrows(), threads);
+                  kernels::spmv_vector(a, part, x, y);
+                }});
+  ks.push_back({"unroll_vector", [threads](const CsrMatrix& a, const value_t* x, value_t* y) {
+                  const auto part =
+                      balanced_nnz_partition(a.rowptr(), a.nrows(), threads);
+                  kernels::spmv_unroll_vector(a, part, x, y);
+                }});
+  ks.push_back({"delta", [threads](const CsrMatrix& a, const value_t* x, value_t* y) {
+                  const auto d = DeltaCsrMatrix::encode(a);
+                  ASSERT_TRUE(d.has_value());
+                  const auto part =
+                      balanced_nnz_partition(a.rowptr(), a.nrows(), threads);
+                  kernels::spmv_delta(*d, part, x, y);
+                }});
+  ks.push_back({"delta_vector", [threads](const CsrMatrix& a, const value_t* x, value_t* y) {
+                  const auto d = DeltaCsrMatrix::encode(a);
+                  ASSERT_TRUE(d.has_value());
+                  const auto part =
+                      balanced_nnz_partition(a.rowptr(), a.nrows(), threads);
+                  kernels::spmv_delta_vector(*d, part, x, y);
+                }});
+  ks.push_back({"split", [threads](const CsrMatrix& a, const value_t* x, value_t* y) {
+                  const auto s = SplitCsrMatrix::split(a, 32);
+                  const auto part = balanced_nnz_partition(
+                      s.short_part().rowptr(), s.short_part().nrows(), threads);
+                  kernels::spmv_split(s, part, x, y);
+                }});
+  return ks;
+}
+
+/// All composed (sched x pf x compute) template instantiations.
+std::vector<NamedKernel> composed_kernels() {
+  std::vector<NamedKernel> ks;
+  for (auto [sched, sname] : {std::pair{Sched::BalancedStatic, "bal"},
+                              std::pair{Sched::Auto, "auto"},
+                              std::pair{Sched::Dynamic, "dyn"}}) {
+    for (bool pf : {false, true}) {
+      for (auto [compute, cname] : {std::pair{Compute::Scalar, "scalar"},
+                                    std::pair{Compute::Vector, "vec"},
+                                    std::pair{Compute::UnrollVector, "unroll"}}) {
+        const std::string name = std::string("composed_") + sname +
+                                 (pf ? "_pf_" : "_") + cname;
+        auto fn = kernels::select_csr_kernel(sched, pf, compute);
+        ks.push_back({name, [fn](const CsrMatrix& a, const value_t* x, value_t* y) {
+                        const auto part =
+                            balanced_nnz_partition(a.rowptr(), a.nrows(), 4);
+                        fn(a, part, x, y, 8, 16);
+                      }});
+        auto dfn = kernels::select_delta_kernel(sched, pf, compute);
+        ks.push_back({"delta_" + name,
+                      [dfn](const CsrMatrix& a, const value_t* x, value_t* y) {
+                        const auto d = DeltaCsrMatrix::encode(a);
+                        ASSERT_TRUE(d.has_value());
+                        const auto part =
+                            balanced_nnz_partition(a.rowptr(), a.nrows(), 4);
+                        dfn(*d, part, x, y, 8, 16);
+                      }});
+      }
+    }
+  }
+  return ks;
+}
+
+struct KernelCase {
+  std::string kernel;
+  std::string matrix;
+};
+
+class KernelCorrectness
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+std::vector<NamedKernel>& kernel_pool() {
+  static std::vector<NamedKernel> pool = [] {
+    auto ks = all_kernels();
+    auto composed = composed_kernels();
+    ks.insert(ks.end(), composed.begin(), composed.end());
+    return ks;
+  }();
+  return pool;
+}
+
+std::vector<gen::SuiteEntry>& matrix_pool() {
+  static std::vector<gen::SuiteEntry> pool = gen::test_suite();
+  return pool;
+}
+
+TEST_P(KernelCorrectness, MatchesReference) {
+  const auto [ki, mi] = GetParam();
+  const NamedKernel& kernel = kernel_pool()[static_cast<std::size_t>(ki)];
+  const gen::SuiteEntry& entry = matrix_pool()[static_cast<std::size_t>(mi)];
+  SCOPED_TRACE(kernel.name + " on " + entry.name);
+
+  const CsrMatrix a = entry.make();
+  const std::vector<value_t> x = gen::test_vector(a.ncols());
+  std::vector<value_t> expected(static_cast<std::size_t>(a.nrows()));
+  a.multiply(x, expected);
+
+  std::vector<value_t> y(static_cast<std::size_t>(a.nrows()),
+                         std::nan(""));  // poison: kernels must write all rows
+  kernel.run(a, x.data(), y.data());
+
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    const double tol = 1e-9 * std::max(1.0, std::abs(expected[i]));
+    ASSERT_NEAR(y[i], expected[i], tol) << "row " << i;
+  }
+}
+
+std::string case_name(const ::testing::TestParamInfo<std::tuple<int, int>>& info) {
+  const auto [ki, mi] = info.param;
+  std::string n = kernel_pool()[static_cast<std::size_t>(ki)].name + "_" +
+                  matrix_pool()[static_cast<std::size_t>(mi)].name;
+  for (char& c : n)
+    if (c == '-') c = '_';
+  return n;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKernelsAllMatrices, KernelCorrectness,
+    ::testing::Combine(
+        ::testing::Range(0, static_cast<int>(kernel_pool().size())),
+        ::testing::Range(0, static_cast<int>(matrix_pool().size()))),
+    case_name);
+
+TEST(Kernels, RegularAccessCopyHasRowIndexColumns) {
+  const CsrMatrix a = gen::random_uniform(100, 5, 3);
+  const CsrMatrix r = kernels::make_regular_access_copy(a);
+  EXPECT_EQ(r.nnz(), a.nnz());
+  for (index_t i = 0; i < r.nrows(); ++i)
+    for (index_t j = r.rowptr()[i]; j < r.rowptr()[i + 1]; ++j)
+      EXPECT_EQ(r.colind()[j], i);
+}
+
+TEST(Kernels, NoIndexKernelComputesRowSumTimesXi) {
+  const CsrMatrix a = gen::random_uniform(50, 4, 9);
+  const std::vector<value_t> x = gen::test_vector(a.ncols());
+  std::vector<value_t> y(static_cast<std::size_t>(a.nrows()));
+  const auto part = balanced_nnz_partition(a.rowptr(), a.nrows(), 2);
+  kernels::spmv_noindex(a, part, x.data(), y.data());
+  for (index_t i = 0; i < a.nrows(); ++i) {
+    value_t sum = 0.0;
+    for (index_t j = a.rowptr()[i]; j < a.rowptr()[i + 1]; ++j)
+      sum += a.values()[j];
+    EXPECT_NEAR(y[static_cast<std::size_t>(i)],
+                sum * x[static_cast<std::size_t>(i)], 1e-9);
+  }
+}
+
+TEST(Kernels, BalancedRecordsPerThreadTimes) {
+  const CsrMatrix a = gen::stencil_2d_5pt(64, 64);
+  const int threads = 4;
+  const auto part = balanced_nnz_partition(a.rowptr(), a.nrows(), threads);
+  const std::vector<value_t> x = gen::test_vector(a.ncols());
+  std::vector<value_t> y(static_cast<std::size_t>(a.nrows()));
+  std::vector<double> tsec(threads, -1.0);
+  kernels::spmv_balanced(a, part, x.data(), y.data(), tsec.data());
+  for (double t : tsec) EXPECT_GE(t, 0.0);
+}
+
+TEST(Kernels, SplitComposedMatchesReference) {
+  const CsrMatrix a = gen::few_dense_rows(600, 3, 5, 400, 13);
+  const auto s = SplitCsrMatrix::split(a, SplitCsrMatrix::default_threshold(a));
+  const auto part = balanced_nnz_partition(s.short_part().rowptr(),
+                                           s.short_part().nrows(), 4);
+  const std::vector<value_t> x = gen::test_vector(a.ncols());
+  std::vector<value_t> expected(static_cast<std::size_t>(a.nrows()));
+  a.multiply(x, expected);
+  std::vector<value_t> y(static_cast<std::size_t>(a.nrows()));
+  for (bool pf : {false, true})
+    for (Compute c : {Compute::Scalar, Compute::Vector, Compute::UnrollVector}) {
+      auto phase1 = kernels::select_csr_kernel(Sched::BalancedStatic, pf, c);
+      kernels::spmv_split_composed(s, part, x.data(), y.data(), phase1, 8, 16);
+      for (std::size_t i = 0; i < y.size(); ++i)
+        ASSERT_NEAR(y[i], expected[i], 1e-9 * std::max(1.0, std::abs(expected[i])));
+    }
+}
+
+TEST(Kernels, EmptyMatrixYieldsZeroVector) {
+  CooMatrix coo(5, 5);  // no entries at all
+  coo.compress();
+  const CsrMatrix a = CsrMatrix::from_coo(coo);
+  const std::vector<value_t> x(5, 1.0);
+  std::vector<value_t> y(5, 42.0);
+  const auto part = balanced_nnz_partition(a.rowptr(), a.nrows(), 2);
+  kernels::spmv_balanced(a, part, x.data(), y.data());
+  for (value_t v : y) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+}  // namespace
+}  // namespace spmvopt

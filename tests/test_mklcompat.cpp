@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gen/generators.hpp"
+#include "mklcompat/inspector_executor.hpp"
+#include "mklcompat/ref_csr.hpp"
+
+namespace spmvopt::mklcompat {
+namespace {
+
+TEST(RefDcsrmv, MatchesReference) {
+  const CsrMatrix a = gen::power_law(500, 8, 2.0, 3);
+  const std::vector<value_t> x = gen::test_vector(a.ncols());
+  std::vector<value_t> expected(static_cast<std::size_t>(a.nrows()));
+  a.multiply(x, expected);
+  std::vector<value_t> y(static_cast<std::size_t>(a.nrows()));
+  ref_dcsrmv(a, x.data(), y.data());
+  for (std::size_t i = 0; i < y.size(); ++i)
+    ASSERT_NEAR(y[i], expected[i], 1e-9 * std::max(1.0, std::abs(expected[i])));
+}
+
+TEST(RefDcsrmv, AlphaBetaForm) {
+  const CsrMatrix a = gen::stencil_2d_5pt(8, 8);
+  const std::vector<value_t> x = gen::test_vector(a.ncols());
+  std::vector<value_t> ax(static_cast<std::size_t>(a.nrows()));
+  a.multiply(x, ax);
+  std::vector<value_t> y(static_cast<std::size_t>(a.nrows()), 2.0);
+  ref_dcsrmv(3.0, a, x.data(), 0.5, y.data());
+  for (std::size_t i = 0; i < y.size(); ++i)
+    ASSERT_NEAR(y[i], 3.0 * ax[i] + 0.5 * 2.0, 1e-9);
+}
+
+TEST(InspectorExecutor, AnalyzeThenExecuteIsCorrect) {
+  const CsrMatrix a = gen::random_uniform(800, 6, 5);
+  const auto ie = InspectorExecutorSpmv::analyze(a, {}, 2);
+  const std::vector<value_t> x = gen::test_vector(a.ncols());
+  std::vector<value_t> expected(static_cast<std::size_t>(a.nrows()));
+  a.multiply(x, expected);
+  std::vector<value_t> y(static_cast<std::size_t>(a.nrows()));
+  ie.execute(x.data(), y.data());
+  for (std::size_t i = 0; i < y.size(); ++i)
+    ASSERT_NEAR(y[i], expected[i], 1e-9 * std::max(1.0, std::abs(expected[i])));
+}
+
+TEST(InspectorExecutor, AnalysisCostIsReported) {
+  const CsrMatrix a = gen::stencil_2d_5pt(48, 48);
+  const auto ie = InspectorExecutorSpmv::analyze(a, {}, 2);
+  EXPECT_GT(ie.analysis_seconds(), 0.0);
+  EXPECT_FALSE(ie.chosen_kernel().empty());
+}
+
+TEST(InspectorExecutor, PicksLongRowKernelForSkewedMatrix) {
+  const CsrMatrix a = gen::few_dense_rows(2000, 3, 4, 1500, 7);
+  const auto ie = InspectorExecutorSpmv::analyze(a, {}, 2);
+  // The shortlist must have included the two-phase kernel; whichever wins,
+  // execution stays correct.
+  const std::vector<value_t> x = gen::test_vector(a.ncols());
+  std::vector<value_t> expected(static_cast<std::size_t>(a.nrows()));
+  a.multiply(x, expected);
+  std::vector<value_t> y(static_cast<std::size_t>(a.nrows()));
+  ie.execute(x.data(), y.data());
+  for (std::size_t i = 0; i < y.size(); ++i)
+    ASSERT_NEAR(y[i], expected[i], 1e-9 * std::max(1.0, std::abs(expected[i])));
+}
+
+TEST(InspectorExecutor, UniformMatrixPicksStaticVectorized) {
+  const CsrMatrix a = gen::random_uniform(500, 8, 11);
+  const auto ie = InspectorExecutorSpmv::analyze(a, {}, 2);
+  EXPECT_EQ(ie.chosen_kernel(), "static-vectorized");
+}
+
+TEST(InspectorExecutor, MoreHintedCallsMeansMoreAnalysis) {
+  const CsrMatrix a = gen::power_law(3000, 10, 1.8, 9);
+  InspectorExecutorSpmv::Hints few{16}, many{256};
+  const auto cheap = InspectorExecutorSpmv::analyze(a, few, 2);
+  const auto thorough = InspectorExecutorSpmv::analyze(a, many, 2);
+  EXPECT_LT(cheap.analysis_seconds(), thorough.analysis_seconds() * 5.0);
+}
+
+}  // namespace
+}  // namespace spmvopt::mklcompat

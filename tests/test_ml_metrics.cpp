@@ -1,0 +1,53 @@
+#include <gtest/gtest.h>
+
+#include "ml/metrics.hpp"
+
+namespace spmvopt::ml {
+namespace {
+
+TEST(Metrics, ExactMatchRequiresEquality) {
+  EXPECT_TRUE(exact_match({1, 0, 1}, {1, 0, 1}));
+  EXPECT_FALSE(exact_match({1, 0, 1}, {1, 0, 0}));
+  EXPECT_TRUE(exact_match({0, 0, 0}, {0, 0, 0}));
+}
+
+TEST(Metrics, PartialMatchNeedsOneSharedClass) {
+  EXPECT_TRUE(partial_match({1, 0, 1}, {1, 1, 0}));   // shares class 0
+  EXPECT_FALSE(partial_match({0, 1, 0}, {1, 0, 1}));  // disjoint
+  EXPECT_TRUE(partial_match({1, 1, 1}, {0, 0, 1}));
+}
+
+TEST(Metrics, PartialMatchEmptyTruth) {
+  // Dummy class: empty truth matches only empty prediction.
+  EXPECT_TRUE(partial_match({0, 0}, {0, 0}));
+  EXPECT_FALSE(partial_match({1, 0}, {0, 0}));
+}
+
+TEST(Metrics, PartialMatchEmptyPredictionNonEmptyTruth) {
+  EXPECT_FALSE(partial_match({0, 0}, {1, 0}));
+}
+
+TEST(Metrics, RatiosOverBatch) {
+  const std::vector<std::vector<int>> pred{{1, 0}, {0, 1}, {1, 1}};
+  const std::vector<std::vector<int>> truth{{1, 0}, {1, 0}, {1, 0}};
+  // exact: sample 0 only → 1/3; partial: samples 0 and 2 → 2/3.
+  EXPECT_DOUBLE_EQ(exact_match_ratio(pred, truth), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(partial_match_ratio(pred, truth), 2.0 / 3.0);
+}
+
+TEST(Metrics, PartialAlwaysGeqExact) {
+  const std::vector<std::vector<int>> pred{{1, 1}, {0, 0}, {1, 0}, {0, 1}};
+  const std::vector<std::vector<int>> truth{{1, 0}, {0, 0}, {0, 1}, {0, 1}};
+  EXPECT_GE(partial_match_ratio(pred, truth), exact_match_ratio(pred, truth));
+}
+
+TEST(Metrics, MismatchedAritiesThrow) {
+  EXPECT_THROW((void)exact_match({1}, {1, 0}), std::invalid_argument);
+  EXPECT_THROW((void)partial_match({1}, {1, 0}), std::invalid_argument);
+  EXPECT_THROW((void)exact_match_ratio({}, {}), std::invalid_argument);
+  EXPECT_THROW((void)exact_match_ratio({{1}}, {{1}, {0}}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace spmvopt::ml

@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+#include "gen/generators.hpp"
+#include "sparse/dense.hpp"
+#include "sparse/mmio.hpp"
+
+namespace spmvopt {
+namespace {
+
+TEST(Mmio, ParsesCoordinateReal) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "% a comment\n"
+      "3 3 4\n"
+      "1 1 1.5\n"
+      "2 3 -2.0\n"
+      "3 1 3.25\n"
+      "3 3 4.0\n");
+  const CooMatrix coo = read_matrix_market(in);
+  const CsrMatrix csr = CsrMatrix::from_coo(coo);
+  const DenseMatrix d = DenseMatrix::from_csr(csr);
+  EXPECT_DOUBLE_EQ(d.at(0, 0), 1.5);
+  EXPECT_DOUBLE_EQ(d.at(1, 2), -2.0);
+  EXPECT_DOUBLE_EQ(d.at(2, 0), 3.25);
+  EXPECT_DOUBLE_EQ(d.at(2, 2), 4.0);
+}
+
+TEST(Mmio, ExpandsSymmetric) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real symmetric\n"
+      "2 2 2\n"
+      "1 1 1.0\n"
+      "2 1 5.0\n");
+  const CsrMatrix csr = CsrMatrix::from_coo(read_matrix_market(in));
+  EXPECT_EQ(csr.nnz(), 3);  // (1,1), (2,1), (1,2)
+  EXPECT_TRUE(csr.is_symmetric());
+}
+
+TEST(Mmio, ExpandsSkewSymmetric) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real skew-symmetric\n"
+      "2 2 1\n"
+      "2 1 5.0\n");
+  const CsrMatrix csr = CsrMatrix::from_coo(read_matrix_market(in));
+  const DenseMatrix d = DenseMatrix::from_csr(csr);
+  EXPECT_DOUBLE_EQ(d.at(1, 0), 5.0);
+  EXPECT_DOUBLE_EQ(d.at(0, 1), -5.0);
+}
+
+TEST(Mmio, PatternGetsUnitValues) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate pattern general\n"
+      "2 2 2\n"
+      "1 2\n"
+      "2 1\n");
+  const CsrMatrix csr = CsrMatrix::from_coo(read_matrix_market(in));
+  EXPECT_DOUBLE_EQ(csr.values()[0], 1.0);
+  EXPECT_DOUBLE_EQ(csr.values()[1], 1.0);
+}
+
+TEST(Mmio, ParsesArrayFormat) {
+  // Column-major dense 2x2: [1 3; 2 4].
+  std::istringstream in(
+      "%%MatrixMarket matrix array real general\n"
+      "2 2\n"
+      "1.0\n2.0\n3.0\n4.0\n");
+  const CsrMatrix csr = CsrMatrix::from_coo(read_matrix_market(in));
+  const DenseMatrix d = DenseMatrix::from_csr(csr);
+  EXPECT_DOUBLE_EQ(d.at(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(d.at(1, 0), 2.0);
+  EXPECT_DOUBLE_EQ(d.at(0, 1), 3.0);
+  EXPECT_DOUBLE_EQ(d.at(1, 1), 4.0);
+}
+
+TEST(Mmio, RoundTripsThroughWriter) {
+  const CsrMatrix a = gen::stencil_2d_5pt(7, 7);
+  std::ostringstream out;
+  write_matrix_market(out, a);
+  std::istringstream in(out.str());
+  const CsrMatrix b = CsrMatrix::from_coo(read_matrix_market(in));
+  EXPECT_TRUE(a.equals(b));
+}
+
+TEST(Mmio, RejectsBadBanner) {
+  std::istringstream in("%%NotMatrixMarket nope\n1 1 0\n");
+  EXPECT_THROW((void)read_matrix_market(in), std::runtime_error);
+}
+
+TEST(Mmio, RejectsUnsupportedField) {
+  std::istringstream in("%%MatrixMarket matrix coordinate complex general\n1 1 0\n");
+  EXPECT_THROW((void)read_matrix_market(in), std::runtime_error);
+}
+
+TEST(Mmio, RejectsTruncatedData) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 3\n"
+      "1 1 1.0\n");
+  EXPECT_THROW((void)read_matrix_market(in), std::runtime_error);
+}
+
+TEST(Mmio, RejectsOutOfRangeIndex) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 1\n"
+      "3 1 1.0\n");
+  EXPECT_THROW((void)read_matrix_market(in), std::runtime_error);
+}
+
+TEST(Mmio, ErrorMentionsLineNumber) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 1\n"
+      "oops\n");
+  try {
+    (void)read_matrix_market(in);
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+  }
+}
+
+TEST(Mmio, MissingFileThrows) {
+  EXPECT_THROW((void)read_matrix_market_file("/nonexistent/foo.mtx"),
+               std::runtime_error);
+}
+
+TEST(Mmio, CaseInsensitiveBanner) {
+  std::istringstream in(
+      "%%matrixmarket MATRIX Coordinate REAL General\n"
+      "1 1 1\n"
+      "1 1 2.0\n");
+  const CooMatrix coo = read_matrix_market(in);
+  EXPECT_EQ(coo.nnz(), 1u);
+}
+
+TEST(Mmio, SumsDuplicateEntries) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "1 1 2\n"
+      "1 1 1.0\n"
+      "1 1 2.0\n");
+  const CooMatrix coo = read_matrix_market(in);
+  ASSERT_EQ(coo.nnz(), 1u);
+  EXPECT_DOUBLE_EQ(coo.entries()[0].value, 3.0);
+}
+
+}  // namespace
+}  // namespace spmvopt

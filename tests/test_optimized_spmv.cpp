@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gen/generators.hpp"
+#include "gen/suite.hpp"
+#include "optimize/optimized_spmv.hpp"
+#include "support/rng.hpp"
+
+namespace spmvopt::optimize {
+namespace {
+
+using kernels::Compute;
+using kernels::Sched;
+
+void expect_correct(const CsrMatrix& a, const OptimizedSpmv& spmv) {
+  const std::vector<value_t> x = gen::test_vector(a.ncols());
+  std::vector<value_t> expected(static_cast<std::size_t>(a.nrows()));
+  a.multiply(x, expected);
+  std::vector<value_t> y(static_cast<std::size_t>(a.nrows()), std::nan(""));
+  spmv.run(x.data(), y.data());
+  for (std::size_t i = 0; i < y.size(); ++i)
+    ASSERT_NEAR(y[i], expected[i], 1e-9 * std::max(1.0, std::abs(expected[i])));
+}
+
+TEST(OptimizedSpmv, EveryEnumeratedPlanIsCorrectOnEveryFamily) {
+  for (const auto& entry : gen::test_suite()) {
+    SCOPED_TRACE(entry.name);
+    const CsrMatrix a = entry.make();
+    for (const Plan& plan : enumerate_plans(a)) {
+      SCOPED_TRACE(plan.to_string());
+      expect_correct(a, OptimizedSpmv::create(a, plan, 3));
+    }
+  }
+}
+
+TEST(OptimizedSpmv, RecordsPreprocessingTime) {
+  const CsrMatrix a = gen::stencil_2d_5pt(64, 64);
+  Plan plan;
+  plan.delta = true;
+  const OptimizedSpmv spmv = OptimizedSpmv::create(a, plan, 2);
+  EXPECT_GT(spmv.preprocessing_seconds(), 0.0);
+}
+
+TEST(OptimizedSpmv, DeltaFallsBackWhenNotEncodable) {
+  CooMatrix coo(2, 100000);
+  coo.add(0, 0, 1.0);
+  coo.add(0, 99999, 2.0);
+  coo.add(1, 5, 3.0);
+  coo.compress();
+  const CsrMatrix a = CsrMatrix::from_coo(coo);
+  Plan plan;
+  plan.delta = true;
+  plan.compute = Compute::Vector;
+  const OptimizedSpmv spmv = OptimizedSpmv::create(a, plan, 2);
+  EXPECT_FALSE(spmv.plan().delta);                    // fell back
+  EXPECT_EQ(spmv.plan().compute, Compute::Vector);    // rest survives
+  expect_correct(a, spmv);
+}
+
+TEST(OptimizedSpmv, SplitPlusDeltaRejected) {
+  const CsrMatrix a = gen::dense(8);
+  Plan bad;
+  bad.delta = true;
+  bad.split_long_rows = true;
+  EXPECT_THROW((void)OptimizedSpmv::create(a, bad, 1), std::invalid_argument);
+}
+
+TEST(OptimizedSpmv, CheckedRunValidatesSizes) {
+  const CsrMatrix a = gen::stencil_2d_5pt(8, 8);
+  const OptimizedSpmv spmv = OptimizedSpmv::create(a, Plan{}, 1);
+  std::vector<value_t> x(static_cast<std::size_t>(a.ncols()) - 1);
+  std::vector<value_t> y(static_cast<std::size_t>(a.nrows()));
+  EXPECT_THROW(spmv.run(x, y), std::invalid_argument);
+}
+
+TEST(OptimizedSpmv, DeltaPlanShrinksFormatBytes) {
+  const CsrMatrix a = gen::dense(64);
+  Plan plan;
+  plan.delta = true;
+  const OptimizedSpmv spmv = OptimizedSpmv::create(a, plan, 1);
+  ASSERT_TRUE(spmv.plan().delta);
+  EXPECT_LT(spmv.format_bytes(), a.format_bytes());
+}
+
+TEST(OptimizedSpmv, DegenerateShapesThroughEveryPlan) {
+  // Single row, single column, a lone huge row, and a 1x1 matrix.
+  std::vector<CsrMatrix> shapes;
+  {
+    CooMatrix one_row(1, 300);
+    for (index_t j = 0; j < 300; j += 3) one_row.add(0, j, 1.0 + j);
+    one_row.compress();
+    shapes.push_back(CsrMatrix::from_coo(one_row));
+  }
+  {
+    CooMatrix one_col(300, 1);
+    for (index_t i = 0; i < 300; i += 2) one_col.add(i, 0, 2.0 + i);
+    one_col.compress();
+    shapes.push_back(CsrMatrix::from_coo(one_col));
+  }
+  {
+    CooMatrix tiny(1, 1);
+    tiny.add(0, 0, 3.5);
+    tiny.compress();
+    shapes.push_back(CsrMatrix::from_coo(tiny));
+  }
+  for (const CsrMatrix& a : shapes) {
+    SCOPED_TRACE(std::to_string(a.nrows()) + "x" + std::to_string(a.ncols()));
+    for (const Plan& plan : enumerate_plans(a)) {
+      SCOPED_TRACE(plan.to_string());
+      expect_correct(a, OptimizedSpmv::create(a, plan, 2));
+    }
+  }
+}
+
+TEST(OptimizedSpmv, RectangularThroughEveryPlan) {
+  // Wide and tall rectangular matrices exercise the nrows != ncols paths of
+  // every format conversion.
+  CooMatrix wide(60, 900);
+  CooMatrix tall(900, 60);
+  Xoshiro256 rng(5);
+  for (int k = 0; k < 700; ++k) {
+    wide.add(static_cast<index_t>(rng.bounded(60)),
+             static_cast<index_t>(rng.bounded(900)), rng.uniform(0.1, 1.0));
+    tall.add(static_cast<index_t>(rng.bounded(900)),
+             static_cast<index_t>(rng.bounded(60)), rng.uniform(0.1, 1.0));
+  }
+  wide.compress();
+  tall.compress();
+  for (const CsrMatrix& a :
+       {CsrMatrix::from_coo(wide), CsrMatrix::from_coo(tall)}) {
+    SCOPED_TRACE(std::to_string(a.nrows()) + "x" + std::to_string(a.ncols()));
+    for (const Plan& plan : enumerate_plans(a)) {
+      SCOPED_TRACE(plan.to_string());
+      expect_correct(a, OptimizedSpmv::create(a, plan, 3));
+    }
+  }
+}
+
+TEST(OptimizedSpmv, RepeatedRunsAreIdempotent) {
+  const CsrMatrix a = gen::power_law(400, 8, 2.0, 5);
+  Plan plan;
+  plan.prefetch = true;
+  plan.compute = Compute::Vector;
+  const OptimizedSpmv spmv = OptimizedSpmv::create(a, plan, 3);
+  const std::vector<value_t> x = gen::test_vector(a.ncols());
+  std::vector<value_t> y1(static_cast<std::size_t>(a.nrows()));
+  std::vector<value_t> y2(static_cast<std::size_t>(a.nrows()));
+  spmv.run(x.data(), y1.data());
+  spmv.run(x.data(), y2.data());
+  EXPECT_EQ(y1, y2);
+}
+
+}  // namespace
+}  // namespace spmvopt::optimize

@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gen/generators.hpp"
+#include "optimize/optimizers.hpp"
+
+namespace spmvopt::optimize {
+namespace {
+
+OptimizerConfig fast_config() {
+  OptimizerConfig cfg;
+  cfg.nthreads = 2;
+  cfg.measure.iterations = 2;
+  cfg.measure.runs = 1;
+  cfg.measure.warmup = 0;
+  return cfg;
+}
+
+void expect_correct(const CsrMatrix& a, const OptimizeOutcome& out) {
+  const std::vector<value_t> x = gen::test_vector(a.ncols());
+  std::vector<value_t> expected(static_cast<std::size_t>(a.nrows()));
+  a.multiply(x, expected);
+  std::vector<value_t> y(static_cast<std::size_t>(a.nrows()), std::nan(""));
+  out.spmv.run(x.data(), y.data());
+  for (std::size_t i = 0; i < y.size(); ++i)
+    ASSERT_NEAR(y[i], expected[i], 1e-9 * std::max(1.0, std::abs(expected[i])));
+}
+
+TEST(Optimizers, ProfileGuidedProducesRunnableKernel) {
+  const CsrMatrix a = gen::stencil_2d_5pt(40, 40);
+  const OptimizeOutcome out = optimize_profile(a, fast_config());
+  expect_correct(a, out);
+  EXPECT_GT(out.preprocess_seconds, 0.0);
+}
+
+TEST(Optimizers, TrivialSingleSelectsFromFiveCandidates) {
+  const CsrMatrix a = gen::random_uniform(600, 7, 3);
+  const OptimizeOutcome out = optimize_trivial_single(a, fast_config());
+  expect_correct(a, out);
+  EXPECT_GT(out.preprocess_seconds, 0.0);
+  EXPECT_FALSE(out.plan.is_baseline());  // picked one of the five
+}
+
+TEST(Optimizers, TrivialCombinedCostsMoreThanSingle) {
+  const CsrMatrix a = gen::power_law(800, 10, 2.0, 5);
+  const auto single = optimize_trivial_single(a, fast_config());
+  const auto combined = optimize_trivial_combined(a, fast_config());
+  expect_correct(a, combined);
+  // Sweeping 3x the candidates must cost more preprocessing.
+  EXPECT_GT(combined.preprocess_seconds, single.preprocess_seconds);
+}
+
+TEST(Optimizers, OracleRunsFullPlanSpace) {
+  const CsrMatrix a = gen::stencil_2d_5pt(32, 32);
+  const OptimizeOutcome out = optimize_oracle(a, fast_config());
+  expect_correct(a, out);
+}
+
+TEST(Optimizers, FeatureGuidedUsesTrainedClassifier) {
+  // Train a tiny classifier: dense-ish → MB, random → ML.
+  std::vector<features::FeatureVector> fv;
+  std::vector<classify::ClassSet> labels;
+  for (int k = 0; k < 8; ++k) {
+    fv.push_back(features::extract_features(gen::dense(24 + k)));
+    classify::ClassSet mb;
+    mb.add(classify::Bottleneck::MB);
+    labels.push_back(mb);
+    fv.push_back(
+        features::extract_features(gen::random_uniform(700, 6, 40 + k)));
+    classify::ClassSet ml;
+    ml.add(classify::Bottleneck::ML);
+    labels.push_back(ml);
+  }
+  classify::FeatureClassifier clf;
+  clf.train(fv, labels);
+
+  const CsrMatrix a = gen::random_uniform(900, 6, 99);
+  const OptimizeOutcome out = optimize_feature(a, clf, fast_config());
+  expect_correct(a, out);
+  EXPECT_TRUE(out.classes.has(classify::Bottleneck::ML));
+  EXPECT_TRUE(out.plan.prefetch);
+}
+
+TEST(Optimizers, FeatureGuidedRejectsUntrainedClassifier) {
+  const classify::FeatureClassifier clf;
+  EXPECT_THROW((void)optimize_feature(gen::dense(8), clf, fast_config()),
+               std::invalid_argument);
+}
+
+TEST(Optimizers, FeatureGuidedIsCheaperThanProfileGuided) {
+  // The headline claim of Table V: feature-guided has the smallest t_pre.
+  std::vector<features::FeatureVector> fv;
+  std::vector<classify::ClassSet> labels;
+  for (int k = 0; k < 6; ++k) {
+    fv.push_back(features::extract_features(gen::stencil_2d_5pt(20 + k, 20)));
+    labels.push_back(classify::ClassSet());
+    fv.push_back(
+        features::extract_features(gen::random_uniform(500, 5, 60 + k)));
+    labels.push_back(classify::ClassSet());
+  }
+  classify::FeatureClassifier clf;
+  clf.train(fv, labels);
+
+  const CsrMatrix a = gen::stencil_2d_5pt(60, 60);
+  const auto feat = optimize_feature(a, clf, fast_config());
+  const auto prof = optimize_profile(a, fast_config());
+  EXPECT_LT(feat.preprocess_seconds, prof.preprocess_seconds);
+}
+
+TEST(Optimizers, MeasureSpmvGflopsIsPositive) {
+  const CsrMatrix a = gen::stencil_2d_5pt(32, 32);
+  const OptimizedSpmv spmv = OptimizedSpmv::create(a, Plan{}, 2);
+  perf::MeasureConfig m;
+  m.iterations = 2;
+  m.runs = 1;
+  m.warmup = 0;
+  EXPECT_GT(measure_spmv_gflops(spmv, a, m), 0.0);
+}
+
+}  // namespace
+}  // namespace spmvopt::optimize

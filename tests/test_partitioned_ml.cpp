@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "classify/profile_classifier.hpp"
+#include "gen/generators.hpp"
+#include "perf/partitioned_ml.hpp"
+
+namespace spmvopt {
+namespace {
+
+perf::MeasureConfig tiny() {
+  perf::MeasureConfig m;
+  m.iterations = 2;
+  m.runs = 1;
+  m.warmup = 0;
+  return m;
+}
+
+TEST(ExtractRows, SliceMatchesOriginalRows) {
+  const CsrMatrix a = gen::power_law(200, 8, 2.0, 3);
+  const CsrMatrix mid = a.extract_rows(50, 120);
+  EXPECT_EQ(mid.nrows(), 70);
+  EXPECT_EQ(mid.ncols(), a.ncols());
+  for (index_t i = 0; i < 70; ++i) {
+    ASSERT_EQ(mid.row_nnz(i), a.row_nnz(50 + i));
+    for (index_t k = 0; k < mid.row_nnz(i); ++k) {
+      EXPECT_EQ(mid.colind()[mid.rowptr()[i] + k],
+                a.colind()[a.rowptr()[50 + i] + k]);
+      EXPECT_DOUBLE_EQ(mid.values()[mid.rowptr()[i] + k],
+                       a.values()[a.rowptr()[50 + i] + k]);
+    }
+  }
+}
+
+TEST(ExtractRows, WholeAndEmptySlices) {
+  const CsrMatrix a = gen::stencil_2d_5pt(8, 8);
+  EXPECT_TRUE(a.extract_rows(0, a.nrows()).equals(a));
+  const CsrMatrix empty = a.extract_rows(3, 3);
+  EXPECT_EQ(empty.nrows(), 0);
+  EXPECT_EQ(empty.nnz(), 0);
+}
+
+TEST(ExtractRows, ValidatesRange) {
+  const CsrMatrix a = gen::diagonal(10);
+  EXPECT_THROW((void)a.extract_rows(-1, 5), std::out_of_range);
+  EXPECT_THROW((void)a.extract_rows(5, 11), std::out_of_range);
+  EXPECT_THROW((void)a.extract_rows(7, 3), std::out_of_range);
+}
+
+TEST(PartitionedMl, ReturnsOneRatioPerBlock) {
+  const CsrMatrix a = gen::random_uniform(2000, 6, 3);
+  const auto r = perf::partitioned_ml_ratios(a, 4, tiny(), 2);
+  EXPECT_EQ(r.ratios.size(), 4u);
+  for (double ratio : r.ratios) EXPECT_GT(ratio, 0.0);
+  EXPECT_GT(r.whole_ratio, 0.0);
+  EXPECT_GE(r.max_ratio(), *std::min_element(r.ratios.begin(), r.ratios.end()));
+}
+
+TEST(PartitionedMl, SinglePartitionMatchesWholeClosely) {
+  const CsrMatrix a = gen::stencil_2d_5pt(40, 40);
+  perf::MeasureConfig m = tiny();
+  m.iterations = 8;
+  m.runs = 2;
+  const auto r = perf::partitioned_ml_ratios(a, 1, m, 2);
+  ASSERT_EQ(r.ratios.size(), 1u);
+  // Same measurement on the same matrix: same ballpark (single-core CI noise
+  // can be large, so this only guards against gross inconsistency).
+  EXPECT_GT(r.ratios[0], 0.3 * r.whole_ratio);
+  EXPECT_LT(r.ratios[0], 3.0 * r.whole_ratio);
+}
+
+TEST(PartitionedMl, ValidatesPartCount) {
+  const CsrMatrix a = gen::diagonal(16);
+  EXPECT_THROW((void)perf::partitioned_ml_ratios(a, 0, tiny()),
+               std::invalid_argument);
+  EXPECT_THROW((void)perf::partitioned_ml_ratios(a, 17, tiny()),
+               std::invalid_argument);
+}
+
+TEST(PartitionedMl, ClassifierWiringRunsWhenEnabled) {
+  classify::ProfileParams p;
+  p.ml_partitions = 4;
+  perf::BoundsConfig cfg;
+  cfg.measure = tiny();
+  cfg.nthreads = 2;
+  const auto r =
+      classify::classify_profile(gen::random_uniform(1500, 6, 9), p, cfg);
+  // The probe ran (ratio recorded) unless base classification already
+  // flagged ML.
+  if (!r.classes.has(classify::Bottleneck::ML))
+    EXPECT_GT(r.partition_ml_max, 0.0);
+}
+
+TEST(PartitionedMl, DisabledByDefault) {
+  perf::BoundsConfig cfg;
+  cfg.measure = tiny();
+  cfg.nthreads = 2;
+  const auto r = classify::classify_profile(gen::stencil_2d_5pt(20, 20), {}, cfg);
+  EXPECT_DOUBLE_EQ(r.partition_ml_max, 0.0);
+}
+
+}  // namespace
+}  // namespace spmvopt

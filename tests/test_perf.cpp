@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include "gen/generators.hpp"
+#include "perf/bounds.hpp"
+#include "perf/measure.hpp"
+#include "perf/roofline.hpp"
+#include "perf/stream.hpp"
+
+namespace spmvopt::perf {
+namespace {
+
+MeasureConfig tiny() {
+  MeasureConfig m;
+  m.iterations = 2;
+  m.runs = 2;
+  m.warmup = 0;
+  return m;
+}
+
+TEST(Measure, RateIsPositiveAndScalesWithFlops) {
+  volatile double sink = 0.0;
+  auto op = [&sink] {
+    for (int i = 0; i < 1000; ++i) sink = sink + 1.0;
+  };
+  const RateSummary r1 = measure_rate(op, 1e6, tiny());
+  const RateSummary r2 = measure_rate(op, 2e6, tiny());
+  EXPECT_GT(r1.gflops, 0.0);
+  EXPECT_GT(r2.gflops, r1.gflops * 0.5);  // double flops ≈ double rate
+}
+
+TEST(Measure, TimedReturnsResultAndSeconds) {
+  const auto [sec, val] = timed([] { return 42; });
+  EXPECT_GE(sec, 0.0);
+  EXPECT_EQ(val, 42);
+}
+
+TEST(Stream, TriadBandwidthIsPositive) {
+  const double gbps = stream_triad_gbps(1 << 16, 1, 3);
+  EXPECT_GT(gbps, 0.1);
+  EXPECT_LT(gbps, 10000.0);  // sanity: below 10 TB/s
+}
+
+TEST(Stream, ProfileHasLlcAtLeastDram) {
+  const BandwidthProfile& p = bandwidth_profile(1);
+  EXPECT_GT(p.dram_gbps, 0.0);
+  EXPECT_GE(p.llc_gbps, p.dram_gbps);
+}
+
+TEST(Stream, BmaxForPicksOperatingPoint) {
+  BandwidthProfile p;
+  p.dram_gbps = 10.0;
+  p.llc_gbps = 50.0;
+  EXPECT_DOUBLE_EQ(p.bmax_for(1024), 50.0);
+  EXPECT_DOUBLE_EQ(p.bmax_for(std::size_t{1} << 40), 10.0);
+}
+
+TEST(Stream, RejectsBadArgs) {
+  EXPECT_THROW((void)stream_triad_gbps(0, 1), std::invalid_argument);
+  EXPECT_THROW((void)stream_triad_gbps(64, 1, 0), std::invalid_argument);
+}
+
+TEST(Bounds, AnalyticOrderingPeakAboveMb) {
+  // P_peak drops the colind traffic, so P_peak > P_MB always.
+  BoundsConfig cfg;
+  cfg.measure = tiny();
+  cfg.nthreads = 2;
+  const PerfBounds b = measure_bounds(gen::stencil_2d_5pt(48, 48), cfg);
+  EXPECT_GT(b.p_peak, b.p_mb);
+  EXPECT_GT(b.p_mb, 0.0);
+}
+
+TEST(Bounds, AllMeasuredBoundsPositive) {
+  BoundsConfig cfg;
+  cfg.measure = tiny();
+  cfg.nthreads = 2;
+  const PerfBounds b = measure_bounds(gen::random_uniform(800, 6, 3), cfg);
+  EXPECT_GT(b.p_csr, 0.0);
+  EXPECT_GT(b.p_ml, 0.0);
+  EXPECT_GT(b.p_imb, 0.0);
+  EXPECT_GT(b.p_cmp, 0.0);
+  EXPECT_GT(b.bmax_gbps, 0.0);
+}
+
+TEST(Bounds, SmallMatrixFitsLlc) {
+  BoundsConfig cfg;
+  cfg.measure = tiny();
+  cfg.nthreads = 1;
+  const PerfBounds b = measure_bounds(gen::stencil_2d_5pt(8, 8), cfg);
+  EXPECT_TRUE(b.fits_llc);
+}
+
+TEST(Roofline, IntensityOfSpmvBelowOne) {
+  // flop:byte of CSR SpMV is < 1 (§II) for any real matrix.
+  EXPECT_LT(spmv_operational_intensity(gen::stencil_2d_5pt(32, 32)), 1.0);
+  EXPECT_GT(spmv_operational_intensity(gen::stencil_2d_5pt(32, 32)), 0.0);
+}
+
+TEST(Roofline, AttainableIsMinOfRoofs) {
+  EXPECT_DOUBLE_EQ(roofline_gflops(0.1, 100.0, 50.0), 10.0);  // bandwidth roof
+  EXPECT_DOUBLE_EQ(roofline_gflops(10.0, 100.0, 50.0), 50.0);  // compute roof
+}
+
+TEST(Roofline, RidgePoint) {
+  EXPECT_DOUBLE_EQ(ridge_point(100.0, 50.0), 0.5);
+}
+
+}  // namespace
+}  // namespace spmvopt::perf

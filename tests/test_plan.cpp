@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "gen/generators.hpp"
+#include "optimize/plan.hpp"
+
+namespace spmvopt::optimize {
+namespace {
+
+using classify::Bottleneck;
+using classify::ClassSet;
+using kernels::Compute;
+using kernels::Sched;
+
+ClassSet set_of(std::initializer_list<Bottleneck> bs) {
+  ClassSet s;
+  for (Bottleneck b : bs) s.add(b);
+  return s;
+}
+
+TEST(Plan, BaselineToString) {
+  EXPECT_EQ(Plan{}.to_string(), "baseline");
+  EXPECT_TRUE(Plan{}.is_baseline());
+}
+
+TEST(Plan, ToStringListsApplied) {
+  Plan p;
+  p.sched = Sched::Auto;
+  p.prefetch = true;
+  p.compute = Compute::Vector;
+  EXPECT_EQ(p.to_string(), "auto+pf+vec");
+}
+
+TEST(PlanForClasses, MbGetsDeltaPlusVectorization) {
+  const Plan p = plan_for_classes(set_of({Bottleneck::MB}), gen::dense(32));
+  EXPECT_TRUE(p.delta);
+  EXPECT_EQ(p.compute, Compute::Vector);
+  EXPECT_FALSE(p.prefetch);
+}
+
+TEST(PlanForClasses, MlGetsPrefetch) {
+  const Plan p =
+      plan_for_classes(set_of({Bottleneck::ML}), gen::random_uniform(100, 5));
+  EXPECT_TRUE(p.prefetch);
+  EXPECT_FALSE(p.delta);
+  EXPECT_EQ(p.compute, Compute::Scalar);
+}
+
+TEST(PlanForClasses, CmpGetsUnrollVector) {
+  const Plan p = plan_for_classes(set_of({Bottleneck::CMP}), gen::dense(16));
+  EXPECT_EQ(p.compute, Compute::UnrollVector);
+}
+
+TEST(PlanForClasses, ImbUnevenRowsGetsSplit) {
+  // Dense rows way above average: decomposition branch.
+  const CsrMatrix a = gen::few_dense_rows(1000, 3, 3, 800, 3);
+  const Plan p = plan_for_classes(set_of({Bottleneck::IMB}), a);
+  EXPECT_TRUE(p.split_long_rows);
+  EXPECT_EQ(p.sched, Sched::BalancedStatic);
+}
+
+TEST(PlanForClasses, ImbEvenRowsGetsAutoSched) {
+  // Uniform row lengths: computational-unevenness branch.
+  const CsrMatrix a = gen::random_uniform(500, 6, 5);
+  const Plan p = plan_for_classes(set_of({Bottleneck::IMB}), a);
+  EXPECT_FALSE(p.split_long_rows);
+  EXPECT_EQ(p.sched, Sched::Auto);
+}
+
+TEST(PlanForClasses, JointMlImbCombines) {
+  const CsrMatrix a = gen::random_uniform(500, 6, 5);
+  const Plan p =
+      plan_for_classes(set_of({Bottleneck::ML, Bottleneck::IMB}), a);
+  EXPECT_TRUE(p.prefetch);
+  EXPECT_EQ(p.sched, Sched::Auto);
+}
+
+TEST(PlanForClasses, SplitSuppressesDelta) {
+  // MB + IMB with long rows: split wins, delta dropped (infeasible combo).
+  const CsrMatrix a = gen::few_dense_rows(1000, 3, 3, 800, 3);
+  const Plan p =
+      plan_for_classes(set_of({Bottleneck::MB, Bottleneck::IMB}), a);
+  EXPECT_TRUE(p.split_long_rows);
+  EXPECT_FALSE(p.delta);
+  EXPECT_EQ(p.compute, Compute::Vector);  // MB's vectorization survives
+}
+
+TEST(PlanForClasses, EmptySetIsBaseline) {
+  EXPECT_TRUE(plan_for_classes(ClassSet(), gen::dense(8)).is_baseline());
+}
+
+TEST(SinglePlans, ExactlyFivePerTableV) {
+  const auto singles = single_optimization_plans();
+  ASSERT_EQ(singles.size(), 5u);
+  std::set<std::string> names;
+  for (const Plan& p : singles) names.insert(p.to_string());
+  EXPECT_EQ(names.size(), 5u);  // all distinct
+  EXPECT_TRUE(names.count("delta+vec"));
+  EXPECT_TRUE(names.count("pf"));
+  EXPECT_TRUE(names.count("split"));
+  EXPECT_TRUE(names.count("auto"));
+  EXPECT_TRUE(names.count("unroll-vec"));
+}
+
+TEST(CombinedPlans, ContainsSinglesAndPairs) {
+  const auto combined = combined_optimization_plans();
+  // 5 singles + up to 10 pairs, minus pair-merges that collapse into another
+  // candidate; must be strictly more than the singles and at most 15.
+  EXPECT_GT(combined.size(), 5u);
+  EXPECT_LE(combined.size(), 15u);
+  // No duplicates.
+  for (std::size_t i = 0; i < combined.size(); ++i)
+    for (std::size_t j = i + 1; j < combined.size(); ++j)
+      EXPECT_FALSE(combined[i] == combined[j]);
+}
+
+TEST(MergePlans, ResolvesConflictsTowardStronger) {
+  Plan delta_vec;
+  delta_vec.delta = true;
+  delta_vec.compute = Compute::Vector;
+  Plan unroll;
+  unroll.compute = Compute::UnrollVector;
+  const Plan m = merge_plans(delta_vec, unroll);
+  EXPECT_TRUE(m.delta);
+  EXPECT_EQ(m.compute, Compute::UnrollVector);
+
+  Plan split;
+  split.split_long_rows = true;
+  const Plan m2 = merge_plans(delta_vec, split);
+  EXPECT_TRUE(m2.split_long_rows);
+  EXPECT_FALSE(m2.delta);  // infeasible together
+}
+
+TEST(EnumeratePlans, AllFeasibleAndUnique) {
+  const CsrMatrix a = gen::stencil_2d_5pt(16, 16);
+  const auto plans = enumerate_plans(a);
+  EXPECT_GT(plans.size(), 20u);
+  for (std::size_t i = 0; i < plans.size(); ++i) {
+    EXPECT_FALSE(plans[i].delta && plans[i].split_long_rows);
+    for (std::size_t j = i + 1; j < plans.size(); ++j)
+      EXPECT_FALSE(plans[i] == plans[j]);
+  }
+}
+
+TEST(EnumeratePlans, SkipsDeltaWhenNotEncodable) {
+  // Gap > 16 bits: no delta plans.
+  CooMatrix coo(1, 100000);
+  coo.add(0, 0, 1.0);
+  coo.add(0, 99999, 1.0);
+  coo.compress();
+  const auto plans = enumerate_plans(CsrMatrix::from_coo(coo));
+  for (const Plan& p : plans) EXPECT_FALSE(p.delta);
+}
+
+}  // namespace
+}  // namespace spmvopt::optimize

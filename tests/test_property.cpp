@@ -1,0 +1,219 @@
+// Property-based sweeps: invariants that must hold for *every* generated
+// matrix, checked across randomized generator parameters (TEST_P over seeds).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "gen/generators.hpp"
+#include "kernels/bcsr_kernels.hpp"
+#include "optimize/optimized_spmv.hpp"
+#include "sparse/bcsr.hpp"
+#include "sparse/binary_io.hpp"
+#include "sparse/delta_csr.hpp"
+#include "sparse/mmio.hpp"
+#include "sparse/reorder.hpp"
+#include "sparse/sell.hpp"
+#include "sparse/split_csr.hpp"
+#include "sparse/sym_csr.hpp"
+#include "support/partition.hpp"
+#include "support/rng.hpp"
+
+namespace spmvopt {
+namespace {
+
+/// A random matrix with randomized family and parameters, fully determined
+/// by `seed`.
+CsrMatrix random_matrix(std::uint64_t seed) {
+  Xoshiro256 rng(seed * 7919 + 13);
+  const auto family = rng.bounded(6);
+  const auto n = static_cast<index_t>(200 + rng.bounded(1800));
+  switch (family) {
+    case 0:
+      return gen::random_uniform(n, static_cast<index_t>(1 + rng.bounded(12)),
+                                 seed);
+    case 1:
+      return gen::banded(n, static_cast<index_t>(5 + rng.bounded(100)),
+                         static_cast<index_t>(1 + rng.bounded(16)), seed);
+    case 2:
+      return gen::power_law(n, static_cast<index_t>(3 + rng.bounded(15)),
+                            1.5 + rng.uniform(), seed);
+    case 3:
+      return gen::few_dense_rows(n, static_cast<index_t>(1 + rng.bounded(4)),
+                                 static_cast<index_t>(1 + rng.bounded(5)),
+                                 std::max<index_t>(1, n / 2), seed);
+    case 4:
+      return gen::short_rows(n, 1.0 + 3.0 * rng.uniform(), seed);
+    default: {
+      const auto g = static_cast<index_t>(8 + rng.bounded(24));
+      return gen::stencil_2d_5pt(g, g);
+    }
+  }
+}
+
+class RandomMatrixProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomMatrixProperty, CsrInvariantsHold) {
+  const CsrMatrix a = random_matrix(static_cast<std::uint64_t>(GetParam()));
+  ASSERT_GT(a.nrows(), 0);
+  EXPECT_EQ(a.rowptr()[0], 0);
+  EXPECT_EQ(a.rowptr()[a.nrows()], a.nnz());
+  for (index_t i = 0; i < a.nrows(); ++i) {
+    EXPECT_LE(a.rowptr()[i], a.rowptr()[i + 1]);
+    // Strictly increasing columns within each row (sorted, deduplicated).
+    for (index_t k = a.rowptr()[i] + 1; k < a.rowptr()[i + 1]; ++k)
+      EXPECT_LT(a.colind()[k - 1], a.colind()[k]);
+  }
+}
+
+TEST_P(RandomMatrixProperty, EveryPlanMatchesSerialReference) {
+  const CsrMatrix a = random_matrix(static_cast<std::uint64_t>(GetParam()));
+  const std::vector<value_t> x = gen::test_vector(a.ncols());
+  std::vector<value_t> expected(static_cast<std::size_t>(a.nrows()));
+  a.multiply(x, expected);
+  std::vector<value_t> y(static_cast<std::size_t>(a.nrows()));
+  for (const auto& plan : optimize::enumerate_plans(a)) {
+    const auto spmv = optimize::OptimizedSpmv::create(a, plan, 3);
+    spmv.run(x.data(), y.data());
+    for (std::size_t i = 0; i < y.size(); ++i)
+      ASSERT_NEAR(y[i], expected[i], 1e-9 * std::max(1.0, std::abs(expected[i])))
+          << plan.to_string() << " row " << i;
+  }
+}
+
+TEST_P(RandomMatrixProperty, DeltaRoundTripsWhenEncodable) {
+  const CsrMatrix a = random_matrix(static_cast<std::uint64_t>(GetParam()));
+  const auto d = DeltaCsrMatrix::encode(a);
+  if (!d) {
+    // Not encodable must mean some gap exceeds 16 bits.
+    EXPECT_FALSE(DeltaCsrMatrix::required_width(a).has_value());
+    return;
+  }
+  EXPECT_TRUE(d->decode().equals(a));
+  EXPECT_LE(d->format_bytes(), a.format_bytes() + a.nrows() * sizeof(index_t));
+}
+
+TEST_P(RandomMatrixProperty, SplitMergeRoundTrips) {
+  const CsrMatrix a = random_matrix(static_cast<std::uint64_t>(GetParam()));
+  Xoshiro256 rng(static_cast<std::uint64_t>(GetParam()) + 5);
+  const auto threshold = static_cast<index_t>(1 + rng.bounded(128));
+  const SplitCsrMatrix s = SplitCsrMatrix::split(a, threshold);
+  EXPECT_EQ(s.nnz(), a.nnz());
+  EXPECT_TRUE(s.merge().equals(a));
+  // Nothing in the short part reaches the threshold.
+  for (index_t i = 0; i < s.short_part().nrows(); ++i)
+    EXPECT_LT(s.short_part().row_nnz(i), threshold);
+}
+
+TEST_P(RandomMatrixProperty, SellMatchesCsr) {
+  const CsrMatrix a = random_matrix(static_cast<std::uint64_t>(GetParam()));
+  Xoshiro256 rng(static_cast<std::uint64_t>(GetParam()) + 9);
+  const auto chunk = static_cast<index_t>(1 + rng.bounded(12));
+  const auto sigma = static_cast<index_t>(1 + rng.bounded(512));
+  const SellMatrix s = SellMatrix::from_csr(a, chunk, sigma);
+  const std::vector<value_t> x = gen::test_vector(a.ncols());
+  std::vector<value_t> expected(static_cast<std::size_t>(a.nrows()));
+  std::vector<value_t> y(static_cast<std::size_t>(a.nrows()));
+  a.multiply(x, expected);
+  s.multiply(x.data(), y.data());
+  for (std::size_t i = 0; i < y.size(); ++i)
+    ASSERT_NEAR(y[i], expected[i], 1e-9 * std::max(1.0, std::abs(expected[i])));
+}
+
+TEST_P(RandomMatrixProperty, MatrixMarketRoundTrips) {
+  const CsrMatrix a = random_matrix(static_cast<std::uint64_t>(GetParam()));
+  std::stringstream buf;
+  write_matrix_market(buf, a);
+  EXPECT_TRUE(CsrMatrix::from_coo(read_matrix_market(buf)).equals(a));
+}
+
+TEST_P(RandomMatrixProperty, BinaryRoundTrips) {
+  const CsrMatrix a = random_matrix(static_cast<std::uint64_t>(GetParam()));
+  std::stringstream buf(std::ios::in | std::ios::out | std::ios::binary);
+  write_csr_binary(buf, a);
+  EXPECT_TRUE(read_csr_binary(buf).equals(a));
+}
+
+TEST_P(RandomMatrixProperty, BalancedPartitionIsBalanced) {
+  const CsrMatrix a = random_matrix(static_cast<std::uint64_t>(GetParam()));
+  index_t max_row = 0;
+  for (index_t i = 0; i < a.nrows(); ++i)
+    max_row = std::max(max_row, a.row_nnz(i));
+  for (int threads : {2, 3, 7, 16}) {
+    const RowPartition p = balanced_nnz_partition(a.rowptr(), a.nrows(), threads);
+    EXPECT_EQ(p.bounds.front(), 0);
+    EXPECT_EQ(p.bounds.back(), a.nrows());
+    const index_t ideal = a.nnz() / threads;
+    for (int t = 0; t < threads; ++t) {
+      const index_t nnz_t =
+          a.rowptr()[p.bounds[static_cast<std::size_t>(t) + 1]] -
+          a.rowptr()[p.bounds[static_cast<std::size_t>(t)]];
+      // A contiguous nnz-balanced split can overshoot by at most one row.
+      EXPECT_LE(nnz_t, ideal + max_row) << "thread " << t << "/" << threads;
+    }
+  }
+}
+
+TEST_P(RandomMatrixProperty, BcsrRoundTripsAndKernelMatches) {
+  const CsrMatrix a = random_matrix(static_cast<std::uint64_t>(GetParam()));
+  Xoshiro256 rng(static_cast<std::uint64_t>(GetParam()) + 21);
+  const auto br = static_cast<index_t>(1 + rng.bounded(8));
+  const auto bc = static_cast<index_t>(1 + rng.bounded(8));
+  const BcsrMatrix b = BcsrMatrix::from_csr(a, br, bc);
+  EXPECT_TRUE(b.to_csr().equals(a));
+  EXPECT_GE(b.fill_ratio(), 1.0);
+  const std::vector<value_t> x = gen::test_vector(a.ncols());
+  std::vector<value_t> expected(static_cast<std::size_t>(a.nrows()));
+  std::vector<value_t> y(static_cast<std::size_t>(a.nrows()));
+  a.multiply(x, expected);
+  kernels::spmv_bcsr(b, x.data(), y.data());
+  for (std::size_t i = 0; i < y.size(); ++i)
+    ASSERT_NEAR(y[i], expected[i], 1e-9 * std::max(1.0, std::abs(expected[i])));
+}
+
+TEST_P(RandomMatrixProperty, RcmPermutationCommutesWithSpmv) {
+  CsrMatrix a = random_matrix(static_cast<std::uint64_t>(GetParam()));
+  if (a.nrows() != a.ncols()) return;  // RCM needs square
+  const Permutation p = reverse_cuthill_mckee(a);
+  p.validate();
+  const CsrMatrix b = permute_symmetric(a, p);
+  EXPECT_EQ(b.nnz(), a.nnz());
+  const std::vector<value_t> x = gen::test_vector(a.ncols());
+  std::vector<value_t> ax(static_cast<std::size_t>(a.nrows()));
+  a.multiply(x, ax);
+  std::vector<value_t> px(x.size()), bpx(x.size()), pax(x.size());
+  permute_gather(p, x.data(), px.data());
+  b.multiply(px, bpx);
+  permute_gather(p, ax.data(), pax.data());
+  for (std::size_t i = 0; i < bpx.size(); ++i)
+    ASSERT_NEAR(bpx[i], pax[i], 1e-10 * std::max(1.0, std::abs(pax[i])));
+}
+
+TEST_P(RandomMatrixProperty, SymmetrizedMatrixThroughSymKernel) {
+  const CsrMatrix base = random_matrix(static_cast<std::uint64_t>(GetParam()));
+  // Symmetrize: B = A + A^T (pattern and values).
+  CooMatrix coo(base.nrows(), base.nrows());
+  for (index_t i = 0; i < base.nrows(); ++i)
+    for (index_t k = base.rowptr()[i]; k < base.rowptr()[i + 1]; ++k) {
+      const index_t j = base.colind()[k];
+      if (j >= base.nrows()) continue;  // guard non-square families
+      coo.add_symmetric(i, j, base.values()[k]);
+    }
+  coo.compress();
+  const CsrMatrix a = CsrMatrix::from_coo(coo);
+  if (a.nnz() == 0) return;
+  const SymCsrMatrix sym = SymCsrMatrix::from_symmetric_csr(a, 1e-12);
+  const std::vector<value_t> x = gen::test_vector(a.ncols());
+  std::vector<value_t> expected(static_cast<std::size_t>(a.nrows()));
+  std::vector<value_t> y(static_cast<std::size_t>(a.nrows()));
+  a.multiply(x, expected);
+  kernels::spmv_sym(sym, x.data(), y.data(), 3);
+  for (std::size_t i = 0; i < y.size(); ++i)
+    ASSERT_NEAR(y[i], expected[i], 1e-9 * std::max(1.0, std::abs(expected[i])));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomMatrixProperty, ::testing::Range(1, 13));
+
+}  // namespace
+}  // namespace spmvopt

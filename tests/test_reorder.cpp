@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "gen/generators.hpp"
+#include "sparse/reorder.hpp"
+#include "support/rng.hpp"
+
+namespace spmvopt {
+namespace {
+
+TEST(Permutation, IdentityAndInverse) {
+  const Permutation id = Permutation::identity(5);
+  id.validate();
+  const auto inv = id.inverse();
+  for (index_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(id.perm[static_cast<std::size_t>(i)], i);
+    EXPECT_EQ(inv[static_cast<std::size_t>(i)], i);
+  }
+}
+
+TEST(Permutation, InverseComposesToIdentity) {
+  Permutation p;
+  p.perm = {3, 1, 4, 0, 2};
+  p.validate();
+  const auto inv = p.inverse();
+  for (index_t i = 0; i < 5; ++i)
+    EXPECT_EQ(inv[static_cast<std::size_t>(p.perm[static_cast<std::size_t>(i)])], i);
+}
+
+TEST(Permutation, ValidateRejectsNonBijection) {
+  Permutation dup;
+  dup.perm = {0, 0, 2};
+  EXPECT_THROW(dup.validate(), std::invalid_argument);
+  Permutation range;
+  range.perm = {0, 5, 1};
+  EXPECT_THROW(range.validate(), std::invalid_argument);
+}
+
+TEST(Rcm, ProducesValidPermutation) {
+  const CsrMatrix a = gen::random_uniform(500, 6, 11);
+  const Permutation p = reverse_cuthill_mckee(a);
+  EXPECT_EQ(p.size(), a.nrows());
+  p.validate();
+}
+
+TEST(Rcm, ReducesBandwidthOfShuffledStencil) {
+  // A 1-D chain renumbered randomly has huge bandwidth; RCM must recover a
+  // near-minimal one (a chain's optimal bandwidth is 1).
+  const index_t n = 400;
+  Xoshiro256 rng(3);
+  Permutation shuffle = Permutation::identity(n);
+  for (index_t i = n - 1; i > 0; --i)
+    std::swap(shuffle.perm[static_cast<std::size_t>(i)],
+              shuffle.perm[rng.bounded(static_cast<std::uint64_t>(i) + 1)]);
+
+  CooMatrix chain(n, n);
+  for (index_t i = 0; i < n; ++i) {
+    chain.add(i, i, 2.0);
+    if (i + 1 < n) chain.add_symmetric(i, i + 1, -1.0);
+  }
+  chain.compress();
+  const CsrMatrix shuffled =
+      permute_symmetric(CsrMatrix::from_coo(chain), shuffle);
+  ASSERT_GT(matrix_bandwidth(shuffled), 50);  // scrambled
+
+  const Permutation rcm = reverse_cuthill_mckee(shuffled);
+  const CsrMatrix restored = permute_symmetric(shuffled, rcm);
+  EXPECT_LE(matrix_bandwidth(restored), 2);
+}
+
+TEST(Rcm, ReducesBandwidthOf2dStencilShuffle) {
+  const CsrMatrix grid = gen::stencil_2d_5pt(24, 24);
+  Xoshiro256 rng(7);
+  Permutation shuffle = Permutation::identity(grid.nrows());
+  for (index_t i = grid.nrows() - 1; i > 0; --i)
+    std::swap(shuffle.perm[static_cast<std::size_t>(i)],
+              shuffle.perm[rng.bounded(static_cast<std::uint64_t>(i) + 1)]);
+  const CsrMatrix shuffled = permute_symmetric(grid, shuffle);
+  const CsrMatrix rcm =
+      permute_symmetric(shuffled, reverse_cuthill_mckee(shuffled));
+  // A 24x24 grid's optimal bandwidth is ~24; RCM should land within ~2x.
+  EXPECT_LE(matrix_bandwidth(rcm), 60);
+  EXPECT_LT(matrix_bandwidth(rcm), matrix_bandwidth(shuffled) / 4);
+}
+
+TEST(Rcm, HandlesDisconnectedComponentsAndIsolatedVertices) {
+  CooMatrix coo(10, 10);
+  coo.add_symmetric(0, 1, 1.0);  // component {0,1}
+  coo.add_symmetric(4, 5, 1.0);  // component {4,5}
+  coo.add(7, 7, 1.0);            // self-loop only
+  // vertices 2,3,6,8,9 fully isolated
+  coo.compress();
+  const Permutation p = reverse_cuthill_mckee(CsrMatrix::from_coo(coo));
+  p.validate();
+  EXPECT_EQ(p.size(), 10);
+}
+
+TEST(Rcm, RejectsRectangular) {
+  CooMatrix coo(2, 3);
+  coo.add(0, 0, 1.0);
+  coo.compress();
+  EXPECT_THROW((void)reverse_cuthill_mckee(CsrMatrix::from_coo(coo)),
+               std::invalid_argument);
+}
+
+TEST(PermuteSymmetric, SpmvCommutesWithPermutation) {
+  // B = P A P^T must satisfy B (P x) = P (A x).
+  const CsrMatrix a = gen::random_uniform(200, 5, 9);
+  const Permutation p = reverse_cuthill_mckee(a);
+  const CsrMatrix b = permute_symmetric(a, p);
+
+  const std::vector<value_t> x = gen::test_vector(a.ncols());
+  std::vector<value_t> ax(static_cast<std::size_t>(a.nrows()));
+  a.multiply(x, ax);
+
+  std::vector<value_t> px(x.size()), bpx(x.size()), pax(x.size());
+  permute_gather(p, x.data(), px.data());
+  b.multiply(px, bpx);
+  permute_gather(p, ax.data(), pax.data());
+  for (std::size_t i = 0; i < bpx.size(); ++i)
+    EXPECT_NEAR(bpx[i], pax[i], 1e-12 * std::max(1.0, std::abs(pax[i])));
+}
+
+TEST(PermuteSymmetric, GatherScatterAreInverses) {
+  Permutation p;
+  p.perm = {2, 0, 3, 1};
+  const std::vector<value_t> v{10, 20, 30, 40};
+  std::vector<value_t> g(4), back(4);
+  permute_gather(p, v.data(), g.data());
+  EXPECT_EQ(g, (std::vector<value_t>{30, 10, 40, 20}));
+  permute_scatter(p, g.data(), back.data());
+  EXPECT_EQ(back, v);
+}
+
+TEST(PermuteSymmetric, PreservesValuesAndPattern) {
+  const CsrMatrix a = gen::banded(100, 10, 5, 3);
+  const Permutation p = reverse_cuthill_mckee(a);
+  const CsrMatrix b = permute_symmetric(a, p);
+  EXPECT_EQ(b.nnz(), a.nnz());
+  // Sum of values is permutation-invariant.
+  value_t sa = 0.0, sb = 0.0;
+  for (index_t k = 0; k < a.nnz(); ++k) sa += a.values()[k];
+  for (index_t k = 0; k < b.nnz(); ++k) sb += b.values()[k];
+  EXPECT_NEAR(sa, sb, 1e-9);
+}
+
+TEST(Bandwidth, KnownValues) {
+  EXPECT_EQ(matrix_bandwidth(gen::diagonal(10)), 0);
+  const CsrMatrix grid = gen::stencil_2d_5pt(7, 9);
+  EXPECT_EQ(matrix_bandwidth(grid), 7);  // the nx stride
+}
+
+}  // namespace
+}  // namespace spmvopt

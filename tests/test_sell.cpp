@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gen/generators.hpp"
+#include "gen/suite.hpp"
+#include "kernels/sell_kernels.hpp"
+#include "optimize/optimized_spmv.hpp"
+#include "sparse/sell.hpp"
+
+namespace spmvopt {
+namespace {
+
+void expect_matches_csr(const CsrMatrix& a, const SellMatrix& s) {
+  const std::vector<value_t> x = gen::test_vector(a.ncols());
+  std::vector<value_t> expected(static_cast<std::size_t>(a.nrows()));
+  a.multiply(x, expected);
+  std::vector<value_t> y(static_cast<std::size_t>(a.nrows()), std::nan(""));
+  s.multiply(x.data(), y.data());
+  for (std::size_t i = 0; i < y.size(); ++i)
+    ASSERT_NEAR(y[i], expected[i], 1e-9 * std::max(1.0, std::abs(expected[i])));
+  // And the parallel/SIMD kernel.
+  std::fill(y.begin(), y.end(), std::nan(""));
+  kernels::spmv_sell(s, x.data(), y.data());
+  for (std::size_t i = 0; i < y.size(); ++i)
+    ASSERT_NEAR(y[i], expected[i], 1e-9 * std::max(1.0, std::abs(expected[i])));
+}
+
+TEST(Sell, CorrectOnAllTestFamilies) {
+  for (const auto& entry : gen::test_suite()) {
+    SCOPED_TRACE(entry.name);
+    const CsrMatrix a = entry.make();
+    expect_matches_csr(a, SellMatrix::from_csr(a, kernels::sell_native_chunk(),
+                                               128));
+  }
+}
+
+TEST(Sell, CorrectForVariousChunksAndSigmas) {
+  const CsrMatrix a = gen::power_law(700, 9, 2.0, 13);
+  for (index_t chunk : {1, 2, 4, 8, 16})
+    for (index_t sigma : {1, 8, 64, 1024}) {
+      SCOPED_TRACE("C=" + std::to_string(chunk) + " sigma=" + std::to_string(sigma));
+      expect_matches_csr(a, SellMatrix::from_csr(a, chunk, sigma));
+    }
+}
+
+TEST(Sell, RowCountNotMultipleOfChunk) {
+  const CsrMatrix a = gen::random_uniform(101, 5, 7);  // 101 % 8 != 0
+  expect_matches_csr(a, SellMatrix::from_csr(a, 8, 32));
+}
+
+TEST(Sell, SigmaSortingReducesPadding) {
+  // Power-law rows: without sorting (sigma=1) chunks pad to the hub rows;
+  // window sorting must cut the padding substantially.
+  const CsrMatrix a = gen::power_law(4000, 10, 1.8, 3);
+  const SellMatrix unsorted = SellMatrix::from_csr(a, 8, 1);
+  const SellMatrix sorted = SellMatrix::from_csr(a, 8, 512);
+  EXPECT_LT(sorted.padding_overhead(), 0.6 * unsorted.padding_overhead());
+}
+
+TEST(Sell, UniformRowsHaveNoPadding) {
+  const CsrMatrix a = gen::random_uniform(512, 6, 5);
+  const SellMatrix s = SellMatrix::from_csr(a, 8, 64);
+  EXPECT_DOUBLE_EQ(s.padding_overhead(), 0.0);
+}
+
+TEST(Sell, PermutationIsAPermutation) {
+  const CsrMatrix a = gen::power_law(300, 8, 2.0, 9);
+  const SellMatrix s = SellMatrix::from_csr(a, 4, 32);
+  std::vector<bool> seen(static_cast<std::size_t>(a.nrows()), false);
+  for (index_t p = 0; p < a.nrows(); ++p) {
+    const index_t row = s.row_perm()[p];
+    ASSERT_GE(row, 0);
+    ASSERT_LT(row, a.nrows());
+    ASSERT_FALSE(seen[static_cast<std::size_t>(row)]);
+    seen[static_cast<std::size_t>(row)] = true;
+  }
+}
+
+TEST(Sell, SortedWithinWindowsByLength) {
+  const CsrMatrix a = gen::power_law(512, 8, 2.0, 11);
+  const index_t sigma = 64;
+  const SellMatrix s = SellMatrix::from_csr(a, 8, sigma);
+  for (index_t w = 0; w < a.nrows(); w += sigma)
+    for (index_t p = w + 1; p < std::min<index_t>(a.nrows(), w + sigma); ++p)
+      EXPECT_GE(s.row_len()[p - 1], s.row_len()[p]);
+}
+
+TEST(Sell, RejectsBadParams) {
+  const CsrMatrix a = gen::diagonal(8);
+  EXPECT_THROW((void)SellMatrix::from_csr(a, 0, 8), std::invalid_argument);
+  EXPECT_THROW((void)SellMatrix::from_csr(a, 8, 0), std::invalid_argument);
+}
+
+TEST(Sell, NativeChunkMatchesBuild) {
+  const index_t c = kernels::sell_native_chunk();
+  EXPECT_TRUE(c == 1 || c == 4 || c == 8);
+}
+
+TEST(SellPlan, OptimizedSpmvRunsSellPlan) {
+  const CsrMatrix a = gen::banded(800, 60, 12, 21);
+  const auto spmv =
+      optimize::OptimizedSpmv::create(a, optimize::sell_plan(), 2);
+  EXPECT_EQ(spmv.plan().to_string(), "sell");
+  const std::vector<value_t> x = gen::test_vector(a.ncols());
+  std::vector<value_t> expected(static_cast<std::size_t>(a.nrows()));
+  a.multiply(x, expected);
+  std::vector<value_t> y(static_cast<std::size_t>(a.nrows()));
+  spmv.run(x.data(), y.data());
+  for (std::size_t i = 0; i < y.size(); ++i)
+    ASSERT_NEAR(y[i], expected[i], 1e-9 * std::max(1.0, std::abs(expected[i])));
+}
+
+TEST(SellPlan, MergeAbsorbsCsrOptimizations) {
+  optimize::Plan pf;
+  pf.prefetch = true;
+  const optimize::Plan merged = optimize::merge_plans(pf, optimize::sell_plan());
+  EXPECT_TRUE(merged.sell);
+  EXPECT_FALSE(merged.prefetch);
+}
+
+TEST(SellPlan, InvalidCombinationsRejected) {
+  const CsrMatrix a = gen::diagonal(16);
+  optimize::Plan bad = optimize::sell_plan();
+  bad.prefetch = true;
+  EXPECT_THROW((void)optimize::OptimizedSpmv::create(a, bad, 1),
+               std::invalid_argument);
+}
+
+TEST(SellPlan, EnumeratedPlansIncludeSell) {
+  const auto plans = optimize::enumerate_plans(gen::diagonal(32));
+  bool found = false;
+  for (const auto& p : plans) found = found || p.sell;
+  EXPECT_TRUE(found);
+}
+
+TEST(BcsrPlan, OptimizedSpmvRunsBcsrPlan) {
+  const CsrMatrix a = gen::block_diagonal_dense(256, 8, 5);
+  const auto spmv = optimize::OptimizedSpmv::create(a, optimize::bcsr_plan(), 2);
+  EXPECT_TRUE(spmv.plan().bcsr);  // blocking pays on this matrix
+  const std::vector<value_t> x = gen::test_vector(a.ncols());
+  std::vector<value_t> expected(static_cast<std::size_t>(a.nrows()));
+  a.multiply(x, expected);
+  std::vector<value_t> y(static_cast<std::size_t>(a.nrows()));
+  spmv.run(x.data(), y.data());
+  for (std::size_t i = 0; i < y.size(); ++i)
+    ASSERT_NEAR(y[i], expected[i], 1e-9 * std::max(1.0, std::abs(expected[i])));
+}
+
+TEST(BcsrPlan, FallsBackOnScatteredMatrix) {
+  const CsrMatrix a = gen::random_uniform(800, 4, 7);
+  const auto spmv = optimize::OptimizedSpmv::create(a, optimize::bcsr_plan(), 2);
+  EXPECT_FALSE(spmv.plan().bcsr);  // declined, running plain CSR
+  const std::vector<value_t> x = gen::test_vector(a.ncols());
+  std::vector<value_t> expected(static_cast<std::size_t>(a.nrows()));
+  a.multiply(x, expected);
+  std::vector<value_t> y(static_cast<std::size_t>(a.nrows()));
+  spmv.run(x.data(), y.data());
+  for (std::size_t i = 0; i < y.size(); ++i)
+    ASSERT_NEAR(y[i], expected[i], 1e-9 * std::max(1.0, std::abs(expected[i])));
+}
+
+TEST(BcsrPlan, EnumeratedOnlyWhenBlockingPays) {
+  const auto blocked = optimize::enumerate_plans(gen::block_diagonal_dense(128, 8, 3));
+  bool found = false;
+  for (const auto& p : blocked) found = found || p.bcsr;
+  EXPECT_TRUE(found);
+  const auto scattered = optimize::enumerate_plans(gen::random_uniform(800, 4, 7));
+  for (const auto& p : scattered) EXPECT_FALSE(p.bcsr);
+}
+
+TEST(BcsrPlan, InvalidCombinationsRejected) {
+  const CsrMatrix a = gen::diagonal(16);
+  optimize::Plan bad = optimize::bcsr_plan();
+  bad.delta = true;
+  EXPECT_THROW((void)optimize::OptimizedSpmv::create(a, bad, 1),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace spmvopt

@@ -1,0 +1,204 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "gen/generators.hpp"
+#include "solvers/blas1.hpp"
+#include "solvers/krylov.hpp"
+#include "solvers/pagerank.hpp"
+
+namespace spmvopt::solvers {
+namespace {
+
+std::vector<value_t> manufactured_rhs(const CsrMatrix& a,
+                                      std::vector<value_t>& x_true) {
+  x_true = gen::test_vector(a.ncols(), 99);
+  std::vector<value_t> b(static_cast<std::size_t>(a.nrows()));
+  a.multiply(x_true, b);
+  return b;
+}
+
+TEST(Blas1, DotAndNorm) {
+  const std::vector<value_t> a{1.0, 2.0, 3.0};
+  const std::vector<value_t> b{4.0, 5.0, 6.0};
+  EXPECT_DOUBLE_EQ(dot(a, b), 32.0);
+  EXPECT_DOUBLE_EQ(nrm2(std::vector<value_t>{3.0, 4.0}), 5.0);
+}
+
+TEST(Blas1, AxpyXpby) {
+  std::vector<value_t> y{1.0, 1.0};
+  axpy(2.0, std::vector<value_t>{1.0, 2.0}, y);
+  EXPECT_DOUBLE_EQ(y[0], 3.0);
+  EXPECT_DOUBLE_EQ(y[1], 5.0);
+  xpby(std::vector<value_t>{1.0, 1.0}, 0.5, y);
+  EXPECT_DOUBLE_EQ(y[0], 2.5);
+  EXPECT_DOUBLE_EQ(y[1], 3.5);
+}
+
+TEST(Blas1, SizeMismatchThrows) {
+  std::vector<value_t> y{1.0};
+  EXPECT_THROW((void)dot(std::vector<value_t>{1.0, 2.0}, y),
+               std::invalid_argument);
+  EXPECT_THROW(axpy(1.0, std::vector<value_t>{1.0, 2.0}, y),
+               std::invalid_argument);
+}
+
+TEST(LinearOperator, FromCsrApplies) {
+  const CsrMatrix a = gen::stencil_2d_5pt(6, 6);
+  const LinearOperator op = LinearOperator::from_csr(a);
+  const std::vector<value_t> x = gen::test_vector(a.ncols());
+  std::vector<value_t> y1(static_cast<std::size_t>(a.nrows()));
+  std::vector<value_t> y2(static_cast<std::size_t>(a.nrows()));
+  op.apply(x, y1);
+  a.multiply(x, y2);
+  for (std::size_t i = 0; i < y1.size(); ++i) EXPECT_NEAR(y1[i], y2[i], 1e-12);
+}
+
+TEST(LinearOperator, ValidatesSizes) {
+  const CsrMatrix a = gen::stencil_2d_5pt(4, 4);
+  const LinearOperator op = LinearOperator::from_csr(a);
+  std::vector<value_t> x(3), y(16);
+  EXPECT_THROW(op.apply(x, y), std::invalid_argument);
+}
+
+TEST(Cg, SolvesPoissonToTolerance) {
+  const CsrMatrix a = gen::stencil_2d_5pt(20, 20);
+  std::vector<value_t> x_true;
+  const std::vector<value_t> b = manufactured_rhs(a, x_true);
+  std::vector<value_t> x(static_cast<std::size_t>(a.nrows()), 0.0);
+  const SolveResult r = cg(LinearOperator::from_csr(a), b, x);
+  EXPECT_TRUE(r.converged);
+  EXPECT_LE(r.residual_norm, 1e-8);
+  for (std::size_t i = 0; i < x.size(); ++i)
+    EXPECT_NEAR(x[i], x_true[i], 1e-5);
+}
+
+TEST(Cg, ZeroRhsGivesZeroSolution) {
+  const CsrMatrix a = gen::stencil_2d_5pt(5, 5);
+  std::vector<value_t> b(25, 0.0), x(25, 3.0);
+  const SolveResult r = cg(LinearOperator::from_csr(a), b, x);
+  EXPECT_TRUE(r.converged);
+  for (value_t v : x) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(Cg, ReportsNonConvergenceWithinBudget) {
+  const CsrMatrix a = gen::stencil_2d_5pt(30, 30);
+  std::vector<value_t> x_true;
+  const std::vector<value_t> b = manufactured_rhs(a, x_true);
+  std::vector<value_t> x(static_cast<std::size_t>(a.nrows()), 0.0);
+  SolverOptions opt;
+  opt.max_iterations = 3;
+  const SolveResult r = cg(LinearOperator::from_csr(a), b, x, opt);
+  EXPECT_FALSE(r.converged);
+  EXPECT_EQ(r.iterations, 3);
+}
+
+TEST(Bicgstab, SolvesNonsymmetricSystem) {
+  const CsrMatrix a =
+      gen::make_diagonally_dominant(gen::random_uniform(300, 5, 17), 2.0);
+  std::vector<value_t> x_true;
+  const std::vector<value_t> b = manufactured_rhs(a, x_true);
+  std::vector<value_t> x(static_cast<std::size_t>(a.nrows()), 0.0);
+  const SolveResult r = bicgstab(LinearOperator::from_csr(a), b, x);
+  EXPECT_TRUE(r.converged);
+  for (std::size_t i = 0; i < x.size(); ++i)
+    EXPECT_NEAR(x[i], x_true[i], 1e-5);
+}
+
+TEST(Gmres, SolvesNonsymmetricSystem) {
+  const CsrMatrix a =
+      gen::make_diagonally_dominant(gen::random_uniform(200, 4, 23), 2.0);
+  std::vector<value_t> x_true;
+  const std::vector<value_t> b = manufactured_rhs(a, x_true);
+  std::vector<value_t> x(static_cast<std::size_t>(a.nrows()), 0.0);
+  const SolveResult r = gmres(LinearOperator::from_csr(a), b, x, 30);
+  EXPECT_TRUE(r.converged);
+  for (std::size_t i = 0; i < x.size(); ++i)
+    EXPECT_NEAR(x[i], x_true[i], 1e-5);
+}
+
+TEST(Gmres, RestartSmallerThanKrylovDimStillConverges) {
+  const CsrMatrix a =
+      gen::make_diagonally_dominant(gen::random_uniform(150, 4, 29), 2.0);
+  std::vector<value_t> x_true;
+  const std::vector<value_t> b = manufactured_rhs(a, x_true);
+  std::vector<value_t> x(static_cast<std::size_t>(a.nrows()), 0.0);
+  const SolveResult r = gmres(LinearOperator::from_csr(a), b, x, 5);
+  EXPECT_TRUE(r.converged);
+}
+
+TEST(Gmres, RejectsBadRestart) {
+  const CsrMatrix a = gen::diagonal(4);
+  std::vector<value_t> b(4, 1.0), x(4, 0.0);
+  EXPECT_THROW((void)gmres(LinearOperator::from_csr(a), b, x, 0),
+               std::invalid_argument);
+}
+
+TEST(Solvers, RejectRectangularOperator) {
+  CooMatrix coo(2, 3);
+  coo.add(0, 0, 1.0);
+  coo.compress();
+  const CsrMatrix a = CsrMatrix::from_coo(coo);
+  const LinearOperator op = LinearOperator::from_csr(a);
+  std::vector<value_t> b(2, 1.0), x(2, 0.0);
+  EXPECT_THROW((void)cg(op, b, x), std::invalid_argument);
+}
+
+TEST(PageRank, ScoresSumToOne) {
+  const CsrMatrix g = gen::rmat(8, 6, 0.5, 0.2, 0.2, 3);
+  const PageRankResult r = pagerank(g);
+  EXPECT_TRUE(r.converged);
+  const double total =
+      std::accumulate(r.scores.begin(), r.scores.end(), 0.0);
+  EXPECT_NEAR(total, 1.0, 1e-6);
+  for (value_t s : r.scores) EXPECT_GE(s, 0.0);
+}
+
+TEST(PageRank, HubGetsHighestScore) {
+  // Star graph: everyone links to node 0.
+  CooMatrix coo(50, 50);
+  for (index_t i = 1; i < 50; ++i) coo.add(i, 0, 1.0);
+  coo.add(0, 1, 1.0);
+  coo.compress();
+  const PageRankResult r = pagerank(CsrMatrix::from_coo(coo));
+  const auto argmax = static_cast<std::size_t>(
+      std::max_element(r.scores.begin(), r.scores.end()) - r.scores.begin());
+  EXPECT_EQ(argmax, 0u);
+}
+
+TEST(PageRank, HandlesDanglingNodes) {
+  // Node 2 has no out-links; mass must be redistributed, sum preserved.
+  CooMatrix coo(3, 3);
+  coo.add(0, 1, 1.0);
+  coo.add(1, 2, 1.0);
+  coo.compress();
+  const PageRankResult r = pagerank(CsrMatrix::from_coo(coo));
+  const double total = std::accumulate(r.scores.begin(), r.scores.end(), 0.0);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(PageRank, TransitionMatrixIsColumnStochastic) {
+  const CsrMatrix g = gen::rmat(6, 4, 0.5, 0.2, 0.2, 5);
+  const CsrMatrix p = transition_matrix(g);
+  // Column sums of P = row sums of P^T: each non-dangling source column
+  // sums to 1.  P[dst][src], so accumulate per colind.
+  std::vector<double> colsum(static_cast<std::size_t>(p.ncols()), 0.0);
+  for (index_t i = 0; i < p.nrows(); ++i)
+    for (index_t j = p.rowptr()[i]; j < p.rowptr()[i + 1]; ++j)
+      colsum[static_cast<std::size_t>(p.colind()[j])] += p.values()[j];
+  for (index_t s = 0; s < g.nrows(); ++s) {
+    if (g.row_nnz(s) == 0) continue;
+    EXPECT_NEAR(colsum[static_cast<std::size_t>(s)], 1.0, 1e-9);
+  }
+}
+
+TEST(PageRank, RejectsBadDamping) {
+  const CsrMatrix g = gen::diagonal(4);
+  PageRankOptions opt;
+  opt.damping = 1.5;
+  EXPECT_THROW((void)pagerank(g, opt), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace spmvopt::solvers

@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include "gen/generators.hpp"
+#include "sparse/split_csr.hpp"
+
+namespace spmvopt {
+namespace {
+
+TEST(SplitCsr, SplitsLongRowsOut) {
+  const CsrMatrix a = gen::few_dense_rows(500, 3, 4, 300, 7);
+  const SplitCsrMatrix s = SplitCsrMatrix::split(a, 100);
+  EXPECT_GE(s.num_long_rows(), 4);
+  // Every long row is empty in the short part.
+  for (index_t k = 0; k < s.num_long_rows(); ++k)
+    EXPECT_EQ(s.short_part().row_nnz(s.long_rows()[k]), 0);
+  // Nonzeros are conserved.
+  EXPECT_EQ(s.nnz(), a.nnz());
+}
+
+TEST(SplitCsr, MergeRoundTrips) {
+  const CsrMatrix a = gen::few_dense_rows(400, 3, 3, 250, 9);
+  const SplitCsrMatrix s = SplitCsrMatrix::split(a, 64);
+  EXPECT_TRUE(s.merge().equals(a));
+}
+
+TEST(SplitCsr, NoLongRowsIsIdentity) {
+  const CsrMatrix a = gen::stencil_2d_5pt(10, 10);  // max 5 nnz per row
+  const SplitCsrMatrix s = SplitCsrMatrix::split(a, 100);
+  EXPECT_EQ(s.num_long_rows(), 0);
+  EXPECT_TRUE(s.short_part().equals(a));
+  EXPECT_TRUE(s.merge().equals(a));
+}
+
+TEST(SplitCsr, AllRowsLong) {
+  const CsrMatrix a = gen::dense(16);
+  const SplitCsrMatrix s = SplitCsrMatrix::split(a, 1);
+  EXPECT_EQ(s.num_long_rows(), 16);
+  EXPECT_EQ(s.short_part().nnz(), 0);
+  EXPECT_TRUE(s.merge().equals(a));
+}
+
+TEST(SplitCsr, ThresholdBoundary) {
+  // Rows exactly at the threshold are long (>=).
+  CooMatrix coo(2, 8);
+  for (index_t j = 0; j < 4; ++j) coo.add(0, j, 1.0);
+  for (index_t j = 0; j < 3; ++j) coo.add(1, j, 1.0);
+  coo.compress();
+  const CsrMatrix a = CsrMatrix::from_coo(coo);
+  const SplitCsrMatrix s = SplitCsrMatrix::split(a, 4);
+  ASSERT_EQ(s.num_long_rows(), 1);
+  EXPECT_EQ(s.long_rows()[0], 0);
+}
+
+TEST(SplitCsr, DefaultThresholdScalesWithAvg) {
+  const CsrMatrix sparse = gen::stencil_2d_5pt(20, 20);  // avg < 5
+  EXPECT_EQ(SplitCsrMatrix::default_threshold(sparse), 64);
+  const CsrMatrix dense = gen::dense(128);  // avg 128 -> 8*128
+  EXPECT_EQ(SplitCsrMatrix::default_threshold(dense), 1024);
+}
+
+TEST(SplitCsr, RejectsBadThreshold) {
+  const CsrMatrix a = gen::diagonal(4);
+  EXPECT_THROW((void)SplitCsrMatrix::split(a, 0), std::invalid_argument);
+}
+
+TEST(SplitCsr, LongRowDataMatchesOriginal) {
+  const CsrMatrix a = gen::few_dense_rows(300, 3, 2, 200, 11);
+  const SplitCsrMatrix s = SplitCsrMatrix::split(a, 50);
+  ASSERT_GE(s.num_long_rows(), 1);
+  const index_t row = s.long_rows()[0];
+  const index_t lo = s.long_rowptr()[0];
+  const index_t len = s.long_rowptr()[1] - lo;
+  ASSERT_EQ(len, a.row_nnz(row));
+  for (index_t k = 0; k < len; ++k) {
+    EXPECT_EQ(s.long_colind()[lo + k], a.colind()[a.rowptr()[row] + k]);
+    EXPECT_DOUBLE_EQ(s.long_values()[lo + k], a.values()[a.rowptr()[row] + k]);
+  }
+}
+
+}  // namespace
+}  // namespace spmvopt

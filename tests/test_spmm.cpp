@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gen/generators.hpp"
+#include "kernels/spmm.hpp"
+#include "support/rng.hpp"
+
+namespace spmvopt {
+namespace {
+
+std::vector<value_t> random_block(index_t n, index_t k, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<value_t> X(static_cast<std::size_t>(n) * static_cast<std::size_t>(k));
+  for (auto& v : X) v = rng.uniform(-1.0, 1.0);
+  return X;
+}
+
+void expect_matches_per_rhs(const CsrMatrix& a, index_t k) {
+  const std::vector<value_t> X = random_block(a.ncols(), k, 7);
+  const auto part = balanced_nnz_partition(a.rowptr(), a.nrows(), 3);
+  std::vector<value_t> Y(static_cast<std::size_t>(a.nrows()) *
+                             static_cast<std::size_t>(k),
+                         std::nan(""));
+  kernels::spmm(a, part, X.data(), Y.data(), k);
+
+  // Reference: one serial SpMV per rhs, de-strided.
+  std::vector<value_t> xr(static_cast<std::size_t>(a.ncols()));
+  std::vector<value_t> yr(static_cast<std::size_t>(a.nrows()));
+  for (index_t r = 0; r < k; ++r) {
+    for (index_t j = 0; j < a.ncols(); ++j)
+      xr[static_cast<std::size_t>(j)] =
+          X[static_cast<std::size_t>(j) * static_cast<std::size_t>(k) +
+            static_cast<std::size_t>(r)];
+    a.multiply(xr, yr);
+    for (index_t i = 0; i < a.nrows(); ++i)
+      ASSERT_NEAR(Y[static_cast<std::size_t>(i) * static_cast<std::size_t>(k) +
+                    static_cast<std::size_t>(r)],
+                  yr[static_cast<std::size_t>(i)],
+                  1e-9 * std::max(1.0, std::abs(yr[static_cast<std::size_t>(i)])))
+          << "rhs " << r << " row " << i;
+  }
+}
+
+TEST(Spmm, FixedKVariantsMatchReference) {
+  const CsrMatrix a = gen::power_law(400, 8, 2.0, 3);
+  for (index_t k : {1, 2, 4, 8, 16}) {
+    SCOPED_TRACE("k=" + std::to_string(k));
+    expect_matches_per_rhs(a, k);
+  }
+}
+
+TEST(Spmm, GenericKMatchesReference) {
+  const CsrMatrix a = gen::stencil_2d_5pt(18, 18);
+  for (index_t k : {3, 5, 7, 11}) {
+    SCOPED_TRACE("k=" + std::to_string(k));
+    expect_matches_per_rhs(a, k);
+  }
+}
+
+TEST(Spmm, RectangularMatrix) {
+  CooMatrix coo(40, 90);
+  Xoshiro256 rng(5);
+  for (int e = 0; e < 300; ++e)
+    coo.add(static_cast<index_t>(rng.bounded(40)),
+            static_cast<index_t>(rng.bounded(90)), rng.uniform(0.1, 1.0));
+  coo.compress();
+  expect_matches_per_rhs(CsrMatrix::from_coo(coo), 4);
+}
+
+TEST(Spmm, UnfusedMatchesFused) {
+  const CsrMatrix a = gen::random_uniform(300, 6, 9);
+  const index_t k = 8;
+  const std::vector<value_t> X = random_block(a.ncols(), k, 11);
+  const auto part = balanced_nnz_partition(a.rowptr(), a.nrows(), 2);
+  std::vector<value_t> y1(static_cast<std::size_t>(a.nrows()) * k);
+  std::vector<value_t> y2(y1.size());
+  kernels::spmm(a, part, X.data(), y1.data(), k);
+  kernels::spmm_unfused(a, part, X.data(), y2.data(), k);
+  for (std::size_t i = 0; i < y1.size(); ++i)
+    ASSERT_NEAR(y1[i], y2[i], 1e-9 * std::max(1.0, std::abs(y2[i])));
+}
+
+TEST(Spmm, EmptyRowsYieldZeroBlock) {
+  CooMatrix coo(4, 4);
+  coo.add(0, 0, 1.0);  // rows 1-3 empty
+  coo.compress();
+  const CsrMatrix a = CsrMatrix::from_coo(coo);
+  const auto part = balanced_nnz_partition(a.rowptr(), a.nrows(), 2);
+  const std::vector<value_t> X(16, 1.0);
+  std::vector<value_t> Y(16, 42.0);
+  kernels::spmm(a, part, X.data(), Y.data(), 4);
+  for (std::size_t i = 4; i < 16; ++i) EXPECT_DOUBLE_EQ(Y[i], 0.0);
+}
+
+}  // namespace
+}  // namespace spmvopt

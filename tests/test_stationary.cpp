@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gen/generators.hpp"
+#include "solvers/eigen.hpp"
+#include "solvers/stationary.hpp"
+
+namespace spmvopt::solvers {
+namespace {
+
+std::vector<value_t> rhs_for(const CsrMatrix& a, std::vector<value_t>& x_true) {
+  x_true = gen::test_vector(a.ncols(), 17);
+  std::vector<value_t> b(static_cast<std::size_t>(a.nrows()));
+  a.multiply(x_true, b);
+  return b;
+}
+
+TEST(Jacobi, ConvergesOnDiagonallyDominant) {
+  const CsrMatrix a =
+      gen::make_diagonally_dominant(gen::random_uniform(200, 5, 3), 2.0);
+  std::vector<value_t> x_true;
+  const auto b = rhs_for(a, x_true);
+  std::vector<value_t> x(b.size(), 0.0);
+  SolverOptions opt;
+  opt.max_iterations = 500;
+  opt.rel_tolerance = 1e-10;
+  const auto r = jacobi(a, b, x, 1.0, opt);
+  ASSERT_TRUE(r.converged);
+  for (std::size_t i = 0; i < x.size(); ++i) EXPECT_NEAR(x[i], x_true[i], 1e-7);
+}
+
+TEST(Jacobi, RejectsZeroDiagonal) {
+  CooMatrix coo(2, 2);
+  coo.add(0, 1, 1.0);
+  coo.add(1, 1, 1.0);
+  coo.compress();
+  std::vector<value_t> b(2, 1.0), x(2, 0.0);
+  EXPECT_THROW((void)jacobi(CsrMatrix::from_coo(coo), b, x),
+               std::invalid_argument);
+}
+
+TEST(Jacobi, RejectsBadOmega) {
+  const CsrMatrix a = gen::diagonal(3);
+  std::vector<value_t> b(3, 1.0), x(3, 0.0);
+  EXPECT_THROW((void)jacobi(a, b, x, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)jacobi(a, b, x, 1.5), std::invalid_argument);
+}
+
+TEST(GaussSeidel, ConvergesFasterThanJacobi) {
+  const CsrMatrix a = gen::stencil_2d_5pt(12, 12);
+  std::vector<value_t> x_true;
+  const auto b = rhs_for(a, x_true);
+  SolverOptions opt;
+  opt.max_iterations = 3000;
+  opt.rel_tolerance = 1e-8;
+  std::vector<value_t> xj(b.size(), 0.0), xg(b.size(), 0.0);
+  const auto rj = jacobi(a, b, xj, 1.0, opt);
+  const auto rg = gauss_seidel(a, b, xg, opt);
+  ASSERT_TRUE(rj.converged);
+  ASSERT_TRUE(rg.converged);
+  // The textbook 2x: GS spectral radius = (Jacobi's)^2 for this class.
+  EXPECT_LT(rg.iterations, rj.iterations);
+  for (std::size_t i = 0; i < xg.size(); ++i)
+    EXPECT_NEAR(xg[i], x_true[i], 1e-5);
+}
+
+TEST(Chebyshev, ConvergesWithLanczosBounds) {
+  const CsrMatrix a = gen::stencil_2d_5pt(16, 16);
+  std::vector<value_t> x_true;
+  const auto b = rhs_for(a, x_true);
+  const auto op = LinearOperator::from_csr(a);
+
+  // Spectral bounds from Lanczos, padded 5% outward.
+  const auto spec = lanczos_extreme(op, 60, 3);
+  ASSERT_GT(spec.lambda_min, 0.0);
+  std::vector<value_t> x(b.size(), 0.0);
+  SolverOptions opt;
+  opt.max_iterations = 2000;
+  opt.rel_tolerance = 1e-9;
+  const auto r = chebyshev(op, b, x, 0.95 * spec.lambda_min,
+                           1.05 * spec.lambda_max, opt);
+  ASSERT_TRUE(r.converged);
+  for (std::size_t i = 0; i < x.size(); ++i)
+    EXPECT_NEAR(x[i], x_true[i], 1e-5);
+}
+
+TEST(Chebyshev, BeatsJacobiOnPoisson) {
+  const CsrMatrix a = gen::stencil_2d_5pt(14, 14);
+  std::vector<value_t> x_true;
+  const auto b = rhs_for(a, x_true);
+  const auto op = LinearOperator::from_csr(a);
+  const auto spec = lanczos_extreme(op, 60, 5);
+  SolverOptions opt;
+  opt.max_iterations = 5000;
+  opt.rel_tolerance = 1e-8;
+  std::vector<value_t> xc(b.size(), 0.0), xj(b.size(), 0.0);
+  const auto rc = chebyshev(op, b, xc, 0.95 * spec.lambda_min,
+                            1.05 * spec.lambda_max, opt, 1);
+  const auto rj = jacobi(a, b, xj, 1.0, opt);
+  ASSERT_TRUE(rc.converged);
+  ASSERT_TRUE(rj.converged);
+  // Chebyshev needs O(sqrt(kappa)) iterations vs Jacobi's O(kappa).
+  EXPECT_LT(rc.iterations * 4, rj.iterations);
+}
+
+TEST(Chebyshev, ValidatesBounds) {
+  const CsrMatrix a = gen::diagonal(4, 2.0);
+  const auto op = LinearOperator::from_csr(a);
+  std::vector<value_t> b(4, 1.0), x(4, 0.0);
+  EXPECT_THROW((void)chebyshev(op, b, x, -1.0, 2.0), std::invalid_argument);
+  EXPECT_THROW((void)chebyshev(op, b, x, 2.0, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)chebyshev(op, b, x, 1.0, 3.0, {}, 0),
+               std::invalid_argument);
+}
+
+TEST(Stationary, ZeroRhs) {
+  const CsrMatrix a = gen::stencil_2d_5pt(5, 5);
+  std::vector<value_t> b(25, 0.0), x(25, 9.0);
+  EXPECT_TRUE(jacobi(a, b, x).converged);
+  for (value_t v : x) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(Stationary, NonConvergenceReported) {
+  // Not diagonally dominant and spectral radius > 1 for Jacobi.
+  CooMatrix coo(2, 2);
+  coo.add(0, 0, 1.0);
+  coo.add(0, 1, 3.0);
+  coo.add(1, 0, 3.0);
+  coo.add(1, 1, 1.0);
+  coo.compress();
+  const CsrMatrix a = CsrMatrix::from_coo(coo);
+  std::vector<value_t> b(2, 1.0), x(2, 0.0);
+  SolverOptions opt;
+  opt.max_iterations = 30;
+  const auto r = jacobi(a, b, x, 1.0, opt);
+  EXPECT_FALSE(r.converged);
+  EXPECT_EQ(r.iterations, 30);
+}
+
+}  // namespace
+}  // namespace spmvopt::solvers

@@ -1,0 +1,111 @@
+#include "support/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace spmvopt {
+namespace {
+
+TEST(Stats, ArithmeticMean) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(arithmetic_mean(xs), 2.5);
+}
+
+TEST(Stats, ArithmeticMeanSingle) {
+  const std::vector<double> xs{7.0};
+  EXPECT_DOUBLE_EQ(arithmetic_mean(xs), 7.0);
+}
+
+TEST(Stats, HarmonicMeanKnownValue) {
+  // H(1, 2, 4) = 3 / (1 + 0.5 + 0.25) = 12/7.
+  const std::vector<double> xs{1.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(harmonic_mean(xs), 12.0 / 7.0);
+}
+
+TEST(Stats, HarmonicMeanOfEqualValuesIsThatValue) {
+  const std::vector<double> xs{3.5, 3.5, 3.5};
+  EXPECT_DOUBLE_EQ(harmonic_mean(xs), 3.5);
+}
+
+TEST(Stats, HarmonicLeqGeometricLeqArithmetic) {
+  const std::vector<double> xs{1.0, 5.0, 9.0, 2.0};
+  EXPECT_LE(harmonic_mean(xs), geometric_mean(xs) + 1e-12);
+  EXPECT_LE(geometric_mean(xs), arithmetic_mean(xs) + 1e-12);
+}
+
+TEST(Stats, HarmonicMeanRejectsNonpositive) {
+  const std::vector<double> xs{1.0, 0.0};
+  EXPECT_THROW((void)harmonic_mean(xs), std::invalid_argument);
+}
+
+TEST(Stats, GeometricMeanKnownValue) {
+  const std::vector<double> xs{2.0, 8.0};
+  EXPECT_NEAR(geometric_mean(xs), 4.0, 1e-12);
+}
+
+TEST(Stats, StddevPopulation) {
+  // Population sd of {2, 4, 4, 4, 5, 5, 7, 9} is 2.
+  const std::vector<double> xs{2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_DOUBLE_EQ(stddev(xs), 2.0);
+}
+
+TEST(Stats, StddevOfConstantIsZero) {
+  const std::vector<double> xs{5.0, 5.0, 5.0};
+  EXPECT_DOUBLE_EQ(stddev(xs), 0.0);
+}
+
+TEST(Stats, MedianOdd) {
+  const std::vector<double> xs{9.0, 1.0, 5.0};
+  EXPECT_DOUBLE_EQ(median(xs), 5.0);
+}
+
+TEST(Stats, MedianEven) {
+  const std::vector<double> xs{4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(median(xs), 2.5);
+}
+
+TEST(Stats, MedianIgnoresOutliers) {
+  // The reason P_IMB uses the median (§III-B).
+  const std::vector<double> xs{1.0, 1.0, 1.0, 1.0, 1000.0};
+  EXPECT_DOUBLE_EQ(median(xs), 1.0);
+}
+
+TEST(Stats, MedianDoesNotMutateInput) {
+  const std::vector<double> xs{3.0, 1.0, 2.0};
+  const std::vector<double> copy = xs;
+  (void)median(xs);
+  EXPECT_EQ(xs, copy);
+}
+
+TEST(Stats, MinMax) {
+  const std::vector<double> xs{3.0, -1.0, 7.0};
+  EXPECT_DOUBLE_EQ(min_of(xs), -1.0);
+  EXPECT_DOUBLE_EQ(max_of(xs), 7.0);
+}
+
+TEST(Stats, EmptyInputsThrow) {
+  const std::vector<double> empty;
+  EXPECT_THROW((void)arithmetic_mean(empty), std::invalid_argument);
+  EXPECT_THROW((void)harmonic_mean(empty), std::invalid_argument);
+  EXPECT_THROW((void)median(empty), std::invalid_argument);
+  EXPECT_THROW((void)min_of(empty), std::invalid_argument);
+}
+
+TEST(Stats, SummarizeRatesHarmonicMean) {
+  // Two runs at 1 Gflop/s and 2 Gflop/s for flops=1e9: sec/op = 1.0, 0.5.
+  const std::vector<double> sec{1.0, 0.5};
+  const RateSummary s = summarize_rates(sec, 1e9);
+  EXPECT_NEAR(s.gflops, harmonic_mean(std::vector<double>{1.0, 2.0}), 1e-12);
+  EXPECT_NEAR(s.best_gflops, 2.0, 1e-12);
+  EXPECT_NEAR(s.seconds_per_op, 1e9 / (s.gflops * 1e9), 1e-12);
+}
+
+TEST(Stats, SummarizeRatesRejectsNonpositiveTime) {
+  const std::vector<double> sec{1.0, -0.5};
+  EXPECT_THROW((void)summarize_rates(sec, 1e9), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace spmvopt

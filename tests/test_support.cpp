@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <sstream>
+
+#include "support/aligned.hpp"
+#include "support/cpu_info.hpp"
+#include "support/partition.hpp"
+#include "support/rng.hpp"
+#include "support/table.hpp"
+#include "support/timing.hpp"
+
+namespace spmvopt {
+namespace {
+
+TEST(Aligned, VectorDataIsCacheLineAligned) {
+  for (std::size_t n : {1u, 3u, 17u, 1000u}) {
+    aligned_vector<double> v(n, 1.0);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(v.data()) % kAlign, 0u);
+    aligned_vector<std::int32_t> w(n, 1);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(w.data()) % kAlign, 0u);
+  }
+}
+
+TEST(Aligned, VectorBehavesLikeVector) {
+  aligned_vector<int> v;
+  for (int i = 0; i < 100; ++i) v.push_back(i);
+  EXPECT_EQ(v.size(), 100u);
+  EXPECT_EQ(v[42], 42);
+}
+
+TEST(Rng, Deterministic) {
+  Xoshiro256 a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Xoshiro256 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a() == b()) ++same;
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, BoundedStaysInBound) {
+  Xoshiro256 rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 10000; ++i) {
+    const std::uint64_t v = rng.bounded(17);
+    EXPECT_LT(v, 17u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 17u);  // all residues hit over 10k draws
+}
+
+TEST(Rng, BoundedZeroIsZero) {
+  Xoshiro256 rng(1);
+  EXPECT_EQ(rng.bounded(0), 0u);
+}
+
+TEST(Partition, BalancedNnzCoversAllRowsInOrder) {
+  // rowptr for 6 rows with lengths {10, 1, 1, 1, 1, 10}.
+  const aligned_vector<index_t> rowptr{0, 10, 11, 12, 13, 14, 24};
+  const RowPartition p = balanced_nnz_partition(rowptr.data(), 6, 3);
+  ASSERT_EQ(p.nthreads(), 3);
+  EXPECT_EQ(p.bounds.front(), 0);
+  EXPECT_EQ(p.bounds.back(), 6);
+  for (std::size_t i = 1; i < p.bounds.size(); ++i)
+    EXPECT_LE(p.bounds[i - 1], p.bounds[i]);
+}
+
+TEST(Partition, BalancedNnzBalancesLoad) {
+  // 100 rows of 1 nnz each, 4 threads: each thread should get ~25 rows.
+  aligned_vector<index_t> rowptr(101);
+  for (index_t i = 0; i <= 100; ++i) rowptr[static_cast<std::size_t>(i)] = i;
+  const RowPartition p = balanced_nnz_partition(rowptr.data(), 100, 4);
+  for (int t = 0; t < 4; ++t) {
+    const index_t rows = p.bounds[static_cast<std::size_t>(t) + 1] -
+                         p.bounds[static_cast<std::size_t>(t)];
+    EXPECT_EQ(rows, 25);
+  }
+}
+
+TEST(Partition, OneGiantRowGoesToOneThread) {
+  // Row 0 has 1000 nnz, rows 1..9 have 1 each: thread 0 should own just the
+  // giant row (static partitions cannot split rows — the IMB motivation).
+  aligned_vector<index_t> rowptr{0, 1000, 1001, 1002, 1003, 1004,
+                                 1005, 1006, 1007, 1008, 1009};
+  const RowPartition p = balanced_nnz_partition(rowptr.data(), 10, 2);
+  EXPECT_EQ(p.bounds[1], 1);
+}
+
+TEST(Partition, MoreThreadsThanRows) {
+  const aligned_vector<index_t> rowptr{0, 1, 2};
+  const RowPartition p = balanced_nnz_partition(rowptr.data(), 2, 8);
+  EXPECT_EQ(p.nthreads(), 8);
+  EXPECT_EQ(p.bounds.back(), 2);
+  for (std::size_t i = 1; i < p.bounds.size(); ++i)
+    EXPECT_LE(p.bounds[i - 1], p.bounds[i]);
+}
+
+TEST(Partition, EmptyMatrix) {
+  const aligned_vector<index_t> rowptr{0};
+  const RowPartition p = balanced_nnz_partition(rowptr.data(), 0, 4);
+  EXPECT_EQ(p.bounds.back(), 0);
+}
+
+TEST(Partition, StaticRowsEqualCounts) {
+  const RowPartition p = static_rows_partition(10, 3);
+  EXPECT_EQ(p.bounds[0], 0);
+  EXPECT_EQ(p.bounds[1], 4);  // 10 = 4 + 3 + 3
+  EXPECT_EQ(p.bounds[2], 7);
+  EXPECT_EQ(p.bounds[3], 10);
+}
+
+TEST(Partition, RejectsBadArgs) {
+  const aligned_vector<index_t> rowptr{0};
+  EXPECT_THROW((void)balanced_nnz_partition(rowptr.data(), 0, 0),
+               std::invalid_argument);
+  EXPECT_THROW((void)static_rows_partition(-1, 2), std::invalid_argument);
+}
+
+TEST(Timing, TimerMeasuresElapsed) {
+  Timer t;
+  volatile double x = 0;
+  for (int i = 0; i < 100000; ++i) x = x + 1.0;
+  EXPECT_GT(t.elapsed_sec(), 0.0);
+}
+
+TEST(Timing, AccumulatorSumsSections) {
+  Accumulator acc;
+  acc.add(1.5);
+  acc.add(0.5);
+  EXPECT_DOUBLE_EQ(acc.total_sec(), 2.0);
+  acc.reset();
+  EXPECT_DOUBLE_EQ(acc.total_sec(), 0.0);
+}
+
+TEST(CpuInfo, SaneValues) {
+  const CpuInfo& info = cpu_info();
+  EXPECT_GE(info.cache_line_bytes, 32u);
+  EXPECT_GE(info.llc_bytes, info.l1d_bytes);
+  EXPECT_GE(info.logical_cpus, 1);
+  EXPECT_EQ(info.doubles_per_line(), info.cache_line_bytes / sizeof(double));
+}
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"name", "gflops"});
+  t.add_row({"poisson", Table::num(1.2345, 2)});
+  t.add_row({"x", "10.00"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("poisson"), std::string::npos);
+  EXPECT_NE(s.find("1.23"), std::string::npos);
+  EXPECT_NE(s.find("-----"), std::string::npos);
+}
+
+TEST(Table, RejectsArityMismatch) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace spmvopt

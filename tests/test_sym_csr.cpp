@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gen/generators.hpp"
+#include "support/rng.hpp"
+#include "sparse/sym_csr.hpp"
+
+namespace spmvopt {
+namespace {
+
+void expect_matches_full(const CsrMatrix& full, const SymCsrMatrix& sym) {
+  const std::vector<value_t> x = gen::test_vector(full.ncols());
+  std::vector<value_t> expected(static_cast<std::size_t>(full.nrows()));
+  full.multiply(x, expected);
+  std::vector<value_t> y(static_cast<std::size_t>(full.nrows()), std::nan(""));
+  sym.multiply(x.data(), y.data());
+  for (std::size_t i = 0; i < y.size(); ++i)
+    ASSERT_NEAR(y[i], expected[i], 1e-9 * std::max(1.0, std::abs(expected[i])));
+  for (int threads : {1, 2, 5}) {
+    std::fill(y.begin(), y.end(), std::nan(""));
+    kernels::spmv_sym(sym, x.data(), y.data(), threads);
+    for (std::size_t i = 0; i < y.size(); ++i)
+      ASSERT_NEAR(y[i], expected[i], 1e-9 * std::max(1.0, std::abs(expected[i])))
+          << threads << " threads";
+  }
+}
+
+TEST(SymCsr, MatchesFullOnStencils) {
+  for (const CsrMatrix& a :
+       {gen::stencil_2d_5pt(17, 23), gen::stencil_3d_7pt(7, 8, 9),
+        gen::stencil_3d_27pt(5, 6, 7)}) {
+    expect_matches_full(a, SymCsrMatrix::from_symmetric_csr(a));
+  }
+}
+
+TEST(SymCsr, MatchesFullOnSymmetrizedRandom) {
+  // Symmetrize a random pattern: B = A + A^T.
+  CooMatrix coo(400, 400);
+  Xoshiro256 rng(9);
+  for (int k = 0; k < 2500; ++k)
+    coo.add_symmetric(static_cast<index_t>(rng.bounded(400)),
+                      static_cast<index_t>(rng.bounded(400)),
+                      rng.uniform(0.1, 1.0));
+  coo.compress();
+  const CsrMatrix a = CsrMatrix::from_coo(coo);
+  expect_matches_full(a, SymCsrMatrix::from_symmetric_csr(a));
+}
+
+TEST(SymCsr, HalvesFormatBytes) {
+  const CsrMatrix a = gen::stencil_3d_7pt(12, 12, 12);
+  const SymCsrMatrix sym = SymCsrMatrix::from_symmetric_csr(a);
+  // Lower triangle + diagonal is just over half the full storage.
+  EXPECT_LT(sym.format_bytes(), 0.62 * a.format_bytes());
+  EXPECT_EQ(sym.full_nnz(), a.nnz());
+}
+
+TEST(SymCsr, RoundTripsToFull) {
+  const CsrMatrix a = gen::stencil_2d_5pt(11, 13);
+  const SymCsrMatrix sym = SymCsrMatrix::from_symmetric_csr(a);
+  EXPECT_TRUE(sym.to_full().equals(a));
+}
+
+TEST(SymCsr, RejectsNonSymmetric) {
+  CooMatrix coo(3, 3);
+  coo.add(0, 1, 1.0);  // no mirrored entry
+  coo.add(0, 0, 1.0);
+  coo.compress();
+  EXPECT_THROW(
+      (void)SymCsrMatrix::from_symmetric_csr(CsrMatrix::from_coo(coo)),
+      std::invalid_argument);
+}
+
+TEST(SymCsr, RejectsRectangular) {
+  CooMatrix coo(2, 3);
+  coo.add(0, 0, 1.0);
+  coo.compress();
+  EXPECT_THROW(
+      (void)SymCsrMatrix::from_symmetric_csr(CsrMatrix::from_coo(coo)),
+      std::invalid_argument);
+}
+
+TEST(SymCsr, ToleranceAllowsNearSymmetry) {
+  CooMatrix coo(2, 2);
+  coo.add(0, 1, 1.0);
+  coo.add(1, 0, 1.0 + 1e-12);
+  coo.add(0, 0, 1.0);
+  coo.add(1, 1, 1.0);
+  coo.compress();
+  const CsrMatrix a = CsrMatrix::from_coo(coo);
+  EXPECT_THROW((void)SymCsrMatrix::from_symmetric_csr(a, 0.0),
+               std::invalid_argument);
+  EXPECT_NO_THROW((void)SymCsrMatrix::from_symmetric_csr(a, 1e-9));
+}
+
+TEST(SymCsr, DiagonalOnlyMatrix) {
+  const CsrMatrix a = gen::diagonal(50, 3.0);
+  const SymCsrMatrix sym = SymCsrMatrix::from_symmetric_csr(a);
+  expect_matches_full(a, sym);
+}
+
+}  // namespace
+}  // namespace spmvopt

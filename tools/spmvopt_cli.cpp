@@ -1,0 +1,235 @@
+// spmvopt command-line tool.
+//
+//   spmvopt_cli inspect  <matrix>                 features + bounds + classes
+//   spmvopt_cli convert  <in> <out>               .mtx <-> .csrbin by extension
+//   spmvopt_cli generate <family> <out> [N]       write a synthetic matrix
+//   spmvopt_cli train    <model-out> [pool-size]  train + save feature model
+//   spmvopt_cli optimize <matrix> [model]         pick a plan, report speedup
+//   spmvopt_cli bench    <matrix>                 measure every plan (oracle view)
+//
+// <matrix> is a path ending in .mtx or .csrbin, or suite:NAME for a matrix
+// of the paper's evaluation suite (e.g. suite:poisson3Db).
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "classify/feature_classifier.hpp"
+#include "classify/profile_classifier.hpp"
+#include "features/features.hpp"
+#include "gen/generators.hpp"
+#include "gen/suite.hpp"
+#include "optimize/optimizers.hpp"
+#include "sparse/binary_io.hpp"
+#include "sparse/mmio.hpp"
+#include "support/cpu_info.hpp"
+#include "support/table.hpp"
+#include "support/timing.hpp"
+
+namespace {
+
+using namespace spmvopt;
+
+bool ends_with(const std::string& s, const char* suffix) {
+  const std::size_t n = std::strlen(suffix);
+  return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+CsrMatrix load_matrix(const std::string& spec) {
+  if (spec.rfind("suite:", 0) == 0) {
+    const std::string name = spec.substr(6);
+    for (const auto& e : gen::evaluation_suite(0.5))
+      if (e.name == name) return e.make();
+    throw std::runtime_error("unknown suite matrix '" + name +
+                             "' (see bench_fig1 output for names)");
+  }
+  if (ends_with(spec, ".csrbin")) return read_csr_binary_file(spec);
+  if (ends_with(spec, ".mtx"))
+    return CsrMatrix::from_coo(read_matrix_market_file(spec));
+  throw std::runtime_error("matrix spec must be *.mtx, *.csrbin or suite:NAME");
+}
+
+void save_matrix(const std::string& path, const CsrMatrix& a) {
+  if (ends_with(path, ".csrbin")) {
+    write_csr_binary_file(path, a);
+  } else if (ends_with(path, ".mtx")) {
+    write_matrix_market_file(path, a);
+  } else {
+    throw std::runtime_error("output must end in .mtx or .csrbin");
+  }
+}
+
+perf::MeasureConfig cli_measure() {
+  perf::MeasureConfig m;
+  m.iterations = 24;
+  m.runs = 3;
+  m.warmup = 1;
+  return m;
+}
+
+int cmd_inspect(const std::string& spec) {
+  const CsrMatrix a = load_matrix(spec);
+  std::printf("%s: %d x %d, %d nnz, %.1f nnz/row, %.2f MiB CSR\n\n",
+              spec.c_str(), a.nrows(), a.ncols(), a.nnz(),
+              static_cast<double>(a.nnz()) / a.nrows(),
+              static_cast<double>(a.format_bytes()) / (1 << 20));
+  const auto f = features::extract_features(a);
+  std::printf("features (Table I):\n");
+  for (int i = 0; i < features::kFeatureCount; ++i) {
+    const auto id = static_cast<features::FeatureId>(i);
+    std::printf("  %-15s %.6g\n", features::feature_name(id), f[id]);
+  }
+  perf::BoundsConfig cfg;
+  cfg.measure = cli_measure();
+  const auto r = classify::classify_profile(a, {}, cfg);
+  std::printf("\nbounds (Gflop/s): CSR %.2f | ML %.2f | IMB %.2f | CMP %.2f |"
+              " MB %.2f | peak %.2f\n",
+              r.bounds.p_csr, r.bounds.p_ml, r.bounds.p_imb, r.bounds.p_cmp,
+              r.bounds.p_mb, r.bounds.p_peak);
+  std::printf("classes: %s   plan: %s\n", r.classes.to_string().c_str(),
+              optimize::plan_for_classes(r.classes, a).to_string().c_str());
+  return 0;
+}
+
+int cmd_convert(const std::string& in, const std::string& out) {
+  Timer t;
+  const CsrMatrix a = load_matrix(in);
+  const double load_sec = t.elapsed_sec();
+  t.reset();
+  save_matrix(out, a);
+  std::printf("%s (%d x %d, %d nnz) -> %s  [load %.2fs, save %.2fs]\n",
+              in.c_str(), a.nrows(), a.ncols(), a.nnz(), out.c_str(), load_sec,
+              t.elapsed_sec());
+  return 0;
+}
+
+int cmd_generate(const std::string& family, const std::string& out, index_t n) {
+  CsrMatrix a;
+  if (family == "poisson2d") a = gen::stencil_2d_5pt(n, n);
+  else if (family == "poisson3d") a = gen::stencil_3d_7pt(n, n, n);
+  else if (family == "dense") a = gen::dense(n);
+  else if (family == "banded") a = gen::banded(n * n, 150, 12);
+  else if (family == "random") a = gen::random_uniform(n * n, 8);
+  else if (family == "powerlaw") a = gen::power_law(n * n, 12, 1.8);
+  else if (family == "fewdense") a = gen::few_dense_rows(n * n, 3, 8, n * n / 2);
+  else
+    throw std::runtime_error(
+        "family must be poisson2d|poisson3d|dense|banded|random|powerlaw|fewdense");
+  save_matrix(out, a);
+  std::printf("generated %s (%d x %d, %d nnz) -> %s\n", family.c_str(),
+              a.nrows(), a.ncols(), a.nnz(), out.c_str());
+  return 0;
+}
+
+int cmd_train(const std::string& model_out, int pool_size) {
+  std::printf("labeling %d pool matrices with the profile-guided classifier...\n",
+              pool_size);
+  std::vector<CsrMatrix> pool;
+  for (const auto& e : gen::training_pool(pool_size)) pool.push_back(e.make());
+  perf::BoundsConfig cfg;
+  cfg.measure.iterations = 12;
+  cfg.measure.runs = 2;
+  cfg.measure.warmup = 1;
+  Timer t;
+  const auto trained = classify::train_from_pool(pool, features::onnz_feature_set(),
+                                                 {}, cfg);
+  std::ofstream out(model_out);
+  if (!out) throw std::runtime_error("cannot open '" + model_out + "'");
+  trained.classifier.save(out);
+  std::printf("trained in %.1fs; tree: %zu nodes, depth %d -> %s\n",
+              t.elapsed_sec(), trained.classifier.tree().node_count(),
+              trained.classifier.tree().depth(), model_out.c_str());
+  return 0;
+}
+
+int cmd_optimize(const std::string& spec, const std::string& model_path) {
+  const CsrMatrix a = load_matrix(spec);
+  (void)perf::bandwidth_profile();  // one-time host probe, not charged
+  optimize::OptimizerConfig cfg;
+  cfg.measure = cli_measure();
+
+  optimize::OptimizeOutcome out;
+  if (model_path.empty()) {
+    out = optimize::optimize_profile(a, cfg);
+    std::printf("profile-guided: ");
+  } else {
+    std::ifstream in(model_path);
+    if (!in) throw std::runtime_error("cannot open model '" + model_path + "'");
+    const auto clf = classify::FeatureClassifier::load(in);
+    out = optimize::optimize_feature(a, clf, cfg);
+    std::printf("feature-guided: ");
+  }
+  std::printf("classes %s, plan %s, t_pre %.1f ms\n",
+              out.classes.to_string().c_str(), out.plan.to_string().c_str(),
+              out.preprocess_seconds * 1e3);
+
+  const auto baseline = optimize::OptimizedSpmv::create(a, optimize::Plan{});
+  const double base = optimize::measure_spmv_gflops(baseline, a, cfg.measure);
+  const double opt = optimize::measure_spmv_gflops(out.spmv, a, cfg.measure);
+  std::printf("baseline %.2f Gflop/s -> optimized %.2f Gflop/s (%.2fx)\n", base,
+              opt, opt / base);
+  return 0;
+}
+
+int cmd_bench(const std::string& spec) {
+  const CsrMatrix a = load_matrix(spec);
+  const auto m = cli_measure();
+  struct Row {
+    std::string plan;
+    double gflops;
+    double pre_ms;
+  };
+  std::vector<Row> rows;
+  for (const auto& plan : optimize::enumerate_plans(a)) {
+    const auto spmv = optimize::OptimizedSpmv::create(a, plan);
+    rows.push_back({spmv.plan().to_string(),
+                    optimize::measure_spmv_gflops(spmv, a, m),
+                    spmv.preprocessing_seconds() * 1e3});
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const Row& x, const Row& y) { return x.gflops > y.gflops; });
+  Table t({"plan", "gflops", "prep_ms"});
+  for (const Row& r : rows)
+    t.add_row({r.plan, Table::num(r.gflops, 2), Table::num(r.pre_ms, 2)});
+  t.print(std::cout);
+  return 0;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  spmvopt_cli inspect  <matrix>\n"
+               "  spmvopt_cli convert  <in> <out>\n"
+               "  spmvopt_cli generate <family> <out> [n]\n"
+               "  spmvopt_cli train    <model-out> [pool-size]\n"
+               "  spmvopt_cli optimize <matrix> [model]\n"
+               "  spmvopt_cli bench    <matrix>\n"
+               "<matrix>: *.mtx | *.csrbin | suite:NAME\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "inspect" && argc == 3) return cmd_inspect(argv[2]);
+    if (cmd == "convert" && argc == 4) return cmd_convert(argv[2], argv[3]);
+    if (cmd == "generate" && (argc == 4 || argc == 5))
+      return cmd_generate(argv[2], argv[3],
+                          argc == 5 ? std::atoi(argv[4]) : 64);
+    if (cmd == "train" && (argc == 3 || argc == 4))
+      return cmd_train(argv[2], argc == 4 ? std::atoi(argv[3]) : 120);
+    if (cmd == "optimize" && (argc == 3 || argc == 4))
+      return cmd_optimize(argv[2], argc == 4 ? argv[3] : "");
+    if (cmd == "bench" && argc == 3) return cmd_bench(argv[2]);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}
