@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_gridsearch.dir/bench_gridsearch.cpp.o"
+  "CMakeFiles/bench_gridsearch.dir/bench_gridsearch.cpp.o.d"
+  "bench_gridsearch"
+  "bench_gridsearch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_gridsearch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inspect_matrix.dir/inspect_matrix.cpp.o"
+  "CMakeFiles/inspect_matrix.dir/inspect_matrix.cpp.o.d"
+  "inspect_matrix"
+  "inspect_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inspect_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("sparse")
+subdirs("gen")
+subdirs("kernels")
+subdirs("perf")
+subdirs("features")
+subdirs("ml")
+subdirs("classify")
+subdirs("optimize")
+subdirs("mklcompat")
+subdirs("solvers")

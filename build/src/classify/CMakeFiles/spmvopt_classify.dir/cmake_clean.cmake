@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spmvopt_classify.dir/classes.cpp.o"
+  "CMakeFiles/spmvopt_classify.dir/classes.cpp.o.d"
+  "CMakeFiles/spmvopt_classify.dir/feature_classifier.cpp.o"
+  "CMakeFiles/spmvopt_classify.dir/feature_classifier.cpp.o.d"
+  "CMakeFiles/spmvopt_classify.dir/profile_classifier.cpp.o"
+  "CMakeFiles/spmvopt_classify.dir/profile_classifier.cpp.o.d"
+  "libspmvopt_classify.a"
+  "libspmvopt_classify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spmvopt_classify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spmvopt_features.dir/features.cpp.o"
+  "CMakeFiles/spmvopt_features.dir/features.cpp.o.d"
+  "libspmvopt_features.a"
+  "libspmvopt_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spmvopt_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spmvopt_gen.dir/generators.cpp.o"
+  "CMakeFiles/spmvopt_gen.dir/generators.cpp.o.d"
+  "CMakeFiles/spmvopt_gen.dir/suite.cpp.o"
+  "CMakeFiles/spmvopt_gen.dir/suite.cpp.o.d"
+  "libspmvopt_gen.a"
+  "libspmvopt_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spmvopt_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

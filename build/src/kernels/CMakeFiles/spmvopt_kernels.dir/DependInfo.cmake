@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernels/bcsr_kernels.cpp" "src/kernels/CMakeFiles/spmvopt_kernels.dir/bcsr_kernels.cpp.o" "gcc" "src/kernels/CMakeFiles/spmvopt_kernels.dir/bcsr_kernels.cpp.o.d"
+  "/root/repo/src/kernels/compose.cpp" "src/kernels/CMakeFiles/spmvopt_kernels.dir/compose.cpp.o" "gcc" "src/kernels/CMakeFiles/spmvopt_kernels.dir/compose.cpp.o.d"
+  "/root/repo/src/kernels/sell_kernels.cpp" "src/kernels/CMakeFiles/spmvopt_kernels.dir/sell_kernels.cpp.o" "gcc" "src/kernels/CMakeFiles/spmvopt_kernels.dir/sell_kernels.cpp.o.d"
+  "/root/repo/src/kernels/spmm.cpp" "src/kernels/CMakeFiles/spmvopt_kernels.dir/spmm.cpp.o" "gcc" "src/kernels/CMakeFiles/spmvopt_kernels.dir/spmm.cpp.o.d"
+  "/root/repo/src/kernels/spmv.cpp" "src/kernels/CMakeFiles/spmvopt_kernels.dir/spmv.cpp.o" "gcc" "src/kernels/CMakeFiles/spmvopt_kernels.dir/spmv.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sparse/CMakeFiles/spmvopt_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/spmvopt_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spmvopt_kernels.dir/bcsr_kernels.cpp.o"
+  "CMakeFiles/spmvopt_kernels.dir/bcsr_kernels.cpp.o.d"
+  "CMakeFiles/spmvopt_kernels.dir/compose.cpp.o"
+  "CMakeFiles/spmvopt_kernels.dir/compose.cpp.o.d"
+  "CMakeFiles/spmvopt_kernels.dir/sell_kernels.cpp.o"
+  "CMakeFiles/spmvopt_kernels.dir/sell_kernels.cpp.o.d"
+  "CMakeFiles/spmvopt_kernels.dir/spmm.cpp.o"
+  "CMakeFiles/spmvopt_kernels.dir/spmm.cpp.o.d"
+  "CMakeFiles/spmvopt_kernels.dir/spmv.cpp.o"
+  "CMakeFiles/spmvopt_kernels.dir/spmv.cpp.o.d"
+  "libspmvopt_kernels.a"
+  "libspmvopt_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spmvopt_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spmvopt_mklcompat.dir/inspector_executor.cpp.o"
+  "CMakeFiles/spmvopt_mklcompat.dir/inspector_executor.cpp.o.d"
+  "CMakeFiles/spmvopt_mklcompat.dir/ref_csr.cpp.o"
+  "CMakeFiles/spmvopt_mklcompat.dir/ref_csr.cpp.o.d"
+  "libspmvopt_mklcompat.a"
+  "libspmvopt_mklcompat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spmvopt_mklcompat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spmvopt_ml.dir/cross_validation.cpp.o"
+  "CMakeFiles/spmvopt_ml.dir/cross_validation.cpp.o.d"
+  "CMakeFiles/spmvopt_ml.dir/decision_tree.cpp.o"
+  "CMakeFiles/spmvopt_ml.dir/decision_tree.cpp.o.d"
+  "CMakeFiles/spmvopt_ml.dir/metrics.cpp.o"
+  "CMakeFiles/spmvopt_ml.dir/metrics.cpp.o.d"
+  "CMakeFiles/spmvopt_ml.dir/search.cpp.o"
+  "CMakeFiles/spmvopt_ml.dir/search.cpp.o.d"
+  "libspmvopt_ml.a"
+  "libspmvopt_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spmvopt_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spmvopt_optimize.dir/optimized_spmv.cpp.o"
+  "CMakeFiles/spmvopt_optimize.dir/optimized_spmv.cpp.o.d"
+  "CMakeFiles/spmvopt_optimize.dir/optimizers.cpp.o"
+  "CMakeFiles/spmvopt_optimize.dir/optimizers.cpp.o.d"
+  "CMakeFiles/spmvopt_optimize.dir/plan.cpp.o"
+  "CMakeFiles/spmvopt_optimize.dir/plan.cpp.o.d"
+  "libspmvopt_optimize.a"
+  "libspmvopt_optimize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spmvopt_optimize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/perf/bounds.cpp" "src/perf/CMakeFiles/spmvopt_perf.dir/bounds.cpp.o" "gcc" "src/perf/CMakeFiles/spmvopt_perf.dir/bounds.cpp.o.d"
+  "/root/repo/src/perf/measure.cpp" "src/perf/CMakeFiles/spmvopt_perf.dir/measure.cpp.o" "gcc" "src/perf/CMakeFiles/spmvopt_perf.dir/measure.cpp.o.d"
+  "/root/repo/src/perf/partitioned_ml.cpp" "src/perf/CMakeFiles/spmvopt_perf.dir/partitioned_ml.cpp.o" "gcc" "src/perf/CMakeFiles/spmvopt_perf.dir/partitioned_ml.cpp.o.d"
+  "/root/repo/src/perf/roofline.cpp" "src/perf/CMakeFiles/spmvopt_perf.dir/roofline.cpp.o" "gcc" "src/perf/CMakeFiles/spmvopt_perf.dir/roofline.cpp.o.d"
+  "/root/repo/src/perf/stream.cpp" "src/perf/CMakeFiles/spmvopt_perf.dir/stream.cpp.o" "gcc" "src/perf/CMakeFiles/spmvopt_perf.dir/stream.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kernels/CMakeFiles/spmvopt_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/spmvopt_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparse/CMakeFiles/spmvopt_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/spmvopt_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spmvopt_perf.dir/bounds.cpp.o"
+  "CMakeFiles/spmvopt_perf.dir/bounds.cpp.o.d"
+  "CMakeFiles/spmvopt_perf.dir/measure.cpp.o"
+  "CMakeFiles/spmvopt_perf.dir/measure.cpp.o.d"
+  "CMakeFiles/spmvopt_perf.dir/partitioned_ml.cpp.o"
+  "CMakeFiles/spmvopt_perf.dir/partitioned_ml.cpp.o.d"
+  "CMakeFiles/spmvopt_perf.dir/roofline.cpp.o"
+  "CMakeFiles/spmvopt_perf.dir/roofline.cpp.o.d"
+  "CMakeFiles/spmvopt_perf.dir/stream.cpp.o"
+  "CMakeFiles/spmvopt_perf.dir/stream.cpp.o.d"
+  "libspmvopt_perf.a"
+  "libspmvopt_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spmvopt_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

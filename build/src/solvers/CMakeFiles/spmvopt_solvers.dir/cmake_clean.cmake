@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spmvopt_solvers.dir/blas1.cpp.o"
+  "CMakeFiles/spmvopt_solvers.dir/blas1.cpp.o.d"
+  "CMakeFiles/spmvopt_solvers.dir/eigen.cpp.o"
+  "CMakeFiles/spmvopt_solvers.dir/eigen.cpp.o.d"
+  "CMakeFiles/spmvopt_solvers.dir/krylov.cpp.o"
+  "CMakeFiles/spmvopt_solvers.dir/krylov.cpp.o.d"
+  "CMakeFiles/spmvopt_solvers.dir/operator.cpp.o"
+  "CMakeFiles/spmvopt_solvers.dir/operator.cpp.o.d"
+  "CMakeFiles/spmvopt_solvers.dir/pagerank.cpp.o"
+  "CMakeFiles/spmvopt_solvers.dir/pagerank.cpp.o.d"
+  "CMakeFiles/spmvopt_solvers.dir/preconditioner.cpp.o"
+  "CMakeFiles/spmvopt_solvers.dir/preconditioner.cpp.o.d"
+  "CMakeFiles/spmvopt_solvers.dir/stationary.cpp.o"
+  "CMakeFiles/spmvopt_solvers.dir/stationary.cpp.o.d"
+  "libspmvopt_solvers.a"
+  "libspmvopt_solvers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spmvopt_solvers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

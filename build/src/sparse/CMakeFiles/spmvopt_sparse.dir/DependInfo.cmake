@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sparse/bcsr.cpp" "src/sparse/CMakeFiles/spmvopt_sparse.dir/bcsr.cpp.o" "gcc" "src/sparse/CMakeFiles/spmvopt_sparse.dir/bcsr.cpp.o.d"
+  "/root/repo/src/sparse/binary_io.cpp" "src/sparse/CMakeFiles/spmvopt_sparse.dir/binary_io.cpp.o" "gcc" "src/sparse/CMakeFiles/spmvopt_sparse.dir/binary_io.cpp.o.d"
+  "/root/repo/src/sparse/coo.cpp" "src/sparse/CMakeFiles/spmvopt_sparse.dir/coo.cpp.o" "gcc" "src/sparse/CMakeFiles/spmvopt_sparse.dir/coo.cpp.o.d"
+  "/root/repo/src/sparse/csr.cpp" "src/sparse/CMakeFiles/spmvopt_sparse.dir/csr.cpp.o" "gcc" "src/sparse/CMakeFiles/spmvopt_sparse.dir/csr.cpp.o.d"
+  "/root/repo/src/sparse/delta_csr.cpp" "src/sparse/CMakeFiles/spmvopt_sparse.dir/delta_csr.cpp.o" "gcc" "src/sparse/CMakeFiles/spmvopt_sparse.dir/delta_csr.cpp.o.d"
+  "/root/repo/src/sparse/dense.cpp" "src/sparse/CMakeFiles/spmvopt_sparse.dir/dense.cpp.o" "gcc" "src/sparse/CMakeFiles/spmvopt_sparse.dir/dense.cpp.o.d"
+  "/root/repo/src/sparse/mmio.cpp" "src/sparse/CMakeFiles/spmvopt_sparse.dir/mmio.cpp.o" "gcc" "src/sparse/CMakeFiles/spmvopt_sparse.dir/mmio.cpp.o.d"
+  "/root/repo/src/sparse/reorder.cpp" "src/sparse/CMakeFiles/spmvopt_sparse.dir/reorder.cpp.o" "gcc" "src/sparse/CMakeFiles/spmvopt_sparse.dir/reorder.cpp.o.d"
+  "/root/repo/src/sparse/sell.cpp" "src/sparse/CMakeFiles/spmvopt_sparse.dir/sell.cpp.o" "gcc" "src/sparse/CMakeFiles/spmvopt_sparse.dir/sell.cpp.o.d"
+  "/root/repo/src/sparse/split_csr.cpp" "src/sparse/CMakeFiles/spmvopt_sparse.dir/split_csr.cpp.o" "gcc" "src/sparse/CMakeFiles/spmvopt_sparse.dir/split_csr.cpp.o.d"
+  "/root/repo/src/sparse/sym_csr.cpp" "src/sparse/CMakeFiles/spmvopt_sparse.dir/sym_csr.cpp.o" "gcc" "src/sparse/CMakeFiles/spmvopt_sparse.dir/sym_csr.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/spmvopt_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spmvopt_sparse.dir/bcsr.cpp.o"
+  "CMakeFiles/spmvopt_sparse.dir/bcsr.cpp.o.d"
+  "CMakeFiles/spmvopt_sparse.dir/binary_io.cpp.o"
+  "CMakeFiles/spmvopt_sparse.dir/binary_io.cpp.o.d"
+  "CMakeFiles/spmvopt_sparse.dir/coo.cpp.o"
+  "CMakeFiles/spmvopt_sparse.dir/coo.cpp.o.d"
+  "CMakeFiles/spmvopt_sparse.dir/csr.cpp.o"
+  "CMakeFiles/spmvopt_sparse.dir/csr.cpp.o.d"
+  "CMakeFiles/spmvopt_sparse.dir/delta_csr.cpp.o"
+  "CMakeFiles/spmvopt_sparse.dir/delta_csr.cpp.o.d"
+  "CMakeFiles/spmvopt_sparse.dir/dense.cpp.o"
+  "CMakeFiles/spmvopt_sparse.dir/dense.cpp.o.d"
+  "CMakeFiles/spmvopt_sparse.dir/mmio.cpp.o"
+  "CMakeFiles/spmvopt_sparse.dir/mmio.cpp.o.d"
+  "CMakeFiles/spmvopt_sparse.dir/reorder.cpp.o"
+  "CMakeFiles/spmvopt_sparse.dir/reorder.cpp.o.d"
+  "CMakeFiles/spmvopt_sparse.dir/sell.cpp.o"
+  "CMakeFiles/spmvopt_sparse.dir/sell.cpp.o.d"
+  "CMakeFiles/spmvopt_sparse.dir/split_csr.cpp.o"
+  "CMakeFiles/spmvopt_sparse.dir/split_csr.cpp.o.d"
+  "CMakeFiles/spmvopt_sparse.dir/sym_csr.cpp.o"
+  "CMakeFiles/spmvopt_sparse.dir/sym_csr.cpp.o.d"
+  "libspmvopt_sparse.a"
+  "libspmvopt_sparse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spmvopt_sparse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libspmvopt_sparse.a"
+)

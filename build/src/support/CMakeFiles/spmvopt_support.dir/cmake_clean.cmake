@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spmvopt_support.dir/cpu_info.cpp.o"
+  "CMakeFiles/spmvopt_support.dir/cpu_info.cpp.o.d"
+  "CMakeFiles/spmvopt_support.dir/env.cpp.o"
+  "CMakeFiles/spmvopt_support.dir/env.cpp.o.d"
+  "CMakeFiles/spmvopt_support.dir/partition.cpp.o"
+  "CMakeFiles/spmvopt_support.dir/partition.cpp.o.d"
+  "CMakeFiles/spmvopt_support.dir/stats.cpp.o"
+  "CMakeFiles/spmvopt_support.dir/stats.cpp.o.d"
+  "CMakeFiles/spmvopt_support.dir/table.cpp.o"
+  "CMakeFiles/spmvopt_support.dir/table.cpp.o.d"
+  "CMakeFiles/spmvopt_support.dir/timing.cpp.o"
+  "CMakeFiles/spmvopt_support.dir/timing.cpp.o.d"
+  "libspmvopt_support.a"
+  "libspmvopt_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spmvopt_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

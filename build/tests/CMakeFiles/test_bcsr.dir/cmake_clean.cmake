@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bcsr.dir/test_bcsr.cpp.o"
+  "CMakeFiles/test_bcsr.dir/test_bcsr.cpp.o.d"
+  "test_bcsr"
+  "test_bcsr.pdb"
+  "test_bcsr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bcsr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

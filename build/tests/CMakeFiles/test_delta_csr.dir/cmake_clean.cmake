@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_delta_csr.dir/test_delta_csr.cpp.o"
+  "CMakeFiles/test_delta_csr.dir/test_delta_csr.cpp.o.d"
+  "test_delta_csr"
+  "test_delta_csr.pdb"
+  "test_delta_csr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_delta_csr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

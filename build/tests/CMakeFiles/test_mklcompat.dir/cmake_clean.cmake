@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mklcompat.dir/test_mklcompat.cpp.o"
+  "CMakeFiles/test_mklcompat.dir/test_mklcompat.cpp.o.d"
+  "test_mklcompat"
+  "test_mklcompat.pdb"
+  "test_mklcompat[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mklcompat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

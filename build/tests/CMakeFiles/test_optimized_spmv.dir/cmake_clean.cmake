@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_optimized_spmv.dir/test_optimized_spmv.cpp.o"
+  "CMakeFiles/test_optimized_spmv.dir/test_optimized_spmv.cpp.o.d"
+  "test_optimized_spmv"
+  "test_optimized_spmv.pdb"
+  "test_optimized_spmv[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_optimized_spmv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_partitioned_ml.dir/test_partitioned_ml.cpp.o"
+  "CMakeFiles/test_partitioned_ml.dir/test_partitioned_ml.cpp.o.d"
+  "test_partitioned_ml"
+  "test_partitioned_ml.pdb"
+  "test_partitioned_ml[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_partitioned_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

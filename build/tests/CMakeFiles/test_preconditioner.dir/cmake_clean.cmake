@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_preconditioner.dir/test_preconditioner.cpp.o"
+  "CMakeFiles/test_preconditioner.dir/test_preconditioner.cpp.o.d"
+  "test_preconditioner"
+  "test_preconditioner.pdb"
+  "test_preconditioner[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_preconditioner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sell.dir/test_sell.cpp.o"
+  "CMakeFiles/test_sell.dir/test_sell.cpp.o.d"
+  "test_sell"
+  "test_sell.pdb"
+  "test_sell[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

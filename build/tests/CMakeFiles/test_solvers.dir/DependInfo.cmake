@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_solvers.cpp" "tests/CMakeFiles/test_solvers.dir/test_solvers.cpp.o" "gcc" "tests/CMakeFiles/test_solvers.dir/test_solvers.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mklcompat/CMakeFiles/spmvopt_mklcompat.dir/DependInfo.cmake"
+  "/root/repo/build/src/solvers/CMakeFiles/spmvopt_solvers.dir/DependInfo.cmake"
+  "/root/repo/build/src/optimize/CMakeFiles/spmvopt_optimize.dir/DependInfo.cmake"
+  "/root/repo/build/src/classify/CMakeFiles/spmvopt_classify.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/spmvopt_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/spmvopt_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/spmvopt_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/features/CMakeFiles/spmvopt_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparse/CMakeFiles/spmvopt_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/spmvopt_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/spmvopt_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

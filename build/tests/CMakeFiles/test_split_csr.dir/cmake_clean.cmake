@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_split_csr.dir/test_split_csr.cpp.o"
+  "CMakeFiles/test_split_csr.dir/test_split_csr.cpp.o.d"
+  "test_split_csr"
+  "test_split_csr.pdb"
+  "test_split_csr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_split_csr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

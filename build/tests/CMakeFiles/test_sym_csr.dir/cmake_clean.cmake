@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sym_csr.dir/test_sym_csr.cpp.o"
+  "CMakeFiles/test_sym_csr.dir/test_sym_csr.cpp.o.d"
+  "test_sym_csr"
+  "test_sym_csr.pdb"
+  "test_sym_csr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sym_csr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spmvopt_cli.dir/spmvopt_cli.cpp.o"
+  "CMakeFiles/spmvopt_cli.dir/spmvopt_cli.cpp.o.d"
+  "spmvopt_cli"
+  "spmvopt_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spmvopt_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
