@@ -233,10 +233,13 @@ CsrMatrix make_regular_access_copy(const CsrMatrix& A) {
 void spmv_noindex(const CsrMatrix& A, const RowPartition& part,
                   const value_t* x, value_t* y) noexcept {
   const value_t* vals = A.values();
+  // Clamp like make_regular_access_copy(): rows past the last column read
+  // x[ncols-1], so tall matrices never index x out of bounds.
+  const index_t maxcol = A.ncols() - 1;
   run_partitioned(A, part, y, nullptr,
                   [&](index_t i, index_t lo, index_t hi) noexcept {
-                    return row_sum_noindex<Compute::Scalar>(vals + lo, hi - lo,
-                                                            x[i]);
+                    return row_sum_noindex<Compute::Scalar>(
+                        vals + lo, hi - lo, x[i < maxcol ? i : maxcol]);
                   });
 }
 

@@ -1,0 +1,358 @@
+#include "verify/differential.hpp"
+
+#include <omp.h>
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+
+#include "gen/generators.hpp"
+#include "kernels/bcsr_kernels.hpp"
+#include "kernels/sell_kernels.hpp"
+#include "kernels/spmv.hpp"
+#include "optimize/optimized_spmv.hpp"
+#include "sparse/bcsr.hpp"
+#include "sparse/binary_io.hpp"
+#include "sparse/coo.hpp"
+#include "sparse/delta_csr.hpp"
+#include "sparse/dense.hpp"
+#include "sparse/mmio.hpp"
+#include "sparse/sell.hpp"
+#include "sparse/split_csr.hpp"
+#include "sparse/sym_csr.hpp"
+#include "support/cpu_info.hpp"
+#include "support/partition.hpp"
+
+namespace spmvopt::verify {
+
+namespace {
+
+/// Poisoned scratch: pre-filled with a recognizable NaN so a kernel that
+/// *skips* a row (instead of writing 0) is caught by the comparator.
+std::vector<value_t> poisoned(index_t n) {
+  return std::vector<value_t>(static_cast<std::size_t>(n),
+                              std::numeric_limits<value_t>::quiet_NaN());
+}
+
+/// RAII guard for the global OpenMP thread-count setting used by the
+/// `parallel for` kernels (the partitioned kernels take it per call).
+class OmpThreadsGuard {
+ public:
+  explicit OmpThreadsGuard(int t) : saved_(omp_get_max_threads()) {
+    omp_set_num_threads(t);
+  }
+  ~OmpThreadsGuard() { omp_set_num_threads(saved_); }
+  OmpThreadsGuard(const OmpThreadsGuard&) = delete;
+  OmpThreadsGuard& operator=(const OmpThreadsGuard&) = delete;
+
+ private:
+  int saved_;
+};
+
+class Runner {
+ public:
+  Runner(const CsrMatrix& A, const DiffConfig& config)
+      : A_(A), config_(config) {
+    x_ = config.x.empty() ? gen::test_vector(A.ncols()) : config.x;
+    oracle_ = kahan_reference(A, x_);
+  }
+
+  std::vector<DiffFailure> failures;
+
+  /// Compare `y` (the full y = A*x) against the oracle under this config.
+  void expect(const std::string& variant, std::span<const value_t> y) {
+    const CompareReport r = compare(oracle_, y, config_.policy);
+    if (!r.pass()) failures.push_back({variant, r.to_string()});
+  }
+
+  void expect_true(const std::string& variant, bool ok, const char* what) {
+    if (!ok) failures.push_back({variant, what});
+  }
+
+  const CsrMatrix& A_;
+  const DiffConfig& config_;
+  std::vector<value_t> x_;
+  Oracle oracle_;
+};
+
+std::string tag(const char* name, int threads) {
+  std::ostringstream os;
+  os << "kernel[" << name << "]/t=" << threads;
+  return os.str();
+}
+
+void run_named_kernels(Runner& r, int t) {
+  const CsrMatrix& A = r.A_;
+  const value_t* x = r.x_.data();
+  std::vector<value_t> y = poisoned(A.nrows());
+  const RowPartition part = balanced_nnz_partition(A.rowptr(), A.nrows(), t);
+  OmpThreadsGuard guard(t);
+
+  kernels::spmv_serial(A, x, y.data());
+  r.expect(tag("serial", t), y);
+
+  y = poisoned(A.nrows());
+  kernels::spmv_omp_static(A, x, y.data());
+  r.expect(tag("omp_static", t), y);
+
+  y = poisoned(A.nrows());
+  kernels::spmv_balanced(A, part, x, y.data());
+  r.expect(tag("balanced", t), y);
+
+  for (int chunk : {1, 64}) {
+    y = poisoned(A.nrows());
+    kernels::spmv_omp_dynamic(A, x, y.data(), chunk);
+    r.expect(tag(("omp_dynamic." + std::to_string(chunk)).c_str(), t), y);
+  }
+
+  y = poisoned(A.nrows());
+  kernels::spmv_omp_guided(A, x, y.data());
+  r.expect(tag("omp_guided", t), y);
+
+  y = poisoned(A.nrows());
+  kernels::spmv_omp_auto(A, x, y.data());
+  r.expect(tag("omp_auto", t), y);
+
+  const auto pf_dist = static_cast<index_t>(cpu_info().doubles_per_line());
+  y = poisoned(A.nrows());
+  kernels::spmv_prefetch(A, part, x, y.data(), pf_dist);
+  r.expect(tag("prefetch", t), y);
+
+  y = poisoned(A.nrows());
+  kernels::spmv_vector(A, part, x, y.data());
+  r.expect(tag("vector", t), y);
+
+  y = poisoned(A.nrows());
+  kernels::spmv_unroll_vector(A, part, x, y.data());
+  r.expect(tag("unroll_vector", t), y);
+
+  if (const auto delta = DeltaCsrMatrix::encode(A)) {
+    y = poisoned(A.nrows());
+    kernels::spmv_delta(*delta, part, x, y.data());
+    r.expect(tag("delta", t), y);
+
+    y = poisoned(A.nrows());
+    kernels::spmv_delta_vector(*delta, part, x, y.data());
+    r.expect(tag("delta_vector", t), y);
+  }
+
+  for (index_t threshold : {index_t{2}, index_t{16},
+                            SplitCsrMatrix::default_threshold(A)}) {
+    const SplitCsrMatrix split = SplitCsrMatrix::split(A, threshold);
+    const RowPartition short_part = balanced_nnz_partition(
+        split.short_part().rowptr(), split.short_part().nrows(), t);
+    y = poisoned(A.nrows());
+    kernels::spmv_split(split, short_part, x, y.data());
+    r.expect(tag(("split." + std::to_string(threshold)).c_str(), t), y);
+  }
+
+  if (A.nrows() == A.ncols() && A.is_symmetric()) {
+    const SymCsrMatrix sym = SymCsrMatrix::from_symmetric_csr(A);
+    y = poisoned(A.nrows());
+    kernels::spmv_sym(sym, x, y.data(), t);
+    r.expect(tag("sym", t), y);
+  }
+
+  // noindex computes y = R*x for the regular-access copy R of A (every
+  // column index rewritten to the row index), so it gets its own oracle.
+  {
+    const CsrMatrix regular = kernels::make_regular_access_copy(A);
+    const Oracle reg_oracle = kahan_reference(regular, r.x_);
+    y = poisoned(A.nrows());
+    kernels::spmv_noindex(regular, part, x, y.data());
+    const CompareReport rep = compare(reg_oracle, y, r.config_.policy);
+    if (!rep.pass())
+      r.failures.push_back({tag("noindex", t), rep.to_string()});
+  }
+
+  // transpose computes y = A^T * x' (x' sized nrows); oracle over the
+  // materialized transpose.  Atomic updates make the order nondeterministic,
+  // which the bound arm of the policy absorbs.
+  {
+    CooMatrix coo(A.ncols(), A.nrows());
+    for (index_t i = 0; i < A.nrows(); ++i)
+      for (index_t k = A.rowptr()[i]; k < A.rowptr()[i + 1]; ++k)
+        coo.add(A.colind()[k], i, A.values()[k]);
+    coo.compress();
+    const CsrMatrix at = CsrMatrix::from_coo(coo);
+    const std::vector<value_t> xt = gen::test_vector(A.nrows());
+    const Oracle at_oracle = kahan_reference(at, xt);
+    std::vector<value_t> yt = poisoned(A.ncols());
+    kernels::spmv_transpose(A, xt.data(), yt.data());
+    const CompareReport rep = compare(at_oracle, yt, r.config_.policy);
+    if (!rep.pass())
+      r.failures.push_back({tag("transpose", t), rep.to_string()});
+  }
+}
+
+void run_extension_kernels(Runner& r, int t) {
+  const CsrMatrix& A = r.A_;
+  const value_t* x = r.x_.data();
+  OmpThreadsGuard guard(t);
+
+  for (index_t chunk : {index_t{2}, kernels::sell_native_chunk()}) {
+    for (index_t sigma : {index_t{1}, index_t{64}}) {
+      const SellMatrix s = SellMatrix::from_csr(A, chunk, sigma);
+      std::vector<value_t> y = poisoned(A.nrows());
+      s.multiply(x, y.data());
+      std::ostringstream os;
+      os << "sell." << chunk << "." << sigma;
+      r.expect(tag((os.str() + ".ref").c_str(), t), y);
+      y = poisoned(A.nrows());
+      kernels::spmv_sell(s, x, y.data());
+      r.expect(tag(os.str().c_str(), t), y);
+    }
+  }
+
+  for (auto [br, bc] : {std::pair<index_t, index_t>{2, 2}, {3, 5}, {4, 4}}) {
+    const BcsrMatrix b = BcsrMatrix::from_csr(A, br, bc);
+    std::vector<value_t> y = poisoned(A.nrows());
+    b.multiply(x, y.data());
+    std::ostringstream os;
+    os << "bcsr." << br << "x" << bc;
+    r.expect(tag((os.str() + ".ref").c_str(), t), y);
+    y = poisoned(A.nrows());
+    kernels::spmv_bcsr(b, x, y.data());
+    r.expect(tag(os.str().c_str(), t), y);
+  }
+}
+
+void run_plan_space(Runner& r, int t) {
+  const CsrMatrix& A = r.A_;
+  OmpThreadsGuard guard(t);
+  for (const auto& plan :
+       optimize::enumerate_plans(A, r.config_.include_extensions)) {
+    const auto spmv = optimize::OptimizedSpmv::create(A, plan, t);
+    // Two runs: a kernel that leaves stale state (or races) between calls
+    // must still reproduce the oracle on the second run.
+    for (int round = 0; round < 2; ++round) {
+      std::vector<value_t> y = poisoned(A.nrows());
+      spmv.run(r.x_.data(), y.data());
+      std::ostringstream os;
+      os << "plan[" << plan.to_string() << "]/t=" << t << "/run" << round;
+      r.expect(os.str(), y);
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<int> default_thread_counts() {
+  std::vector<int> t{1, 2, default_threads()};
+  std::sort(t.begin(), t.end());
+  t.erase(std::unique(t.begin(), t.end()), t.end());
+  return t;
+}
+
+std::vector<DiffFailure> run_differential(const CsrMatrix& A,
+                                          const DiffConfig& config) {
+  Runner r(A, config);
+  const std::vector<int> threads =
+      config.thread_counts.empty() ? default_thread_counts()
+                                   : config.thread_counts;
+  for (int t : threads) {
+    run_named_kernels(r, t);
+    if (config.include_extensions) run_extension_kernels(r, t);
+    run_plan_space(r, t);
+  }
+  return std::move(r.failures);
+}
+
+std::vector<DiffFailure> check_conversions(const CsrMatrix& A) {
+  std::vector<DiffFailure> failures;
+  auto expect = [&failures](const std::string& variant, bool ok,
+                            const char* what) {
+    if (!ok) failures.push_back({variant, what});
+  };
+
+  if (const auto d = DeltaCsrMatrix::encode(A)) {
+    expect("roundtrip[delta]", d->decode().equals(A),
+           "decode(encode(A)) != A");
+  } else {
+    expect("roundtrip[delta]", !DeltaCsrMatrix::required_width(A).has_value(),
+           "encode refused but required_width claims encodable");
+  }
+
+  for (index_t threshold : {index_t{2}, index_t{16},
+                            SplitCsrMatrix::default_threshold(A)}) {
+    const SplitCsrMatrix s = SplitCsrMatrix::split(A, threshold);
+    std::ostringstream os;
+    os << "roundtrip[split." << threshold << "]";
+    expect(os.str(), s.nnz() == A.nnz(), "split loses/invents nonzeros");
+    expect(os.str(), s.merge().equals(A), "merge(split(A)) != A");
+  }
+
+  // BCSR stores blocks densely, so a stored entry whose value is exactly 0.0
+  // is indistinguishable from block fill and to_csr() drops it.  The exact
+  // structural contract is therefore: to_csr equals A minus explicit zeros.
+  {
+    CooMatrix nz(A.nrows(), A.ncols());
+    for (index_t i = 0; i < A.nrows(); ++i)
+      for (index_t k = A.rowptr()[i]; k < A.rowptr()[i + 1]; ++k)
+        if (A.values()[k] != 0.0) nz.add(i, A.colind()[k], A.values()[k]);
+    nz.compress();
+    const CsrMatrix a_nz = CsrMatrix::from_coo(nz);
+    for (auto [br, bc] : {std::pair<index_t, index_t>{2, 2}, {3, 5}}) {
+      const BcsrMatrix b = BcsrMatrix::from_csr(A, br, bc);
+      std::ostringstream os;
+      os << "roundtrip[bcsr." << br << "x" << bc << "]";
+      expect(os.str(), b.to_csr().equals(a_nz),
+             "to_csr(from_csr(A)) != A minus explicit zeros");
+    }
+  }
+
+  if (A.nrows() == A.ncols() && A.is_symmetric()) {
+    const SymCsrMatrix sym = SymCsrMatrix::from_symmetric_csr(A);
+    expect("roundtrip[sym]", sym.to_full().equals(A), "to_full != A");
+  }
+
+  {
+    std::stringstream buf;
+    write_matrix_market(buf, A);
+    expect("roundtrip[mmio]", CsrMatrix::from_coo(read_matrix_market(buf)).equals(A),
+           "matrix-market read(write(A)) != A");
+  }
+  {
+    std::stringstream buf(std::ios::in | std::ios::out | std::ios::binary);
+    write_csr_binary(buf, A);
+    expect("roundtrip[binary]", read_csr_binary(buf).equals(A),
+           "binary read(write(A)) != A");
+  }
+
+  // SELL permutes rows internally (lossy order, not values): verify
+  // numerically rather than structurally.
+  {
+    const std::vector<value_t> x = gen::test_vector(A.ncols());
+    const Oracle oracle = kahan_reference(A, x);
+    const SellMatrix s = SellMatrix::from_csr(A, 4, 16);
+    std::vector<value_t> y = poisoned(A.nrows());
+    s.multiply(x.data(), y.data());
+    const CompareReport rep = compare(oracle, y, UlpPolicy{});
+    if (!rep.pass()) failures.push_back({"roundtrip[sell]", rep.to_string()});
+  }
+
+  // Dense materialization (drops stored zeros, so compare numerically).
+  if (static_cast<std::size_t>(A.nrows()) * static_cast<std::size_t>(A.ncols()) <=
+      (1u << 20)) {
+    const DenseMatrix d = DenseMatrix::from_csr(A);
+    const std::vector<value_t> x = gen::test_vector(A.ncols());
+    const Oracle oracle = kahan_reference(A, x);
+    std::vector<value_t> y = poisoned(A.nrows());
+    d.multiply(x, y);
+    const CompareReport rep = compare(oracle, y, UlpPolicy{});
+    if (!rep.pass()) failures.push_back({"roundtrip[dense]", rep.to_string()});
+  }
+
+  return failures;
+}
+
+std::string describe(const std::vector<DiffFailure>& failures) {
+  if (failures.empty()) return "ok";
+  std::ostringstream os;
+  os << failures.size() << " variant(s) diverge:";
+  for (const auto& f : failures)
+    os << "\n" << f.variant << ": " << f.detail;
+  return os.str();
+}
+
+}  // namespace spmvopt::verify

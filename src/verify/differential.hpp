@@ -1,0 +1,64 @@
+// Differential kernel verification: every variant vs. the Kahan oracle.
+//
+// The optimizer's whole premise is that the kernel/format variants are
+// interchangeable — any plan may be selected for any matrix class, so a
+// silent divergence in one variant corrupts every downstream result that
+// plan is picked for.  run_differential() enumerates:
+//
+//   * every named kernel in kernels/spmv.hpp (serial, static, balanced,
+//     dynamic, guided, auto, prefetch, vector, unroll+vector, delta x2,
+//     split, sym when symmetric, transpose, noindex on the regular copy);
+//   * the SELL-C-σ and BCSR extension kernels over several shape parameters;
+//   * the full optimizer plan space (optimize::enumerate_plans), which covers
+//     all composed schedule x prefetch x compute x format instantiations;
+//
+// each at thread counts {1, 2, hardware max}, comparing against the
+// compensated-summation oracle with the ULP-aware policy of oracle.hpp.
+// check_conversions() additionally round-trips the matrix through every
+// lossless conversion in src/sparse/ (delta, split, BCSR, SymCSR, Matrix
+// Market, binary) and cross-checks the lossy-order ones (SELL) numerically.
+//
+// Both return a list of failures (empty == pass); each failure names the
+// variant, the thread count, and the offending rows.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sparse/csr.hpp"
+#include "support/types.hpp"
+#include "verify/oracle.hpp"
+
+namespace spmvopt::verify {
+
+struct DiffConfig {
+  /// Thread counts to sweep; empty means {1, 2, hardware max} (deduplicated).
+  std::vector<int> thread_counts;
+  UlpPolicy policy;
+  /// Include the SELL/BCSR whole-format extension plans.
+  bool include_extensions = true;
+  /// Input vector; empty means gen::test_vector(A.ncols()).
+  std::vector<value_t> x;
+};
+
+struct DiffFailure {
+  std::string variant;  ///< e.g. "kernel[unroll_vector]/t=2" or "plan[auto+pf]"
+  std::string detail;   ///< CompareReport::to_string() or mismatch description
+};
+
+/// Human-readable join of failures ("ok" when empty) for test messages.
+[[nodiscard]] std::string describe(const std::vector<DiffFailure>& failures);
+
+/// Run every kernel/format/schedule/thread-count variant of y = A*x against
+/// the oracle.  Deterministic; allocates only per-variant scratch.
+[[nodiscard]] std::vector<DiffFailure> run_differential(
+    const CsrMatrix& A, const DiffConfig& config = {});
+
+/// Round-trip the matrix through every conversion in src/sparse/.
+[[nodiscard]] std::vector<DiffFailure> check_conversions(const CsrMatrix& A);
+
+/// The thread counts a default-config sweep uses on this host.
+[[nodiscard]] std::vector<int> default_thread_counts();
+
+}  // namespace spmvopt::verify

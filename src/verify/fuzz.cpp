@@ -1,0 +1,240 @@
+#include "verify/fuzz.hpp"
+
+#include <cmath>
+
+#include "sparse/coo.hpp"
+#include "support/rng.hpp"
+
+namespace spmvopt::verify {
+
+namespace {
+
+CsrMatrix from_entries(index_t nrows, index_t ncols,
+                       const std::vector<Triplet>& entries) {
+  CooMatrix coo(nrows, ncols);
+  coo.reserve(entries.size());
+  for (const auto& e : entries) coo.add(e.row, e.col, e.value);
+  coo.compress();
+  return CsrMatrix::from_coo(coo);
+}
+
+/// Two nonzeros in one row, exactly `gap` columns apart, padded with a few
+/// ordinary rows so partitioning/threading paths are exercised too.
+CsrMatrix gap_matrix(index_t gap) {
+  const index_t ncols = gap + 8;
+  std::vector<Triplet> e;
+  e.push_back({0, 0, 1.5});
+  e.push_back({0, gap, -2.25});
+  for (index_t i = 1; i < 8; ++i) {
+    e.push_back({i, i % ncols, 0.5 + static_cast<value_t>(i)});
+    e.push_back({i, (i * 37 + 11) % ncols, -1.0});
+  }
+  return from_entries(8, ncols, e);
+}
+
+/// Sparse 96x96 matrix whose row 40 is fully dense.
+CsrMatrix single_dense_row() {
+  const index_t n = 96;
+  std::vector<Triplet> e;
+  for (index_t j = 0; j < n; ++j)
+    e.push_back({40, j, 1.0 / (1.0 + static_cast<value_t>(j))});
+  for (index_t i = 0; i < n; ++i) {
+    if (i == 40) continue;
+    e.push_back({i, (i * 13 + 5) % n, 2.0});
+  }
+  return from_entries(n, n, e);
+}
+
+/// 64x64 with rows only at multiples of 7 (most rows empty) and all columns
+/// >= 32 untouched (empty columns).
+CsrMatrix empty_rows_and_cols() {
+  std::vector<Triplet> e;
+  for (index_t i = 0; i < 64; i += 7)
+    for (index_t j = 0; j < 32; j += 9) e.push_back({i, j, -0.75});
+  return from_entries(64, 64, e);
+}
+
+/// Zero-nnz matrix (every row and column empty).
+CsrMatrix all_empty() {
+  CooMatrix coo(16, 16);
+  coo.compress();
+  return CsrMatrix::from_coo(coo);
+}
+
+/// Duplicate-heavy COO: every entry added k times with values that must sum.
+CsrMatrix duplicate_heavy() {
+  const index_t n = 48;
+  CooMatrix coo(n, n);
+  for (index_t i = 0; i < n; ++i) {
+    const index_t j = (i * 31 + 7) % n;
+    // 5 duplicates summing to i+1, plus a diagonal added twice.
+    for (int k = 0; k < 5; ++k)
+      coo.add(i, j, static_cast<value_t>(i + 1) / 5.0);
+    coo.add(i, i, 0.5);
+    coo.add(i, i, 0.5);
+  }
+  coo.compress();
+  return CsrMatrix::from_coo(coo);
+}
+
+CsrMatrix value_matrix(const std::vector<value_t>& vals) {
+  const auto n = static_cast<index_t>(vals.size());
+  std::vector<Triplet> e;
+  for (index_t i = 0; i < n; ++i) {
+    e.push_back({i, i, vals[static_cast<std::size_t>(i)]});
+    e.push_back({i, (i + 1) % n, -vals[static_cast<std::size_t>((n - 1 - i))]});
+  }
+  return from_entries(n, n, e);
+}
+
+/// One row summing +big, -big, +1: catastrophic cancellation.  The exact row
+/// sum is 1; naive orders may lose it entirely, which the bound arm of the
+/// comparator must absorb without passing wrong-index bugs.
+CsrMatrix cancellation_row() {
+  std::vector<Triplet> e;
+  e.push_back({0, 0, 1e16});
+  e.push_back({0, 1, 1.0});
+  e.push_back({0, 2, -1e16});
+  for (index_t i = 1; i < 12; ++i) e.push_back({i, i % 3, 3.5});
+  return from_entries(12, 3, e);
+}
+
+}  // namespace
+
+std::vector<FuzzCase> adversarial_suite() {
+  std::vector<FuzzCase> suite;
+  auto add = [&suite](std::string name, CsrMatrix m) {
+    suite.push_back({std::move(name), std::move(m)});
+  };
+
+  add("all-empty-16x16", all_empty());
+  add("empty-rows-and-cols", empty_rows_and_cols());
+  add("single-dense-row", single_dense_row());
+
+  // Delta-CSR width boundaries.  255 is the largest u8 gap, 256 forces u16;
+  // 65535 is the largest u16 gap, 65536 is unencodable (CSR fallback).
+  add("gap-255-u8-max", gap_matrix(255));
+  add("gap-256-u16-min", gap_matrix(256));
+  add("gap-65535-u16-max", gap_matrix(65535));
+  add("gap-65536-unencodable", gap_matrix(65536));
+
+  // Degenerate shapes.
+  {
+    std::vector<Triplet> e;
+    for (index_t j = 0; j < 300; j += 3)
+      e.push_back({0, j, std::cos(static_cast<double>(j))});
+    add("row-vector-1x300", from_entries(1, 300, e));
+  }
+  {
+    std::vector<Triplet> e;
+    for (index_t i = 0; i < 300; i += 2)
+      e.push_back({i, 0, 1.0 + static_cast<value_t>(i % 7)});
+    add("col-vector-300x1", from_entries(300, 1, e));
+  }
+  {
+    std::vector<Triplet> e{{0, 0, -42.0}};
+    add("single-element-1x1", from_entries(1, 1, e));
+  }
+  {
+    // Wide: more columns than rows, with entries clustered at both ends.
+    std::vector<Triplet> e;
+    for (index_t i = 0; i < 6; ++i) {
+      e.push_back({i, i, 1.0});
+      e.push_back({i, 5000 - 1 - i, 2.0});
+    }
+    add("wide-6x5000", from_entries(6, 5000, e));
+  }
+  {
+    // Tall: one column index repeated by every row (x[j] reuse hammering).
+    std::vector<Triplet> e;
+    for (index_t i = 0; i < 4000; ++i) e.push_back({i, 2, 0.25});
+    add("tall-4000x3-shared-col", from_entries(4000, 3, e));
+  }
+
+  add("duplicate-heavy-coo", duplicate_heavy());
+
+  // Value-range hazards.
+  add("denormal-values",
+      value_matrix({5e-324, 1e-310, 2.2250738585072014e-308, 1e-300, 4.9e-324,
+                    -1e-315, 3e-320, -2e-322}));
+  add("huge-values",
+      value_matrix({1e150, -1e150, 8.9e149, -7.7e148, 1e120, -1e99, 2e150,
+                    -3e149}));
+  add("mixed-magnitude",
+      value_matrix({1e-308, 1e150, -1e-290, -1e140, 1.0, -1e-160, 1e80,
+                    -1.0}));
+  add("cancellation-row", cancellation_row());
+
+  // A few seeded pathological mixes for breadth.
+  for (std::uint64_t s : {11ull, 23ull, 37ull})
+    add("random-pathological-" + std::to_string(s), random_pathological(s));
+  return suite;
+}
+
+CsrMatrix random_pathological(std::uint64_t seed) {
+  Xoshiro256 rng(seed * 0x9E3779B97F4A7C15ull + 1);
+  const auto nrows = static_cast<index_t>(32 + rng.bounded(160));
+  // Occasionally stretch the column space past a delta boundary.
+  const index_t ncols = rng.bounded(3) == 0
+                            ? static_cast<index_t>(300 + rng.bounded(70000))
+                            : static_cast<index_t>(32 + rng.bounded(160));
+  CooMatrix coo(nrows, ncols);
+
+  auto value = [&rng]() -> value_t {
+    switch (rng.bounded(6)) {
+      case 0: return rng.uniform(-1.0, 1.0) * 1e-312;  // denormal range
+      case 1: return rng.uniform(-1.0, 1.0) * 1e148;   // huge
+      case 2: return 0.0;                              // explicit zero entry
+      default: return rng.uniform(-2.0, 2.0);
+    }
+  };
+
+  // Base pattern: skip ~1/3 of rows entirely (empty rows), short rows else.
+  for (index_t i = 0; i < nrows; ++i) {
+    if (rng.bounded(3) == 0) continue;
+    const auto len = 1 + rng.bounded(6);
+    for (std::uint64_t k = 0; k < len; ++k) {
+      const auto j = static_cast<index_t>(rng.bounded(
+          static_cast<std::uint64_t>(ncols)));
+      // Duplicates are intentional: compress() must sum them.
+      coo.add(i, j, value());
+      if (rng.bounded(4) == 0) coo.add(i, j, value());
+    }
+  }
+  // Hazard: densify one row.
+  if (rng.bounded(2) == 0 && ncols <= 4096) {
+    const auto r = static_cast<index_t>(rng.bounded(
+        static_cast<std::uint64_t>(nrows)));
+    for (index_t j = 0; j < ncols; ++j) coo.add(r, j, value());
+  }
+  // Hazard: pin one in-row gap at a delta-width boundary.
+  if (ncols > 256) {
+    const auto r = static_cast<index_t>(rng.bounded(
+        static_cast<std::uint64_t>(nrows)));
+    const index_t gap = ncols > 65536 && rng.bounded(2) == 0 ? 65535 : 255;
+    if (gap < ncols) {
+      coo.add(r, 0, 1.0);
+      coo.add(r, gap, -1.0);
+      if (gap + 1 < ncols) coo.add(r, gap + 1, 2.0);  // gap of exactly 1 after
+    }
+  }
+  coo.compress();
+  return CsrMatrix::from_coo(coo);
+}
+
+std::vector<value_t> adversarial_vector(index_t n, std::uint64_t seed) {
+  Xoshiro256 rng(seed ^ 0xA5A5A5A5DEADBEEFull);
+  std::vector<value_t> x(static_cast<std::size_t>(n));
+  for (auto& v : x) {
+    switch (rng.bounded(8)) {
+      case 0: v = 0.0; break;
+      case 1: v = rng.uniform(-1.0, 1.0) * 1e-313; break;  // denormal
+      case 2: v = rng.uniform(-1.0, 1.0) * 1e120; break;   // large
+      case 3: v = -1.0; break;
+      default: v = rng.uniform(0.5, 1.5); break;
+    }
+  }
+  return x;
+}
+
+}  // namespace spmvopt::verify

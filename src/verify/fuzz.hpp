@@ -1,0 +1,52 @@
+// Adversarial matrix fuzzer: deterministic pathological structures the
+// friendly generators in src/gen/ never emit.
+//
+// Format-conversion edge cases (empty rows, dense rows, index-width
+// boundaries) are the dominant source of SpMV bugs in practice, yet every
+// src/gen/ family produces well-behaved patterns: nonempty rows, moderate
+// gaps, values in [-1, 1].  This catalog targets the blind spots directly:
+//
+//   * empty rows / empty columns / an entirely empty (nnz == 0) matrix
+//   * one fully dense row inside an otherwise sparse matrix
+//   * in-row column gaps pinned exactly at the delta-CSR width boundaries
+//     (255 | 256 for u8, 65535 | 65536 for u16-vs-unencodable)
+//   * degenerate shapes: 1 x n, n x 1, single element
+//   * duplicate-heavy COO input (exercises compress() summing)
+//   * values spanning denormals, +-huge magnitudes, and catastrophic
+//     cancellation (+big, -big, +1 in one row)
+//
+// Everything is deterministic: the catalog has no randomness at all, and the
+// randomized mutator is fully determined by its seed (Xoshiro256).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sparse/csr.hpp"
+#include "support/types.hpp"
+
+namespace spmvopt::verify {
+
+struct FuzzCase {
+  std::string name;
+  CsrMatrix matrix;
+};
+
+/// The deterministic adversarial catalog (~20 matrices, all small enough for
+/// exhaustive differential sweeps).  Every matrix is a valid CSR; names are
+/// stable identifiers usable in test output.
+[[nodiscard]] std::vector<FuzzCase> adversarial_suite();
+
+/// Randomized pathological matrix, fully determined by `seed`: a random base
+/// pattern with a random subset of hazards layered on (emptied row blocks,
+/// one densified row, a gap forced to a delta boundary, extreme values).
+[[nodiscard]] CsrMatrix random_pathological(std::uint64_t seed);
+
+/// Adversarial input vector: mixes ordinary values with zeros, denormals,
+/// large magnitudes, and sign flips.  Deterministic in `seed`; never contains
+/// NaN/inf (kernels are IEEE-clean on finite inputs; the oracle would flag
+/// every row otherwise).
+[[nodiscard]] std::vector<value_t> adversarial_vector(index_t n,
+                                                      std::uint64_t seed = 1);
+
+}  // namespace spmvopt::verify

@@ -1,0 +1,115 @@
+#include "verify/oracle.hpp"
+
+#include <bit>
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace spmvopt::verify {
+
+namespace {
+
+/// Monotone mapping of a double onto the integer line: order-preserving,
+/// adjacent representable doubles map to adjacent integers.
+std::int64_t ordered_bits(double v) noexcept {
+  const auto bits = std::bit_cast<std::int64_t>(v);
+  return bits >= 0 ? bits : std::numeric_limits<std::int64_t>::min() - bits;
+}
+
+}  // namespace
+
+std::uint64_t ulp_distance(double a, double b) noexcept {
+  if (std::isnan(a) || std::isnan(b))
+    return std::numeric_limits<std::uint64_t>::max();
+  if (std::isinf(a) || std::isinf(b)) {
+    // Equal infinities are distance 0; anything else is maximal.
+    return a == b ? 0 : std::numeric_limits<std::uint64_t>::max();
+  }
+  const std::int64_t ia = ordered_bits(a);
+  const std::int64_t ib = ordered_bits(b);
+  // Difference of two values in [min - max_bits, max_bits] fits unsigned.
+  return ia >= ib ? static_cast<std::uint64_t>(ia) - static_cast<std::uint64_t>(ib)
+                  : static_cast<std::uint64_t>(ib) - static_cast<std::uint64_t>(ia);
+}
+
+Oracle kahan_reference(const CsrMatrix& A, std::span<const value_t> x) {
+  if (x.size() != static_cast<std::size_t>(A.ncols()))
+    throw std::invalid_argument("kahan_reference: x size != ncols");
+  constexpr double eps = std::numeric_limits<double>::epsilon();
+  const index_t* rowptr = A.rowptr();
+  const index_t* colind = A.colind();
+  const value_t* vals = A.values();
+
+  Oracle o;
+  o.y.resize(static_cast<std::size_t>(A.nrows()));
+  o.row_bound.resize(static_cast<std::size_t>(A.nrows()));
+  for (index_t i = 0; i < A.nrows(); ++i) {
+    // Neumaier's variant of Kahan summation (Kahan–Babuška): unlike plain
+    // Kahan it keeps the compensation when the next term dwarfs the running
+    // sum, so 1e16 + 1 - 1e16 comes out exactly 1.
+    value_t sum = 0.0;
+    value_t c = 0.0;      // accumulated compensation
+    double abs_sum = 0.0; // sum of |a_ij * x_j| for the error bound
+    for (index_t j = rowptr[i]; j < rowptr[i + 1]; ++j) {
+      const value_t term = vals[j] * x[static_cast<std::size_t>(colind[j])];
+      abs_sum += std::abs(term);
+      const value_t s = sum + term;
+      if (std::abs(sum) >= std::abs(term))
+        c += (sum - s) + term;
+      else
+        c += (term - s) + sum;
+      sum = s;
+    }
+    const auto nnz_i = static_cast<double>(rowptr[i + 1] - rowptr[i]);
+    o.y[static_cast<std::size_t>(i)] = sum + c;
+    o.row_bound[static_cast<std::size_t>(i)] = (nnz_i + 1.0) * eps * abs_sum;
+  }
+  return o;
+}
+
+CompareReport compare(const Oracle& oracle, std::span<const value_t> actual,
+                      const UlpPolicy& policy) {
+  if (actual.size() != oracle.y.size())
+    throw std::invalid_argument("compare: actual size != oracle size");
+  constexpr std::size_t kMaxReported = 16;
+
+  CompareReport r;
+  r.rows_checked = static_cast<index_t>(oracle.y.size());
+  for (std::size_t i = 0; i < oracle.y.size(); ++i) {
+    const value_t expected = oracle.y[i];
+    const value_t got = actual[i];
+    const std::uint64_t ulps = ulp_distance(expected, got);
+    if (ulps > r.worst_ulps) {
+      r.worst_ulps = ulps;
+      r.worst_row = static_cast<index_t>(i);
+    }
+    if (ulps <= policy.max_ulps) continue;
+    const double bound = policy.bound_factor * oracle.row_bound[i];
+    const double diff = std::abs(expected - got);
+    // NaN/inf mismatches have diff NaN/inf and fail both arms.
+    if (diff <= bound) continue;
+    if (r.failures.size() < kMaxReported)
+      r.failures.push_back({static_cast<index_t>(i), expected, got, ulps,
+                            oracle.row_bound[i]});
+  }
+  return r;
+}
+
+std::string CompareReport::to_string() const {
+  if (pass()) return "pass";
+  std::ostringstream os;
+  os.precision(17);
+  os << failures.size() << "+ row(s) diverge:";
+  for (const auto& f : failures)
+    os << "\n  row " << f.row << ": expected " << f.expected << " actual "
+       << f.actual << " (ulps=" << f.ulps << ", bound=" << f.bound << ")";
+  return os.str();
+}
+
+CompareReport check_spmv(const CsrMatrix& A, std::span<const value_t> x,
+                         std::span<const value_t> y, const UlpPolicy& policy) {
+  return compare(kahan_reference(A, x), y, policy);
+}
+
+}  // namespace spmvopt::verify

@@ -1,0 +1,91 @@
+// ULP-aware comparison against a compensated-summation reference oracle.
+//
+// Every kernel/format variant in the pool computes the same y = A*x, but in a
+// different floating-point order (SIMD lane sums, two-accumulator unrolling,
+// per-thread partials, atomic scatter).  Fixed EXPECT_NEAR tolerances either
+// mask real divergences (too loose on tiny rows) or flake on ill-conditioned
+// ones (too tight when a row cancels).  This oracle is principled instead:
+//
+//   * the reference y is computed with compensated summation (Neumaier's
+//     variant of Kahan), whose error is O(eps)*sum|terms| independent of the
+//     row length and which survives terms that dwarf the running sum;
+//   * each row also gets a forward-error *bound* for any summation order,
+//       bound_i = (nnz_i + 1) * eps * sum_j |a_ij * x_j|,
+//     the classical worst case for recursive summation with per-product
+//     rounding — every correct reordering of the row sum lands within it;
+//   * a variant's row passes when it is within `max_ulps` ULPs of the
+//     reference OR within `bound_factor * bound_i` absolutely.  The ULP arm
+//     catches well-conditioned rows byte-for-byte-ish; the bound arm admits
+//     legitimate reordering error on cancellation-heavy rows without ever
+//     admitting a wrong-index/wrong-value bug (which lands orders of
+//     magnitude outside the bound).
+//
+// Failures carry per-row attribution (row id, expected, actual, ULP
+// distance, bound) so a differential failure names the offending row.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sparse/csr.hpp"
+#include "support/types.hpp"
+
+namespace spmvopt::verify {
+
+/// Distance in units-in-the-last-place between two doubles, using the
+/// monotone integer mapping of the IEEE-754 total order (negatives mirrored
+/// below zero, so ulp_distance(-0.0, +0.0) == 0 and the distance is
+/// well-defined across the sign boundary).  Any NaN, or an infinity paired
+/// with a finite value, yields UINT64_MAX.
+[[nodiscard]] std::uint64_t ulp_distance(double a, double b) noexcept;
+
+/// Acceptance policy for compare(): a row passes via either arm.
+struct UlpPolicy {
+  std::uint64_t max_ulps = 64;  ///< ULP arm: |reference - actual| in ULPs
+  double bound_factor = 8.0;    ///< bound arm: multiples of the row's bound
+};
+
+/// Kahan reference y plus the per-row reordering-error bound.
+struct Oracle {
+  std::vector<value_t> y;
+  std::vector<double> row_bound;  ///< (nnz_i + 1) * eps * sum|a_ij * x_j|
+};
+
+/// Compute the oracle for y = A*x.  `x` must have A.ncols() entries.
+[[nodiscard]] Oracle kahan_reference(const CsrMatrix& A,
+                                     std::span<const value_t> x);
+
+/// One failing row, with everything needed to debug it.
+struct RowFailure {
+  index_t row = 0;
+  value_t expected = 0.0;
+  value_t actual = 0.0;
+  std::uint64_t ulps = 0;
+  double bound = 0.0;
+};
+
+struct CompareReport {
+  std::vector<RowFailure> failures;  ///< empty == pass (capped at 16 rows)
+  std::uint64_t worst_ulps = 0;      ///< over all rows, failing or not
+  index_t worst_row = 0;
+  index_t rows_checked = 0;
+
+  [[nodiscard]] bool pass() const noexcept { return failures.empty(); }
+  /// "row 17: expected 1.25 actual 1.5 (ulps=9007199254740992, bound=3e-16)"
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Check `actual` (size oracle.y.size()) against the oracle under `policy`.
+[[nodiscard]] CompareReport compare(const Oracle& oracle,
+                                    std::span<const value_t> actual,
+                                    const UlpPolicy& policy = {});
+
+/// Convenience: oracle + compare in one call.
+[[nodiscard]] CompareReport check_spmv(const CsrMatrix& A,
+                                       std::span<const value_t> x,
+                                       std::span<const value_t> y,
+                                       const UlpPolicy& policy = {});
+
+}  // namespace spmvopt::verify

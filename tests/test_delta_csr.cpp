@@ -87,6 +87,73 @@ TEST(DeltaCsr, U8CompressionShrinksFootprint) {
   EXPECT_LT(d->format_bytes(), a.format_bytes());
 }
 
+/// Helper: a 1-row matrix whose single in-row gap is exactly `gap`.
+CsrMatrix two_entry_gap(index_t gap) {
+  CooMatrix coo(1, gap + 1);
+  coo.add(0, 0, 1.0);
+  coo.add(0, gap, 2.0);
+  coo.compress();
+  return CsrMatrix::from_coo(coo);
+}
+
+TEST(DeltaCsr, U8BoundaryAt255And256) {
+  // 255 is the largest gap an 8-bit delta holds; 256 must promote to u16.
+  const CsrMatrix at = two_entry_gap(255);
+  ASSERT_EQ(DeltaCsrMatrix::required_width(at), DeltaWidth::U8);
+  const auto dat = DeltaCsrMatrix::encode(at);
+  ASSERT_TRUE(dat.has_value());
+  EXPECT_EQ(dat->width(), DeltaWidth::U8);
+  EXPECT_EQ(dat->deltas8()[1], 255u);
+  EXPECT_TRUE(dat->decode().equals(at));
+
+  const CsrMatrix over = two_entry_gap(256);
+  ASSERT_EQ(DeltaCsrMatrix::required_width(over), DeltaWidth::U16);
+  const auto dover = DeltaCsrMatrix::encode(over);
+  ASSERT_TRUE(dover.has_value());
+  EXPECT_EQ(dover->width(), DeltaWidth::U16);
+  EXPECT_EQ(dover->deltas16()[1], 256u);
+  EXPECT_TRUE(dover->decode().equals(over));
+}
+
+TEST(DeltaCsr, U16BoundaryAt65535And65536) {
+  // 65535 is the largest encodable gap; 65536 makes the matrix unencodable
+  // (the format never mixes widths, and >16-bit deltas do not exist).
+  const CsrMatrix at = two_entry_gap(65535);
+  ASSERT_EQ(DeltaCsrMatrix::required_width(at), DeltaWidth::U16);
+  const auto dat = DeltaCsrMatrix::encode(at);
+  ASSERT_TRUE(dat.has_value());
+  EXPECT_EQ(dat->width(), DeltaWidth::U16);
+  EXPECT_EQ(dat->deltas16()[1], 65535u);
+  EXPECT_TRUE(dat->decode().equals(at));
+
+  const CsrMatrix over = two_entry_gap(65536);
+  EXPECT_FALSE(DeltaCsrMatrix::required_width(over).has_value());
+  EXPECT_FALSE(DeltaCsrMatrix::encode(over).has_value());
+}
+
+TEST(DeltaCsr, BoundaryGapsSurviveSpmvRoundTrip) {
+  // Both sides of each boundary, mixed into one multi-row matrix: decode
+  // must reproduce the exact columns (an off-by-one at a width boundary
+  // would silently read the wrong x entries forever after).
+  CooMatrix coo(3, 70000);
+  coo.add(0, 10, 1.0);
+  coo.add(0, 10 + 255, 2.0);   // u8 max gap
+  coo.add(1, 5, 3.0);
+  coo.add(1, 5 + 256, 4.0);    // u16 min gap
+  coo.add(2, 0, 5.0);
+  coo.add(2, 65535, 6.0);      // u16 max gap
+  coo.compress();
+  const CsrMatrix a = CsrMatrix::from_coo(coo);
+  const auto d = DeltaCsrMatrix::encode(a);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->width(), DeltaWidth::U16);
+  const CsrMatrix back = d->decode();
+  ASSERT_TRUE(back.equals(a));
+  EXPECT_EQ(back.colind()[1], 10 + 255);
+  EXPECT_EQ(back.colind()[3], 5 + 256);
+  EXPECT_EQ(back.colind()[5], 65535);
+}
+
 TEST(DeltaCsr, NeverMixesWidths) {
   // Matrix with one u16-requiring row: the entire matrix must use u16
   // ("8- or 16-bit deltas wherever possible, but never both", §III-E).

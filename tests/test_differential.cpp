@@ -1,0 +1,103 @@
+// The differential runner: every kernel/format/schedule/thread-count variant
+// must reproduce the compensated-summation oracle on every adversarial
+// structure — this is the deep sweep behind `ctest -L fuzz`.
+#include <gtest/gtest.h>
+
+#include <cctype>
+
+#include "gen/generators.hpp"
+#include "verify/differential.hpp"
+#include "verify/fuzz.hpp"
+#include "verify/oracle.hpp"
+
+namespace spmvopt::verify {
+namespace {
+
+const std::vector<FuzzCase>& suite() {
+  static const std::vector<FuzzCase> s = adversarial_suite();
+  return s;
+}
+
+class AdversarialDifferential : public ::testing::TestWithParam<int> {};
+
+TEST_P(AdversarialDifferential, AllVariantsMatchOracle) {
+  const FuzzCase& c = suite()[static_cast<std::size_t>(GetParam())];
+  const auto failures = run_differential(c.matrix);
+  EXPECT_TRUE(failures.empty()) << c.name << ": " << describe(failures);
+}
+
+TEST_P(AdversarialDifferential, AllVariantsMatchOracleOnAdversarialInput) {
+  const FuzzCase& c = suite()[static_cast<std::size_t>(GetParam())];
+  DiffConfig config;
+  config.x = adversarial_vector(c.matrix.ncols(),
+                                static_cast<std::uint64_t>(GetParam()) + 1);
+  const auto failures = run_differential(c.matrix, config);
+  EXPECT_TRUE(failures.empty()) << c.name << ": " << describe(failures);
+}
+
+std::string case_name(const ::testing::TestParamInfo<int>& info) {
+  std::string n = suite()[static_cast<std::size_t>(info.param)].name;
+  for (char& ch : n)
+    if (!std::isalnum(static_cast<unsigned char>(ch))) ch = '_';
+  return n;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Catalog, AdversarialDifferential,
+    ::testing::Range(0, static_cast<int>(adversarial_suite().size())),
+    case_name);
+
+class SeededDifferential : public ::testing::TestWithParam<int> {};
+
+TEST_P(SeededDifferential, RandomPathologicalMatchesOracle) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  const CsrMatrix a = random_pathological(seed);
+  const auto failures = run_differential(a);
+  EXPECT_TRUE(failures.empty()) << "seed " << seed << ": "
+                                << describe(failures);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeededDifferential,
+                         ::testing::Range(1000, 1010));
+
+// Friendly generator families through the same sweep: the differential
+// runner must agree with the existing property tests on non-adversarial
+// input (guards the runner itself against false positives).
+TEST(Differential, FriendlyFamiliesPass) {
+  const CsrMatrix cases[] = {
+      gen::stencil_2d_5pt(12, 12),
+      gen::banded(300, 25, 8, 3),
+      gen::random_uniform(256, 7, 5),
+      gen::power_law(400, 6, 1.8, 9),
+      gen::few_dense_rows(300, 2, 3, 150, 11),
+      gen::short_rows(500, 2.0, 13),
+  };
+  for (const auto& a : cases) {
+    const auto failures = run_differential(a);
+    EXPECT_TRUE(failures.empty()) << describe(failures);
+  }
+}
+
+TEST(Differential, DetectsInjectedKernelBug) {
+  // The runner must actually be wired to the comparator: a corrupted matrix
+  // (one value perturbed after the oracle was taken) must fail.
+  const CsrMatrix a = gen::stencil_2d_5pt(8, 8);
+  const std::vector<value_t> x = gen::test_vector(a.ncols());
+  const Oracle oracle = kahan_reference(a, x);
+  CsrMatrix b = a.extract_rows(0, a.nrows());  // deep copy
+  b.values_mut()[3] += 0.5;
+  std::vector<value_t> y(static_cast<std::size_t>(b.nrows()));
+  b.multiply(x, y);
+  EXPECT_FALSE(compare(oracle, y, UlpPolicy{}).pass());
+}
+
+TEST(Differential, DefaultThreadCountsCoverSerialAndParallel) {
+  const auto t = default_thread_counts();
+  ASSERT_GE(t.size(), 2u);
+  EXPECT_EQ(t.front(), 1);
+  EXPECT_GE(t.back(), 2);
+  for (std::size_t i = 1; i < t.size(); ++i) EXPECT_GT(t[i], t[i - 1]);
+}
+
+}  // namespace
+}  // namespace spmvopt::verify

@@ -1,0 +1,170 @@
+// The adversarial matrix fuzzer: the catalog really contains the hazards it
+// promises, every case is a valid CSR, and every lossless conversion in
+// src/sparse/ round-trips each case.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <set>
+
+#include "sparse/delta_csr.hpp"
+#include "verify/differential.hpp"
+#include "verify/fuzz.hpp"
+
+namespace spmvopt::verify {
+namespace {
+
+const std::vector<FuzzCase>& suite() {
+  static const std::vector<FuzzCase> s = adversarial_suite();
+  return s;
+}
+
+const CsrMatrix& find(const std::string& name) {
+  for (const auto& c : suite())
+    if (c.name == name) return c.matrix;
+  ADD_FAILURE() << "no catalog case named " << name;
+  static const CsrMatrix empty;
+  return empty;
+}
+
+TEST(FuzzCatalog, NamesAreUniqueAndNonEmpty) {
+  std::set<std::string> names;
+  for (const auto& c : suite()) {
+    EXPECT_FALSE(c.name.empty());
+    EXPECT_TRUE(names.insert(c.name).second) << "duplicate: " << c.name;
+  }
+  EXPECT_GE(suite().size(), 18u);
+}
+
+TEST(FuzzCatalog, EveryCaseIsValidCsr) {
+  for (const auto& c : suite()) {
+    const CsrMatrix& a = c.matrix;
+    ASSERT_GT(a.nrows(), 0) << c.name;
+    ASSERT_GT(a.ncols(), 0) << c.name;
+    EXPECT_EQ(a.rowptr()[0], 0) << c.name;
+    EXPECT_EQ(a.rowptr()[a.nrows()], a.nnz()) << c.name;
+    for (index_t i = 0; i < a.nrows(); ++i) {
+      EXPECT_LE(a.rowptr()[i], a.rowptr()[i + 1]) << c.name;
+      for (index_t k = a.rowptr()[i]; k < a.rowptr()[i + 1]; ++k) {
+        EXPECT_GE(a.colind()[k], 0) << c.name;
+        EXPECT_LT(a.colind()[k], a.ncols()) << c.name;
+        if (k > a.rowptr()[i]) {
+          EXPECT_LT(a.colind()[k - 1], a.colind()[k]) << c.name;
+        }
+      }
+    }
+    for (index_t k = 0; k < a.nnz(); ++k)
+      EXPECT_TRUE(std::isfinite(a.values()[k])) << c.name;
+  }
+}
+
+TEST(FuzzCatalog, IsDeterministic) {
+  const auto again = adversarial_suite();
+  ASSERT_EQ(again.size(), suite().size());
+  for (std::size_t i = 0; i < again.size(); ++i) {
+    EXPECT_EQ(again[i].name, suite()[i].name);
+    EXPECT_TRUE(again[i].matrix.equals(suite()[i].matrix)) << again[i].name;
+  }
+}
+
+TEST(FuzzCatalog, ContainsEmptyRowsAndColumns) {
+  const CsrMatrix& a = find("empty-rows-and-cols");
+  index_t empty_rows = 0;
+  std::set<index_t> used_cols;
+  for (index_t i = 0; i < a.nrows(); ++i) {
+    if (a.row_nnz(i) == 0) ++empty_rows;
+    for (index_t k = a.rowptr()[i]; k < a.rowptr()[i + 1]; ++k)
+      used_cols.insert(a.colind()[k]);
+  }
+  EXPECT_GT(empty_rows, a.nrows() / 2);
+  EXPECT_LT(static_cast<index_t>(used_cols.size()), a.ncols() / 2);
+
+  const CsrMatrix& zero = find("all-empty-16x16");
+  EXPECT_EQ(zero.nnz(), 0);
+  EXPECT_EQ(zero.nrows(), 16);
+}
+
+TEST(FuzzCatalog, ContainsSingleFullyDenseRow) {
+  const CsrMatrix& a = find("single-dense-row");
+  index_t dense_rows = 0;
+  for (index_t i = 0; i < a.nrows(); ++i)
+    if (a.row_nnz(i) == a.ncols()) ++dense_rows;
+  EXPECT_EQ(dense_rows, 1);
+}
+
+TEST(FuzzCatalog, GapCasesPinDeltaWidthBoundaries) {
+  EXPECT_EQ(DeltaCsrMatrix::required_width(find("gap-255-u8-max")),
+            DeltaWidth::U8);
+  EXPECT_EQ(DeltaCsrMatrix::required_width(find("gap-256-u16-min")),
+            DeltaWidth::U16);
+  EXPECT_EQ(DeltaCsrMatrix::required_width(find("gap-65535-u16-max")),
+            DeltaWidth::U16);
+  EXPECT_FALSE(
+      DeltaCsrMatrix::required_width(find("gap-65536-unencodable")).has_value());
+}
+
+TEST(FuzzCatalog, DegenerateShapesArePresent) {
+  EXPECT_EQ(find("row-vector-1x300").nrows(), 1);
+  EXPECT_EQ(find("col-vector-300x1").ncols(), 1);
+  const CsrMatrix& one = find("single-element-1x1");
+  EXPECT_EQ(one.nrows(), 1);
+  EXPECT_EQ(one.ncols(), 1);
+  EXPECT_EQ(one.nnz(), 1);
+}
+
+TEST(FuzzCatalog, DuplicateHeavyCooSummedExactly) {
+  const CsrMatrix& a = find("duplicate-heavy-coo");
+  // Row i holds 0.5+0.5 on the diagonal and five (i+1)/5 contributions
+  // summed at one off-diagonal (or merged into the diagonal when they
+  // collide); either way the row total is exactly (i+1) + 1.
+  for (index_t i = 0; i < a.nrows(); ++i) {
+    value_t row_sum = 0.0;
+    for (index_t k = a.rowptr()[i]; k < a.rowptr()[i + 1]; ++k)
+      row_sum += a.values()[k];
+    EXPECT_NEAR(row_sum, static_cast<value_t>(i + 1) + 1.0, 1e-12) << i;
+  }
+}
+
+TEST(FuzzCatalog, ValueCasesSpanExtremeMagnitudes) {
+  const CsrMatrix& den = find("denormal-values");
+  bool has_denormal = false;
+  for (index_t k = 0; k < den.nnz(); ++k)
+    if (den.values()[k] != 0.0 &&
+        std::abs(den.values()[k]) < std::numeric_limits<double>::min())
+      has_denormal = true;
+  EXPECT_TRUE(has_denormal);
+
+  const CsrMatrix& huge = find("huge-values");
+  double max_mag = 0.0;
+  for (index_t k = 0; k < huge.nnz(); ++k)
+    max_mag = std::max(max_mag, std::abs(huge.values()[k]));
+  EXPECT_GE(max_mag, 1e150);
+}
+
+TEST(FuzzCatalog, RandomPathologicalIsDeterministicPerSeed) {
+  for (std::uint64_t seed : {1ull, 9ull, 1234567ull}) {
+    const CsrMatrix a = random_pathological(seed);
+    const CsrMatrix b = random_pathological(seed);
+    EXPECT_GT(a.nrows(), 0);
+    EXPECT_TRUE(a.equals(b)) << "seed " << seed;
+  }
+  EXPECT_FALSE(random_pathological(1).equals(random_pathological(2)));
+}
+
+TEST(FuzzCatalog, EveryConversionRoundTripsEveryCase) {
+  for (const auto& c : suite()) {
+    const auto failures = check_conversions(c.matrix);
+    EXPECT_TRUE(failures.empty()) << c.name << ": " << describe(failures);
+  }
+}
+
+TEST(FuzzCatalog, ConversionsRoundTripRandomPathological) {
+  for (std::uint64_t seed = 100; seed < 112; ++seed) {
+    const auto failures = check_conversions(random_pathological(seed));
+    EXPECT_TRUE(failures.empty()) << "seed " << seed << ": "
+                                  << describe(failures);
+  }
+}
+
+}  // namespace
+}  // namespace spmvopt::verify

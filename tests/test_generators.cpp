@@ -1,13 +1,18 @@
 #include <gtest/gtest.h>
 
+#include <omp.h>
+
 #include <algorithm>
+#include <bit>
 #include <cmath>
+#include <cstdint>
 #include <functional>
 #include <set>
 #include <vector>
 
 #include "gen/generators.hpp"
 #include "gen/suite.hpp"
+#include "support/rng.hpp"
 
 namespace spmvopt {
 namespace {
@@ -169,6 +174,94 @@ TEST(Generators, InvalidArgsThrow) {
   EXPECT_THROW(
       (void)gen::make_diagonally_dominant(CsrMatrix::from_coo(rect), 1.0),
       std::invalid_argument);
+}
+
+TEST(Rng, Xoshiro256SameSeedSameStream) {
+  Xoshiro256 a(12345), b(12345);
+  for (int i = 0; i < 1000; ++i) ASSERT_EQ(a(), b());
+  Xoshiro256 c(12345), d(54321);
+  bool diverged = false;
+  for (int i = 0; i < 16 && !diverged; ++i) diverged = c() != d();
+  EXPECT_TRUE(diverged);
+}
+
+TEST(Rng, Xoshiro256StreamIsPinned) {
+  // Golden values for seed 42: any change to seeding or the update breaks
+  // every stored bench table and trained classifier, so pin the stream.
+  Xoshiro256 r(42);
+  EXPECT_EQ(r(), 1546998764402558742ull);
+  EXPECT_EQ(r(), 6990951692964543102ull);
+  EXPECT_EQ(r(), 12544586762248559009ull);
+  Xoshiro256 u(42);
+  EXPECT_DOUBLE_EQ(u.uniform(), 0.083862971059882163);
+  EXPECT_DOUBLE_EQ(u.uniform(), 0.37898025066266861);
+  EXPECT_DOUBLE_EQ(u.uniform(), 0.68004341102813937);
+}
+
+TEST(Rng, BoundedStaysInBound) {
+  Xoshiro256 r(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(r.bounded(13), 13u);
+  EXPECT_EQ(r.bounded(0), 0u);
+  EXPECT_EQ(r.bounded(1), 0u);
+}
+
+/// Every generator, built twice under different OpenMP settings, must be
+/// bit-identical: seeds fully determine the suite, independent of threads.
+TEST(Generators, AllFamiliesDeterministicAcrossThreadCounts) {
+  const auto build_all = [] {
+    std::vector<CsrMatrix> out;
+    out.push_back(gen::dense(24, 5));
+    out.push_back(gen::stencil_2d_5pt(9, 11));
+    out.push_back(gen::stencil_3d_7pt(4, 5, 6));
+    out.push_back(gen::stencil_3d_27pt(4, 4, 4));
+    out.push_back(gen::banded(200, 15, 6, 3));
+    out.push_back(gen::random_uniform(150, 5, 9));
+    out.push_back(gen::rmat(8, 6, 0.5, 0.2, 0.2, 3));
+    out.push_back(gen::power_law(300, 5, 1.9, 11));
+    out.push_back(gen::few_dense_rows(200, 2, 3, 100, 13));
+    out.push_back(gen::short_rows(400, 2.5, 17));
+    out.push_back(gen::block_diagonal_dense(48, 12, 19));
+    out.push_back(gen::diagonal(30, 1.5));
+    out.push_back(
+        gen::make_diagonally_dominant(gen::random_uniform(100, 4, 21), 1.0));
+    return out;
+  };
+
+  const int max_threads = omp_get_max_threads();
+  omp_set_num_threads(1);
+  const std::vector<CsrMatrix> serial = build_all();
+  const std::vector<CsrMatrix> serial2 = build_all();
+  omp_set_num_threads(max_threads > 1 ? max_threads : 2);
+  const std::vector<CsrMatrix> threaded = build_all();
+  omp_set_num_threads(max_threads);
+
+  ASSERT_EQ(serial.size(), serial2.size());
+  ASSERT_EQ(serial.size(), threaded.size());
+  for (std::size_t k = 0; k < serial.size(); ++k) {
+    EXPECT_TRUE(serial[k].equals(serial2[k])) << "family " << k;
+    EXPECT_TRUE(serial[k].equals(threaded[k])) << "family " << k;
+    // equals() could in principle tolerate representational slack; the
+    // guarantee here is *bit*-identity of the value stream.
+    ASSERT_EQ(serial[k].nnz(), threaded[k].nnz()) << "family " << k;
+    for (index_t j = 0; j < serial[k].nnz(); ++j) {
+      ASSERT_EQ(std::bit_cast<std::uint64_t>(serial[k].values()[j]),
+                std::bit_cast<std::uint64_t>(threaded[k].values()[j]))
+          << "family " << k << " nnz " << j;
+    }
+  }
+}
+
+TEST(Generators, TestVectorDeterministic) {
+  const auto a = gen::test_vector(500, 7);
+  const auto b = gen::test_vector(500, 7);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    ASSERT_EQ(std::bit_cast<std::uint64_t>(a[i]),
+              std::bit_cast<std::uint64_t>(b[i]));
+  const auto c = gen::test_vector(500, 8);
+  bool diverged = false;
+  for (std::size_t i = 0; i < c.size() && !diverged; ++i) diverged = a[i] != c[i];
+  EXPECT_TRUE(diverged);
 }
 
 TEST(Suite, EvaluationSuiteHasPaperMatrices) {

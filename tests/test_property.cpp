@@ -19,6 +19,7 @@
 #include "sparse/sym_csr.hpp"
 #include "support/partition.hpp"
 #include "support/rng.hpp"
+#include "verify/oracle.hpp"
 
 namespace spmvopt {
 namespace {
@@ -67,18 +68,16 @@ TEST_P(RandomMatrixProperty, CsrInvariantsHold) {
   }
 }
 
-TEST_P(RandomMatrixProperty, EveryPlanMatchesSerialReference) {
+TEST_P(RandomMatrixProperty, EveryPlanMatchesKahanOracle) {
   const CsrMatrix a = random_matrix(static_cast<std::uint64_t>(GetParam()));
   const std::vector<value_t> x = gen::test_vector(a.ncols());
-  std::vector<value_t> expected(static_cast<std::size_t>(a.nrows()));
-  a.multiply(x, expected);
+  const verify::Oracle oracle = verify::kahan_reference(a, x);
   std::vector<value_t> y(static_cast<std::size_t>(a.nrows()));
   for (const auto& plan : optimize::enumerate_plans(a)) {
     const auto spmv = optimize::OptimizedSpmv::create(a, plan, 3);
     spmv.run(x.data(), y.data());
-    for (std::size_t i = 0; i < y.size(); ++i)
-      ASSERT_NEAR(y[i], expected[i], 1e-9 * std::max(1.0, std::abs(expected[i])))
-          << plan.to_string() << " row " << i;
+    const auto report = verify::compare(oracle, y);
+    ASSERT_TRUE(report.pass()) << plan.to_string() << ": " << report.to_string();
   }
 }
 
@@ -113,12 +112,11 @@ TEST_P(RandomMatrixProperty, SellMatchesCsr) {
   const auto sigma = static_cast<index_t>(1 + rng.bounded(512));
   const SellMatrix s = SellMatrix::from_csr(a, chunk, sigma);
   const std::vector<value_t> x = gen::test_vector(a.ncols());
-  std::vector<value_t> expected(static_cast<std::size_t>(a.nrows()));
   std::vector<value_t> y(static_cast<std::size_t>(a.nrows()));
-  a.multiply(x, expected);
   s.multiply(x.data(), y.data());
-  for (std::size_t i = 0; i < y.size(); ++i)
-    ASSERT_NEAR(y[i], expected[i], 1e-9 * std::max(1.0, std::abs(expected[i])));
+  const auto report = verify::check_spmv(a, x, y);
+  EXPECT_TRUE(report.pass()) << "chunk " << chunk << " sigma " << sigma << ": "
+                             << report.to_string();
 }
 
 TEST_P(RandomMatrixProperty, MatrixMarketRoundTrips) {
@@ -164,12 +162,10 @@ TEST_P(RandomMatrixProperty, BcsrRoundTripsAndKernelMatches) {
   EXPECT_TRUE(b.to_csr().equals(a));
   EXPECT_GE(b.fill_ratio(), 1.0);
   const std::vector<value_t> x = gen::test_vector(a.ncols());
-  std::vector<value_t> expected(static_cast<std::size_t>(a.nrows()));
   std::vector<value_t> y(static_cast<std::size_t>(a.nrows()));
-  a.multiply(x, expected);
   kernels::spmv_bcsr(b, x.data(), y.data());
-  for (std::size_t i = 0; i < y.size(); ++i)
-    ASSERT_NEAR(y[i], expected[i], 1e-9 * std::max(1.0, std::abs(expected[i])));
+  const auto report = verify::check_spmv(a, x, y);
+  EXPECT_TRUE(report.pass()) << br << "x" << bc << ": " << report.to_string();
 }
 
 TEST_P(RandomMatrixProperty, RcmPermutationCommutesWithSpmv) {
@@ -186,8 +182,13 @@ TEST_P(RandomMatrixProperty, RcmPermutationCommutesWithSpmv) {
   permute_gather(p, x.data(), px.data());
   b.multiply(px, bpx);
   permute_gather(p, ax.data(), pax.data());
-  for (std::size_t i = 0; i < bpx.size(); ++i)
-    ASSERT_NEAR(bpx[i], pax[i], 1e-10 * std::max(1.0, std::abs(pax[i])));
+  // Both B*(Px) and P*(Ax) sum the same per-row terms in different orders,
+  // so both must sit inside the oracle's reordering bound for (B, Px).
+  const verify::Oracle oracle = verify::kahan_reference(b, px);
+  const auto direct = verify::compare(oracle, bpx);
+  EXPECT_TRUE(direct.pass()) << direct.to_string();
+  const auto commuted = verify::compare(oracle, pax);
+  EXPECT_TRUE(commuted.pass()) << commuted.to_string();
 }
 
 TEST_P(RandomMatrixProperty, SymmetrizedMatrixThroughSymKernel) {
@@ -205,15 +206,16 @@ TEST_P(RandomMatrixProperty, SymmetrizedMatrixThroughSymKernel) {
   if (a.nnz() == 0) return;
   const SymCsrMatrix sym = SymCsrMatrix::from_symmetric_csr(a, 1e-12);
   const std::vector<value_t> x = gen::test_vector(a.ncols());
-  std::vector<value_t> expected(static_cast<std::size_t>(a.nrows()));
   std::vector<value_t> y(static_cast<std::size_t>(a.nrows()));
-  a.multiply(x, expected);
   kernels::spmv_sym(sym, x.data(), y.data(), 3);
-  for (std::size_t i = 0; i < y.size(); ++i)
-    ASSERT_NEAR(y[i], expected[i], 1e-9 * std::max(1.0, std::abs(expected[i])));
+  const auto report = verify::check_spmv(a, x, y);
+  EXPECT_TRUE(report.pass()) << report.to_string();
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, RandomMatrixProperty, ::testing::Range(1, 13));
+// 24 seeds: enough to hit every family ≥ 2× with varied parameters; the
+// ULP/bound comparator keeps the widened sweep deterministic (no tolerance
+// flakes to tune when a seed lands on a cancellation-heavy row).
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomMatrixProperty, ::testing::Range(1, 25));
 
 }  // namespace
 }  // namespace spmvopt

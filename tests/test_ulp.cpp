@@ -1,0 +1,191 @@
+// The ULP comparator and Kahan oracle of src/verify/oracle.hpp.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "gen/generators.hpp"
+#include "sparse/coo.hpp"
+#include "verify/fuzz.hpp"
+#include "verify/oracle.hpp"
+
+namespace spmvopt::verify {
+namespace {
+
+TEST(UlpDistance, IdenticalValuesAreZero) {
+  EXPECT_EQ(ulp_distance(1.0, 1.0), 0u);
+  EXPECT_EQ(ulp_distance(0.0, 0.0), 0u);
+  EXPECT_EQ(ulp_distance(-3.5e100, -3.5e100), 0u);
+  EXPECT_EQ(ulp_distance(std::numeric_limits<double>::infinity(),
+                         std::numeric_limits<double>::infinity()),
+            0u);
+}
+
+TEST(UlpDistance, AdjacentDoublesAreOne) {
+  const double a = 1.0;
+  const double b = std::nextafter(a, 2.0);
+  EXPECT_EQ(ulp_distance(a, b), 1u);
+  EXPECT_EQ(ulp_distance(b, a), 1u);
+  // Across a power-of-two boundary the spacing changes but adjacency holds.
+  const double c = 2.0;
+  EXPECT_EQ(ulp_distance(c, std::nextafter(c, 0.0)), 1u);
+}
+
+TEST(UlpDistance, SignedZerosCoincide) {
+  EXPECT_EQ(ulp_distance(-0.0, 0.0), 0u);
+  // The smallest positive and negative denormals straddle zero: 2 ULPs.
+  const double denorm = std::numeric_limits<double>::denorm_min();
+  EXPECT_EQ(ulp_distance(-denorm, denorm), 2u);
+}
+
+TEST(UlpDistance, DenormalsAreAdjacentToZero) {
+  EXPECT_EQ(ulp_distance(0.0, std::numeric_limits<double>::denorm_min()), 1u);
+}
+
+TEST(UlpDistance, NanAndInfMismatchAreMaximal) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(ulp_distance(nan, 1.0), std::numeric_limits<std::uint64_t>::max());
+  EXPECT_EQ(ulp_distance(nan, nan), std::numeric_limits<std::uint64_t>::max());
+  EXPECT_EQ(ulp_distance(inf, 1.0), std::numeric_limits<std::uint64_t>::max());
+  EXPECT_EQ(ulp_distance(inf, -inf), std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(UlpDistance, OrderedAcrossSignBoundary) {
+  // -1 to +1 spans the full denormal+normal range twice; must not overflow
+  // into a tiny value.
+  EXPECT_GT(ulp_distance(-1.0, 1.0), ulp_distance(0.5, 1.0));
+}
+
+TEST(KahanOracle, MatchesExactArithmeticOnCancellation) {
+  // Row 0 of cancellation-row sums 1e16 + 1 - 1e16 = 1 exactly under Kahan
+  // (the naive left-to-right order yields 0 or 2 depending on grouping).
+  CooMatrix coo(1, 3);
+  coo.add(0, 0, 1e16);
+  coo.add(0, 1, 1.0);
+  coo.add(0, 2, -1e16);
+  coo.compress();
+  const CsrMatrix a = CsrMatrix::from_coo(coo);
+  const std::vector<value_t> x{1.0, 1.0, 1.0};
+  const Oracle o = kahan_reference(a, x);
+  EXPECT_DOUBLE_EQ(o.y[0], 1.0);
+  // The bound must cover naive summation's worst case for this row.
+  EXPECT_GT(o.row_bound[0], 0.0);
+  EXPECT_GE(o.row_bound[0],
+            3 * std::numeric_limits<double>::epsilon() * 2e16 * 0.9);
+}
+
+TEST(KahanOracle, EmptyRowsAreExactZeroWithZeroBound) {
+  CooMatrix coo(3, 3);
+  coo.add(1, 1, 4.0);
+  coo.compress();
+  const CsrMatrix a = CsrMatrix::from_coo(coo);
+  const std::vector<value_t> x{1.0, 2.0, 3.0};
+  const Oracle o = kahan_reference(a, x);
+  EXPECT_EQ(o.y[0], 0.0);
+  EXPECT_EQ(o.row_bound[0], 0.0);
+  EXPECT_DOUBLE_EQ(o.y[1], 8.0);
+  EXPECT_EQ(o.y[2], 0.0);
+}
+
+TEST(KahanOracle, RejectsWrongVectorSize) {
+  const CsrMatrix a = gen::dense(4);
+  std::vector<value_t> x(3, 1.0);
+  EXPECT_THROW((void)kahan_reference(a, x), std::invalid_argument);
+}
+
+TEST(Compare, PassesBitIdenticalResult) {
+  const CsrMatrix a = gen::stencil_2d_5pt(8, 8);
+  const std::vector<value_t> x = gen::test_vector(a.ncols());
+  const Oracle o = kahan_reference(a, x);
+  const CompareReport r = compare(o, o.y, UlpPolicy{0, 0.0});
+  EXPECT_TRUE(r.pass());
+  EXPECT_EQ(r.worst_ulps, 0u);
+}
+
+TEST(Compare, AcceptsReorderingWithinPolicy) {
+  // A serial left-to-right sum differs from Kahan by at most the bound.
+  const CsrMatrix a = gen::banded(200, 20, 12, 3);
+  const std::vector<value_t> x = gen::test_vector(a.ncols());
+  const Oracle o = kahan_reference(a, x);
+  std::vector<value_t> naive(static_cast<std::size_t>(a.nrows()));
+  a.multiply(x, naive);
+  EXPECT_TRUE(compare(o, naive, UlpPolicy{}).pass());
+}
+
+TEST(Compare, FlagsWrongValueWithRowAttribution) {
+  const CsrMatrix a = gen::dense(16);
+  const std::vector<value_t> x = gen::test_vector(a.ncols());
+  const Oracle o = kahan_reference(a, x);
+  std::vector<value_t> y = o.y;
+  y[7] *= 1.001;  // far outside any legitimate reordering error
+  const CompareReport r = compare(o, y, UlpPolicy{});
+  ASSERT_FALSE(r.pass());
+  ASSERT_EQ(r.failures.size(), 1u);
+  EXPECT_EQ(r.failures[0].row, 7);
+  EXPECT_EQ(r.worst_row, 7);
+  EXPECT_NE(r.to_string().find("row 7"), std::string::npos);
+}
+
+TEST(Compare, FlagsNaN) {
+  const CsrMatrix a = gen::dense(4);
+  const std::vector<value_t> x = gen::test_vector(a.ncols());
+  const Oracle o = kahan_reference(a, x);
+  std::vector<value_t> y = o.y;
+  y[2] = std::numeric_limits<value_t>::quiet_NaN();
+  const CompareReport r = compare(o, y, UlpPolicy{});
+  ASSERT_FALSE(r.pass());
+  EXPECT_EQ(r.failures[0].row, 2);
+}
+
+TEST(Compare, FlagsSkippedRowOnEmptyRowMatrix) {
+  // A kernel that never writes empty rows leaves poison; the comparator must
+  // treat that as a divergence, not a pass.
+  CooMatrix coo(4, 4);
+  coo.add(0, 0, 1.0);
+  coo.add(3, 3, 1.0);
+  coo.compress();
+  const CsrMatrix a = CsrMatrix::from_coo(coo);
+  const std::vector<value_t> x(4, 1.0);
+  const Oracle o = kahan_reference(a, x);
+  std::vector<value_t> y = o.y;
+  y[1] = std::numeric_limits<value_t>::quiet_NaN();  // "skipped" empty row
+  EXPECT_FALSE(compare(o, y, UlpPolicy{}).pass());
+}
+
+TEST(Compare, BoundArmDoesNotAdmitWrongIndexBugs) {
+  // Reading x[j+1] instead of x[j] lands orders of magnitude outside the
+  // forward-error bound on a generic matrix.
+  const CsrMatrix a = gen::random_uniform(64, 6, 11);
+  const std::vector<value_t> x = gen::test_vector(a.ncols());
+  const Oracle o = kahan_reference(a, x);
+  std::vector<value_t> y(static_cast<std::size_t>(a.nrows()), 0.0);
+  for (index_t i = 0; i < a.nrows(); ++i) {
+    value_t sum = 0.0;
+    for (index_t k = a.rowptr()[i]; k < a.rowptr()[i + 1]; ++k) {
+      const index_t j = (a.colind()[k] + 1) % a.ncols();  // the "bug"
+      sum += a.values()[k] * x[static_cast<std::size_t>(j)];
+    }
+    y[static_cast<std::size_t>(i)] = sum;
+  }
+  EXPECT_FALSE(compare(o, y, UlpPolicy{}).pass());
+}
+
+TEST(Compare, CheckSpmvConvenienceAgrees) {
+  const CsrMatrix a = gen::stencil_2d_5pt(6, 6);
+  const std::vector<value_t> x = gen::test_vector(a.ncols());
+  std::vector<value_t> y(static_cast<std::size_t>(a.nrows()));
+  a.multiply(x, y);
+  EXPECT_TRUE(check_spmv(a, x, y).pass());
+}
+
+TEST(Compare, AdversarialVectorIsDeterministicAndFinite) {
+  const auto a = adversarial_vector(512, 3);
+  const auto b = adversarial_vector(512, 3);
+  EXPECT_EQ(a, b);
+  for (const value_t v : a) EXPECT_TRUE(std::isfinite(v));
+  EXPECT_NE(a, adversarial_vector(512, 4));
+}
+
+}  // namespace
+}  // namespace spmvopt::verify
