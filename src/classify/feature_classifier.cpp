@@ -100,6 +100,22 @@ FeatureClassifier FeatureClassifier::load(std::istream& in) {
   return fc;
 }
 
+ClassSet heuristic_feature_classes(const CsrMatrix& A) {
+  const features::FeatureVector f = features::extract_features(A);
+  ClassSet cls;
+  if (f[features::FeatureId::MissesAvg] >= 1.0) cls.add(Bottleneck::ML);
+  const double nnz_avg = f[features::FeatureId::NnzAvg];
+  if (f[features::FeatureId::NnzMax] >= 64.0 &&
+      f[features::FeatureId::NnzMax] >= 8.0 * (nnz_avg > 1.0 ? nnz_avg : 1.0))
+    cls.add(Bottleneck::IMB);
+  const bool llc_resident = f[features::FeatureId::Size] >= 0.5;
+  if (llc_resident)
+    cls.add(Bottleneck::CMP);
+  else if (!cls.has(Bottleneck::ML))
+    cls.add(Bottleneck::MB);
+  return cls;
+}
+
 TrainingResult train_from_pool(const std::vector<CsrMatrix>& pool,
                                std::vector<features::FeatureId> feature_set,
                                const ProfileParams& profile_params,

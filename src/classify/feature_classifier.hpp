@@ -76,4 +76,13 @@ struct TrainingResult {
     const ProfileParams& profile_params = {},
     const perf::BoundsConfig& bounds_cfg = {});
 
+/// Hand-coded fallback rules over the Table I features, for when neither a
+/// trained tree nor the profiling budget is available (DESIGN.md §6):
+///   ML  when misses_avg >= 1 (on average every row walks off its lines)
+///   IMB when nnz_max >= 64 and >= 8x nnz_avg (the §III-E power-law shape)
+///   CMP when the working set is LLC-resident (the Size feature)
+///   MB  when DRAM-resident and not already latency-bound
+/// Deliberately conservative: one Θ(NNZ) feature pass, no measurements.
+[[nodiscard]] ClassSet heuristic_feature_classes(const CsrMatrix& A);
+
 }  // namespace spmvopt::classify

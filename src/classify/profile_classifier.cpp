@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "classify/feature_classifier.hpp"
 #include "perf/partitioned_ml.hpp"
 
 namespace spmvopt::classify {
@@ -35,8 +36,19 @@ ClassSet classify_from_bounds(const perf::PerfBounds& b,
 
 ProfileResult classify_profile(const CsrMatrix& A, const ProfileParams& p,
                                const perf::BoundsConfig& cfg) {
+  perf::BoundsConfig budgeted = cfg;
+  if (p.budget_seconds > 0.0 && budgeted.deadline_seconds <= 0.0)
+    budgeted.deadline_seconds = p.budget_seconds;
+
   ProfileResult r;
-  r.bounds = perf::measure_bounds(A, cfg);
+  r.bounds = perf::measure_bounds(A, budgeted);
+  if (r.bounds.overrun) {
+    // Budget spent before the P_ML/P_CMP micro-benchmarks ran: the measured
+    // rules would see zeros, so classify from structure alone instead.
+    r.used_fallback = true;
+    r.classes = heuristic_feature_classes(A);
+    return r;
+  }
   r.classes = classify_from_bounds(r.bounds, p);
   if (p.ml_partitions > 1 && !r.classes.has(Bottleneck::ML)) {
     const int parts = std::min<int>(p.ml_partitions, std::max<index_t>(1, A.nrows()));

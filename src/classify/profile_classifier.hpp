@@ -33,6 +33,12 @@ struct ProfileParams {
   /// hides inside a region the whole-matrix average washes out.  1 disables
   /// (the paper's published behaviour).
   int ml_partitions = 1;
+  /// Wall-clock budget for the online profiling phase (seconds; <= 0 means
+  /// unlimited).  On overrun the measured-bound rules cannot run; the
+  /// classifier falls back to the hand-coded feature heuristics
+  /// (heuristic_feature_classes), flagged via ProfileResult::used_fallback
+  /// (DESIGN.md §6).
+  double budget_seconds = 0.0;
 };
 
 /// Pure rule evaluation on precomputed bounds (unit-testable in isolation).
@@ -46,6 +52,9 @@ struct ProfileResult {
   ClassSet classes;
   /// Max per-block ML ratio; 0 when ml_partitions == 1.
   double partition_ml_max = 0.0;
+  /// True when profiling overran its budget and `classes` came from the
+  /// feature heuristics instead of the measured bounds.
+  bool used_fallback = false;
 };
 [[nodiscard]] ProfileResult classify_profile(const CsrMatrix& A,
                                              const ProfileParams& p = {},

@@ -4,6 +4,7 @@
 
 #include "kernels/bcsr_kernels.hpp"
 #include "kernels/sell_kernels.hpp"
+#include "robust/fault_inject.hpp"
 #include "support/cpu_info.hpp"
 #include "support/timing.hpp"
 
@@ -31,51 +32,93 @@ OptimizedSpmv OptimizedSpmv::create(const CsrMatrix& A, const Plan& plan,
     throw std::invalid_argument(
         "OptimizedSpmv: bcsr is a whole-format plan (no other optimizations)");
 
-  if (plan.bcsr) {
-    const auto [br, bc] = BcsrMatrix::choose_block_size(A);
-    o.part_ = balanced_nnz_partition(A.rowptr(), A.nrows(), t);
-    if (br * bc > 1) {
-      o.bcsr_ = BcsrMatrix::from_csr(A, br, bc);
-    } else {
-      // No block shape pays on this pattern: fall back to plain CSR
-      // (OSKI declines to block in the same situation).
+  // The degradation ladder (DESIGN.md §6): each conversion below may fail —
+  // by throwing, by declining (BCSR finds no paying block shape, delta gaps
+  // exceed 16 bits), or under fault injection.  A failed rung is recorded and
+  // dropped from the plan; preprocessing then continues with whatever
+  // features survive, bottoming out at baseline CSR, which cannot fail on a
+  // valid matrix.  At most one whole-format conversion runs (the conflict
+  // checks above enforce exclusivity).
+
+  if (o.plan_.bcsr) {
+    try {
+      if (robust::fault_fire("convert.bcsr"))
+        throw std::runtime_error("injected conversion failure");
+      const auto [br, bc] = BcsrMatrix::choose_block_size(A);
+      if (br * bc > 1) {
+        o.bcsr_ = BcsrMatrix::from_csr(A, br, bc);
+      } else {
+        // No block shape pays on this pattern (OSKI declines to block in
+        // the same situation).
+        o.plan_.bcsr = false;
+        o.degradation_.record("bcsr", "no block shape pays on this pattern");
+      }
+    } catch (const std::exception& e) {
       o.plan_.bcsr = false;
-      o.csr_ = &A;
-      o.csr_fn_ =
-          kernels::select_csr_kernel(plan.sched, plan.prefetch, plan.compute);
+      o.degradation_.record("bcsr", e.what());
     }
-  } else if (plan.sell) {
-    o.sell_ = SellMatrix::from_csr(A, kernels::sell_native_chunk(),
-                                   32 * kernels::sell_native_chunk());
-    // Partition is unused by the SELL kernel but kept consistent.
+  }
+
+  if (o.plan_.sell) {
+    try {
+      if (robust::fault_fire("convert.sell"))
+        throw std::runtime_error("injected conversion failure");
+      o.sell_ = SellMatrix::from_csr(A, kernels::sell_native_chunk(),
+                                     32 * kernels::sell_native_chunk());
+    } catch (const std::exception& e) {
+      o.plan_.sell = false;
+      o.degradation_.record("sell", e.what());
+    }
+  }
+
+  if (o.plan_.split_long_rows) {
+    try {
+      if (robust::fault_fire("convert.split"))
+        throw std::runtime_error("injected conversion failure");
+      o.split_ = SplitCsrMatrix::split(A, SplitCsrMatrix::default_threshold(A));
+    } catch (const std::exception& e) {
+      o.plan_.split_long_rows = false;
+      o.degradation_.record("split", e.what());
+    }
+  }
+
+  if (o.plan_.delta) {
+    try {
+      if (robust::fault_fire("convert.delta"))
+        throw std::runtime_error("injected conversion failure");
+      auto encoded = DeltaCsrMatrix::encode(A);
+      if (encoded) {
+        o.delta_ = std::move(*encoded);
+      } else {
+        // Gaps exceed 16 bits: fall back to raw indices (§III-E uses 8- or
+        // 16-bit deltas "wherever possible" — here it is not possible).
+        o.plan_.delta = false;
+        o.degradation_.record("delta", "in-row gap exceeds 16 bits");
+      }
+    } catch (const std::exception& e) {
+      o.plan_.delta = false;
+      o.degradation_.record("delta", e.what());
+    }
+  }
+
+  // Partition and kernel selection over whatever survived.
+  if (o.bcsr_ || o.sell_) {
+    // Partition is unused by these whole-format kernels but kept consistent.
     o.part_ = balanced_nnz_partition(A.rowptr(), A.nrows(), t);
-  } else if (plan.split_long_rows) {
-    o.split_ = SplitCsrMatrix::split(A, SplitCsrMatrix::default_threshold(A));
+  } else if (o.split_) {
     o.part_ = balanced_nnz_partition(o.split_->short_part().rowptr(),
                                      o.split_->short_part().nrows(), t);
-    o.csr_fn_ =
-        kernels::select_csr_kernel(plan.sched, plan.prefetch, plan.compute);
-  } else if (plan.delta) {
-    auto encoded = DeltaCsrMatrix::encode(A);
-    if (encoded) {
-      o.delta_ = std::move(*encoded);
-      o.part_ = balanced_nnz_partition(A.rowptr(), A.nrows(), t);
-      o.delta_fn_ = kernels::select_delta_kernel(plan.sched, plan.prefetch,
-                                                 plan.compute);
-    } else {
-      // Gaps exceed 16 bits: fall back to raw indices (§III-E uses 8- or
-      // 16-bit deltas "wherever possible" — here it is not possible).
-      o.plan_.delta = false;
-      o.csr_ = &A;
-      o.part_ = balanced_nnz_partition(A.rowptr(), A.nrows(), t);
-      o.csr_fn_ =
-          kernels::select_csr_kernel(plan.sched, plan.prefetch, plan.compute);
-    }
+    o.csr_fn_ = kernels::select_csr_kernel(o.plan_.sched, o.plan_.prefetch,
+                                           o.plan_.compute);
+  } else if (o.delta_) {
+    o.part_ = balanced_nnz_partition(A.rowptr(), A.nrows(), t);
+    o.delta_fn_ = kernels::select_delta_kernel(o.plan_.sched, o.plan_.prefetch,
+                                               o.plan_.compute);
   } else {
     o.csr_ = &A;
     o.part_ = balanced_nnz_partition(A.rowptr(), A.nrows(), t);
-    o.csr_fn_ =
-        kernels::select_csr_kernel(plan.sched, plan.prefetch, plan.compute);
+    o.csr_fn_ = kernels::select_csr_kernel(o.plan_.sched, o.plan_.prefetch,
+                                           o.plan_.compute);
   }
 
   o.pre_sec_ = timer.elapsed_sec();

@@ -14,6 +14,7 @@
 #include <span>
 
 #include "optimize/plan.hpp"
+#include "robust/degradation.hpp"
 #include "sparse/delta_csr.hpp"
 #include "sparse/sell.hpp"
 #include "sparse/bcsr.hpp"
@@ -27,10 +28,14 @@ class OptimizedSpmv {
   /// Empty (not yet bound to a matrix); assign from create() before run().
   OptimizedSpmv() = default;
 
-  /// Preprocess `A` for `plan`.  When the plan requests delta compression
-  /// but the matrix has in-row gaps above 16 bits, the plan silently falls
-  /// back to raw indices (query `plan()` for what actually runs).
-  /// `nthreads` <= 0 means default_threads().
+  /// Preprocess `A` for `plan`.  Construction never fails on a valid matrix:
+  /// when a plan feature cannot be built (delta gaps unencodable, a
+  /// BCSR/SELL/split conversion throws), the feature is dropped and
+  /// preprocessing continues on the next rung of the ladder, down to
+  /// baseline CSR (DESIGN.md §6).  Query `plan()` for what actually runs and
+  /// `degradation()` for every dropped rung and why.  Conflicting feature
+  /// combinations still throw std::invalid_argument — that is a programmer
+  /// error, not a data fault.  `nthreads` <= 0 means default_threads().
   static OptimizedSpmv create(const CsrMatrix& A, const Plan& plan,
                               int nthreads = 0);
 
@@ -41,6 +46,9 @@ class OptimizedSpmv {
   void run(std::span<const value_t> x, std::span<value_t> y) const;
 
   [[nodiscard]] const Plan& plan() const noexcept { return plan_; }
+  [[nodiscard]] const robust::DegradationLog& degradation() const noexcept {
+    return degradation_;
+  }
   [[nodiscard]] double preprocessing_seconds() const noexcept { return pre_sec_; }
   [[nodiscard]] index_t nrows() const noexcept { return nrows_; }
   [[nodiscard]] index_t ncols() const noexcept { return ncols_; }
@@ -52,6 +60,7 @@ class OptimizedSpmv {
 
  private:
   Plan plan_;
+  robust::DegradationLog degradation_;
   const CsrMatrix* csr_ = nullptr;  ///< view; null when a converted format owns
   std::optional<DeltaCsrMatrix> delta_;
   std::optional<SplitCsrMatrix> split_;

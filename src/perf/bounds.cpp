@@ -5,13 +5,21 @@
 
 #include "gen/generators.hpp"
 #include "kernels/spmv.hpp"
+#include "robust/fault_inject.hpp"
 #include "support/cpu_info.hpp"
 #include "support/partition.hpp"
 #include "support/stats.hpp"
+#include "support/timing.hpp"
 
 namespace spmvopt::perf {
 
 PerfBounds measure_bounds(const CsrMatrix& A, const BoundsConfig& cfg) {
+  Timer deadline_timer;
+  const auto deadline_hit = [&] {
+    if (robust::fault_fire("classify.profile_overrun")) return true;
+    return cfg.deadline_seconds > 0.0 &&
+           deadline_timer.elapsed_sec() > cfg.deadline_seconds;
+  };
   const int nthreads = cfg.nthreads > 0 ? cfg.nthreads : default_threads();
   const auto part = balanced_nnz_partition(A.rowptr(), A.nrows(), nthreads);
   const double flops = 2.0 * static_cast<double>(A.nnz());
@@ -47,6 +55,14 @@ PerfBounds measure_bounds(const CsrMatrix& A, const BoundsConfig& cfg) {
   const double t_median = median(medians);
   b.p_imb = t_median > 0.0 ? flops / t_median / 1e9 : b.p_csr;
 
+  // Budget check between measurement blocks: P_CSR/P_IMB above are always
+  // taken (they double as the baseline timing); the two micro-benchmarks
+  // below are skippable.
+  if (deadline_hit()) {
+    b.overrun = true;
+    return b;
+  }
+
   // P_ML: baseline kernel on the regular-access copy (colind := row index).
   {
     const CsrMatrix regular = kernels::make_regular_access_copy(A);
@@ -54,6 +70,11 @@ PerfBounds measure_bounds(const CsrMatrix& A, const BoundsConfig& cfg) {
         [&] { kernels::spmv_balanced(regular, part, x.data(), y.data()); },
         flops, cfg.measure);
     b.p_ml = ml.gflops;
+  }
+
+  if (deadline_hit()) {
+    b.overrun = true;
+    return b;
   }
 
   // P_CMP: all indirection eliminated, unit-stride accesses only.

@@ -26,11 +26,19 @@ struct PerfBounds {
   double p_peak = 0.0;
   bool fits_llc = false;  ///< working set within the LLC (footnote-2 B_max)
   double bmax_gbps = 0.0; ///< the B_max actually used
+  /// True when the deadline cut profiling short: P_CSR/P_IMB and the
+  /// analytic bounds are valid, but p_ml/p_cmp were skipped (left 0).
+  bool overrun = false;
 };
 
 struct BoundsConfig {
   MeasureConfig measure = MeasureConfig::from_env();
   int nthreads = 0;  ///< <= 0: default_threads()
+  /// Wall-clock budget for the whole measurement (seconds; <= 0 means
+  /// unlimited).  Checked between measurement blocks — P_CSR is always
+  /// measured; the P_ML and P_CMP micro-benchmarks are skipped once the
+  /// budget is spent, with `PerfBounds::overrun` set (DESIGN.md §6).
+  double deadline_seconds = 0.0;
 };
 
 /// Run the bound-and-bottleneck analysis for `A` on this host.

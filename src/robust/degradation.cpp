@@ -1,0 +1,15 @@
+#include "robust/degradation.hpp"
+
+namespace spmvopt::robust {
+
+std::string DegradationLog::to_string() const {
+  if (entries_.empty()) return "no degradation";
+  std::string s;
+  for (const Degradation& d : entries_) {
+    if (!s.empty()) s += "; ";
+    s += "dropped " + d.feature + " (" + d.reason + ")";
+  }
+  return s;
+}
+
+}  // namespace spmvopt::robust

@@ -1,0 +1,47 @@
+// DegradationLog: a queryable record of graceful-degradation steps.
+//
+// "Always-safe to apply" (the paper's framing of the optimizer) made
+// literal: when a plan feature cannot be built — delta gaps unencodable, a
+// BCSR/SELL conversion fails, the profiler overruns its budget — the feature
+// is dropped and the run continues on the next rung of the ladder, down to
+// baseline CSR, which cannot fail on a valid matrix.  Every dropped rung is
+// recorded here with its reason so callers (and tests) can see exactly what
+// ran and why, instead of silently getting something slower than requested.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace spmvopt::robust {
+
+/// One step down the ladder: a plan feature that was dropped.
+struct Degradation {
+  std::string feature;  ///< "delta" | "split" | "sell" | "bcsr" | "profile"
+  std::string reason;   ///< human-readable cause (exception message, rule)
+};
+
+class DegradationLog {
+ public:
+  void record(std::string feature, std::string reason) {
+    entries_.push_back({std::move(feature), std::move(reason)});
+  }
+
+  [[nodiscard]] const std::vector<Degradation>& entries() const noexcept {
+    return entries_;
+  }
+  [[nodiscard]] bool degraded() const noexcept { return !entries_.empty(); }
+  [[nodiscard]] bool dropped(std::string_view feature) const noexcept {
+    for (const Degradation& d : entries_)
+      if (d.feature == feature) return true;
+    return false;
+  }
+
+  /// "dropped delta (in-row gap exceeds 16-bit); dropped split (...)".
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<Degradation> entries_;
+};
+
+}  // namespace spmvopt::robust

@@ -1,0 +1,36 @@
+#include "robust/error.hpp"
+
+namespace spmvopt {
+
+const char* error_category_name(ErrorCategory c) noexcept {
+  switch (c) {
+    case ErrorCategory::Io: return "io";
+    case ErrorCategory::Format: return "format";
+    case ErrorCategory::Resource: return "resource";
+    case ErrorCategory::Internal: return "internal";
+  }
+  return "internal";
+}
+
+int exit_code_for(ErrorCategory c) noexcept {
+  switch (c) {
+    case ErrorCategory::Format: return 65;    // EX_DATAERR
+    case ErrorCategory::Io: return 66;        // EX_NOINPUT
+    case ErrorCategory::Internal: return 70;  // EX_SOFTWARE
+    case ErrorCategory::Resource: return 71;  // EX_OSERR
+  }
+  return 70;
+}
+
+std::string Error::to_string() const {
+  std::string s = error_category_name(category_);
+  s += ": ";
+  s += message_;
+  for (const std::string& frame : context_) {
+    s += "\n  ";
+    s += frame;
+  }
+  return s;
+}
+
+}  // namespace spmvopt

@@ -1,0 +1,138 @@
+// Error taxonomy and Expected<T> result type for the ingestion paths.
+//
+// Every layer between a .mtx file on disk and an executed plan used to throw
+// bare std::runtime_error straight through to main.  The robustness layer
+// (DESIGN.md §6) classifies recoverable failures into four categories so
+// callers can decide policy (retry, rebuild a cache, degrade, report an exit
+// code) instead of pattern-matching message strings:
+//
+//   Io        the byte source/sink failed (open, read, write, rename)
+//   Format    the bytes are wrong (malformed .mtx, corrupted cache, failed
+//             CSR validation)
+//   Resource  the input is well-formed but exceeds a limit (index range,
+//             SPMVOPT_MAX_NNZ / SPMVOPT_MAX_BYTES ceilings, out of memory)
+//   Internal  a bug or an unclassified failure — never expected in normal use
+//
+// Checked entry points return Expected<T>; the historical throwing functions
+// remain as shims that unwrap via value_or_throw(), raising SpmvException
+// (which is-a std::runtime_error, so existing catch sites keep working).
+#pragma once
+
+#include <cassert>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace spmvopt {
+
+enum class ErrorCategory { Io, Format, Resource, Internal };
+
+/// "io" | "format" | "resource" | "internal".
+[[nodiscard]] const char* error_category_name(ErrorCategory c) noexcept;
+
+/// BSD-sysexits-compatible process exit code for a category (the CLI
+/// contract, covered by test_cli): Format→65 (EX_DATAERR), Io→66
+/// (EX_NOINPUT), Internal→70 (EX_SOFTWARE), Resource→71 (EX_OSERR).
+[[nodiscard]] int exit_code_for(ErrorCategory c) noexcept;
+
+/// Exit code for malformed command lines (EX_USAGE); no ErrorCategory maps
+/// here — usage errors never travel through Error.
+inline constexpr int kExitUsage = 64;
+
+/// A categorized failure with a human-readable message and a context chain
+/// ("while reading 'x.mtx'", innermost first) accumulated as the error
+/// propagates outward.
+class Error {
+ public:
+  Error(ErrorCategory category, std::string message)
+      : category_(category), message_(std::move(message)) {}
+
+  [[nodiscard]] ErrorCategory category() const noexcept { return category_; }
+  [[nodiscard]] const std::string& message() const noexcept { return message_; }
+  [[nodiscard]] const std::vector<std::string>& context() const noexcept {
+    return context_;
+  }
+
+  /// Append one context frame (innermost first).
+  void add_context(std::string frame) { context_.push_back(std::move(frame)); }
+  [[nodiscard]] Error&& with_context(std::string frame) && {
+    add_context(std::move(frame));
+    return std::move(*this);
+  }
+
+  /// "format: matrix market: line 3: malformed entry" followed by one
+  /// indented line per context frame.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  ErrorCategory category_;
+  std::string message_;
+  std::vector<std::string> context_;
+};
+
+/// The exception the throwing shims raise.  Derives from std::runtime_error
+/// (what() == Error::to_string()) so pre-robustness catch sites still work,
+/// while new ones can recover the full Error.
+class SpmvException : public std::runtime_error {
+ public:
+  explicit SpmvException(Error e)
+      : std::runtime_error(e.to_string()), error_(std::move(e)) {}
+  [[nodiscard]] const Error& error() const noexcept { return error_; }
+
+ private:
+  Error error_;
+};
+
+/// Value type for Expected<> when success carries no payload.
+struct Unit {};
+
+/// Minimal expected/outcome type: either a T or an Error.  Deliberately tiny
+/// (no monadic combinators) — ingestion call chains here are 2-3 deep and
+/// explicit `if (!r.ok()) return ...` reads better in this codebase.
+template <class T>
+class Expected {
+ public:
+  Expected(T value) : state_(std::in_place_index<0>, std::move(value)) {}
+  Expected(Error error) : state_(std::in_place_index<1>, std::move(error)) {}
+
+  [[nodiscard]] bool ok() const noexcept { return state_.index() == 0; }
+  explicit operator bool() const noexcept { return ok(); }
+
+  [[nodiscard]] T& value() noexcept {
+    assert(ok());
+    return std::get<0>(state_);
+  }
+  [[nodiscard]] const T& value() const noexcept {
+    assert(ok());
+    return std::get<0>(state_);
+  }
+  [[nodiscard]] const Error& error() const& noexcept {
+    assert(!ok());
+    return std::get<1>(state_);
+  }
+  [[nodiscard]] Error&& error() && noexcept {
+    assert(!ok());
+    return std::move(std::get<1>(state_));
+  }
+
+  /// Move the value out, or raise SpmvException carrying the error.
+  [[nodiscard]] T value_or_throw() && {
+    if (!ok()) throw SpmvException(std::move(std::get<1>(state_)));
+    return std::move(std::get<0>(state_));
+  }
+
+  /// Append a context frame when holding an error; no-op on success.
+  [[nodiscard]] Expected&& with_context(std::string frame) && {
+    if (!ok()) std::get<1>(state_).add_context(std::move(frame));
+    return std::move(*this);
+  }
+
+ private:
+  std::variant<T, Error> state_;
+};
+
+using Status = Expected<Unit>;
+
+}  // namespace spmvopt

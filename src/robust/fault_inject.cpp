@@ -1,0 +1,121 @@
+#include "robust/fault_inject.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <stdexcept>
+
+namespace spmvopt::robust {
+
+namespace {
+
+// The registry.  Names are part of the public contract (tests and
+// SPMVOPT_FAULT sweep them); add new points here and in DESIGN.md §6.
+constexpr const char* kPointNames[] = {
+    "coo_csr.alloc",             // allocation during COO→CSR conversion
+    "mmio.alloc",                // allocation while reading a .mtx
+    "binary_io.short_read",      // device-level read failure on the cache
+    "binary_io.short_write",     // device-level write failure on the cache
+    "binary_io.bit_flip",        // cache payload corruption (checksum catch)
+    "convert.delta",             // delta-CSR encoding failure
+    "convert.split",             // long-row decomposition failure
+    "convert.sell",              // SELL-C-sigma conversion failure
+    "convert.bcsr",              // BCSR conversion failure
+    "classify.profile_overrun",  // profiling exceeds its wall-clock budget
+};
+constexpr std::size_t kPointCount = std::size(kPointNames);
+
+}  // namespace
+
+std::vector<std::string> fault_points() {
+  return {std::begin(kPointNames), std::end(kPointNames)};
+}
+
+#ifdef SPMVOPT_FAULT_INJECTION
+
+namespace {
+
+struct PointState {
+  std::atomic<long> hits{0};
+  std::atomic<long> armed_at{0};  ///< absolute hit number to fire on; 0 = off
+};
+PointState g_state[kPointCount];
+
+/// Index of `name`, or kPointCount when unknown.
+std::size_t find_point(const char* name) noexcept {
+  for (std::size_t i = 0; i < kPointCount; ++i)
+    if (std::strcmp(kPointNames[i], name) == 0) return i;
+  return kPointCount;
+}
+
+void arm_index(std::size_t i, long nth) noexcept {
+  g_state[i].armed_at.store(g_state[i].hits.load(std::memory_order_relaxed) +
+                                nth,
+                            std::memory_order_relaxed);
+}
+
+/// SPMVOPT_FAULT="point[:nth],point2[:nth2]".  Unknown names and malformed
+/// counts are skipped: a stale variable must never take production down.
+void arm_from_env() noexcept {
+  const char* v = std::getenv("SPMVOPT_FAULT");
+  if (v == nullptr || *v == '\0') return;
+  std::string spec(v);
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    std::size_t end = spec.find(',', start);
+    if (end == std::string::npos) end = spec.size();
+    std::string item = spec.substr(start, end - start);
+    start = end + 1;
+    if (item.empty()) continue;
+    long nth = 1;
+    const std::size_t colon = item.find(':');
+    if (colon != std::string::npos) {
+      char* parse_end = nullptr;
+      const long parsed = std::strtol(item.c_str() + colon + 1, &parse_end, 10);
+      if (parse_end != item.c_str() + colon + 1 && parsed >= 1) nth = parsed;
+      item.resize(colon);
+    }
+    const std::size_t i = find_point(item.c_str());
+    if (i < kPointCount) arm_index(i, nth);
+  }
+}
+
+std::once_flag g_env_once;
+
+}  // namespace
+
+bool fault_fire(const char* point) noexcept {
+  std::call_once(g_env_once, arm_from_env);
+  const std::size_t i = find_point(point);
+  if (i == kPointCount) return false;
+  const long hit = g_state[i].hits.fetch_add(1, std::memory_order_relaxed) + 1;
+  // Equality makes the trigger one-shot without a separate disarm store.
+  return hit == g_state[i].armed_at.load(std::memory_order_relaxed);
+}
+
+void fault_arm(const std::string& point, long nth) {
+  std::call_once(g_env_once, arm_from_env);
+  if (nth < 1)
+    throw std::invalid_argument("fault_arm: nth must be >= 1, got " +
+                                std::to_string(nth));
+  const std::size_t i = find_point(point.c_str());
+  if (i == kPointCount)
+    throw std::invalid_argument("fault_arm: unknown injection point '" +
+                                point + "'");
+  arm_index(i, nth);
+}
+
+void fault_disarm_all() noexcept {
+  for (PointState& s : g_state) s.armed_at.store(0, std::memory_order_relaxed);
+}
+
+long fault_hit_count(const std::string& point) noexcept {
+  const std::size_t i = find_point(point.c_str());
+  return i == kPointCount ? 0
+                          : g_state[i].hits.load(std::memory_order_relaxed);
+}
+
+#endif  // SPMVOPT_FAULT_INJECTION
+
+}  // namespace spmvopt::robust

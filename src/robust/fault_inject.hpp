@@ -1,0 +1,61 @@
+// Deterministic fault injection for the robustness layer (DESIGN.md §6).
+//
+// A fixed registry of named injection points sits on the cold paths of
+// ingestion, format conversion, and profiling.  A point is *armed* with a
+// trigger count N; it then fires exactly once, on the Nth hit after arming —
+// fully deterministic, so a test can target "the second read of this file"
+// and a recovery path re-running the same code does not re-fail.
+//
+// Arming: programmatically via fault_arm(), or through the environment
+// (SPMVOPT_FAULT="point[:nth][,point[:nth]...]", parsed on first use;
+// unknown names are ignored so stale variables cannot crash production).
+//
+// Cost: when the SPMVOPT_FAULT_INJECTION macro is off (CMake
+// -DSPMVOPT_FAULT_INJECTION=OFF), fault_fire() is a constant-false inline and
+// every injection branch compiles away.  When on (the default), each hit is
+// one relaxed atomic increment on paths that already do file I/O or format
+// conversion — never inside an SpMV kernel.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace spmvopt::robust {
+
+/// Stable names of every registered injection point (usable from tests to
+/// sweep the whole registry).  Available in all build modes.
+[[nodiscard]] std::vector<std::string> fault_points();
+
+#ifdef SPMVOPT_FAULT_INJECTION
+
+[[nodiscard]] constexpr bool fault_injection_enabled() noexcept { return true; }
+
+/// Count one hit of `point`; true exactly when this is the armed Nth hit.
+/// Unknown names count as never-armed (returns false).
+[[nodiscard]] bool fault_fire(const char* point) noexcept;
+
+/// Arm `point` to fire on the nth subsequent hit (nth >= 1).  Throws
+/// std::invalid_argument on an unknown point or nth < 1.
+void fault_arm(const std::string& point, long nth = 1);
+
+/// Disarm every point (hit counters keep running).
+void fault_disarm_all() noexcept;
+
+/// Total hits observed at `point` since process start (0 for unknown names).
+[[nodiscard]] long fault_hit_count(const std::string& point) noexcept;
+
+#else
+
+[[nodiscard]] constexpr bool fault_injection_enabled() noexcept {
+  return false;
+}
+[[nodiscard]] inline bool fault_fire(const char*) noexcept { return false; }
+inline void fault_arm(const std::string&, long = 1) {}
+inline void fault_disarm_all() noexcept {}
+[[nodiscard]] inline long fault_hit_count(const std::string&) noexcept {
+  return 0;
+}
+
+#endif
+
+}  // namespace spmvopt::robust

@@ -1,65 +1,151 @@
 #include "sparse/binary_io.hpp"
 
 #include <cstdint>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <limits>
 #include <istream>
+#include <new>
 #include <ostream>
 #include <stdexcept>
+
+#include "robust/fault_inject.hpp"
+#include "sparse/mmio.hpp"
+#include "support/checked.hpp"
+#include "support/crc32.hpp"
+#include "support/env.hpp"
 
 namespace spmvopt {
 
 namespace {
 
-constexpr char kMagic[8] = {'S', 'P', 'M', 'V', 'C', 'S', 'R', '1'};
+constexpr char kMagicV1[8] = {'S', 'P', 'M', 'V', 'C', 'S', 'R', '1'};
+constexpr char kMagicV2[8] = {'S', 'P', 'M', 'V', 'C', 'S', 'R', '2'};
+constexpr std::uint32_t kFormatVersion = 2;
+
+[[noreturn]] void fail(const std::string& what,
+                       ErrorCategory category = ErrorCategory::Format) {
+  throw SpmvException(Error(category, "csr binary: " + what));
+}
 
 template <class T>
 void write_raw(std::ostream& out, const T* data, std::size_t count) {
+  if (robust::fault_fire("binary_io.short_write"))
+    fail("write failed (injected)", ErrorCategory::Io);
   out.write(reinterpret_cast<const char*>(data),
             static_cast<std::streamsize>(count * sizeof(T)));
+  if (!out) fail("write failed", ErrorCategory::Io);
 }
 
 template <class T>
 void read_raw(std::istream& in, T* data, std::size_t count) {
+  if (robust::fault_fire("binary_io.short_read"))
+    fail("truncated file (injected)");
   in.read(reinterpret_cast<char*>(data),
           static_cast<std::streamsize>(count * sizeof(T)));
-  if (!in) throw std::runtime_error("csr binary: truncated file");
+  if (!in) {
+    if (in.bad()) fail("stream read error", ErrorCategory::Io);
+    fail("truncated file");
+  }
 }
 
-}  // namespace
-
-void write_csr_binary(std::ostream& out, const CsrMatrix& csr) {
-  out.write(kMagic, sizeof(kMagic));
-  const std::int64_t dims[3] = {csr.nrows(), csr.ncols(), csr.nnz()};
-  write_raw(out, dims, 3);
-  write_raw(out, csr.rowptr(), static_cast<std::size_t>(csr.nrows()) + 1);
-  write_raw(out, csr.colind(), static_cast<std::size_t>(csr.nnz()));
-  write_raw(out, csr.values(), static_cast<std::size_t>(csr.nnz()));
-  if (!out) throw std::runtime_error("csr binary: write failed");
+/// Payload bytes after the header: rowptr + colind + values.  False on
+/// 64-bit overflow.
+bool payload_bytes(std::uint64_t nrows, std::uint64_t nnz, std::uint64_t* out) {
+  std::uint64_t rowptr_b = 0, colind_b = 0, values_b = 0, sum = 0;
+  return checked_mul_u64(nrows + 1, sizeof(index_t), &rowptr_b) &&
+         checked_mul_u64(nnz, sizeof(index_t), &colind_b) &&
+         checked_mul_u64(nnz, sizeof(value_t), &values_b) &&
+         checked_add_u64(rowptr_b, colind_b, &sum) &&
+         checked_add_u64(sum, values_b, out);
 }
 
-void write_csr_binary_file(const std::string& path, const CsrMatrix& csr) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) throw std::runtime_error("csr binary: cannot open '" + path + "'");
-  write_csr_binary(out, csr);
+std::uint32_t checksum(const std::int64_t dims[3], const index_t* rowptr,
+                       std::size_t rowptr_n, const index_t* colind,
+                       const value_t* values, std::size_t nnz) {
+  std::uint32_t c = crc32(dims, 3 * sizeof(std::int64_t));
+  c = crc32(rowptr, rowptr_n * sizeof(index_t), c);
+  c = crc32(colind, nnz * sizeof(index_t), c);
+  c = crc32(values, nnz * sizeof(value_t), c);
+  return c;
 }
 
-CsrMatrix read_csr_binary(std::istream& in) {
+/// When the stream is seekable, verify the file holds exactly the bytes the
+/// header promises *before* allocating the arrays.
+void check_stream_length(std::istream& in, std::uint64_t expected_total) {
+  const std::istream::pos_type here = in.tellg();
+  if (here == std::istream::pos_type(-1)) return;  // not seekable
+  in.seekg(0, std::ios::end);
+  const std::istream::pos_type end = in.tellg();
+  in.seekg(here);
+  if (end == std::istream::pos_type(-1) || !in) {
+    in.clear();
+    in.seekg(here);
+    return;
+  }
+  const auto actual = static_cast<std::uint64_t>(std::streamoff(end));
+  if (actual < expected_total)
+    fail("file is " + std::to_string(actual) + " bytes but the header declares " +
+         std::to_string(expected_total));
+}
+
+CsrMatrix read_impl(std::istream& in) {
   char magic[8];
   in.read(magic, sizeof(magic));
-  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
-    throw std::runtime_error("csr binary: bad magic (not a spmvopt CSR file)");
+  if (!in) {
+    if (in.bad()) fail("stream read error", ErrorCategory::Io);
+    fail("truncated file (no magic)");
+  }
+  const bool v2 = std::memcmp(magic, kMagicV2, sizeof(kMagicV2)) == 0;
+  if (!v2 && std::memcmp(magic, kMagicV1, sizeof(kMagicV1)) != 0)
+    fail("bad magic (not a spmvopt CSR file)");
+
+  std::uint32_t version = 1;
+  if (v2) {
+    read_raw(in, &version, 1);
+    if (version != kFormatVersion)
+      fail("unsupported format version " + std::to_string(version));
+  }
+
   std::int64_t dims[3];
   read_raw(in, dims, 3);
   if (dims[0] < 0 || dims[1] < 0 || dims[2] < 0 ||
       dims[0] > std::numeric_limits<index_t>::max() ||
       dims[1] > std::numeric_limits<index_t>::max() ||
       dims[2] > std::numeric_limits<index_t>::max())
-    throw std::runtime_error("csr binary: implausible dimensions");
+    fail("implausible dimensions");
   const auto nrows = static_cast<index_t>(dims[0]);
   const auto ncols = static_cast<index_t>(dims[1]);
   const auto nnz = static_cast<std::size_t>(dims[2]);
+
+  std::uint32_t declared_crc = 0;
+  if (v2) read_raw(in, &declared_crc, 1);
+
+  const std::uint64_t max_nnz = max_nnz_limit();
+  if (max_nnz != 0 && static_cast<std::uint64_t>(nnz) > max_nnz)
+    fail(std::to_string(nnz) + " entries exceed the SPMVOPT_MAX_NNZ ceiling (" +
+             std::to_string(max_nnz) + ")",
+         ErrorCategory::Resource);
+
+  std::uint64_t payload = 0;
+  if (!payload_bytes(static_cast<std::uint64_t>(nrows),
+                     static_cast<std::uint64_t>(nnz), &payload))
+    fail("payload size overflows 64 bits", ErrorCategory::Resource);
+  const std::uint64_t max_bytes = max_bytes_limit();
+  if (max_bytes != 0 && payload > max_bytes)
+    fail("payload of " + std::to_string(payload) +
+             " bytes exceeds the SPMVOPT_MAX_BYTES ceiling (" +
+             std::to_string(max_bytes) + ")",
+         ErrorCategory::Resource);
+
+  const std::uint64_t header =
+      sizeof(magic) + (v2 ? sizeof(version) + sizeof(declared_crc) : 0) +
+      sizeof(dims);
+  std::uint64_t total = 0;
+  if (!checked_add_u64(header, payload, &total))
+    fail("file size overflows 64 bits", ErrorCategory::Resource);
+  check_stream_length(in, total);
 
   aligned_vector<index_t> rowptr(static_cast<std::size_t>(nrows) + 1);
   aligned_vector<index_t> colind(nnz);
@@ -67,15 +153,132 @@ CsrMatrix read_csr_binary(std::istream& in) {
   read_raw(in, rowptr.data(), rowptr.size());
   read_raw(in, colind.data(), colind.size());
   read_raw(in, values.data(), values.size());
-  // The CsrMatrix constructor re-validates structure.
-  return CsrMatrix(nrows, ncols, std::move(rowptr), std::move(colind),
-                   std::move(values));
+
+  if (robust::fault_fire("binary_io.bit_flip") && !rowptr.empty())
+    reinterpret_cast<unsigned char*>(rowptr.data())[0] ^= 0x01;
+
+  if (v2) {
+    const std::uint32_t actual_crc = checksum(dims, rowptr.data(), rowptr.size(),
+                                              colind.data(), values.data(), nnz);
+    if (actual_crc != declared_crc)
+      fail("checksum mismatch (file is corrupted)");
+  }
+
+  try {
+    return CsrMatrix(nrows, ncols, std::move(rowptr), std::move(colind),
+                     std::move(values));
+  } catch (const std::invalid_argument& e) {
+    fail(std::string("structurally invalid: ") + e.what());
+  }
+}
+
+}  // namespace
+
+Status write_csr_binary_checked(std::ostream& out, const CsrMatrix& csr) {
+  try {
+    const std::int64_t dims[3] = {csr.nrows(), csr.ncols(), csr.nnz()};
+    const auto rowptr_n = static_cast<std::size_t>(csr.nrows()) + 1;
+    const auto nnz = static_cast<std::size_t>(csr.nnz());
+    const std::uint32_t crc =
+        checksum(dims, csr.rowptr(), rowptr_n, csr.colind(), csr.values(), nnz);
+    out.write(kMagicV2, sizeof(kMagicV2));
+    if (!out) fail("write failed", ErrorCategory::Io);
+    write_raw(out, &kFormatVersion, 1);
+    write_raw(out, dims, 3);
+    write_raw(out, &crc, 1);
+    write_raw(out, csr.rowptr(), rowptr_n);
+    write_raw(out, csr.colind(), nnz);
+    write_raw(out, csr.values(), nnz);
+    out.flush();
+    if (!out) fail("write failed", ErrorCategory::Io);
+    return Unit{};
+  } catch (SpmvException& e) {
+    return e.error();
+  }
+}
+
+Status write_csr_binary_file_checked(const std::string& path,
+                                     const CsrMatrix& csr) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out)
+      return Error(ErrorCategory::Io, "csr binary: cannot open '" + tmp + "'");
+    Status st = write_csr_binary_checked(out, csr);
+    if (!st.ok()) {
+      out.close();
+      std::remove(tmp.c_str());
+      return std::move(st).with_context("while writing '" + tmp + "'");
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Error(ErrorCategory::Io,
+                 "csr binary: cannot rename '" + tmp + "' to '" + path + "'");
+  }
+  return Unit{};
+}
+
+Expected<CsrMatrix> read_csr_binary_checked(std::istream& in) {
+  try {
+    return read_impl(in);
+  } catch (SpmvException& e) {
+    return e.error();
+  } catch (const std::bad_alloc&) {
+    return Error(ErrorCategory::Resource, "csr binary: out of memory");
+  } catch (const std::exception& e) {
+    return Error(ErrorCategory::Internal, std::string("csr binary: ") + e.what());
+  }
+}
+
+Expected<CsrMatrix> read_csr_binary_file_checked(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in)
+    return Error(ErrorCategory::Io, "csr binary: cannot open '" + path + "'");
+  return std::move(read_csr_binary_checked(in))
+      .with_context("while reading '" + path + "'");
+}
+
+Expected<CsrMatrix> load_csr_cached(const std::string& mtx_path,
+                                    const std::string& cache_path,
+                                    bool* recovered) {
+  if (recovered) *recovered = false;
+  {
+    Expected<CsrMatrix> cached = read_csr_binary_file_checked(cache_path);
+    if (cached.ok()) return cached;
+  }
+  // Cache missing or corrupted: recover from the Matrix Market source.
+  if (recovered) *recovered = true;
+  Expected<CooMatrix> coo = read_matrix_market_file_checked(mtx_path);
+  if (!coo.ok())
+    return std::move(coo).error().with_context(
+        "while recovering cache '" + cache_path + "'");
+  Expected<CsrMatrix> csr = CsrMatrix::from_coo_checked(std::move(coo).value());
+  if (!csr.ok())
+    return std::move(csr).error().with_context(
+        "while recovering cache '" + cache_path + "'");
+  // Rewrite is best-effort: a read-only cache directory must not make the
+  // load fail when the matrix itself is fine.
+  (void)write_csr_binary_file_checked(cache_path, csr.value());
+  return csr;
+}
+
+void write_csr_binary(std::ostream& out, const CsrMatrix& csr) {
+  Status st = write_csr_binary_checked(out, csr);
+  if (!st.ok()) throw SpmvException(std::move(st).error());
+}
+
+void write_csr_binary_file(const std::string& path, const CsrMatrix& csr) {
+  Status st = write_csr_binary_file_checked(path, csr);
+  if (!st.ok()) throw SpmvException(std::move(st).error());
+}
+
+CsrMatrix read_csr_binary(std::istream& in) {
+  return read_csr_binary_checked(in).value_or_throw();
 }
 
 CsrMatrix read_csr_binary_file(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) throw std::runtime_error("csr binary: cannot open '" + path + "'");
-  return read_csr_binary(in);
+  return read_csr_binary_file_checked(path).value_or_throw();
 }
 
 }  // namespace spmvopt

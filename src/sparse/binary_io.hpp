@@ -2,24 +2,54 @@
 //
 // Matrix Market parsing is text-bound and dominates load time for large
 // matrices; real deployments parse once and reload a validated binary image
-// on every run (OSKI and SparseX both do this).  Format: a magic/version
-// header, dimensions, then the three raw arrays.  Reads re-validate through
-// the CsrMatrix constructor, so a corrupted file cannot produce an
-// inconsistent matrix.
+// on every run (OSKI and SparseX both do this).
+//
+// Format v2 (DESIGN.md §6): magic "SPMVCSR2", a u32 format-version field,
+// three i64 dimensions, a CRC32 over the dimensions and the three raw
+// arrays, then the arrays themselves.  Readers verify the checksum, the
+// declared-vs-actual file length (when the stream is seekable), and
+// re-validate structure through the CsrMatrix constructor, so a corrupted
+// cache cannot produce an inconsistent matrix.  v1 files ("SPMVCSR1", no
+// version/checksum) remain readable.
+//
+// Writes to a file are atomic: the payload lands in `path + ".tmp"` and is
+// renamed over the target only after a successful flush, so a crash mid-write
+// never leaves a half-written cache behind.
 #pragma once
 
 #include <iosfwd>
 #include <string>
 
+#include "robust/error.hpp"
 #include "sparse/csr.hpp"
 
 namespace spmvopt {
 
+/// Serialize in v2 format.  Io on stream failure.
+Status write_csr_binary_checked(std::ostream& out, const CsrMatrix& csr);
+
+/// Atomic file write (tmp + rename).  The tmp file is removed on failure.
+Status write_csr_binary_file_checked(const std::string& path,
+                                     const CsrMatrix& csr);
+
+/// Parse a v2 (or legacy v1) image.  Bad magic / version / checksum /
+/// truncation -> Format; stream failure -> Io; dimensions past the resource
+/// ceilings or the index range -> Resource.
+[[nodiscard]] Expected<CsrMatrix> read_csr_binary_checked(std::istream& in);
+[[nodiscard]] Expected<CsrMatrix> read_csr_binary_file_checked(
+    const std::string& path);
+
+/// Load `cache_path` if it parses cleanly; on any cache failure fall back to
+/// re-reading `mtx_path` and best-effort rewrite the cache (auto-recovery,
+/// DESIGN.md §6).  Only fails when the source .mtx itself cannot be read.
+/// `recovered`, when non-null, reports whether the fallback path ran.
+[[nodiscard]] Expected<CsrMatrix> load_csr_cached(const std::string& mtx_path,
+                                                  const std::string& cache_path,
+                                                  bool* recovered = nullptr);
+
+/// Throwing shims (raise SpmvException, which is-a std::runtime_error).
 void write_csr_binary(std::ostream& out, const CsrMatrix& csr);
 void write_csr_binary_file(const std::string& path, const CsrMatrix& csr);
-
-/// Throws std::runtime_error on bad magic/version/truncation and
-/// std::invalid_argument if the arrays fail CSR validation.
 [[nodiscard]] CsrMatrix read_csr_binary(std::istream& in);
 [[nodiscard]] CsrMatrix read_csr_binary_file(const std::string& path);
 

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <new>
 #include <numeric>
 #include <stdexcept>
+
+#include "robust/fault_inject.hpp"
 
 namespace spmvopt {
 
@@ -75,6 +78,17 @@ CsrMatrix CsrMatrix::from_coo(const CooMatrix& coo) {
   }
   return CsrMatrix(n, coo.ncols(), std::move(rowptr), std::move(colind),
                    std::move(values));
+}
+
+Expected<CsrMatrix> CsrMatrix::from_coo_checked(const CooMatrix& coo) {
+  try {
+    if (robust::fault_fire("coo_csr.alloc")) throw std::bad_alloc();
+    return from_coo(coo);
+  } catch (const std::bad_alloc&) {
+    return Error(ErrorCategory::Resource, "coo->csr: out of memory");
+  } catch (const std::exception& e) {
+    return Error(ErrorCategory::Format, std::string("coo->csr: ") + e.what());
+  }
 }
 
 std::size_t CsrMatrix::format_bytes() const noexcept {

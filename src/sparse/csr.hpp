@@ -5,6 +5,7 @@
 #include <span>
 #include <string>
 
+#include "robust/error.hpp"
 #include "sparse/coo.hpp"
 #include "support/aligned.hpp"
 #include "support/types.hpp"
@@ -25,6 +26,10 @@ class CsrMatrix {
   /// entries need not be sorted (a counting pass orders them by row; columns
   /// are sorted within each row).
   static CsrMatrix from_coo(const CooMatrix& coo);
+
+  /// Non-throwing conversion for ingestion pipelines: allocation failure ->
+  /// Resource, inconsistent COO -> Format (DESIGN.md §6).
+  static Expected<CsrMatrix> from_coo_checked(const CooMatrix& coo);
 
   [[nodiscard]] index_t nrows() const noexcept { return nrows_; }
   [[nodiscard]] index_t ncols() const noexcept { return ncols_; }

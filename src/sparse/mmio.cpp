@@ -4,22 +4,37 @@
 #include <cctype>
 #include <fstream>
 #include <iomanip>
+#include <limits>
+#include <new>
 #include <sstream>
-#include <stdexcept>
+
+#include "robust/fault_inject.hpp"
+#include "support/checked.hpp"
+#include "support/env.hpp"
 
 namespace spmvopt {
 
 namespace {
 
-[[noreturn]] void fail(std::size_t line_no, const std::string& what) {
-  throw std::runtime_error("matrix market: line " + std::to_string(line_no) +
-                           ": " + what);
+// Internally the parser throws SpmvException; read_matrix_market_checked()
+// is the boundary that converts to Expected<>.
+[[noreturn]] void fail(std::size_t line_no, const std::string& what,
+                       ErrorCategory category = ErrorCategory::Format) {
+  throw SpmvException(Error(category, "matrix market: line " +
+                                          std::to_string(line_no) + ": " +
+                                          what));
 }
 
 std::string lower(std::string s) {
   std::transform(s.begin(), s.end(), s.begin(),
                  [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
   return s;
+}
+
+/// Drop a trailing '\r' so CRLF files parse like LF files (operator>> already
+/// treats '\r' as whitespace, but the banner is tokenized as strings).
+void strip_cr(std::string& line) {
+  if (!line.empty() && line.back() == '\r') line.pop_back();
 }
 
 struct Banner {
@@ -55,44 +70,88 @@ Banner parse_banner(const std::string& line, std::size_t line_no) {
   return b;
 }
 
-/// Next non-comment, non-blank line; returns false at EOF.
+/// Next non-comment, non-blank line; returns false at EOF.  A hard stream
+/// error (not EOF) is an Io failure, reported immediately.
 bool next_data_line(std::istream& in, std::string& line, std::size_t& line_no) {
   while (std::getline(in, line)) {
     ++line_no;
-    const auto first = line.find_first_not_of(" \t\r");
+    strip_cr(line);
+    const auto first = line.find_first_not_of(" \t");
     if (first == std::string::npos) continue;
     if (line[first] == '%') continue;
     return true;
   }
+  if (in.bad()) fail(line_no, "stream read error", ErrorCategory::Io);
   return false;
 }
 
-}  // namespace
+/// A dimension from the size line must fit index_t (Resource: the input may
+/// be a perfectly valid matrix that this build simply cannot index).
+index_t checked_dim(long long v, std::size_t line_no, const char* what) {
+  if (v > static_cast<long long>(std::numeric_limits<index_t>::max()))
+    fail(line_no,
+         std::string(what) + " " + std::to_string(v) +
+             " exceeds the 32-bit index range",
+         ErrorCategory::Resource);
+  return static_cast<index_t>(v);
+}
 
-CooMatrix read_matrix_market(std::istream& in) {
+/// Enforce SPMVOPT_MAX_NNZ / SPMVOPT_MAX_BYTES on `stored` prospective
+/// entries *before* any allocation happens.
+void check_ceilings(std::uint64_t stored, std::size_t line_no) {
+  const std::uint64_t max_nnz = max_nnz_limit();
+  if (max_nnz != 0 && stored > max_nnz)
+    fail(line_no,
+         std::to_string(stored) + " entries exceed the SPMVOPT_MAX_NNZ ceiling (" +
+             std::to_string(max_nnz) + ")",
+         ErrorCategory::Resource);
+  std::uint64_t est_bytes = 0;
+  if (!checked_mul_u64(stored, sizeof(Triplet), &est_bytes))
+    fail(line_no, "estimated size overflows 64 bits", ErrorCategory::Resource);
+  const std::uint64_t max_bytes = max_bytes_limit();
+  if (max_bytes != 0 && est_bytes > max_bytes)
+    fail(line_no,
+         "estimated " + std::to_string(est_bytes) +
+             " bytes exceed the SPMVOPT_MAX_BYTES ceiling (" +
+             std::to_string(max_bytes) + ")",
+         ErrorCategory::Resource);
+}
+
+CooMatrix read_impl(std::istream& in) {
   std::string line;
   std::size_t line_no = 0;
-  if (!std::getline(in, line)) fail(1, "empty stream");
+  if (!std::getline(in, line)) {
+    if (in.bad()) fail(1, "stream read error", ErrorCategory::Io);
+    fail(1, "empty stream");
+  }
   ++line_no;
+  strip_cr(line);
   const Banner banner = parse_banner(line, line_no);
 
   if (!next_data_line(in, line, line_no)) fail(line_no, "missing size line");
 
   if (banner.coordinate) {
     std::istringstream ss(line);
-    long nrows = -1, ncols = -1, nnz = -1;
+    long long nrows = -1, ncols = -1, nnz = -1;
     ss >> nrows >> ncols >> nnz;
     if (ss.fail() || nrows < 0 || ncols < 0 || nnz < 0)
       fail(line_no, "malformed coordinate size line");
-    CooMatrix coo(static_cast<index_t>(nrows), static_cast<index_t>(ncols));
-    coo.reserve(static_cast<std::size_t>(nnz) *
-                (banner.symmetry == Banner::Symmetry::General ? 1 : 2));
-    for (long k = 0; k < nnz; ++k) {
+    const index_t nr = checked_dim(nrows, line_no, "row count");
+    const index_t nc = checked_dim(ncols, line_no, "column count");
+    const bool expands = banner.symmetry != Banner::Symmetry::General;
+    // Worst case after symmetry expansion; cannot overflow (nnz < 2^63).
+    const std::uint64_t stored =
+        static_cast<std::uint64_t>(nnz) * (expands ? 2u : 1u);
+    check_ceilings(stored, line_no);
+    if (robust::fault_fire("mmio.alloc")) throw std::bad_alloc();
+    CooMatrix coo(nr, nc);
+    coo.reserve(static_cast<std::size_t>(stored));
+    for (long long k = 0; k < nnz; ++k) {
       if (!next_data_line(in, line, line_no))
         fail(line_no, "unexpected end of file: expected " + std::to_string(nnz) +
                           " entries, got " + std::to_string(k));
       std::istringstream es(line);
-      long i = 0, j = 0;
+      long long i = 0, j = 0;
       double v = 1.0;
       es >> i >> j;
       if (banner.field != Banner::Field::Pattern) es >> v;
@@ -107,37 +166,76 @@ CooMatrix read_matrix_market(std::istream& in) {
         if (banner.symmetry == Banner::Symmetry::SkewSymmetric) coo.add(c, r, -v);
       }
     }
+    // Declared-vs-actual: trailing data lines mean the header lied.
+    if (next_data_line(in, line, line_no))
+      fail(line_no, "more entries than the declared " + std::to_string(nnz));
     coo.compress();
     return coo;
   }
 
   // Array (dense, column-major).
   std::istringstream ss(line);
-  long nrows = -1, ncols = -1;
+  long long nrows = -1, ncols = -1;
   ss >> nrows >> ncols;
   if (ss.fail() || nrows < 0 || ncols < 0)
     fail(line_no, "malformed array size line");
-  CooMatrix coo(static_cast<index_t>(nrows), static_cast<index_t>(ncols));
-  for (long j = 0; j < ncols; ++j) {
-    for (long i = 0; i < nrows; ++i) {
+  const index_t nr = checked_dim(nrows, line_no, "row count");
+  const index_t nc = checked_dim(ncols, line_no, "column count");
+  std::uint64_t total = 0;
+  if (!checked_mul_u64(static_cast<std::uint64_t>(nrows),
+                       static_cast<std::uint64_t>(ncols), &total))
+    fail(line_no, "array size overflows 64 bits", ErrorCategory::Resource);
+  check_ceilings(total, line_no);
+  if (robust::fault_fire("mmio.alloc")) throw std::bad_alloc();
+  CooMatrix coo(nr, nc);
+  for (index_t j = 0; j < nc; ++j) {
+    for (index_t i = 0; i < nr; ++i) {
       if (!next_data_line(in, line, line_no))
         fail(line_no, "unexpected end of file in array data");
       std::istringstream es(line);
       double v = 0.0;
       es >> v;
       if (es.fail()) fail(line_no, "malformed array value");
-      if (v != 0.0)
-        coo.add(static_cast<index_t>(i), static_cast<index_t>(j), v);
+      if (v != 0.0) coo.add(i, j, v);
     }
   }
+  if (next_data_line(in, line, line_no))
+    fail(line_no, "more values than the declared " + std::to_string(nrows) +
+                      " x " + std::to_string(ncols));
   coo.compress();
   return coo;
 }
 
-CooMatrix read_matrix_market_file(const std::string& path) {
+}  // namespace
+
+Expected<CooMatrix> read_matrix_market_checked(std::istream& in) {
+  try {
+    return read_impl(in);
+  } catch (SpmvException& e) {
+    return e.error();
+  } catch (const std::bad_alloc&) {
+    return Error(ErrorCategory::Resource, "matrix market: out of memory");
+  } catch (const std::exception& e) {
+    return Error(ErrorCategory::Internal,
+                 std::string("matrix market: ") + e.what());
+  }
+}
+
+Expected<CooMatrix> read_matrix_market_file_checked(const std::string& path) {
   std::ifstream in(path);
-  if (!in) throw std::runtime_error("matrix market: cannot open '" + path + "'");
-  return read_matrix_market(in);
+  if (!in)
+    return Error(ErrorCategory::Io,
+                 "matrix market: cannot open '" + path + "'");
+  return std::move(read_matrix_market_checked(in))
+      .with_context("while reading '" + path + "'");
+}
+
+CooMatrix read_matrix_market(std::istream& in) {
+  return read_matrix_market_checked(in).value_or_throw();
+}
+
+CooMatrix read_matrix_market_file(const std::string& path) {
+  return read_matrix_market_file_checked(path).value_or_throw();
 }
 
 void write_matrix_market(std::ostream& out, const CsrMatrix& csr) {
@@ -152,8 +250,14 @@ void write_matrix_market(std::ostream& out, const CsrMatrix& csr) {
 
 void write_matrix_market_file(const std::string& path, const CsrMatrix& csr) {
   std::ofstream out(path);
-  if (!out) throw std::runtime_error("matrix market: cannot open '" + path + "'");
+  if (!out)
+    throw SpmvException(Error(ErrorCategory::Io,
+                              "matrix market: cannot open '" + path + "'"));
   write_matrix_market(out, csr);
+  out.flush();
+  if (!out)
+    throw SpmvException(
+        Error(ErrorCategory::Io, "matrix market: write failed for '" + path + "'"));
 }
 
 }  // namespace spmvopt

@@ -7,23 +7,37 @@
 //
 // Supported: `matrix coordinate real|integer|pattern general|symmetric|
 // skew-symmetric` and `matrix array real|integer general`.
+//
+// The reader is hardened (DESIGN.md §6): it streams line by line, performs
+// all size arithmetic with overflow checks, validates the declared nnz
+// against the actual entry count (both directions), tolerates CRLF line
+// endings, and enforces the SPMVOPT_MAX_NNZ / SPMVOPT_MAX_BYTES resource
+// ceilings *before* reserving memory.  The `_checked` entry points return
+// Expected<> with the error category (Io | Format | Resource); the historical
+// functions are throwing shims over them (SpmvException is-a
+// std::runtime_error, message still line-numbered).
 #pragma once
 
 #include <iosfwd>
 #include <string>
 
+#include "robust/error.hpp"
 #include "sparse/coo.hpp"
 #include "sparse/csr.hpp"
 
 namespace spmvopt {
 
 /// Parse a Matrix Market stream into COO (symmetry expanded, duplicates
-/// summed).  Throws std::runtime_error with a line-numbered message on
-/// malformed input.
-[[nodiscard]] CooMatrix read_matrix_market(std::istream& in);
+/// summed).  Malformed input -> Format; stream failure -> Io; resource
+/// ceilings / allocation failure -> Resource.
+[[nodiscard]] Expected<CooMatrix> read_matrix_market_checked(std::istream& in);
 
-/// Convenience: open `path` and parse.  Throws std::runtime_error when the
-/// file cannot be opened.
+/// Open `path` and parse; adds the path as error context.
+[[nodiscard]] Expected<CooMatrix> read_matrix_market_file_checked(
+    const std::string& path);
+
+/// Throwing shims (raise SpmvException).
+[[nodiscard]] CooMatrix read_matrix_market(std::istream& in);
 [[nodiscard]] CooMatrix read_matrix_market_file(const std::string& path);
 
 /// Write CSR as `matrix coordinate real general` with full double precision.

@@ -1,0 +1,25 @@
+// Overflow-checked 64-bit size arithmetic for ingestion paths.
+//
+// Payload sizes in file headers are attacker-controlled: `nnz * sizeof(T)`
+// on an implausible nnz can wrap before any plausibility check runs, turning
+// a corrupt header into an undersized allocation followed by an overread.
+// Every size computed from untrusted dimensions must go through these.
+#pragma once
+
+#include <cstdint>
+
+namespace spmvopt {
+
+/// *out = a + b; false (out unspecified) on overflow.
+[[nodiscard]] inline bool checked_add_u64(std::uint64_t a, std::uint64_t b,
+                                          std::uint64_t* out) noexcept {
+  return !__builtin_add_overflow(a, b, out);
+}
+
+/// *out = a * b; false (out unspecified) on overflow.
+[[nodiscard]] inline bool checked_mul_u64(std::uint64_t a, std::uint64_t b,
+                                          std::uint64_t* out) noexcept {
+  return !__builtin_mul_overflow(a, b, out);
+}
+
+}  // namespace spmvopt

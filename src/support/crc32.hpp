@@ -1,0 +1,20 @@
+// CRC-32 (IEEE 802.3: reflected, polynomial 0xEDB88320, init/final ~0).
+//
+// Used as the content checksum of the binary CSR cache (sparse/binary_io):
+// a flipped bit anywhere in the payload is caught before the arrays reach
+// CsrMatrix validation, turning silent cache corruption into a recoverable
+// Format error.  Chainable over multiple buffers by passing the previous
+// result as `seed`, so the three CSR arrays are checksummed without
+// concatenation.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace spmvopt {
+
+/// CRC of `len` bytes at `data`, chained onto `seed` (0 to start).
+[[nodiscard]] std::uint32_t crc32(const void* data, std::size_t len,
+                                  std::uint32_t seed = 0) noexcept;
+
+}  // namespace spmvopt

@@ -35,4 +35,20 @@ int bench_runs() {
   return quick_mode() ? 2 : 3;
 }
 
+namespace {
+
+std::uint64_t env_u64_limit(const char* name) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return 0;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(v, &end, 10);
+  return end == v ? 0 : static_cast<std::uint64_t>(parsed);
+}
+
+}  // namespace
+
+std::uint64_t max_nnz_limit() { return env_u64_limit("SPMVOPT_MAX_NNZ"); }
+
+std::uint64_t max_bytes_limit() { return env_u64_limit("SPMVOPT_MAX_BYTES"); }
+
 }  // namespace spmvopt

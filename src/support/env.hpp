@@ -1,6 +1,7 @@
 // Environment-variable knobs shared by benches and tools.
 #pragma once
 
+#include <cstdint>
 #include <string>
 
 namespace spmvopt {
@@ -23,5 +24,13 @@ namespace spmvopt {
 /// Number of measurement runs summarized with the harmonic mean.
 /// Default 3 (paper: 5 — set SPMVOPT_RUNS=5 to match); quick mode 2.
 [[nodiscard]] int bench_runs();
+
+/// Ingestion resource ceilings (the robustness layer, DESIGN.md §6),
+/// enforced *before* allocation by the .mtx reader and the binary cache:
+/// SPMVOPT_MAX_NNZ caps stored nonzeros (after symmetry expansion),
+/// SPMVOPT_MAX_BYTES caps the estimated in-memory size.  0 / unset / bogus
+/// means unlimited.  Read fresh on every call so tests can toggle them.
+[[nodiscard]] std::uint64_t max_nnz_limit();
+[[nodiscard]] std::uint64_t max_bytes_limit();
 
 }  // namespace spmvopt

@@ -59,12 +59,30 @@ TEST(BinaryIo, RejectsCorruptedStructure) {
   std::stringstream buf(std::ios::in | std::ios::out | std::ios::binary);
   write_csr_binary(buf, a);
   std::string bytes = buf.str();
-  // Flip a colind byte to an out-of-range value (colind block starts after
-  // magic + dims + rowptr).
-  const std::size_t colind_off = 8 + 3 * 8 + 9 * 4;
+  // Flip a colind byte to an out-of-range value (v2 colind block starts
+  // after magic + version + dims + crc + rowptr).  The checksum catches the
+  // corruption before CSR validation even runs.
+  const std::size_t colind_off = 8 + 4 + 3 * 8 + 4 + 9 * 4;
   bytes[colind_off + 3] = 0x7F;  // high byte -> huge column index
   std::stringstream bad(bytes, std::ios::in | std::ios::binary);
-  EXPECT_THROW((void)read_csr_binary(bad), std::invalid_argument);
+  EXPECT_THROW((void)read_csr_binary(bad), std::runtime_error);
+}
+
+TEST(BinaryIo, ReadsLegacyV1Images) {
+  // A v1 image: magic "SPMVCSR1", i64 dims, raw arrays — no version, no
+  // checksum.  Old caches on disk must keep loading.
+  const CsrMatrix a = gen::diagonal(4);
+  std::stringstream buf(std::ios::in | std::ios::out | std::ios::binary);
+  buf.write("SPMVCSR1", 8);
+  const std::int64_t dims[3] = {a.nrows(), a.ncols(), a.nnz()};
+  buf.write(reinterpret_cast<const char*>(dims), sizeof(dims));
+  buf.write(reinterpret_cast<const char*>(a.rowptr()),
+            static_cast<std::streamsize>((a.nrows() + 1) * sizeof(index_t)));
+  buf.write(reinterpret_cast<const char*>(a.colind()),
+            static_cast<std::streamsize>(a.nnz() * sizeof(index_t)));
+  buf.write(reinterpret_cast<const char*>(a.values()),
+            static_cast<std::streamsize>(a.nnz() * sizeof(value_t)));
+  EXPECT_TRUE(read_csr_binary(buf).equals(a));
 }
 
 TEST(BinaryIo, MissingFileThrows) {

@@ -1,0 +1,144 @@
+// Binary-cache corruption and auto-recovery regression tests (DESIGN.md §6):
+// every corruption mode — bad magic, bad version, flipped checksum byte,
+// truncated payload — must (a) be rejected by the reader with a Format
+// error, (b) trigger load_csr_cached() to rebuild from the .mtx source, and
+// (c) leave a valid, reloadable cache behind.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "gen/generators.hpp"
+#include "sparse/binary_io.hpp"
+#include "sparse/mmio.hpp"
+
+namespace spmvopt {
+namespace {
+
+class CacheRecovery : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const auto dir = std::filesystem::temp_directory_path();
+    mtx_ = (dir / "spmvopt_recovery.mtx").string();
+    cache_ = (dir / "spmvopt_recovery.csrbin").string();
+    matrix_ = gen::power_law(200, 6, 2.0, 11);
+    write_matrix_market_file(mtx_, matrix_);
+    write_csr_binary_file(cache_, matrix_);
+  }
+
+  void TearDown() override {
+    std::remove(mtx_.c_str());
+    std::remove(cache_.c_str());
+    std::remove((cache_ + ".tmp").c_str());
+  }
+
+  /// Overwrite `offset` in the cache file with `byte`.
+  void corrupt_byte(std::size_t offset, char byte) {
+    std::fstream f(cache_, std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.is_open());
+    f.seekp(static_cast<std::streamoff>(offset));
+    f.put(byte);
+  }
+
+  void truncate_cache(double keep_fraction) {
+    const auto size = std::filesystem::file_size(cache_);
+    std::filesystem::resize_file(
+        cache_, static_cast<std::uintmax_t>(static_cast<double>(size) *
+                                            keep_fraction));
+  }
+
+  /// The reader rejects the corrupted cache, load_csr_cached still returns
+  /// the right matrix via the .mtx, and the rewritten cache then loads
+  /// cleanly (and matches) without touching the recovery path again.
+  void expect_recovery() {
+    EXPECT_FALSE(read_csr_binary_file_checked(cache_).ok());
+    bool recovered = false;
+    Expected<CsrMatrix> r = load_csr_cached(mtx_, cache_, &recovered);
+    ASSERT_TRUE(r.ok()) << r.error().to_string();
+    EXPECT_TRUE(recovered);
+    EXPECT_TRUE(r.value().equals(matrix_));
+
+    Expected<CsrMatrix> again = load_csr_cached(mtx_, cache_, &recovered);
+    ASSERT_TRUE(again.ok()) << again.error().to_string();
+    EXPECT_FALSE(recovered) << "rewritten cache was not used";
+    EXPECT_TRUE(again.value().equals(matrix_));
+  }
+
+  std::string mtx_;
+  std::string cache_;
+  CsrMatrix matrix_;
+};
+
+TEST_F(CacheRecovery, CleanCacheLoadsWithoutRecovery) {
+  bool recovered = true;
+  Expected<CsrMatrix> r = load_csr_cached(mtx_, cache_, &recovered);
+  ASSERT_TRUE(r.ok()) << r.error().to_string();
+  EXPECT_FALSE(recovered);
+  EXPECT_TRUE(r.value().equals(matrix_));
+}
+
+TEST_F(CacheRecovery, MissingCacheIsRebuilt) {
+  std::remove(cache_.c_str());
+  bool recovered = false;
+  Expected<CsrMatrix> r = load_csr_cached(mtx_, cache_, &recovered);
+  ASSERT_TRUE(r.ok()) << r.error().to_string();
+  EXPECT_TRUE(recovered);
+  EXPECT_TRUE(std::filesystem::exists(cache_));
+  EXPECT_TRUE(read_csr_binary_file_checked(cache_).ok());
+}
+
+TEST_F(CacheRecovery, BadMagic) {
+  corrupt_byte(0, 'X');
+  expect_recovery();
+}
+
+TEST_F(CacheRecovery, BadVersion) {
+  corrupt_byte(8, 0x7F);  // version u32 follows the 8-byte magic
+  expect_recovery();
+}
+
+TEST_F(CacheRecovery, FlippedChecksumByte) {
+  corrupt_byte(8 + 4 + 3 * 8, 0x5A);  // crc field follows magic+version+dims
+  expect_recovery();
+}
+
+TEST_F(CacheRecovery, FlippedPayloadByte) {
+  // Past the header: detected by the CRC, not by the length check.
+  const auto size = std::filesystem::file_size(cache_);
+  corrupt_byte(static_cast<std::size_t>(size) - 5, 0x5A);
+  expect_recovery();
+}
+
+TEST_F(CacheRecovery, TruncatedPayload) {
+  truncate_cache(0.6);
+  expect_recovery();
+}
+
+TEST_F(CacheRecovery, TruncatedToBareHeader) {
+  truncate_cache(0.0);
+  expect_recovery();
+}
+
+TEST_F(CacheRecovery, UnreadableSourceFailsWithBothContexts) {
+  truncate_cache(0.5);
+  std::remove(mtx_.c_str());
+  Expected<CsrMatrix> r = load_csr_cached(mtx_, cache_);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().category(), ErrorCategory::Io);
+  // The context chain names the cache being recovered.
+  bool mentions_cache = false;
+  for (const std::string& frame : r.error().context())
+    if (frame.find(cache_) != std::string::npos) mentions_cache = true;
+  EXPECT_TRUE(mentions_cache) << r.error().to_string();
+}
+
+TEST_F(CacheRecovery, AtomicWriteLeavesNoTmpFile) {
+  ASSERT_TRUE(write_csr_binary_file_checked(cache_, matrix_).ok());
+  EXPECT_FALSE(std::filesystem::exists(cache_ + ".tmp"));
+  EXPECT_TRUE(read_csr_binary_file_checked(cache_).ok());
+}
+
+}  // namespace
+}  // namespace spmvopt

@@ -8,6 +8,12 @@
 #include <fstream>
 #include <string>
 
+#include "robust/fault_inject.hpp"
+
+#ifndef _WIN32
+#include <sys/wait.h>
+#endif
+
 namespace {
 
 std::string cli() { return SPMVOPT_CLI_PATH; }
@@ -16,16 +22,30 @@ std::string tmp_path(const char* name) {
   return (std::filesystem::temp_directory_path() / name).string();
 }
 
-int run(const std::string& args) {
-  const std::string cmd = cli() + " " + args + " > /dev/null 2>&1";
-  return std::system(cmd.c_str());
+/// std::system() wraps the child status; unwrap to the process exit code so
+/// the sysexits contract (64/65/66/70/71) can be asserted exactly.
+int exit_code(int rc) {
+#ifndef _WIN32
+  return WIFEXITED(rc) ? WEXITSTATUS(rc) : -1;
+#else
+  return rc;
+#endif
 }
 
-/// Run and capture stdout.
+/// Run with an optional `VAR=value` environment prefix.
+int run_env(const std::string& env, const std::string& args) {
+  const std::string cmd =
+      (env.empty() ? "" : env + " ") + cli() + " " + args + " > /dev/null 2>&1";
+  return exit_code(std::system(cmd.c_str()));
+}
+
+int run(const std::string& args) { return run_env("", args); }
+
+/// Run and capture stdout+stderr.
 std::pair<int, std::string> run_capture(const std::string& args) {
   const std::string out_file = tmp_path("spmvopt_cli_out.txt");
   const std::string cmd = cli() + " " + args + " > " + out_file + " 2>&1";
-  const int rc = std::system(cmd.c_str());
+  const int rc = exit_code(std::system(cmd.c_str()));
   std::ifstream in(out_file);
   std::string content((std::istreambuf_iterator<char>(in)),
                       std::istreambuf_iterator<char>());
@@ -92,7 +112,63 @@ TEST(Cli, BenchListsPlansSortedByRate) {
 TEST(Cli, MissingFileReportsError) {
   const auto [rc, out] = run_capture("inspect /nonexistent/file.mtx");
   EXPECT_NE(rc, 0);
-  EXPECT_NE(out.find("error:"), std::string::npos);
+  EXPECT_NE(out.find("error"), std::string::npos);
+}
+
+// --- sysexits contract (DESIGN.md §6): 64 usage, 65 format, 66 io,
+// --- 70 internal, 71 resource.
+
+TEST(CliExitCodes, UsageErrorsExit64) {
+  EXPECT_EQ(run(""), 64);
+  EXPECT_EQ(run("frobnicate"), 64);
+  EXPECT_EQ(run("generate nosuchfamily " + tmp_path("x.mtx")), 64);
+  EXPECT_EQ(run("inspect matrix.unknownext"), 64);
+}
+
+TEST(CliExitCodes, MissingFileExits66) {
+  const auto [rc, out] = run_capture("inspect /nonexistent/file.mtx");
+  EXPECT_EQ(rc, 66);
+  EXPECT_NE(out.find("error (io)"), std::string::npos);
+}
+
+TEST(CliExitCodes, MalformedMtxExits65WithContext) {
+  const std::string mtx = tmp_path("spmvopt_cli_bad.mtx");
+  {
+    std::ofstream f(mtx);
+    f << "%%MatrixMarket matrix coordinate real general\n"
+         "2 2 2\n"
+         "1 1 bogus\n";
+  }
+  const auto [rc, out] = run_capture("inspect " + mtx);
+  EXPECT_EQ(rc, 65);
+  EXPECT_NE(out.find("error (format)"), std::string::npos);
+  // The context chain names the offending file.
+  EXPECT_NE(out.find(mtx), std::string::npos);
+  std::remove(mtx.c_str());
+}
+
+TEST(CliExitCodes, ResourceCeilingExits71) {
+  const std::string mtx = tmp_path("spmvopt_cli_ceiling.mtx");
+  ASSERT_EQ(run("generate dense " + mtx + " 8"), 0);
+  EXPECT_EQ(run_env("SPMVOPT_MAX_NNZ=1", "inspect " + mtx), 71);
+  std::remove(mtx.c_str());
+}
+
+TEST(CliExitCodes, EnvFaultArmingReachesIngestion) {
+  if (!spmvopt::robust::fault_injection_enabled())
+    GTEST_SKIP() << "built with SPMVOPT_FAULT_INJECTION=OFF";
+  const std::string mtx = tmp_path("spmvopt_cli_fault.mtx");
+  const std::string bin = tmp_path("spmvopt_cli_fault.csrbin");
+  ASSERT_EQ(run("generate dense " + mtx + " 8"), 0);
+  // The injected allocation failure surfaces as a resource error (71);
+  // stale/unknown point names in the variable are ignored.
+  EXPECT_EQ(run_env("SPMVOPT_FAULT=mmio.alloc", "convert " + mtx + " " + bin),
+            71);
+  EXPECT_EQ(run_env("SPMVOPT_FAULT=no.such.point",
+                    "convert " + mtx + " " + bin),
+            0);
+  std::remove(mtx.c_str());
+  std::remove(bin.c_str());
 }
 
 }  // namespace

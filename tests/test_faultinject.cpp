@@ -1,0 +1,259 @@
+// Deterministic fault-injection tests (DESIGN.md §6): arm each registered
+// point and assert the corresponding degradation or recovery path runs — and
+// that the degraded result still matches the serial oracle.  These tests
+// carry the `robust` ctest label; the CI fault-injection job runs them under
+// ASan+UBSan.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "classify/profile_classifier.hpp"
+#include "gen/generators.hpp"
+#include "optimize/optimized_spmv.hpp"
+#include "robust/fault_inject.hpp"
+#include "sparse/binary_io.hpp"
+#include "sparse/mmio.hpp"
+#include "verify/fuzz.hpp"
+#include "verify/oracle.hpp"
+
+namespace spmvopt {
+namespace {
+
+class FaultInject : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!robust::fault_injection_enabled())
+      GTEST_SKIP() << "built with SPMVOPT_FAULT_INJECTION=OFF";
+    robust::fault_disarm_all();
+  }
+  void TearDown() override { robust::fault_disarm_all(); }
+};
+
+/// Degraded plans must still compute the right answer.
+void expect_matches_oracle(const optimize::OptimizedSpmv& spmv,
+                           const CsrMatrix& a) {
+  const std::vector<value_t> x = gen::test_vector(a.ncols());
+  std::vector<value_t> expected(static_cast<std::size_t>(a.nrows()));
+  a.multiply(x, expected);
+  std::vector<value_t> y(static_cast<std::size_t>(a.nrows()), -1.0);
+  spmv.run(x.data(), y.data());
+  for (std::size_t i = 0; i < y.size(); ++i)
+    ASSERT_NEAR(y[i], expected[i],
+                1e-9 * std::max(1.0, std::abs(expected[i])))
+        << "row " << i;
+}
+
+TEST_F(FaultInject, RegistryListsEveryPoint) {
+  const auto points = robust::fault_points();
+  EXPECT_GE(points.size(), 10u);
+  for (const char* p :
+       {"coo_csr.alloc", "mmio.alloc", "binary_io.short_read",
+        "binary_io.short_write", "binary_io.bit_flip", "convert.delta",
+        "convert.split", "convert.sell", "convert.bcsr",
+        "classify.profile_overrun"}) {
+    bool found = false;
+    for (const auto& name : points) found |= (name == p);
+    EXPECT_TRUE(found) << p;
+  }
+}
+
+TEST_F(FaultInject, UnknownPointRejectedOnArm) {
+  EXPECT_THROW(robust::fault_arm("no.such.point"), std::invalid_argument);
+  EXPECT_THROW(robust::fault_arm("convert.delta", 0), std::invalid_argument);
+}
+
+TEST_F(FaultInject, FiresExactlyOnceOnTheNthHit) {
+  robust::fault_arm("convert.delta", 2);
+  EXPECT_FALSE(robust::fault_fire("convert.delta"));  // 1st hit
+  EXPECT_TRUE(robust::fault_fire("convert.delta"));   // 2nd: fires
+  EXPECT_FALSE(robust::fault_fire("convert.delta"));  // one-shot
+  EXPECT_GE(robust::fault_hit_count("convert.delta"), 3);
+}
+
+TEST_F(FaultInject, MmioAllocationFailureIsResource) {
+  robust::fault_arm("mmio.alloc");
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 1\n"
+      "1 1 1.0\n");
+  Expected<CooMatrix> r = read_matrix_market_checked(in);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().category(), ErrorCategory::Resource);
+}
+
+TEST_F(FaultInject, CooCsrAllocationFailureIsResource) {
+  robust::fault_arm("coo_csr.alloc");
+  CooMatrix coo(2, 2);
+  coo.add(0, 0, 1.0);
+  coo.compress();
+  Expected<CsrMatrix> r = CsrMatrix::from_coo_checked(coo);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().category(), ErrorCategory::Resource);
+  // One-shot: the retry succeeds.
+  EXPECT_TRUE(CsrMatrix::from_coo_checked(coo).ok());
+}
+
+class FaultInjectCache : public FaultInject {
+ protected:
+  void SetUp() override {
+    FaultInject::SetUp();
+    if (IsSkipped()) return;
+    const auto dir = std::filesystem::temp_directory_path();
+    mtx_ = (dir / "spmvopt_fi.mtx").string();
+    cache_ = (dir / "spmvopt_fi.csrbin").string();
+    matrix_ = gen::banded(150, 9, 3);
+    write_matrix_market_file(mtx_, matrix_);
+    write_csr_binary_file(cache_, matrix_);
+  }
+  void TearDown() override {
+    std::remove(mtx_.c_str());
+    std::remove(cache_.c_str());
+    std::remove((cache_ + ".tmp").c_str());
+    FaultInject::TearDown();
+  }
+  std::string mtx_;
+  std::string cache_;
+  CsrMatrix matrix_;
+};
+
+TEST_F(FaultInjectCache, ShortReadTriggersRecovery) {
+  robust::fault_arm("binary_io.short_read");
+  bool recovered = false;
+  Expected<CsrMatrix> r = load_csr_cached(mtx_, cache_, &recovered);
+  ASSERT_TRUE(r.ok()) << r.error().to_string();
+  EXPECT_TRUE(recovered);  // the injected short read was treated as corruption
+  EXPECT_TRUE(r.value().equals(matrix_));
+}
+
+TEST_F(FaultInjectCache, BitFlipIsCaughtByChecksumAndRecovered) {
+  robust::fault_arm("binary_io.bit_flip");
+  bool recovered = false;
+  Expected<CsrMatrix> r = load_csr_cached(mtx_, cache_, &recovered);
+  ASSERT_TRUE(r.ok()) << r.error().to_string();
+  EXPECT_TRUE(recovered);
+  EXPECT_TRUE(r.value().equals(matrix_));
+}
+
+TEST_F(FaultInjectCache, ShortWriteFailsAtomicallyKeepingOldCache) {
+  robust::fault_arm("binary_io.short_write");
+  Status st = write_csr_binary_file_checked(cache_, matrix_);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.error().category(), ErrorCategory::Io);
+  EXPECT_FALSE(std::filesystem::exists(cache_ + ".tmp"));  // cleaned up
+  // The pre-existing cache was never touched (write went to the tmp file).
+  Expected<CsrMatrix> old = read_csr_binary_file_checked(cache_);
+  ASSERT_TRUE(old.ok()) << old.error().to_string();
+  EXPECT_TRUE(old.value().equals(matrix_));
+}
+
+TEST_F(FaultInject, DeltaConversionFailureDegradesToCsr) {
+  const CsrMatrix a = gen::banded(200, 11, 4);
+  robust::fault_arm("convert.delta");
+  optimize::Plan p;
+  p.delta = true;
+  const auto spmv = optimize::OptimizedSpmv::create(a, p);
+  EXPECT_FALSE(spmv.plan().delta);
+  EXPECT_TRUE(spmv.degradation().dropped("delta"));
+  expect_matches_oracle(spmv, a);
+}
+
+TEST_F(FaultInject, SplitConversionFailureDegradesToCsr) {
+  const CsrMatrix a = gen::few_dense_rows(300, 2, 6, 150);
+  robust::fault_arm("convert.split");
+  optimize::Plan p;
+  p.split_long_rows = true;
+  const auto spmv = optimize::OptimizedSpmv::create(a, p);
+  EXPECT_FALSE(spmv.plan().split_long_rows);
+  EXPECT_TRUE(spmv.degradation().dropped("split"));
+  expect_matches_oracle(spmv, a);
+}
+
+TEST_F(FaultInject, SellConversionFailureDegradesToCsr) {
+  const CsrMatrix a = gen::random_uniform(256, 7, 13);
+  robust::fault_arm("convert.sell");
+  optimize::Plan p;
+  p.sell = true;
+  const auto spmv = optimize::OptimizedSpmv::create(a, p);
+  EXPECT_FALSE(spmv.plan().sell);
+  EXPECT_TRUE(spmv.degradation().dropped("sell"));
+  expect_matches_oracle(spmv, a);
+}
+
+TEST_F(FaultInject, BcsrConversionFailureDegradesToCsr) {
+  const CsrMatrix a = gen::stencil_2d_5pt(24, 24);
+  robust::fault_arm("convert.bcsr");
+  optimize::Plan p;
+  p.bcsr = true;
+  const auto spmv = optimize::OptimizedSpmv::create(a, p);
+  EXPECT_FALSE(spmv.plan().bcsr);
+  EXPECT_TRUE(spmv.degradation().dropped("bcsr"));
+  expect_matches_oracle(spmv, a);
+}
+
+// The acceptance sweep: arm each conversion fault point in turn and build the
+// matching single-feature plan on every matrix in the adversarial fuzzer
+// catalog.  Every combination must degrade (never throw), name the dropped
+// feature, and still match the compensated-summation oracle.
+TEST_F(FaultInject, EveryFuzzFamilyDegradesToOracleMatch) {
+  struct PointFeature {
+    const char* point;
+    bool optimize::Plan::* flag;
+    const char* feature;
+  };
+  const PointFeature sweep[] = {
+      {"convert.delta", &optimize::Plan::delta, "delta"},
+      {"convert.split", &optimize::Plan::split_long_rows, "split"},
+      {"convert.sell", &optimize::Plan::sell, "sell"},
+      {"convert.bcsr", &optimize::Plan::bcsr, "bcsr"},
+  };
+  for (const verify::FuzzCase& fc : verify::adversarial_suite()) {
+    const CsrMatrix& a = fc.matrix;
+    const std::vector<value_t> x = verify::adversarial_vector(a.ncols());
+    for (const PointFeature& pf : sweep) {
+      SCOPED_TRACE(fc.name + std::string(" x ") + pf.point);
+      robust::fault_arm(pf.point);
+      optimize::Plan p;
+      p.*pf.flag = true;
+      const auto spmv = optimize::OptimizedSpmv::create(a, p);
+      EXPECT_FALSE(spmv.plan().*pf.flag);
+      EXPECT_TRUE(spmv.degradation().dropped(pf.feature));
+      std::vector<value_t> y(static_cast<std::size_t>(a.nrows()), -1.0);
+      spmv.run(x.data(), y.data());
+      const verify::CompareReport rep = verify::check_spmv(a, x, y);
+      EXPECT_TRUE(rep.pass()) << rep.to_string();
+      robust::fault_disarm_all();
+    }
+  }
+}
+
+TEST_F(FaultInject, NoFaultMeansNoDegradation) {
+  const CsrMatrix a = gen::banded(200, 11, 4);
+  optimize::Plan p;
+  p.delta = true;
+  const auto spmv = optimize::OptimizedSpmv::create(a, p);
+  EXPECT_TRUE(spmv.plan().delta);
+  EXPECT_FALSE(spmv.degradation().degraded());
+  expect_matches_oracle(spmv, a);
+}
+
+TEST_F(FaultInject, ProfileOverrunFallsBackToFeatureHeuristics) {
+  const CsrMatrix a = gen::random_uniform(400, 8, 3);
+  robust::fault_arm("classify.profile_overrun");
+  perf::BoundsConfig cfg;
+  cfg.measure.iterations = 2;
+  cfg.measure.runs = 1;
+  cfg.measure.warmup = 0;
+  const auto r = classify::classify_profile(a, {}, cfg);
+  EXPECT_TRUE(r.bounds.overrun);
+  EXPECT_TRUE(r.used_fallback);
+  // The fallback classifier still emits *some* decision from structure.
+  EXPECT_GT(r.bounds.p_csr, 0.0);
+}
+
+}  // namespace
+}  // namespace spmvopt

@@ -1,0 +1,239 @@
+// Malformed Matrix Market corpus (DESIGN.md §6): every entry asserts the
+// hardened reader reports the right ErrorCategory — and, under the sanitizer
+// CI jobs, that no input crashes or leaks.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+#include "sparse/mmio.hpp"
+
+namespace spmvopt {
+namespace {
+
+Error parse_error(const std::string& text) {
+  std::istringstream in(text);
+  Expected<CooMatrix> r = read_matrix_market_checked(in);
+  EXPECT_FALSE(r.ok()) << "parsed successfully:\n" << text;
+  return r.ok() ? Error(ErrorCategory::Internal, "unexpected success")
+                : r.error();
+}
+
+TEST(MmioMalformed, EmptyStream) {
+  EXPECT_EQ(parse_error("").category(), ErrorCategory::Format);
+}
+
+TEST(MmioMalformed, TruncatedHeader) {
+  EXPECT_EQ(parse_error("%%MatrixMarket matrix\n").category(),
+            ErrorCategory::Format);
+  EXPECT_EQ(parse_error("%%MatrixMarket matrix coordinate\n1 1 1\n1 1 1\n")
+                .category(),
+            ErrorCategory::Format);
+}
+
+TEST(MmioMalformed, NotMatrixMarketAtAll) {
+  EXPECT_EQ(parse_error("hello world\n1 2 3\n").category(),
+            ErrorCategory::Format);
+}
+
+TEST(MmioMalformed, MissingSizeLine) {
+  EXPECT_EQ(
+      parse_error("%%MatrixMarket matrix coordinate real general\n% only\n")
+          .category(),
+      ErrorCategory::Format);
+}
+
+TEST(MmioMalformed, NonNumericSizeLine) {
+  EXPECT_EQ(parse_error("%%MatrixMarket matrix coordinate real general\n"
+                        "two two four\n")
+                .category(),
+            ErrorCategory::Format);
+}
+
+TEST(MmioMalformed, NegativeNnz) {
+  EXPECT_EQ(parse_error("%%MatrixMarket matrix coordinate real general\n"
+                        "2 2 -1\n")
+                .category(),
+            ErrorCategory::Format);
+}
+
+TEST(MmioMalformed, FewerEntriesThanDeclared) {
+  const Error e = parse_error(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 3\n"
+      "1 1 1.0\n"
+      "2 2 2.0\n");
+  EXPECT_EQ(e.category(), ErrorCategory::Format);
+  EXPECT_NE(e.message().find("unexpected end of file"), std::string::npos);
+}
+
+TEST(MmioMalformed, MoreEntriesThanDeclared) {
+  const Error e = parse_error(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 1\n"
+      "1 1 1.0\n"
+      "2 2 2.0\n");
+  EXPECT_EQ(e.category(), ErrorCategory::Format);
+  EXPECT_NE(e.message().find("more entries"), std::string::npos);
+}
+
+TEST(MmioMalformed, ZeroIndexRejected) {
+  // Matrix Market is 1-based; 0 must not silently wrap to row -1.
+  EXPECT_EQ(parse_error("%%MatrixMarket matrix coordinate real general\n"
+                        "2 2 1\n"
+                        "0 1 1.0\n")
+                .category(),
+            ErrorCategory::Format);
+}
+
+TEST(MmioMalformed, NegativeIndexRejected) {
+  EXPECT_EQ(parse_error("%%MatrixMarket matrix coordinate real general\n"
+                        "2 2 1\n"
+                        "1 -1 1.0\n")
+                .category(),
+            ErrorCategory::Format);
+}
+
+TEST(MmioMalformed, OutOfRangeIndexRejected) {
+  EXPECT_EQ(parse_error("%%MatrixMarket matrix coordinate real general\n"
+                        "2 2 1\n"
+                        "3 1 1.0\n")
+                .category(),
+            ErrorCategory::Format);
+}
+
+TEST(MmioMalformed, NonNumericValue) {
+  const Error e = parse_error(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 1\n"
+      "1 1 fortytwo\n");
+  EXPECT_EQ(e.category(), ErrorCategory::Format);
+  EXPECT_NE(e.message().find("line 3"), std::string::npos);
+}
+
+TEST(MmioMalformed, DimensionPastIndexRangeIsResource) {
+  // 2^40 rows is a legal Matrix Market header but unrepresentable with
+  // 32-bit indices: a limit of this build, not a malformed file.
+  EXPECT_EQ(parse_error("%%MatrixMarket matrix coordinate real general\n"
+                        "1099511627776 1 1\n"
+                        "1 1 1.0\n")
+                .category(),
+            ErrorCategory::Resource);
+}
+
+TEST(MmioMalformed, NnzCeilingIsResource) {
+  setenv("SPMVOPT_MAX_NNZ", "2", 1);
+  EXPECT_EQ(parse_error("%%MatrixMarket matrix coordinate real general\n"
+                        "3 3 3\n"
+                        "1 1 1.0\n2 2 2.0\n3 3 3.0\n")
+                .category(),
+            ErrorCategory::Resource);
+  unsetenv("SPMVOPT_MAX_NNZ");
+}
+
+TEST(MmioMalformed, BytesCeilingCountsSymmetricExpansion) {
+  // 2 declared entries, symmetric -> up to 4 stored triplets.  A ceiling
+  // that admits 2 triplets but not 4 must reject the file *before* reading.
+  setenv("SPMVOPT_MAX_BYTES", "48", 1);  // 3 x sizeof(Triplet)
+  EXPECT_EQ(parse_error("%%MatrixMarket matrix coordinate real symmetric\n"
+                        "3 3 2\n"
+                        "2 1 1.0\n3 1 2.0\n")
+                .category(),
+            ErrorCategory::Resource);
+  unsetenv("SPMVOPT_MAX_BYTES");
+}
+
+TEST(MmioMalformed, ArrayCannotBePattern) {
+  EXPECT_EQ(parse_error("%%MatrixMarket matrix array pattern general\n"
+                        "2 2\n")
+                .category(),
+            ErrorCategory::Format);
+}
+
+// --- Well-formed corner cases that must PARSE (regressions of the above
+// --- checks being too eager).
+
+TEST(MmioMalformed, CrlfLineEndingsParse) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real general\r\n"
+      "2 2 2\r\n"
+      "1 1 1.5\r\n"
+      "2 2 2.5\r\n");
+  Expected<CooMatrix> r = read_matrix_market_checked(in);
+  ASSERT_TRUE(r.ok()) << r.error().to_string();
+  EXPECT_EQ(r.value().nnz(), 2u);
+}
+
+TEST(MmioMalformed, PatternSymmetricWithDiagonal) {
+  // Pattern entries carry no value (implicit 1.0); the diagonal entry must
+  // not be doubled by symmetry expansion.
+  std::istringstream in(
+      "%%MatrixMarket matrix pattern coordinate general\n");  // wrong order
+  // (format and field are positional: this header is malformed)
+  EXPECT_FALSE(read_matrix_market_checked(in).ok());
+
+  std::istringstream ok(
+      "%%MatrixMarket matrix coordinate pattern symmetric\n"
+      "3 3 3\n"
+      "1 1\n"
+      "2 1\n"
+      "3 2\n");
+  Expected<CooMatrix> r = read_matrix_market_checked(ok);
+  ASSERT_TRUE(r.ok()) << r.error().to_string();
+  const CooMatrix& coo = r.value();
+  EXPECT_EQ(coo.nnz(), 5u);  // diagonal once + 2 mirrored pairs
+  for (const Triplet& t : coo.entries()) EXPECT_DOUBLE_EQ(t.value, 1.0);
+}
+
+TEST(MmioMalformed, SkewSymmetricNegatesMirror) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real skew-symmetric\n"
+      "2 2 1\n"
+      "2 1 3.0\n");
+  Expected<CooMatrix> r = read_matrix_market_checked(in);
+  ASSERT_TRUE(r.ok()) << r.error().to_string();
+  ASSERT_EQ(r.value().nnz(), 2u);
+  double sum = 0.0;
+  for (const Triplet& t : r.value().entries()) sum += t.value;
+  EXPECT_DOUBLE_EQ(sum, 0.0);  // +3 and -3
+}
+
+TEST(MmioMalformed, BlankAndCommentLinesBetweenEntries) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "% a comment\n"
+      "\n"
+      "2 2 2\n"
+      "1 1 1.0\n"
+      "% between entries\n"
+      "\n"
+      "2 2 2.0\n");
+  Expected<CooMatrix> r = read_matrix_market_checked(in);
+  ASSERT_TRUE(r.ok()) << r.error().to_string();
+  EXPECT_EQ(r.value().nnz(), 2u);
+}
+
+TEST(MmioMalformed, FileErrorCarriesPathContext) {
+  Expected<CooMatrix> r =
+      read_matrix_market_file_checked("/nonexistent/spmvopt_x.mtx");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().category(), ErrorCategory::Io);
+}
+
+TEST(MmioMalformed, ThrowingShimRaisesSpmvException) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 1\n"
+      "9 9 1.0\n");
+  try {
+    (void)read_matrix_market(in);
+    FAIL() << "expected SpmvException";
+  } catch (const SpmvException& e) {
+    EXPECT_EQ(e.error().category(), ErrorCategory::Format);
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace spmvopt

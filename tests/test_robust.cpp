@@ -1,0 +1,134 @@
+// Unit tests for the robustness primitives (DESIGN.md §6): the error
+// taxonomy, Expected<>, CRC32, overflow-checked arithmetic, the degradation
+// log, and the resource-ceiling env knobs.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <limits>
+
+#include "robust/degradation.hpp"
+#include "robust/error.hpp"
+#include "support/checked.hpp"
+#include "support/crc32.hpp"
+#include "support/env.hpp"
+
+namespace spmvopt {
+namespace {
+
+TEST(ErrorTaxonomy, CategoryNames) {
+  EXPECT_STREQ(error_category_name(ErrorCategory::Io), "io");
+  EXPECT_STREQ(error_category_name(ErrorCategory::Format), "format");
+  EXPECT_STREQ(error_category_name(ErrorCategory::Resource), "resource");
+  EXPECT_STREQ(error_category_name(ErrorCategory::Internal), "internal");
+}
+
+TEST(ErrorTaxonomy, SysexitsMapping) {
+  EXPECT_EQ(exit_code_for(ErrorCategory::Format), 65);
+  EXPECT_EQ(exit_code_for(ErrorCategory::Io), 66);
+  EXPECT_EQ(exit_code_for(ErrorCategory::Internal), 70);
+  EXPECT_EQ(exit_code_for(ErrorCategory::Resource), 71);
+  EXPECT_EQ(kExitUsage, 64);
+}
+
+TEST(ErrorTaxonomy, ContextChainRendering) {
+  Error e = Error(ErrorCategory::Format, "line 3: malformed entry")
+                .with_context("while reading 'a.mtx'")
+                .with_context("while loading the test pool");
+  EXPECT_EQ(e.category(), ErrorCategory::Format);
+  ASSERT_EQ(e.context().size(), 2u);
+  EXPECT_EQ(e.context()[0], "while reading 'a.mtx'");  // innermost first
+  const std::string s = e.to_string();
+  EXPECT_NE(s.find("format: line 3: malformed entry"), std::string::npos);
+  EXPECT_NE(s.find("while reading 'a.mtx'"), std::string::npos);
+  EXPECT_NE(s.find("while loading the test pool"), std::string::npos);
+}
+
+TEST(ErrorTaxonomy, SpmvExceptionIsRuntimeErrorWithFullMessage) {
+  const SpmvException ex(Error(ErrorCategory::Io, "cannot open 'x'"));
+  const std::runtime_error& base = ex;  // old catch sites keep working
+  EXPECT_NE(std::string(base.what()).find("cannot open 'x'"), std::string::npos);
+  EXPECT_EQ(ex.error().category(), ErrorCategory::Io);
+}
+
+TEST(ExpectedT, ValueAndErrorPaths) {
+  Expected<int> good(42);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(good.value(), 42);
+  EXPECT_EQ(std::move(good).value_or_throw(), 42);
+
+  Expected<int> bad(Error(ErrorCategory::Resource, "too big"));
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.error().category(), ErrorCategory::Resource);
+  try {
+    (void)std::move(bad).value_or_throw();
+    FAIL() << "value_or_throw did not throw";
+  } catch (const SpmvException& e) {
+    EXPECT_EQ(e.error().category(), ErrorCategory::Resource);
+  }
+}
+
+TEST(ExpectedT, WithContextOnlyTouchesErrors) {
+  Expected<int> good = Expected<int>(1).with_context("ignored");
+  ASSERT_TRUE(good.ok());
+
+  Expected<int> bad = Expected<int>(Error(ErrorCategory::Io, "boom"))
+                          .with_context("while testing");
+  ASSERT_FALSE(bad.ok());
+  ASSERT_EQ(bad.error().context().size(), 1u);
+  EXPECT_EQ(bad.error().context()[0], "while testing");
+}
+
+TEST(Crc32, KnownVectorAndChaining) {
+  // The IEEE 802.3 check value for "123456789".
+  EXPECT_EQ(crc32("123456789", 9), 0xCBF43926u);
+  // Chaining two halves equals one pass over the whole.
+  const std::uint32_t half = crc32("12345", 5);
+  EXPECT_EQ(crc32("6789", 4, half), 0xCBF43926u);
+  EXPECT_EQ(crc32("", 0), 0u);
+}
+
+TEST(CheckedArithmetic, DetectsOverflow) {
+  const std::uint64_t max = std::numeric_limits<std::uint64_t>::max();
+  std::uint64_t out = 0;
+  EXPECT_TRUE(checked_add_u64(2, 3, &out));
+  EXPECT_EQ(out, 5u);
+  EXPECT_FALSE(checked_add_u64(max, 1, &out));
+  EXPECT_TRUE(checked_mul_u64(1u << 20, 1u << 20, &out));
+  EXPECT_EQ(out, 1ull << 40);
+  EXPECT_FALSE(checked_mul_u64(max / 2, 3, &out));
+}
+
+TEST(DegradationLog, RecordsAndQueries) {
+  robust::DegradationLog log;
+  EXPECT_FALSE(log.degraded());
+  EXPECT_EQ(log.to_string(), "no degradation");
+  log.record("delta", "in-row gap exceeds 16 bits");
+  log.record("split", "injected conversion failure");
+  EXPECT_TRUE(log.degraded());
+  EXPECT_TRUE(log.dropped("delta"));
+  EXPECT_TRUE(log.dropped("split"));
+  EXPECT_FALSE(log.dropped("sell"));
+  ASSERT_EQ(log.entries().size(), 2u);
+  const std::string s = log.to_string();
+  EXPECT_NE(s.find("dropped delta"), std::string::npos);
+  EXPECT_NE(s.find("dropped split"), std::string::npos);
+}
+
+TEST(ResourceCeilings, ReadFreshFromEnvironment) {
+  unsetenv("SPMVOPT_MAX_NNZ");
+  unsetenv("SPMVOPT_MAX_BYTES");
+  EXPECT_EQ(max_nnz_limit(), 0u);    // unset = unlimited
+  EXPECT_EQ(max_bytes_limit(), 0u);
+  setenv("SPMVOPT_MAX_NNZ", "12345", 1);
+  setenv("SPMVOPT_MAX_BYTES", "67890", 1);
+  EXPECT_EQ(max_nnz_limit(), 12345u);  // no caching: picked up immediately
+  EXPECT_EQ(max_bytes_limit(), 67890u);
+  setenv("SPMVOPT_MAX_NNZ", "notanumber", 1);
+  EXPECT_EQ(max_nnz_limit(), 0u);  // garbage = unlimited, never a crash
+  unsetenv("SPMVOPT_MAX_NNZ");
+  unsetenv("SPMVOPT_MAX_BYTES");
+}
+
+}  // namespace
+}  // namespace spmvopt

@@ -9,11 +9,15 @@
 //
 // <matrix> is a path ending in .mtx or .csrbin, or suite:NAME for a matrix
 // of the paper's evaluation suite (e.g. suite:poisson3Db).
+//
+// Exit codes follow BSD sysexits (DESIGN.md §6): 0 success, 64 usage error,
+// 65 malformed data, 66 I/O failure, 70 internal error, 71 resource limit.
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <new>
 #include <string>
 #include <vector>
 
@@ -23,6 +27,7 @@
 #include "gen/generators.hpp"
 #include "gen/suite.hpp"
 #include "optimize/optimizers.hpp"
+#include "robust/error.hpp"
 #include "sparse/binary_io.hpp"
 #include "sparse/mmio.hpp"
 #include "support/cpu_info.hpp"
@@ -38,18 +43,27 @@ bool ends_with(const std::string& s, const char* suffix) {
   return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
 }
 
+/// A malformed command line (unknown family, bad spec shape) — exits 64,
+/// unlike data faults which carry an ErrorCategory.
+struct UsageError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
 CsrMatrix load_matrix(const std::string& spec) {
   if (spec.rfind("suite:", 0) == 0) {
     const std::string name = spec.substr(6);
     for (const auto& e : gen::evaluation_suite(0.5))
       if (e.name == name) return e.make();
-    throw std::runtime_error("unknown suite matrix '" + name +
-                             "' (see bench_fig1 output for names)");
+    throw UsageError("unknown suite matrix '" + name +
+                     "' (see bench_fig1 output for names)");
   }
-  if (ends_with(spec, ".csrbin")) return read_csr_binary_file(spec);
-  if (ends_with(spec, ".mtx"))
-    return CsrMatrix::from_coo(read_matrix_market_file(spec));
-  throw std::runtime_error("matrix spec must be *.mtx, *.csrbin or suite:NAME");
+  if (ends_with(spec, ".csrbin"))
+    return read_csr_binary_file_checked(spec).value_or_throw();
+  if (ends_with(spec, ".mtx")) {
+    auto coo = read_matrix_market_file_checked(spec).value_or_throw();
+    return CsrMatrix::from_coo_checked(coo).value_or_throw();
+  }
+  throw UsageError("matrix spec must be *.mtx, *.csrbin or suite:NAME");
 }
 
 void save_matrix(const std::string& path, const CsrMatrix& a) {
@@ -58,7 +72,7 @@ void save_matrix(const std::string& path, const CsrMatrix& a) {
   } else if (ends_with(path, ".mtx")) {
     write_matrix_market_file(path, a);
   } else {
-    throw std::runtime_error("output must end in .mtx or .csrbin");
+    throw UsageError("output must end in .mtx or .csrbin");
   }
 }
 
@@ -116,7 +130,7 @@ int cmd_generate(const std::string& family, const std::string& out, index_t n) {
   else if (family == "powerlaw") a = gen::power_law(n * n, 12, 1.8);
   else if (family == "fewdense") a = gen::few_dense_rows(n * n, 3, 8, n * n / 2);
   else
-    throw std::runtime_error(
+    throw UsageError(
         "family must be poisson2d|poisson3d|dense|banded|random|powerlaw|fewdense");
   save_matrix(out, a);
   std::printf("generated %s (%d x %d, %d nnz) -> %s\n", family.c_str(),
@@ -137,7 +151,9 @@ int cmd_train(const std::string& model_out, int pool_size) {
   const auto trained = classify::train_from_pool(pool, features::onnz_feature_set(),
                                                  {}, cfg);
   std::ofstream out(model_out);
-  if (!out) throw std::runtime_error("cannot open '" + model_out + "'");
+  if (!out)
+    throw SpmvException(
+        Error(ErrorCategory::Io, "cannot open '" + model_out + "'"));
   trained.classifier.save(out);
   std::printf("trained in %.1fs; tree: %zu nodes, depth %d -> %s\n",
               t.elapsed_sec(), trained.classifier.tree().node_count(),
@@ -157,7 +173,9 @@ int cmd_optimize(const std::string& spec, const std::string& model_path) {
     std::printf("profile-guided: ");
   } else {
     std::ifstream in(model_path);
-    if (!in) throw std::runtime_error("cannot open model '" + model_path + "'");
+    if (!in)
+      throw SpmvException(
+          Error(ErrorCategory::Io, "cannot open model '" + model_path + "'"));
     const auto clf = classify::FeatureClassifier::load(in);
     out = optimize::optimize_feature(a, clf, cfg);
     std::printf("feature-guided: ");
@@ -208,7 +226,17 @@ int usage() {
                "  spmvopt_cli optimize <matrix> [model]\n"
                "  spmvopt_cli bench    <matrix>\n"
                "<matrix>: *.mtx | *.csrbin | suite:NAME\n");
-  return 2;
+  return kExitUsage;
+}
+
+/// Print the message and every context frame ("  while reading '...'"), and
+/// map the category to its sysexits code.
+int report(const Error& e) {
+  std::fprintf(stderr, "error (%s): %s\n", error_category_name(e.category()),
+               e.message().c_str());
+  for (const std::string& frame : e.context())
+    std::fprintf(stderr, "  %s\n", frame.c_str());
+  return exit_code_for(e.category());
 }
 
 }  // namespace
@@ -227,9 +255,17 @@ int main(int argc, char** argv) {
     if (cmd == "optimize" && (argc == 3 || argc == 4))
       return cmd_optimize(argv[2], argc == 4 ? argv[3] : "");
     if (cmd == "bench" && argc == 3) return cmd_bench(argv[2]);
-  } catch (const std::exception& e) {
+  } catch (const UsageError& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
+    return kExitUsage;
+  } catch (const SpmvException& e) {
+    return report(e.error());
+  } catch (const std::bad_alloc&) {
+    std::fprintf(stderr, "error (resource): out of memory\n");
+    return exit_code_for(ErrorCategory::Resource);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error (internal): %s\n", e.what());
+    return exit_code_for(ErrorCategory::Internal);
   }
   return usage();
 }
