@@ -9,7 +9,8 @@
 #include <iostream>
 #include <vector>
 
-#include "bench_common.hpp"
+#include "report/environment.hpp"
+#include "support/cpu_info.hpp"
 #include "gen/generators.hpp"
 #include "kernels/compose.hpp"
 #include "kernels/spmv.hpp"
@@ -22,22 +23,13 @@ namespace {
 
 using namespace spmvopt;
 
-double measure(const CsrMatrix& a,
-               const std::function<void(const value_t*, value_t*)>& fn,
-               const perf::MeasureConfig& m) {
-  const std::vector<value_t> x = gen::test_vector(a.ncols());
-  std::vector<value_t> y(static_cast<std::size_t>(a.nrows()));
-  const double flops = 2.0 * static_cast<double>(a.nnz());
-  return perf::measure_rate([&] { fn(x.data(), y.data()); }, flops, m).gflops;
-}
-
 }  // namespace
 
 int main() {
-  bench::print_host_preamble("Ablations: prefetch distance, delta width, "
+  report::print_host_preamble("Ablations: prefetch distance, delta width, "
                              "chunk size, split threshold");
   const perf::MeasureConfig m = perf::MeasureConfig::from_env();
-  const double scale = bench::suite_scale();
+  const double scale = report::suite_scale();
 
   // 1. Prefetch distance on an irregular (ML-class) matrix.
   {
@@ -47,12 +39,12 @@ int main() {
                                              default_threads());
     Table t({"pf_distance_elems", "gflops"});
     t.add_row({"0 (no prefetch)",
-               Table::num(measure(a, [&](const value_t* x, value_t* y) {
+               Table::num(perf::measure_gflops(a, [&](const value_t* x, value_t* y) {
                  kernels::spmv_balanced(a, part, x, y);
                }, m), 2)});
     for (index_t dist : {2, 4, 8, 16, 32, 64}) {
       t.add_row({std::to_string(dist),
-                 Table::num(measure(a, [&](const value_t* x, value_t* y) {
+                 Table::num(perf::measure_gflops(a, [&](const value_t* x, value_t* y) {
                    kernels::spmv_prefetch(a, part, x, y, dist);
                  }, m), 2)});
     }
@@ -71,14 +63,14 @@ int main() {
     Table t({"index_encoding", "format_MiB", "gflops"});
     t.add_row({"raw 32-bit",
                Table::num(static_cast<double>(a.format_bytes()) / (1 << 20), 2),
-               Table::num(measure(a, [&](const value_t* x, value_t* y) {
+               Table::num(perf::measure_gflops(a, [&](const value_t* x, value_t* y) {
                  kernels::spmv_vector(a, part, x, y);
                }, m), 2)});
     const auto d8 = DeltaCsrMatrix::encode(a);
     if (d8 && d8->width() == DeltaWidth::U8) {
       t.add_row({"delta u8",
                  Table::num(static_cast<double>(d8->format_bytes()) / (1 << 20), 2),
-                 Table::num(measure(a, [&](const value_t* x, value_t* y) {
+                 Table::num(perf::measure_gflops(a, [&](const value_t* x, value_t* y) {
                    kernels::spmv_delta_vector(*d8, part, x, y);
                  }, m), 2)});
     }
@@ -94,15 +86,15 @@ int main() {
     Table t({"schedule", "gflops"});
     for (int chunk : {1, 8, 64, 512}) {
       t.add_row({"dynamic," + std::to_string(chunk),
-                 Table::num(measure(a, [&](const value_t* x, value_t* y) {
+                 Table::num(perf::measure_gflops(a, [&](const value_t* x, value_t* y) {
                    kernels::spmv_omp_dynamic(a, x, y, chunk);
                  }, m), 2)});
     }
-    t.add_row({"guided", Table::num(measure(a, [&](const value_t* x, value_t* y) {
+    t.add_row({"guided", Table::num(perf::measure_gflops(a, [&](const value_t* x, value_t* y) {
                  kernels::spmv_omp_guided(a, x, y);
                }, m), 2)});
     t.add_row({"auto (paper's IMB choice)",
-               Table::num(measure(a, [&](const value_t* x, value_t* y) {
+               Table::num(perf::measure_gflops(a, [&](const value_t* x, value_t* y) {
                  kernels::spmv_omp_auto(a, x, y);
                }, m), 2)});
     std::printf("-- scheduling (power-law matrix)\n");
@@ -124,7 +116,7 @@ int main() {
       const std::string label = std::to_string(thr) +
                                 (thr == dflt ? " (default)" : "");
       t.add_row({label, std::to_string(s.num_long_rows()),
-                 Table::num(measure(a, [&](const value_t* x, value_t* y) {
+                 Table::num(perf::measure_gflops(a, [&](const value_t* x, value_t* y) {
                    kernels::spmv_split(s, part, x, y);
                  }, m), 2)});
     }
@@ -162,7 +154,7 @@ int main() {
       for (const auto& plan : plans) {
         const auto spmv = optimize::OptimizedSpmv::create(w.a, plan);
         t.add_row({w.name, spmv.plan().to_string(),
-                   Table::num(measure(w.a, [&](const value_t* x, value_t* y) {
+                   Table::num(perf::measure_gflops(w.a, [&](const value_t* x, value_t* y) {
                      spmv.run(x, y);
                    }, m), 2),
                    Table::num(static_cast<double>(spmv.format_bytes()) / (1 << 20), 2)});
@@ -193,16 +185,16 @@ int main() {
                                                default_threads());
     Table t({"variant", "bandwidth", "gflops"});
     t.add_row({"scrambled baseline", std::to_string(matrix_bandwidth(scrambled)),
-               Table::num(measure(scrambled, [&](const value_t* x, value_t* y) {
+               Table::num(perf::measure_gflops(scrambled, [&](const value_t* x, value_t* y) {
                  kernels::spmv_balanced(scrambled, part_s, x, y);
                }, m), 2)});
     t.add_row({"scrambled + prefetch", std::to_string(matrix_bandwidth(scrambled)),
-               Table::num(measure(scrambled, [&](const value_t* x, value_t* y) {
+               Table::num(perf::measure_gflops(scrambled, [&](const value_t* x, value_t* y) {
                  kernels::spmv_prefetch(scrambled, part_s, x, y,
                                         static_cast<index_t>(cpu_info().doubles_per_line()));
                }, m), 2)});
     t.add_row({"RCM-reordered baseline", std::to_string(matrix_bandwidth(rcm)),
-               Table::num(measure(rcm, [&](const value_t* x, value_t* y) {
+               Table::num(perf::measure_gflops(rcm, [&](const value_t* x, value_t* y) {
                  kernels::spmv_balanced(rcm, part_r, x, y);
                }, m), 2)});
     std::printf("-- RCM reordering vs prefetching (scrambled 2-D stencil)\n");

@@ -9,7 +9,8 @@
 #include <iostream>
 #include <vector>
 
-#include "bench_common.hpp"
+#include "report/environment.hpp"
+#include "gen/suite.hpp"
 #include "gen/generators.hpp"
 #include "optimize/optimized_spmv.hpp"
 #include "optimize/optimizers.hpp"
@@ -17,7 +18,7 @@
 
 int main() {
   using namespace spmvopt;
-  bench::print_host_preamble("Fig. 1: per-optimization speedup over baseline CSR");
+  report::print_host_preamble("Fig. 1: per-optimization speedup over baseline CSR");
 
   const perf::MeasureConfig m = perf::MeasureConfig::from_env();
 
@@ -31,7 +32,7 @@ int main() {
   Table table({"matrix", "baseline_gflops", "sw_prefetch", "vectorization",
                "auto_sched"});
 
-  for (const auto& entry : gen::evaluation_suite(bench::suite_scale())) {
+  for (const auto& entry : gen::evaluation_suite(report::suite_scale())) {
     const CsrMatrix a = entry.make();
     const auto baseline = optimize::OptimizedSpmv::create(a, optimize::Plan{});
     const double base = optimize::measure_spmv_gflops(baseline, a, m);

@@ -8,14 +8,15 @@
 #include <cstdio>
 #include <iostream>
 
-#include "bench_common.hpp"
+#include "report/environment.hpp"
+#include "gen/suite.hpp"
 #include "classify/profile_classifier.hpp"
 #include "perf/bounds.hpp"
 #include "support/table.hpp"
 
 int main() {
   using namespace spmvopt;
-  bench::print_host_preamble(
+  report::print_host_preamble(
       "Fig. 3: CSR baseline and per-class upper bounds (Gflop/s)");
 
   perf::BoundsConfig cfg;
@@ -23,7 +24,7 @@ int main() {
 
   Table table({"matrix", "CSR", "ML", "IMB", "CMP", "MB", "Peak", "fits_llc",
                "classes"});
-  for (const auto& entry : gen::evaluation_suite(bench::suite_scale())) {
+  for (const auto& entry : gen::evaluation_suite(report::suite_scale())) {
     const CsrMatrix a = entry.make();
     const perf::PerfBounds b = perf::measure_bounds(a, cfg);
     const auto classes = classify::classify_from_bounds(b);

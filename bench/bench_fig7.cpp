@@ -13,7 +13,9 @@
 #include <iostream>
 #include <vector>
 
-#include "bench_common.hpp"
+#include "report/environment.hpp"
+#include "support/env.hpp"
+#include "gen/suite.hpp"
 #include "gen/generators.hpp"
 #include "classify/feature_classifier.hpp"
 #include "mklcompat/inspector_executor.hpp"
@@ -27,19 +29,10 @@ namespace {
 
 using namespace spmvopt;
 
-double measure_fn(const CsrMatrix& a,
-                  const std::function<void(const value_t*, value_t*)>& fn,
-                  const perf::MeasureConfig& m) {
-  const std::vector<value_t> x = gen::test_vector(a.ncols());
-  std::vector<value_t> y(static_cast<std::size_t>(a.nrows()));
-  const double flops = 2.0 * static_cast<double>(a.nnz());
-  return perf::measure_rate([&] { fn(x.data(), y.data()); }, flops, m).gflops;
-}
-
 }  // namespace
 
 int main() {
-  bench::print_host_preamble(
+  report::print_host_preamble(
       "Fig. 7: SpMV performance landscape (Gflop/s per optimizer)");
 
   const perf::MeasureConfig m = perf::MeasureConfig::from_env();
@@ -75,14 +68,14 @@ int main() {
                "prof", "feat", "oracle_ext"});
   std::vector<double> sp_prof, sp_feat, sp_ie, sp_oracle, sp_ext;
 
-  for (const auto& entry : gen::evaluation_suite(bench::suite_scale())) {
+  for (const auto& entry : gen::evaluation_suite(report::suite_scale())) {
     const CsrMatrix a = entry.make();
 
-    const double mkl = measure_fn(
+    const double mkl = perf::measure_gflops(
         a, [&a](const value_t* x, value_t* y) { mklcompat::ref_dcsrmv(a, x, y); },
         m);
     const auto ie = mklcompat::InspectorExecutorSpmv::analyze(a);
-    const double ie_gflops = measure_fn(
+    const double ie_gflops = perf::measure_gflops(
         a, [&ie](const value_t* x, value_t* y) { ie.execute(x, y); }, m);
 
     const auto baseline = optimize::OptimizedSpmv::create(a, optimize::Plan{});

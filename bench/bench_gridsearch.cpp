@@ -14,7 +14,9 @@
 #include <map>
 #include <vector>
 
-#include "bench_common.hpp"
+#include "report/environment.hpp"
+#include "support/env.hpp"
+#include "gen/suite.hpp"
 #include "classify/profile_classifier.hpp"
 #include "gen/generators.hpp"
 #include "ml/search.hpp"
@@ -35,7 +37,7 @@ struct MatrixRecord {
 }  // namespace
 
 int main() {
-  bench::print_host_preamble(
+  report::print_host_preamble(
       "Grid search: profile-classifier thresholds (Fig. 4 caption protocol)");
 
   const int pool_size = quick_mode() ? 24 : 60;

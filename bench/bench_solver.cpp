@@ -8,7 +8,9 @@
 #include <cmath>
 #include <iostream>
 
-#include "bench_common.hpp"
+#include "report/environment.hpp"
+#include "support/env.hpp"
+#include "gen/suite.hpp"
 #include "classify/feature_classifier.hpp"
 #include "gen/generators.hpp"
 #include "mklcompat/inspector_executor.hpp"
@@ -111,8 +113,8 @@ void run_case(const SolveCase& sc, const classify::FeatureClassifier& clf,
 }  // namespace
 
 int main() {
-  bench::print_host_preamble("Solver time-to-solution per optimizer (applied Table V)");
-  const double scale = bench::suite_scale();
+  report::print_host_preamble("Solver time-to-solution per optimizer (applied Table V)");
+  const double scale = report::suite_scale();
 
   optimize::OptimizerConfig cfg;
   cfg.measure.iterations = quick_mode() ? 4 : 16;

@@ -5,7 +5,10 @@
 #include <cstdio>
 #include <iostream>
 
-#include "bench_common.hpp"
+#include "report/environment.hpp"
+#include "support/env.hpp"
+#include "support/cpu_info.hpp"
+#include "perf/stream.hpp"
 #include "support/table.hpp"
 
 int main() {

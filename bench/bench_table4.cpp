@@ -12,7 +12,9 @@
 #include <iostream>
 #include <map>
 
-#include "bench_common.hpp"
+#include "report/environment.hpp"
+#include "support/env.hpp"
+#include "gen/suite.hpp"
 #include "classify/feature_classifier.hpp"
 #include "features/features.hpp"
 #include "ml/cross_validation.hpp"
@@ -21,7 +23,7 @@
 
 int main() {
   using namespace spmvopt;
-  bench::print_host_preamble("Table IV: feature-guided classifier accuracy (LOO CV)");
+  report::print_host_preamble("Table IV: feature-guided classifier accuracy (LOO CV)");
 
   const int pool_size = quick_mode() ? 60 : 210;
 

@@ -13,7 +13,9 @@
 #include <map>
 #include <vector>
 
-#include "bench_common.hpp"
+#include "report/environment.hpp"
+#include "support/env.hpp"
+#include "gen/suite.hpp"
 #include "gen/generators.hpp"
 #include "classify/feature_classifier.hpp"
 #include "mklcompat/inspector_executor.hpp"
@@ -46,7 +48,7 @@ struct Amortization {
 }  // namespace
 
 int main() {
-  bench::print_host_preamble(
+  report::print_host_preamble(
       "Table V: solver iterations to amortize optimizer overhead vs MKL-proxy");
 
   const int iters = quick_mode() ? 16 : 64;  // the paper's "64 SpMV iterations"
@@ -74,7 +76,7 @@ int main() {
                           "profile-guided", "feature-guided",
                           "MKL Inspector-Executor"};
 
-  for (const auto& entry : gen::evaluation_suite(bench::suite_scale())) {
+  for (const auto& entry : gen::evaluation_suite(report::suite_scale())) {
     const CsrMatrix a = entry.make();
     const double t_mkl = sec_per_op(
         a, [&a](const value_t* x, value_t* y) { mklcompat::ref_dcsrmv(a, x, y); },

@@ -1,5 +1,6 @@
 #include "perf/measure.hpp"
 
+#include "gen/generators.hpp"
 #include "support/env.hpp"
 
 namespace spmvopt::perf {
@@ -10,6 +11,19 @@ MeasureConfig MeasureConfig::from_env() {
   cfg.runs = bench_runs();
   cfg.warmup = quick_mode() ? 1 : 2;
   return cfg;
+}
+
+RateSamples measure_gflops_samples(const CsrMatrix& A, const SpmvFn& fn,
+                                   const MeasureConfig& cfg) {
+  const std::vector<value_t> x = gen::test_vector(A.ncols());
+  std::vector<value_t> y(static_cast<std::size_t>(A.nrows()));
+  const double flops = 2.0 * static_cast<double>(A.nnz());
+  return measure_rate_samples([&] { fn(x.data(), y.data()); }, flops, cfg);
+}
+
+double measure_gflops(const CsrMatrix& A, const SpmvFn& fn,
+                      const MeasureConfig& cfg) {
+  return measure_gflops_samples(A, fn, cfg).summary.gflops;
 }
 
 }  // namespace spmvopt::perf

@@ -4,11 +4,14 @@
 // harmonic mean of their rates.
 #pragma once
 
+#include <functional>
 #include <utility>
 #include <vector>
 
+#include "sparse/csr.hpp"
 #include "support/stats.hpp"
 #include "support/timing.hpp"
+#include "support/types.hpp"
 
 namespace spmvopt::perf {
 
@@ -21,11 +24,19 @@ struct MeasureConfig {
   [[nodiscard]] static MeasureConfig from_env();
 };
 
-/// Times `op()` per the methodology; returns harmonic-mean Gflop/s etc.
-/// for a kernel performing `flops` floating-point operations per call.
+/// The raw measurement record behind a RateSummary: one Gflop/s sample per
+/// run.  The bench harness (src/report/) needs the samples to attach
+/// confidence intervals and reject outliers; measure_rate() keeps the
+/// summary-only view for callers that don't.
+struct RateSamples {
+  std::vector<double> gflops;  ///< one per run, in measurement order
+  RateSummary summary;         ///< summarize_rates over all runs
+};
+
+/// Times `op()` per the methodology and keeps every per-run rate.
 template <class F>
-[[nodiscard]] RateSummary measure_rate(F&& op, double flops,
-                                       const MeasureConfig& cfg) {
+[[nodiscard]] RateSamples measure_rate_samples(F&& op, double flops,
+                                               const MeasureConfig& cfg) {
   for (int w = 0; w < cfg.warmup; ++w) op();
   std::vector<double> sec_per_op;
   sec_per_op.reserve(static_cast<std::size_t>(cfg.runs));
@@ -35,8 +46,34 @@ template <class F>
     sec_per_op.push_back(timer.elapsed_sec() /
                          static_cast<double>(cfg.iterations));
   }
-  return summarize_rates(sec_per_op, flops);
+  RateSamples out;
+  out.summary = summarize_rates(sec_per_op, flops);
+  out.gflops.reserve(sec_per_op.size());
+  for (double s : sec_per_op) out.gflops.push_back(flops / s / 1e9);
+  return out;
 }
+
+/// Times `op()` per the methodology; returns harmonic-mean Gflop/s etc.
+/// for a kernel performing `flops` floating-point operations per call.
+template <class F>
+[[nodiscard]] RateSummary measure_rate(F&& op, double flops,
+                                       const MeasureConfig& cfg) {
+  return measure_rate_samples(std::forward<F>(op), flops, cfg).summary;
+}
+
+/// Any y = A*x implementation, bound to its operands' raw pointers.
+using SpmvFn = std::function<void(const value_t*, value_t*)>;
+
+/// Measure an SpMV callable on `A` with a deterministic test vector —
+/// allocation of x/y, the 2*nnz flop count, and the timing protocol in one
+/// place (previously copy-pasted by every bench driver).
+[[nodiscard]] double measure_gflops(const CsrMatrix& A, const SpmvFn& fn,
+                                    const MeasureConfig& cfg);
+
+/// Sample-keeping variant of measure_gflops for the bench harness.
+[[nodiscard]] RateSamples measure_gflops_samples(const CsrMatrix& A,
+                                                 const SpmvFn& fn,
+                                                 const MeasureConfig& cfg);
 
 /// Plain seconds for a one-shot operation (preprocessing cost accounting).
 template <class F>

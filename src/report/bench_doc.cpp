@@ -1,0 +1,203 @@
+#include "report/bench_doc.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "support/stats.hpp"
+
+namespace spmvopt::report {
+
+std::vector<HarmonicSummary> summarize(const BenchDocument& doc) {
+  // Group positive-rate cells by variant and by (classes, variant), keeping
+  // first-appearance order so the serialized summary is deterministic.
+  std::vector<HarmonicSummary> out;
+  std::vector<std::pair<std::string, std::vector<double>>> by_variant;
+  std::vector<std::pair<std::pair<std::string, std::string>,
+                        std::vector<double>>>
+      by_class;
+  for (const BenchResult& r : doc.results) {
+    if (r.gflops <= 0.0) continue;
+    auto vit = std::find_if(by_variant.begin(), by_variant.end(),
+                            [&](const auto& p) { return p.first == r.variant; });
+    if (vit == by_variant.end()) {
+      by_variant.push_back({r.variant, {}});
+      vit = std::prev(by_variant.end());
+    }
+    vit->second.push_back(r.gflops);
+    const std::pair<std::string, std::string> key{r.classes, r.variant};
+    auto cit = std::find_if(by_class.begin(), by_class.end(),
+                            [&](const auto& p) { return p.first == key; });
+    if (cit == by_class.end()) {
+      by_class.push_back({key, {}});
+      cit = std::prev(by_class.end());
+    }
+    cit->second.push_back(r.gflops);
+  }
+  for (const auto& [variant, rates] : by_variant)
+    out.push_back({"", variant, harmonic_mean(rates),
+                   static_cast<int>(rates.size())});
+  for (const auto& [key, rates] : by_class)
+    out.push_back({key.first, key.second, harmonic_mean(rates),
+                   static_cast<int>(rates.size())});
+  return out;
+}
+
+Json document_to_json(const BenchDocument& doc) {
+  Json j = Json::object();
+  j.set("schema_version", doc.schema_version);
+  j.set("kind", doc.kind);
+  j.set("suite", doc.suite);
+  j.set("environment", environment_to_json(doc.environment));
+  Json results = Json::array();
+  for (const BenchResult& r : doc.results) {
+    Json cell = Json::object();
+    cell.set("matrix", r.matrix);
+    cell.set("family", r.family);
+    cell.set("classes", r.classes);
+    cell.set("variant", r.variant);
+    cell.set("plan", r.plan);
+    cell.set("threads", r.threads);
+    cell.set("nrows", r.nrows);
+    cell.set("ncols", r.ncols);
+    cell.set("nnz", r.nnz);
+    cell.set("gflops", r.gflops);
+    cell.set("ci_lo", r.ci_lo);
+    cell.set("ci_hi", r.ci_hi);
+    cell.set("samples_kept", r.samples_kept);
+    cell.set("samples_rejected", r.samples_rejected);
+    results.push(std::move(cell));
+  }
+  j.set("results", std::move(results));
+
+  Json variant_hmean = Json::array();
+  Json class_hmean = Json::array();
+  for (const HarmonicSummary& s : summarize(doc)) {
+    Json row = Json::object();
+    if (!s.classes.empty()) row.set("classes", s.classes);
+    row.set("variant", s.variant);
+    row.set("gflops_hmean", s.gflops_hmean);
+    row.set("matrices", s.matrices);
+    (s.classes.empty() ? variant_hmean : class_hmean).push(std::move(row));
+  }
+  Json summary = Json::object();
+  summary.set("variant_hmean", std::move(variant_hmean));
+  summary.set("class_hmean", std::move(class_hmean));
+  j.set("summary", std::move(summary));
+  return j;
+}
+
+namespace {
+
+Error schema(std::string what) {
+  return Error(ErrorCategory::Format, "bench document: " + std::move(what));
+}
+
+bool get_string(const Json& j, const char* key, std::string* out) {
+  const Json* v = j.find(key);
+  if (v == nullptr || !v->is_string()) return false;
+  *out = v->as_string();
+  return true;
+}
+
+template <class T>
+bool get_number(const Json& j, const char* key, T* out) {
+  const Json* v = j.find(key);
+  if (v == nullptr || !v->is_number()) return false;
+  *out = static_cast<T>(v->as_number());
+  return true;
+}
+
+Expected<BenchResult> result_from_json(const Json& j, std::size_t index) {
+  const auto bad = [&](const char* key) {
+    return schema("results[" + std::to_string(index) +
+                  "]: missing or mistyped '" + key + "'");
+  };
+  if (!j.is_object())
+    return schema("results[" + std::to_string(index) + "] must be an object");
+  BenchResult r;
+  if (!get_string(j, "matrix", &r.matrix)) return bad("matrix");
+  if (!get_string(j, "family", &r.family)) return bad("family");
+  if (!get_string(j, "classes", &r.classes)) return bad("classes");
+  if (!get_string(j, "variant", &r.variant)) return bad("variant");
+  if (!get_string(j, "plan", &r.plan)) return bad("plan");
+  if (!get_number(j, "threads", &r.threads)) return bad("threads");
+  if (!get_number(j, "nrows", &r.nrows)) return bad("nrows");
+  if (!get_number(j, "ncols", &r.ncols)) return bad("ncols");
+  if (!get_number(j, "nnz", &r.nnz)) return bad("nnz");
+  if (!get_number(j, "gflops", &r.gflops)) return bad("gflops");
+  if (!get_number(j, "ci_lo", &r.ci_lo)) return bad("ci_lo");
+  if (!get_number(j, "ci_hi", &r.ci_hi)) return bad("ci_hi");
+  if (!get_number(j, "samples_kept", &r.samples_kept))
+    return bad("samples_kept");
+  if (!get_number(j, "samples_rejected", &r.samples_rejected))
+    return bad("samples_rejected");
+  if (r.gflops < 0.0 || r.ci_lo > r.ci_hi)
+    return schema("results[" + std::to_string(index) +
+                  "]: negative rate or inverted confidence interval");
+  return r;
+}
+
+}  // namespace
+
+Expected<BenchDocument> document_from_json(const Json& j) {
+  if (!j.is_object()) return schema("top level must be an object");
+  BenchDocument doc;
+  if (!get_number(j, "schema_version", &doc.schema_version))
+    return schema("missing 'schema_version'");
+  if (doc.schema_version != kBenchSchemaVersion)
+    return schema("unsupported schema_version " +
+                  std::to_string(doc.schema_version) + " (expected " +
+                  std::to_string(kBenchSchemaVersion) + ")");
+  if (!get_string(j, "kind", &doc.kind)) return schema("missing 'kind'");
+  if (doc.kind != "kernels" && doc.kind != "plans")
+    return schema("kind must be 'kernels' or 'plans', got '" + doc.kind + "'");
+  if (!get_string(j, "suite", &doc.suite)) return schema("missing 'suite'");
+  const Json* env = j.find("environment");
+  if (env == nullptr) return schema("missing 'environment'");
+  auto parsed_env = environment_from_json(*env);
+  if (!parsed_env.ok()) return std::move(parsed_env).error();
+  doc.environment = std::move(parsed_env).value();
+  const Json* results = j.find("results");
+  if (results == nullptr || !results->is_array())
+    return schema("missing 'results' array");
+  doc.results.reserve(results->items().size());
+  for (std::size_t i = 0; i < results->items().size(); ++i) {
+    auto r = result_from_json(results->items()[i], i);
+    if (!r.ok()) return std::move(r).error();
+    doc.results.push_back(std::move(r).value());
+  }
+  // The summary block is derived; it is regenerated on save and therefore
+  // deliberately not parsed back.
+  return doc;
+}
+
+Expected<BenchDocument> load_bench_document(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in)
+    return Error(ErrorCategory::Io, "cannot open '" + path + "'");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (in.bad())
+    return Error(ErrorCategory::Io, "read failed for '" + path + "'");
+  auto parsed = Json::parse(buf.str());
+  if (!parsed.ok())
+    return std::move(parsed).error().with_context("while reading '" + path +
+                                                  "'");
+  return document_from_json(parsed.value())
+      .with_context("while reading '" + path + "'");
+}
+
+Status save_bench_document(const std::string& path, const BenchDocument& doc) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out)
+    return Error(ErrorCategory::Io, "cannot open '" + path + "' for writing");
+  out << document_to_json(doc).dump();
+  out.flush();
+  if (!out)
+    return Error(ErrorCategory::Io, "write failed for '" + path + "'");
+  return Unit{};
+}
+
+}  // namespace spmvopt::report

@@ -1,0 +1,87 @@
+// Schema-versioned bench documents (BENCH_kernels.json / BENCH_plans.json).
+//
+// One document is one orchestrated sweep: suite × variants × thread counts,
+// with the measurement environment captured alongside.  The derived
+// summaries (per-variant and per-bottleneck-class harmonic means, the
+// paper's Table 4/5 aggregation) are recomputed from `results` on every
+// serialization, so a hand-edited document can never carry stale summaries.
+//
+// Schema (version 1):
+//   {
+//     "schema_version": 1,
+//     "kind": "kernels" | "plans",
+//     "suite": "smoke" | "full",
+//     "environment": { cpu_model, logical_cpus, threads, ... },
+//     "results": [ { matrix, family, classes, variant, plan, threads,
+//                    nrows, ncols, nnz, gflops, ci_lo, ci_hi,
+//                    samples_kept, samples_rejected }, ... ],
+//     "summary": {
+//       "variant_hmean": [ { variant, gflops_hmean, matrices }, ... ],
+//       "class_hmean":   [ { classes, variant, gflops_hmean, matrices }, ... ]
+//     }
+//   }
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "report/environment.hpp"
+#include "report/json.hpp"
+
+namespace spmvopt::report {
+
+inline constexpr int kBenchSchemaVersion = 1;
+
+/// One measured (matrix, variant, threads) cell.
+struct BenchResult {
+  std::string matrix;   ///< suite entry name ("tiny-dense", "poisson3Db")
+  std::string family;   ///< generator family
+  std::string classes;  ///< heuristic bottleneck classes, "{ML, IMB}" style
+  std::string variant;  ///< requested variant key ("baseline", "pf+vec", ...)
+  std::string plan;     ///< what actually ran (after degradation), or "serial"
+  int threads = 1;
+  std::int64_t nrows = 0;
+  std::int64_t ncols = 0;
+  std::int64_t nnz = 0;
+  double gflops = 0.0;        ///< harmonic mean of the kept samples
+  double ci_lo = 0.0;         ///< 95% CI on the mean of the kept samples
+  double ci_hi = 0.0;
+  int samples_kept = 0;       ///< runs surviving IQR outlier rejection
+  int samples_rejected = 0;
+
+  [[nodiscard]] bool operator==(const BenchResult&) const = default;
+};
+
+struct BenchDocument {
+  int schema_version = kBenchSchemaVersion;
+  std::string kind;   ///< "kernels" | "plans"
+  std::string suite;  ///< "smoke" | "full"
+  EnvironmentInfo environment;
+  std::vector<BenchResult> results;
+
+  [[nodiscard]] bool operator==(const BenchDocument&) const = default;
+};
+
+/// A derived harmonic-mean aggregate (present in the serialized summary).
+struct HarmonicSummary {
+  std::string classes;  ///< empty for the all-matrices per-variant rows
+  std::string variant;
+  double gflops_hmean = 0.0;
+  int matrices = 0;  ///< cells aggregated
+};
+
+/// Per-variant harmonic means, then per (classes, variant) harmonic means,
+/// both in first-appearance order.  Cells with gflops <= 0 are skipped.
+[[nodiscard]] std::vector<HarmonicSummary> summarize(const BenchDocument& doc);
+
+[[nodiscard]] Json document_to_json(const BenchDocument& doc);
+[[nodiscard]] Expected<BenchDocument> document_from_json(const Json& j);
+
+/// File I/O with categorized errors (Io for open/write, Format for parse or
+/// schema violations; context names the path).
+[[nodiscard]] Expected<BenchDocument> load_bench_document(
+    const std::string& path);
+[[nodiscard]] Status save_bench_document(const std::string& path,
+                                         const BenchDocument& doc);
+
+}  // namespace spmvopt::report

@@ -1,0 +1,114 @@
+#include "report/compare.hpp"
+
+#include <cmath>
+#include <map>
+#include <tuple>
+
+namespace spmvopt::report {
+
+const char* verdict_name(Verdict v) noexcept {
+  switch (v) {
+    case Verdict::Unchanged: return "unchanged";
+    case Verdict::Improved: return "improved";
+    case Verdict::Regressed: return "regressed";
+    case Verdict::Added: return "added";
+    case Verdict::Removed: return "removed";
+  }
+  return "?";
+}
+
+std::string ComparisonReport::summary() const {
+  return std::to_string(improved) + " improved, " + std::to_string(regressed) +
+         " regressed, " + std::to_string(unchanged) + " unchanged (" +
+         std::to_string(added) + " added, " + std::to_string(removed) +
+         " removed)";
+}
+
+namespace {
+
+using CellKey = std::tuple<std::string, std::string, int>;
+
+CellKey key_of(const BenchResult& r) {
+  return {r.matrix, r.variant, r.threads};
+}
+
+/// The regression test of the header comment: threshold AND CI separation.
+/// Degenerate single-sample intervals (lo == hi == mean) reduce the CI test
+/// to a plain value comparison, so sparse documents still gate.
+Verdict classify_cell(const BenchResult& oldr, const BenchResult& newr,
+                      const CompareConfig& cfg) {
+  if (oldr.gflops <= 0.0 || newr.gflops <= 0.0) return Verdict::Unchanged;
+  if (cfg.min_gflops > 0.0 && oldr.gflops < cfg.min_gflops &&
+      newr.gflops < cfg.min_gflops)
+    return Verdict::Unchanged;
+  const double rel = newr.gflops / oldr.gflops - 1.0;
+  if (rel < -cfg.rel_threshold && newr.ci_hi < oldr.ci_lo)
+    return Verdict::Regressed;
+  if (rel > cfg.rel_threshold && newr.ci_lo > oldr.ci_hi)
+    return Verdict::Improved;
+  return Verdict::Unchanged;
+}
+
+bool environments_comparable(const EnvironmentInfo& a,
+                             const EnvironmentInfo& b) {
+  return a.cpu_model == b.cpu_model && a.threads == b.threads &&
+         a.iterations == b.iterations && a.runs == b.runs &&
+         a.suite_scale == b.suite_scale;
+}
+
+}  // namespace
+
+Expected<ComparisonReport> compare_documents(const BenchDocument& old_doc,
+                                             const BenchDocument& new_doc,
+                                             const CompareConfig& config) {
+  if (old_doc.kind != new_doc.kind)
+    return Error(ErrorCategory::Format,
+                 "cannot compare a '" + old_doc.kind + "' document against a '" +
+                     new_doc.kind + "' document");
+  ComparisonReport report;
+  report.comparable_environment =
+      environments_comparable(old_doc.environment, new_doc.environment);
+
+  std::map<CellKey, const BenchResult*> new_cells;
+  for (const BenchResult& r : new_doc.results) new_cells[key_of(r)] = &r;
+
+  for (const BenchResult& oldr : old_doc.results) {
+    CellDelta d;
+    d.matrix = oldr.matrix;
+    d.variant = oldr.variant;
+    d.threads = oldr.threads;
+    d.old_gflops = oldr.gflops;
+    const auto it = new_cells.find(key_of(oldr));
+    if (it == new_cells.end()) {
+      d.verdict = Verdict::Removed;
+      ++report.removed;
+      report.cells.push_back(std::move(d));
+      continue;
+    }
+    const BenchResult& newr = *it->second;
+    new_cells.erase(it);
+    d.new_gflops = newr.gflops;
+    d.rel_change =
+        oldr.gflops > 0.0 ? newr.gflops / oldr.gflops - 1.0 : 0.0;
+    d.verdict = classify_cell(oldr, newr, config);
+    switch (d.verdict) {
+      case Verdict::Improved: ++report.improved; break;
+      case Verdict::Regressed: ++report.regressed; break;
+      default: ++report.unchanged; break;
+    }
+    report.cells.push_back(std::move(d));
+  }
+  for (const auto& [key, newr] : new_cells) {
+    CellDelta d;
+    d.matrix = newr->matrix;
+    d.variant = newr->variant;
+    d.threads = newr->threads;
+    d.new_gflops = newr->gflops;
+    d.verdict = Verdict::Added;
+    ++report.added;
+    report.cells.push_back(std::move(d));
+  }
+  return report;
+}
+
+}  // namespace spmvopt::report

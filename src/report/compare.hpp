@@ -1,0 +1,76 @@
+// Comparator — statistical regression gating over two bench documents.
+//
+// A (matrix, variant, threads) cell regressed only when BOTH tests agree:
+//   * the relative change exceeds the threshold (default 5%), AND
+//   * the confidence intervals are disjoint in the regressing direction
+//     (new.ci_hi < old.ci_lo) — a large-looking delta inside overlapping
+//     CIs is measurement noise, not a regression.
+// Improvement is symmetric.  Identical documents therefore always compare
+// as all-unchanged, and a genuine 20% shift with sane CIs always trips.
+// Cells present on only one side are reported as added/removed, never
+// gated on.
+//
+// Exit-code contract (CI gates on this through `spmvopt compare`):
+//   0                 no regressions (advisory mode: always, after printing)
+//   kExitRegression   at least one regressed cell
+//   65/66             malformed / unreadable document (sysexits, robust/)
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "report/bench_doc.hpp"
+
+namespace spmvopt::report {
+
+/// Exit code `spmvopt compare` uses for "documents loaded fine, performance
+/// regressed".  Deliberately 1 (not a sysexits code): sysexits describe
+/// process faults, and a regression is a *successful* comparison with an
+/// unfavorable answer.
+inline constexpr int kExitRegression = 1;
+
+enum class Verdict { Unchanged, Improved, Regressed, Added, Removed };
+
+[[nodiscard]] const char* verdict_name(Verdict v) noexcept;
+
+struct CompareConfig {
+  double rel_threshold = 0.05;  ///< minimum |relative change| to consider
+  /// Cells below this rate on both sides are never gated (noise floor for
+  /// degenerate sub-microsecond kernels); 0 disables.
+  double min_gflops = 0.0;
+};
+
+struct CellDelta {
+  std::string matrix;
+  std::string variant;
+  int threads = 1;
+  double old_gflops = 0.0;
+  double new_gflops = 0.0;
+  double rel_change = 0.0;  ///< new/old - 1; 0 for added/removed
+  Verdict verdict = Verdict::Unchanged;
+};
+
+struct ComparisonReport {
+  std::vector<CellDelta> cells;  ///< old-document order; added cells last
+  int improved = 0;
+  int regressed = 0;
+  int unchanged = 0;
+  int added = 0;
+  int removed = 0;
+  /// False when the two documents were measured on visibly different hosts
+  /// or methodologies (cpu model, thread count, iterations/runs) — deltas
+  /// then mean little; the CLI prints a warning.
+  bool comparable_environment = true;
+
+  [[nodiscard]] bool has_regressions() const noexcept { return regressed > 0; }
+  /// "3 improved, 1 regressed, 40 unchanged (2 added, 0 removed)".
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Compare two parsed documents.  Returns a Format error when the documents
+/// are not comparable at all (different kind).
+[[nodiscard]] Expected<ComparisonReport> compare_documents(
+    const BenchDocument& old_doc, const BenchDocument& new_doc,
+    const CompareConfig& config = {});
+
+}  // namespace spmvopt::report

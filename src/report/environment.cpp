@@ -1,0 +1,118 @@
+#include "report/environment.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <type_traits>
+
+#include "perf/stream.hpp"
+#include "support/cpu_info.hpp"
+#include "support/env.hpp"
+
+namespace spmvopt::report {
+
+EnvironmentInfo capture_environment(const perf::MeasureConfig& measure,
+                                    double scale, int threads) {
+  const CpuInfo& cpu = cpu_info();
+  EnvironmentInfo env;
+  env.cpu_model = cpu.model_name;
+  env.logical_cpus = cpu.logical_cpus;
+  env.threads = threads > 0 ? threads : default_threads();
+  env.cache_line_bytes = cpu.cache_line_bytes;
+  env.llc_bytes = cpu.llc_bytes;
+  env.avx2 = cpu.has_avx2;
+  env.avx512f = cpu.has_avx512f;
+  env.iterations = measure.iterations;
+  env.runs = measure.runs;
+  env.warmup = measure.warmup;
+  env.suite_scale = scale;
+  return env;
+}
+
+Json environment_to_json(const EnvironmentInfo& env) {
+  Json j = Json::object();
+  j.set("cpu_model", env.cpu_model);
+  j.set("logical_cpus", env.logical_cpus);
+  j.set("threads", env.threads);
+  j.set("cache_line_bytes", env.cache_line_bytes);
+  j.set("llc_bytes", env.llc_bytes);
+  j.set("avx2", env.avx2);
+  j.set("avx512f", env.avx512f);
+  j.set("iterations", env.iterations);
+  j.set("runs", env.runs);
+  j.set("warmup", env.warmup);
+  j.set("suite_scale", env.suite_scale);
+  return j;
+}
+
+namespace {
+Error missing(const char* key) {
+  return Error(ErrorCategory::Format,
+               std::string("environment block: missing or mistyped '") + key +
+                   "'");
+}
+}  // namespace
+
+Expected<EnvironmentInfo> environment_from_json(const Json& j) {
+  if (!j.is_object())
+    return Error(ErrorCategory::Format, "environment block must be an object");
+  EnvironmentInfo env;
+  const auto str = [&](const char* key, std::string* out) {
+    const Json* v = j.find(key);
+    if (v == nullptr || !v->is_string()) return false;
+    *out = v->as_string();
+    return true;
+  };
+  const auto num = [&](const char* key, auto* out) {
+    const Json* v = j.find(key);
+    if (v == nullptr || !v->is_number()) return false;
+    *out = static_cast<std::remove_pointer_t<decltype(out)>>(v->as_number());
+    return true;
+  };
+  const auto boolean = [&](const char* key, bool* out) {
+    const Json* v = j.find(key);
+    if (v == nullptr || !v->is_bool()) return false;
+    *out = v->as_bool();
+    return true;
+  };
+  if (!str("cpu_model", &env.cpu_model)) return missing("cpu_model");
+  if (!num("logical_cpus", &env.logical_cpus)) return missing("logical_cpus");
+  if (!num("threads", &env.threads)) return missing("threads");
+  if (!num("cache_line_bytes", &env.cache_line_bytes))
+    return missing("cache_line_bytes");
+  if (!num("llc_bytes", &env.llc_bytes)) return missing("llc_bytes");
+  if (!boolean("avx2", &env.avx2)) return missing("avx2");
+  if (!boolean("avx512f", &env.avx512f)) return missing("avx512f");
+  if (!num("iterations", &env.iterations)) return missing("iterations");
+  if (!num("runs", &env.runs)) return missing("runs");
+  if (!num("warmup", &env.warmup)) return missing("warmup");
+  if (!num("suite_scale", &env.suite_scale)) return missing("suite_scale");
+  return env;
+}
+
+double suite_scale() {
+  const std::string s = env_string("SPMVOPT_SCALE", "");
+  if (!s.empty()) {
+    const double v = std::atof(s.c_str());
+    if (v > 0.0 && v <= 1.0) return v;
+    std::fprintf(stderr, "warning: ignoring bad SPMVOPT_SCALE '%s'\n",
+                 s.c_str());
+  }
+  return quick_mode() ? 0.35 : 1.0;
+}
+
+void print_host_preamble(const char* bench_name) {
+  const CpuInfo& cpu = cpu_info();
+  std::printf("# %s\n", bench_name);
+  std::printf("# host: %s | %d threads | LLC %zu KiB | line %zu B\n",
+              cpu.model_name.empty() ? "(unknown cpu)" : cpu.model_name.c_str(),
+              default_threads(), cpu.llc_bytes / 1024, cpu.cache_line_bytes);
+  const perf::BandwidthProfile& bw = perf::bandwidth_profile();
+  std::printf("# STREAM triad: %.1f GB/s (DRAM), %.1f GB/s (LLC)\n",
+              bw.dram_gbps, bw.llc_gbps);
+  const perf::MeasureConfig m = perf::MeasureConfig::from_env();
+  std::printf("# methodology: %d runs x %d iterations, harmonic mean; "
+              "suite scale %.2f\n\n",
+              m.runs, m.iterations, suite_scale());
+}
+
+}  // namespace spmvopt::report

@@ -1,0 +1,49 @@
+// Host/measurement environment capture for bench documents, plus the
+// shared bench-driver preamble that every bench_* binary prints.
+//
+// A performance number is meaningless without the machine and methodology it
+// was measured under (the paper conditions every figure on its Table III
+// platform row).  EnvironmentInfo is that row for this host, serialized into
+// every BENCH_*.json so the comparator can warn when two documents were not
+// measured on comparable hosts.
+#pragma once
+
+#include <string>
+
+#include "perf/measure.hpp"
+#include "report/json.hpp"
+
+namespace spmvopt::report {
+
+struct EnvironmentInfo {
+  std::string cpu_model;        ///< from /proc/cpuinfo, may be empty
+  int logical_cpus = 1;
+  int threads = 1;              ///< OpenMP threads the run used
+  std::size_t cache_line_bytes = 64;
+  std::size_t llc_bytes = 0;
+  bool avx2 = false;
+  bool avx512f = false;
+  int iterations = 0;           ///< SpMV ops per measurement block (§IV-A)
+  int runs = 0;                 ///< measurement blocks per sample set
+  int warmup = 0;
+  double suite_scale = 1.0;
+
+  [[nodiscard]] bool operator==(const EnvironmentInfo&) const = default;
+};
+
+/// Capture this host + the given measurement methodology.
+[[nodiscard]] EnvironmentInfo capture_environment(
+    const perf::MeasureConfig& measure, double suite_scale, int threads = 0);
+
+[[nodiscard]] Json environment_to_json(const EnvironmentInfo& env);
+[[nodiscard]] Expected<EnvironmentInfo> environment_from_json(const Json& j);
+
+/// Suite size factor in (0, 1] from SPMVOPT_SCALE (default 1.0, quick mode
+/// 0.35).  Shared by every bench driver and the bench runner.
+[[nodiscard]] double suite_scale();
+
+/// Print the host characteristics every figure in the paper is conditioned
+/// on (the Table III row for this machine) — the common bench preamble.
+void print_host_preamble(const char* bench_name);
+
+}  // namespace spmvopt::report

@@ -1,0 +1,365 @@
+#include "report/json.hpp"
+
+#include <cassert>
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace spmvopt::report {
+
+const Json* Json::find(std::string_view key) const noexcept {
+  if (!is_object()) return nullptr;
+  for (const auto& [k, v] : members())
+    if (k == key) return &v;
+  return nullptr;
+}
+
+Json& Json::set(std::string_view key, Json value) {
+  assert(is_object());
+  for (auto& [k, v] : members())
+    if (k == key) {
+      v = std::move(value);
+      return *this;
+    }
+  members().emplace_back(std::string(key), std::move(value));
+  return *this;
+}
+
+Json& Json::push(Json value) {
+  assert(is_array());
+  items().push_back(std::move(value));
+  return *this;
+}
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_number(std::string& out, double d) {
+  if (!std::isfinite(d)) {  // JSON has no NaN/Inf
+    out += "null";
+    return;
+  }
+  // Integral values inside the exact-double range print without a fraction
+  // (schema versions, counts); everything else uses the shortest
+  // representation that round-trips.
+  if (d == std::floor(d) && std::fabs(d) < 9.007199254740992e15) {
+    char buf[32];
+    const auto r = std::to_chars(buf, buf + sizeof buf,
+                                 static_cast<std::int64_t>(d));
+    out.append(buf, r.ptr);
+    return;
+  }
+  char buf[40];
+  const auto r = std::to_chars(buf, buf + sizeof buf, d);
+  out.append(buf, r.ptr);
+}
+
+void dump_value(const Json& v, std::string& out, int indent, int depth) {
+  const bool pretty = indent >= 0;
+  const auto newline_pad = [&](int d) {
+    if (!pretty) return;
+    out += '\n';
+    out.append(static_cast<std::size_t>(indent * d), ' ');
+  };
+  if (v.is_null()) {
+    out += "null";
+  } else if (v.is_bool()) {
+    out += v.as_bool() ? "true" : "false";
+  } else if (v.is_number()) {
+    append_number(out, v.as_number());
+  } else if (v.is_string()) {
+    append_escaped(out, v.as_string());
+  } else if (v.is_array()) {
+    if (v.items().empty()) {
+      out += "[]";
+      return;
+    }
+    out += '[';
+    bool first = true;
+    for (const Json& item : v.items()) {
+      if (!first) out += ',';
+      first = false;
+      newline_pad(depth + 1);
+      dump_value(item, out, indent, depth + 1);
+    }
+    newline_pad(depth);
+    out += ']';
+  } else {
+    if (v.members().empty()) {
+      out += "{}";
+      return;
+    }
+    out += '{';
+    bool first = true;
+    for (const auto& [key, value] : v.members()) {
+      if (!first) out += ',';
+      first = false;
+      newline_pad(depth + 1);
+      append_escaped(out, key);
+      out += pretty ? ": " : ":";
+      dump_value(value, out, indent, depth + 1);
+    }
+    newline_pad(depth);
+    out += '}';
+  }
+}
+
+/// Recursive-descent parser over the document's byte range.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Expected<Json> parse_document() {
+    skip_ws();
+    auto v = parse_value();
+    if (!v.ok()) return v;
+    skip_ws();
+    if (pos_ != text_.size()) return fail("trailing characters after document");
+    return v;
+  }
+
+ private:
+  Expected<Json> parse_value() {
+    if (depth_ > kMaxDepth) return fail("nesting deeper than 128 levels");
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    switch (text_[pos_]) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': {
+        auto s = parse_string();
+        if (!s.ok()) return std::move(s).error();
+        return Json(std::move(s).value());
+      }
+      case 't': return parse_literal("true", Json(true));
+      case 'f': return parse_literal("false", Json(false));
+      case 'n': return parse_literal("null", Json(nullptr));
+      default: return parse_number();
+    }
+  }
+
+  Expected<Json> parse_object() {
+    ++pos_;  // '{'
+    ++depth_;
+    Json obj = Json::object();
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      --depth_;
+      return obj;
+    }
+    while (true) {
+      skip_ws();
+      if (peek() != '"') return fail("expected object key");
+      auto key = parse_string();
+      if (!key.ok()) return std::move(key).error();
+      if (obj.find(key.value()) != nullptr)
+        return fail("duplicate key '" + key.value() + "'");
+      skip_ws();
+      if (peek() != ':') return fail("expected ':' after key");
+      ++pos_;
+      skip_ws();
+      auto value = parse_value();
+      if (!value.ok()) return value;
+      obj.members().emplace_back(std::move(key).value(),
+                                 std::move(value).value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == '}') {
+        ++pos_;
+        --depth_;
+        return obj;
+      }
+      return fail("expected ',' or '}' in object");
+    }
+  }
+
+  Expected<Json> parse_array() {
+    ++pos_;  // '['
+    ++depth_;
+    Json arr = Json::array();
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      --depth_;
+      return arr;
+    }
+    while (true) {
+      skip_ws();
+      auto value = parse_value();
+      if (!value.ok()) return value;
+      arr.items().push_back(std::move(value).value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == ']') {
+        ++pos_;
+        --depth_;
+        return arr;
+      }
+      return fail("expected ',' or ']' in array");
+    }
+  }
+
+  Expected<std::string> parse_string() {
+    ++pos_;  // opening '"'
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return out;
+      }
+      if (static_cast<unsigned char>(c) < 0x20)
+        return fail("unescaped control character in string");
+      if (c != '\\') {
+        out += c;
+        ++pos_;
+        continue;
+      }
+      if (pos_ + 1 >= text_.size()) return fail("dangling escape");
+      const char esc = text_[pos_ + 1];
+      pos_ += 2;
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_ + static_cast<std::size_t>(i)];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F')
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            else
+              return fail("bad hex digit in \\u escape");
+          }
+          pos_ += 4;
+          // Encode the BMP codepoint as UTF-8 (surrogate pairs are not
+          // emitted by this writer and are rejected on input).
+          if (code >= 0xD800 && code <= 0xDFFF)
+            return fail("surrogate \\u escapes are not supported");
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default: return fail("unknown escape");
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  Expected<Json> parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-'))
+      ++pos_;
+    double value = 0.0;
+    const auto r =
+        std::from_chars(text_.data() + start, text_.data() + pos_, value);
+    if (r.ec != std::errc{} || r.ptr != text_.data() + pos_ || pos_ == start) {
+      pos_ = start;
+      return fail("malformed number");
+    }
+    return Json(value);
+  }
+
+  Expected<Json> parse_literal(std::string_view word, Json value) {
+    if (text_.substr(pos_, word.size()) != word)
+      return fail("malformed literal");
+    pos_ += word.size();
+    return value;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  [[nodiscard]] char peek() const noexcept {
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+
+  Error fail(std::string what) const {
+    std::size_t line = 1, col = 1;
+    for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+      if (text_[i] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+    }
+    return Error(ErrorCategory::Format,
+                 "json: line " + std::to_string(line) + ", column " +
+                     std::to_string(col) + ": " + std::move(what));
+  }
+
+  static constexpr int kMaxDepth = 128;
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dump_value(*this, out, indent, 0);
+  if (indent >= 0) out += '\n';
+  return out;
+}
+
+Expected<Json> Json::parse(std::string_view text) {
+  return Parser(text).parse_document();
+}
+
+}  // namespace spmvopt::report

@@ -1,0 +1,108 @@
+// Minimal JSON document model for the bench-report subsystem.
+//
+// The harness needs exactly three properties from its serialization layer,
+// none of which justify an external dependency (the container bakes in no
+// JSON library):
+//   * stable key ordering — objects preserve insertion order, so emitted
+//     documents are byte-reproducible and golden-file testable;
+//   * round-trip numbers — doubles are printed with std::to_chars shortest
+//     form, so parse(dump(x)) == x exactly;
+//   * categorized failures — parse() returns Expected<Json> with a Format
+//     error naming the offending line, feeding the CLI sysexits contract.
+// Scope is deliberately the JSON the harness emits: objects, arrays,
+// strings, finite numbers, bools, null.  Non-finite doubles serialize as
+// null (the JSON standard has no NaN/Inf).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "robust/error.hpp"
+
+namespace spmvopt::report {
+
+class Json {
+ public:
+  using Array = std::vector<Json>;
+  /// Insertion-ordered members; keys are unique (set() replaces in place).
+  using Object = std::vector<std::pair<std::string, Json>>;
+
+  Json() : value_(nullptr) {}
+  Json(std::nullptr_t) : value_(nullptr) {}
+  Json(bool b) : value_(b) {}
+  Json(double d) : value_(d) {}
+  Json(int i) : value_(static_cast<double>(i)) {}
+  Json(std::int64_t i) : value_(static_cast<double>(i)) {}
+  Json(std::uint64_t u) : value_(static_cast<double>(u)) {}
+  Json(const char* s) : value_(std::string(s)) {}
+  Json(std::string s) : value_(std::move(s)) {}
+  Json(Array a) : value_(std::move(a)) {}
+  Json(Object o) : value_(std::move(o)) {}
+
+  [[nodiscard]] static Json object() { return Json(Object{}); }
+  [[nodiscard]] static Json array() { return Json(Array{}); }
+
+  [[nodiscard]] bool is_null() const noexcept {
+    return std::holds_alternative<std::nullptr_t>(value_);
+  }
+  [[nodiscard]] bool is_bool() const noexcept {
+    return std::holds_alternative<bool>(value_);
+  }
+  [[nodiscard]] bool is_number() const noexcept {
+    return std::holds_alternative<double>(value_);
+  }
+  [[nodiscard]] bool is_string() const noexcept {
+    return std::holds_alternative<std::string>(value_);
+  }
+  [[nodiscard]] bool is_array() const noexcept {
+    return std::holds_alternative<Array>(value_);
+  }
+  [[nodiscard]] bool is_object() const noexcept {
+    return std::holds_alternative<Object>(value_);
+  }
+
+  /// Typed accessors; precondition is the matching is_*() (asserted).
+  [[nodiscard]] bool as_bool() const { return std::get<bool>(value_); }
+  [[nodiscard]] double as_number() const { return std::get<double>(value_); }
+  [[nodiscard]] const std::string& as_string() const {
+    return std::get<std::string>(value_);
+  }
+  [[nodiscard]] const Array& items() const { return std::get<Array>(value_); }
+  [[nodiscard]] Array& items() { return std::get<Array>(value_); }
+  [[nodiscard]] const Object& members() const {
+    return std::get<Object>(value_);
+  }
+  [[nodiscard]] Object& members() { return std::get<Object>(value_); }
+
+  /// Object member by key, or nullptr when absent (or not an object).
+  [[nodiscard]] const Json* find(std::string_view key) const noexcept;
+
+  /// Set an object member: appends on a new key, replaces the value in place
+  /// on an existing one (key order never changes).  Returns *this for
+  /// chaining.  Precondition: is_object().
+  Json& set(std::string_view key, Json value);
+
+  /// Append to an array.  Precondition: is_array().
+  Json& push(Json value);
+
+  [[nodiscard]] bool operator==(const Json&) const = default;
+
+  /// Serialize with 2-space indentation and '\n' line ends, ending with a
+  /// final newline (the result is a complete text file); objects emit
+  /// members in insertion order.  `indent < 0` emits compact one-line JSON
+  /// with no trailing newline.
+  [[nodiscard]] std::string dump(int indent = 2) const;
+
+  /// Parse a complete JSON document.  Trailing garbage, duplicate keys and
+  /// syntax errors yield a Format error with line/column context.
+  [[nodiscard]] static Expected<Json> parse(std::string_view text);
+
+ private:
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object> value_;
+};
+
+}  // namespace spmvopt::report

@@ -1,0 +1,139 @@
+#include "report/runner.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "classify/feature_classifier.hpp"
+#include "gen/suite.hpp"
+#include "kernels/spmv.hpp"
+#include "optimize/optimized_spmv.hpp"
+#include "optimize/plan.hpp"
+#include "support/cpu_info.hpp"
+#include "support/stats.hpp"
+
+namespace spmvopt::report {
+
+void fill_cell_stats(const std::vector<double>& gflops_samples,
+                     double confidence, double iqr_fence, BenchResult* cell) {
+  const std::vector<double> kept = iqr_filter(gflops_samples, iqr_fence);
+  cell->samples_kept = static_cast<int>(kept.size());
+  cell->samples_rejected =
+      static_cast<int>(gflops_samples.size() - kept.size());
+  if (kept.empty()) {
+    cell->gflops = cell->ci_lo = cell->ci_hi = 0.0;
+    return;
+  }
+  cell->gflops = harmonic_mean(kept);
+  const MeanCi ci = mean_confidence(kept, confidence);
+  cell->ci_lo = ci.lo;
+  cell->ci_hi = ci.hi;
+}
+
+namespace {
+
+/// The variant pool of one bench kind: plan-based variants keyed by the
+/// requested plan's rendering, plus (kernels kind only) the serial kernel.
+struct VariantPool {
+  std::vector<optimize::Plan> plans;
+  bool include_serial = false;
+};
+
+VariantPool variant_pool(const std::string& kind) {
+  VariantPool pool;
+  auto add = [&pool](const optimize::Plan& p) {
+    const auto same = [&](const optimize::Plan& q) { return q == p; };
+    if (std::none_of(pool.plans.begin(), pool.plans.end(), same))
+      pool.plans.push_back(p);
+  };
+  add(optimize::Plan{});
+  if (kind == "kernels") {
+    pool.include_serial = true;
+    for (const auto& p : optimize::single_optimization_plans()) add(p);
+    optimize::Plan vec;
+    vec.compute = kernels::Compute::Vector;
+    add(vec);
+    add(optimize::sell_plan());
+    add(optimize::bcsr_plan());
+  } else {
+    // "plans": the trivial-combined candidate pool of Table V.
+    for (const auto& p : optimize::combined_optimization_plans()) add(p);
+  }
+  return pool;
+}
+
+}  // namespace
+
+BenchRunner::BenchRunner(RunnerConfig config) : config_(std::move(config)) {
+  if (config_.suite != "smoke" && config_.suite != "full")
+    throw std::invalid_argument("BenchRunner: suite must be 'smoke' or 'full'");
+  if (config_.kind != "kernels" && config_.kind != "plans")
+    throw std::invalid_argument("BenchRunner: kind must be 'kernels' or 'plans'");
+  if (config_.thread_counts.empty())
+    config_.thread_counts.push_back(default_threads());
+  for (int t : config_.thread_counts)
+    if (t < 1) throw std::invalid_argument("BenchRunner: thread count < 1");
+  if (config_.scale <= 0.0) config_.scale = suite_scale();
+}
+
+BenchDocument BenchRunner::run() const {
+  BenchDocument doc;
+  doc.kind = config_.kind;
+  doc.suite = config_.suite;
+  doc.environment = capture_environment(config_.measure, config_.scale,
+                                        config_.thread_counts.front());
+
+  const VariantPool pool = variant_pool(config_.kind);
+  const auto suite = config_.suite == "smoke"
+                         ? gen::test_suite()
+                         : gen::evaluation_suite(config_.scale);
+  for (const auto& entry : suite) {
+    const CsrMatrix a = entry.make();
+    BenchResult proto;
+    proto.matrix = entry.name;
+    proto.family = entry.family;
+    proto.classes = classify::heuristic_feature_classes(a).to_string();
+    proto.nrows = a.nrows();
+    proto.ncols = a.ncols();
+    proto.nnz = a.nnz();
+
+    if (pool.include_serial) {
+      // The serial reference ignores the thread sweep: one cell at t=1.
+      BenchResult cell = proto;
+      cell.variant = "serial";
+      cell.plan = "serial";
+      cell.threads = 1;
+      const auto samples = perf::measure_gflops_samples(
+          a,
+          [&a](const value_t* x, value_t* y) {
+            kernels::spmv_serial(a, x, y);
+          },
+          config_.measure);
+      fill_cell_stats(samples.gflops, config_.confidence, config_.iqr_fence,
+                      &cell);
+      doc.results.push_back(std::move(cell));
+    }
+
+    for (const optimize::Plan& plan : pool.plans) {
+      for (int threads : config_.thread_counts) {
+        const auto spmv = optimize::OptimizedSpmv::create(a, plan, threads);
+        BenchResult cell = proto;
+        cell.variant = plan.to_string();
+        cell.plan = spmv.plan().to_string();
+        cell.threads = threads;
+        const auto samples = perf::measure_gflops_samples(
+            a,
+            [&spmv](const value_t* x, value_t* y) { spmv.run(x, y); },
+            config_.measure);
+        fill_cell_stats(samples.gflops, config_.confidence, config_.iqr_fence,
+                        &cell);
+        doc.results.push_back(std::move(cell));
+      }
+    }
+    if (config_.progress)
+      config_.progress(entry.name + " (" + std::to_string(a.nnz()) +
+                       " nnz) done");
+  }
+  return doc;
+}
+
+}  // namespace spmvopt::report

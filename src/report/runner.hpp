@@ -1,0 +1,61 @@
+// BenchRunner — the unified bench orchestrator behind `spmvopt bench`.
+//
+// One run sweeps a synthetic suite × a variant pool × thread counts with the
+// paper's §IV-A timing methodology (perf::measure), then:
+//   * rejects per-run outliers with Tukey/IQR fences (a descheduled thread
+//     or a frequency transition should not poison a 5-run harmonic mean),
+//   * summarizes the kept runs as harmonic-mean Gflop/s plus a Student-t
+//     confidence interval (what the comparator gates on),
+//   * tags every matrix with its heuristic bottleneck classes so documents
+//     aggregate per class (the paper's per-class speedup tables),
+//   * captures the host environment,
+// and returns a schema-versioned BenchDocument ready to serialize.
+//
+// Variant pools:
+//   kernels — serial CSR plus every single-optimization kernel and the
+//             SELL-C-σ / BCSR extension formats (the Fig. 1 axis);
+//   plans   — baseline plus the trivial-combined optimizer search space
+//             (singles + feasible pairs, the Table V candidate pool).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "perf/measure.hpp"
+#include "report/bench_doc.hpp"
+
+namespace spmvopt::report {
+
+struct RunnerConfig {
+  std::string suite = "smoke";  ///< "smoke" (gen::test_suite) | "full"
+  std::string kind = "kernels"; ///< "kernels" | "plans"
+  std::vector<int> thread_counts;  ///< empty -> {default_threads()}
+  perf::MeasureConfig measure = perf::MeasureConfig::from_env();
+  double scale = 0.0;          ///< suite scale for "full"; <=0 -> suite_scale()
+  double confidence = 0.95;    ///< CI level attached to every cell
+  double iqr_fence = 1.5;      ///< Tukey fence factor for outlier rejection
+  /// Progress sink (one line per matrix), e.g. for CLI verbosity; may be
+  /// empty.
+  std::function<void(const std::string&)> progress;
+};
+
+class BenchRunner {
+ public:
+  /// Validates the config; throws std::invalid_argument on an unknown suite
+  /// or kind (a caller bug / usage error, not a data fault).
+  explicit BenchRunner(RunnerConfig config);
+
+  /// Execute the sweep.  Deterministic modulo measured rates.
+  [[nodiscard]] BenchDocument run() const;
+
+ private:
+  RunnerConfig config_;
+};
+
+/// Summarize raw per-run rates into one bench cell: IQR-reject, harmonic
+/// mean, confidence interval.  Exposed for the runner's tests.
+void fill_cell_stats(const std::vector<double>& gflops_samples,
+                     double confidence, double iqr_fence, BenchResult* cell);
+
+}  // namespace spmvopt::report

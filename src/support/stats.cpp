@@ -68,6 +68,80 @@ double max_of(std::span<const double> xs) {
   return *std::max_element(xs.begin(), xs.end());
 }
 
+double quantile(std::span<const double> xs, double q) {
+  require_nonempty(xs);
+  if (q < 0.0 || q > 1.0) throw std::invalid_argument("quantile: q outside [0,1]");
+  std::vector<double> v(xs.begin(), xs.end());
+  std::sort(v.begin(), v.end());
+  const double pos = q * static_cast<double>(v.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  if (lo + 1 >= v.size()) return v.back();
+  const double frac = pos - static_cast<double>(lo);
+  return v[lo] * (1.0 - frac) + v[lo + 1] * frac;
+}
+
+std::vector<double> iqr_filter(std::span<const double> xs, double k) {
+  std::vector<double> kept(xs.begin(), xs.end());
+  if (xs.size() < 4) return kept;
+  const double q1 = quantile(xs, 0.25);
+  const double q3 = quantile(xs, 0.75);
+  const double fence = k * (q3 - q1);
+  kept.erase(std::remove_if(kept.begin(), kept.end(),
+                            [&](double x) {
+                              return x < q1 - fence || x > q3 + fence;
+                            }),
+             kept.end());
+  return kept;
+}
+
+namespace {
+/// Two-sided 95% Student's t critical values by degrees of freedom (1..30).
+constexpr double kT95[30] = {
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+    2.201,  2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+    2.080,  2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042};
+/// Same at 99%.
+constexpr double kT99[30] = {
+    63.657, 9.925, 5.841, 4.604, 4.032, 3.707, 3.499, 3.355, 3.250, 3.169,
+    3.106,  3.055, 3.012, 2.977, 2.947, 2.921, 2.898, 2.878, 2.861, 2.845,
+    2.831,  2.819, 2.807, 2.797, 2.787, 2.779, 2.771, 2.763, 2.756, 2.750};
+
+double t_critical(std::size_t dof, double confidence) {
+  const double* table;
+  double asymptote;
+  if (confidence >= 0.99) {
+    table = kT99;
+    asymptote = 2.576;
+  } else {
+    table = kT95;
+    asymptote = 1.960;
+  }
+  if (dof == 0) return asymptote;
+  return dof <= 30 ? table[dof - 1] : asymptote;
+}
+}  // namespace
+
+MeanCi mean_confidence(std::span<const double> xs, double confidence) {
+  require_nonempty(xs);
+  if (confidence <= 0.0 || confidence >= 1.0)
+    throw std::invalid_argument("mean_confidence: confidence outside (0,1)");
+  MeanCi ci;
+  ci.mean = arithmetic_mean(xs);
+  if (xs.size() == 1) {
+    ci.lo = ci.hi = ci.mean;
+    return ci;
+  }
+  const auto n = static_cast<double>(xs.size());
+  // Sample (n-1) standard deviation for the interval; stddev() is population.
+  double s2 = 0.0;
+  for (double x : xs) s2 += (x - ci.mean) * (x - ci.mean);
+  const double sem = std::sqrt(s2 / (n - 1.0)) / std::sqrt(n);
+  const double half = t_critical(xs.size() - 1, confidence) * sem;
+  ci.lo = ci.mean - half;
+  ci.hi = ci.mean + half;
+  return ci;
+}
+
 RateSummary summarize_rates(std::span<const double> sec_per_op, double flops) {
   require_nonempty(sec_per_op);
   std::vector<double> rates;

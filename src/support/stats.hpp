@@ -21,6 +21,29 @@ namespace spmvopt {
 [[nodiscard]] double min_of(std::span<const double> xs);
 [[nodiscard]] double max_of(std::span<const double> xs);
 
+/// Linearly interpolated quantile, q in [0, 1] (q=0.5 == median). Copies its
+/// input.
+[[nodiscard]] double quantile(std::span<const double> xs, double q);
+
+/// Tukey-fence outlier rejection: keeps values inside
+/// [Q1 - k*IQR, Q3 + k*IQR].  Samples with fewer than 4 points (including
+/// an empty span) are returned unchanged (quartiles are meaningless), and
+/// the fences always admit the quartiles themselves, so a nonempty input
+/// never filters to empty.
+[[nodiscard]] std::vector<double> iqr_filter(std::span<const double> xs,
+                                             double k = 1.5);
+
+/// Two-sided confidence interval on the arithmetic mean, using Student's t
+/// critical values (exact table for n <= 30, normal approximation above).
+/// A single sample yields a degenerate [mean, mean] interval.
+struct MeanCi {
+  double mean = 0.0;
+  double lo = 0.0;
+  double hi = 0.0;
+};
+[[nodiscard]] MeanCi mean_confidence(std::span<const double> xs,
+                                     double confidence = 0.95);
+
 /// One measured kernel rate: `runs` repetitions, each timing `iters_per_run`
 /// back-to-back invocations (warm cache), summarized per the paper.
 struct RateSummary {

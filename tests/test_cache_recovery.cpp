@@ -10,6 +10,10 @@
 #include <fstream>
 #include <string>
 
+#ifndef _WIN32
+#include <unistd.h>
+#endif
+
 #include "gen/generators.hpp"
 #include "sparse/binary_io.hpp"
 #include "sparse/mmio.hpp"
@@ -20,9 +24,12 @@ namespace {
 class CacheRecovery : public ::testing::Test {
  protected:
   void SetUp() override {
+    // Paths carry the pid: ctest -j runs sibling tests of this fixture in
+    // separate processes concurrently, and fixed names would collide.
     const auto dir = std::filesystem::temp_directory_path();
-    mtx_ = (dir / "spmvopt_recovery.mtx").string();
-    cache_ = (dir / "spmvopt_recovery.csrbin").string();
+    const std::string tag = "spmvopt_recovery." + std::to_string(::getpid());
+    mtx_ = (dir / (tag + ".mtx")).string();
+    cache_ = (dir / (tag + ".csrbin")).string();
     matrix_ = gen::power_law(200, 6, 2.0, 11);
     write_matrix_market_file(mtx_, matrix_);
     write_csr_binary_file(cache_, matrix_);

@@ -4,6 +4,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <string>
@@ -12,14 +13,20 @@
 
 #ifndef _WIN32
 #include <sys/wait.h>
+#include <unistd.h>
 #endif
 
 namespace {
 
 std::string cli() { return SPMVOPT_CLI_PATH; }
 
+/// Temp paths carry the pid: with `ctest -j`, sibling Cli tests run as
+/// concurrent processes and fixed names (notably run_capture's output
+/// file) would collide.
 std::string tmp_path(const char* name) {
-  return (std::filesystem::temp_directory_path() / name).string();
+  return (std::filesystem::temp_directory_path() /
+          (std::to_string(::getpid()) + "_" + name))
+      .string();
 }
 
 /// std::system() wraps the child status; unwrap to the process exit code so
@@ -107,6 +114,88 @@ TEST(Cli, BenchListsPlansSortedByRate) {
   EXPECT_EQ(rc, 0);
   EXPECT_NE(out.find("baseline"), std::string::npos);
   EXPECT_NE(out.find("sell"), std::string::npos);
+}
+
+// --- bench orchestration + regression gate --------------------------------
+
+/// Shrink a sweep to near-nothing: the contract under test is the document
+/// and exit-code surface, not the measured rates.
+std::string quick_env() {
+  return "SPMVOPT_QUICK=1 SPMVOPT_ITERS=2 SPMVOPT_RUNS=2";
+}
+
+TEST(CliBench, SuiteSweepWritesSchemaValidDocument) {
+  const std::string out = tmp_path("spmvopt_cli_bench.json");
+  ASSERT_EQ(run_env(quick_env(),
+                    "bench --suite smoke --threads 1 --out " + out),
+            0);
+  std::ifstream in(out);
+  ASSERT_TRUE(in.good());
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_NE(content.find("\"schema_version\": 1"), std::string::npos);
+  EXPECT_NE(content.find("\"kind\": \"kernels\""), std::string::npos);
+  EXPECT_NE(content.find("\"environment\""), std::string::npos);
+  EXPECT_NE(content.find("\"results\""), std::string::npos);
+  EXPECT_NE(content.find("\"summary\""), std::string::npos);
+
+  // A document compares clean against itself: exit 0, nothing flagged.
+  const auto [rc, text] = run_capture("compare " + out + " " + out);
+  EXPECT_EQ(rc, 0);
+  EXPECT_NE(text.find("0 regressed"), std::string::npos);
+  std::remove(out.c_str());
+}
+
+TEST(CliBench, CompareFlagsInjectedRegression) {
+  const std::string oldf = tmp_path("spmvopt_cli_old.json");
+  const std::string newf = tmp_path("spmvopt_cli_new.json");
+  ASSERT_EQ(run_env(quick_env(),
+                    "bench --suite smoke --threads 1 --out " + oldf),
+            0);
+  // Inject a 20% regression by scaling every rate (and its CI) by 0.8.
+  {
+    std::ifstream in(oldf);
+    std::string doc((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+    for (const char* key : {"\"gflops\": ", "\"ci_lo\": ", "\"ci_hi\": "}) {
+      std::size_t pos = 0;
+      while ((pos = doc.find(key, pos)) != std::string::npos) {
+        pos += std::strlen(key);
+        const std::size_t end = doc.find_first_of(",\n", pos);
+        const double v = std::stod(doc.substr(pos, end - pos));
+        const std::string scaled = std::to_string(v * 0.8);
+        doc.replace(pos, end - pos, scaled);
+        pos += scaled.size();
+      }
+    }
+    std::ofstream(newf) << doc;
+  }
+  // Gated mode exits kExitRegression (1); advisory mode reports but exits 0.
+  const auto [rc, out] = run_capture("compare " + oldf + " " + newf);
+  EXPECT_EQ(rc, 1);
+  EXPECT_NE(out.find("regressed"), std::string::npos);
+  EXPECT_EQ(run("compare " + oldf + " " + newf + " --advisory"), 0);
+  std::remove(oldf.c_str());
+  std::remove(newf.c_str());
+}
+
+TEST(CliBench, BadFlagsExit64) {
+  EXPECT_EQ(run("bench --suite galactic --out /tmp/x.json"), 64);
+  EXPECT_EQ(run("bench --nosuchflag"), 64);
+  EXPECT_EQ(run("bench --suite smoke --threads 0"), 64);
+  EXPECT_EQ(run("compare one.json"), 64);
+  EXPECT_EQ(run("compare a.json b.json --threshold nope"), 64);
+}
+
+TEST(CliBench, CompareMissingFileExits66) {
+  EXPECT_EQ(run("compare /nonexistent/a.json /nonexistent/b.json"), 66);
+}
+
+TEST(CliBench, CompareMalformedJsonExits65) {
+  const std::string bad = tmp_path("spmvopt_cli_badjson.json");
+  std::ofstream(bad) << "{\"schema_version\": ";
+  EXPECT_EQ(run("compare " + bad + " " + bad), 65);
+  std::remove(bad.c_str());
 }
 
 TEST(Cli, MissingFileReportsError) {

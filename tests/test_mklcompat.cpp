@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "gen/generators.hpp"
 #include "mklcompat/inspector_executor.hpp"
@@ -73,9 +75,17 @@ TEST(InspectorExecutor, UniformMatrixPicksStaticVectorized) {
 TEST(InspectorExecutor, MoreHintedCallsMeansMoreAnalysis) {
   const CsrMatrix a = gen::power_law(3000, 10, 1.8, 9);
   InspectorExecutorSpmv::Hints few{16}, many{256};
-  const auto cheap = InspectorExecutorSpmv::analyze(a, few, 2);
-  const auto thorough = InspectorExecutorSpmv::analyze(a, many, 2);
-  EXPECT_LT(cheap.analysis_seconds(), thorough.analysis_seconds() * 5.0);
+  // Best-of-3: one wall-clock pair flakes when ctest runs sibling suites in
+  // parallel and a run gets descheduled.
+  double cheap = std::numeric_limits<double>::infinity();
+  double thorough = std::numeric_limits<double>::infinity();
+  for (int rep = 0; rep < 3; ++rep) {
+    cheap = std::min(cheap,
+                     InspectorExecutorSpmv::analyze(a, few, 2).analysis_seconds());
+    thorough = std::min(
+        thorough, InspectorExecutorSpmv::analyze(a, many, 2).analysis_seconds());
+  }
+  EXPECT_LT(cheap, thorough * 5.0);
 }
 
 }  // namespace

@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "gen/generators.hpp"
 #include "optimize/optimizers.hpp"
@@ -44,11 +46,19 @@ TEST(Optimizers, TrivialSingleSelectsFromFiveCandidates) {
 
 TEST(Optimizers, TrivialCombinedCostsMoreThanSingle) {
   const CsrMatrix a = gen::power_law(800, 10, 2.0, 5);
-  const auto single = optimize_trivial_single(a, fast_config());
-  const auto combined = optimize_trivial_combined(a, fast_config());
-  expect_correct(a, combined);
-  // Sweeping 3x the candidates must cost more preprocessing.
-  EXPECT_GT(combined.preprocess_seconds, single.preprocess_seconds);
+  // Sweeping 3x the candidates must cost more preprocessing.  Compare
+  // best-of-3 times: a single wall-clock pair flakes when ctest runs
+  // sibling suites in parallel and one side gets descheduled.
+  double single = std::numeric_limits<double>::infinity();
+  double combined = std::numeric_limits<double>::infinity();
+  for (int rep = 0; rep < 3; ++rep) {
+    single = std::min(single,
+                      optimize_trivial_single(a, fast_config()).preprocess_seconds);
+    const auto out = optimize_trivial_combined(a, fast_config());
+    expect_correct(a, out);
+    combined = std::min(combined, out.preprocess_seconds);
+  }
+  EXPECT_GT(combined, single);
 }
 
 TEST(Optimizers, OracleRunsFullPlanSpace) {

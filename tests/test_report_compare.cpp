@@ -1,0 +1,166 @@
+// Comparator self-test — the statistical regression gate.
+//
+// The two acceptance properties from the issue: an injected 20% regression
+// with sane confidence intervals MUST be flagged, and comparing a document
+// against itself MUST flag nothing.
+#include "report/compare.hpp"
+
+#include <gtest/gtest.h>
+
+namespace spmvopt::report {
+namespace {
+
+BenchResult cell(const std::string& matrix, const std::string& variant,
+                 double gflops, double half_width, int threads = 4) {
+  BenchResult r;
+  r.matrix = matrix;
+  r.family = "dense";
+  r.classes = "{CMP}";
+  r.variant = variant;
+  r.plan = variant;
+  r.threads = threads;
+  r.nrows = 100;
+  r.ncols = 100;
+  r.nnz = 1000;
+  r.gflops = gflops;
+  r.ci_lo = gflops - half_width;
+  r.ci_hi = gflops + half_width;
+  r.samples_kept = 5;
+  return r;
+}
+
+BenchDocument doc_with(std::vector<BenchResult> results) {
+  BenchDocument doc;
+  doc.kind = "kernels";
+  doc.suite = "smoke";
+  doc.environment.cpu_model = "test-cpu";
+  doc.environment.threads = 4;
+  doc.environment.iterations = 16;
+  doc.environment.runs = 5;
+  doc.results = std::move(results);
+  return doc;
+}
+
+TEST(ReportCompare, IdenticalDocumentsAreAllUnchanged) {
+  const BenchDocument doc = doc_with({cell("a", "baseline", 10.0, 0.2),
+                                      cell("a", "vec", 20.0, 0.3),
+                                      cell("b", "baseline", 5.0, 0.1)});
+  auto r = compare_documents(doc, doc);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().regressed, 0);
+  EXPECT_EQ(r.value().improved, 0);
+  EXPECT_EQ(r.value().unchanged, 3);
+  EXPECT_FALSE(r.value().has_regressions());
+}
+
+TEST(ReportCompare, TwentyPercentRegressionIsFlagged) {
+  const BenchDocument oldd = doc_with({cell("a", "baseline", 10.0, 0.2)});
+  const BenchDocument newd = doc_with({cell("a", "baseline", 8.0, 0.2)});
+  auto r = compare_documents(oldd, newd);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().regressed, 1);
+  EXPECT_TRUE(r.value().has_regressions());
+  ASSERT_EQ(r.value().cells.size(), 1u);
+  EXPECT_EQ(r.value().cells[0].verdict, Verdict::Regressed);
+  EXPECT_NEAR(r.value().cells[0].rel_change, -0.2, 1e-12);
+}
+
+TEST(ReportCompare, ImprovementIsSymmetric) {
+  const BenchDocument oldd = doc_with({cell("a", "baseline", 8.0, 0.2)});
+  const BenchDocument newd = doc_with({cell("a", "baseline", 10.0, 0.2)});
+  auto r = compare_documents(oldd, newd);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().improved, 1);
+  EXPECT_EQ(r.value().regressed, 0);
+}
+
+TEST(ReportCompare, OverlappingIntervalsSuppressTheGate) {
+  // 20% down but the CIs overlap: noise, not a regression.
+  const BenchDocument oldd = doc_with({cell("a", "baseline", 10.0, 3.0)});
+  const BenchDocument newd = doc_with({cell("a", "baseline", 8.0, 3.0)});
+  auto r = compare_documents(oldd, newd);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().regressed, 0);
+  EXPECT_EQ(r.value().unchanged, 1);
+}
+
+TEST(ReportCompare, SmallDeltaBelowThresholdIsUnchanged) {
+  // 3% down with razor-sharp CIs: below the 5% threshold, still unchanged.
+  const BenchDocument oldd = doc_with({cell("a", "baseline", 10.0, 0.001)});
+  const BenchDocument newd = doc_with({cell("a", "baseline", 9.7, 0.001)});
+  auto r = compare_documents(oldd, newd);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().regressed, 0);
+}
+
+TEST(ReportCompare, ThresholdIsConfigurable) {
+  const BenchDocument oldd = doc_with({cell("a", "baseline", 10.0, 0.001)});
+  const BenchDocument newd = doc_with({cell("a", "baseline", 9.7, 0.001)});
+  CompareConfig cfg;
+  cfg.rel_threshold = 0.02;
+  auto r = compare_documents(oldd, newd, cfg);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().regressed, 1);
+}
+
+TEST(ReportCompare, DegenerateIntervalsFallBackToValueComparison) {
+  // Single-sample documents (lo == hi == mean) must still gate.
+  const BenchDocument oldd = doc_with({cell("a", "baseline", 10.0, 0.0)});
+  const BenchDocument newd = doc_with({cell("a", "baseline", 8.0, 0.0)});
+  auto r = compare_documents(oldd, newd);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().regressed, 1);
+}
+
+TEST(ReportCompare, AddedAndRemovedCellsNeverGate) {
+  const BenchDocument oldd = doc_with(
+      {cell("a", "baseline", 10.0, 0.2), cell("gone", "baseline", 9.0, 0.2)});
+  const BenchDocument newd = doc_with(
+      {cell("a", "baseline", 10.0, 0.2), cell("new", "baseline", 1.0, 0.1)});
+  auto r = compare_documents(oldd, newd);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().removed, 1);
+  EXPECT_EQ(r.value().added, 1);
+  EXPECT_EQ(r.value().regressed, 0);
+  EXPECT_FALSE(r.value().has_regressions());
+}
+
+TEST(ReportCompare, CellsKeyOnMatrixVariantThreads) {
+  // Same matrix+variant at a different thread count is a different cell.
+  const BenchDocument oldd = doc_with({cell("a", "baseline", 10.0, 0.2, 2)});
+  const BenchDocument newd = doc_with({cell("a", "baseline", 8.0, 0.2, 4)});
+  auto r = compare_documents(oldd, newd);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().removed, 1);
+  EXPECT_EQ(r.value().added, 1);
+  EXPECT_EQ(r.value().regressed, 0);
+}
+
+TEST(ReportCompare, KindMismatchIsFormatError) {
+  BenchDocument kernels = doc_with({});
+  BenchDocument plans = doc_with({});
+  plans.kind = "plans";
+  auto r = compare_documents(kernels, plans);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().category(), ErrorCategory::Format);
+}
+
+TEST(ReportCompare, EnvironmentDriftIsSurfaced) {
+  const BenchDocument oldd = doc_with({cell("a", "baseline", 10.0, 0.2)});
+  BenchDocument newd = doc_with({cell("a", "baseline", 10.0, 0.2)});
+  newd.environment.cpu_model = "other-cpu";
+  auto r = compare_documents(oldd, newd);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r.value().comparable_environment);
+}
+
+TEST(ReportCompare, SummaryStringCountsVerdicts) {
+  const BenchDocument oldd = doc_with({cell("a", "baseline", 10.0, 0.2)});
+  const BenchDocument newd = doc_with({cell("a", "baseline", 8.0, 0.2)});
+  auto r = compare_documents(oldd, newd);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NE(r.value().summary().find("1 regressed"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace spmvopt::report

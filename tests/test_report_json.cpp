@@ -1,0 +1,264 @@
+// Golden-file and round-trip tests for the bench-report JSON layer.
+//
+// The emitter's whole value is byte-stability: objects keep insertion order
+// and numbers print in std::to_chars shortest form, so a serialized document
+// can be diffed, golden-filed and compared across commits.  These tests pin
+// that contract, plus the parser's error taxonomy.
+#include "report/bench_doc.hpp"
+#include "report/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <string>
+
+namespace spmvopt::report {
+namespace {
+
+Json small_doc() {
+  Json env = Json::object();
+  env.set("cpu", "test-cpu").set("threads", 4);
+  Json j = Json::object();
+  j.set("schema_version", 1)
+      .set("kind", "kernels")
+      .set("environment", std::move(env))
+      .set("rates", Json(Json::Array{Json(1.5), Json(2.0), Json(0.125)}));
+  return j;
+}
+
+TEST(ReportJson, GoldenDump) {
+  // Byte-exact: stable key order, 2-space indent, shortest-form numbers.
+  const std::string expected =
+      "{\n"
+      "  \"schema_version\": 1,\n"
+      "  \"kind\": \"kernels\",\n"
+      "  \"environment\": {\n"
+      "    \"cpu\": \"test-cpu\",\n"
+      "    \"threads\": 4\n"
+      "  },\n"
+      "  \"rates\": [\n"
+      "    1.5,\n"
+      "    2,\n"
+      "    0.125\n"
+      "  ]\n"
+      "}\n";
+  EXPECT_EQ(small_doc().dump(), expected);
+}
+
+TEST(ReportJson, DumpIsDeterministic) {
+  EXPECT_EQ(small_doc().dump(), small_doc().dump());
+}
+
+TEST(ReportJson, InsertionOrderIsPreserved) {
+  Json j = Json::object();
+  j.set("zebra", 1).set("alpha", 2).set("mu", 3);
+  const std::string s = j.dump(-1);
+  EXPECT_EQ(s, "{\"zebra\":1,\"alpha\":2,\"mu\":3}");
+}
+
+TEST(ReportJson, SetReplacesInPlaceWithoutReordering) {
+  Json j = Json::object();
+  j.set("a", 1).set("b", 2).set("a", 9);
+  EXPECT_EQ(j.dump(-1), "{\"a\":9,\"b\":2}");
+}
+
+TEST(ReportJson, RoundTripPreservesValue) {
+  const Json original = small_doc();
+  auto parsed = Json::parse(original.dump());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value(), original);
+}
+
+TEST(ReportJson, NumbersRoundTripExactly) {
+  // Shortest-form to_chars guarantees parse(dump(x)) == x bit-for-bit.
+  const double values[] = {0.1, 1.0 / 3.0, 2.761325332290202, 1e-300,
+                           9.007199254740993e15, -0.0};
+  for (double v : values) {
+    auto parsed = Json::parse(Json(v).dump());
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value().as_number(), v);
+  }
+}
+
+TEST(ReportJson, IntegralDoublesPrintAsIntegers) {
+  EXPECT_EQ(Json(3.0).dump(-1), "3");
+  EXPECT_EQ(Json(-17.0).dump(-1), "-17");
+}
+
+TEST(ReportJson, NonFiniteSerializesAsNull) {
+  EXPECT_EQ(Json(std::numeric_limits<double>::infinity()).dump(-1), "null");
+  EXPECT_EQ(Json(std::numeric_limits<double>::quiet_NaN()).dump(-1), "null");
+}
+
+TEST(ReportJson, StringEscaping) {
+  auto parsed = Json::parse(Json("a\"b\\c\n\t\x01").dump());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().as_string(), "a\"b\\c\n\t\x01");
+}
+
+TEST(ReportJson, ParseRejectsTrailingGarbage) {
+  auto r = Json::parse("{\"a\": 1} extra");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().category(), ErrorCategory::Format);
+}
+
+TEST(ReportJson, ParseRejectsDuplicateKeys) {
+  auto r = Json::parse("{\"a\": 1, \"a\": 2}");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().category(), ErrorCategory::Format);
+}
+
+TEST(ReportJson, ParseErrorNamesLocation) {
+  auto r = Json::parse("{\n  \"a\": @\n}");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error().message().find("line 2"), std::string::npos)
+      << r.error().message();
+}
+
+TEST(ReportJson, ParseRejectsUnterminatedDocument) {
+  EXPECT_FALSE(Json::parse("{\"a\": [1, 2").ok());
+  EXPECT_FALSE(Json::parse("\"abc").ok());
+  EXPECT_FALSE(Json::parse("").ok());
+}
+
+TEST(ReportJson, FindReturnsNullForMissingKey) {
+  const Json j = small_doc();
+  EXPECT_EQ(j.find("nope"), nullptr);
+  ASSERT_NE(j.find("kind"), nullptr);
+  EXPECT_EQ(j.find("kind")->as_string(), "kernels");
+}
+
+// --- BenchDocument serialization ------------------------------------------
+
+BenchDocument sample_document() {
+  BenchDocument doc;
+  doc.kind = "kernels";
+  doc.suite = "smoke";
+  doc.environment.cpu_model = "test-cpu";
+  doc.environment.logical_cpus = 8;
+  doc.environment.threads = 4;
+  doc.environment.llc_bytes = 1 << 20;
+  doc.environment.iterations = 16;
+  doc.environment.runs = 3;
+  doc.environment.warmup = 1;
+  doc.environment.suite_scale = 0.35;
+  BenchResult r;
+  r.matrix = "tiny-dense";
+  r.family = "dense";
+  r.classes = "{CMP}";
+  r.variant = "baseline";
+  r.plan = "baseline";
+  r.threads = 4;
+  r.nrows = 48;
+  r.ncols = 48;
+  r.nnz = 2304;
+  r.gflops = 2.5;
+  r.ci_lo = 2.25;
+  r.ci_hi = 2.75;
+  r.samples_kept = 3;
+  doc.results.push_back(r);
+  r.variant = "vec";
+  r.plan = "vec";
+  r.gflops = 5.0;
+  r.ci_lo = 4.5;
+  r.ci_hi = 5.5;
+  doc.results.push_back(r);
+  return doc;
+}
+
+TEST(ReportBenchDoc, RoundTripsThroughJson) {
+  const BenchDocument doc = sample_document();
+  auto back = document_from_json(document_to_json(doc));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), doc);
+}
+
+TEST(ReportBenchDoc, SerializedFormHasStableTopLevelOrder) {
+  const std::string s = document_to_json(sample_document()).dump();
+  const std::size_t schema = s.find("\"schema_version\"");
+  const std::size_t kind = s.find("\"kind\"");
+  const std::size_t env = s.find("\"environment\"");
+  const std::size_t results = s.find("\"results\"");
+  const std::size_t summary = s.find("\"summary\"");
+  ASSERT_NE(schema, std::string::npos);
+  EXPECT_LT(schema, kind);
+  EXPECT_LT(kind, env);
+  EXPECT_LT(env, results);
+  EXPECT_LT(results, summary);
+}
+
+TEST(ReportBenchDoc, SchemaVersionIsEmitted) {
+  const Json j = document_to_json(sample_document());
+  ASSERT_NE(j.find("schema_version"), nullptr);
+  EXPECT_EQ(j.find("schema_version")->as_number(), kBenchSchemaVersion);
+}
+
+TEST(ReportBenchDoc, EnvironmentBlockRoundTrips) {
+  const BenchDocument doc = sample_document();
+  auto env = environment_from_json(environment_to_json(doc.environment));
+  ASSERT_TRUE(env.ok());
+  EXPECT_EQ(env.value(), doc.environment);
+}
+
+TEST(ReportBenchDoc, SummaryIsDerivedNotParsed) {
+  // Tampering with the serialized summary must not survive a load: the
+  // summary is recomputed from `results` on every dump.
+  Json j = document_to_json(sample_document());
+  j.set("summary", Json::object());
+  auto back = document_from_json(j);
+  ASSERT_TRUE(back.ok());
+  const Json again = document_to_json(back.value());
+  ASSERT_NE(again.find("summary"), nullptr);
+  EXPECT_FALSE(again.find("summary")->members().empty());
+}
+
+TEST(ReportBenchDoc, SummarizeUsesHarmonicMean) {
+  BenchDocument doc = sample_document();
+  doc.results[1].variant = "baseline";  // two baseline cells: 2.5 and 5.0
+  const auto rows = summarize(doc);
+  ASSERT_FALSE(rows.empty());
+  EXPECT_EQ(rows[0].variant, "baseline");
+  EXPECT_EQ(rows[0].matrices, 2);
+  // H(2.5, 5) = 2 / (0.4 + 0.2) = 10/3, not the arithmetic 3.75.
+  EXPECT_NEAR(rows[0].gflops_hmean, 10.0 / 3.0, 1e-12);
+}
+
+TEST(ReportBenchDoc, RejectsWrongSchemaVersion) {
+  Json j = document_to_json(sample_document());
+  j.set("schema_version", 999);
+  auto r = document_from_json(j);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().category(), ErrorCategory::Format);
+}
+
+TEST(ReportBenchDoc, RejectsMistypedResultField) {
+  Json j = document_to_json(sample_document());
+  j.members();  // precondition check
+  Json* results = nullptr;
+  for (auto& [k, v] : j.members())
+    if (k == "results") results = &v;
+  ASSERT_NE(results, nullptr);
+  results->items()[0].set("gflops", "fast");
+  auto r = document_from_json(j);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().category(), ErrorCategory::Format);
+  EXPECT_NE(r.error().message().find("results[0]"), std::string::npos);
+}
+
+TEST(ReportBenchDoc, SaveAndLoadFile) {
+  const std::string path = ::testing::TempDir() + "bench_roundtrip.json";
+  const BenchDocument doc = sample_document();
+  ASSERT_TRUE(save_bench_document(path, doc).ok());
+  auto back = load_bench_document(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), doc);
+}
+
+TEST(ReportBenchDoc, LoadMissingFileIsIoError) {
+  auto r = load_bench_document("/nonexistent/bench.json");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().category(), ErrorCategory::Io);
+}
+
+}  // namespace
+}  // namespace spmvopt::report

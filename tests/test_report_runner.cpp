@@ -1,0 +1,116 @@
+// BenchRunner tests — cell statistics and an end-to-end smoke sweep.
+#include "report/runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+
+#include "report/compare.hpp"
+
+namespace spmvopt::report {
+namespace {
+
+perf::MeasureConfig tiny_measure() {
+  perf::MeasureConfig m;
+  m.iterations = 2;
+  m.runs = 3;
+  m.warmup = 0;
+  return m;
+}
+
+TEST(ReportRunnerStats, FillCellStatsComputesHarmonicMeanAndCi) {
+  BenchResult cell;
+  fill_cell_stats({1.0, 2.0, 4.0}, 0.95, 1.5, &cell);
+  EXPECT_DOUBLE_EQ(cell.gflops, 12.0 / 7.0);  // H(1,2,4)
+  EXPECT_EQ(cell.samples_kept, 3);
+  EXPECT_EQ(cell.samples_rejected, 0);
+  EXPECT_LE(cell.ci_lo, cell.ci_hi);
+}
+
+TEST(ReportRunnerStats, FillCellStatsRejectsOutliers) {
+  // A descheduled run at ~0 rate must not drag the harmonic mean down.
+  BenchResult cell;
+  fill_cell_stats({10.0, 10.1, 9.9, 10.05, 9.95, 0.01}, 0.95, 1.5, &cell);
+  EXPECT_EQ(cell.samples_rejected, 1);
+  EXPECT_EQ(cell.samples_kept, 5);
+  EXPECT_GT(cell.gflops, 9.0);
+}
+
+TEST(ReportRunnerStats, FillCellStatsHandlesEmptyInput) {
+  BenchResult cell;
+  fill_cell_stats({}, 0.95, 1.5, &cell);
+  EXPECT_EQ(cell.samples_kept, 0);
+  EXPECT_DOUBLE_EQ(cell.gflops, 0.0);
+}
+
+TEST(ReportRunner, RejectsUnknownSuiteAndKind) {
+  RunnerConfig bad_suite;
+  bad_suite.suite = "galactic";
+  EXPECT_THROW(BenchRunner{bad_suite}, std::invalid_argument);
+  RunnerConfig bad_kind;
+  bad_kind.kind = "vibes";
+  EXPECT_THROW(BenchRunner{bad_kind}, std::invalid_argument);
+  RunnerConfig bad_threads;
+  bad_threads.thread_counts = {0};
+  EXPECT_THROW(BenchRunner{bad_threads}, std::invalid_argument);
+}
+
+TEST(ReportRunner, SmokeSweepProducesValidDocument) {
+  RunnerConfig cfg;
+  cfg.suite = "smoke";
+  cfg.kind = "kernels";
+  cfg.measure = tiny_measure();
+  cfg.thread_counts = {1};
+  const BenchDocument doc = BenchRunner(cfg).run();
+
+  EXPECT_EQ(doc.schema_version, kBenchSchemaVersion);
+  EXPECT_EQ(doc.kind, "kernels");
+  EXPECT_EQ(doc.suite, "smoke");
+  EXPECT_FALSE(doc.results.empty());
+  EXPECT_EQ(doc.environment.iterations, cfg.measure.iterations);
+
+  std::set<std::string> matrices, variants;
+  for (const BenchResult& r : doc.results) {
+    matrices.insert(r.matrix);
+    variants.insert(r.variant);
+    EXPECT_GT(r.nnz, 0);
+    EXPECT_GT(r.gflops, 0.0) << r.matrix << "/" << r.variant;
+    EXPECT_LE(r.ci_lo, r.ci_hi);
+    EXPECT_FALSE(r.classes.empty());
+    EXPECT_FALSE(r.plan.empty());
+  }
+  // The smoke suite is the full synthetic test suite, and the kernels pool
+  // includes at least serial + baseline + one optimization.
+  EXPECT_GE(matrices.size(), 5u);
+  EXPECT_GE(variants.size(), 3u);
+  EXPECT_TRUE(variants.count("serial"));
+  EXPECT_TRUE(variants.count("baseline"));
+
+  // The document round-trips through its serialized form.
+  auto back = document_from_json(document_to_json(doc));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), doc);
+
+  // ...and compares clean against itself end to end.
+  auto cmp = compare_documents(doc, doc);
+  ASSERT_TRUE(cmp.ok());
+  EXPECT_FALSE(cmp.value().has_regressions());
+  EXPECT_EQ(cmp.value().improved, 0);
+}
+
+TEST(ReportRunner, PlansKindUsesCombinedPool) {
+  RunnerConfig cfg;
+  cfg.suite = "smoke";
+  cfg.kind = "plans";
+  cfg.measure = tiny_measure();
+  cfg.thread_counts = {1};
+  const BenchDocument doc = BenchRunner(cfg).run();
+  EXPECT_EQ(doc.kind, "plans");
+  EXPECT_FALSE(doc.results.empty());
+  // The plans pool has no serial row; everything goes through OptimizedSpmv.
+  for (const BenchResult& r : doc.results) EXPECT_NE(r.variant, "serial");
+}
+
+}  // namespace
+}  // namespace spmvopt::report

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <stdexcept>
 #include <vector>
 
@@ -105,6 +106,68 @@ TEST(Stats, SummarizeRatesHarmonicMean) {
 TEST(Stats, SummarizeRatesRejectsNonpositiveTime) {
   const std::vector<double> sec{1.0, -0.5};
   EXPECT_THROW((void)summarize_rates(sec, 1e9), std::invalid_argument);
+}
+
+TEST(Stats, QuantileEndpointsAndMedian) {
+  const std::vector<double> xs{4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), median(xs));
+}
+
+TEST(Stats, QuantileInterpolatesLinearly) {
+  // q=0.25 over {1,2,3,4}: rank 0.75 -> 1 + 0.75*(2-1).
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.25), 1.75);
+}
+
+TEST(Stats, IqrFilterDropsGrossOutlier) {
+  const std::vector<double> xs{10.0, 10.1, 9.9, 10.05, 9.95, 42.0};
+  const auto kept = iqr_filter(xs);
+  EXPECT_EQ(kept.size(), 5u);
+  for (double v : kept) EXPECT_LT(v, 11.0);
+}
+
+TEST(Stats, IqrFilterKeepsCleanSamples) {
+  const std::vector<double> xs{1.0, 1.1, 0.9, 1.05, 0.95};
+  EXPECT_EQ(iqr_filter(xs).size(), xs.size());
+}
+
+TEST(Stats, IqrFilterPassesThroughTinySamples) {
+  // n < 4 has no meaningful quartiles; nothing is rejected.
+  const std::vector<double> xs{1.0, 100.0, 10000.0};
+  EXPECT_EQ(iqr_filter(xs), xs);
+}
+
+TEST(Stats, MeanConfidenceBracketsMean) {
+  const std::vector<double> xs{10.0, 11.0, 9.0, 10.5, 9.5};
+  const MeanCi ci = mean_confidence(xs);
+  EXPECT_DOUBLE_EQ(ci.mean, arithmetic_mean(xs));
+  EXPECT_LT(ci.lo, ci.mean);
+  EXPECT_GT(ci.hi, ci.mean);
+}
+
+TEST(Stats, MeanConfidenceKnownTValue) {
+  // n=4, s=1, t_{0.975,3} = 3.182: half-width = 3.182/2.
+  const std::vector<double> xs{9.0, 11.0, 9.0, 11.0};
+  const MeanCi ci = mean_confidence(xs, 0.95);
+  const double s = std::sqrt(4.0 / 3.0);  // sample sd of {9,11,9,11}
+  EXPECT_NEAR(ci.hi - ci.mean, 3.182 * s / 2.0, 1e-3);
+}
+
+TEST(Stats, MeanConfidenceDegenerateCases) {
+  const MeanCi one = mean_confidence(std::vector<double>{5.0});
+  EXPECT_DOUBLE_EQ(one.lo, 5.0);
+  EXPECT_DOUBLE_EQ(one.hi, 5.0);
+  const MeanCi flat = mean_confidence(std::vector<double>{2.0, 2.0, 2.0});
+  EXPECT_DOUBLE_EQ(flat.lo, flat.hi);
+}
+
+TEST(Stats, MeanConfidenceWiderAtHigherConfidence) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0, 5.0};
+  const MeanCi c95 = mean_confidence(xs, 0.95);
+  const MeanCi c99 = mean_confidence(xs, 0.99);
+  EXPECT_GT(c99.hi - c99.lo, c95.hi - c95.lo);
 }
 
 }  // namespace

@@ -6,18 +6,27 @@
 //   spmvopt_cli train    <model-out> [pool-size]  train + save feature model
 //   spmvopt_cli optimize <matrix> [model]         pick a plan, report speedup
 //   spmvopt_cli bench    <matrix>                 measure every plan (oracle view)
+//   spmvopt_cli bench    --suite smoke|full [--kind kernels|plans]
+//                        [--threads N[,N...]] [--out FILE]
+//                                                 orchestrated sweep -> JSON
+//   spmvopt_cli compare  <old.json> <new.json> [--threshold F] [--advisory]
+//                                                 statistical regression gate
 //
 // <matrix> is a path ending in .mtx or .csrbin, or suite:NAME for a matrix
 // of the paper's evaluation suite (e.g. suite:poisson3Db).
 //
 // Exit codes follow BSD sysexits (DESIGN.md §6): 0 success, 64 usage error,
 // 65 malformed data, 66 I/O failure, 70 internal error, 71 resource limit.
+// `compare` additionally exits 1 when it finds a statistically supported
+// regression (unless --advisory), so CI can gate on it directly.
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <new>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -27,6 +36,9 @@
 #include "gen/generators.hpp"
 #include "gen/suite.hpp"
 #include "optimize/optimizers.hpp"
+#include "report/bench_doc.hpp"
+#include "report/compare.hpp"
+#include "report/runner.hpp"
 #include "robust/error.hpp"
 #include "sparse/binary_io.hpp"
 #include "sparse/mmio.hpp"
@@ -216,6 +228,124 @@ int cmd_bench(const std::string& spec) {
   return 0;
 }
 
+/// Parse "1,2,8" into thread counts; rejects junk with a UsageError.
+std::vector<int> parse_thread_list(const std::string& spec) {
+  std::vector<int> out;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    const std::size_t comma = std::min(spec.find(',', pos), spec.size());
+    const std::string tok = spec.substr(pos, comma - pos);
+    std::size_t used = 0;
+    int n = 0;
+    try {
+      n = std::stoi(tok, &used);
+    } catch (const std::exception&) {
+      used = 0;
+    }
+    if (used != tok.size() || n <= 0)
+      throw UsageError("--threads expects positive integers, got '" + tok +
+                       "'");
+    out.push_back(n);
+    pos = comma + 1;
+  }
+  return out;
+}
+
+int cmd_bench_suite(const std::vector<std::string>& args) {
+  report::RunnerConfig cfg;
+  cfg.measure = cli_measure();
+  std::string out_path;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    const auto next = [&](const char* flag) -> const std::string& {
+      if (i + 1 >= args.size())
+        throw UsageError(std::string(flag) + " requires a value");
+      return args[++i];
+    };
+    if (a == "--suite") cfg.suite = next("--suite");
+    else if (a == "--kind") cfg.kind = next("--kind");
+    else if (a == "--threads") cfg.thread_counts = parse_thread_list(next("--threads"));
+    else if (a == "--out") out_path = next("--out");
+    else
+      throw UsageError("unknown bench flag '" + a + "'");
+  }
+  cfg.progress = [](const std::string& line) {
+    std::fprintf(stderr, "%s\n", line.c_str());
+  };
+
+  // The runner validates suite/kind; surface its complaint as a usage error
+  // (exit 64), not an internal fault.
+  std::unique_ptr<report::BenchRunner> runner;
+  try {
+    runner = std::make_unique<report::BenchRunner>(cfg);
+  } catch (const std::invalid_argument& e) {
+    throw UsageError(e.what());
+  }
+  const report::BenchDocument doc = runner->run();
+
+  if (out_path.empty()) {
+    std::fputs(report::document_to_json(doc).dump().c_str(), stdout);
+  } else {
+    (void)report::save_bench_document(out_path, doc).value_or_throw();
+    std::fprintf(stderr, "wrote %zu cells -> %s\n", doc.results.size(),
+                 out_path.c_str());
+  }
+  return 0;
+}
+
+int cmd_compare(const std::vector<std::string>& args) {
+  std::vector<std::string> paths;
+  report::CompareConfig cc;
+  bool advisory = false;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    if (a == "--advisory") {
+      advisory = true;
+    } else if (a == "--threshold") {
+      if (i + 1 >= args.size()) throw UsageError("--threshold requires a value");
+      try {
+        cc.rel_threshold = std::stod(args[++i]);
+      } catch (const std::exception&) {
+        throw UsageError("--threshold expects a number");
+      }
+      if (cc.rel_threshold < 0.0)
+        throw UsageError("--threshold must be >= 0");
+    } else if (!a.empty() && a[0] == '-') {
+      throw UsageError("unknown compare flag '" + a + "'");
+    } else {
+      paths.push_back(a);
+    }
+  }
+  if (paths.size() != 2)
+    throw UsageError("compare needs exactly two documents: <old> <new>");
+
+  const auto old_doc = report::load_bench_document(paths[0]).value_or_throw();
+  const auto new_doc = report::load_bench_document(paths[1]).value_or_throw();
+  const auto rep =
+      report::compare_documents(old_doc, new_doc, cc).value_or_throw();
+
+  if (!rep.comparable_environment)
+    std::fprintf(stderr,
+                 "warning: documents were measured under different "
+                 "environments; deltas are advisory at best\n");
+  for (const auto& cell : rep.cells) {
+    if (cell.verdict == report::Verdict::Unchanged) continue;
+    std::printf("%-10s %-28s %-24s x%-3d  %7.3f -> %7.3f Gflop/s (%+.1f%%)\n",
+                report::verdict_name(cell.verdict), cell.matrix.c_str(),
+                cell.variant.c_str(), cell.threads, cell.old_gflops,
+                cell.new_gflops, cell.rel_change * 100.0);
+  }
+  std::printf("%s\n", rep.summary().c_str());
+  if (rep.has_regressions()) {
+    if (advisory) {
+      std::printf("advisory mode: regressions reported, exit 0\n");
+      return 0;
+    }
+    return report::kExitRegression;
+  }
+  return 0;
+}
+
 int usage() {
   std::fprintf(stderr,
                "usage:\n"
@@ -225,13 +355,17 @@ int usage() {
                "  spmvopt_cli train    <model-out> [pool-size]\n"
                "  spmvopt_cli optimize <matrix> [model]\n"
                "  spmvopt_cli bench    <matrix>\n"
+               "  spmvopt_cli bench    --suite smoke|full [--kind kernels|plans]\n"
+               "                       [--threads N[,N...]] [--out FILE]\n"
+               "  spmvopt_cli compare  <old.json> <new.json> [--threshold F]\n"
+               "                       [--advisory]\n"
                "<matrix>: *.mtx | *.csrbin | suite:NAME\n");
   return kExitUsage;
 }
 
 /// Print the message and every context frame ("  while reading '...'"), and
 /// map the category to its sysexits code.
-int report(const Error& e) {
+int report_error(const Error& e) {
   std::fprintf(stderr, "error (%s): %s\n", error_category_name(e.category()),
                e.message().c_str());
   for (const std::string& frame : e.context())
@@ -254,12 +388,20 @@ int main(int argc, char** argv) {
       return cmd_train(argv[2], argc == 4 ? std::atoi(argv[3]) : 120);
     if (cmd == "optimize" && (argc == 3 || argc == 4))
       return cmd_optimize(argv[2], argc == 4 ? argv[3] : "");
-    if (cmd == "bench" && argc == 3) return cmd_bench(argv[2]);
+    if (cmd == "bench" && argc >= 3) {
+      // `bench <matrix>` keeps the historical oracle view; flags select the
+      // orchestrated suite sweep.
+      if (argv[2][0] == '-')
+        return cmd_bench_suite({argv + 2, argv + argc});
+      if (argc == 3) return cmd_bench(argv[2]);
+    }
+    if (cmd == "compare" && argc >= 4)
+      return cmd_compare({argv + 2, argv + argc});
   } catch (const UsageError& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return kExitUsage;
   } catch (const SpmvException& e) {
-    return report(e.error());
+    return report_error(e.error());
   } catch (const std::bad_alloc&) {
     std::fprintf(stderr, "error (resource): out of memory\n");
     return exit_code_for(ErrorCategory::Resource);
