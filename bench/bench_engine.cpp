@@ -1,0 +1,137 @@
+// Engine dispatch-overhead microbenchmarks (google-benchmark).
+//
+// The persistent-team engine exists to amortize parallel-region startup:
+// OpenMP's fork/join costs microseconds per call, which dominates SpMV on
+// small operands (an 8^3 stencil SpMV is ~1us of useful work).  Measured
+// here:
+//   * BM_Dispatch/engine   — a no-op team dispatch (condvar wake + barrier),
+//     the engine's fixed per-call cost;
+//   * BM_Dispatch/omp      — an empty `#pragma omp parallel` region, the
+//     fork/join cost the engine replaces;
+//   * BM_SmallSpmv/...     — the same plan on the same small matrix, engine
+//     vs OpenMP execution, across operand sizes where overhead matters;
+//   * BM_Batch/...         — run_many(nrhs) vs nrhs separate run() calls:
+//     one dispatch amortized over a batch.
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "gen/generators.hpp"
+#include "optimize/optimized_spmv.hpp"
+#include "support/cpu_info.hpp"
+
+#if defined(_OPENMP)
+#include <omp.h>
+#endif
+
+namespace {
+
+using namespace spmvopt;
+
+engine::ExecutionEngine& team() {
+  static engine::ExecutionEngine eng(
+      engine::EngineConfig{.pin = PinPolicy::None});
+  return eng;
+}
+
+// Grid side per size class: 8^3 = 512 rows (overhead-bound) up to
+// 32^3 = 32768 rows (compute starts to dominate).
+int grid_side(int cls) { return cls == 0 ? 8 : cls == 1 ? 16 : 32; }
+
+struct Workload {
+  CsrMatrix a;
+  std::vector<value_t> x;
+  std::vector<value_t> y;
+
+  explicit Workload(int g)
+      : a(gen::stencil_3d_7pt(g, g, g)),
+        x(gen::test_vector(a.ncols())),
+        y(static_cast<std::size_t>(a.nrows())) {}
+};
+
+Workload& workload(int cls) {
+  static Workload small{grid_side(0)};
+  static Workload mid{grid_side(1)};
+  static Workload large{grid_side(2)};
+  switch (cls) {
+    case 0: return small;
+    case 1: return mid;
+    default: return large;
+  }
+}
+
+void BM_DispatchEngine(benchmark::State& state) {
+  engine::ExecutionEngine& eng = team();
+  for (auto _ : state) {
+    eng.parallel([](int, int) {});
+  }
+  state.SetLabel(std::to_string(eng.nthreads()) + " thread(s)");
+}
+
+void BM_DispatchOmp(benchmark::State& state) {
+  int sink = 0;
+  for (auto _ : state) {
+#if defined(_OPENMP)
+#pragma omp parallel
+    {
+#pragma omp atomic
+      ++sink;
+    }
+#else
+    ++sink;
+#endif
+    benchmark::DoNotOptimize(sink);
+  }
+}
+
+void BM_SmallSpmv(benchmark::State& state, bool use_engine) {
+  Workload& w = workload(static_cast<int>(state.range(0)));
+  const optimize::Plan plan;  // baseline balanced-static CSR
+  const auto spmv =
+      use_engine ? optimize::OptimizedSpmv::create(w.a, plan, team())
+                 : optimize::OptimizedSpmv::create(w.a, plan);
+  for (auto _ : state) {
+    spmv.run(w.x.data(), w.y.data());
+    benchmark::DoNotOptimize(w.y.data());
+  }
+  const int g = grid_side(static_cast<int>(state.range(0)));
+  state.SetLabel("stencil " + std::to_string(g) + "^3, " +
+                 std::to_string(w.a.nnz()) + " nnz");
+}
+
+void BM_Batch(benchmark::State& state, bool batched) {
+  constexpr int kRhs = 8;
+  Workload& w = workload(static_cast<int>(state.range(0)));
+  const auto spmv = optimize::OptimizedSpmv::create(w.a, {}, team());
+  const std::size_t n = static_cast<std::size_t>(w.a.ncols());
+  const std::size_t m = static_cast<std::size_t>(w.a.nrows());
+  std::vector<value_t> X(n * kRhs), Y(m * kRhs);
+  for (std::size_t i = 0; i < X.size(); ++i)
+    X[i] = static_cast<value_t>(i % 13) * 0.25;
+  for (auto _ : state) {
+    if (batched) {
+      spmv.run_many(X.data(), Y.data(), kRhs);
+    } else {
+      for (int r = 0; r < kRhs; ++r) spmv.run(X.data() + n * r, Y.data() + m * r);
+    }
+    benchmark::DoNotOptimize(Y.data());
+  }
+  state.SetLabel(std::to_string(kRhs) + " rhs, " +
+                 (batched ? "one dispatch" : "per-rhs dispatch"));
+}
+
+}  // namespace
+
+BENCHMARK(BM_DispatchEngine)->Unit(benchmark::kNanosecond);
+BENCHMARK(BM_DispatchOmp)->Unit(benchmark::kNanosecond);
+BENCHMARK_CAPTURE(BM_SmallSpmv, engine, true)
+    ->DenseRange(0, 2)->Unit(benchmark::kMicrosecond);
+BENCHMARK_CAPTURE(BM_SmallSpmv, omp, false)
+    ->DenseRange(0, 2)->Unit(benchmark::kMicrosecond);
+BENCHMARK_CAPTURE(BM_Batch, run_many, true)
+    ->DenseRange(0, 2)->Unit(benchmark::kMicrosecond);
+BENCHMARK_CAPTURE(BM_Batch, looped_run, false)
+    ->DenseRange(0, 2)->Unit(benchmark::kMicrosecond);
+
+BENCHMARK_MAIN();

@@ -2,13 +2,19 @@
 // every kernel variant in the optimization pool, on three structurally
 // distinct representatives (regular stencil, irregular random, skewed
 // power-law).  Complements the figure benches with per-kernel latency data.
+//
+// The named-kernel axis is driven by kernels::registry(): each registered
+// variant is bound once per workload (conversions and partitions paid at
+// registration, as in real use) and benchmarked through its BoundSpmv.
+// Variants whose requirements a workload cannot satisfy (e.g. `sym` on a
+// non-symmetric matrix) are skipped at registration time.
 #include <benchmark/benchmark.h>
 
+#include <string>
 #include <vector>
 
 #include "gen/generators.hpp"
-#include "kernels/compose.hpp"
-#include "kernels/spmv.hpp"
+#include "kernels/registry.hpp"
 #include "optimize/optimized_spmv.hpp"
 #include "support/cpu_info.hpp"
 
@@ -69,17 +75,6 @@ void BM_Plan(benchmark::State& state, optimize::Plan plan) {
                  "/" + spmv.plan().to_string());
 }
 
-void BM_Serial(benchmark::State& state) {
-  Workload& w = workload(static_cast<int>(state.range(0)));
-  for (auto _ : state) {
-    kernels::spmv_serial(w.a, w.x.data(), w.y.data());
-    benchmark::DoNotOptimize(w.y.data());
-  }
-  set_counters(state, w.a);
-  state.SetLabel(std::string(workload_name(static_cast<int>(state.range(0)))) +
-                 "/serial");
-}
-
 optimize::Plan make_plan(kernels::Sched s, bool pf, kernels::Compute c,
                          bool delta, bool split) {
   optimize::Plan p;
@@ -91,9 +86,28 @@ optimize::Plan make_plan(kernels::Sched s, bool pf, kernels::Compute c,
   return p;
 }
 
-}  // namespace
+void register_registry_benchmarks() {
+  const int threads = default_threads();
+  for (const kernels::KernelVariant& v : kernels::registry()) {
+    for (int which = 0; which < 3; ++which) {
+      Workload& w = workload(which);
+      kernels::BoundSpmv bound = v.bind(w.a, threads);
+      if (!bound) continue;  // requirements unmet on this workload
+      const std::string name =
+          std::string("BM_Kernel/") + v.name + "/" + workload_name(which);
+      benchmark::RegisterBenchmark(
+          name.c_str(), [&w, bound = std::move(bound)](benchmark::State& state) {
+            for (auto _ : state) {
+              bound(w.x.data(), w.y.data());
+              benchmark::DoNotOptimize(w.y.data());
+            }
+            set_counters(state, w.a);
+          })->Unit(benchmark::kMicrosecond);
+    }
+  }
+}
 
-BENCHMARK(BM_Serial)->DenseRange(0, 2)->Unit(benchmark::kMicrosecond);
+}  // namespace
 
 BENCHMARK_CAPTURE(BM_Plan, baseline, optimize::Plan{})
     ->DenseRange(0, 2)->Unit(benchmark::kMicrosecond);
@@ -126,4 +140,11 @@ BENCHMARK_CAPTURE(BM_Plan, pf_vec_auto,
                             kernels::Compute::Vector, false, false))
     ->DenseRange(0, 2)->Unit(benchmark::kMicrosecond);
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  register_registry_benchmarks();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -12,9 +12,7 @@
 #include <cstdlib>
 #include <vector>
 
-#include "gen/generators.hpp"
-#include "optimize/optimizers.hpp"
-#include "solvers/krylov.hpp"
+#include "spmvopt/spmvopt.hpp"
 #include "support/timing.hpp"
 
 int main(int argc, char** argv) {

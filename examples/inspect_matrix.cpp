@@ -12,11 +12,9 @@
 #include <cstring>
 #include <string>
 
-#include "classify/profile_classifier.hpp"
+#include "spmvopt/spmvopt.hpp"
+
 #include "features/features.hpp"
-#include "gen/suite.hpp"
-#include "optimize/plan.hpp"
-#include "sparse/mmio.hpp"
 #include "support/cpu_info.hpp"
 
 namespace {

@@ -8,9 +8,7 @@
 #include <cstdio>
 #include <vector>
 
-#include "gen/generators.hpp"
-#include "optimize/optimizers.hpp"
-#include "sparse/mmio.hpp"
+#include "spmvopt/spmvopt.hpp"
 
 int main(int argc, char** argv) {
   using namespace spmvopt;

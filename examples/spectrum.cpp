@@ -9,9 +9,7 @@
 #include <cstdio>
 #include <cstdlib>
 
-#include "gen/generators.hpp"
-#include "optimize/optimizers.hpp"
-#include "solvers/eigen.hpp"
+#include "spmvopt/spmvopt.hpp"
 
 int main(int argc, char** argv) {
   using namespace spmvopt;

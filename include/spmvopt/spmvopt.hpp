@@ -1,0 +1,66 @@
+// spmvopt — umbrella public header.
+//
+// This is the supported API surface; everything an application needs to
+// load/generate a matrix, pick a plan, bind it (optionally to a persistent
+// NUMA-aware execution engine), run SpMV/SpMM, drive the iterative solvers,
+// and verify or benchmark the result.  Build against the `spmvopt` CMake
+// target and include only this header:
+//
+//   #include <spmvopt/spmvopt.hpp>
+//
+//   using namespace spmvopt;
+//   CsrMatrix A = gen::stencil_3d_7pt(64, 64, 64);
+//   engine::ExecutionEngine eng;                       // persistent team
+//   auto plan  = optimize::plan_for_classes(
+//                    classify::heuristic_feature_classes(A), A);
+//   auto spmv  = optimize::OptimizedSpmv::create(A, plan, eng);
+//   auto x     = eng.touched_vector(A.ncols());        // NUMA-placed operand
+//   auto y     = eng.touched_vector(A.nrows(), spmv.partition());
+//   spmv.run(x.data(), y.data());
+//
+// Headers under src/ remain includable for internal/advanced use, but only
+// the surface re-exported here is covered by the API conventions of
+// DESIGN.md §8 (raw-pointer noexcept hot path + checked std::span overload).
+#pragma once
+
+// Matrix formats and I/O.
+#include "sparse/csr.hpp"
+#include "sparse/coo.hpp"
+#include "sparse/mmio.hpp"
+#include "sparse/binary_io.hpp"
+
+// Synthetic matrix generators and the paper's evaluation suite.
+#include "gen/generators.hpp"
+#include "gen/suite.hpp"
+
+// Kernels: the named-variant registry, SpMM, and the composed-kernel space.
+#include "kernels/registry.hpp"
+#include "kernels/spmm.hpp"
+#include "kernels/spmv.hpp"
+
+// Persistent, affinity-pinned execution engine + host topology probe.
+#include "engine/execution_engine.hpp"
+#include "support/topology.hpp"
+
+// Plans, the optimizers, and the plan-bound executor.
+#include "optimize/plan.hpp"
+#include "optimize/optimized_spmv.hpp"
+#include "optimize/optimizers.hpp"
+
+// Bottleneck classifiers (profile-guided and feature/tree-based).
+#include "classify/feature_classifier.hpp"
+#include "classify/profile_classifier.hpp"
+
+// Iterative solvers over LinearOperator.
+#include "solvers/operator.hpp"
+#include "solvers/krylov.hpp"
+#include "solvers/preconditioner.hpp"
+#include "solvers/eigen.hpp"
+#include "solvers/pagerank.hpp"
+
+// Measurement, bench documents, and the differential verifier.
+#include "perf/measure.hpp"
+#include "report/bench_doc.hpp"
+#include "report/runner.hpp"
+#include "report/compare.hpp"
+#include "verify/differential.hpp"

@@ -1,0 +1,158 @@
+#include "engine/execution_engine.hpp"
+
+#include <algorithm>
+
+#include "support/cpu_info.hpp"
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace spmvopt::engine {
+
+namespace {
+
+/// Pin the calling thread to one CPU; false when the host refuses (masked
+/// cpuset, non-Linux build) — the engine then runs unpinned, which is the
+/// documented graceful fallback, not an error.
+bool pin_self(int cpu) {
+#if defined(__linux__)
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(static_cast<unsigned>(cpu), &set);
+  return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+#else
+  (void)cpu;
+  return false;
+#endif
+}
+
+}  // namespace
+
+ExecutionEngine::ExecutionEngine(EngineConfig cfg) : cfg_(cfg) {
+  nthreads_ = cfg_.nthreads > 0 ? cfg_.nthreads : default_threads();
+
+  std::vector<int> cpus = pin_cpus(topology(), cfg_.pin, nthreads_);
+  bool pinned_ok = !cpus.empty();
+  if (pinned_ok && cfg_.pin_main) pinned_ok = pin_self(cpus[0]);
+
+  workers_.reserve(static_cast<std::size_t>(nthreads_ - 1));
+  for (int tid = 1; tid < nthreads_; ++tid)
+    workers_.emplace_back([this, tid] { worker_loop(tid); });
+
+  // Workers pin themselves on their first iteration via the staged CPU list;
+  // simpler: pin from here before any dispatch can race with it.
+  if (pinned_ok) {
+    for (int tid = 1; tid < nthreads_; ++tid) {
+#if defined(__linux__)
+      cpu_set_t set;
+      CPU_ZERO(&set);
+      CPU_SET(static_cast<unsigned>(cpus[static_cast<std::size_t>(tid)]), &set);
+      if (pthread_setaffinity_np(
+              workers_[static_cast<std::size_t>(tid - 1)].native_handle(),
+              sizeof(set), &set) != 0)
+        pinned_ok = false;
+#endif
+    }
+  }
+  if (pinned_ok) pinned_cpus_ = std::move(cpus);
+}
+
+ExecutionEngine::~ExecutionEngine() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ExecutionEngine::worker_loop(int tid) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    TeamFn fn;
+    void* ctx;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      fn = fn_;
+      ctx = ctx_;
+    }
+    fn(ctx, tid, nthreads_);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--remaining_ == 0) done_.notify_one();
+    }
+  }
+}
+
+void ExecutionEngine::run_team(TeamFn fn, void* ctx) noexcept {
+  ++dispatches_;
+  if (nthreads_ == 1) {  // degenerate team: a direct call, no synchronization
+    fn(ctx, 0, 1);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    fn_ = fn;
+    ctx_ = ctx;
+    remaining_ = nthreads_ - 1;
+    ++generation_;
+  }
+  wake_.notify_all();
+  fn(ctx, 0, nthreads_);
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_.wait(lock, [&] { return remaining_ == 0; });
+}
+
+void ExecutionEngine::team_barrier() noexcept {
+  const std::uint64_t gen = barrier_generation_.load(std::memory_order_acquire);
+  if (barrier_arrived_.fetch_add(1, std::memory_order_acq_rel) ==
+      nthreads_ - 1) {
+    barrier_arrived_.store(0, std::memory_order_relaxed);
+    barrier_generation_.fetch_add(1, std::memory_order_release);
+  } else {
+    while (barrier_generation_.load(std::memory_order_acquire) == gen)
+      std::this_thread::yield();
+  }
+}
+
+numa_vector<value_t> ExecutionEngine::touched_vector(index_t n) {
+  numa_vector<value_t> v(static_cast<std::size_t>(n));
+  value_t* data = v.data();
+  parallel([data, n](int tid, int nt) {
+    const auto lo = static_cast<std::size_t>(
+        static_cast<std::int64_t>(n) * tid / nt);
+    const auto hi = static_cast<std::size_t>(
+        static_cast<std::int64_t>(n) * (tid + 1) / nt);
+    first_touch_zero(data + lo, hi - lo);
+  });
+  return v;
+}
+
+numa_vector<value_t> ExecutionEngine::touched_vector(index_t n,
+                                                     const RowPartition& part) {
+  numa_vector<value_t> v(static_cast<std::size_t>(n));
+  value_t* data = v.data();
+  const RowPartition* p = &part;
+  parallel([data, n, p](int tid, int nt) {
+    // Partitions round-robin over the team (covers part.nthreads() != nt);
+    // the owner of the last partition also adopts any tail beyond
+    // bounds.back() (n may exceed nrows for padded operands).
+    for (int t = tid; t < p->nthreads(); t += nt) {
+      auto lo = static_cast<std::size_t>(p->bounds[static_cast<std::size_t>(t)]);
+      auto hi =
+          static_cast<std::size_t>(p->bounds[static_cast<std::size_t>(t) + 1]);
+      if (t == p->nthreads() - 1) hi = static_cast<std::size_t>(n);
+      hi = std::min(hi, static_cast<std::size_t>(n));
+      lo = std::min(lo, hi);
+      first_touch_zero(data + lo, hi - lo);
+    }
+  });
+  return v;
+}
+
+}  // namespace spmvopt::engine

@@ -1,0 +1,119 @@
+// ExecutionEngine: a persistent, affinity-pinned thread team.
+//
+// Every OpenMP kernel in src/kernels/ opens its own `#pragma omp parallel`
+// region, paying a team fork/join on every SpMV call — noise for one large
+// matrix, but real overhead for the iterative-solver sweeps of §IV-D where a
+// matvec can be microseconds.  The engine keeps one team alive for its whole
+// lifetime: worker threads are spawned once, pinned once (pthread affinity
+// driven by the support/topology probe), and parked on a condition variable
+// between dispatches.  A dispatch hands the team a plain function pointer +
+// context and costs one wake/notify round trip instead of a team spawn.
+//
+// The calling thread is team member 0: it executes its own share of every
+// dispatch, so an engine of size 1 degenerates to a direct call with zero
+// synchronization — the fast path for small matrices.
+//
+// Threading contract: one dispatch at a time per engine (run_team blocks
+// until the team is done).  Engines are not thread-safe; share one engine
+// across call sites, not across concurrent callers.  Team functions must not
+// throw and must not dispatch recursively.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "support/numa_alloc.hpp"
+#include "support/partition.hpp"
+#include "support/topology.hpp"
+#include "support/types.hpp"
+
+namespace spmvopt::engine {
+
+struct EngineConfig {
+  int nthreads = 0;  ///< team size; <= 0 means default_threads()
+  PinPolicy pin = PinPolicy::Compact;
+  /// Pin the calling thread too (it is team member 0).  Off for callers that
+  /// must keep their own affinity (e.g. a server's request thread).
+  bool pin_main = true;
+};
+
+class ExecutionEngine {
+ public:
+  explicit ExecutionEngine(EngineConfig cfg = {});
+  ~ExecutionEngine();
+
+  ExecutionEngine(const ExecutionEngine&) = delete;
+  ExecutionEngine& operator=(const ExecutionEngine&) = delete;
+
+  [[nodiscard]] int nthreads() const noexcept { return nthreads_; }
+  [[nodiscard]] PinPolicy pin_policy() const noexcept { return cfg_.pin; }
+  /// CPU id each team member was pinned to; empty when policy is None or
+  /// pinning failed (non-Linux, restricted cgroup).
+  [[nodiscard]] const std::vector<int>& pinned_cpus() const noexcept {
+    return pinned_cpus_;
+  }
+  /// Dispatches served since construction (stats for bench/CLI output).
+  [[nodiscard]] std::uint64_t dispatch_count() const noexcept {
+    return dispatches_;
+  }
+
+  /// Hot-path dispatch: run `fn(ctx, tid, nthreads())` on every team member
+  /// and return when all have finished.  The caller runs tid 0 inline.
+  using TeamFn = void (*)(void* ctx, int tid, int nthreads);
+  void run_team(TeamFn fn, void* ctx) noexcept;
+
+  /// Checked convenience wrapper over run_team for setup-path callables
+  /// (first-touch materialization, tests).  F is `void(int tid, int nt)`.
+  template <class F>
+  void parallel(F&& f) {
+    const auto trampoline = [](void* p, int tid, int nt) {
+      (*static_cast<F*>(p))(tid, nt);
+    };
+    run_team(trampoline, const_cast<void*>(static_cast<const void*>(&f)));
+  }
+
+  /// In-dispatch barrier: every team member must call it the same number of
+  /// times.  Valid only inside a team function.
+  void team_barrier() noexcept;
+
+  /// A zero-filled value vector whose pages were first-touched by the team,
+  /// each thread an even slice — NUMA-correct storage for x/y operands.
+  [[nodiscard]] numa_vector<value_t> touched_vector(index_t n);
+
+  /// Same, but ownership follows a row partition (thread t touches rows
+  /// [bounds[t], bounds[t+1])) so y placement matches the kernel's writes.
+  [[nodiscard]] numa_vector<value_t> touched_vector(index_t n,
+                                                    const RowPartition& part);
+
+ private:
+  void worker_loop(int tid);
+
+  EngineConfig cfg_;
+  int nthreads_ = 1;
+  std::vector<int> pinned_cpus_;
+  std::uint64_t dispatches_ = 0;
+
+  // Dispatch mailbox: `generation_` bumps under `mutex_` after `fn_`/`ctx_`
+  // are staged; workers sleep on `wake_` until they observe a new generation
+  // (or `stop_`).  Completion flows back through `remaining_` + `done_`.
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::condition_variable done_;
+  std::uint64_t generation_ = 0;
+  bool stop_ = false;
+  TeamFn fn_ = nullptr;
+  void* ctx_ = nullptr;
+  int remaining_ = 0;
+
+  // Centralized generation barrier for team_barrier().
+  std::atomic<int> barrier_arrived_{0};
+  std::atomic<std::uint64_t> barrier_generation_{0};
+
+  std::vector<std::thread> workers_;  ///< nthreads_ - 1 entries
+};
+
+}  // namespace spmvopt::engine

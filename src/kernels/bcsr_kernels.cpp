@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "kernels/team_body.hpp"
+
 namespace spmvopt::kernels {
 
 namespace {
@@ -52,6 +54,24 @@ index_t fast_block_rows(const BcsrMatrix& A) noexcept {
 }
 
 }  // namespace
+
+void spmv_bcsr_block_rows(const BcsrMatrix& A, index_t blo, index_t bhi,
+                          const value_t* x, value_t* y) noexcept {
+  const index_t fast = std::min(fast_block_rows(A), bhi);
+  const index_t br = A.block_rows();
+  const index_t bc = A.block_cols();
+  index_t bi = blo;
+  if (br == 2 && bc == 2) {
+    for (; bi < fast; ++bi) block_row_fixed<2, 2>(A, bi, x, y);
+  } else if (br == 4 && bc == 4) {
+    for (; bi < fast; ++bi) block_row_fixed<4, 4>(A, bi, x, y);
+  } else if (br == 8 && bc == 8) {
+    for (; bi < fast; ++bi) block_row_fixed<8, 8>(A, bi, x, y);
+  } else {
+    for (; bi < fast; ++bi) block_row_generic(A, bi, x, y);
+  }
+  for (; bi < bhi; ++bi) block_row_generic(A, bi, x, y);
+}
 
 void spmv_bcsr(const BcsrMatrix& A, const value_t* x, value_t* y) noexcept {
   const index_t nbrows = A.num_block_rows();

@@ -1,0 +1,159 @@
+#include "kernels/registry.hpp"
+
+#include <memory>
+
+#include "kernels/bcsr_kernels.hpp"
+#include "kernels/sell_kernels.hpp"
+#include "kernels/spmv.hpp"
+#include "sparse/bcsr.hpp"
+#include "sparse/delta_csr.hpp"
+#include "sparse/sell.hpp"
+#include "sparse/split_csr.hpp"
+#include "sparse/sym_csr.hpp"
+#include "support/cpu_info.hpp"
+#include "support/partition.hpp"
+
+namespace spmvopt::kernels {
+
+namespace {
+
+RowPartition make_part(const CsrMatrix& a, int threads) {
+  return balanced_nnz_partition(a.rowptr(), a.nrows(), threads);
+}
+
+BoundSpmv bind_serial(const CsrMatrix& a, int) {
+  return [a = &a](const value_t* x, value_t* y) { spmv_serial(*a, x, y); };
+}
+
+BoundSpmv bind_omp_static(const CsrMatrix& a, int) {
+  return [a = &a](const value_t* x, value_t* y) { spmv_omp_static(*a, x, y); };
+}
+
+BoundSpmv bind_balanced(const CsrMatrix& a, int t) {
+  return [a = &a, part = make_part(a, t)](const value_t* x, value_t* y) {
+    spmv_balanced(*a, part, x, y);
+  };
+}
+
+BoundSpmv bind_omp_dynamic(const CsrMatrix& a, int) {
+  return [a = &a](const value_t* x, value_t* y) {
+    spmv_omp_dynamic(*a, x, y, 64);
+  };
+}
+
+BoundSpmv bind_omp_guided(const CsrMatrix& a, int) {
+  return [a = &a](const value_t* x, value_t* y) { spmv_omp_guided(*a, x, y); };
+}
+
+BoundSpmv bind_omp_auto(const CsrMatrix& a, int) {
+  return [a = &a](const value_t* x, value_t* y) { spmv_omp_auto(*a, x, y); };
+}
+
+BoundSpmv bind_prefetch(const CsrMatrix& a, int t) {
+  const auto pf = static_cast<index_t>(cpu_info().doubles_per_line());
+  return [a = &a, part = make_part(a, t), pf](const value_t* x, value_t* y) {
+    spmv_prefetch(*a, part, x, y, pf);
+  };
+}
+
+BoundSpmv bind_vector(const CsrMatrix& a, int t) {
+  return [a = &a, part = make_part(a, t)](const value_t* x, value_t* y) {
+    spmv_vector(*a, part, x, y);
+  };
+}
+
+BoundSpmv bind_unroll_vector(const CsrMatrix& a, int t) {
+  return [a = &a, part = make_part(a, t)](const value_t* x, value_t* y) {
+    spmv_unroll_vector(*a, part, x, y);
+  };
+}
+
+BoundSpmv bind_delta(const CsrMatrix& a, int t) {
+  auto d = DeltaCsrMatrix::encode(a);
+  if (!d) return {};
+  auto shared = std::make_shared<DeltaCsrMatrix>(std::move(*d));
+  return [shared, part = make_part(a, t)](const value_t* x, value_t* y) {
+    spmv_delta(*shared, part, x, y);
+  };
+}
+
+BoundSpmv bind_delta_vector(const CsrMatrix& a, int t) {
+  auto d = DeltaCsrMatrix::encode(a);
+  if (!d) return {};
+  auto shared = std::make_shared<DeltaCsrMatrix>(std::move(*d));
+  return [shared, part = make_part(a, t)](const value_t* x, value_t* y) {
+    spmv_delta_vector(*shared, part, x, y);
+  };
+}
+
+BoundSpmv bind_split(const CsrMatrix& a, int t) {
+  auto s = std::make_shared<SplitCsrMatrix>(
+      SplitCsrMatrix::split(a, SplitCsrMatrix::default_threshold(a)));
+  RowPartition part = balanced_nnz_partition(s->short_part().rowptr(),
+                                             s->short_part().nrows(), t);
+  return [s, part = std::move(part)](const value_t* x, value_t* y) {
+    spmv_split(*s, part, x, y);
+  };
+}
+
+BoundSpmv bind_sym(const CsrMatrix& a, int t) {
+  if (a.nrows() != a.ncols() || !a.is_symmetric()) return {};
+  auto s = std::make_shared<SymCsrMatrix>(SymCsrMatrix::from_symmetric_csr(a));
+  return [s, t](const value_t* x, value_t* y) { spmv_sym(*s, x, y, t); };
+}
+
+BoundSpmv bind_sell(const CsrMatrix& a, int) {
+  const index_t c = sell_native_chunk();
+  auto s = std::make_shared<SellMatrix>(SellMatrix::from_csr(a, c, 32 * c));
+  return [s](const value_t* x, value_t* y) { spmv_sell(*s, x, y); };
+}
+
+BoundSpmv bind_bcsr(const CsrMatrix& a, int) {
+  auto [br, bc] = BcsrMatrix::choose_block_size(a);
+  if (br * bc <= 1) {
+    br = 2;  // blocking doesn't pay here, but the kernel is still correct
+    bc = 2;
+  }
+  auto b = std::make_shared<BcsrMatrix>(BcsrMatrix::from_csr(a, br, bc));
+  return [b](const value_t* x, value_t* y) { spmv_bcsr(*b, x, y); };
+}
+
+}  // namespace
+
+const std::vector<KernelVariant>& registry() {
+  static const std::vector<KernelVariant> table = {
+      {"serial", {}, false, &bind_serial},
+      {"omp_static", {}, false, &bind_omp_static},
+      {"balanced", {}, false, &bind_balanced},
+      {"omp_dynamic", {}, false, &bind_omp_dynamic},
+      {"omp_guided", {}, false, &bind_omp_guided},
+      {"omp_auto", {}, false, &bind_omp_auto},
+      {"prefetch", {}, false, &bind_prefetch},
+      {"vector", {}, false, &bind_vector},
+      {"unroll_vector", {}, false, &bind_unroll_vector},
+      {"delta", {.needs_delta = true}, false, &bind_delta},
+      {"delta_vector", {.needs_delta = true}, false, &bind_delta_vector},
+      {"split", {}, false, &bind_split},
+      {"sym", {.needs_symmetric = true}, false, &bind_sym},
+      {"sell", {}, true, &bind_sell},
+      {"bcsr", {}, true, &bind_bcsr},
+  };
+  return table;
+}
+
+const KernelVariant* find_kernel(std::string_view name) {
+  for (const KernelVariant& v : registry())
+    if (name == v.name) return &v;
+  return nullptr;
+}
+
+std::string kernel_names() {
+  std::string out;
+  for (const KernelVariant& v : registry()) {
+    if (!out.empty()) out += ", ";
+    out += v.name;
+  }
+  return out;
+}
+
+}  // namespace spmvopt::kernels

@@ -1,0 +1,58 @@
+// The single name → kernel table.
+//
+// Three places used to keep their own hand-rolled copies of "which string
+// names which SpMV variant": the CLI's --kernel flag, the bench drivers, and
+// the differential runner.  They all resolve through this registry now, so a
+// new kernel becomes benchable, verifiable and CLI-addressable by adding one
+// entry here.  Unknown-name errors should print kernel_names() so users see
+// the valid set.
+//
+// bind() does every conversion the variant needs (delta encoding, long-row
+// split, SELL/BCSR/symmetric packing, partitioning) ONCE and returns a
+// closure that only runs the kernel — callers can time the closure without
+// charging preprocessing.  The bound closure views `A` (and owns any
+// converted format), so `A` must outlive it.  Kernels that use OpenMP's
+// global thread count (omp_*) additionally expect the caller to have set it
+// (see verify::OmpThreadsGuard); the partitioned kernels bake `threads` in.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sparse/csr.hpp"
+#include "support/types.hpp"
+
+namespace spmvopt::kernels {
+
+/// What the matrix must satisfy for bind() to succeed.
+struct KernelRequirements {
+  bool needs_symmetric = false;  ///< square + symmetric pattern and values
+  bool needs_delta = false;      ///< in-row column gaps encodable in 16 bits
+};
+
+/// A named y = A*x variant bound to one matrix at one thread count.
+using BoundSpmv = std::function<void(const value_t* x, value_t* y)>;
+
+struct KernelVariant {
+  const char* name;
+  KernelRequirements req;
+  /// Extension formats (SELL-C-σ, BCSR) sit outside the paper's CSR pool;
+  /// sweeps that reproduce the paper exactly filter on this.
+  bool extension = false;
+  /// Bind to `A` for `threads`.  Returns an empty function when `req` is not
+  /// met by this matrix (caller skips the variant).
+  BoundSpmv (*bind)(const CsrMatrix& A, int threads);
+};
+
+/// The full table, fixed order, stable names.
+[[nodiscard]] const std::vector<KernelVariant>& registry();
+
+/// Lookup by name; nullptr when unknown.
+[[nodiscard]] const KernelVariant* find_kernel(std::string_view name);
+
+/// "serial, omp_static, ..." — for unknown-name error messages.
+[[nodiscard]] std::string kernel_names();
+
+}  // namespace spmvopt::kernels

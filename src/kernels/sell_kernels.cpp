@@ -2,6 +2,8 @@
 
 #include <immintrin.h>
 
+#include "kernels/team_body.hpp"
+
 namespace spmvopt::kernels {
 
 index_t sell_native_chunk() noexcept {
@@ -94,6 +96,15 @@ void sell_chunk_simd(const SellMatrix& A, index_t c, const value_t* x,
 #endif
 
 }  // namespace
+
+void spmv_sell_chunks(const SellMatrix& A, index_t clo, index_t chi,
+                      const value_t* x, value_t* y) noexcept {
+  if (A.chunk() == sell_native_chunk()) {
+    for (index_t c = clo; c < chi; ++c) sell_chunk_simd(A, c, x, y);
+  } else {
+    for (index_t c = clo; c < chi; ++c) sell_chunk_scalar(A, c, x, y);
+  }
+}
 
 void spmv_sell(const SellMatrix& A, const value_t* x, value_t* y) noexcept {
   const index_t nchunks = A.num_chunks();

@@ -3,6 +3,7 @@
 #include <omp.h>
 
 #include <algorithm>
+#include <stdexcept>
 
 namespace spmvopt::kernels {
 
@@ -91,6 +92,33 @@ void spmm_unfused(const CsrMatrix& A, const RowPartition& part,
     }
   }
   (void)n;
+}
+
+namespace {
+
+void check_spmm_sizes(const CsrMatrix& A, std::span<const value_t> X,
+                      std::span<value_t> Y, index_t k) {
+  if (k < 1 ||
+      X.size() != static_cast<std::size_t>(A.ncols()) *
+                      static_cast<std::size_t>(k) ||
+      Y.size() != static_cast<std::size_t>(A.nrows()) *
+                      static_cast<std::size_t>(k))
+    throw std::invalid_argument("spmm: block size mismatch");
+}
+
+}  // namespace
+
+void spmm(const CsrMatrix& A, const RowPartition& part,
+          std::span<const value_t> X, std::span<value_t> Y, index_t k) {
+  check_spmm_sizes(A, X, Y, k);
+  spmm(A, part, X.data(), Y.data(), k);
+}
+
+void spmm_unfused(const CsrMatrix& A, const RowPartition& part,
+                  std::span<const value_t> X, std::span<value_t> Y,
+                  index_t k) {
+  check_spmm_sizes(A, X, Y, k);
+  spmm_unfused(A, part, X.data(), Y.data(), k);
 }
 
 }  // namespace spmvopt::kernels

@@ -8,6 +8,8 @@
 // (not the format) can change.
 #pragma once
 
+#include <span>
+
 #include "sparse/csr.hpp"
 #include "support/partition.hpp"
 
@@ -15,12 +17,21 @@ namespace spmvopt::kernels {
 
 /// Y = A * X.  X is row-major n_cols x k (x_j of rhs r at X[j*k + r]);
 /// Y is row-major n_rows x k.  k >= 1.  Parallel over the row partition.
+/// Hot path: unchecked, noexcept (DESIGN.md §8 run convention).
 void spmm(const CsrMatrix& A, const RowPartition& part, const value_t* X,
           value_t* Y, index_t k) noexcept;
+
+/// Checked overload (X.size() == ncols*k, Y.size() == nrows*k).
+void spmm(const CsrMatrix& A, const RowPartition& part,
+          std::span<const value_t> X, std::span<value_t> Y, index_t k);
 
 /// Convenience: k separate SpMV calls (the unfused reference the fused
 /// kernel is validated and benchmarked against).
 void spmm_unfused(const CsrMatrix& A, const RowPartition& part,
                   const value_t* X, value_t* Y, index_t k) noexcept;
+
+/// Checked overload of spmm_unfused.
+void spmm_unfused(const CsrMatrix& A, const RowPartition& part,
+                  std::span<const value_t> X, std::span<value_t> Y, index_t k);
 
 }  // namespace spmvopt::kernels

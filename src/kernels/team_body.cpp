@@ -1,0 +1,84 @@
+#include "kernels/team_body.hpp"
+
+namespace spmvopt::kernels {
+
+namespace {
+
+template <Compute C, bool PF>
+void csr_range_t(const index_t* rowptr, const index_t* colind,
+                 const value_t* vals, index_t lo, index_t hi, const value_t* x,
+                 value_t* y, index_t pf_dist) {
+  for (index_t i = lo; i < hi; ++i)
+    y[i] = row_sum<C, PF>(vals + rowptr[i], colind + rowptr[i],
+                          rowptr[i + 1] - rowptr[i], x, pf_dist);
+}
+
+template <Compute C, bool PF, class DeltaT>
+void delta_range_rows(const DeltaCsrMatrix& A, const DeltaT* deltas,
+                      index_t lo, index_t hi, const value_t* x, value_t* y,
+                      index_t pf_dist) {
+  const index_t* rowptr = A.rowptr();
+  const index_t* bases = A.bases();
+  const value_t* vals = A.values();
+  for (index_t i = lo; i < hi; ++i)
+    y[i] = row_sum_delta<C, PF>(vals + rowptr[i], deltas + rowptr[i], bases[i],
+                                rowptr[i + 1] - rowptr[i], x, pf_dist);
+}
+
+template <Compute C, bool PF>
+void delta_range_t(const DeltaCsrMatrix& A, index_t lo, index_t hi,
+                   const value_t* x, value_t* y, index_t pf_dist) {
+  if (A.width() == DeltaWidth::U8)
+    delta_range_rows<C, PF>(A, A.deltas8(), lo, hi, x, y, pf_dist);
+  else
+    delta_range_rows<C, PF>(A, A.deltas16(), lo, hi, x, y, pf_dist);
+}
+
+template <class Fn, template <Compute, bool> class KernelT>
+Fn select_range(Compute compute, bool prefetch) {
+  if (prefetch) {
+    switch (compute) {
+      case Compute::Scalar: return KernelT<Compute::Scalar, true>::fn;
+      case Compute::Vector: return KernelT<Compute::Vector, true>::fn;
+      case Compute::UnrollVector:
+        return KernelT<Compute::UnrollVector, true>::fn;
+    }
+  } else {
+    switch (compute) {
+      case Compute::Scalar: return KernelT<Compute::Scalar, false>::fn;
+      case Compute::Vector: return KernelT<Compute::Vector, false>::fn;
+      case Compute::UnrollVector:
+        return KernelT<Compute::UnrollVector, false>::fn;
+    }
+  }
+  return KernelT<Compute::Scalar, false>::fn;
+}
+
+template <Compute C, bool PF>
+struct CsrRange {
+  static constexpr CsrRangeFn fn = &csr_range_t<C, PF>;
+};
+
+template <Compute C, bool PF>
+struct DeltaRange {
+  static constexpr DeltaRangeFn fn = &delta_range_t<C, PF>;
+};
+
+}  // namespace
+
+CsrRangeFn select_csr_range(Compute compute, bool prefetch) {
+  return select_range<CsrRangeFn, CsrRange>(compute, prefetch);
+}
+
+DeltaRangeFn select_delta_range(Compute compute, bool prefetch) {
+  return select_range<DeltaRangeFn, DeltaRange>(compute, prefetch);
+}
+
+value_t long_row_partial(const index_t* colind, const value_t* vals,
+                         index_t jlo, index_t jhi, const value_t* x) noexcept {
+  value_t sum = 0.0;
+  for (index_t j = jlo; j < jhi; ++j) sum += vals[j] * x[colind[j]];
+  return sum;
+}
+
+}  // namespace spmvopt::kernels

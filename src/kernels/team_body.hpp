@@ -1,0 +1,54 @@
+// Team-body SpMV entry points: row/chunk/block ranges callable from inside
+// an existing parallel region.
+//
+// The composed kernels (compose.hpp) open their own OpenMP team per call;
+// the execution engine (src/engine/) already owns a running team, so these
+// bodies take an explicit range and no scheduling pragma.  They reuse the
+// exact row_body.hpp instantiations the composed kernels run — a row's dot
+// product is bitwise identical whichever path computed it, which is what
+// lets the differential sweep compare engine and non-engine execution.
+//
+// The CSR body takes raw arrays, not a CsrMatrix: the engine-aware
+// OptimizedSpmv materializes NUMA-placed copies of rowptr/colind/vals and
+// runs on those without re-wrapping them.
+#pragma once
+
+#include "kernels/row_body.hpp"
+#include "sparse/bcsr.hpp"
+#include "sparse/delta_csr.hpp"
+#include "sparse/sell.hpp"
+#include "support/types.hpp"
+
+namespace spmvopt::kernels {
+
+/// y[i] = A[i,:] . x for rows [lo, hi) of a raw CSR.
+using CsrRangeFn = void (*)(const index_t* rowptr, const index_t* colind,
+                            const value_t* vals, index_t lo, index_t hi,
+                            const value_t* x, value_t* y, index_t pf_dist);
+
+/// The (compute, prefetch) instantiation matching select_csr_kernel's.
+[[nodiscard]] CsrRangeFn select_csr_range(Compute compute, bool prefetch);
+
+/// Rows [lo, hi) of a delta-compressed matrix (width dispatched inside).
+using DeltaRangeFn = void (*)(const DeltaCsrMatrix& A, index_t lo, index_t hi,
+                              const value_t* x, value_t* y, index_t pf_dist);
+
+[[nodiscard]] DeltaRangeFn select_delta_range(Compute compute, bool prefetch);
+
+/// SELL-C-σ chunks [clo, chi); picks the SIMD path per spmv_sell's rule.
+void spmv_sell_chunks(const SellMatrix& A, index_t clo, index_t chi,
+                      const value_t* x, value_t* y) noexcept;
+
+/// BCSR block rows [blo, bhi), fast/edge dispatch per spmv_bcsr's rule.
+void spmv_bcsr_block_rows(const BcsrMatrix& A, index_t blo, index_t bhi,
+                          const value_t* x, value_t* y) noexcept;
+
+/// Partial dot product over one long row's nonzeros [jlo, jhi) — phase 2 of
+/// the decomposed kernel; the engine sums the per-thread partials after a
+/// team barrier.
+[[nodiscard]] value_t long_row_partial(const index_t* colind,
+                                       const value_t* vals, index_t jlo,
+                                       index_t jhi,
+                                       const value_t* x) noexcept;
+
+}  // namespace spmvopt::kernels

@@ -1,5 +1,6 @@
 #include "optimize/optimized_spmv.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "kernels/bcsr_kernels.hpp"
@@ -7,6 +8,7 @@
 #include "robust/fault_inject.hpp"
 #include "support/cpu_info.hpp"
 #include "support/timing.hpp"
+#include "support/topology.hpp"
 
 namespace spmvopt::optimize {
 
@@ -125,7 +127,147 @@ OptimizedSpmv OptimizedSpmv::create(const CsrMatrix& A, const Plan& plan,
   return o;
 }
 
+OptimizedSpmv OptimizedSpmv::create(const CsrMatrix& A, const Plan& plan,
+                                    engine::ExecutionEngine& eng) {
+  OptimizedSpmv o = create(A, plan, eng.nthreads());
+  Timer timer;
+  o.engine_ = &eng;
+
+  if (o.csr_ != nullptr) {
+    // NUMA-aware materialization: each partition's rowptr/colind/vals slices
+    // are copied by the team member that will read them, so (under Linux
+    // first-touch) every page lands on that member's node.
+    const index_t n = o.nrows_;
+    const index_t* src_rp = A.rowptr();
+    const index_t* src_ci = A.colind();
+    const value_t* src_va = A.values();
+    o.own_rowptr_ = numa_vector<index_t>(static_cast<std::size_t>(n) + 1);
+    o.own_colind_ = numa_vector<index_t>(static_cast<std::size_t>(A.nnz()));
+    o.own_vals_ = numa_vector<value_t>(static_cast<std::size_t>(A.nnz()));
+    index_t* dst_rp = o.own_rowptr_.data();
+    index_t* dst_ci = o.own_colind_.data();
+    value_t* dst_va = o.own_vals_.data();
+    const RowPartition& part = o.part_;
+    eng.parallel([&](int tid, int nt) {
+      for (int p = tid; p < part.nthreads(); p += nt) {
+        const index_t lo = part.bounds[p];
+        const index_t hi = part.bounds[p + 1];
+        const bool last = p == part.nthreads() - 1;
+        first_touch_copy(dst_rp + lo, src_rp + lo,
+                         static_cast<std::size_t>(hi - lo) + (last ? 1u : 0u));
+        const index_t j0 = src_rp[lo];
+        const std::size_t jn = static_cast<std::size_t>(src_rp[hi] - j0);
+        first_touch_copy(dst_ci + j0, src_ci + j0, jn);
+        first_touch_copy(dst_va + j0, src_va + j0, jn);
+      }
+    });
+    o.rp_ = dst_rp;
+    o.ci_ = dst_ci;
+    o.va_ = dst_va;
+    o.csr_range_fn_ =
+        kernels::select_csr_range(o.plan_.compute, o.plan_.prefetch);
+  } else if (o.split_) {
+    const CsrMatrix& s = o.split_->short_part();
+    o.rp_ = s.rowptr();
+    o.ci_ = s.colind();
+    o.va_ = s.values();
+    o.csr_range_fn_ =
+        kernels::select_csr_range(o.plan_.compute, o.plan_.prefetch);
+    o.partials_.assign(static_cast<std::size_t>(eng.nthreads()), 0.0);
+  } else if (o.delta_) {
+    o.delta_range_fn_ =
+        kernels::select_delta_range(o.plan_.compute, o.plan_.prefetch);
+  } else if (o.sell_) {
+    o.ext_part_ = balanced_nnz_partition(o.sell_->chunk_ptr(),
+                                         o.sell_->num_chunks(), eng.nthreads());
+  } else if (o.bcsr_) {
+    o.ext_part_ = balanced_nnz_partition(
+        o.bcsr_->blockptr(), o.bcsr_->num_block_rows(), eng.nthreads());
+  }
+
+  if ((o.rp_ != nullptr || o.delta_) &&
+      o.plan_.sched != kernels::Sched::BalancedStatic)
+    o.cursor_ = std::make_shared<std::atomic<index_t>>(0);
+
+  o.pre_sec_ += timer.elapsed_sec();
+  return o;
+}
+
+void OptimizedSpmv::engine_body(int tid, int nt, const value_t* x,
+                                value_t* y) const noexcept {
+  if (bcsr_) {
+    kernels::spmv_bcsr_block_rows(*bcsr_, ext_part_.bounds[tid],
+                                  ext_part_.bounds[tid + 1], x, y);
+    return;
+  }
+  if (sell_) {
+    kernels::spmv_sell_chunks(*sell_, ext_part_.bounds[tid],
+                              ext_part_.bounds[tid + 1], x, y);
+    return;
+  }
+
+  // Phase 1: CSR / delta / split-short rows.  Row results are bitwise
+  // identical to the composed kernels' regardless of which member computes
+  // which row (full-row dot products), so scheduling here is free to differ.
+  if (plan_.sched == kernels::Sched::BalancedStatic) {
+    const index_t lo = part_.bounds[tid];
+    const index_t hi = part_.bounds[tid + 1];
+    if (delta_)
+      delta_range_fn_(*delta_, lo, hi, x, y, pf_dist_);
+    else
+      csr_range_fn_(rp_, ci_, va_, lo, hi, x, y, pf_dist_);
+  } else {
+    const index_t n = nrows_;
+    const index_t chunk =
+        plan_.sched == kernels::Sched::Dynamic
+            ? std::max<index_t>(1, static_cast<index_t>(plan_.dynamic_chunk))
+            : std::max<index_t>(64, n / (static_cast<index_t>(nt) * 16));
+    std::atomic<index_t>& cur = *cursor_;
+    for (;;) {
+      const index_t lo = cur.fetch_add(chunk, std::memory_order_relaxed);
+      if (lo >= n) break;
+      const index_t hi = std::min<index_t>(n, lo + chunk);
+      if (delta_)
+        delta_range_fn_(*delta_, lo, hi, x, y, pf_dist_);
+      else
+        csr_range_fn_(rp_, ci_, va_, lo, hi, x, y, pf_dist_);
+    }
+  }
+  if (!split_) return;
+
+  // Phase 2: every long row computed by the whole team; tid 0 reduces the
+  // per-member partials.  Only the reduction order differs from the
+  // fork/join kernel — absorbed by the ULP oracle's bound arm.
+  const index_t L = split_->num_long_rows();
+  const index_t* lrows = split_->long_rows();
+  const index_t* lrowptr = split_->long_rowptr();
+  const index_t* lcolind = split_->long_colind();
+  const value_t* lvals = split_->long_values();
+  value_t* partials = partials_.data();
+  for (index_t k = 0; k < L; ++k) {
+    const index_t lo = lrowptr[k];
+    const index_t hi = lrowptr[k + 1];
+    const index_t per = (hi - lo + nt - 1) / nt;
+    const index_t jlo = std::min<index_t>(hi, lo + tid * per);
+    const index_t jhi = std::min<index_t>(hi, jlo + per);
+    partials[tid] = kernels::long_row_partial(lcolind, lvals, jlo, jhi, x);
+    engine_->team_barrier();
+    if (tid == 0) {
+      value_t sum = 0.0;
+      for (int t = 0; t < nt; ++t) sum += partials[t];
+      y[lrows[k]] = sum;
+    }
+    engine_->team_barrier();
+  }
+}
+
 void OptimizedSpmv::run(const value_t* x, value_t* y) const noexcept {
+  if (engine_ != nullptr) {
+    if (cursor_) cursor_->store(0, std::memory_order_relaxed);
+    engine_->parallel(
+        [this, x, y](int tid, int nt) { engine_body(tid, nt, x, y); });
+    return;
+  }
   if (bcsr_) {
     kernels::spmv_bcsr(*bcsr_, x, y);
   } else if (sell_) {
@@ -146,6 +288,58 @@ void OptimizedSpmv::run(std::span<const value_t> x,
       y.size() != static_cast<std::size_t>(nrows_))
     throw std::invalid_argument("OptimizedSpmv::run: vector size mismatch");
   run(x.data(), y.data());
+}
+
+void OptimizedSpmv::run_many(const value_t* X, value_t* Y,
+                             int nrhs) const noexcept {
+  if (nrhs <= 0) return;
+  if (engine_ == nullptr) {
+    for (int r = 0; r < nrhs; ++r)
+      run(X + static_cast<std::size_t>(r) * ncols_,
+          Y + static_cast<std::size_t>(r) * nrows_);
+    return;
+  }
+  // One dispatch for the whole batch: the team stays resident across the
+  // sweep, paying the wake/notify round trip once instead of nrhs times.
+  if (cursor_) cursor_->store(0, std::memory_order_relaxed);
+  engine_->parallel([this, X, Y, nrhs](int tid, int nt) {
+    for (int r = 0; r < nrhs; ++r) {
+      engine_body(tid, nt, X + static_cast<std::size_t>(r) * ncols_,
+                  Y + static_cast<std::size_t>(r) * nrows_);
+      if (cursor_ && r + 1 < nrhs) {
+        // The shared cursor must be drained by all members and re-armed
+        // before the next item starts pulling chunks.
+        engine_->team_barrier();
+        if (tid == 0) cursor_->store(0, std::memory_order_relaxed);
+        engine_->team_barrier();
+      }
+    }
+  });
+}
+
+void OptimizedSpmv::run_many(std::span<const value_t> X, std::span<value_t> Y,
+                             int nrhs) const {
+  if (nrhs < 0 ||
+      X.size() != static_cast<std::size_t>(ncols_) *
+                      static_cast<std::size_t>(nrhs) ||
+      Y.size() != static_cast<std::size_t>(nrows_) *
+                      static_cast<std::size_t>(nrhs))
+    throw std::invalid_argument(
+        "OptimizedSpmv::run_many: batch size mismatch");
+  run_many(X.data(), Y.data(), nrhs);
+}
+
+PlacementStats OptimizedSpmv::placement() const {
+  PlacementStats s;
+  s.engine_bound = engine_ != nullptr;
+  s.numa_materialized = !own_vals_.empty();
+  s.team_size = engine_ != nullptr ? engine_->nthreads() : nthreads();
+  s.numa_nodes = topology().num_nodes();
+  if (engine_ != nullptr) s.pinned_cpus = engine_->pinned_cpus();
+  s.materialized_bytes = own_rowptr_.size() * sizeof(index_t) +
+                         own_colind_.size() * sizeof(index_t) +
+                         own_vals_.size() * sizeof(value_t);
+  return s;
 }
 
 std::size_t OptimizedSpmv::format_bytes() const noexcept {

@@ -11,17 +11,32 @@
 // format (delta, split) own their converted data.
 #pragma once
 
+#include <atomic>
+#include <memory>
 #include <span>
 
+#include "engine/execution_engine.hpp"
+#include "kernels/team_body.hpp"
 #include "optimize/plan.hpp"
 #include "robust/degradation.hpp"
 #include "sparse/delta_csr.hpp"
 #include "sparse/sell.hpp"
 #include "sparse/bcsr.hpp"
 #include "sparse/split_csr.hpp"
+#include "support/numa_alloc.hpp"
 #include "support/partition.hpp"
 
 namespace spmvopt::optimize {
+
+/// Where the bound matrix's pages live and who runs it (DESIGN.md §8).
+struct PlacementStats {
+  bool engine_bound = false;
+  bool numa_materialized = false;  ///< CSR slices first-touched by their owner
+  int team_size = 1;
+  int numa_nodes = 1;  ///< nodes the topology probe saw
+  std::vector<int> pinned_cpus;
+  std::size_t materialized_bytes = 0;
+};
 
 class OptimizedSpmv {
  public:
@@ -39,11 +54,34 @@ class OptimizedSpmv {
   static OptimizedSpmv create(const CsrMatrix& A, const Plan& plan,
                               int nthreads = 0);
 
+  /// Engine binding: preprocess for `eng`'s team size, then attach the
+  /// persistent team.  run()/run_many() execute as team bodies inside the
+  /// engine's parallel region (no per-call OpenMP fork/join), and for
+  /// plain-CSR plans the matrix arrays are copied into NUMA-placed storage:
+  /// each partition's rowptr/colind/vals slices are first-touched by the
+  /// team member that will read them (DESIGN.md §8).  The engine must
+  /// outlive the returned object; with owned copies the engine CSR path no
+  /// longer reads `A` after create(), but other formats keep the usual
+  /// lifetime contract.
+  static OptimizedSpmv create(const CsrMatrix& A, const Plan& plan,
+                              engine::ExecutionEngine& eng);
+
   /// y = A * x.  Hot path: unchecked, noexcept.
   void run(const value_t* x, value_t* y) const noexcept;
 
   /// Checked overload.
   void run(std::span<const value_t> x, std::span<value_t> y) const;
+
+  /// Batched multi-RHS entry: Y[r] = A * X[r] for r in [0, nrhs), X packed
+  /// as nrhs vectors of length ncols(), Y as nrhs vectors of length nrows().
+  /// Engine-bound instances amortize one team dispatch across the whole
+  /// batch (the iterative-solver sweep case, §IV-D); unbound instances loop
+  /// run().
+  void run_many(const value_t* X, value_t* Y, int nrhs) const noexcept;
+
+  /// Checked overload (X.size() == nrhs*ncols(), Y.size() == nrhs*nrows()).
+  void run_many(std::span<const value_t> X, std::span<value_t> Y,
+                int nrhs) const;
 
   [[nodiscard]] const Plan& plan() const noexcept { return plan_; }
   [[nodiscard]] const robust::DegradationLog& degradation() const noexcept {
@@ -54,11 +92,25 @@ class OptimizedSpmv {
   [[nodiscard]] index_t ncols() const noexcept { return ncols_; }
   [[nodiscard]] int nthreads() const noexcept { return part_.nthreads(); }
 
+  /// Engine this instance is bound to; null when created without one.
+  [[nodiscard]] engine::ExecutionEngine* engine() const noexcept {
+    return engine_;
+  }
+  /// Row partition the kernels run over (also the ownership map for
+  /// engine::ExecutionEngine::touched_vector operand placement).
+  [[nodiscard]] const RowPartition& partition() const noexcept { return part_; }
+  [[nodiscard]] PlacementStats placement() const;
+
   /// Bytes of the matrix representation actually used at run time
   /// (after compression / decomposition).
   [[nodiscard]] std::size_t format_bytes() const noexcept;
 
  private:
+  /// One team member's share of one matvec; called from inside the engine's
+  /// parallel region (split plans use team barriers for phase 2).
+  void engine_body(int tid, int nt, const value_t* x,
+                   value_t* y) const noexcept;
+
   Plan plan_;
   robust::DegradationLog degradation_;
   const CsrMatrix* csr_ = nullptr;  ///< view; null when a converted format owns
@@ -73,6 +125,24 @@ class OptimizedSpmv {
   double pre_sec_ = 0.0;
   index_t nrows_ = 0;
   index_t ncols_ = 0;
+
+  // --- engine binding (all null/empty when created without an engine) ---
+  engine::ExecutionEngine* engine_ = nullptr;
+  kernels::CsrRangeFn csr_range_fn_ = nullptr;
+  kernels::DeltaRangeFn delta_range_fn_ = nullptr;
+  /// Raw CSR arrays the engine path reads: the NUMA-materialized copies for
+  /// plain CSR, the short part's arrays for split plans.
+  const index_t* rp_ = nullptr;
+  const index_t* ci_ = nullptr;
+  const value_t* va_ = nullptr;
+  numa_vector<index_t> own_rowptr_;
+  numa_vector<index_t> own_colind_;
+  numa_vector<value_t> own_vals_;
+  RowPartition ext_part_;  ///< chunk (SELL) / block-row (BCSR) partition
+  /// Work-stealing cursor for Auto/Dynamic plans inside the team (shared so
+  /// the bound object stays copyable; reset before each dispatch).
+  std::shared_ptr<std::atomic<index_t>> cursor_;
+  mutable aligned_vector<value_t> partials_;  ///< split phase-2 scratch
 };
 
 }  // namespace spmvopt::optimize

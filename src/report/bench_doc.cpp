@@ -59,6 +59,7 @@ Json document_to_json(const BenchDocument& doc) {
     cell.set("variant", r.variant);
     cell.set("plan", r.plan);
     cell.set("threads", r.threads);
+    cell.set("engine", r.engine);
     cell.set("nrows", r.nrows);
     cell.set("ncols", r.ncols);
     cell.set("nnz", r.nnz);
@@ -123,6 +124,12 @@ Expected<BenchResult> result_from_json(const Json& j, std::size_t index) {
   if (!get_string(j, "variant", &r.variant)) return bad("variant");
   if (!get_string(j, "plan", &r.plan)) return bad("plan");
   if (!get_number(j, "threads", &r.threads)) return bad("threads");
+  // Pre-engine documents lack the key (defaults to false); a present key
+  // must still be a boolean.
+  if (const Json* e = j.find("engine")) {
+    if (!e->is_bool()) return bad("engine");
+    r.engine = e->as_bool();
+  }
   if (!get_number(j, "nrows", &r.nrows)) return bad("nrows");
   if (!get_number(j, "ncols", &r.ncols)) return bad("ncols");
   if (!get_number(j, "nnz", &r.nnz)) return bad("nnz");

@@ -40,6 +40,10 @@ struct BenchResult {
   std::string variant;  ///< requested variant key ("baseline", "pf+vec", ...)
   std::string plan;     ///< what actually ran (after degradation), or "serial"
   int threads = 1;
+  /// Executed on a persistent-team ExecutionEngine (vs per-call fork/join).
+  /// Serialized always; absent in pre-engine documents, parsed as false, so
+  /// the schema version is unchanged.
+  bool engine = false;
   std::int64_t nrows = 0;
   std::int64_t ncols = 0;
   std::int64_t nnz = 0;

@@ -1,9 +1,11 @@
 #include "report/runner.hpp"
 
 #include <algorithm>
+#include <memory>
 #include <stdexcept>
 
 #include "classify/feature_classifier.hpp"
+#include "engine/execution_engine.hpp"
 #include "gen/suite.hpp"
 #include "kernels/spmv.hpp"
 #include "optimize/optimized_spmv.hpp"
@@ -83,6 +85,16 @@ BenchDocument BenchRunner::run() const {
                                         config_.thread_counts.front());
 
   const VariantPool pool = variant_pool(config_.kind);
+
+  // One persistent team per thread count, shared by the whole sweep — this
+  // is the usage pattern the engine exists for (team spawn and pinning paid
+  // once, not per cell).
+  std::vector<std::unique_ptr<engine::ExecutionEngine>> engines;
+  if (config_.use_engine)
+    for (int threads : config_.thread_counts)
+      engines.push_back(std::make_unique<engine::ExecutionEngine>(
+          engine::EngineConfig{.nthreads = threads, .pin = config_.pin}));
+
   const auto suite = config_.suite == "smoke"
                          ? gen::test_suite()
                          : gen::evaluation_suite(config_.scale);
@@ -114,12 +126,17 @@ BenchDocument BenchRunner::run() const {
     }
 
     for (const optimize::Plan& plan : pool.plans) {
-      for (int threads : config_.thread_counts) {
-        const auto spmv = optimize::OptimizedSpmv::create(a, plan, threads);
+      for (std::size_t ti = 0; ti < config_.thread_counts.size(); ++ti) {
+        const int threads = config_.thread_counts[ti];
+        const auto spmv =
+            config_.use_engine
+                ? optimize::OptimizedSpmv::create(a, plan, *engines[ti])
+                : optimize::OptimizedSpmv::create(a, plan, threads);
         BenchResult cell = proto;
         cell.variant = plan.to_string();
         cell.plan = spmv.plan().to_string();
         cell.threads = threads;
+        cell.engine = config_.use_engine;
         const auto samples = perf::measure_gflops_samples(
             a,
             [&spmv](const value_t* x, value_t* y) { spmv.run(x, y); },

@@ -24,6 +24,7 @@
 
 #include "perf/measure.hpp"
 #include "report/bench_doc.hpp"
+#include "support/topology.hpp"
 
 namespace spmvopt::report {
 
@@ -31,6 +32,12 @@ struct RunnerConfig {
   std::string suite = "smoke";  ///< "smoke" (gen::test_suite) | "full"
   std::string kind = "kernels"; ///< "kernels" | "plans"
   std::vector<int> thread_counts;  ///< empty -> {default_threads()}
+  /// Execute plan variants on a persistent-team ExecutionEngine (one team
+  /// per thread count, reused across every matrix and plan of the sweep)
+  /// instead of per-call OpenMP fork/join.  Cells are tagged engine=true.
+  bool use_engine = false;
+  /// Team pin policy when use_engine is set (None leaves the OS to place).
+  PinPolicy pin = PinPolicy::None;
   perf::MeasureConfig measure = perf::MeasureConfig::from_env();
   double scale = 0.0;          ///< suite scale for "full"; <=0 -> suite_scale()
   double confidence = 0.95;    ///< CI level attached to every cell

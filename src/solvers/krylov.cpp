@@ -40,7 +40,9 @@ SolveResult cg(const LinearOperator& A, std::span<const value_t> b,
   SolveResult result;
   for (int it = 0; it < opt.max_iterations; ++it) {
     result.iterations = it + 1;
-    A.apply(p, Ap);
+    // Sizes were validated once at entry; the inner loop takes the raw
+    // noexcept path (one engine dispatch per matvec when A is engine-bound).
+    A.apply(p.data(), Ap.data());
     const double pAp = dot(p, Ap);
     if (pAp <= 0.0) break;  // not SPD (or breakdown)
     const double alpha = rr / pAp;
@@ -81,7 +83,7 @@ SolveResult bicgstab(const LinearOperator& A, std::span<const value_t> b,
   for (int it = 0; it < opt.max_iterations; ++it) {
     result.iterations = it + 1;
     if (rho == 0.0) break;
-    A.apply(p, v);
+    A.apply(p.data(), v.data());
     const double alpha_den = dot(r0, v);
     if (alpha_den == 0.0) break;
     const double alpha = rho / alpha_den;
@@ -93,7 +95,7 @@ SolveResult bicgstab(const LinearOperator& A, std::span<const value_t> b,
       result.residual_norm = snorm / bnorm;
       return result;
     }
-    A.apply(s, t);
+    A.apply(s.data(), t.data());
     const double tt = dot(t, t);
     if (tt == 0.0) break;
     const double omega = dot(t, s) / tt;

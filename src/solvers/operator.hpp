@@ -15,17 +15,25 @@ class LinearOperator {
  public:
   using ApplyFn = std::function<void(const value_t*, value_t*)>;
 
+  /// The callable must not throw — the raw apply() below is the noexcept
+  /// hot path of the DESIGN.md §8 run convention.
   LinearOperator(index_t nrows, index_t ncols, ApplyFn apply);
 
   /// Views `A` (caller keeps it alive).
   static LinearOperator from_csr(const CsrMatrix& A);
-  /// Views `spmv` (caller keeps it alive).
+  /// Views `spmv` (caller keeps it alive).  When `spmv` is engine-bound,
+  /// every solver matvec runs on the persistent team — this is how CG /
+  /// BiCGSTAB sweeps route through the engine.
   static LinearOperator from_optimized(const optimize::OptimizedSpmv& spmv);
 
   [[nodiscard]] index_t nrows() const noexcept { return nrows_; }
   [[nodiscard]] index_t ncols() const noexcept { return ncols_; }
 
-  /// y = A * x (checked sizes).
+  /// y = A * x.  Hot path: unchecked, noexcept (solver inner loops validate
+  /// sizes once at entry, not per iteration).
+  void apply(const value_t* x, value_t* y) const noexcept { apply_(x, y); }
+
+  /// Checked overload.
   void apply(std::span<const value_t> x, std::span<value_t> y) const;
 
  private:

@@ -1,0 +1,73 @@
+// NUMA-aware storage on top of the aligned allocator.
+//
+// Linux places a page on the node of the core that *first touches* it, not
+// the core that called malloc.  aligned_vector<T>(n) value-initializes every
+// element on the allocating thread, which pins the whole array to that
+// thread's node — exactly wrong for a partitioned SpMV.  numa_vector is the
+// same kAlign-aligned storage but with default-initialization: for the
+// trivial element types the kernels use (index_t, value_t) sizing the vector
+// touches no pages, so the engine's team can first-touch each partition's
+// slice on the thread that will own it (DESIGN.md §8).
+#pragma once
+
+#include <cstring>
+#include <utility>
+
+#include "support/aligned.hpp"
+
+namespace spmvopt {
+
+/// AlignedAllocator whose no-argument construct() default-initializes.
+/// For trivially-default-constructible T that compiles to nothing — the
+/// pages stay untouched until the first real write.
+template <class T>
+struct FirstTouchAllocator : AlignedAllocator<T> {
+  using value_type = T;
+
+  FirstTouchAllocator() noexcept = default;
+  template <class U>
+  FirstTouchAllocator(const FirstTouchAllocator<U>&) noexcept {}
+
+  template <class U>
+  struct rebind {
+    using other = FirstTouchAllocator<U>;
+  };
+
+  template <class U>
+  void construct(U* p) noexcept(noexcept(::new (static_cast<void*>(p)) U)) {
+    ::new (static_cast<void*>(p)) U;  // default-init: no-op for trivial U
+  }
+  template <class U, class... Args>
+  void construct(U* p, Args&&... args) {
+    ::new (static_cast<void*>(p)) U(std::forward<Args>(args)...);
+  }
+
+  template <class U>
+  bool operator==(const FirstTouchAllocator<U>&) const noexcept {
+    return true;
+  }
+  template <class U>
+  bool operator!=(const FirstTouchAllocator<U>&) const noexcept {
+    return false;
+  }
+};
+
+/// kAlign-aligned vector whose elements stay uninitialized (and its pages
+/// untouched) after resize(n), ready for placement by first touch.
+template <class T>
+using numa_vector = std::vector<T, FirstTouchAllocator<T>>;
+
+/// Copy `[src, src+count)` into `dst` — the engine team calls this with each
+/// thread's slice so the destination pages land on the caller's node.
+template <class T>
+inline void first_touch_copy(T* dst, const T* src, std::size_t count) noexcept {
+  if (count > 0) std::memcpy(dst, src, count * sizeof(T));
+}
+
+/// Zero `[dst, dst+count)`, same placement contract as first_touch_copy.
+template <class T>
+inline void first_touch_zero(T* dst, std::size_t count) noexcept {
+  if (count > 0) std::memset(dst, 0, count * sizeof(T));
+}
+
+}  // namespace spmvopt

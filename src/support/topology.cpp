@@ -1,0 +1,152 @@
+#include "support/topology.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "support/cpu_info.hpp"
+
+namespace spmvopt {
+
+namespace {
+
+/// First line of a sysfs file, stripped of the trailing newline; nullopt
+/// when the file is missing or unreadable.
+std::optional<std::string> read_line(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::string line;
+  if (!std::getline(in, line)) return std::nullopt;
+  while (!line.empty() && (line.back() == '\r' || line.back() == '\n'))
+    line.pop_back();
+  return line;
+}
+
+Topology fallback_topology() {
+  Topology t;
+  t.logical_cpus = std::max(1, cpu_info().logical_cpus);
+  NumaNode node;
+  node.id = 0;
+  node.cpus.resize(static_cast<std::size_t>(t.logical_cpus));
+  for (int c = 0; c < t.logical_cpus; ++c)
+    node.cpus[static_cast<std::size_t>(c)] = c;
+  t.nodes.push_back(std::move(node));
+  t.from_sysfs = false;
+  return t;
+}
+
+}  // namespace
+
+std::optional<std::vector<int>> parse_cpulist(std::string_view text) {
+  std::vector<int> cpus;
+  std::size_t pos = 0;
+  const auto parse_int = [&](int* out) -> bool {
+    std::size_t start = pos;
+    while (pos < text.size() && std::isdigit(static_cast<unsigned char>(text[pos])))
+      ++pos;
+    if (pos == start || pos - start > 7) return false;
+    int v = 0;
+    for (std::size_t i = start; i < pos; ++i) v = v * 10 + (text[i] - '0');
+    *out = v;
+    return true;
+  };
+  if (text.empty()) return std::nullopt;
+  while (pos < text.size()) {
+    int lo = 0;
+    if (!parse_int(&lo)) return std::nullopt;
+    int hi = lo;
+    if (pos < text.size() && text[pos] == '-') {
+      ++pos;
+      if (!parse_int(&hi) || hi < lo) return std::nullopt;
+    }
+    if (hi - lo >= 1 << 16) return std::nullopt;  // implausible; reject
+    for (int c = lo; c <= hi; ++c) cpus.push_back(c);
+    if (pos < text.size()) {
+      if (text[pos] != ',') return std::nullopt;
+      ++pos;
+      if (pos == text.size()) return std::nullopt;  // trailing comma
+    }
+  }
+  std::sort(cpus.begin(), cpus.end());
+  cpus.erase(std::unique(cpus.begin(), cpus.end()), cpus.end());
+  return cpus;
+}
+
+Topology probe_topology(const std::string& sysfs_root) {
+  const std::string node_dir = sysfs_root + "/devices/system/node";
+  const auto online = read_line(node_dir + "/online");
+  if (!online) return fallback_topology();
+  const auto node_ids = parse_cpulist(*online);
+  if (!node_ids || node_ids->empty()) return fallback_topology();
+
+  Topology t;
+  t.logical_cpus = 0;
+  for (int id : *node_ids) {
+    const auto cpulist =
+        read_line(node_dir + "/node" + std::to_string(id) + "/cpulist");
+    if (!cpulist) return fallback_topology();
+    auto cpus = parse_cpulist(*cpulist);
+    // Memory-only nodes (CXL expanders) legitimately list no CPUs; skip them
+    // rather than failing the probe.
+    if (!cpus) return fallback_topology();
+    if (cpus->empty()) continue;
+    NumaNode node;
+    node.id = id;
+    node.cpus = std::move(*cpus);
+    t.logical_cpus += static_cast<int>(node.cpus.size());
+    t.nodes.push_back(std::move(node));
+  }
+  if (t.nodes.empty() || t.logical_cpus <= 0) return fallback_topology();
+  t.from_sysfs = true;
+  return t;
+}
+
+const Topology& topology() {
+  static const Topology t = probe_topology();
+  return t;
+}
+
+const char* pin_policy_name(PinPolicy p) noexcept {
+  switch (p) {
+    case PinPolicy::None: return "none";
+    case PinPolicy::Compact: return "compact";
+    case PinPolicy::Scatter: return "scatter";
+  }
+  return "?";
+}
+
+std::optional<PinPolicy> parse_pin_policy(std::string_view name) {
+  if (name == "none") return PinPolicy::None;
+  if (name == "compact") return PinPolicy::Compact;
+  if (name == "scatter") return PinPolicy::Scatter;
+  return std::nullopt;
+}
+
+std::vector<int> pin_cpus(const Topology& topo, PinPolicy policy,
+                          int nthreads) {
+  std::vector<int> out;
+  if (policy == PinPolicy::None || nthreads <= 0 || topo.nodes.empty())
+    return out;
+  out.reserve(static_cast<std::size_t>(nthreads));
+  if (policy == PinPolicy::Compact) {
+    // Concatenate node CPU lists, wrap when the team is larger.
+    std::vector<int> flat;
+    for (const NumaNode& n : topo.nodes)
+      flat.insert(flat.end(), n.cpus.begin(), n.cpus.end());
+    for (int t = 0; t < nthreads; ++t)
+      out.push_back(flat[static_cast<std::size_t>(t) % flat.size()]);
+  } else {
+    // Scatter: thread t goes to node t % nodes, next unused CPU there.
+    std::vector<std::size_t> next(topo.nodes.size(), 0);
+    for (int t = 0; t < nthreads; ++t) {
+      const auto n = static_cast<std::size_t>(t) % topo.nodes.size();
+      const NumaNode& node = topo.nodes[n];
+      out.push_back(node.cpus[next[n] % node.cpus.size()]);
+      ++next[n];
+    }
+  }
+  return out;
+}
+
+}  // namespace spmvopt

@@ -1,0 +1,62 @@
+// Package / NUMA-node topology of the host, probed from sysfs.
+//
+// On multi-socket machines realized memory bandwidth — the paper's dominant
+// MB bottleneck — depends on where data lands and which core touches it.
+// The execution engine (src/engine/) pins its persistent team according to
+// this probe and first-touches each partition's arrays on the owning thread.
+// Containers and non-Linux hosts often expose no usable sysfs; the probe
+// then degrades to a single synthetic node spanning every logical CPU, so
+// every caller can rely on at least one node with at least one CPU.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace spmvopt {
+
+struct NumaNode {
+  int id = 0;
+  std::vector<int> cpus;  ///< logical CPU ids on this node, ascending
+};
+
+struct Topology {
+  std::vector<NumaNode> nodes;  ///< never empty; fallback: one node, all CPUs
+  int logical_cpus = 1;
+  bool from_sysfs = false;  ///< false when the portable fallback was used
+
+  [[nodiscard]] int num_nodes() const noexcept {
+    return static_cast<int>(nodes.size());
+  }
+};
+
+/// Probe node/CPU structure under `sysfs_root` (tests point this at a fake
+/// tree; production uses "/sys").  Any missing or malformed file degrades to
+/// the single-node fallback — the probe never throws.
+[[nodiscard]] Topology probe_topology(const std::string& sysfs_root = "/sys");
+
+/// The host topology, probed once and cached (thread-safe after first use).
+[[nodiscard]] const Topology& topology();
+
+/// Parse a sysfs cpulist ("0-3,8,10-11") into CPU ids; nullopt on junk.
+[[nodiscard]] std::optional<std::vector<int>> parse_cpulist(
+    std::string_view text);
+
+/// Thread-placement policy for the engine's pinned team.
+enum class PinPolicy {
+  None,     ///< no affinity calls at all
+  Compact,  ///< fill node 0's CPUs first, then node 1, ... (bandwidth per
+            ///< socket concentrates, cache sharing maximizes)
+  Scatter,  ///< round-robin across nodes (aggregate bandwidth maximizes)
+};
+
+[[nodiscard]] const char* pin_policy_name(PinPolicy p) noexcept;
+[[nodiscard]] std::optional<PinPolicy> parse_pin_policy(std::string_view name);
+
+/// CPU id for each of team members 0..nthreads-1 under `policy`.  More
+/// threads than CPUs wrap around.  Empty when policy is None.
+[[nodiscard]] std::vector<int> pin_cpus(const Topology& topo, PinPolicy policy,
+                                        int nthreads);
+
+}  // namespace spmvopt

@@ -6,8 +6,10 @@
 #include <limits>
 #include <sstream>
 
+#include "engine/execution_engine.hpp"
 #include "gen/generators.hpp"
 #include "kernels/bcsr_kernels.hpp"
+#include "kernels/registry.hpp"
 #include "kernels/sell_kernels.hpp"
 #include "kernels/spmv.hpp"
 #include "optimize/optimized_spmv.hpp"
@@ -84,73 +86,33 @@ std::string tag(const char* name, int threads) {
 void run_named_kernels(Runner& r, int t) {
   const CsrMatrix& A = r.A_;
   const value_t* x = r.x_.data();
-  std::vector<value_t> y = poisoned(A.nrows());
   const RowPartition part = balanced_nnz_partition(A.rowptr(), A.nrows(), t);
   OmpThreadsGuard guard(t);
 
-  kernels::spmv_serial(A, x, y.data());
-  r.expect(tag("serial", t), y);
-
-  y = poisoned(A.nrows());
-  kernels::spmv_omp_static(A, x, y.data());
-  r.expect(tag("omp_static", t), y);
-
-  y = poisoned(A.nrows());
-  kernels::spmv_balanced(A, part, x, y.data());
-  r.expect(tag("balanced", t), y);
-
-  for (int chunk : {1, 64}) {
-    y = poisoned(A.nrows());
-    kernels::spmv_omp_dynamic(A, x, y.data(), chunk);
-    r.expect(tag(("omp_dynamic." + std::to_string(chunk)).c_str(), t), y);
+  // Every variant of the shared name→kernel table (the same table the CLI's
+  // --kernel flag and the bench drivers resolve).  bind() declining means
+  // the matrix can't satisfy the variant's requirements — not a failure.
+  for (const auto& v : kernels::registry()) {
+    if (v.extension && !r.config_.include_extensions) continue;
+    const kernels::BoundSpmv bound = v.bind(A, t);
+    if (!bound) continue;
+    std::vector<value_t> yk = poisoned(A.nrows());
+    bound(x, yk.data());
+    r.expect(tag(v.name, t), yk);
   }
 
-  y = poisoned(A.nrows());
-  kernels::spmv_omp_guided(A, x, y.data());
-  r.expect(tag("omp_guided", t), y);
+  // Parameter sweeps beyond each variant's registry default.
+  std::vector<value_t> y = poisoned(A.nrows());
+  kernels::spmv_omp_dynamic(A, x, y.data(), 1);
+  r.expect(tag("omp_dynamic.1", t), y);
 
-  y = poisoned(A.nrows());
-  kernels::spmv_omp_auto(A, x, y.data());
-  r.expect(tag("omp_auto", t), y);
-
-  const auto pf_dist = static_cast<index_t>(cpu_info().doubles_per_line());
-  y = poisoned(A.nrows());
-  kernels::spmv_prefetch(A, part, x, y.data(), pf_dist);
-  r.expect(tag("prefetch", t), y);
-
-  y = poisoned(A.nrows());
-  kernels::spmv_vector(A, part, x, y.data());
-  r.expect(tag("vector", t), y);
-
-  y = poisoned(A.nrows());
-  kernels::spmv_unroll_vector(A, part, x, y.data());
-  r.expect(tag("unroll_vector", t), y);
-
-  if (const auto delta = DeltaCsrMatrix::encode(A)) {
-    y = poisoned(A.nrows());
-    kernels::spmv_delta(*delta, part, x, y.data());
-    r.expect(tag("delta", t), y);
-
-    y = poisoned(A.nrows());
-    kernels::spmv_delta_vector(*delta, part, x, y.data());
-    r.expect(tag("delta_vector", t), y);
-  }
-
-  for (index_t threshold : {index_t{2}, index_t{16},
-                            SplitCsrMatrix::default_threshold(A)}) {
+  for (index_t threshold : {index_t{2}, index_t{16}}) {
     const SplitCsrMatrix split = SplitCsrMatrix::split(A, threshold);
     const RowPartition short_part = balanced_nnz_partition(
         split.short_part().rowptr(), split.short_part().nrows(), t);
     y = poisoned(A.nrows());
     kernels::spmv_split(split, short_part, x, y.data());
     r.expect(tag(("split." + std::to_string(threshold)).c_str(), t), y);
-  }
-
-  if (A.nrows() == A.ncols() && A.is_symmetric()) {
-    const SymCsrMatrix sym = SymCsrMatrix::from_symmetric_csr(A);
-    y = poisoned(A.nrows());
-    kernels::spmv_sym(sym, x, y.data(), t);
-    r.expect(tag("sym", t), y);
   }
 
   // noindex computes y = R*x for the regular-access copy R of A (every
@@ -235,6 +197,43 @@ void run_plan_space(Runner& r, int t) {
   }
 }
 
+/// The same plan space, executed as team bodies on a persistent engine team
+/// (one engine per thread count; unpinned so the sweep works in restricted
+/// containers).  Also exercises the batched run_many entry: every vector of
+/// the batch must match the oracle.
+void run_engine_plans(Runner& r, int t) {
+  const CsrMatrix& A = r.A_;
+  engine::ExecutionEngine eng({.nthreads = t, .pin = PinPolicy::None});
+  for (const auto& plan :
+       optimize::enumerate_plans(A, r.config_.include_extensions)) {
+    const auto spmv = optimize::OptimizedSpmv::create(A, plan, eng);
+    for (int round = 0; round < 2; ++round) {
+      std::vector<value_t> y = poisoned(A.nrows());
+      spmv.run(r.x_.data(), y.data());
+      std::ostringstream os;
+      os << "engine-plan[" << plan.to_string() << "]/t=" << t << "/run"
+         << round;
+      r.expect(os.str(), y);
+    }
+
+    constexpr int kBatch = 3;
+    std::vector<value_t> xs;
+    for (int b = 0; b < kBatch; ++b)
+      xs.insert(xs.end(), r.x_.begin(), r.x_.end());
+    std::vector<value_t> ys(static_cast<std::size_t>(A.nrows()) * kBatch,
+                            std::numeric_limits<value_t>::quiet_NaN());
+    spmv.run_many(xs.data(), ys.data(), kBatch);
+    for (int b = 0; b < kBatch; ++b) {
+      std::ostringstream os;
+      os << "engine-batch[" << plan.to_string() << "]/t=" << t << "/rhs" << b;
+      r.expect(os.str(),
+               std::span<const value_t>(
+                   ys.data() + static_cast<std::size_t>(b) * A.nrows(),
+                   static_cast<std::size_t>(A.nrows())));
+    }
+  }
+}
+
 }  // namespace
 
 std::vector<int> default_thread_counts() {
@@ -254,6 +253,7 @@ std::vector<DiffFailure> run_differential(const CsrMatrix& A,
     run_named_kernels(r, t);
     if (config.include_extensions) run_extension_kernels(r, t);
     run_plan_space(r, t);
+    if (config.include_engine) run_engine_plans(r, t);
   }
   return std::move(r.failures);
 }

@@ -11,6 +11,9 @@
 //   * the SELL-C-σ and BCSR extension kernels over several shape parameters;
 //   * the full optimizer plan space (optimize::enumerate_plans), which covers
 //     all composed schedule x prefetch x compute x format instantiations;
+//   * the same plan space executed through a persistent-team ExecutionEngine
+//     (engine-bound OptimizedSpmv, including a batched run_many pass) — the
+//     team-body code paths must match the fork/join kernels;
 //
 // each at thread counts {1, 2, hardware max}, comparing against the
 // compensated-summation oracle with the ULP-aware policy of oracle.hpp.
@@ -38,6 +41,10 @@ struct DiffConfig {
   UlpPolicy policy;
   /// Include the SELL/BCSR whole-format extension plans.
   bool include_extensions = true;
+  /// Additionally execute every plan through a persistent-team
+  /// ExecutionEngine (one per thread count, unpinned) and compare against
+  /// the same oracle — the engine path must be as correct as fork/join.
+  bool include_engine = true;
   /// Input vector; empty means gen::test_vector(A.ncols()).
   std::vector<value_t> x;
 };

@@ -30,18 +30,12 @@
 #include <string>
 #include <vector>
 
-#include "classify/feature_classifier.hpp"
-#include "classify/profile_classifier.hpp"
+#include "spmvopt/spmvopt.hpp"
+
+// Internal (non-umbrella) helpers: raw feature extraction for `inspect`,
+// error taxonomy for exit codes, table/timing utilities for output.
 #include "features/features.hpp"
-#include "gen/generators.hpp"
-#include "gen/suite.hpp"
-#include "optimize/optimizers.hpp"
-#include "report/bench_doc.hpp"
-#include "report/compare.hpp"
-#include "report/runner.hpp"
 #include "robust/error.hpp"
-#include "sparse/binary_io.hpp"
-#include "sparse/mmio.hpp"
 #include "support/cpu_info.hpp"
 #include "support/table.hpp"
 #include "support/timing.hpp"
@@ -204,9 +198,40 @@ int cmd_optimize(const std::string& spec, const std::string& model_path) {
   return 0;
 }
 
-int cmd_bench(const std::string& spec) {
+struct BenchMatrixOptions {
+  std::string kernel;  ///< registry name; empty means the plan sweep
+  bool use_engine = false;
+  PinPolicy pin = PinPolicy::None;
+};
+
+int cmd_bench(const std::string& spec, const BenchMatrixOptions& opt) {
   const CsrMatrix a = load_matrix(spec);
   const auto m = cli_measure();
+
+  if (!opt.kernel.empty()) {
+    // One named kernel from the shared registry.
+    const kernels::KernelVariant* v = kernels::find_kernel(opt.kernel);
+    if (v == nullptr)
+      throw UsageError("unknown kernel '" + opt.kernel +
+                       "' (valid: " + kernels::kernel_names() + ")");
+    const kernels::BoundSpmv bound = v->bind(a, default_threads());
+    if (!bound)
+      throw SpmvException(Error(
+          ErrorCategory::Format,
+          "matrix does not satisfy the requirements of kernel '" +
+              opt.kernel + "'"));
+    const double gflops = perf::measure_gflops(
+        a, [&bound](const value_t* x, value_t* y) { bound(x, y); }, m);
+    std::printf("%s: kernel %s, %.2f Gflop/s\n", spec.c_str(),
+                opt.kernel.c_str(), gflops);
+    return 0;
+  }
+
+  std::unique_ptr<engine::ExecutionEngine> eng;
+  if (opt.use_engine)
+    eng = std::make_unique<engine::ExecutionEngine>(
+        engine::EngineConfig{.pin = opt.pin});
+
   struct Row {
     std::string plan;
     double gflops;
@@ -214,7 +239,8 @@ int cmd_bench(const std::string& spec) {
   };
   std::vector<Row> rows;
   for (const auto& plan : optimize::enumerate_plans(a)) {
-    const auto spmv = optimize::OptimizedSpmv::create(a, plan);
+    const auto spmv = eng ? optimize::OptimizedSpmv::create(a, plan, *eng)
+                          : optimize::OptimizedSpmv::create(a, plan);
     rows.push_back({spmv.plan().to_string(),
                     optimize::measure_spmv_gflops(spmv, a, m),
                     spmv.preprocessing_seconds() * 1e3});
@@ -225,6 +251,10 @@ int cmd_bench(const std::string& spec) {
   for (const Row& r : rows)
     t.add_row({r.plan, Table::num(r.gflops, 2), Table::num(r.pre_ms, 2)});
   t.print(std::cout);
+  if (eng)
+    std::printf("engine: %d thread(s), pin=%s, %llu dispatches\n",
+                eng->nthreads(), pin_policy_name(eng->pin_policy()),
+                static_cast<unsigned long long>(eng->dispatch_count()));
   return 0;
 }
 
@@ -266,6 +296,12 @@ int cmd_bench_suite(const std::vector<std::string>& args) {
     else if (a == "--kind") cfg.kind = next("--kind");
     else if (a == "--threads") cfg.thread_counts = parse_thread_list(next("--threads"));
     else if (a == "--out") out_path = next("--out");
+    else if (a == "--engine") cfg.use_engine = true;
+    else if (a.rfind("--pin=", 0) == 0) {
+      const auto p = parse_pin_policy(a.substr(6));
+      if (!p) throw UsageError("--pin expects compact|scatter|none");
+      cfg.pin = *p;
+    }
     else
       throw UsageError("unknown bench flag '" + a + "'");
   }
@@ -354,9 +390,11 @@ int usage() {
                "  spmvopt_cli generate <family> <out> [n]\n"
                "  spmvopt_cli train    <model-out> [pool-size]\n"
                "  spmvopt_cli optimize <matrix> [model]\n"
-               "  spmvopt_cli bench    <matrix>\n"
+               "  spmvopt_cli bench    <matrix> [--kernel NAME] [--engine]\n"
+               "                       [--pin=compact|scatter]\n"
                "  spmvopt_cli bench    --suite smoke|full [--kind kernels|plans]\n"
                "                       [--threads N[,N...]] [--out FILE]\n"
+               "                       [--engine] [--pin=compact|scatter]\n"
                "  spmvopt_cli compare  <old.json> <new.json> [--threshold F]\n"
                "                       [--advisory]\n"
                "<matrix>: *.mtx | *.csrbin | suite:NAME\n");
@@ -393,7 +431,23 @@ int main(int argc, char** argv) {
       // orchestrated suite sweep.
       if (argv[2][0] == '-')
         return cmd_bench_suite({argv + 2, argv + argc});
-      if (argc == 3) return cmd_bench(argv[2]);
+      BenchMatrixOptions opt;
+      for (int i = 3; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a == "--kernel") {
+          if (i + 1 >= argc) throw UsageError("--kernel requires a name");
+          opt.kernel = argv[++i];
+        } else if (a == "--engine") {
+          opt.use_engine = true;
+        } else if (a.rfind("--pin=", 0) == 0) {
+          const auto p = parse_pin_policy(a.substr(6));
+          if (!p) throw UsageError("--pin expects compact|scatter|none");
+          opt.pin = *p;
+        } else {
+          throw UsageError("unknown bench flag '" + a + "'");
+        }
+      }
+      return cmd_bench(argv[2], opt);
     }
     if (cmd == "compare" && argc >= 4)
       return cmd_compare({argv + 2, argv + argc});
