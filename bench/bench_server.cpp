@@ -1,0 +1,156 @@
+// spmvoptd service-level benchmark: the Table V amortization argument,
+// measured end to end through the socket.
+//
+//   * cold submit  — first sight of a matrix: socket round trip + feature
+//     extraction + classification + conversion (the full pipeline);
+//   * hot submit   — the same matrix again: round trip + a cache lookup.
+//     The cold/hot ratio is the amortization the server exists to deliver;
+//   * run latency + requests/sec — steady-state y = A*x job throughput for
+//     one client, round trip included.
+//
+// Emits a JSON document (stdout, or --out FILE) so CI can record a smoke
+// baseline (bench/baselines/BENCH_server_smoke.json) and eyeball drift.
+//
+//   bench_server [--runs N] [--matrix-side G] [--out FILE]
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "gen/generators.hpp"
+#include "report/json.hpp"
+#include "server/client.hpp"
+#include "server/server.hpp"
+#include "support/cpu_info.hpp"
+#include "support/timing.hpp"
+
+namespace {
+
+using namespace spmvopt;
+
+double median(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  return v.empty() ? 0.0 : v[v.size() / 2];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int runs = 200;
+  int side = 48;  // 48^2 = 2304-row 5-point stencil: small, cache-resident
+  std::string out_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires a value\n", a.c_str());
+        std::exit(64);
+      }
+      return argv[++i];
+    };
+    if (a == "--runs") runs = std::atoi(next());
+    else if (a == "--matrix-side") side = std::atoi(next());
+    else if (a == "--out") out_path = next();
+    else {
+      std::fprintf(stderr,
+                   "usage: bench_server [--runs N] [--matrix-side G] "
+                   "[--out FILE]\n");
+      return 64;
+    }
+  }
+
+  const std::string socket_path =
+      "/tmp/bench_spmvoptd_" + std::to_string(::getpid()) + ".sock";
+  server::ServerConfig cfg;
+  server::SpmvServer core(cfg);
+  server::SocketServer sock(core, socket_path);
+  if (auto s = sock.start(); !s.ok()) {
+    std::fprintf(stderr, "bench_server: %s\n", s.error().to_string().c_str());
+    return 66;
+  }
+  auto client = server::Client::connect(socket_path);
+  if (!client.ok()) {
+    std::fprintf(stderr, "bench_server: %s\n",
+                 client.error().to_string().c_str());
+    return 66;
+  }
+  server::Client& c = client.value();
+
+  const CsrMatrix a = gen::stencil_2d_5pt(side, side);
+  const std::vector<value_t> x = gen::test_vector(a.ncols());
+
+  // Cold: the full pipeline runs server-side.  One shot by construction —
+  // the second sight of this matrix can never be cold again.
+  Timer t;
+  auto cold = c.submit(a);
+  const double cold_submit_sec = t.elapsed_sec();
+  if (!cold.ok()) {
+    std::fprintf(stderr, "bench_server: %s\n",
+                 cold.error().to_string().c_str());
+    return 70;
+  }
+
+  // Hot: repeat submits; take the median round trip.
+  std::vector<double> hot_secs;
+  for (int i = 0; i < 32; ++i) {
+    t.reset();
+    auto hot = c.submit(a);
+    hot_secs.push_back(t.elapsed_sec());
+    if (!hot.ok() || hot.value().state != server::CacheState::Hot) {
+      std::fprintf(stderr, "bench_server: expected a hot submit\n");
+      return 70;
+    }
+  }
+  const double hot_submit_sec = median(hot_secs);
+
+  // Steady-state run jobs: latency distribution + requests/sec.
+  std::vector<double> run_secs;
+  run_secs.reserve(static_cast<std::size_t>(runs));
+  t.reset();
+  for (int i = 0; i < runs; ++i) {
+    Timer rt;
+    auto y = c.run(cold.value().fp, x);
+    run_secs.push_back(rt.elapsed_sec());
+    if (!y.ok()) {
+      std::fprintf(stderr, "bench_server: %s\n",
+                   y.error().to_string().c_str());
+      return 70;
+    }
+  }
+  const double wall = t.elapsed_sec();
+
+  report::Json doc = report::Json::object();
+  doc.set("schema", "spmvopt-bench-server/v1")
+      .set("cpu_model", cpu_info().model_name)
+      .set("matrix_rows", a.nrows())
+      .set("matrix_nnz", a.nnz())
+      .set("plan", cold.value().plan)
+      .set("runs", runs)
+      .set("cold_submit_ms", cold_submit_sec * 1e3)
+      .set("server_preprocess_ms", cold.value().pre_seconds * 1e3)
+      .set("hot_submit_ms", hot_submit_sec * 1e3)
+      .set("cold_over_hot", cold_submit_sec / hot_submit_sec)
+      .set("run_median_ms", median(run_secs) * 1e3)
+      .set("requests_per_sec", runs / wall);
+
+  if (auto s = c.shutdown_server(); !s.ok())
+    std::fprintf(stderr, "bench_server: shutdown: %s\n",
+                 s.error().to_string().c_str());
+  sock.wait();
+  sock.stop();
+
+  const std::string text = doc.dump();
+  if (out_path.empty()) {
+    std::printf("%s\n", text.c_str());
+  } else {
+    std::ofstream out(out_path);
+    out << text << '\n';
+    std::fprintf(stderr, "bench_server: wrote %s\n", out_path.c_str());
+  }
+  return 0;
+}

@@ -64,3 +64,13 @@
 #include "report/runner.hpp"
 #include "report/compare.hpp"
 #include "verify/differential.hpp"
+
+// Matrix structural fingerprints (cache/server identity keys).
+#include "support/fingerprint.hpp"
+
+// The spmvoptd multi-tenant server: protocol, plan cache, server core +
+// socket transport, and the blocking client.
+#include "server/protocol.hpp"
+#include "server/plan_cache.hpp"
+#include "server/server.hpp"
+#include "server/client.hpp"

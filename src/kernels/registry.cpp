@@ -1,5 +1,6 @@
 #include "kernels/registry.hpp"
 
+#include <algorithm>
 #include <memory>
 
 #include "kernels/bcsr_kernels.hpp"
@@ -148,10 +149,17 @@ const KernelVariant* find_kernel(std::string_view name) {
 }
 
 std::string kernel_names() {
+  // Sorted, not registry order: this string lands in user-facing error
+  // messages (CLI usage errors, server error replies), which must be stable
+  // under registry reordering so clients and tests can match on them.
+  std::vector<std::string_view> names;
+  names.reserve(registry().size());
+  for (const KernelVariant& v : registry()) names.emplace_back(v.name);
+  std::sort(names.begin(), names.end());
   std::string out;
-  for (const KernelVariant& v : registry()) {
+  for (std::string_view n : names) {
     if (!out.empty()) out += ", ";
-    out += v.name;
+    out += n;
   }
   return out;
 }

@@ -38,6 +38,108 @@ std::string Plan::to_string() const {
   return s.empty() ? "baseline" : s;
 }
 
+namespace {
+
+const char* sched_token(Sched s) {
+  switch (s) {
+    case Sched::BalancedStatic: return "balanced";
+    case Sched::Auto: return "auto";
+    case Sched::Dynamic: return "dynamic";
+  }
+  return "balanced";
+}
+
+const char* compute_token(Compute c) {
+  switch (c) {
+    case Compute::Scalar: return "scalar";
+    case Compute::Vector: return "vector";
+    case Compute::UnrollVector: return "unrollvector";
+  }
+  return "scalar";
+}
+
+}  // namespace
+
+std::string serialize_plan(const Plan& plan) {
+  std::string s = "plan1";
+  s += " sched=";
+  s += sched_token(plan.sched);
+  s += " pf=";
+  s += plan.prefetch ? '1' : '0';
+  s += " compute=";
+  s += compute_token(plan.compute);
+  s += " delta=";
+  s += plan.delta ? '1' : '0';
+  s += " split=";
+  s += plan.split_long_rows ? '1' : '0';
+  s += " sell=";
+  s += plan.sell ? '1' : '0';
+  s += " bcsr=";
+  s += plan.bcsr ? '1' : '0';
+  s += " chunk=" + std::to_string(plan.dynamic_chunk);
+  return s;
+}
+
+std::optional<Plan> deserialize_plan(std::string_view text) {
+  // Token walk over "plan1 key=value ...": every key must be known and every
+  // value well-formed, so a corrupted or future-versioned file parses to
+  // nullopt rather than a half-filled plan.
+  const auto next_token = [&text]() -> std::optional<std::string_view> {
+    while (!text.empty() && text.front() == ' ') text.remove_prefix(1);
+    if (text.empty()) return std::nullopt;
+    const std::size_t end = std::min(text.find(' '), text.size());
+    std::string_view tok = text.substr(0, end);
+    text.remove_prefix(end);
+    return tok;
+  };
+  if (next_token() != std::string_view("plan1")) return std::nullopt;
+
+  Plan plan;
+  const auto parse_bool = [](std::string_view v, bool& out) {
+    if (v != "0" && v != "1") return false;
+    out = (v == "1");
+    return true;
+  };
+  while (auto tok = next_token()) {
+    const std::size_t eq = tok->find('=');
+    if (eq == std::string_view::npos) return std::nullopt;
+    const std::string_view k = tok->substr(0, eq);
+    const std::string_view v = tok->substr(eq + 1);
+    if (k == "sched") {
+      if (v == "balanced") plan.sched = Sched::BalancedStatic;
+      else if (v == "auto") plan.sched = Sched::Auto;
+      else if (v == "dynamic") plan.sched = Sched::Dynamic;
+      else return std::nullopt;
+    } else if (k == "compute") {
+      if (v == "scalar") plan.compute = Compute::Scalar;
+      else if (v == "vector") plan.compute = Compute::Vector;
+      else if (v == "unrollvector") plan.compute = Compute::UnrollVector;
+      else return std::nullopt;
+    } else if (k == "pf") {
+      if (!parse_bool(v, plan.prefetch)) return std::nullopt;
+    } else if (k == "delta") {
+      if (!parse_bool(v, plan.delta)) return std::nullopt;
+    } else if (k == "split") {
+      if (!parse_bool(v, plan.split_long_rows)) return std::nullopt;
+    } else if (k == "sell") {
+      if (!parse_bool(v, plan.sell)) return std::nullopt;
+    } else if (k == "bcsr") {
+      if (!parse_bool(v, plan.bcsr)) return std::nullopt;
+    } else if (k == "chunk") {
+      int chunk = 0;
+      for (char c : v) {
+        if (c < '0' || c > '9' || chunk > 1'000'000) return std::nullopt;
+        chunk = chunk * 10 + (c - '0');
+      }
+      if (v.empty() || chunk <= 0) return std::nullopt;
+      plan.dynamic_chunk = chunk;
+    } else {
+      return std::nullopt;
+    }
+  }
+  return plan;
+}
+
 Plan plan_for_classes(ClassSet classes, const CsrMatrix& A) {
   Plan plan;
   if (classes.has(Bottleneck::MB)) {

@@ -10,7 +10,9 @@
 // Multiple detected classes merge into one plan (jointly applied).
 #pragma once
 
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "classify/classes.hpp"
@@ -46,6 +48,15 @@ struct Plan {
   /// "auto+pf+vec+delta"-style rendering; "baseline" for the default plan.
   [[nodiscard]] std::string to_string() const;
 };
+
+/// Round-trippable one-line serialization ("plan1 sched=auto pf=1 ..."),
+/// unlike to_string() which is a lossy display form (it drops dynamic_chunk).
+/// The server's persistent plan-cache tier (DESIGN.md §9) stores these.
+[[nodiscard]] std::string serialize_plan(const Plan& plan);
+
+/// Parse serialize_plan() output; nullopt on any malformed or unknown field
+/// (a stale cache file must degrade to a re-classification, not an error).
+[[nodiscard]] std::optional<Plan> deserialize_plan(std::string_view text);
 
 /// Table II: map a detected class set to a joint plan.  The IMB
 /// sub-selection (§III-E) needs the matrix: rows with nnz_max well above

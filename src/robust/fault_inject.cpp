@@ -23,6 +23,8 @@ constexpr const char* kPointNames[] = {
     "convert.sell",              // SELL-C-sigma conversion failure
     "convert.bcsr",              // BCSR conversion failure
     "classify.profile_overrun",  // profiling exceeds its wall-clock budget
+    "server.frame_truncate",     // protocol frame cut short mid-payload
+    "server.evict_during_run",   // plan-cache eviction races an executing job
 };
 constexpr std::size_t kPointCount = std::size(kPointNames);
 

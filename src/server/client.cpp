@@ -1,0 +1,159 @@
+#include "server/client.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace spmvopt::server {
+
+Expected<Client> Client::connect(const std::string& socket_path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof(addr.sun_path))
+    return Error(ErrorCategory::Io,
+                 "socket path too long for AF_UNIX: " + socket_path);
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0)
+    return Error(ErrorCategory::Io,
+                 std::string("socket(): ") + std::strerror(errno));
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const int err = errno;
+    ::close(fd);
+    return Error(ErrorCategory::Io, "connect(" + socket_path +
+                                        "): " + std::strerror(err) +
+                                        " (is spmvoptd running?)");
+  }
+  return Client(fd);
+}
+
+Client::Client(Client&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = std::exchange(other.fd_, -1);
+  }
+  return *this;
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Expected<Reply> Client::roundtrip(const Request& req) {
+  if (fd_ < 0) return Error(ErrorCategory::Io, "client is not connected");
+  if (Status s = write_frame(fd_, encode_request(req)); !s.ok())
+    return std::move(s).error().with_context("sending request to spmvoptd");
+  auto frame = read_frame(fd_);
+  if (!frame.ok())
+    return std::move(frame).error().with_context("reading spmvoptd reply");
+  if (!frame.value().has_value())
+    return Error(ErrorCategory::Io,
+                 "server closed the connection before replying");
+  auto reply = decode_reply(*frame.value());
+  if (!reply.ok())
+    return std::move(reply).error().with_context("decoding spmvoptd reply");
+  // A typed server-side failure travels back as the Error it was.
+  if (const auto* err = std::get_if<ErrorReply>(&reply.value()))
+    return Error(err->category, err->message);
+  return std::move(reply.value());
+}
+
+namespace {
+
+// The server replied with a well-formed frame of the wrong type — a protocol
+// bug, not a user error.
+Error unexpected_reply(const char* expected) {
+  return Error(ErrorCategory::Internal,
+               std::string("unexpected reply type (wanted ") + expected + ")");
+}
+
+}  // namespace
+
+Expected<SubmitReply> Client::submit(const CsrMatrix& A) {
+  auto reply = roundtrip(Request(SubmitRequest{A}));
+  if (!reply.ok()) return reply.error();
+  auto* ok = std::get_if<SubmitReply>(&reply.value());
+  if (!ok) return unexpected_reply("SubmitOk");
+  return std::move(*ok);
+}
+
+Expected<std::vector<value_t>> Client::run(const Fingerprint& fp,
+                                           std::span<const value_t> x) {
+  RunRequest req;
+  req.fp = fp;
+  req.x.assign(x.begin(), x.end());
+  auto reply = roundtrip(Request(std::move(req)));
+  if (!reply.ok()) return reply.error();
+  auto* ok = std::get_if<RunReply>(&reply.value());
+  if (!ok) return unexpected_reply("RunOk");
+  return std::move(ok->y);
+}
+
+Expected<std::vector<value_t>> Client::run_many(const Fingerprint& fp,
+                                                std::span<const value_t> X,
+                                                int nrhs) {
+  RunManyRequest req;
+  req.fp = fp;
+  req.nrhs = static_cast<std::int32_t>(nrhs);
+  req.X.assign(X.begin(), X.end());
+  auto reply = roundtrip(Request(std::move(req)));
+  if (!reply.ok()) return reply.error();
+  auto* ok = std::get_if<RunManyReply>(&reply.value());
+  if (!ok) return unexpected_reply("RunManyOk");
+  return std::move(ok->Y);
+}
+
+Expected<SolveReply> Client::solve(const Fingerprint& fp, SolveMethod method,
+                                   std::span<const value_t> b,
+                                   int max_iterations, double rel_tolerance) {
+  SolveRequest req;
+  req.fp = fp;
+  req.method = method;
+  req.max_iterations = static_cast<std::int32_t>(max_iterations);
+  req.rel_tolerance = rel_tolerance;
+  req.b.assign(b.begin(), b.end());
+  auto reply = roundtrip(Request(std::move(req)));
+  if (!reply.ok()) return reply.error();
+  auto* ok = std::get_if<SolveReply>(&reply.value());
+  if (!ok) return unexpected_reply("SolveOk");
+  return std::move(*ok);
+}
+
+Expected<std::string> Client::stats_json() {
+  auto reply = roundtrip(Request(StatsRequest{}));
+  if (!reply.ok()) return reply.error();
+  auto* ok = std::get_if<StatsReply>(&reply.value());
+  if (!ok) return unexpected_reply("StatsOk");
+  return std::move(ok->json);
+}
+
+Status Client::ping() {
+  auto reply = roundtrip(Request(PingRequest{}));
+  if (!reply.ok()) return reply.error();
+  const auto* pong = std::get_if<PongReply>(&reply.value());
+  if (!pong) return unexpected_reply("Pong");
+  if (pong->protocol_version != kProtocolVersion)
+    return Error(ErrorCategory::Format,
+                 "protocol version mismatch: server speaks v" +
+                     std::to_string(pong->protocol_version) + ", client v" +
+                     std::to_string(kProtocolVersion));
+  return Unit{};
+}
+
+Status Client::shutdown_server() {
+  auto reply = roundtrip(Request(ShutdownRequest{}));
+  if (!reply.ok()) return reply.error();
+  if (!std::holds_alternative<ShutdownReply>(reply.value()))
+    return unexpected_reply("ShutdownOk");
+  return Unit{};
+}
+
+}  // namespace spmvopt::server

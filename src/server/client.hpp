@@ -1,0 +1,68 @@
+// Blocking spmvoptd client: one Unix-domain-socket session, one outstanding
+// request at a time (the protocol itself allows pipelining — the stress
+// tests and bench drive raw frames for that).
+//
+// Every call returns Expected<>: a server-side ErrorReply surfaces as an
+// Error carrying the server's category and message, transport failures as
+// Io/Format errors, so callers branch on category, not message text.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "robust/error.hpp"
+#include "server/protocol.hpp"
+#include "sparse/csr.hpp"
+#include "support/fingerprint.hpp"
+
+namespace spmvopt::server {
+
+class Client {
+ public:
+  /// Connect to a listening spmvoptd socket.  Io when absent/refused.
+  [[nodiscard]] static Expected<Client> connect(const std::string& socket_path);
+
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  ~Client();
+
+  /// Upload a matrix; the reply carries the fingerprint to use for jobs,
+  /// the plan that will run, and which cache tier satisfied the submit.
+  [[nodiscard]] Expected<SubmitReply> submit(const CsrMatrix& A);
+
+  /// y = A x on the server, by fingerprint.
+  [[nodiscard]] Expected<std::vector<value_t>> run(const Fingerprint& fp,
+                                                   std::span<const value_t> x);
+
+  /// Batched multi-RHS SpMV (X is nrhs vectors of ncols, vector-major).
+  [[nodiscard]] Expected<std::vector<value_t>> run_many(
+      const Fingerprint& fp, std::span<const value_t> X, int nrhs);
+
+  [[nodiscard]] Expected<SolveReply> solve(const Fingerprint& fp,
+                                           SolveMethod method,
+                                           std::span<const value_t> b,
+                                           int max_iterations = 1000,
+                                           double rel_tolerance = 1e-8);
+
+  /// Server counters as a JSON document (see server::stats_to_json).
+  [[nodiscard]] Expected<std::string> stats_json();
+
+  /// Version handshake round trip.
+  [[nodiscard]] Status ping();
+
+  /// Ask the server to exit its serve loop (replies before stopping).
+  [[nodiscard]] Status shutdown_server();
+
+  [[nodiscard]] int fd() const noexcept { return fd_; }
+
+ private:
+  explicit Client(int fd) : fd_(fd) {}
+  [[nodiscard]] Expected<Reply> roundtrip(const Request& req);
+
+  int fd_ = -1;
+};
+
+}  // namespace spmvopt::server

@@ -1,0 +1,215 @@
+#include "server/plan_cache.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+#include <utility>
+
+#include "classify/feature_classifier.hpp"
+#include "sparse/binary_io.hpp"
+#include "support/timing.hpp"
+
+namespace spmvopt::server {
+
+namespace fs = std::filesystem;
+
+PlanCache::PlanCache(PlanCacheConfig cfg) : cfg_(std::move(cfg)) {
+  if (!cfg_.persist_dir.empty()) {
+    std::error_code ec;
+    fs::create_directories(cfg_.persist_dir, ec);
+    // A failed mkdir degrades to memory-only operation: persistence writes
+    // below are best-effort and will simply keep failing silently.
+  }
+}
+
+PlanCache::EntryPtr PlanCache::find(const Fingerprint& fp) {
+  std::lock_guard lock(mu_);
+  const auto it = entries_.find(fp);
+  if (it == entries_.end()) return nullptr;
+  lru_.splice(lru_.begin(), lru_, it->second);  // bump recency
+  ++stats_.hot_hits;
+  return *it->second;
+}
+
+std::optional<optimize::Plan> PlanCache::lookup_plan(const Fingerprint& fp) {
+  const std::string skey = fp.structure_key();
+  {
+    std::lock_guard lock(mu_);
+    const auto it = plan_memo_.find(skey);
+    if (it != plan_memo_.end()) return it->second;
+  }
+  if (cfg_.persist_dir.empty()) return std::nullopt;
+  std::ifstream in(fs::path(cfg_.persist_dir) / (skey + ".plan"));
+  if (!in) return std::nullopt;
+  std::string line;
+  std::getline(in, line);
+  auto plan = optimize::deserialize_plan(line);
+  if (plan) {
+    std::lock_guard lock(mu_);
+    plan_memo_.emplace(skey, *plan);
+  }
+  return plan;
+}
+
+void PlanCache::remember_plan(const Fingerprint& fp,
+                              const optimize::Plan& plan) {
+  const std::string skey = fp.structure_key();
+  {
+    std::lock_guard lock(mu_);
+    plan_memo_[skey] = plan;
+  }
+  if (cfg_.persist_dir.empty()) return;
+  // Best-effort: a lost plan file only costs a future re-classification.
+  std::ofstream out(fs::path(cfg_.persist_dir) / (skey + ".plan"));
+  if (out) out << optimize::serialize_plan(plan) << '\n';
+}
+
+void PlanCache::persist_matrix(const Fingerprint& fp, const CsrMatrix& matrix) {
+  if (cfg_.persist_dir.empty()) return;
+  const fs::path path = fs::path(cfg_.persist_dir) / (fp.key() + ".csrbin");
+  std::error_code ec;
+  if (fs::exists(path, ec)) return;
+  // Atomic tmp+rename write; failure is tolerable (the tier is a cache).
+  (void)write_csr_binary_file_checked(path.string(), matrix);
+}
+
+void PlanCache::evict_to_fit(std::size_t incoming_bytes) {
+  // Caller holds mu_.  Evict cold entries until the incoming entry fits.
+  while (!lru_.empty() &&
+         stats_.resident_bytes + incoming_bytes > cfg_.max_resident_bytes) {
+    const EntryPtr& victim = lru_.back();
+    stats_.resident_bytes -= victim->bytes;
+    entries_.erase(victim->fp);
+    lru_.pop_back();
+    ++stats_.evictions;
+    --stats_.entries;
+  }
+}
+
+Expected<PlanCache::EntryPtr> PlanCache::build_and_insert(
+    CsrMatrix matrix, const Fingerprint& fp, const optimize::Plan& plan,
+    CacheState origin, double classify_seconds) {
+  auto entry = std::make_shared<Entry>();
+  entry->fp = fp;
+  entry->matrix = std::move(matrix);
+  entry->plan = plan;
+  entry->origin = origin;
+  entry->classify_seconds = classify_seconds;
+
+  // Build AFTER the matrix reached its final address: OptimizedSpmv may hold
+  // a view of the CsrMatrix it was created from.
+  Timer t;
+  try {
+    entry->spmv = cfg_.engine
+                      ? optimize::OptimizedSpmv::create(entry->matrix, plan,
+                                                        *cfg_.engine)
+                      : optimize::OptimizedSpmv::create(entry->matrix, plan,
+                                                        cfg_.nthreads);
+  } catch (const std::bad_alloc&) {
+    return Error(ErrorCategory::Resource,
+                 "plan cache: out of memory converting matrix " + fp.key());
+  }
+  entry->convert_seconds = t.elapsed_sec();
+  entry->bytes = entry->matrix.format_bytes() + entry->spmv.format_bytes();
+
+  if (entry->bytes > cfg_.max_resident_bytes)
+    return Error(ErrorCategory::Resource,
+                 "plan cache: matrix needs " + std::to_string(entry->bytes) +
+                     " resident bytes, over the " +
+                     std::to_string(cfg_.max_resident_bytes) + "-byte budget");
+
+  std::lock_guard lock(mu_);
+  evict_to_fit(entry->bytes);
+  lru_.push_front(entry);
+  entries_[fp] = lru_.begin();
+  stats_.resident_bytes += entry->bytes;
+  ++stats_.entries;
+  return EntryPtr(entry);
+}
+
+Expected<PlanCache::EntryPtr> PlanCache::admit(CsrMatrix matrix,
+                                               bool degrade_to_baseline) {
+  const Fingerprint fp = fingerprint_of(matrix);
+  if (EntryPtr hit = find(fp)) return hit;
+
+  persist_matrix(fp, matrix);
+
+  // Overload shedding: skip the classification stage entirely and run the
+  // always-valid baseline-CSR plan (the degradation ladder's bottom rung).
+  if (degrade_to_baseline)
+    return build_and_insert(std::move(matrix), fp, optimize::Plan{},
+                            CacheState::Miss, 0.0);
+
+  if (auto plan = lookup_plan(fp)) {
+    {
+      std::lock_guard lock(mu_);
+      ++stats_.warm_hits;
+    }
+    return build_and_insert(std::move(matrix), fp, *plan, CacheState::Warm,
+                            0.0);
+  }
+
+  Timer t;
+  const auto classes = classify::heuristic_feature_classes(matrix);
+  const optimize::Plan plan = optimize::plan_for_classes(classes, matrix);
+  const double classify_seconds = t.elapsed_sec();
+  remember_plan(fp, plan);
+  {
+    std::lock_guard lock(mu_);
+    ++stats_.misses;
+  }
+  return build_and_insert(std::move(matrix), fp, plan, CacheState::Miss,
+                          classify_seconds);
+}
+
+Expected<PlanCache::EntryPtr> PlanCache::reload(const Fingerprint& fp) {
+  if (EntryPtr hit = find(fp)) return hit;
+  if (cfg_.persist_dir.empty())
+    return Error(ErrorCategory::Format,
+                 "unknown matrix fingerprint " + fp.key() +
+                     " (not submitted, or evicted; re-submit the matrix)");
+
+  const fs::path path = fs::path(cfg_.persist_dir) / (fp.key() + ".csrbin");
+  auto m = read_csr_binary_file_checked(path.string());
+  if (!m.ok())
+    return Error(ErrorCategory::Format,
+                 "unknown matrix fingerprint " + fp.key() +
+                     " (no valid persistent image; re-submit the matrix)");
+  // The image is named by its fingerprint; verify the content still matches
+  // (a renamed or corrupted-but-checksum-valid file must not impersonate).
+  if (fingerprint_of(m.value()) != fp)
+    return Error(ErrorCategory::Format,
+                 "persistent image for " + fp.key() +
+                     " does not match its fingerprint; re-submit the matrix");
+
+  optimize::Plan plan;
+  if (auto remembered = lookup_plan(fp)) {
+    plan = *remembered;
+  } else {
+    const auto classes = classify::heuristic_feature_classes(m.value());
+    plan = optimize::plan_for_classes(classes, m.value());
+    remember_plan(fp, plan);
+  }
+  {
+    std::lock_guard lock(mu_);
+    ++stats_.persist_hits;
+  }
+  return build_and_insert(std::move(m.value()), fp, plan, CacheState::Persist,
+                          0.0);
+}
+
+void PlanCache::evict_all() {
+  std::lock_guard lock(mu_);
+  stats_.evictions += lru_.size();
+  stats_.entries = 0;
+  stats_.resident_bytes = 0;
+  entries_.clear();
+  lru_.clear();
+}
+
+PlanCacheStats PlanCache::stats() const {
+  std::lock_guard lock(mu_);
+  return stats_;
+}
+
+}  // namespace spmvopt::server

@@ -1,0 +1,135 @@
+// Fingerprint-keyed plan + optimized-matrix cache (DESIGN.md §9).
+//
+// The paper's Table V argues that feature extraction, classification and
+// format conversion are one-time costs amortized over repeated SpMV calls.
+// This cache is where the server turns that argument into mechanism, with
+// three tiers from most to least amortized:
+//
+//   hot      full-identity hit: the resident OptimizedSpmv is reused — no
+//            feature extraction, no classification, no conversion;
+//   warm     structure hit (same pattern, different values): the previously
+//            selected Plan is reused — classification is skipped, only the
+//            conversion re-runs on the new values;
+//   persist  the matrix was seen by an earlier server life (or evicted): its
+//            binary image and plan reload from disk through the checksummed
+//            binary cache — .mtx parsing and classification are skipped;
+//   miss     full pipeline: heuristic feature classification picks a plan,
+//            conversion builds the kernel.
+//
+// Resident entries are LRU-evicted under a byte budget.  Entries hand out
+// shared_ptr references, so an eviction (or evict_all) concurrent with an
+// executing job only drops the cache's reference — the job's matrix stays
+// alive until it finishes (the `server.evict_during_run` fault point
+// exercises exactly this).
+//
+// Thread safety: all mutating calls must come from one thread at a time (the
+// server serializes onto its executor); stats() is safe from anywhere.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "engine/execution_engine.hpp"
+#include "optimize/optimized_spmv.hpp"
+#include "robust/error.hpp"
+#include "server/protocol.hpp"
+#include "sparse/csr.hpp"
+#include "support/fingerprint.hpp"
+
+namespace spmvopt::server {
+
+struct PlanCacheConfig {
+  /// Ceiling on resident matrix + converted-format bytes; LRU beyond.
+  std::size_t max_resident_bytes = std::size_t{1} << 30;
+  /// Persistent tier directory ("<key>.csrbin" + "<structure_key>.plan");
+  /// empty disables the tier.  Created on first use.
+  std::string persist_dir;
+  /// Engine the cached kernels bind to; null builds unbound kernels.
+  engine::ExecutionEngine* engine = nullptr;
+  /// Thread count for unbound kernels (ignored when engine is set).
+  int nthreads = 0;
+};
+
+struct PlanCacheStats {
+  std::uint64_t hot_hits = 0;
+  std::uint64_t warm_hits = 0;     ///< plan reused via structure match
+  std::uint64_t persist_hits = 0;  ///< matrix reloaded from the disk tier
+  std::uint64_t misses = 0;        ///< full classification pipeline ran
+  std::uint64_t evictions = 0;
+  std::size_t resident_bytes = 0;
+  std::size_t entries = 0;
+};
+
+class PlanCache {
+ public:
+  struct Entry {
+    Fingerprint fp;
+    CsrMatrix matrix;  ///< owned: OptimizedSpmv may view it
+    optimize::Plan plan;
+    optimize::OptimizedSpmv spmv;
+    std::size_t bytes = 0;        ///< CSR + converted-format footprint
+    CacheState origin = CacheState::Miss;  ///< how this entry was built
+    double classify_seconds = 0.0;
+    double convert_seconds = 0.0;
+  };
+  using EntryPtr = std::shared_ptr<const Entry>;
+
+  explicit PlanCache(PlanCacheConfig cfg);
+
+  /// Resident lookup by full identity; bumps LRU recency.  Null on miss.
+  [[nodiscard]] EntryPtr find(const Fingerprint& fp);
+
+  /// Admission path for a submitted matrix: fingerprint, walk the tiers,
+  /// build whatever is missing, insert, evict LRU back under budget.
+  /// `degrade_to_baseline` (the overload-shedding rung) skips classification
+  /// and pins the baseline-CSR plan.  Resource error when the matrix alone
+  /// exceeds the byte budget.
+  [[nodiscard]] Expected<EntryPtr> admit(CsrMatrix matrix,
+                                         bool degrade_to_baseline = false);
+
+  /// Recover an evicted/earlier-life matrix from the persistent tier by
+  /// fingerprint.  Format error when the tier is disabled or has no image
+  /// under this identity.
+  [[nodiscard]] Expected<EntryPtr> reload(const Fingerprint& fp);
+
+  /// Drop every resident entry (in-flight holders keep theirs alive).
+  void evict_all();
+
+  [[nodiscard]] PlanCacheStats stats() const;
+  [[nodiscard]] const PlanCacheConfig& config() const noexcept { return cfg_; }
+
+ private:
+  /// Plan lookup through memory memo, then the persistent tier; nullopt
+  /// when this structure has never been classified.
+  [[nodiscard]] std::optional<optimize::Plan> lookup_plan(
+      const Fingerprint& fp);
+  /// Record a freshly classified plan in the memo and persistent tier.
+  void remember_plan(const Fingerprint& fp, const optimize::Plan& plan);
+  /// Build + insert an entry for `matrix` under a decided plan.
+  [[nodiscard]] Expected<EntryPtr> build_and_insert(CsrMatrix matrix,
+                                                    const Fingerprint& fp,
+                                                    const optimize::Plan& plan,
+                                                    CacheState origin,
+                                                    double classify_seconds);
+  void persist_matrix(const Fingerprint& fp, const CsrMatrix& matrix);
+  void evict_to_fit(std::size_t incoming_bytes);
+
+  PlanCacheConfig cfg_;
+
+  mutable std::mutex mu_;
+  /// LRU order, most recent at the front; the map points into the list.
+  std::list<EntryPtr> lru_;
+  std::unordered_map<Fingerprint, std::list<EntryPtr>::iterator,
+                     FingerprintHash>
+      entries_;
+  /// Structure-key -> previously selected plan (the "warm" tier's memory).
+  std::unordered_map<std::string, optimize::Plan> plan_memo_;
+  PlanCacheStats stats_;
+};
+
+}  // namespace spmvopt::server

@@ -1,0 +1,503 @@
+#include "server/protocol.hpp"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+
+#include "robust/fault_inject.hpp"
+#include "sparse/binary_io.hpp"
+
+namespace spmvopt::server {
+
+namespace {
+
+// ------------------------------------------------------------- byte writer
+
+class Writer {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) u8(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+  void u64(std::uint64_t v) {
+    u32(static_cast<std::uint32_t>(v));
+    u32(static_cast<std::uint32_t>(v >> 32));
+  }
+  void f64(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof bits);
+    u64(bits);
+  }
+  void bytes(const void* p, std::size_t n) {
+    buf_.append(static_cast<const char*>(p), n);
+  }
+  /// Length-prefixed byte string.
+  void blob(std::string_view s) {
+    u64(s.size());
+    buf_.append(s);
+  }
+  void doubles(std::span<const value_t> v) {
+    u64(v.size());
+    bytes(v.data(), v.size_bytes());
+  }
+  void fingerprint(const Fingerprint& f) {
+    i32(f.nrows);
+    i32(f.ncols);
+    i32(f.nnz);
+    u32(f.structure_crc);
+    u32(f.values_crc);
+  }
+
+  [[nodiscard]] std::string take() { return std::move(buf_); }
+
+ private:
+  std::string buf_;
+};
+
+// ------------------------------------------------------------- byte reader
+
+/// Bounds-checked cursor over a payload.  Every get returns false once the
+/// payload is exhausted; callers funnel that into one Format error, so a
+/// truncated frame can never read past the buffer or half-fill a message.
+class Reader {
+ public:
+  explicit Reader(std::string_view buf) : buf_(buf) {}
+
+  bool u8(std::uint8_t& out) {
+    if (buf_.size() - pos_ < 1) return fail();
+    out = static_cast<std::uint8_t>(buf_[pos_++]);
+    return true;
+  }
+  bool u32(std::uint32_t& out) {
+    if (buf_.size() - pos_ < 4) return fail();
+    out = 0;
+    for (int i = 0; i < 4; ++i)
+      out |= static_cast<std::uint32_t>(
+                 static_cast<std::uint8_t>(buf_[pos_ + i]))
+             << (8 * i);
+    pos_ += 4;
+    return true;
+  }
+  bool i32(std::int32_t& out) {
+    std::uint32_t u = 0;
+    if (!u32(u)) return false;
+    out = static_cast<std::int32_t>(u);
+    return true;
+  }
+  bool u64(std::uint64_t& out) {
+    std::uint32_t lo = 0, hi = 0;
+    if (!u32(lo) || !u32(hi)) return false;
+    out = (static_cast<std::uint64_t>(hi) << 32) | lo;
+    return true;
+  }
+  bool f64(double& out) {
+    std::uint64_t bits = 0;
+    if (!u64(bits)) return false;
+    std::memcpy(&out, &bits, sizeof out);
+    return true;
+  }
+  bool blob(std::string_view& out) {
+    std::uint64_t n = 0;
+    if (!u64(n)) return false;
+    if (n > buf_.size() - pos_) return fail();
+    out = buf_.substr(pos_, static_cast<std::size_t>(n));
+    pos_ += static_cast<std::size_t>(n);
+    return true;
+  }
+  bool doubles(std::vector<value_t>& out) {
+    std::uint64_t n = 0;
+    if (!u64(n)) return false;
+    if (n > (buf_.size() - pos_) / sizeof(value_t)) return fail();
+    out.resize(static_cast<std::size_t>(n));
+    std::memcpy(out.data(), buf_.data() + pos_,
+                static_cast<std::size_t>(n) * sizeof(value_t));
+    pos_ += static_cast<std::size_t>(n) * sizeof(value_t);
+    return true;
+  }
+  bool fingerprint(Fingerprint& f) {
+    return i32(f.nrows) && i32(f.ncols) && i32(f.nnz) &&
+           u32(f.structure_crc) && u32(f.values_crc);
+  }
+
+  [[nodiscard]] bool truncated() const noexcept { return truncated_; }
+  [[nodiscard]] bool exhausted() const noexcept { return pos_ == buf_.size(); }
+
+ private:
+  bool fail() noexcept {
+    truncated_ = true;
+    return false;
+  }
+
+  std::string_view buf_;
+  std::size_t pos_ = 0;
+  bool truncated_ = false;
+};
+
+Error truncation_error(MsgType t) {
+  return Error(ErrorCategory::Format,
+               "protocol: truncated or malformed message body (type " +
+                   std::to_string(static_cast<int>(t)) + ")");
+}
+
+Error trailing_error(MsgType t) {
+  return Error(ErrorCategory::Format,
+               "protocol: trailing bytes after message body (type " +
+                   std::to_string(static_cast<int>(t)) + ")");
+}
+
+}  // namespace
+
+const char* cache_state_name(CacheState s) noexcept {
+  switch (s) {
+    case CacheState::Hot: return "hot";
+    case CacheState::Warm: return "warm";
+    case CacheState::Persist: return "persist";
+    case CacheState::Miss: return "miss";
+  }
+  return "?";
+}
+
+// ----------------------------------------------------------------- encode
+
+std::string encode_request(const Request& req) {
+  Writer w;
+  std::visit(
+      [&w](const auto& r) {
+        using T = std::decay_t<decltype(r)>;
+        if constexpr (std::is_same_v<T, SubmitRequest>) {
+          w.u8(static_cast<std::uint8_t>(MsgType::Submit));
+          std::ostringstream img;
+          write_csr_binary(img, r.matrix);
+          w.blob(img.str());
+        } else if constexpr (std::is_same_v<T, RunRequest>) {
+          w.u8(static_cast<std::uint8_t>(MsgType::Run));
+          w.fingerprint(r.fp);
+          w.doubles(r.x);
+        } else if constexpr (std::is_same_v<T, RunManyRequest>) {
+          w.u8(static_cast<std::uint8_t>(MsgType::RunMany));
+          w.fingerprint(r.fp);
+          w.i32(r.nrhs);
+          w.doubles(r.X);
+        } else if constexpr (std::is_same_v<T, SolveRequest>) {
+          w.u8(static_cast<std::uint8_t>(MsgType::Solve));
+          w.fingerprint(r.fp);
+          w.u8(static_cast<std::uint8_t>(r.method));
+          w.i32(r.max_iterations);
+          w.f64(r.rel_tolerance);
+          w.doubles(r.b);
+        } else if constexpr (std::is_same_v<T, StatsRequest>) {
+          w.u8(static_cast<std::uint8_t>(MsgType::Stats));
+        } else if constexpr (std::is_same_v<T, PingRequest>) {
+          w.u8(static_cast<std::uint8_t>(MsgType::Ping));
+          w.u32(kProtocolVersion);
+        } else if constexpr (std::is_same_v<T, ShutdownRequest>) {
+          w.u8(static_cast<std::uint8_t>(MsgType::Shutdown));
+        }
+      },
+      req);
+  return w.take();
+}
+
+std::string encode_reply(const Reply& reply) {
+  Writer w;
+  std::visit(
+      [&w](const auto& r) {
+        using T = std::decay_t<decltype(r)>;
+        if constexpr (std::is_same_v<T, SubmitReply>) {
+          w.u8(static_cast<std::uint8_t>(MsgType::SubmitOk));
+          w.fingerprint(r.fp);
+          w.u8(static_cast<std::uint8_t>(r.state));
+          w.blob(r.plan);
+          w.f64(r.pre_seconds);
+        } else if constexpr (std::is_same_v<T, RunReply>) {
+          w.u8(static_cast<std::uint8_t>(MsgType::RunOk));
+          w.doubles(r.y);
+        } else if constexpr (std::is_same_v<T, RunManyReply>) {
+          w.u8(static_cast<std::uint8_t>(MsgType::RunManyOk));
+          w.i32(r.nrhs);
+          w.doubles(r.Y);
+        } else if constexpr (std::is_same_v<T, SolveReply>) {
+          w.u8(static_cast<std::uint8_t>(MsgType::SolveOk));
+          w.u8(r.converged ? 1 : 0);
+          w.i32(r.iterations);
+          w.f64(r.residual);
+          w.doubles(r.x);
+        } else if constexpr (std::is_same_v<T, StatsReply>) {
+          w.u8(static_cast<std::uint8_t>(MsgType::StatsOk));
+          w.blob(r.json);
+        } else if constexpr (std::is_same_v<T, PongReply>) {
+          w.u8(static_cast<std::uint8_t>(MsgType::Pong));
+          w.u32(r.protocol_version);
+        } else if constexpr (std::is_same_v<T, ShutdownReply>) {
+          w.u8(static_cast<std::uint8_t>(MsgType::ShutdownOk));
+        } else if constexpr (std::is_same_v<T, ErrorReply>) {
+          w.u8(static_cast<std::uint8_t>(MsgType::Error));
+          w.u8(static_cast<std::uint8_t>(r.category));
+          w.blob(r.message);
+        }
+      },
+      reply);
+  return w.take();
+}
+
+// ----------------------------------------------------------------- decode
+
+std::optional<MsgType> peek_type(std::string_view payload) noexcept {
+  if (payload.empty()) return std::nullopt;
+  return static_cast<MsgType>(static_cast<std::uint8_t>(payload[0]));
+}
+
+Expected<Request> decode_request(std::string_view payload) {
+  Reader r(payload);
+  std::uint8_t type_byte = 0;
+  if (!r.u8(type_byte))
+    return Error(ErrorCategory::Format, "protocol: empty request payload");
+  const auto type = static_cast<MsgType>(type_byte);
+
+  const auto finish = [&r, type](Request req) -> Expected<Request> {
+    if (r.truncated()) return truncation_error(type);
+    if (!r.exhausted()) return trailing_error(type);
+    return req;
+  };
+
+  switch (type) {
+    case MsgType::Submit: {
+      std::string_view img;
+      if (!r.blob(img)) return truncation_error(type);
+      if (!r.exhausted()) return trailing_error(type);
+      std::istringstream in{std::string(img)};
+      auto m = read_csr_binary_checked(in);
+      if (!m.ok())
+        return std::move(m).error().with_context(
+            "while decoding a submitted matrix image");
+      return Request(SubmitRequest{std::move(m.value())});
+    }
+    case MsgType::Run: {
+      RunRequest req;
+      r.fingerprint(req.fp);
+      r.doubles(req.x);
+      return finish(std::move(req));
+    }
+    case MsgType::RunMany: {
+      RunManyRequest req;
+      r.fingerprint(req.fp);
+      r.i32(req.nrhs);
+      r.doubles(req.X);
+      return finish(std::move(req));
+    }
+    case MsgType::Solve: {
+      SolveRequest req;
+      std::uint8_t method = 0;
+      r.fingerprint(req.fp);
+      r.u8(method);
+      r.i32(req.max_iterations);
+      r.f64(req.rel_tolerance);
+      r.doubles(req.b);
+      if (method != static_cast<std::uint8_t>(SolveMethod::Cg) &&
+          method != static_cast<std::uint8_t>(SolveMethod::Bicgstab))
+        return Error(ErrorCategory::Format,
+                     "protocol: unknown solve method " + std::to_string(method));
+      req.method = static_cast<SolveMethod>(method);
+      return finish(std::move(req));
+    }
+    case MsgType::Stats:
+      return finish(StatsRequest{});
+    case MsgType::Ping: {
+      std::uint32_t version = 0;
+      r.u32(version);
+      if (r.truncated()) return truncation_error(type);
+      if (version != kProtocolVersion)
+        return Error(ErrorCategory::Format,
+                     "protocol: version mismatch (peer " +
+                         std::to_string(version) + ", this side " +
+                         std::to_string(kProtocolVersion) + ")");
+      return finish(PingRequest{});
+    }
+    case MsgType::Shutdown:
+      return finish(ShutdownRequest{});
+    default:
+      return Error(ErrorCategory::Format, "protocol: unknown request type " +
+                                              std::to_string(type_byte));
+  }
+}
+
+Expected<Reply> decode_reply(std::string_view payload) {
+  Reader r(payload);
+  std::uint8_t type_byte = 0;
+  if (!r.u8(type_byte))
+    return Error(ErrorCategory::Format, "protocol: empty reply payload");
+  const auto type = static_cast<MsgType>(type_byte);
+
+  const auto finish = [&r, type](Reply reply) -> Expected<Reply> {
+    if (r.truncated()) return truncation_error(type);
+    if (!r.exhausted()) return trailing_error(type);
+    return reply;
+  };
+
+  switch (type) {
+    case MsgType::SubmitOk: {
+      SubmitReply rep;
+      std::uint8_t state = 0;
+      std::string_view plan;
+      r.fingerprint(rep.fp);
+      r.u8(state);
+      r.blob(plan);
+      r.f64(rep.pre_seconds);
+      if (state > static_cast<std::uint8_t>(CacheState::Miss))
+        return Error(ErrorCategory::Format,
+                     "protocol: unknown cache state " + std::to_string(state));
+      rep.state = static_cast<CacheState>(state);
+      rep.plan = std::string(plan);
+      return finish(std::move(rep));
+    }
+    case MsgType::RunOk: {
+      RunReply rep;
+      r.doubles(rep.y);
+      return finish(std::move(rep));
+    }
+    case MsgType::RunManyOk: {
+      RunManyReply rep;
+      r.i32(rep.nrhs);
+      r.doubles(rep.Y);
+      return finish(std::move(rep));
+    }
+    case MsgType::SolveOk: {
+      SolveReply rep;
+      std::uint8_t converged = 0;
+      r.u8(converged);
+      r.i32(rep.iterations);
+      r.f64(rep.residual);
+      r.doubles(rep.x);
+      rep.converged = (converged != 0);
+      return finish(std::move(rep));
+    }
+    case MsgType::StatsOk: {
+      StatsReply rep;
+      std::string_view json;
+      r.blob(json);
+      rep.json = std::string(json);
+      return finish(std::move(rep));
+    }
+    case MsgType::Pong: {
+      PongReply rep;
+      r.u32(rep.protocol_version);
+      return finish(rep);
+    }
+    case MsgType::ShutdownOk:
+      return finish(ShutdownReply{});
+    case MsgType::Error: {
+      ErrorReply rep;
+      std::uint8_t cat = 0;
+      std::string_view msg;
+      r.u8(cat);
+      r.blob(msg);
+      if (cat > static_cast<std::uint8_t>(ErrorCategory::Internal))
+        return Error(ErrorCategory::Format,
+                     "protocol: unknown error category " + std::to_string(cat));
+      rep.category = static_cast<ErrorCategory>(cat);
+      rep.message = std::string(msg);
+      return finish(std::move(rep));
+    }
+    default:
+      return Error(ErrorCategory::Format,
+                   "protocol: unknown reply type " + std::to_string(type_byte));
+  }
+}
+
+// ---------------------------------------------------------------- framing
+
+Status write_frame(int fd, std::string_view payload) {
+  if (payload.size() > kMaxFramePayload)
+    return Error(ErrorCategory::Resource,
+                 "protocol: frame payload of " +
+                     std::to_string(payload.size()) + " bytes exceeds the " +
+                     std::to_string(kMaxFramePayload) + "-byte ceiling");
+  char prefix[4];
+  const auto n = static_cast<std::uint32_t>(payload.size());
+  for (int i = 0; i < 4; ++i)
+    prefix[i] = static_cast<char>((n >> (8 * i)) & 0xff);
+
+  // send() with MSG_NOSIGNAL, not write(): a peer that vanished mid-reply
+  // must surface as EPIPE, not kill the server with SIGPIPE.  Frames only
+  // ever travel over sockets (Unix-domain or socketpair in tests).
+  const auto write_all = [fd](const char* p, std::size_t len) -> bool {
+    while (len > 0) {
+      const ssize_t w = ::send(fd, p, len, MSG_NOSIGNAL);
+      if (w < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      p += w;
+      len -= static_cast<std::size_t>(w);
+    }
+    return true;
+  };
+  if (!write_all(prefix, sizeof prefix) ||
+      !write_all(payload.data(), payload.size()))
+    return Error(ErrorCategory::Io,
+                 std::string("protocol: frame write failed: ") +
+                     std::strerror(errno));
+  return Unit{};
+}
+
+Expected<std::optional<std::string>> read_frame(int fd) {
+  // Returns bytes read; 0 on clean EOF; -1 on error.  Loops over EINTR and
+  // partial reads.
+  const auto read_all = [fd](char* p, std::size_t len) -> ssize_t {
+    std::size_t got = 0;
+    while (got < len) {
+      const ssize_t r = ::read(fd, p + got, len - got);
+      if (r < 0) {
+        if (errno == EINTR) continue;
+        return -1;
+      }
+      if (r == 0) break;
+      got += static_cast<std::size_t>(r);
+    }
+    return static_cast<ssize_t>(got);
+  };
+
+  char prefix[4];
+  const ssize_t pn = read_all(prefix, sizeof prefix);
+  if (pn < 0)
+    return Error(ErrorCategory::Io,
+                 std::string("protocol: frame read failed: ") +
+                     std::strerror(errno));
+  if (pn == 0) return std::optional<std::string>{};  // clean EOF
+  if (pn < static_cast<ssize_t>(sizeof prefix))
+    return Error(ErrorCategory::Format,
+                 "protocol: connection closed inside a frame length prefix");
+
+  std::uint32_t len = 0;
+  for (int i = 0; i < 4; ++i)
+    len |= static_cast<std::uint32_t>(static_cast<std::uint8_t>(prefix[i]))
+           << (8 * i);
+  if (len == 0)
+    return Error(ErrorCategory::Format, "protocol: empty frame");
+  if (len > kMaxFramePayload)
+    return Error(ErrorCategory::Resource,
+                 "protocol: declared frame length " + std::to_string(len) +
+                     " exceeds the " + std::to_string(kMaxFramePayload) +
+                     "-byte ceiling");
+
+  std::string payload(len, '\0');
+  const ssize_t got = read_all(payload.data(), len);
+  if (got < 0)
+    return Error(ErrorCategory::Io,
+                 std::string("protocol: frame read failed: ") +
+                     std::strerror(errno));
+  if (robust::fault_fire("server.frame_truncate") && len > 1)
+    payload.resize(len / 2);  // simulated mid-frame cut; decode must reject
+  if (static_cast<std::uint32_t>(got) < len)
+    return Error(ErrorCategory::Format,
+                 "protocol: connection closed mid-frame (" +
+                     std::to_string(got) + " of " + std::to_string(len) +
+                     " payload bytes)");
+  return std::optional<std::string>(std::move(payload));
+}
+
+}  // namespace spmvopt::server

@@ -1,0 +1,180 @@
+// spmvoptd wire protocol: length-prefixed binary frames over a stream.
+//
+// Frame layout (DESIGN.md §9):
+//
+//   [u32 payload_length][payload]
+//   payload = [u8 MsgType][message body, type-specific]
+//
+// All integers are little-endian fixed-width; doubles are raw IEEE-754 bits.
+// A submitted matrix travels as an embedded binary-cache image (the
+// "SPMVCSR2" format of sparse/binary_io), so the payload inherits the cache's
+// CRC32 integrity check — a corrupted matrix blob is a typed Format error,
+// never a malformed CsrMatrix.
+//
+// The codec layer below is transport-free (encode/decode on byte strings) so
+// it unit-tests without sockets; read_frame()/write_frame() add the framing
+// over a file descriptor.  Decode failures are categorized: truncation and
+// junk are Format, oversized frames are Resource, fd failures are Io.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "robust/error.hpp"
+#include "sparse/csr.hpp"
+#include "support/fingerprint.hpp"
+#include "support/types.hpp"
+
+namespace spmvopt::server {
+
+/// Bumped when the frame or any message body changes incompatibly.  Sent in
+/// every Ping/Pong so mismatched peers fail loudly at handshake time.
+inline constexpr std::uint32_t kProtocolVersion = 1;
+
+/// Ceiling on a single frame payload (Resource error beyond).  Generous —
+/// a frame carries at most one matrix image — but bounded, so a garbage
+/// length prefix cannot drive a multi-GiB allocation.
+inline constexpr std::uint32_t kMaxFramePayload = 1u << 30;
+
+enum class MsgType : std::uint8_t {
+  // Requests.
+  Submit = 1,
+  Run = 2,
+  RunMany = 3,
+  Solve = 4,
+  Stats = 5,
+  Ping = 6,
+  Shutdown = 7,
+  // Replies.
+  SubmitOk = 64,
+  RunOk = 65,
+  RunManyOk = 66,
+  SolveOk = 67,
+  StatsOk = 68,
+  Pong = 69,
+  ShutdownOk = 70,
+  Error = 127,
+};
+
+enum class SolveMethod : std::uint8_t { Cg = 1, Bicgstab = 2 };
+
+/// How a submit was satisfied — the Table V amortization ladder, most to
+/// least amortized (see PlanCache).
+enum class CacheState : std::uint8_t {
+  Hot = 0,      ///< full-identity hit: no feature/classify/convert work at all
+  Warm = 1,     ///< structure hit: plan reused, conversion re-ran
+  Persist = 2,  ///< matrix + plan reloaded from the persistent tier
+  Miss = 3,     ///< full pipeline: features + classification + conversion
+};
+
+/// "hot" | "warm" | "persist" | "miss".
+[[nodiscard]] const char* cache_state_name(CacheState s) noexcept;
+
+// --------------------------------------------------------------- requests
+
+struct SubmitRequest {
+  CsrMatrix matrix;
+};
+
+struct RunRequest {
+  Fingerprint fp;
+  std::vector<value_t> x;  ///< ncols entries
+};
+
+struct RunManyRequest {
+  Fingerprint fp;
+  std::int32_t nrhs = 0;
+  std::vector<value_t> X;  ///< nrhs * ncols entries, vector-major
+};
+
+struct SolveRequest {
+  Fingerprint fp;
+  SolveMethod method = SolveMethod::Cg;
+  std::int32_t max_iterations = 1000;
+  double rel_tolerance = 1e-8;
+  std::vector<value_t> b;  ///< nrows entries (square systems only)
+};
+
+struct StatsRequest {};
+struct PingRequest {};
+struct ShutdownRequest {};
+
+using Request = std::variant<SubmitRequest, RunRequest, RunManyRequest,
+                             SolveRequest, StatsRequest, PingRequest,
+                             ShutdownRequest>;
+
+// ----------------------------------------------------------------- replies
+
+struct SubmitReply {
+  Fingerprint fp;
+  CacheState state = CacheState::Miss;
+  std::string plan;            ///< Plan::to_string() of what will run
+  double pre_seconds = 0.0;    ///< classify + convert cost paid by this submit
+};
+
+struct RunReply {
+  std::vector<value_t> y;
+};
+
+struct RunManyReply {
+  std::int32_t nrhs = 0;
+  std::vector<value_t> Y;
+};
+
+struct SolveReply {
+  bool converged = false;
+  std::int32_t iterations = 0;
+  double residual = 0.0;
+  std::vector<value_t> x;
+};
+
+struct StatsReply {
+  std::string json;  ///< structured counters, see server::stats_to_json
+};
+
+struct PongReply {
+  std::uint32_t protocol_version = kProtocolVersion;
+};
+
+struct ShutdownReply {};
+
+struct ErrorReply {
+  ErrorCategory category = ErrorCategory::Internal;
+  std::string message;
+};
+
+using Reply = std::variant<SubmitReply, RunReply, RunManyReply, SolveReply,
+                           StatsReply, PongReply, ShutdownReply, ErrorReply>;
+
+// ------------------------------------------------------------------ codec
+
+/// Serialize to a frame payload (type byte + body); framing not included.
+[[nodiscard]] std::string encode_request(const Request& req);
+[[nodiscard]] std::string encode_reply(const Reply& reply);
+
+/// Parse a frame payload.  Truncated/garbage bodies -> Format; an embedded
+/// matrix image that exceeds the ingestion ceilings -> Resource.
+[[nodiscard]] Expected<Request> decode_request(std::string_view payload);
+[[nodiscard]] Expected<Reply> decode_reply(std::string_view payload);
+
+/// MsgType of a payload without a full decode; nullopt when empty.
+[[nodiscard]] std::optional<MsgType> peek_type(std::string_view payload) noexcept;
+
+// ---------------------------------------------------------------- framing
+
+/// Write one [length][payload] frame; retries partial writes.  Io on fd
+/// failure, Resource when payload exceeds kMaxFramePayload.
+Status write_frame(int fd, std::string_view payload);
+
+/// Read one frame.  nullopt on clean EOF at a frame boundary (peer closed);
+/// Format on mid-frame EOF or an oversized/zero length prefix; Io on fd
+/// failure.  The `server.frame_truncate` fault point drops the payload tail
+/// to exercise the truncation path deterministically.
+[[nodiscard]] Expected<std::optional<std::string>> read_frame(int fd);
+
+}  // namespace spmvopt::server

@@ -1,0 +1,478 @@
+#include "server/server.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <new>
+#include <utility>
+
+#include "report/json.hpp"
+#include "robust/fault_inject.hpp"
+#include "solvers/krylov.hpp"
+#include "solvers/operator.hpp"
+#include "support/timing.hpp"
+
+namespace spmvopt::server {
+
+// ------------------------------------------------------------- SpmvServer
+
+namespace {
+
+PlanCacheConfig with_engine(PlanCacheConfig cache,
+                            engine::ExecutionEngine& eng) {
+  cache.engine = &eng;
+  return cache;
+}
+
+Reply error_reply(Error e) {
+  std::string msg = e.message();
+  for (const std::string& frame : e.context()) msg += "; " + frame;
+  return ErrorReply{e.category(), std::move(msg)};
+}
+
+}  // namespace
+
+std::string stats_to_json(const ServerStats& s) {
+  using report::Json;
+  Json cache = Json::object();
+  cache.set("hot_hits", s.cache.hot_hits)
+      .set("warm_hits", s.cache.warm_hits)
+      .set("persist_hits", s.cache.persist_hits)
+      .set("misses", s.cache.misses)
+      .set("evictions", s.cache.evictions)
+      .set("resident_bytes", static_cast<std::uint64_t>(s.cache.resident_bytes))
+      .set("entries", static_cast<std::uint64_t>(s.cache.entries));
+  Json engine = Json::object();
+  engine.set("threads", s.engine_threads).set("dispatches", s.engine_dispatches);
+  Json doc = Json::object();
+  doc.set("schema", "spmvopt-server-stats/v1")
+      .set("requests", s.requests)
+      .set("submits", s.submits)
+      .set("runs", s.runs)
+      .set("run_manys", s.run_manys)
+      .set("solves", s.solves)
+      .set("errors", s.errors)
+      .set("rejected_overload", s.rejected_overload)
+      .set("shed_submits", s.shed_submits)
+      .set("busy_seconds", s.busy_seconds)
+      .set("max_request_seconds", s.max_request_seconds)
+      .set("cache", std::move(cache))
+      .set("engine", std::move(engine));
+  return doc.dump();
+}
+
+SpmvServer::SpmvServer(ServerConfig cfg)
+    : cfg_(std::move(cfg)),
+      // pin_main=false: handle() is called from transport/executor threads
+      // that must keep their own affinity; the workers carry the pinning.
+      engine_(engine::EngineConfig{.nthreads = cfg_.engine_threads,
+                                   .pin = cfg_.pin,
+                                   .pin_main = false}),
+      cache_(with_engine(cfg_.cache, engine_)) {}
+
+Expected<PlanCache::EntryPtr> SpmvServer::lookup(const Fingerprint& fp) {
+  // find() bumps hot_hits; a persistent-tier recovery counts as persist_hit
+  // inside reload().
+  return cache_.reload(fp);
+}
+
+Reply SpmvServer::handle_submit(SubmitRequest& req, bool shed) {
+  const std::uint64_t hot_before = cache_.stats().hot_hits;
+  auto admitted = cache_.admit(std::move(req.matrix), shed);
+  if (!admitted.ok()) return error_reply(std::move(admitted).error());
+  const PlanCache::EntryPtr& entry = admitted.value();
+  const bool hot = cache_.stats().hot_hits > hot_before;
+  if (shed && !hot) ++stats_.shed_submits;
+
+  SubmitReply reply;
+  reply.fp = entry->fp;
+  reply.state = hot ? CacheState::Hot : entry->origin;
+  reply.plan = entry->spmv.plan().to_string();
+  reply.pre_seconds =
+      hot ? 0.0 : entry->classify_seconds + entry->convert_seconds;
+  return reply;
+}
+
+Reply SpmvServer::handle_run(const RunRequest& req) {
+  auto found = lookup(req.fp);
+  if (!found.ok()) return error_reply(std::move(found).error());
+  const PlanCache::EntryPtr entry = found.value();
+  if (static_cast<index_t>(req.x.size()) != entry->spmv.ncols())
+    return error_reply(Error(
+        ErrorCategory::Format,
+        "run: x has " + std::to_string(req.x.size()) + " entries, matrix " +
+            req.fp.key() + " has " + std::to_string(entry->spmv.ncols()) +
+            " columns"));
+  // Fault point: evict the whole cache mid-job.  The shared_ptr reference
+  // held above must keep the entry alive through run() (ASan-checked).
+  if (robust::fault_fire("server.evict_during_run")) cache_.evict_all();
+
+  RunReply reply;
+  reply.y.resize(static_cast<std::size_t>(entry->spmv.nrows()));
+  entry->spmv.run(req.x.data(), reply.y.data());
+  return reply;
+}
+
+Reply SpmvServer::handle_run_many(const RunManyRequest& req) {
+  auto found = lookup(req.fp);
+  if (!found.ok()) return error_reply(std::move(found).error());
+  const PlanCache::EntryPtr entry = found.value();
+  if (req.nrhs < 1)
+    return error_reply(
+        Error(ErrorCategory::Format,
+              "run_many: nrhs must be >= 1, got " + std::to_string(req.nrhs)));
+  const auto ncols = static_cast<std::size_t>(entry->spmv.ncols());
+  const auto nrhs = static_cast<std::size_t>(req.nrhs);
+  if (req.X.size() != nrhs * ncols)
+    return error_reply(Error(
+        ErrorCategory::Format,
+        "run_many: X has " + std::to_string(req.X.size()) +
+            " entries, expected nrhs*ncols = " + std::to_string(nrhs * ncols)));
+
+  RunManyReply reply;
+  reply.nrhs = req.nrhs;
+  reply.Y.resize(nrhs * static_cast<std::size_t>(entry->spmv.nrows()));
+  entry->spmv.run_many(req.X.data(), reply.Y.data(), req.nrhs);
+  return reply;
+}
+
+Reply SpmvServer::handle_solve(const SolveRequest& req) {
+  auto found = lookup(req.fp);
+  if (!found.ok()) return error_reply(std::move(found).error());
+  const PlanCache::EntryPtr entry = found.value();
+  const index_t n = entry->spmv.nrows();
+  if (entry->spmv.ncols() != n)
+    return error_reply(Error(ErrorCategory::Format,
+                             "solve: matrix " + req.fp.key() +
+                                 " is not square (" + std::to_string(n) + " x " +
+                                 std::to_string(entry->spmv.ncols()) + ")"));
+  if (static_cast<index_t>(req.b.size()) != n)
+    return error_reply(Error(
+        ErrorCategory::Format,
+        "solve: b has " + std::to_string(req.b.size()) + " entries, matrix " +
+            req.fp.key() + " has " + std::to_string(n) + " rows"));
+  if (req.max_iterations < 1)
+    return error_reply(Error(ErrorCategory::Format,
+                             "solve: max_iterations must be >= 1"));
+
+  const auto op = solvers::LinearOperator::from_optimized(entry->spmv);
+  solvers::SolverOptions opt;
+  opt.max_iterations = req.max_iterations;
+  opt.rel_tolerance = req.rel_tolerance;
+
+  SolveReply reply;
+  reply.x.assign(static_cast<std::size_t>(n), 0.0);
+  const solvers::SolveResult result =
+      req.method == SolveMethod::Cg
+          ? solvers::cg(op, req.b, reply.x, opt)
+          : solvers::bicgstab(op, req.b, reply.x, opt);
+  reply.converged = result.converged;
+  reply.iterations = result.iterations;
+  reply.residual = result.residual_norm;
+  return reply;
+}
+
+Reply SpmvServer::handle(Request req, bool shed) {
+  std::lock_guard lock(mu_);
+  Timer t;
+  Reply reply;
+  try {
+    reply = std::visit(
+        [this, shed](auto& r) -> Reply {
+          using T = std::decay_t<decltype(r)>;
+          if constexpr (std::is_same_v<T, SubmitRequest>) {
+            ++stats_.submits;
+            return handle_submit(r, shed);
+          } else if constexpr (std::is_same_v<T, RunRequest>) {
+            ++stats_.runs;
+            return handle_run(r);
+          } else if constexpr (std::is_same_v<T, RunManyRequest>) {
+            ++stats_.run_manys;
+            return handle_run_many(r);
+          } else if constexpr (std::is_same_v<T, SolveRequest>) {
+            ++stats_.solves;
+            return handle_solve(r);
+          } else if constexpr (std::is_same_v<T, StatsRequest>) {
+            ServerStats snapshot = stats_;
+            snapshot.cache = cache_.stats();
+            snapshot.engine_dispatches = engine_.dispatch_count();
+            snapshot.engine_threads = engine_.nthreads();
+            return StatsReply{stats_to_json(snapshot)};
+          } else if constexpr (std::is_same_v<T, PingRequest>) {
+            return PongReply{};
+          } else {
+            static_assert(std::is_same_v<T, ShutdownRequest>);
+            shutdown_.store(true, std::memory_order_release);
+            return ShutdownReply{};
+          }
+        },
+        req);
+  } catch (const SpmvException& e) {
+    reply = error_reply(e.error());
+  } catch (const std::bad_alloc&) {
+    reply = Reply(ErrorReply{ErrorCategory::Resource, "out of memory"});
+  } catch (const std::exception& e) {
+    reply = Reply(ErrorReply{ErrorCategory::Internal, e.what()});
+  }
+  ++stats_.requests;
+  if (std::holds_alternative<ErrorReply>(reply)) ++stats_.errors;
+  const double sec = t.elapsed_sec();
+  stats_.busy_seconds += sec;
+  if (sec > stats_.max_request_seconds) stats_.max_request_seconds = sec;
+  return reply;
+}
+
+void SpmvServer::note_rejected() {
+  std::lock_guard lock(mu_);
+  ++stats_.rejected_overload;
+  ++stats_.requests;
+  ++stats_.errors;
+}
+
+ServerStats SpmvServer::stats() const {
+  std::lock_guard lock(mu_);
+  ServerStats snapshot = stats_;
+  snapshot.cache = cache_.stats();
+  snapshot.engine_dispatches = engine_.dispatch_count();
+  snapshot.engine_threads = engine_.nthreads();
+  return snapshot;
+}
+
+// ----------------------------------------------------------- SocketServer
+
+SocketServer::SocketServer(SpmvServer& core, std::string socket_path)
+    : core_(core), path_(std::move(socket_path)) {}
+
+SocketServer::~SocketServer() { stop(); }
+
+Status SocketServer::start() {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path_.size() >= sizeof addr.sun_path)
+    return Error(ErrorCategory::Format,
+                 "socket path '" + path_ + "' exceeds the AF_UNIX limit of " +
+                     std::to_string(sizeof addr.sun_path - 1) + " chars");
+  std::memcpy(addr.sun_path, path_.c_str(), path_.size() + 1);
+
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0)
+    return Error(ErrorCategory::Io,
+                 std::string("socket() failed: ") + std::strerror(errno));
+  ::unlink(path_.c_str());  // replace a stale socket file from a dead server
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof addr) < 0 ||
+      ::listen(listen_fd_, 64) < 0) {
+    const int err = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Error(ErrorCategory::Io, "cannot listen on '" + path_ +
+                                        "': " + std::strerror(err));
+  }
+
+  {
+    std::lock_guard lock(jobs_mu_);
+    started_ = true;
+    stopping_ = false;
+  }
+  accepter_ = std::thread([this] { accept_loop(); });
+  executor_ = std::thread([this] { executor_loop(); });
+  return Unit{};
+}
+
+void SocketServer::accept_loop() {
+  while (true) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      return;  // listener shut down (stop or shutdown request)
+    }
+    auto conn = std::make_shared<Connection>();
+    conn->fd = fd;
+    {
+      // Register AND spawn under the lock: stop() must never observe a
+      // registered connection whose reader it cannot join yet.
+      std::lock_guard lock(jobs_mu_);
+      if (stopping_) {
+        ::close(fd);
+        return;
+      }
+      conns_.push_back(conn);
+      conn->reader = std::thread([this, conn] { reader_loop(conn); });
+    }
+  }
+}
+
+void SocketServer::reader_loop(const std::shared_ptr<Connection>& conn) {
+  while (true) {
+    auto frame = read_frame(conn->fd);
+    if (!frame.ok()) {
+      // A broken length prefix desynchronizes the stream: reply with the
+      // typed error, then end the session (the client must reconnect).
+      write_reply(*conn, error_reply(std::move(frame).error()));
+      break;
+    }
+    if (!frame.value().has_value()) break;  // clean EOF
+
+    // Admission control happens here, before the job can reach the
+    // executor: reject at the hard ceiling, mark for shedding above the
+    // soft one.
+    bool reject = false;
+    bool shed = false;
+    {
+      std::lock_guard lock(jobs_mu_);
+      if (stopping_) break;
+      if (in_flight_ >= core_.config().max_in_flight) {
+        reject = true;
+      } else {
+        shed = in_flight_ >= core_.config().shed_in_flight;
+        ++in_flight_;
+        conn->queue.push_back(Job{std::move(*frame.value()), shed});
+      }
+    }
+    if (reject) {
+      core_.note_rejected();
+      write_reply(*conn,
+                  Reply(ErrorReply{
+                      ErrorCategory::Resource,
+                      "server overloaded: " +
+                          std::to_string(core_.config().max_in_flight) +
+                          " jobs already in flight; retry later"}));
+    } else {
+      jobs_cv_.notify_one();
+    }
+  }
+  {
+    std::lock_guard lock(jobs_mu_);
+    conn->closed = true;
+  }
+  jobs_cv_.notify_one();  // let the executor reap
+}
+
+void SocketServer::write_reply(Connection& conn, const Reply& reply) {
+  const std::string payload = encode_reply(reply);
+  std::lock_guard lock(conn.write_mu);
+  (void)write_frame(conn.fd, payload);  // a vanished client is not our error
+}
+
+void SocketServer::executor_loop() {
+  while (true) {
+    std::shared_ptr<Connection> conn;
+    Job job;
+    std::vector<std::shared_ptr<Connection>> reap;
+    {
+      std::unique_lock lock(jobs_mu_);
+      jobs_cv_.wait(lock, [this] {
+        if (stopping_) return true;
+        for (const auto& c : conns_)
+          if (!c->queue.empty() || c->closed) return true;
+        return false;
+      });
+      if (stopping_) break;
+
+      // Reap sessions whose reader exited and whose queue is drained.
+      for (auto it = conns_.begin(); it != conns_.end();) {
+        if ((*it)->closed && (*it)->queue.empty()) {
+          reap.push_back(*it);
+          it = conns_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      rr_next_ = conns_.empty() ? 0 : rr_next_ % conns_.size();
+
+      // Round-robin across clients: each gets one job per sweep, so a
+      // pipelining client cannot starve the others.
+      for (std::size_t i = 0; i < conns_.size() && !conn; ++i) {
+        auto& c = conns_[(rr_next_ + i) % conns_.size()];
+        if (!c->queue.empty()) {
+          conn = c;
+          job = std::move(c->queue.front());
+          c->queue.pop_front();
+          rr_next_ = (rr_next_ + i + 1) % conns_.size();
+        }
+      }
+    }
+    for (const auto& c : reap) {
+      if (c->reader.joinable()) c->reader.join();
+      ::close(c->fd);
+    }
+    if (!conn) continue;
+
+    Reply reply;
+    auto req = decode_request(job.payload);
+    if (!req.ok())
+      reply = error_reply(std::move(req).error());
+    else
+      reply = core_.handle(std::move(req.value()), job.shed);
+    write_reply(*conn, reply);
+
+    bool initiate_stop = false;
+    {
+      std::lock_guard lock(jobs_mu_);
+      --in_flight_;
+      if (core_.shutdown_requested() && !stopping_) {
+        stopping_ = true;
+        initiate_stop = true;
+      }
+    }
+    if (initiate_stop) {
+      close_all_fds();
+      jobs_cv_.notify_all();
+      stopped_cv_.notify_all();
+      break;
+    }
+  }
+  {
+    std::lock_guard lock(jobs_mu_);
+    stopping_ = true;
+  }
+  stopped_cv_.notify_all();
+}
+
+void SocketServer::close_all_fds() {
+  std::lock_guard lock(jobs_mu_);
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  // shutdown(), not close(): readers may be mid-read and the executor
+  // mid-write; shutting down unblocks them without recycling fd numbers.
+  for (const auto& c : conns_) ::shutdown(c->fd, SHUT_RDWR);
+}
+
+void SocketServer::wait() {
+  std::unique_lock lock(jobs_mu_);
+  stopped_cv_.wait(lock, [this] { return stopping_ || !started_; });
+}
+
+void SocketServer::stop() {
+  {
+    std::lock_guard lock(jobs_mu_);
+    if (!started_) return;
+    stopping_ = true;
+  }
+  close_all_fds();
+  jobs_cv_.notify_all();
+  stopped_cv_.notify_all();
+
+  if (accepter_.joinable()) accepter_.join();
+  if (executor_.joinable()) executor_.join();
+
+  std::vector<std::shared_ptr<Connection>> conns;
+  {
+    std::lock_guard lock(jobs_mu_);
+    conns.swap(conns_);
+    started_ = false;
+  }
+  for (const auto& c : conns) {
+    if (c->reader.joinable()) c->reader.join();
+    ::close(c->fd);
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  ::unlink(path_.c_str());
+}
+
+}  // namespace spmvopt::server

@@ -1,0 +1,180 @@
+// spmvoptd server core + Unix-domain-socket transport (DESIGN.md §9).
+//
+// Two layers:
+//
+//   SpmvServer    the transport-free request processor: owns the persistent
+//                 ExecutionEngine and the fingerprint-keyed PlanCache, and
+//                 turns decoded Requests into Replies.  handle() serializes
+//                 internally (the engine admits one dispatch at a time), so
+//                 it is callable from tests in-process and from the socket
+//                 executor alike.
+//
+//   SocketServer  the transport: an accept loop on a Unix-domain socket, one
+//                 reader thread per connection feeding a per-client FIFO job
+//                 queue, and one executor thread draining the queues
+//                 round-robin onto SpmvServer.  Admission control happens at
+//                 enqueue time, *before* a job can occupy the executor:
+//
+//                   in_flight >= shed_in_flight  -> submits run the
+//                       baseline-CSR plan (classification cost shed);
+//                   in_flight >= max_in_flight   -> typed Resource error
+//                       reply, job never enqueued.
+//
+// Error replies never tear down a connection: a malformed frame gets a typed
+// Format reply and the reader keeps going (only a broken fd ends a session).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/execution_engine.hpp"
+#include "server/plan_cache.hpp"
+#include "server/protocol.hpp"
+#include "support/topology.hpp"
+
+namespace spmvopt::server {
+
+struct ServerConfig {
+  PlanCacheConfig cache;          ///< cache.engine is overwritten by the server
+  int engine_threads = 0;         ///< compute team size; <= 0: default_threads()
+  PinPolicy pin = PinPolicy::None;  ///< None by default: a daemon should not
+                                    ///< claim CPUs unless told to
+  /// Jobs queued-or-executing before new ones are rejected (Resource).
+  int max_in_flight = 64;
+  /// Jobs queued-or-executing before submits shed to baseline-CSR plans.
+  int shed_in_flight = 32;
+};
+
+/// Structured request/latency/cache counters, exposed via a Stats request.
+struct ServerStats {
+  std::uint64_t requests = 0;
+  std::uint64_t submits = 0;
+  std::uint64_t runs = 0;
+  std::uint64_t run_manys = 0;
+  std::uint64_t solves = 0;
+  std::uint64_t errors = 0;             ///< Error replies from handle()
+  std::uint64_t rejected_overload = 0;  ///< jobs refused at admission
+  std::uint64_t shed_submits = 0;       ///< submits degraded to baseline
+  double busy_seconds = 0.0;            ///< total time inside handle()
+  double max_request_seconds = 0.0;
+  PlanCacheStats cache;
+  std::uint64_t engine_dispatches = 0;
+  int engine_threads = 0;
+};
+
+/// Render the counters as a stable-key JSON object (the StatsReply body).
+[[nodiscard]] std::string stats_to_json(const ServerStats& s);
+
+class SpmvServer {
+ public:
+  explicit SpmvServer(ServerConfig cfg = {});
+
+  SpmvServer(const SpmvServer&) = delete;
+  SpmvServer& operator=(const SpmvServer&) = delete;
+
+  /// Process one request (by value: a submit's matrix is moved into the
+  /// cache, not copied).  `shed` marks the overload rung decided at
+  /// admission: submits then run the baseline plan.  Never throws — every
+  /// failure becomes an ErrorReply.
+  [[nodiscard]] Reply handle(Request req, bool shed = false);
+
+  /// Transport callback: a job was refused at admission (overload ladder's
+  /// top rung); feeds the rejected_overload counter.
+  void note_rejected();
+
+  [[nodiscard]] ServerStats stats() const;
+  [[nodiscard]] const ServerConfig& config() const noexcept { return cfg_; }
+  [[nodiscard]] PlanCache& cache() noexcept { return cache_; }
+
+  /// Set once a ShutdownRequest was processed; the transport polls it.
+  [[nodiscard]] bool shutdown_requested() const noexcept {
+    return shutdown_.load(std::memory_order_acquire);
+  }
+
+ private:
+  Reply handle_submit(SubmitRequest& req, bool shed);
+  Reply handle_run(const RunRequest& req);
+  Reply handle_run_many(const RunManyRequest& req);
+  Reply handle_solve(const SolveRequest& req);
+
+  /// Resident lookup falling back to the persistent tier; error reply text
+  /// tells the client to re-submit.
+  Expected<PlanCache::EntryPtr> lookup(const Fingerprint& fp);
+
+  ServerConfig cfg_;
+  engine::ExecutionEngine engine_;
+  PlanCache cache_;
+  std::atomic<bool> shutdown_{false};
+
+  mutable std::mutex mu_;  ///< serializes handle() (engine + counters)
+  ServerStats stats_;
+};
+
+class SocketServer {
+ public:
+  /// Binds nothing yet; call start().
+  SocketServer(SpmvServer& core, std::string socket_path);
+  ~SocketServer();
+
+  SocketServer(const SocketServer&) = delete;
+  SocketServer& operator=(const SocketServer&) = delete;
+
+  /// Bind + listen on the Unix socket (an existing stale socket file is
+  /// replaced), then spawn the accept and executor threads.  Io on bind
+  /// failure.
+  [[nodiscard]] Status start();
+
+  /// Block until a shutdown request or stop() ends the serve loop.
+  void wait();
+
+  /// Idempotent: close the listener and every connection, drain threads.
+  void stop();
+
+  [[nodiscard]] const std::string& socket_path() const noexcept {
+    return path_;
+  }
+
+ private:
+  struct Job {
+    std::string payload;  ///< encoded request frame payload
+    bool shed = false;    ///< admission decision at enqueue time
+  };
+  struct Connection {
+    int fd = -1;
+    std::thread reader;
+    std::mutex write_mu;          ///< reader (rejects) vs executor (replies)
+    std::deque<Job> queue;        ///< FIFO per client, guarded by jobs_mu_
+    bool closed = false;          ///< reader exited, guarded by jobs_mu_
+  };
+
+  void accept_loop();
+  void reader_loop(const std::shared_ptr<Connection>& conn);
+  void executor_loop();
+  void write_reply(Connection& conn, const Reply& reply);
+  /// Close listener + all connection fds so blocked reads/accepts return.
+  void close_all_fds();
+
+  SpmvServer& core_;
+  std::string path_;
+  int listen_fd_ = -1;
+  std::thread accepter_;
+  std::thread executor_;
+
+  std::mutex jobs_mu_;
+  std::condition_variable jobs_cv_;      ///< executor wakeup
+  std::condition_variable stopped_cv_;   ///< wait() wakeup
+  std::vector<std::shared_ptr<Connection>> conns_;
+  std::size_t rr_next_ = 0;              ///< round-robin drain cursor
+  int in_flight_ = 0;                    ///< queued + executing jobs
+  bool stopping_ = false;
+  bool started_ = false;
+};
+
+}  // namespace spmvopt::server

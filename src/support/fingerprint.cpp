@@ -1,0 +1,58 @@
+#include "support/fingerprint.hpp"
+
+#include <cstdio>
+
+namespace spmvopt {
+
+namespace {
+
+std::string hex8(std::uint32_t v) {
+  char buf[9];
+  std::snprintf(buf, sizeof buf, "%08x", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string Fingerprint::structure_key() const {
+  return "m" + std::to_string(nrows) + "x" + std::to_string(ncols) + "-n" +
+         std::to_string(nnz) + "-s" + hex8(structure_crc);
+}
+
+std::string Fingerprint::key() const {
+  return structure_key() + "-v" + hex8(values_crc);
+}
+
+Fingerprint fingerprint_arrays(index_t nrows, index_t ncols,
+                               std::span<const index_t> rowptr,
+                               std::span<const index_t> colind,
+                               std::span<const value_t> values) {
+  Fingerprint f;
+  f.nrows = nrows;
+  f.ncols = ncols;
+  f.nnz = nrows > 0 ? rowptr[static_cast<std::size_t>(nrows)] : 0;
+  // Chain rowptr into colind so "rows shifted by one" and "columns shifted
+  // by one" cannot cancel into the same digest.
+  std::uint32_t crc = crc32(rowptr.data(), rowptr.size_bytes());
+  f.structure_crc = crc32(colind.data(), colind.size_bytes(), crc);
+  f.values_crc = crc32(values.data(), values.size_bytes());
+  return f;
+}
+
+std::size_t FingerprintHash::operator()(const Fingerprint& f) const noexcept {
+  // FNV-1a over the five fields; quality is plenty for a cache map whose
+  // keys already contain two CRC32s.
+  std::uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  mix(static_cast<std::uint64_t>(static_cast<std::uint32_t>(f.nrows)));
+  mix(static_cast<std::uint64_t>(static_cast<std::uint32_t>(f.ncols)));
+  mix(static_cast<std::uint64_t>(static_cast<std::uint32_t>(f.nnz)));
+  mix(f.structure_crc);
+  mix(f.values_crc);
+  return static_cast<std::size_t>(h);
+}
+
+}  // namespace spmvopt

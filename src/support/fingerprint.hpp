@@ -1,0 +1,72 @@
+// Structural matrix fingerprints.
+//
+// The server's plan cache (src/server/, DESIGN.md §9) keys everything on the
+// identity of a submitted matrix, and the paper's amortization argument
+// (Table V) needs two *different* notions of identity:
+//
+//   * the STRUCTURE — dimensions, nnz, and a CRC32 digest of rowptr+colind.
+//     Feature extraction and classification read only the structure (Table I
+//     features are pattern statistics), so a structure hit can reuse a
+//     previously selected Plan without re-running either.
+//   * the full VALUE identity — structure plus a CRC32 of the values array.
+//     Only a full match may reuse a resident OptimizedSpmv: two matrices
+//     with the same pattern but different values run the same plan, not the
+//     same bound kernel.
+//
+// Lives in src/support (below src/sparse) so the binary cache and the server
+// can both use it; `fingerprint_of()` is a template over any matrix type
+// exposing nrows()/ncols()/rowptr_span()/colind_span()/values_span(), which
+// CsrMatrix does.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "support/crc32.hpp"
+#include "support/types.hpp"
+
+namespace spmvopt {
+
+struct Fingerprint {
+  index_t nrows = 0;
+  index_t ncols = 0;
+  index_t nnz = 0;
+  std::uint32_t structure_crc = 0;  ///< crc32 over rowptr, chained into colind
+  std::uint32_t values_crc = 0;     ///< crc32 over the values array
+
+  [[nodiscard]] bool operator==(const Fingerprint&) const = default;
+
+  /// True when dims/nnz/pattern match, regardless of values (plan reuse).
+  [[nodiscard]] bool same_structure(const Fingerprint& o) const noexcept {
+    return nrows == o.nrows && ncols == o.ncols && nnz == o.nnz &&
+           structure_crc == o.structure_crc;
+  }
+
+  /// "m<nrows>x<ncols>-n<nnz>-s<hex8>" — stable key of the structure only.
+  [[nodiscard]] std::string structure_key() const;
+  /// structure_key() + "-v<hex8>" — the full identity (also a valid file
+  /// name, used by the server's persistent cache tier).
+  [[nodiscard]] std::string key() const;
+};
+
+/// Fingerprint from raw CSR arrays (rowptr has nrows+1 entries, colind and
+/// values have rowptr[nrows] entries).
+[[nodiscard]] Fingerprint fingerprint_arrays(index_t nrows, index_t ncols,
+                                             std::span<const index_t> rowptr,
+                                             std::span<const index_t> colind,
+                                             std::span<const value_t> values);
+
+/// Fingerprint of any CSR-shaped matrix type (CsrMatrix in practice).
+template <class Matrix>
+[[nodiscard]] Fingerprint fingerprint_of(const Matrix& A) {
+  return fingerprint_arrays(A.nrows(), A.ncols(), A.rowptr_span(),
+                            A.colind_span(), A.values_span());
+}
+
+/// Hash over the full identity, for unordered_map keys.
+struct FingerprintHash {
+  [[nodiscard]] std::size_t operator()(const Fingerprint& f) const noexcept;
+};
+
+}  // namespace spmvopt

@@ -3,6 +3,7 @@
 // (TEST_P: kernel x matrix).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <functional>
 #include <string>
@@ -11,6 +12,7 @@
 #include "gen/generators.hpp"
 #include "gen/suite.hpp"
 #include "kernels/compose.hpp"
+#include "kernels/registry.hpp"
 #include "kernels/spmv.hpp"
 #include "support/cpu_info.hpp"
 
@@ -232,6 +234,28 @@ TEST(Kernels, SplitComposedMatchesReference) {
       for (std::size_t i = 0; i < y.size(); ++i)
         ASSERT_NEAR(y[i], expected[i], 1e-9 * std::max(1.0, std::abs(expected[i])));
     }
+}
+
+TEST(Kernels, RegistryNamesAreSortedAndComplete) {
+  // kernel_names() is user-facing (CLI/server "unknown kernel" replies) and
+  // must be deterministic and lexicographically sorted, independent of
+  // registration order.
+  const std::string joined = kernels::kernel_names();
+  std::vector<std::string> names;
+  std::size_t pos = 0;
+  while (pos <= joined.size()) {
+    const std::size_t comma = std::min(joined.find(", ", pos), joined.size());
+    names.push_back(joined.substr(pos, comma - pos));
+    pos = comma + 2;
+  }
+  ASSERT_EQ(names.size(), kernels::registry().size());
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+  // Every registry entry appears, and every listed name resolves back.
+  for (const auto& v : kernels::registry())
+    EXPECT_NE(std::find(names.begin(), names.end(), v.name), names.end())
+        << v.name << " missing from kernel_names()";
+  for (const auto& n : names)
+    EXPECT_NE(kernels::find_kernel(n), nullptr) << n;
 }
 
 TEST(Kernels, EmptyMatrixYieldsZeroVector) {

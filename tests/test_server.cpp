@@ -1,0 +1,684 @@
+// End-to-end tests for the spmvoptd server subsystem (DESIGN.md §9):
+// protocol codec round-trips and truncation, the plan cache's amortization
+// ladder (hot / warm / persist / miss), eviction under a byte budget,
+// overload shedding and rejection, the socket transport with concurrent
+// clients (the TSan shard exercises this), and the server fault points.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <span>
+#include <string>
+#include <thread>
+#include <variant>
+#include <vector>
+
+#include "gen/generators.hpp"
+#include "robust/fault_inject.hpp"
+#include "server/client.hpp"
+#include "server/plan_cache.hpp"
+#include "server/protocol.hpp"
+#include "server/server.hpp"
+#include "support/fingerprint.hpp"
+#include "verify/oracle.hpp"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace spmvopt::server {
+namespace {
+
+namespace fs = std::filesystem;
+
+CsrMatrix small_matrix(std::uint64_t seed = 7) {
+  return gen::random_uniform(200, 6, seed);
+}
+
+/// A unique, auto-cleaned directory under the system temp dir.
+class TempDir {
+ public:
+  explicit TempDir(const std::string& tag) {
+    path_ = fs::temp_directory_path() /
+            ("spmvopt_server_" + tag + "_" + std::to_string(::getpid()));
+    fs::remove_all(path_);
+    fs::create_directories(path_);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path_, ec);
+  }
+  [[nodiscard]] std::string str() const { return path_.string(); }
+  [[nodiscard]] const fs::path& path() const { return path_; }
+
+ private:
+  fs::path path_;
+};
+
+void expect_ulp_match(const CsrMatrix& A, std::span<const value_t> x,
+                      std::span<const value_t> y) {
+  const auto report = verify::check_spmv(A, x, y);
+  EXPECT_TRUE(report.pass()) << report.to_string();
+}
+
+template <class R>
+R expect_reply(const Reply& reply) {
+  const R* r = std::get_if<R>(&reply);
+  if (r == nullptr) {
+    const auto* err = std::get_if<ErrorReply>(&reply);
+    ADD_FAILURE() << "unexpected reply type"
+                  << (err ? ": " + err->message : std::string());
+    return R{};
+  }
+  return *r;
+}
+
+ErrorReply expect_error(const Reply& reply, ErrorCategory category) {
+  const auto* err = std::get_if<ErrorReply>(&reply);
+  if (err == nullptr) {
+    ADD_FAILURE() << "expected an ErrorReply";
+    return ErrorReply{};
+  }
+  EXPECT_EQ(static_cast<int>(err->category), static_cast<int>(category))
+      << error_category_name(err->category) << ": " << err->message;
+  return *err;
+}
+
+// ------------------------------------------------------------------- codec
+
+TEST(Protocol, RequestsRoundTrip) {
+  const CsrMatrix a = small_matrix();
+  const Fingerprint fp = fingerprint_of(a);
+
+  {
+    auto r = decode_request(encode_request(SubmitRequest{a}));
+    ASSERT_TRUE(r.ok()) << r.error().to_string();
+    const auto& req = std::get<SubmitRequest>(r.value());
+    EXPECT_TRUE(req.matrix.equals(a));
+  }
+  {
+    RunRequest in;
+    in.fp = fp;
+    in.x = {1.0, -2.5, 3.25};
+    auto r = decode_request(encode_request(in));
+    ASSERT_TRUE(r.ok()) << r.error().to_string();
+    const auto& req = std::get<RunRequest>(r.value());
+    EXPECT_EQ(req.fp, fp);
+    EXPECT_EQ(req.x, in.x);
+  }
+  {
+    RunManyRequest in;
+    in.fp = fp;
+    in.nrhs = 2;
+    in.X = {1.0, 2.0, 3.0, 4.0};
+    auto r = decode_request(encode_request(in));
+    ASSERT_TRUE(r.ok()) << r.error().to_string();
+    const auto& req = std::get<RunManyRequest>(r.value());
+    EXPECT_EQ(req.nrhs, 2);
+    EXPECT_EQ(req.X, in.X);
+  }
+  {
+    SolveRequest in;
+    in.fp = fp;
+    in.method = SolveMethod::Bicgstab;
+    in.max_iterations = 321;
+    in.rel_tolerance = 1e-6;
+    in.b = {0.5, 0.25};
+    auto r = decode_request(encode_request(in));
+    ASSERT_TRUE(r.ok()) << r.error().to_string();
+    const auto& req = std::get<SolveRequest>(r.value());
+    EXPECT_EQ(req.method, SolveMethod::Bicgstab);
+    EXPECT_EQ(req.max_iterations, 321);
+    EXPECT_DOUBLE_EQ(req.rel_tolerance, 1e-6);
+    EXPECT_EQ(req.b, in.b);
+  }
+  for (const Request& in :
+       {Request(StatsRequest{}), Request(PingRequest{}),
+        Request(ShutdownRequest{})}) {
+    auto r = decode_request(encode_request(in));
+    ASSERT_TRUE(r.ok()) << r.error().to_string();
+    EXPECT_EQ(r.value().index(), in.index());
+  }
+}
+
+TEST(Protocol, RepliesRoundTrip) {
+  {
+    SubmitReply in;
+    in.fp = fingerprint_of(small_matrix());
+    in.state = CacheState::Warm;
+    in.plan = "pf+unroll-vec";
+    in.pre_seconds = 0.125;
+    auto r = decode_reply(encode_reply(in));
+    ASSERT_TRUE(r.ok()) << r.error().to_string();
+    const auto& rep = std::get<SubmitReply>(r.value());
+    EXPECT_EQ(rep.fp, in.fp);
+    EXPECT_EQ(rep.state, CacheState::Warm);
+    EXPECT_EQ(rep.plan, in.plan);
+    EXPECT_DOUBLE_EQ(rep.pre_seconds, 0.125);
+  }
+  {
+    auto r = decode_reply(encode_reply(RunReply{{1.0, 2.0, -3.0}}));
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(std::get<RunReply>(r.value()).y,
+              (std::vector<value_t>{1.0, 2.0, -3.0}));
+  }
+  {
+    SolveReply in;
+    in.converged = true;
+    in.iterations = 17;
+    in.residual = 1e-9;
+    in.x = {4.0, 5.0};
+    auto r = decode_reply(encode_reply(in));
+    ASSERT_TRUE(r.ok());
+    const auto& rep = std::get<SolveReply>(r.value());
+    EXPECT_TRUE(rep.converged);
+    EXPECT_EQ(rep.iterations, 17);
+    EXPECT_EQ(rep.x, in.x);
+  }
+  {
+    auto r = decode_reply(encode_reply(
+        ErrorReply{ErrorCategory::Resource, "too big"}));
+    ASSERT_TRUE(r.ok());
+    const auto& rep = std::get<ErrorReply>(r.value());
+    EXPECT_EQ(rep.category, ErrorCategory::Resource);
+    EXPECT_EQ(rep.message, "too big");
+  }
+  {
+    auto r = decode_reply(encode_reply(PongReply{}));
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(std::get<PongReply>(r.value()).protocol_version,
+              kProtocolVersion);
+  }
+}
+
+TEST(Protocol, TruncatedPayloadIsARejectedDecode) {
+  RunRequest in;
+  in.fp = fingerprint_of(small_matrix());
+  in.x = {1.0, 2.0, 3.0, 4.0};
+  const std::string full = encode_request(in);
+  ASSERT_TRUE(decode_request(full).ok());
+  // Every strict prefix must be rejected, never crash or mis-parse.
+  for (std::size_t cut = 0; cut < full.size(); ++cut) {
+    auto r = decode_request(full.substr(0, cut));
+    EXPECT_FALSE(r.ok()) << "prefix of " << cut << " bytes decoded";
+  }
+}
+
+TEST(Protocol, TrailingGarbageIsAFormatError) {
+  const std::string payload = encode_request(PingRequest{}) + "xx";
+  auto r = decode_request(payload);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().category(), ErrorCategory::Format);
+}
+
+TEST(Protocol, UnknownTypeByteIsAFormatError) {
+  std::string payload(1, static_cast<char>(0x33));
+  auto r = decode_request(payload);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().category(), ErrorCategory::Format);
+  EXPECT_FALSE(decode_reply(payload).ok());
+}
+
+TEST(Protocol, PeekTypeReadsTheLeadingByte) {
+  EXPECT_EQ(peek_type(encode_request(PingRequest{})), MsgType::Ping);
+  EXPECT_EQ(peek_type(encode_reply(PongReply{})), MsgType::Pong);
+  EXPECT_EQ(peek_type(""), std::nullopt);
+}
+
+TEST(Protocol, FramesTraverseASocketPair) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  const std::string payload = encode_request(PingRequest{});
+  ASSERT_TRUE(write_frame(fds[0], payload).ok());
+  auto got = read_frame(fds[1]);
+  ASSERT_TRUE(got.ok()) << got.error().to_string();
+  ASSERT_TRUE(got.value().has_value());
+  EXPECT_EQ(*got.value(), payload);
+  // Closing the writer yields a clean EOF (nullopt), not an error.
+  ::close(fds[0]);
+  auto eof = read_frame(fds[1]);
+  ASSERT_TRUE(eof.ok());
+  EXPECT_FALSE(eof.value().has_value());
+  ::close(fds[1]);
+}
+
+// ---------------------------------------------------- in-process SpmvServer
+
+ServerConfig memory_only_config() {
+  ServerConfig cfg;
+  cfg.engine_threads = 2;
+  return cfg;
+}
+
+TEST(SpmvServer, SubmitMissThenHotSkipsThePipeline) {
+  SpmvServer srv(memory_only_config());
+  const CsrMatrix a = small_matrix();
+
+  const auto first =
+      expect_reply<SubmitReply>(srv.handle(SubmitRequest{a}));
+  EXPECT_EQ(first.state, CacheState::Miss);
+  EXPECT_EQ(first.fp, fingerprint_of(a));
+  EXPECT_FALSE(first.plan.empty());
+
+  const auto second =
+      expect_reply<SubmitReply>(srv.handle(SubmitRequest{a}));
+  EXPECT_EQ(second.state, CacheState::Hot);
+  EXPECT_EQ(second.plan, first.plan);
+  // The acceptance criterion: a warm job pays zero preprocessing — no
+  // feature extraction, no classification, no conversion.
+  EXPECT_EQ(second.pre_seconds, 0.0);
+
+  const ServerStats st = srv.stats();
+  EXPECT_EQ(st.cache.misses, 1u);
+  EXPECT_GE(st.cache.hot_hits, 1u);
+  EXPECT_EQ(st.submits, 2u);
+  EXPECT_EQ(st.errors, 0u);
+}
+
+TEST(SpmvServer, SamePatternNewValuesIsAWarmHit) {
+  SpmvServer srv(memory_only_config());
+  CsrMatrix a = small_matrix();
+  const auto first = expect_reply<SubmitReply>(srv.handle(SubmitRequest{a}));
+  EXPECT_EQ(first.state, CacheState::Miss);
+
+  // Perturb the values only: the structure fingerprint is unchanged, so the
+  // plan is reused (no re-classification) but conversion re-runs.
+  for (index_t k = 0; k < a.nnz(); ++k) a.values_mut()[k] *= 1.5;
+  const auto second = expect_reply<SubmitReply>(srv.handle(SubmitRequest{a}));
+  EXPECT_EQ(second.state, CacheState::Warm);
+  EXPECT_EQ(second.plan, first.plan);
+  EXPECT_NE(second.fp, first.fp);
+  EXPECT_TRUE(second.fp.same_structure(first.fp));
+  EXPECT_EQ(srv.stats().cache.warm_hits, 1u);
+}
+
+TEST(SpmvServer, RunMatchesTheUlpOracle) {
+  SpmvServer srv(memory_only_config());
+  const CsrMatrix a = gen::stencil_2d_5pt(24, 24);
+  const auto sub = expect_reply<SubmitReply>(srv.handle(SubmitRequest{a}));
+
+  RunRequest run;
+  run.fp = sub.fp;
+  run.x = gen::test_vector(a.ncols());
+  const auto& rep = expect_reply<RunReply>(srv.handle(run));
+  ASSERT_EQ(static_cast<index_t>(rep.y.size()), a.nrows());
+  expect_ulp_match(a, run.x, rep.y);
+}
+
+TEST(SpmvServer, RunManyMatchesTheUlpOracle) {
+  SpmvServer srv(memory_only_config());
+  const CsrMatrix a = small_matrix(11);
+  const auto sub = expect_reply<SubmitReply>(srv.handle(SubmitRequest{a}));
+
+  RunManyRequest rm;
+  rm.fp = sub.fp;
+  rm.nrhs = 3;
+  const auto ncols = static_cast<std::size_t>(a.ncols());
+  for (int r = 0; r < rm.nrhs; ++r) {
+    const auto x = gen::test_vector(a.ncols(), 100 + r);
+    rm.X.insert(rm.X.end(), x.begin(), x.end());
+  }
+  const auto& rep = expect_reply<RunManyReply>(srv.handle(rm));
+  ASSERT_EQ(rep.nrhs, 3);
+  const auto nrows = static_cast<std::size_t>(a.nrows());
+  ASSERT_EQ(rep.Y.size(), 3 * nrows);
+  for (int r = 0; r < 3; ++r)
+    expect_ulp_match(
+        a, std::span(rm.X).subspan(r * ncols, ncols),
+        std::span(rep.Y).subspan(static_cast<std::size_t>(r) * nrows, nrows));
+}
+
+TEST(SpmvServer, CgSolveConvergesOnAStencil) {
+  SpmvServer srv(memory_only_config());
+  const CsrMatrix a = gen::stencil_2d_5pt(16, 16);  // SPD
+  const auto sub = expect_reply<SubmitReply>(srv.handle(SubmitRequest{a}));
+
+  SolveRequest sr;
+  sr.fp = sub.fp;
+  sr.method = SolveMethod::Cg;
+  sr.b.assign(static_cast<std::size_t>(a.nrows()), 1.0);
+  const auto& rep = expect_reply<SolveReply>(srv.handle(sr));
+  EXPECT_TRUE(rep.converged);
+  EXPECT_GT(rep.iterations, 0);
+
+  // Check the residual claim independently: ||b - A x|| / ||b|| small.
+  std::vector<value_t> ax(static_cast<std::size_t>(a.nrows()));
+  a.multiply(rep.x, ax);
+  double rr = 0.0, bb = 0.0;
+  for (std::size_t i = 0; i < ax.size(); ++i) {
+    rr += (sr.b[i] - ax[i]) * (sr.b[i] - ax[i]);
+    bb += sr.b[i] * sr.b[i];
+  }
+  EXPECT_LT(rr, 1e-12 * bb);
+}
+
+TEST(SpmvServer, UnknownFingerprintIsAFormatError) {
+  SpmvServer srv(memory_only_config());
+  RunRequest run;
+  run.fp = fingerprint_of(small_matrix());
+  run.x.assign(static_cast<std::size_t>(small_matrix().ncols()), 1.0);
+  expect_error(srv.handle(run), ErrorCategory::Format);
+  EXPECT_EQ(srv.stats().errors, 1u);
+}
+
+TEST(SpmvServer, MismatchedOperandSizesAreFormatErrors) {
+  SpmvServer srv(memory_only_config());
+  const CsrMatrix a = small_matrix();
+  const auto sub = expect_reply<SubmitReply>(srv.handle(SubmitRequest{a}));
+
+  RunRequest run;
+  run.fp = sub.fp;
+  run.x = {1.0};  // wrong length
+  expect_error(srv.handle(run), ErrorCategory::Format);
+
+  SolveRequest sr;
+  sr.fp = sub.fp;
+  sr.b = {1.0};
+  expect_error(srv.handle(sr), ErrorCategory::Format);
+}
+
+TEST(SpmvServer, StatsReplyIsStructuredJson) {
+  SpmvServer srv(memory_only_config());
+  (void)srv.handle(SubmitRequest{small_matrix()});
+  const auto& rep = expect_reply<StatsReply>(srv.handle(StatsRequest{}));
+  EXPECT_NE(rep.json.find("\"schema\": \"spmvopt-server-stats/v1\""),
+            std::string::npos);
+  EXPECT_NE(rep.json.find("\"misses\": 1"), std::string::npos);
+}
+
+TEST(SpmvServer, ShutdownRequestSetsTheFlag) {
+  SpmvServer srv(memory_only_config());
+  EXPECT_FALSE(srv.shutdown_requested());
+  (void)expect_reply<ShutdownReply>(srv.handle(ShutdownRequest{}));
+  EXPECT_TRUE(srv.shutdown_requested());
+}
+
+// -------------------------------------------------- eviction and admission
+
+TEST(SpmvServer, EvictionUnderATinyByteBudget) {
+  const CsrMatrix a = small_matrix(1);
+  const CsrMatrix b = small_matrix(2);
+
+  ServerConfig cfg = memory_only_config();
+  // Budget fits one matrix (CSR + optimized form), never two.
+  cfg.cache.max_resident_bytes = 3 * a.format_bytes();
+  SpmvServer srv(cfg);
+
+  const auto sa = expect_reply<SubmitReply>(srv.handle(SubmitRequest{a}));
+  (void)expect_reply<SubmitReply>(srv.handle(SubmitRequest{b}));
+  const ServerStats st = srv.stats();
+  EXPECT_GE(st.cache.evictions, 1u);
+  EXPECT_LE(st.cache.resident_bytes, cfg.cache.max_resident_bytes);
+
+  // The evicted matrix is gone (memory-only tier): typed Format error.
+  RunRequest run;
+  run.fp = sa.fp;
+  run.x.assign(static_cast<std::size_t>(a.ncols()), 1.0);
+  expect_error(srv.handle(run), ErrorCategory::Format);
+}
+
+TEST(SpmvServer, MatrixOverTheBudgetIsAResourceError) {
+  ServerConfig cfg = memory_only_config();
+  cfg.cache.max_resident_bytes = 64;  // nothing real fits
+  SpmvServer srv(cfg);
+  expect_error(srv.handle(SubmitRequest{small_matrix()}),
+               ErrorCategory::Resource);
+}
+
+TEST(SpmvServer, ShedSubmitRunsTheBaselinePlan) {
+  SpmvServer srv(memory_only_config());
+  const auto rep = expect_reply<SubmitReply>(
+      srv.handle(SubmitRequest{small_matrix()}, /*shed=*/true));
+  // The degradation ladder's middle rung: admitted, but with the
+  // classification stage skipped — the always-valid baseline CSR plan.
+  EXPECT_EQ(rep.plan, "baseline");
+  EXPECT_EQ(srv.stats().shed_submits, 1u);
+  EXPECT_EQ(srv.stats().cache.misses, 0u);  // classification never ran
+}
+
+// ------------------------------------------------------- persistent tier
+
+TEST(SpmvServer, PersistentTierSurvivesARestart) {
+  TempDir dir("persist");
+  ServerConfig cfg = memory_only_config();
+  cfg.cache.persist_dir = dir.str();
+
+  const CsrMatrix a = small_matrix(5);
+  Fingerprint fp;
+  {
+    SpmvServer first(cfg);
+    fp = expect_reply<SubmitReply>(first.handle(SubmitRequest{a})).fp;
+    EXPECT_EQ(first.stats().cache.misses, 1u);
+  }
+
+  // A fresh server (fresh memory tier) can run the fingerprint directly:
+  // matrix and plan come back from disk, classification does not re-run.
+  SpmvServer second(cfg);
+  RunRequest run;
+  run.fp = fp;
+  run.x = gen::test_vector(a.ncols());
+  const auto& rep = expect_reply<RunReply>(second.handle(run));
+  expect_ulp_match(a, run.x, rep.y);
+  const ServerStats st = second.stats();
+  EXPECT_EQ(st.cache.persist_hits, 1u);
+  EXPECT_EQ(st.cache.misses, 0u);
+
+  // And a re-submit after eviction lands on the warm plan file, not a miss.
+  second.cache().evict_all();
+  const auto resub = expect_reply<SubmitReply>(second.handle(SubmitRequest{a}));
+  EXPECT_EQ(resub.state, CacheState::Warm);
+}
+
+TEST(SpmvServer, EvictedEntryReloadsFromDisk) {
+  TempDir dir("reload");
+  ServerConfig cfg = memory_only_config();
+  cfg.cache.persist_dir = dir.str();
+  SpmvServer srv(cfg);
+
+  const CsrMatrix a = small_matrix(6);
+  const auto fp = expect_reply<SubmitReply>(srv.handle(SubmitRequest{a})).fp;
+  srv.cache().evict_all();
+
+  RunRequest run;
+  run.fp = fp;
+  run.x = gen::test_vector(a.ncols());
+  const auto& rep = expect_reply<RunReply>(srv.handle(run));
+  expect_ulp_match(a, run.x, rep.y);
+  EXPECT_EQ(srv.stats().cache.persist_hits, 1u);
+}
+
+// ------------------------------------------------------- socket transport
+
+class SocketFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    socket_path_ = (fs::temp_directory_path() /
+                    ("spmvoptd_test_" + std::to_string(::getpid()) + ".sock"))
+                       .string();
+    ServerConfig cfg = memory_only_config();
+    configure(cfg);
+    core_ = std::make_unique<SpmvServer>(cfg);
+    sock_ = std::make_unique<SocketServer>(*core_, socket_path_);
+    auto started = sock_->start();
+    ASSERT_TRUE(started.ok()) << started.error().to_string();
+  }
+  void TearDown() override {
+    if (sock_) sock_->stop();
+  }
+  virtual void configure(ServerConfig&) {}
+
+  Client connect() {
+    auto c = Client::connect(socket_path_);
+    if (!c.ok()) {
+      // Cannot ASSERT from a non-void helper; a missing server makes every
+      // downstream expectation meaningless, so fail hard.
+      ADD_FAILURE() << c.error().to_string();
+      std::abort();
+    }
+    return std::move(c.value());
+  }
+
+  std::string socket_path_;
+  std::unique_ptr<SpmvServer> core_;
+  std::unique_ptr<SocketServer> sock_;
+};
+
+TEST_F(SocketFixture, FullSessionOverTheSocket) {
+  Client c = connect();
+  ASSERT_TRUE(c.ping().ok());
+
+  const CsrMatrix a = gen::stencil_2d_5pt(20, 20);
+  auto sub = c.submit(a);
+  ASSERT_TRUE(sub.ok()) << sub.error().to_string();
+  EXPECT_EQ(sub.value().state, CacheState::Miss);
+
+  const auto x = gen::test_vector(a.ncols());
+  auto y = c.run(sub.value().fp, x);
+  ASSERT_TRUE(y.ok()) << y.error().to_string();
+  expect_ulp_match(a, x, y.value());
+
+  auto sub2 = c.submit(a);
+  ASSERT_TRUE(sub2.ok());
+  EXPECT_EQ(sub2.value().state, CacheState::Hot);
+
+  auto stats = c.stats_json();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_NE(stats.value().find("spmvopt-server-stats/v1"), std::string::npos);
+
+  ASSERT_TRUE(c.shutdown_server().ok());
+  sock_->wait();  // returns because the shutdown request stopped the loop
+}
+
+TEST_F(SocketFixture, ServerSideErrorsComeBackTyped) {
+  Client c = connect();
+  RunRequest run;
+  run.fp = fingerprint_of(small_matrix());
+  auto y = c.run(run.fp, std::vector<value_t>(200, 1.0));
+  ASSERT_FALSE(y.ok());
+  EXPECT_EQ(y.error().category(), ErrorCategory::Format);
+  // The error did not tear down the session.
+  EXPECT_TRUE(c.ping().ok());
+}
+
+TEST_F(SocketFixture, ConcurrentClientsGetCorrectAnswers) {
+  constexpr int kClients = 4;
+  constexpr int kRuns = 8;
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < kClients; ++t) {
+    threads.emplace_back([this, t, &failures] {
+      auto c = Client::connect(socket_path_);
+      if (!c.ok()) {
+        ++failures;
+        return;
+      }
+      // Half the clients share a matrix (hot-path contention), half bring
+      // their own (eviction-free coexistence).
+      const CsrMatrix a = small_matrix(t % 2 == 0 ? 42 : 1000 + t);
+      auto sub = c.value().submit(a);
+      if (!sub.ok()) {
+        ++failures;
+        return;
+      }
+      const auto x = gen::test_vector(a.ncols(), 7 + t);
+      for (int r = 0; r < kRuns; ++r) {
+        auto y = c.value().run(sub.value().fp, x);
+        if (!y.ok() || !verify::check_spmv(a, x, y.value()).pass()) {
+          ++failures;
+          return;
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_GE(core_->stats().runs, static_cast<std::uint64_t>(kClients * kRuns));
+}
+
+class RejectingSocketFixture : public SocketFixture {
+ protected:
+  void configure(ServerConfig& cfg) override {
+    cfg.max_in_flight = 0;  // every job is refused at admission
+  }
+};
+
+TEST_F(RejectingSocketFixture, OverloadedServerRejectsWithResource) {
+  Client c = connect();
+  auto sub = c.submit(small_matrix());
+  ASSERT_FALSE(sub.ok());
+  EXPECT_EQ(sub.error().category(), ErrorCategory::Resource);
+  EXPECT_NE(sub.error().message().find("overloaded"), std::string::npos);
+  EXPECT_GE(core_->stats().rejected_overload, 1u);
+  // Rejection is per-job, not per-connection: the session stays usable (and
+  // stays rejected, deterministically).
+  auto again = c.submit(small_matrix());
+  ASSERT_FALSE(again.ok());
+  EXPECT_EQ(again.error().category(), ErrorCategory::Resource);
+}
+
+class SheddingSocketFixture : public SocketFixture {
+ protected:
+  void configure(ServerConfig& cfg) override {
+    cfg.shed_in_flight = 0;  // every submit sheds to the baseline plan
+  }
+};
+
+TEST_F(SheddingSocketFixture, OverloadedSubmitsShedToBaseline) {
+  Client c = connect();
+  auto sub = c.submit(small_matrix());
+  ASSERT_TRUE(sub.ok()) << sub.error().to_string();
+  EXPECT_EQ(sub.value().plan, "baseline");
+  EXPECT_GE(core_->stats().shed_submits, 1u);
+}
+
+// -------------------------------------------------------- fault injection
+
+TEST(ServerFaults, FrameTruncationYieldsATypedFormatError) {
+  if (!robust::fault_injection_enabled())
+    GTEST_SKIP() << "built without SPMVOPT_FAULT_INJECTION";
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  RunRequest run;
+  run.fp = fingerprint_of(small_matrix());
+  run.x = {1.0, 2.0, 3.0, 4.0};
+  ASSERT_TRUE(write_frame(fds[0], encode_request(run)).ok());
+
+  robust::fault_arm("server.frame_truncate");
+  auto frame = read_frame(fds[1]);
+  robust::fault_disarm_all();
+  // The frame arrives (stream stays synchronized) but its payload was cut:
+  // the decode stage must reject it as Format, not crash or mis-parse.
+  ASSERT_TRUE(frame.ok()) << frame.error().to_string();
+  ASSERT_TRUE(frame.value().has_value());
+  auto req = decode_request(*frame.value());
+  ASSERT_FALSE(req.ok());
+  EXPECT_EQ(req.error().category(), ErrorCategory::Format);
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+TEST(ServerFaults, EvictionDuringARunningJobIsSafe) {
+  if (!robust::fault_injection_enabled())
+    GTEST_SKIP() << "built without SPMVOPT_FAULT_INJECTION";
+  SpmvServer srv(memory_only_config());
+  const CsrMatrix a = small_matrix(9);
+  const auto sub = expect_reply<SubmitReply>(srv.handle(SubmitRequest{a}));
+
+  RunRequest run;
+  run.fp = sub.fp;
+  run.x = gen::test_vector(a.ncols());
+  robust::fault_arm("server.evict_during_run");
+  const auto& rep = expect_reply<RunReply>(srv.handle(run));
+  robust::fault_disarm_all();
+  // The whole cache was evicted mid-job; the in-flight entry must have
+  // stayed alive (shared ownership) and produced the right answer.
+  expect_ulp_match(a, run.x, rep.y);
+  const ServerStats st = srv.stats();
+  EXPECT_EQ(st.cache.entries, 0u);
+  EXPECT_GE(st.cache.evictions, 1u);
+}
+
+}  // namespace
+}  // namespace spmvopt::server

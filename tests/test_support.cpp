@@ -1,11 +1,15 @@
 #include <gtest/gtest.h>
 
+#include <cctype>
 #include <cstdint>
 #include <set>
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include "support/aligned.hpp"
 #include "support/cpu_info.hpp"
+#include "support/fingerprint.hpp"
 #include "support/partition.hpp"
 #include "support/rng.hpp"
 #include "support/table.hpp"
@@ -169,6 +173,83 @@ TEST(Table, RendersAlignedColumns) {
 TEST(Table, RejectsArityMismatch) {
   Table t({"a", "b"});
   EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+// --------------------------------------------------------------- fingerprint
+
+namespace {
+
+/// A tiny 2x3 CSR: row 0 = {a@0, b@2}, row 1 = {c@1}.
+struct FpArrays {
+  std::vector<index_t> rowptr{0, 2, 3};
+  std::vector<index_t> colind{0, 2, 1};
+  std::vector<value_t> values{1.0, 2.0, 3.0};
+
+  Fingerprint fp() const {
+    return fingerprint_arrays(2, 3, rowptr, colind, values);
+  }
+};
+
+}  // namespace
+
+TEST(Fingerprint, DeterministicAndSelfEqual) {
+  FpArrays a;
+  const Fingerprint f1 = a.fp();
+  const Fingerprint f2 = a.fp();
+  EXPECT_EQ(f1, f2);
+  EXPECT_TRUE(f1.same_structure(f2));
+  EXPECT_EQ(f1.nrows, 2);
+  EXPECT_EQ(f1.ncols, 3);
+  EXPECT_EQ(f1.nnz, 3);
+}
+
+TEST(Fingerprint, ValueChangeKeepsStructure) {
+  FpArrays a, b;
+  b.values[1] = -7.5;
+  const Fingerprint fa = a.fp();
+  const Fingerprint fb = b.fp();
+  EXPECT_NE(fa, fb);                       // full identity differs
+  EXPECT_TRUE(fa.same_structure(fb));      // pattern identical -> plan reuse
+  EXPECT_EQ(fa.structure_key(), fb.structure_key());
+  EXPECT_NE(fa.key(), fb.key());
+}
+
+TEST(Fingerprint, PatternChangeBreaksStructure) {
+  FpArrays a, b;
+  b.colind[2] = 0;  // same dims/nnz, different pattern
+  EXPECT_FALSE(a.fp().same_structure(b.fp()));
+  EXPECT_NE(a.fp().structure_key(), b.fp().structure_key());
+}
+
+TEST(Fingerprint, RowptrShiftBreaksStructure) {
+  FpArrays a, b;
+  b.rowptr = {0, 1, 3};  // entries redistributed between the rows
+  EXPECT_FALSE(a.fp().same_structure(b.fp()));
+}
+
+TEST(Fingerprint, DimensionChangeBreaksStructure) {
+  FpArrays a;
+  const Fingerprint fa = a.fp();
+  const Fingerprint fb = fingerprint_arrays(2, 4, a.rowptr, a.colind, a.values);
+  EXPECT_FALSE(fa.same_structure(fb));
+}
+
+TEST(Fingerprint, KeyIsAValidFileName) {
+  const std::string k = FpArrays{}.fp().key();
+  EXPECT_FALSE(k.empty());
+  for (char c : k)
+    EXPECT_TRUE(std::isalnum(static_cast<unsigned char>(c)) || c == '-')
+        << "key '" << k << "' contains '" << c << "'";
+  // And the structure key is a strict prefix of the full key.
+  EXPECT_EQ(k.rfind(FpArrays{}.fp().structure_key(), 0), 0u);
+}
+
+TEST(FingerprintHash, DistinguishesValueTwins) {
+  FpArrays a, b;
+  b.values[0] = 99.0;
+  // Not guaranteed in theory, but FNV over 5 fields should separate these.
+  EXPECT_NE(FingerprintHash{}(a.fp()), FingerprintHash{}(b.fp()));
+  EXPECT_EQ(FingerprintHash{}(a.fp()), FingerprintHash{}(a.fp()));
 }
 
 }  // namespace

@@ -11,6 +11,11 @@
 //                                                 orchestrated sweep -> JSON
 //   spmvopt_cli compare  <old.json> <new.json> [--threshold F] [--advisory]
 //                                                 statistical regression gate
+//   spmvopt_cli client   <op> [args] [--socket PATH]
+//                                                 talk to a running spmvoptd:
+//                                                 ping | stats | shutdown |
+//                                                 submit <matrix> |
+//                                                 run <matrix>
 //
 // <matrix> is a path ending in .mtx or .csrbin, or suite:NAME for a matrix
 // of the paper's evaluation suite (e.g. suite:poisson3Db).
@@ -20,6 +25,7 @@
 // `compare` additionally exits 1 when it finds a statistically supported
 // regression (unless --advisory), so CI can gate on it directly.
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -382,6 +388,77 @@ int cmd_compare(const std::vector<std::string>& args) {
   return 0;
 }
 
+/// `spmvopt_cli client <op> ...` — drive a running spmvoptd over its socket.
+/// Server/transport failures arrive as typed Errors and exit with the same
+/// sysexits codes the rest of the CLI uses.
+int cmd_client(const std::vector<std::string>& args) {
+  std::string socket_path = "/tmp/spmvoptd.sock";
+  std::vector<std::string> pos;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--socket") {
+      if (i + 1 >= args.size()) throw UsageError("--socket requires a path");
+      socket_path = args[++i];
+    } else if (!args[i].empty() && args[i][0] == '-') {
+      throw UsageError("unknown client flag '" + args[i] + "'");
+    } else {
+      pos.push_back(args[i]);
+    }
+  }
+  if (pos.empty())
+    throw UsageError("client needs an op: ping|stats|shutdown|submit|run");
+  const std::string& op = pos[0];
+
+  auto client = server::Client::connect(socket_path);
+  if (!client.ok()) throw SpmvException(std::move(client).error());
+  server::Client& c = client.value();
+
+  if (op == "ping") {
+    if (Status s = c.ping(); !s.ok())
+      throw SpmvException(std::move(s).error());
+    std::printf("pong (protocol v%u) from %s\n", server::kProtocolVersion,
+                socket_path.c_str());
+    return 0;
+  }
+  if (op == "stats") {
+    auto json = c.stats_json();
+    if (!json.ok()) throw SpmvException(std::move(json).error());
+    std::printf("%s\n", json.value().c_str());
+    return 0;
+  }
+  if (op == "shutdown") {
+    if (Status s = c.shutdown_server(); !s.ok())
+      throw SpmvException(std::move(s).error());
+    std::printf("server at %s is shutting down\n", socket_path.c_str());
+    return 0;
+  }
+  if ((op == "submit" || op == "run") && pos.size() == 2) {
+    const CsrMatrix a = load_matrix(pos[1]);
+    Timer t;
+    auto sub = c.submit(a);
+    if (!sub.ok()) throw SpmvException(std::move(sub).error());
+    const double submit_sec = t.elapsed_sec();
+    std::printf("submit %s: fingerprint %s, cache %s, plan [%s]\n"
+                "  server prep %.1f ms, round trip %.1f ms\n",
+                pos[1].c_str(), sub.value().fp.key().c_str(),
+                server::cache_state_name(sub.value().state),
+                sub.value().plan.c_str(), sub.value().pre_seconds * 1e3,
+                submit_sec * 1e3);
+    if (op == "submit") return 0;
+
+    const std::vector<value_t> x(static_cast<std::size_t>(a.ncols()), 1.0);
+    t.reset();
+    auto y = c.run(sub.value().fp, x);
+    if (!y.ok()) throw SpmvException(std::move(y).error());
+    double norm = 0.0;
+    for (const value_t v : y.value()) norm += v * v;
+    std::printf("run: y = A*ones, ||y||_2 = %.6g  [round trip %.1f ms]\n",
+                std::sqrt(norm), t.elapsed_sec() * 1e3);
+    return 0;
+  }
+  throw UsageError("client op must be ping|stats|shutdown|submit <matrix>|"
+                   "run <matrix>");
+}
+
 int usage() {
   std::fprintf(stderr,
                "usage:\n"
@@ -397,6 +474,8 @@ int usage() {
                "                       [--engine] [--pin=compact|scatter]\n"
                "  spmvopt_cli compare  <old.json> <new.json> [--threshold F]\n"
                "                       [--advisory]\n"
+               "  spmvopt_cli client   ping|stats|shutdown [--socket PATH]\n"
+               "  spmvopt_cli client   submit|run <matrix> [--socket PATH]\n"
                "<matrix>: *.mtx | *.csrbin | suite:NAME\n");
   return kExitUsage;
 }
@@ -451,6 +530,8 @@ int main(int argc, char** argv) {
     }
     if (cmd == "compare" && argc >= 4)
       return cmd_compare({argv + 2, argv + argc});
+    if (cmd == "client" && argc >= 3)
+      return cmd_client({argv + 2, argv + argc});
   } catch (const UsageError& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return kExitUsage;

@@ -1,0 +1,153 @@
+// spmvoptd — the long-running multi-tenant SpMV server (DESIGN.md §9).
+//
+//   spmvoptd [--socket PATH] [--cache-dir DIR] [--max-bytes N]
+//            [--threads N] [--pin=compact|scatter] [--max-inflight N]
+//            [--shed N]
+//
+// Binds a Unix-domain socket, keeps a persistent ExecutionEngine warm, and
+// serves submit/run/solve requests from any number of clients, amortizing
+// the per-matrix optimization cost (feature extraction, classification,
+// format conversion) across all of them through the fingerprint-keyed plan
+// cache.  SIGINT/SIGTERM (or a client Shutdown request) stop it cleanly.
+//
+// Exit codes follow BSD sysexits: 0 success, 64 usage, 66 cannot bind.
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+
+#include "robust/error.hpp"
+#include "server/server.hpp"
+#include "support/topology.hpp"
+
+namespace {
+
+using namespace spmvopt;
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: spmvoptd [--socket PATH]     (default /tmp/spmvoptd.sock)\n"
+      "                [--cache-dir DIR]   persistent matrix+plan tier\n"
+      "                [--max-bytes N]     resident cache budget (bytes)\n"
+      "                [--threads N]       compute team size (default: cores)\n"
+      "                [--pin=compact|scatter]  worker affinity\n"
+      "                [--max-inflight N]  reject jobs beyond this (def 64)\n"
+      "                [--shed N]          shed submits beyond this (def 32)\n");
+  return kExitUsage;
+}
+
+/// Parse a positive integer flag value; exits 64 on junk.
+long long parse_positive(const char* flag, const std::string& value) {
+  char* end = nullptr;
+  const long long n = std::strtoll(value.c_str(), &end, 10);
+  if (end == value.c_str() || *end != '\0' || n <= 0) {
+    std::fprintf(stderr, "spmvoptd: %s expects a positive integer, got '%s'\n",
+                 flag, value.c_str());
+    std::exit(kExitUsage);
+  }
+  return n;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string socket_path = "/tmp/spmvoptd.sock";
+  server::ServerConfig cfg;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    const auto next = [&](const char* flag) -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "spmvoptd: %s requires a value\n", flag);
+        std::exit(kExitUsage);
+      }
+      return argv[++i];
+    };
+    if (a == "--socket") {
+      socket_path = next("--socket");
+    } else if (a == "--cache-dir") {
+      cfg.cache.persist_dir = next("--cache-dir");
+    } else if (a == "--max-bytes") {
+      cfg.cache.max_resident_bytes =
+          static_cast<std::size_t>(parse_positive("--max-bytes",
+                                                  next("--max-bytes")));
+    } else if (a == "--threads") {
+      cfg.engine_threads =
+          static_cast<int>(parse_positive("--threads", next("--threads")));
+    } else if (a.rfind("--pin=", 0) == 0) {
+      const auto p = parse_pin_policy(a.substr(6));
+      if (!p) {
+        std::fprintf(stderr, "spmvoptd: --pin expects compact|scatter|none\n");
+        return kExitUsage;
+      }
+      cfg.pin = *p;
+    } else if (a == "--max-inflight") {
+      cfg.max_in_flight =
+          static_cast<int>(parse_positive("--max-inflight",
+                                          next("--max-inflight")));
+    } else if (a == "--shed") {
+      cfg.shed_in_flight =
+          static_cast<int>(parse_positive("--shed", next("--shed")));
+    } else if (a == "--help" || a == "-h") {
+      (void)usage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "spmvoptd: unknown flag '%s'\n", a.c_str());
+      return usage();
+    }
+  }
+
+  // Block SIGINT/SIGTERM in every thread (children inherit the mask), then
+  // sigwait on a dedicated thread: signal-safe shutdown without handlers.
+  sigset_t sigs;
+  sigemptyset(&sigs);
+  sigaddset(&sigs, SIGINT);
+  sigaddset(&sigs, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &sigs, nullptr);
+
+  server::SpmvServer core(cfg);
+  server::SocketServer sock(core, socket_path);
+  if (Status s = sock.start(); !s.ok()) {
+    std::fprintf(stderr, "spmvoptd: %s\n",
+                 std::move(s).error().to_string().c_str());
+    return exit_code_for(ErrorCategory::Io);
+  }
+  std::fprintf(stderr,
+               "spmvoptd: listening on %s (%d compute threads, %s cache, "
+               "%d max in-flight)\n",
+               socket_path.c_str(), core.stats().engine_threads,
+               cfg.cache.persist_dir.empty() ? "memory-only"
+                                             : cfg.cache.persist_dir.c_str(),
+               cfg.max_in_flight);
+
+  std::atomic<bool> quitting{false};
+  std::thread signal_thread([&sigs, &sock, &quitting] {
+    int sig = 0;
+    if (sigwait(&sigs, &sig) == 0 && !quitting.load())
+      std::fprintf(stderr, "spmvoptd: caught signal %d, shutting down\n", sig);
+    sock.stop();
+  });
+
+  sock.wait();
+  sock.stop();
+  // Unblock the signal thread if shutdown came from a client request.
+  quitting.store(true);
+  pthread_kill(signal_thread.native_handle(), SIGTERM);
+  signal_thread.join();
+
+  const server::ServerStats st = core.stats();
+  std::fprintf(stderr,
+               "spmvoptd: served %llu requests (%llu errors, %llu rejected); "
+               "cache hot/warm/persist/miss = %llu/%llu/%llu/%llu\n",
+               static_cast<unsigned long long>(st.requests),
+               static_cast<unsigned long long>(st.errors),
+               static_cast<unsigned long long>(st.rejected_overload),
+               static_cast<unsigned long long>(st.cache.hot_hits),
+               static_cast<unsigned long long>(st.cache.warm_hits),
+               static_cast<unsigned long long>(st.cache.persist_hits),
+               static_cast<unsigned long long>(st.cache.misses));
+  return 0;
+}
