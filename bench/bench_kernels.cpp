@@ -1,7 +1,9 @@
 // Kernel microbenchmarks (google-benchmark): ns/op and effective GB/s for
-// every kernel variant in the optimization pool, on three structurally
+// every kernel variant in the optimization pool, on four structurally
 // distinct representatives (regular stencil, irregular random, skewed
-// power-law).  Complements the figure benches with per-kernel latency data.
+// power-law, one-monster-row).  Complements the figure benches with
+// per-kernel latency data; the monster-row cell pits the merge-path plan
+// against dynamic-scheduled CSR on the worst-case IMB shape.
 //
 // The named-kernel axis is driven by kernels::registry(): each registered
 // variant is bound once per workload (conversions and partitions paid at
@@ -37,10 +39,12 @@ Workload& workload(int which) {
   static Workload stencil{gen::stencil_3d_7pt(32, 32, 32)};
   static Workload random{gen::random_uniform(40000, 12, 3)};
   static Workload skewed{gen::few_dense_rows(40000, 3, 6, 30000, 5)};
+  static Workload monster{gen::monster_row(60000, 60000, 2, 0, 7)};
   switch (which) {
     case 0: return stencil;
     case 1: return random;
-    default: return skewed;
+    case 2: return skewed;
+    default: return monster;
   }
 }
 
@@ -48,7 +52,8 @@ const char* workload_name(int which) {
   switch (which) {
     case 0: return "stencil3d";
     case 1: return "random";
-    default: return "skewed";
+    case 2: return "skewed";
+    default: return "monsterrow";
   }
 }
 
@@ -86,10 +91,16 @@ optimize::Plan make_plan(kernels::Sched s, bool pf, kernels::Compute c,
   return p;
 }
 
+optimize::Plan merge_plan() {
+  optimize::Plan p;
+  p.merge_path = true;
+  return p;
+}
+
 void register_registry_benchmarks() {
   const int threads = default_threads();
   for (const kernels::KernelVariant& v : kernels::registry()) {
-    for (int which = 0; which < 3; ++which) {
+    for (int which = 0; which < 4; ++which) {
       Workload& w = workload(which);
       kernels::BoundSpmv bound = v.bind(w.a, threads);
       if (!bound) continue;  // requirements unmet on this workload
@@ -110,35 +121,44 @@ void register_registry_benchmarks() {
 }  // namespace
 
 BENCHMARK_CAPTURE(BM_Plan, baseline, optimize::Plan{})
-    ->DenseRange(0, 2)->Unit(benchmark::kMicrosecond);
+    ->DenseRange(0, 3)->Unit(benchmark::kMicrosecond);
 BENCHMARK_CAPTURE(BM_Plan, prefetch,
                   make_plan(kernels::Sched::BalancedStatic, true,
                             kernels::Compute::Scalar, false, false))
-    ->DenseRange(0, 2)->Unit(benchmark::kMicrosecond);
+    ->DenseRange(0, 3)->Unit(benchmark::kMicrosecond);
 BENCHMARK_CAPTURE(BM_Plan, vector,
                   make_plan(kernels::Sched::BalancedStatic, false,
                             kernels::Compute::Vector, false, false))
-    ->DenseRange(0, 2)->Unit(benchmark::kMicrosecond);
+    ->DenseRange(0, 3)->Unit(benchmark::kMicrosecond);
 BENCHMARK_CAPTURE(BM_Plan, unroll_vector,
                   make_plan(kernels::Sched::BalancedStatic, false,
                             kernels::Compute::UnrollVector, false, false))
-    ->DenseRange(0, 2)->Unit(benchmark::kMicrosecond);
+    ->DenseRange(0, 3)->Unit(benchmark::kMicrosecond);
 BENCHMARK_CAPTURE(BM_Plan, delta_vector,
                   make_plan(kernels::Sched::BalancedStatic, false,
                             kernels::Compute::Vector, true, false))
-    ->DenseRange(0, 2)->Unit(benchmark::kMicrosecond);
+    ->DenseRange(0, 3)->Unit(benchmark::kMicrosecond);
 BENCHMARK_CAPTURE(BM_Plan, auto_sched,
                   make_plan(kernels::Sched::Auto, false,
                             kernels::Compute::Scalar, false, false))
-    ->DenseRange(0, 2)->Unit(benchmark::kMicrosecond);
+    ->DenseRange(0, 3)->Unit(benchmark::kMicrosecond);
 BENCHMARK_CAPTURE(BM_Plan, split_long_rows,
                   make_plan(kernels::Sched::BalancedStatic, false,
                             kernels::Compute::Scalar, false, true))
-    ->DenseRange(0, 2)->Unit(benchmark::kMicrosecond);
+    ->DenseRange(0, 3)->Unit(benchmark::kMicrosecond);
 BENCHMARK_CAPTURE(BM_Plan, pf_vec_auto,
                   make_plan(kernels::Sched::Auto, true,
                             kernels::Compute::Vector, false, false))
-    ->DenseRange(0, 2)->Unit(benchmark::kMicrosecond);
+    ->DenseRange(0, 3)->Unit(benchmark::kMicrosecond);
+// The merge-vs-dynamic IMB cell: on the monster-row workload (range index 3)
+// the merge-path plan should beat dynamic-scheduled CSR, the best
+// row-parallel fallback for extreme skew.
+BENCHMARK_CAPTURE(BM_Plan, merge_path, merge_plan())
+    ->DenseRange(0, 3)->Unit(benchmark::kMicrosecond);
+BENCHMARK_CAPTURE(BM_Plan, dynamic_csr,
+                  make_plan(kernels::Sched::Dynamic, false,
+                            kernels::Compute::Scalar, false, false))
+    ->DenseRange(0, 3)->Unit(benchmark::kMicrosecond);
 
 int main(int argc, char** argv) {
   register_registry_benchmarks();

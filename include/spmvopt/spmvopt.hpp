@@ -34,6 +34,7 @@
 #include "gen/suite.hpp"
 
 // Kernels: the named-variant registry, SpMM, and the composed-kernel space.
+#include "kernels/merge_csr.hpp"
 #include "kernels/registry.hpp"
 #include "kernels/spmm.hpp"
 #include "kernels/spmv.hpp"

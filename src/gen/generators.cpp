@@ -281,6 +281,61 @@ CsrMatrix few_dense_rows(index_t n, index_t base_nnz, index_t num_dense,
   return CsrMatrix::from_coo(coo);
 }
 
+CsrMatrix monster_row(index_t n, index_t monster_len, index_t base_nnz,
+                      index_t empty_run, std::uint64_t seed) {
+  require_positive(n, "monster_row: n");
+  require_positive(monster_len, "monster_row: monster_len");
+  require_positive(base_nnz, "monster_row: base_nnz");
+  if (empty_run < 0)
+    throw std::invalid_argument("monster_row: empty_run must be >= 0");
+  Xoshiro256 rng(seed);
+  const index_t monster = n / 2;
+  const index_t len = std::min(monster_len, n);
+  CooMatrix coo(n, n);
+  coo.reserve(static_cast<std::size_t>(n) * static_cast<std::size_t>(base_nnz) +
+              static_cast<std::size_t>(len));
+  std::vector<index_t> cols;
+  for (index_t i = 0; i < n; ++i) {
+    if (i == monster) {
+      const index_t start = static_cast<index_t>(
+          rng.bounded(static_cast<std::uint64_t>(n - len + 1)));
+      for (index_t c = start; c < start + len; ++c)
+        coo.add(i, c, random_value(rng));
+      continue;
+    }
+    // Alternate runs of empty_run populated rows and empty_run empty rows.
+    if (empty_run > 0 && (i / empty_run) % 2 == 1) continue;
+    distinct_columns(rng, n, std::min(base_nnz, n), cols);
+    for (index_t c : cols) coo.add(i, c, random_value(rng));
+  }
+  coo.compress();
+  return CsrMatrix::from_coo(coo);
+}
+
+CsrMatrix row_vector(index_t n, index_t nnz, std::uint64_t seed) {
+  require_positive(n, "row_vector: n");
+  require_positive(nnz, "row_vector: nnz");
+  Xoshiro256 rng(seed);
+  CooMatrix coo(1, n);
+  std::vector<index_t> cols;
+  distinct_columns(rng, n, std::min(nnz, n), cols);
+  for (index_t c : cols) coo.add(0, c, random_value(rng));
+  coo.compress();
+  return CsrMatrix::from_coo(coo);
+}
+
+CsrMatrix col_vector(index_t n, index_t nnz, std::uint64_t seed) {
+  require_positive(n, "col_vector: n");
+  require_positive(nnz, "col_vector: nnz");
+  Xoshiro256 rng(seed);
+  CooMatrix coo(n, 1);
+  std::vector<index_t> rows;
+  distinct_columns(rng, n, std::min(nnz, n), rows);
+  for (index_t r : rows) coo.add(r, 0, random_value(rng));
+  coo.compress();
+  return CsrMatrix::from_coo(coo);
+}
+
 CsrMatrix short_rows(index_t n, double avg_nnz, std::uint64_t seed) {
   require_positive(n, "short_rows: n");
   if (avg_nnz <= 0) throw std::invalid_argument("short_rows: avg_nnz <= 0");

@@ -57,6 +57,24 @@ namespace spmvopt::gen {
                                        index_t num_dense, index_t dense_len,
                                        std::uint64_t seed = 1);
 
+/// The IMB worst case: an n×n matrix whose middle row holds `monster_len`
+/// nonzeros (a contiguous column run — clamped to n) while every other
+/// non-empty row carries `base_nnz`; with `empty_run` > 0 the remaining rows
+/// alternate between runs of `empty_run` populated and `empty_run` empty
+/// rows (skew and empty-row runs are the two knobs merge-path partitioning
+/// must absorb).  1-D nnz partitions serialize on the monster row.
+[[nodiscard]] CsrMatrix monster_row(index_t n, index_t monster_len,
+                                    index_t base_nnz, index_t empty_run,
+                                    std::uint64_t seed = 1);
+
+/// Degenerate 1×n shape: a single row with `nnz` entries at random columns.
+[[nodiscard]] CsrMatrix row_vector(index_t n, index_t nnz,
+                                   std::uint64_t seed = 1);
+
+/// Degenerate n×1 shape: one column, `nnz` populated rows.
+[[nodiscard]] CsrMatrix col_vector(index_t n, index_t nnz,
+                                   std::uint64_t seed = 1);
+
 /// Web-crawl-like: very short rows (average ≈ `avg_nnz`, many empty or
 /// 1-element rows, a power-law tail) → loop-overhead / CMP signature
 /// (webbase-1M).

@@ -134,6 +134,8 @@ std::vector<SuiteEntry> test_suite() {
   add("tiny-blockdense", "block_dense",
       [] { return block_diagonal_dense(512, 32, 11); });
   add("tiny-diagonal", "diagonal", [] { return diagonal(640); });
+  add("tiny-monsterrow", "monster_row",
+      [] { return monster_row(1500, 1500, 2, 0, 12); });
   return suite;
 }
 

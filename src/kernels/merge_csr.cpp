@@ -1,0 +1,77 @@
+#include "kernels/merge_csr.hpp"
+
+#include <omp.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <stdexcept>
+
+namespace spmvopt::kernels {
+
+index_t merge_path_search(index_t diag, const index_t* rowptr, index_t nrows,
+                          index_t nnz) noexcept {
+  // Search the row coordinate on the diagonal: row ends rowptr[1..nrows]
+  // merge against nonzero indices [0, nnz), row end winning ties (a row end
+  // at position j sorts before nonzero j, so a row's last nonzero and its
+  // end never separate).
+  index_t lo = diag > nnz ? diag - nnz : 0;
+  index_t hi = std::min(diag, nrows);
+  while (lo < hi) {
+    const index_t pivot = lo + (hi - lo) / 2;
+    if (rowptr[pivot + 1] <= diag - pivot - 1)
+      lo = pivot + 1;
+    else
+      hi = pivot;
+  }
+  return lo;
+}
+
+MergePartition merge_partition(const index_t* rowptr, index_t nrows,
+                               index_t nnz, int nworkers) {
+  if (nworkers < 1)
+    throw std::invalid_argument("merge_partition: nworkers must be >= 1");
+  MergePartition part;
+  part.nrows = nrows;
+  part.nnz = nnz;
+  part.row_bounds.resize(static_cast<std::size_t>(nworkers) + 1);
+  part.nnz_bounds.resize(static_cast<std::size_t>(nworkers) + 1);
+  const auto total = static_cast<std::int64_t>(nrows) + nnz;
+  for (int k = 0; k <= nworkers; ++k) {
+    // floor(k * total / p): consecutive diagonals differ by floor or ceil of
+    // total/p, so per-worker shares of rows+nnz differ by at most one.
+    const auto diag =
+        static_cast<index_t>(total * k / nworkers);
+    const index_t i = merge_path_search(diag, rowptr, nrows, nnz);
+    part.row_bounds[static_cast<std::size_t>(k)] = i;
+    part.nnz_bounds[static_cast<std::size_t>(k)] = diag - i;
+  }
+  return part;
+}
+
+void merge_fixup(int nworkers, index_t nrows, const index_t* carry_row,
+                 const value_t* carry_val, value_t* y) noexcept {
+  for (int k = 0; k < nworkers; ++k)
+    if (carry_row[k] < nrows) y[carry_row[k]] += carry_val[k];
+}
+
+void spmv_merge(const CsrMatrix& A, const MergePartition& part,
+                MergeCarry& carry, const value_t* x, value_t* y,
+                MergeSpanFn span, index_t pf_dist) noexcept {
+  const int p = part.nworkers();
+  const index_t* rowptr = A.rowptr();
+  const index_t* colind = A.colind();
+  const value_t* vals = A.values();
+  index_t* crow = carry.row.data();
+  value_t* cval = carry.val.data();
+#pragma omp parallel num_threads(p)
+  {
+    // Strided over workers, not 1:1 with threads: the runtime may grant
+    // fewer threads than requested and every span must still run.
+    const int nt = omp_get_num_threads();
+    for (int k = omp_get_thread_num(); k < p; k += nt)
+      span(rowptr, colind, vals, part, k, x, y, crow, cval, pf_dist);
+  }
+  merge_fixup(p, part.nrows, crow, cval, y);
+}
+
+}  // namespace spmvopt::kernels

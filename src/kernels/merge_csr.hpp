@@ -1,0 +1,115 @@
+// Merge-path CSR SpMV: guaranteed O((rows + nnz) / p) load balance.
+//
+// The 1-D partitions in spmv.hpp balance *nonzeros*; a matrix whose nnz sit
+// in one monster row still serializes on the thread that owns it, and
+// split_csr only helps rows past a length threshold.  The merge-path
+// formulation (Merrill & Garland; the survey arXiv:2404.06047 §CSR-merge)
+// treats SpMV as merging two sorted lists — the row ends rowptr[1..nrows]
+// and the nonzero indices [0, nnz) — and cuts the merge at equally spaced
+// cross diagonals.  Every worker gets the same share of `rows + nnz` (±1
+// diagonal) no matter how the nonzeros are distributed, which is exactly the
+// IMB worst case the paper's dynamic scheduling still loses on.
+//
+// A row whose nonzeros straddle a cut is computed in pieces: each worker
+// accumulates the piece it owns, the trailing piece lands in a per-worker
+// carry slot, and a serial fix-up pass adds the carries back after the
+// parallel phase.  Rows spanning three or more partitions work the same way:
+// the middle workers own zero full rows (row_bounds[k] == row_bounds[k+1])
+// and contribute their whole nonzero range as carry.
+#pragma once
+
+#include <vector>
+
+#include "kernels/row_body.hpp"
+#include "sparse/csr.hpp"
+#include "support/types.hpp"
+
+namespace spmvopt::kernels {
+
+/// Cut points of the (row-ends × nonzeros) merge at p+1 cross diagonals.
+/// Worker k owns full rows [row_bounds[k], row_bounds[k+1]) and nonzeros
+/// [nnz_bounds[k], nnz_bounds[k+1]); the invariant
+/// row_bounds[k] + nnz_bounds[k] == diagonal k holds for every cut.
+struct MergePartition {
+  std::vector<index_t> row_bounds;  ///< size nworkers()+1; [0]=0, [p]=nrows
+  std::vector<index_t> nnz_bounds;  ///< size nworkers()+1; [0]=0, [p]=nnz
+  index_t nrows = 0;
+  index_t nnz = 0;
+  [[nodiscard]] int nworkers() const noexcept {
+    return row_bounds.empty() ? 0 : static_cast<int>(row_bounds.size()) - 1;
+  }
+};
+
+/// Binary search along cross diagonal `diag` ∈ [0, nrows+nnz]: returns the
+/// row coordinate i (the nnz coordinate is diag - i) such that exactly i row
+/// ends and diag - i nonzeros precede the cut.  O(log nrows).
+[[nodiscard]] index_t merge_path_search(index_t diag, const index_t* rowptr,
+                                        index_t nrows, index_t nnz) noexcept;
+
+/// Cut the merge path at nworkers+1 equally spaced diagonals.
+[[nodiscard]] MergePartition merge_partition(const index_t* rowptr,
+                                             index_t nrows, index_t nnz,
+                                             int nworkers);
+
+/// Per-worker carry scratch, allocated once at bind time (the hot path must
+/// not allocate).  row[k] == part.nrows is the "nothing to carry" sentinel.
+struct MergeCarry {
+  std::vector<index_t> row;
+  std::vector<value_t> val;
+  void resize(int nworkers) {
+    row.assign(static_cast<std::size_t>(nworkers), 0);
+    val.assign(static_cast<std::size_t>(nworkers), 0.0);
+  }
+};
+
+/// Worker k's share of the merge: full rows are written to y directly (a row
+/// whose head was consumed by earlier workers gets only its tail — the head
+/// arrives as those workers' carries), trailing nonzeros of a straddled row
+/// go to carry slot k.  Reuses the row_body instantiations, so a row fully
+/// inside one partition is bitwise identical to the composed kernels.
+template <Compute C, bool PF>
+inline void merge_span(const index_t* rowptr, const index_t* colind,
+                       const value_t* vals, const MergePartition& part, int k,
+                       const value_t* x, value_t* y, index_t* carry_row,
+                       value_t* carry_val, index_t pf_dist) noexcept {
+  const std::size_t ku = static_cast<std::size_t>(k);
+  const index_t row_hi = part.row_bounds[ku + 1];
+  const index_t nz_hi = part.nnz_bounds[ku + 1];
+  index_t nz = part.nnz_bounds[ku];
+  for (index_t r = part.row_bounds[ku]; r < row_hi; ++r) {
+    const index_t end = rowptr[r + 1];
+    y[r] = row_sum<C, PF>(vals + nz, colind + nz, end - nz, x, pf_dist);
+    nz = end;
+  }
+  if (nz < nz_hi) {
+    // Row row_hi starts inside this partition but ends beyond it.
+    carry_row[k] = row_hi;
+    carry_val[k] = row_sum<C, PF>(vals + nz, colind + nz, nz_hi - nz, x,
+                                  pf_dist);
+  } else {
+    carry_row[k] = part.nrows;
+    carry_val[k] = 0.0;
+  }
+}
+
+/// The (compute, prefetch) instantiation of merge_span, selected at plan
+/// time like select_csr_range (see kernels/team_body.hpp).
+using MergeSpanFn = void (*)(const index_t* rowptr, const index_t* colind,
+                             const value_t* vals, const MergePartition& part,
+                             int worker, const value_t* x, value_t* y,
+                             index_t* carry_row, value_t* carry_val,
+                             index_t pf_dist);
+
+/// Serial carry reduction; call after every worker's span completed.  Each
+/// worker writes a distinct y row during the span and a distinct carry slot,
+/// so the only cross-worker combination happens here.
+void merge_fixup(int nworkers, index_t nrows, const index_t* carry_row,
+                 const value_t* carry_val, value_t* y) noexcept;
+
+/// Plain fork/join entry: one OpenMP region over part.nworkers() spans plus
+/// the serial fix-up.  `carry` must be resized to part.nworkers().
+void spmv_merge(const CsrMatrix& A, const MergePartition& part,
+                MergeCarry& carry, const value_t* x, value_t* y,
+                MergeSpanFn span, index_t pf_dist) noexcept;
+
+}  // namespace spmvopt::kernels

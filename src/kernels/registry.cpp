@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <memory>
+#include <stdexcept>
 
 #include "kernels/bcsr_kernels.hpp"
+#include "kernels/merge_csr.hpp"
 #include "kernels/sell_kernels.hpp"
 #include "kernels/spmv.hpp"
+#include "kernels/team_body.hpp"
 #include "sparse/bcsr.hpp"
 #include "sparse/delta_csr.hpp"
 #include "sparse/sell.hpp"
@@ -97,6 +100,17 @@ BoundSpmv bind_split(const CsrMatrix& a, int t) {
   };
 }
 
+BoundSpmv bind_merge(const CsrMatrix& a, int t) {
+  auto part = std::make_shared<const MergePartition>(
+      merge_partition(a.rowptr(), a.nrows(), a.nnz(), t));
+  auto carry = std::make_shared<MergeCarry>();
+  carry->resize(part->nworkers());
+  const MergeSpanFn span = select_merge_span(Compute::Scalar, false);
+  return [a = &a, part, carry, span](const value_t* x, value_t* y) {
+    spmv_merge(*a, *part, *carry, x, y, span, 0);
+  };
+}
+
 BoundSpmv bind_sym(const CsrMatrix& a, int t) {
   if (a.nrows() != a.ncols() || !a.is_symmetric()) return {};
   auto s = std::make_shared<SymCsrMatrix>(SymCsrMatrix::from_symmetric_csr(a));
@@ -135,6 +149,7 @@ const std::vector<KernelVariant>& registry() {
       {"delta", {.needs_delta = true}, false, &bind_delta},
       {"delta_vector", {.needs_delta = true}, false, &bind_delta_vector},
       {"split", {}, false, &bind_split},
+      {"merge", {}, false, &bind_merge},
       {"sym", {.needs_symmetric = true}, false, &bind_sym},
       {"sell", {}, true, &bind_sell},
       {"bcsr", {}, true, &bind_bcsr},
@@ -146,6 +161,12 @@ const KernelVariant* find_kernel(std::string_view name) {
   for (const KernelVariant& v : registry())
     if (name == v.name) return &v;
   return nullptr;
+}
+
+const KernelVariant& require_kernel(std::string_view name) {
+  if (const KernelVariant* v = find_kernel(name)) return *v;
+  throw std::invalid_argument("unknown kernel '" + std::string(name) +
+                              "' (valid: " + kernel_names() + ")");
 }
 
 std::string kernel_names() {

@@ -52,6 +52,12 @@ struct KernelVariant {
 /// Lookup by name; nullptr when unknown.
 [[nodiscard]] const KernelVariant* find_kernel(std::string_view name);
 
+/// Lookup by name; throws std::invalid_argument naming the full valid set
+/// (kernel_names()) when unknown.  The single error path for every caller
+/// that resolves a user-supplied kernel name (CLI, server), so the message
+/// stays identical everywhere.
+[[nodiscard]] const KernelVariant& require_kernel(std::string_view name);
+
 /// "serial, omp_static, ..." — for unknown-name error messages.
 [[nodiscard]] std::string kernel_names();
 

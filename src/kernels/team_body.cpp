@@ -64,6 +64,11 @@ struct DeltaRange {
   static constexpr DeltaRangeFn fn = &delta_range_t<C, PF>;
 };
 
+template <Compute C, bool PF>
+struct MergeSpan {
+  static constexpr MergeSpanFn fn = &merge_span<C, PF>;
+};
+
 }  // namespace
 
 CsrRangeFn select_csr_range(Compute compute, bool prefetch) {
@@ -72,6 +77,10 @@ CsrRangeFn select_csr_range(Compute compute, bool prefetch) {
 
 DeltaRangeFn select_delta_range(Compute compute, bool prefetch) {
   return select_range<DeltaRangeFn, DeltaRange>(compute, prefetch);
+}
+
+MergeSpanFn select_merge_span(Compute compute, bool prefetch) {
+  return select_range<MergeSpanFn, MergeSpan>(compute, prefetch);
 }
 
 value_t long_row_partial(const index_t* colind, const value_t* vals,

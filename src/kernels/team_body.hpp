@@ -13,6 +13,7 @@
 // runs on those without re-wrapping them.
 #pragma once
 
+#include "kernels/merge_csr.hpp"
 #include "kernels/row_body.hpp"
 #include "sparse/bcsr.hpp"
 #include "sparse/delta_csr.hpp"
@@ -34,6 +35,12 @@ using DeltaRangeFn = void (*)(const DeltaCsrMatrix& A, index_t lo, index_t hi,
                               const value_t* x, value_t* y, index_t pf_dist);
 
 [[nodiscard]] DeltaRangeFn select_delta_range(Compute compute, bool prefetch);
+
+/// The (compute, prefetch) instantiation of the merge-path span
+/// (kernels/merge_csr.hpp).  Each team member runs its span, then a team
+/// barrier, then member 0 runs merge_fixup — the engine analogue of
+/// spmv_merge's fork/join shape.
+[[nodiscard]] MergeSpanFn select_merge_span(Compute compute, bool prefetch);
 
 /// SELL-C-σ chunks [clo, chi); picks the SIMD path per spmv_sell's rule.
 void spmv_sell_chunks(const SellMatrix& A, index_t clo, index_t chi,

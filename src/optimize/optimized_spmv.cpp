@@ -26,11 +26,15 @@ OptimizedSpmv OptimizedSpmv::create(const CsrMatrix& A, const Plan& plan,
   if (plan.split_long_rows && plan.delta)
     throw std::invalid_argument(
         "OptimizedSpmv: split and delta cannot be combined");
-  if (plan.sell && (plan.delta || plan.split_long_rows || plan.prefetch))
+  if (plan.merge_path && (plan.delta || plan.split_long_rows))
+    throw std::invalid_argument(
+        "OptimizedSpmv: merge runs on raw CSR (no delta/split)");
+  if (plan.sell && (plan.delta || plan.split_long_rows || plan.prefetch ||
+                    plan.merge_path))
     throw std::invalid_argument(
         "OptimizedSpmv: sell is a whole-format plan (no delta/split/prefetch)");
   if (plan.bcsr && (plan.delta || plan.split_long_rows || plan.prefetch ||
-                    plan.sell))
+                    plan.sell || plan.merge_path))
     throw std::invalid_argument(
         "OptimizedSpmv: bcsr is a whole-format plan (no other optimizations)");
 
@@ -70,6 +74,22 @@ OptimizedSpmv OptimizedSpmv::create(const CsrMatrix& A, const Plan& plan,
     } catch (const std::exception& e) {
       o.plan_.sell = false;
       o.degradation_.record("sell", e.what());
+    }
+  }
+
+  if (o.plan_.merge_path) {
+    try {
+      if (robust::fault_fire("kernels.merge_setup"))
+        throw std::runtime_error("injected merge setup failure");
+      o.merge_part_ =
+          kernels::merge_partition(A.rowptr(), A.nrows(), A.nnz(), t);
+      o.merge_carry_.resize(o.merge_part_.nworkers());
+      o.merge_fn_ =
+          kernels::select_merge_span(o.plan_.compute, o.plan_.prefetch);
+    } catch (const std::exception& e) {
+      o.plan_.merge_path = false;
+      o.merge_fn_ = nullptr;
+      o.degradation_.record("merge", e.what());
     }
   }
 
@@ -205,6 +225,21 @@ void OptimizedSpmv::engine_body(int tid, int nt, const value_t* x,
                               ext_part_.bounds[tid + 1], x, y);
     return;
   }
+  if (merge_fn_ != nullptr) {
+    // Merge-path: every member runs its span (disjoint y rows + a private
+    // carry slot), a barrier, then member 0 folds the carries in.  The
+    // second barrier keeps a run_many batch from starting the next item's
+    // spans while member 0 still reads this item's carries.
+    const int p = merge_part_.nworkers();
+    index_t* crow = merge_carry_.row.data();
+    value_t* cval = merge_carry_.val.data();
+    for (int k = tid; k < p; k += nt)
+      merge_fn_(rp_, ci_, va_, merge_part_, k, x, y, crow, cval, pf_dist_);
+    engine_->team_barrier();
+    if (tid == 0) kernels::merge_fixup(p, merge_part_.nrows, crow, cval, y);
+    engine_->team_barrier();
+    return;
+  }
 
   // Phase 1: CSR / delta / split-short rows.  Row results are bitwise
   // identical to the composed kernels' regardless of which member computes
@@ -268,7 +303,10 @@ void OptimizedSpmv::run(const value_t* x, value_t* y) const noexcept {
         [this, x, y](int tid, int nt) { engine_body(tid, nt, x, y); });
     return;
   }
-  if (bcsr_) {
+  if (merge_fn_ != nullptr) {
+    kernels::spmv_merge(*csr_, merge_part_, merge_carry_, x, y, merge_fn_,
+                        pf_dist_);
+  } else if (bcsr_) {
     kernels::spmv_bcsr(*bcsr_, x, y);
   } else if (sell_) {
     kernels::spmv_sell(*sell_, x, y);

@@ -119,6 +119,12 @@ class OptimizedSpmv {
   std::optional<SellMatrix> sell_;
   std::optional<BcsrMatrix> bcsr_;
   RowPartition part_;
+  /// Merge-path state (kernels/merge_csr.hpp); merge_fn_ != nullptr is the
+  /// "plan runs the merge kernel" flag.  The carry scratch is mutable the
+  /// same way partials_ is: run() is logically const.
+  kernels::MergePartition merge_part_;
+  kernels::MergeSpanFn merge_fn_ = nullptr;
+  mutable kernels::MergeCarry merge_carry_;
   kernels::CsrKernelFn csr_fn_ = nullptr;
   kernels::DeltaKernelFn delta_fn_ = nullptr;
   index_t pf_dist_ = 8;

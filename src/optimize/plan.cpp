@@ -27,6 +27,7 @@ std::string Plan::to_string() const {
     case Sched::Auto: append("auto"); break;
     case Sched::Dynamic: append("dynamic"); break;
   }
+  if (merge_path) append("merge");
   if (split_long_rows) append("split");
   if (prefetch) append("pf");
   if (delta) append("delta");
@@ -72,6 +73,8 @@ std::string serialize_plan(const Plan& plan) {
   s += plan.delta ? '1' : '0';
   s += " split=";
   s += plan.split_long_rows ? '1' : '0';
+  s += " merge=";
+  s += plan.merge_path ? '1' : '0';
   s += " sell=";
   s += plan.sell ? '1' : '0';
   s += " bcsr=";
@@ -121,6 +124,8 @@ std::optional<Plan> deserialize_plan(std::string_view text) {
       if (!parse_bool(v, plan.delta)) return std::nullopt;
     } else if (k == "split") {
       if (!parse_bool(v, plan.split_long_rows)) return std::nullopt;
+    } else if (k == "merge") {
+      if (!parse_bool(v, plan.merge_path)) return std::nullopt;
     } else if (k == "sell") {
       if (!parse_bool(v, plan.sell)) return std::nullopt;
     } else if (k == "bcsr") {
@@ -148,20 +153,27 @@ Plan plan_for_classes(ClassSet classes, const CsrMatrix& A) {
   }
   if (classes.has(Bottleneck::ML)) plan.prefetch = true;
   if (classes.has(Bottleneck::IMB)) {
-    // §III-E sub-selection: highly uneven row lengths → decomposition;
-    // otherwise computational unevenness → OpenMP auto scheduling.
+    // Sub-selection (§III-E, extended): highly uneven row lengths → the
+    // merge-path kernel, whose rows+nnz shares are balanced no matter how
+    // skewed the structure is (ahead of long-row decomposition, which only
+    // helps rows past the split threshold); otherwise computational
+    // unevenness → OpenMP auto scheduling.
     const index_t threshold = SplitCsrMatrix::default_threshold(A);
     index_t nnz_max = 0;
     for (index_t i = 0; i < A.nrows(); ++i)
       nnz_max = std::max(nnz_max, A.row_nnz(i));
     if (nnz_max >= threshold)
-      plan.split_long_rows = true;
+      plan.merge_path = true;
     else
       plan.sched = Sched::Auto;
   }
   if (classes.has(Bottleneck::CMP)) plan.compute = Compute::UnrollVector;
-  // Feasibility: the decomposed kernel keeps raw indices.
+  // Feasibility: the decomposed and merge-path kernels keep raw indices.
   if (plan.split_long_rows) plan.delta = false;
+  if (plan.merge_path) {
+    plan.split_long_rows = false;
+    plan.delta = false;
+  }
   return plan;
 }
 
@@ -187,8 +199,15 @@ Plan merge_plans(const Plan& a, const Plan& b) {
   m.compute = std::max(a.compute, b.compute);  // enum order: Scalar<Vec<Unroll
   m.delta = a.delta || b.delta;
   m.split_long_rows = a.split_long_rows || b.split_long_rows;
+  m.merge_path = a.merge_path || b.merge_path;
   m.dynamic_chunk = std::max(a.dynamic_chunk, b.dynamic_chunk);
   if (m.split_long_rows) m.delta = false;
+  // Merge-path subsumes decomposition (both target IMB; merge balances
+  // every row-length profile) and runs on raw indices.
+  if (m.merge_path) {
+    m.split_long_rows = false;
+    m.delta = false;
+  }
   // Whole-format changes absorb any joined CSR optimization (sell wins over
   // bcsr if both were requested — it handles more patterns).
   if (a.bcsr || b.bcsr) m = bcsr_plan();
@@ -227,6 +246,17 @@ std::vector<Plan> enumerate_plans(const CsrMatrix& A,
             p.delta = delta;
             plans.push_back(p);
           }
+  // Merge-path plans: sched/split/delta do not apply (the merge partition
+  // *is* the schedule and the span reads raw CSR), compute and prefetch do.
+  for (bool pf : {false, true})
+    for (Compute compute :
+         {Compute::Scalar, Compute::Vector, Compute::UnrollVector}) {
+      Plan p;
+      p.merge_path = true;
+      p.prefetch = pf;
+      p.compute = compute;
+      plans.push_back(p);
+    }
   if (include_extensions) {
     plans.push_back(sell_plan());
     // BCSR only enters the search space when its sampled fill estimate says

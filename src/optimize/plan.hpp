@@ -27,6 +27,12 @@ struct Plan {
   kernels::Compute compute = kernels::Compute::Scalar;
   bool delta = false;            ///< compress column indices (8/16-bit)
   bool split_long_rows = false;  ///< Fig. 5/6 decomposition
+  /// Merge-path 2-D partition (kernels/merge_csr.hpp): each worker gets an
+  /// equal share of rows + nnz, guaranteed regardless of row-length skew.
+  /// Preferred over split_long_rows for high-skew IMB matrices; the span
+  /// walks raw CSR arrays, so delta and split are infeasible with it
+  /// (compute/prefetch still apply).
+  bool merge_path = false;
   /// SELL-C-σ storage (extension optimization, §V plug-and-play demo).
   /// A whole-format change: incompatible with delta/split/prefetch, and the
   /// kernel is inherently vectorized, so the other fields are ignored.
@@ -60,7 +66,8 @@ struct Plan {
 
 /// Table II: map a detected class set to a joint plan.  The IMB
 /// sub-selection (§III-E) needs the matrix: rows with nnz_max well above
-/// nnz_avg choose decomposition, otherwise auto scheduling.
+/// nnz_avg choose the merge-path kernel (guaranteed balance on skewed
+/// structures, ahead of long-row decomposition), otherwise auto scheduling.
 [[nodiscard]] Plan plan_for_classes(classify::ClassSet classes,
                                     const CsrMatrix& A);
 
@@ -81,7 +88,9 @@ struct Plan {
 /// Every plan the runtime can execute on `A` (oracle search space): the
 /// cross product of schedule x prefetch x compute x {raw, delta} x
 /// {plain, split}, minus combinations the matrix cannot support
-/// (delta when gaps exceed 16 bits, split together with delta).  With
+/// (delta when gaps exceed 16 bits, split together with delta), plus the
+/// merge-path plans (prefetch x compute; schedule/split/delta do not
+/// compose with the merge partition).  With
 /// `include_extensions` the SELL-C-σ and BCSR whole-format plans join the
 /// space; without it the space is exactly the paper's CSR-based pool (the
 /// oracle of Fig. 7 is defined over that pool).

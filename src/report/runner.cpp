@@ -56,6 +56,12 @@ VariantPool variant_pool(const std::string& kind) {
     add(vec);
     add(optimize::sell_plan());
     add(optimize::bcsr_plan());
+    optimize::Plan merge;                      // IMB-c: merge-path balancing
+    merge.merge_path = true;
+    add(merge);
+    optimize::Plan dyn;                        // IMB-d: dynamic row scheduling
+    dyn.sched = kernels::Sched::Dynamic;       //   (merge's row-parallel rival)
+    add(dyn);
   } else {
     // "plans": the trivial-combined candidate pool of Table V.
     for (const auto& p : optimize::combined_optimization_plans()) add(p);

@@ -22,6 +22,7 @@ constexpr const char* kPointNames[] = {
     "convert.split",             // long-row decomposition failure
     "convert.sell",              // SELL-C-sigma conversion failure
     "convert.bcsr",              // BCSR conversion failure
+    "kernels.merge_setup",       // merge-path partition/carry setup failure
     "classify.profile_overrun",  // profiling exceeds its wall-clock budget
     "server.frame_truncate",     // protocol frame cut short mid-payload
     "server.evict_during_run",   // plan-cache eviction races an executing job

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "gen/generators.hpp"
 #include "sparse/coo.hpp"
 #include "support/rng.hpp"
 
@@ -152,6 +153,16 @@ std::vector<FuzzCase> adversarial_suite() {
   }
 
   add("duplicate-heavy-coo", duplicate_heavy());
+
+  // Load-balance adversaries for the merge-path kernel: power-law and
+  // RMAT-style skew, one row holding about half of all nonzeros, empty-row
+  // runs, and the degenerate 1×n / n×1 shapes as generator-built fixtures.
+  add("rmat-scale8-skewed", gen::rmat(8, 8, 0.57, 0.19, 0.19, 41));
+  add("power-law-heavy-tail", gen::power_law(400, 8, 1.5, 42));
+  add("monster-row-1024", gen::monster_row(1024, 1024, 1, 0, 43));
+  add("monster-row-empty-runs", gen::monster_row(384, 384, 1, 16, 44));
+  add("monster-row-vector-1xN", gen::row_vector(2000, 160, 45));
+  add("monster-col-vector-Nx1", gen::col_vector(2000, 160, 46));
 
   // Value-range hazards.
   add("denormal-values",

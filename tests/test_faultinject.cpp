@@ -55,7 +55,7 @@ TEST_F(FaultInject, RegistryListsEveryPoint) {
        {"coo_csr.alloc", "mmio.alloc", "binary_io.short_read",
         "binary_io.short_write", "binary_io.bit_flip", "convert.delta",
         "convert.split", "convert.sell", "convert.bcsr",
-        "classify.profile_overrun"}) {
+        "kernels.merge_setup", "classify.profile_overrun"}) {
     bool found = false;
     for (const auto& name : points) found |= (name == p);
     EXPECT_TRUE(found) << p;
@@ -173,6 +173,19 @@ TEST_F(FaultInject, SplitConversionFailureDegradesToCsr) {
   expect_matches_oracle(spmv, a);
 }
 
+TEST_F(FaultInject, MergeSetupFailureDegradesToCsr) {
+  // The IMB monster-row fixture the optimizer would route to merge; a failed
+  // merge setup must drop straight to baseline CSR and still be correct.
+  const CsrMatrix a = gen::monster_row(512, 512, 1, 8, 5);
+  robust::fault_arm("kernels.merge_setup");
+  optimize::Plan p;
+  p.merge_path = true;
+  const auto spmv = optimize::OptimizedSpmv::create(a, p);
+  EXPECT_FALSE(spmv.plan().merge_path);
+  EXPECT_TRUE(spmv.degradation().dropped("merge"));
+  expect_matches_oracle(spmv, a);
+}
+
 TEST_F(FaultInject, SellConversionFailureDegradesToCsr) {
   const CsrMatrix a = gen::random_uniform(256, 7, 13);
   robust::fault_arm("convert.sell");
@@ -208,6 +221,7 @@ TEST_F(FaultInject, EveryFuzzFamilyDegradesToOracleMatch) {
   const PointFeature sweep[] = {
       {"convert.delta", &optimize::Plan::delta, "delta"},
       {"convert.split", &optimize::Plan::split_long_rows, "split"},
+      {"kernels.merge_setup", &optimize::Plan::merge_path, "merge"},
       {"convert.sell", &optimize::Plan::sell, "sell"},
       {"convert.bcsr", &optimize::Plan::bcsr, "bcsr"},
   };

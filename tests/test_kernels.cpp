@@ -6,6 +6,7 @@
 #include <algorithm>
 #include <cmath>
 #include <functional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -256,6 +257,32 @@ TEST(Kernels, RegistryNamesAreSortedAndComplete) {
         << v.name << " missing from kernel_names()";
   for (const auto& n : names)
     EXPECT_NE(kernels::find_kernel(n), nullptr) << n;
+  // Pin the full listing: growing the registry must update this test, so the
+  // variant count and the sorted order stay deterministic for CLI/server
+  // error-message consumers.
+  ASSERT_EQ(kernels::registry().size(), 16u);
+  EXPECT_EQ(joined,
+            "balanced, bcsr, delta, delta_vector, merge, omp_auto, "
+            "omp_dynamic, omp_guided, omp_static, prefetch, sell, serial, "
+            "split, sym, unroll_vector, vector");
+}
+
+TEST(Kernels, UnknownNameErrorPath) {
+  EXPECT_EQ(kernels::find_kernel("no_such_kernel"), nullptr);
+  EXPECT_EQ(kernels::find_kernel(""), nullptr);
+  // The prefix of a valid name must not resolve (exact match only).
+  EXPECT_EQ(kernels::find_kernel("merg"), nullptr);
+  EXPECT_EQ(kernels::find_kernel("merge_"), nullptr);
+  EXPECT_NO_THROW(static_cast<void>(kernels::require_kernel("merge")));
+  try {
+    static_cast<void>(kernels::require_kernel("no_such_kernel"));
+    FAIL() << "require_kernel must throw on unknown names";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    // The message names the offender and lists the full sorted valid set.
+    EXPECT_NE(msg.find("no_such_kernel"), std::string::npos) << msg;
+    EXPECT_NE(msg.find(kernels::kernel_names()), std::string::npos) << msg;
+  }
 }
 
 TEST(Kernels, EmptyMatrixYieldsZeroVector) {

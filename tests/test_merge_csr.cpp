@@ -1,0 +1,269 @@
+// The merge-path kernel's adversarial battery (kernels/merge_csr.hpp):
+// partition coverage and balance guarantees, carry fix-up on rows straddling
+// many partitions, and the ULP-oracle sweep over the full fuzzer catalog —
+// all across worker counts {1, 2, 3, 7, 16}, which straddle typical core
+// counts and include primes that misalign with every fixture size.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "engine/execution_engine.hpp"
+#include "gen/generators.hpp"
+#include "kernels/merge_csr.hpp"
+#include "kernels/registry.hpp"
+#include "kernels/team_body.hpp"
+#include "optimize/optimized_spmv.hpp"
+#include "verify/fuzz.hpp"
+#include "verify/oracle.hpp"
+
+namespace spmvopt {
+namespace {
+
+using kernels::Compute;
+using kernels::MergeCarry;
+using kernels::MergePartition;
+
+constexpr int kWorkerCounts[] = {1, 2, 3, 7, 16};
+
+/// The structural invariants every partition must satisfy:
+///   * the cuts sit exactly on the equally spaced diagonals, so the worker
+///     ranges tile [0, rows+nnz) with no gap and no overlap;
+///   * per-worker shares of rows+nnz differ by at most one diagonal;
+///   * each worker's nonzero range lies inside its row range.
+void expect_valid_partition(const MergePartition& part, const CsrMatrix& a,
+                            int p) {
+  ASSERT_EQ(part.nworkers(), p);
+  ASSERT_EQ(part.row_bounds.size(), static_cast<std::size_t>(p) + 1);
+  ASSERT_EQ(part.nnz_bounds.size(), static_cast<std::size_t>(p) + 1);
+  EXPECT_EQ(part.row_bounds.front(), 0);
+  EXPECT_EQ(part.nnz_bounds.front(), 0);
+  EXPECT_EQ(part.row_bounds.back(), a.nrows());
+  EXPECT_EQ(part.nnz_bounds.back(), a.nnz());
+  const auto total =
+      static_cast<std::int64_t>(a.nrows()) + static_cast<std::int64_t>(a.nnz());
+  std::int64_t min_share = total + 1;
+  std::int64_t max_share = 0;
+  for (int k = 0; k <= p; ++k) {
+    const std::size_t ku = static_cast<std::size_t>(k);
+    // Exactly on diagonal k: coverage and no overlap follow, because
+    // consecutive ranges share the cut and the diagonals are monotone.
+    ASSERT_EQ(static_cast<std::int64_t>(part.row_bounds[ku]) +
+                  part.nnz_bounds[ku],
+              total * k / p);
+    if (k == p) break;
+    EXPECT_LE(part.row_bounds[ku], part.row_bounds[ku + 1]);
+    EXPECT_LE(part.nnz_bounds[ku], part.nnz_bounds[ku + 1]);
+    const std::int64_t share =
+        (part.row_bounds[ku + 1] - part.row_bounds[ku]) +
+        (part.nnz_bounds[ku + 1] - part.nnz_bounds[ku]);
+    min_share = std::min(min_share, share);
+    max_share = std::max(max_share, share);
+    // The merge-path invariant: nonzeros [nnz_bounds[k], nnz_bounds[k+1])
+    // all belong to rows [row_bounds[k], row_bounds[k+1]].
+    EXPECT_LE(a.rowptr()[part.row_bounds[ku]], part.nnz_bounds[ku]);
+    EXPECT_LE(part.nnz_bounds[ku + 1], a.rowptr()[part.row_bounds[ku + 1]] +
+                                           (part.row_bounds[ku + 1] < a.nrows()
+                                                ? a.row_nnz(part.row_bounds[ku + 1])
+                                                : 0));
+  }
+  EXPECT_LE(max_share - min_share, 1) << "share spread exceeds one diagonal";
+}
+
+/// y = A*x through spmv_merge and compare against the ULP oracle.
+void expect_merge_matches_oracle(const CsrMatrix& a, int p, Compute compute,
+                                 bool prefetch) {
+  const MergePartition part =
+      kernels::merge_partition(a.rowptr(), a.nrows(), a.nnz(), p);
+  MergeCarry carry;
+  carry.resize(p);
+  const std::vector<value_t> x = verify::adversarial_vector(a.ncols());
+  std::vector<value_t> y(static_cast<std::size_t>(a.nrows()), -42.0);
+  kernels::spmv_merge(a, part, carry, x.data(), y.data(),
+                      kernels::select_merge_span(compute, prefetch), 8);
+  const verify::CompareReport rep = verify::check_spmv(a, x, y);
+  EXPECT_TRUE(rep.pass()) << rep.to_string();
+}
+
+/// A deterministic pool covering the balance-adversarial shapes: uniform,
+/// power-law, RMAT, monster rows with and without empty-row runs, and the
+/// degenerate vectors.
+std::vector<std::pair<std::string, CsrMatrix>> partition_pool() {
+  std::vector<std::pair<std::string, CsrMatrix>> pool;
+  pool.emplace_back("uniform", gen::random_uniform(300, 5, 1));
+  pool.emplace_back("power-law", gen::power_law(500, 7, 1.6, 2));
+  pool.emplace_back("rmat", gen::rmat(9, 8, 0.57, 0.19, 0.19, 3));
+  pool.emplace_back("monster", gen::monster_row(700, 700, 2, 0, 4));
+  pool.emplace_back("monster-empty-runs", gen::monster_row(500, 500, 1, 13, 5));
+  pool.emplace_back("row-vector", gen::row_vector(4096, 300, 6));
+  pool.emplace_back("col-vector", gen::col_vector(4096, 300, 7));
+  pool.emplace_back("all-empty", [] {
+    CooMatrix coo(64, 64);
+    coo.compress();
+    return CsrMatrix::from_coo(coo);
+  }());
+  return pool;
+}
+
+TEST(MergePartitionTest, CoversAndBalancesEveryPoolMatrix) {
+  for (const auto& [name, a] : partition_pool())
+    for (int p : kWorkerCounts) {
+      SCOPED_TRACE(name + " x " + std::to_string(p) + " workers");
+      expect_valid_partition(
+          kernels::merge_partition(a.rowptr(), a.nrows(), a.nnz(), p), a, p);
+    }
+}
+
+TEST(MergePartitionTest, SearchPinsCorners) {
+  const CsrMatrix a = gen::power_law(200, 6, 1.7, 11);
+  EXPECT_EQ(kernels::merge_path_search(0, a.rowptr(), a.nrows(), a.nnz()), 0);
+  EXPECT_EQ(kernels::merge_path_search(a.nrows() + a.nnz(), a.rowptr(),
+                                       a.nrows(), a.nnz()),
+            a.nrows());
+}
+
+TEST(MergePartitionTest, MoreWorkersThanWork) {
+  // 3x3 diagonal with 16 workers: most workers own nothing; the partition
+  // must still tile exactly and the kernel must still be correct.
+  const CsrMatrix a = gen::diagonal(3);
+  expect_valid_partition(
+      kernels::merge_partition(a.rowptr(), a.nrows(), a.nnz(), 16), a, 16);
+  expect_merge_matches_oracle(a, 16, Compute::Scalar, false);
+}
+
+TEST(MergeCarryTest, RowSpanningManyPartitionsFixesUp) {
+  // One row, 300 nonzeros, 7 and 16 workers: the row straddles every
+  // partition, so every worker except the last contributes only carry.
+  const CsrMatrix a = gen::row_vector(4096, 300, 21);
+  for (int p : {3, 7, 16}) {
+    SCOPED_TRACE(p);
+    const MergePartition part =
+        kernels::merge_partition(a.rowptr(), a.nrows(), a.nnz(), p);
+    // The premise of the test: at least 3 partitions intersect row 0, i.e.
+    // the middle workers own zero full rows.
+    int intersecting = 0;
+    for (int k = 0; k < p; ++k)
+      if (part.nnz_bounds[static_cast<std::size_t>(k) + 1] >
+          part.nnz_bounds[static_cast<std::size_t>(k)])
+        ++intersecting;
+    ASSERT_GE(intersecting, 3);
+    expect_merge_matches_oracle(a, p, Compute::Scalar, false);
+    expect_merge_matches_oracle(a, p, Compute::Vector, true);
+  }
+}
+
+TEST(MergeCarryTest, MonsterRowAcrossManyPartitions) {
+  // The monster row holds ~half of all nnz: with 16 workers it spans ≥ 3
+  // partitions while normal rows surround it on both sides, exercising the
+  // head-tail-carry interaction in one matrix.
+  const CsrMatrix a = gen::monster_row(600, 600, 1, 0, 31);
+  const MergePartition part =
+      kernels::merge_partition(a.rowptr(), a.nrows(), a.nnz(), 16);
+  int empty_row_ranges = 0;  // middle workers of a straddled row
+  for (int k = 0; k < 16; ++k)
+    if (part.row_bounds[static_cast<std::size_t>(k)] ==
+        part.row_bounds[static_cast<std::size_t>(k) + 1])
+      ++empty_row_ranges;
+  ASSERT_GE(empty_row_ranges, 1);
+  for (int p : kWorkerCounts) {
+    SCOPED_TRACE(p);
+    expect_merge_matches_oracle(a, p, Compute::Scalar, false);
+  }
+}
+
+// Acceptance sweep: the merge kernel matches the ULP oracle on every fuzzer
+// catalog entry (including the RMAT/power-law/monster fixtures the catalog
+// now carries) at every worker count.
+TEST(MergeFuzzSweep, EveryCatalogEntryEveryWorkerCount) {
+  for (const verify::FuzzCase& fc : verify::adversarial_suite())
+    for (int p : kWorkerCounts) {
+      SCOPED_TRACE(fc.name + " x " + std::to_string(p) + " workers");
+      expect_merge_matches_oracle(fc.matrix, p, Compute::Scalar, false);
+      expect_merge_matches_oracle(fc.matrix, p, Compute::UnrollVector, true);
+    }
+}
+
+TEST(MergeRegistry, BoundKernelMatchesOracle) {
+  const auto& v = kernels::require_kernel("merge");
+  EXPECT_FALSE(v.extension);
+  for (int p : kWorkerCounts) {
+    SCOPED_TRACE(p);
+    const CsrMatrix a = gen::monster_row(500, 500, 2, 9, 17);
+    const kernels::BoundSpmv bound = v.bind(a, p);
+    ASSERT_TRUE(bound);
+    const std::vector<value_t> x = gen::test_vector(a.ncols());
+    std::vector<value_t> y(static_cast<std::size_t>(a.nrows()), -1.0);
+    bound(x.data(), y.data());
+    const verify::CompareReport rep = verify::check_spmv(a, x, y);
+    EXPECT_TRUE(rep.pass()) << rep.to_string();
+  }
+}
+
+TEST(MergeEngine, TeamBodyMatchesOracleAndForkJoin) {
+  // Engine-bound merge plan: spans run as team bodies with a barrier +
+  // member-0 fix-up; results must match the oracle, and a batched run_many
+  // must not smear carries across batch items.
+  const CsrMatrix a = gen::monster_row(800, 800, 2, 11, 23);
+  optimize::Plan plan;
+  plan.merge_path = true;
+  for (int nt : {1, 3, 4}) {
+    SCOPED_TRACE(nt);
+    engine::ExecutionEngine eng(
+        engine::EngineConfig{.nthreads = nt, .pin = PinPolicy::None});
+    const auto spmv = optimize::OptimizedSpmv::create(a, plan, eng);
+    ASSERT_TRUE(spmv.plan().merge_path);
+    const std::vector<value_t> x = gen::test_vector(a.ncols());
+    std::vector<value_t> y(static_cast<std::size_t>(a.nrows()), -1.0);
+    spmv.run(x.data(), y.data());
+    verify::CompareReport rep = verify::check_spmv(a, x, y);
+    EXPECT_TRUE(rep.pass()) << rep.to_string();
+
+    constexpr int kBatch = 3;
+    std::vector<value_t> X;
+    for (int r = 0; r < kBatch; ++r) {
+      const auto xr = gen::test_vector(a.ncols(), 100 + static_cast<std::uint64_t>(r));
+      X.insert(X.end(), xr.begin(), xr.end());
+    }
+    std::vector<value_t> Y(static_cast<std::size_t>(a.nrows()) * kBatch, -1.0);
+    spmv.run_many(X.data(), Y.data(), kBatch);
+    for (int r = 0; r < kBatch; ++r) {
+      SCOPED_TRACE(r);
+      rep = verify::check_spmv(
+          a,
+          std::span<const value_t>(X.data() + static_cast<std::size_t>(r) * a.ncols(),
+                                   static_cast<std::size_t>(a.ncols())),
+          std::span<const value_t>(Y.data() + static_cast<std::size_t>(r) * a.nrows(),
+                                   static_cast<std::size_t>(a.nrows())));
+      EXPECT_TRUE(rep.pass()) << rep.to_string();
+    }
+  }
+}
+
+TEST(MergeOptimized, ForkJoinPlanAcrossComputeVariants) {
+  const CsrMatrix a = gen::power_law(600, 9, 1.5, 29);
+  const std::vector<value_t> x = gen::test_vector(a.ncols());
+  for (Compute c : {Compute::Scalar, Compute::Vector, Compute::UnrollVector})
+    for (bool pf : {false, true}) {
+      SCOPED_TRACE(static_cast<int>(c) * 2 + pf);
+      optimize::Plan plan;
+      plan.merge_path = true;
+      plan.compute = c;
+      plan.prefetch = pf;
+      for (int t : {1, 2, 7}) {
+        const auto spmv = optimize::OptimizedSpmv::create(a, plan, t);
+        ASSERT_TRUE(spmv.plan().merge_path);
+        std::vector<value_t> y(static_cast<std::size_t>(a.nrows()), -1.0);
+        spmv.run(x.data(), y.data());
+        const verify::CompareReport rep = verify::check_spmv(a, x, y);
+        EXPECT_TRUE(rep.pass()) << rep.to_string();
+      }
+    }
+}
+
+}  // namespace
+}  // namespace spmvopt

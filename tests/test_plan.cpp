@@ -53,12 +53,22 @@ TEST(PlanForClasses, CmpGetsUnrollVector) {
   EXPECT_EQ(p.compute, Compute::UnrollVector);
 }
 
-TEST(PlanForClasses, ImbUnevenRowsGetsSplit) {
-  // Dense rows way above average: decomposition branch.
+TEST(PlanForClasses, ImbUnevenRowsGetsMergePath) {
+  // Dense rows way above average: the merge-path kernel, ahead of long-row
+  // decomposition (guaranteed rows+nnz balance on skewed structures).
   const CsrMatrix a = gen::few_dense_rows(1000, 3, 3, 800, 3);
   const Plan p = plan_for_classes(set_of({Bottleneck::IMB}), a);
-  EXPECT_TRUE(p.split_long_rows);
+  EXPECT_TRUE(p.merge_path);
+  EXPECT_FALSE(p.split_long_rows);
   EXPECT_EQ(p.sched, Sched::BalancedStatic);
+}
+
+TEST(PlanForClasses, MonsterRowFixtureGetsMergePath) {
+  // The 1-D-partition worst case: one row holds ~half of all nonzeros.
+  const CsrMatrix a = gen::monster_row(1024, 1024, 1, 0, 3);
+  const Plan p = plan_for_classes(set_of({Bottleneck::IMB}), a);
+  EXPECT_TRUE(p.merge_path);
+  EXPECT_EQ(p.to_string(), "merge");
 }
 
 TEST(PlanForClasses, ImbEvenRowsGetsAutoSched) {
@@ -66,6 +76,7 @@ TEST(PlanForClasses, ImbEvenRowsGetsAutoSched) {
   const CsrMatrix a = gen::random_uniform(500, 6, 5);
   const Plan p = plan_for_classes(set_of({Bottleneck::IMB}), a);
   EXPECT_FALSE(p.split_long_rows);
+  EXPECT_FALSE(p.merge_path);
   EXPECT_EQ(p.sched, Sched::Auto);
 }
 
@@ -77,12 +88,13 @@ TEST(PlanForClasses, JointMlImbCombines) {
   EXPECT_EQ(p.sched, Sched::Auto);
 }
 
-TEST(PlanForClasses, SplitSuppressesDelta) {
-  // MB + IMB with long rows: split wins, delta dropped (infeasible combo).
+TEST(PlanForClasses, MergeSuppressesDelta) {
+  // MB + IMB with long rows: merge wins, delta dropped (the merge span walks
+  // raw column indices).
   const CsrMatrix a = gen::few_dense_rows(1000, 3, 3, 800, 3);
   const Plan p =
       plan_for_classes(set_of({Bottleneck::MB, Bottleneck::IMB}), a);
-  EXPECT_TRUE(p.split_long_rows);
+  EXPECT_TRUE(p.merge_path);
   EXPECT_FALSE(p.delta);
   EXPECT_EQ(p.compute, Compute::Vector);  // MB's vectorization survives
 }
@@ -133,15 +145,66 @@ TEST(MergePlans, ResolvesConflictsTowardStronger) {
   EXPECT_FALSE(m2.delta);  // infeasible together
 }
 
+TEST(MergePlans, MergePathSubsumesSplitAndDelta) {
+  Plan merge;
+  merge.merge_path = true;
+  Plan delta_vec;
+  delta_vec.delta = true;
+  delta_vec.compute = Compute::Vector;
+  const Plan m = merge_plans(merge, delta_vec);
+  EXPECT_TRUE(m.merge_path);
+  EXPECT_FALSE(m.delta);
+  EXPECT_EQ(m.compute, Compute::Vector);
+
+  Plan split;
+  split.split_long_rows = true;
+  const Plan m2 = merge_plans(split, merge);
+  EXPECT_TRUE(m2.merge_path);
+  EXPECT_FALSE(m2.split_long_rows);
+}
+
+TEST(PlanSerialize, MergeRoundTrips) {
+  Plan p;
+  p.merge_path = true;
+  p.prefetch = true;
+  p.compute = Compute::UnrollVector;
+  const auto back = deserialize_plan(serialize_plan(p));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, p);
+  EXPECT_EQ(p.to_string(), "merge+pf+unroll-vec");
+}
+
+TEST(PlanSerialize, PreMergeLinesStillParse) {
+  // A persisted plan line from before the merge field existed (no merge=
+  // key) must keep parsing — stale caches degrade, they don't error.
+  const auto p = deserialize_plan(
+      "plan1 sched=auto pf=1 compute=vector delta=0 split=1 sell=0 bcsr=0 "
+      "chunk=64");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_TRUE(p->split_long_rows);
+  EXPECT_FALSE(p->merge_path);
+}
+
 TEST(EnumeratePlans, AllFeasibleAndUnique) {
   const CsrMatrix a = gen::stencil_2d_5pt(16, 16);
   const auto plans = enumerate_plans(a);
   EXPECT_GT(plans.size(), 20u);
   for (std::size_t i = 0; i < plans.size(); ++i) {
     EXPECT_FALSE(plans[i].delta && plans[i].split_long_rows);
+    EXPECT_FALSE(plans[i].merge_path &&
+                 (plans[i].delta || plans[i].split_long_rows));
     for (std::size_t j = i + 1; j < plans.size(); ++j)
       EXPECT_FALSE(plans[i] == plans[j]);
   }
+}
+
+TEST(EnumeratePlans, ContainsMergePathPlans) {
+  // The oracle space sweeps merge across prefetch x compute (6 plans).
+  const auto plans = enumerate_plans(gen::stencil_2d_5pt(8, 8));
+  std::size_t merge_count = 0;
+  for (const Plan& p : plans)
+    if (p.merge_path) ++merge_count;
+  EXPECT_EQ(merge_count, 6u);
 }
 
 TEST(EnumeratePlans, SkipsDeltaWhenNotEncodable) {

@@ -294,6 +294,42 @@ TEST(SpmvServer, SamePatternNewValuesIsAWarmHit) {
   EXPECT_EQ(srv.stats().cache.warm_hits, 1u);
 }
 
+TEST(SpmvServer, MergePlanMatrixHotAndWarmAndCorrect) {
+  // An IMB monster-row matrix routes to the merge-path kernel; the plan must
+  // survive the cache ladder (miss → hot → warm) and the engine-bound merge
+  // execution must match the oracle.
+  SpmvServer srv(memory_only_config());
+  CsrMatrix a = gen::monster_row(512, 512, 1, 0, 7);
+
+  const auto first = expect_reply<SubmitReply>(srv.handle(SubmitRequest{a}));
+  EXPECT_EQ(first.state, CacheState::Miss);
+  EXPECT_NE(first.plan.find("merge"), std::string::npos) << first.plan;
+
+  RunRequest run;
+  run.fp = first.fp;
+  run.x = gen::test_vector(a.ncols());
+  const auto& rep = expect_reply<RunReply>(srv.handle(run));
+  ASSERT_EQ(static_cast<index_t>(rep.y.size()), a.nrows());
+  expect_ulp_match(a, run.x, rep.y);
+
+  const auto hot = expect_reply<SubmitReply>(srv.handle(SubmitRequest{a}));
+  EXPECT_EQ(hot.state, CacheState::Hot);
+  EXPECT_EQ(hot.plan, first.plan);
+  EXPECT_EQ(hot.pre_seconds, 0.0);
+
+  // Same structure, new values: warm hit reuses the merge plan without
+  // re-classifying.
+  for (index_t k = 0; k < a.nnz(); ++k) a.values_mut()[k] *= 2.0;
+  const auto warm = expect_reply<SubmitReply>(srv.handle(SubmitRequest{a}));
+  EXPECT_EQ(warm.state, CacheState::Warm);
+  EXPECT_EQ(warm.plan, first.plan);
+  RunRequest run2;
+  run2.fp = warm.fp;
+  run2.x = run.x;
+  const auto& rep2 = expect_reply<RunReply>(srv.handle(run2));
+  expect_ulp_match(a, run2.x, rep2.y);
+}
+
 TEST(SpmvServer, RunMatchesTheUlpOracle) {
   SpmvServer srv(memory_only_config());
   const CsrMatrix a = gen::stencil_2d_5pt(24, 24);

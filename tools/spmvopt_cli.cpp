@@ -215,11 +215,14 @@ int cmd_bench(const std::string& spec, const BenchMatrixOptions& opt) {
   const auto m = cli_measure();
 
   if (!opt.kernel.empty()) {
-    // One named kernel from the shared registry.
-    const kernels::KernelVariant* v = kernels::find_kernel(opt.kernel);
-    if (v == nullptr)
-      throw UsageError("unknown kernel '" + opt.kernel +
-                       "' (valid: " + kernels::kernel_names() + ")");
+    // One named kernel from the shared registry; require_kernel's message is
+    // the canonical unknown-name error (it lists the sorted valid set).
+    const kernels::KernelVariant* v = nullptr;
+    try {
+      v = &kernels::require_kernel(opt.kernel);
+    } catch (const std::invalid_argument& e) {
+      throw UsageError(e.what());
+    }
     const kernels::BoundSpmv bound = v->bind(a, default_threads());
     if (!bound)
       throw SpmvException(Error(
