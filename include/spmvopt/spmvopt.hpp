@@ -69,6 +69,10 @@
 // Matrix structural fingerprints (cache/server identity keys).
 #include "support/fingerprint.hpp"
 
+// Robustness: error taxonomy and cooperative cancellation/deadlines.
+#include "robust/error.hpp"
+#include "robust/cancel.hpp"
+
 // The spmvoptd multi-tenant server: protocol, plan cache, server core +
 // socket transport, and the blocking client.
 #include "server/protocol.hpp"

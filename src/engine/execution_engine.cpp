@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "robust/fault_inject.hpp"
 #include "support/cpu_info.hpp"
 
 #if defined(__linux__)
@@ -32,7 +33,10 @@ bool pin_self(int cpu) {
 
 ExecutionEngine::ExecutionEngine(EngineConfig cfg) : cfg_(cfg) {
   nthreads_ = cfg_.nthreads > 0 ? cfg_.nthreads : default_threads();
+  spawn_team();
+}
 
+void ExecutionEngine::spawn_team() {
   std::vector<int> cpus = pin_cpus(topology(), cfg_.pin, nthreads_);
   bool pinned_ok = !cpus.empty();
   if (pinned_ok && cfg_.pin_main) pinned_ok = pin_self(cpus[0]);
@@ -59,13 +63,39 @@ ExecutionEngine::ExecutionEngine(EngineConfig cfg) : cfg_(cfg) {
   if (pinned_ok) pinned_cpus_ = std::move(cpus);
 }
 
-ExecutionEngine::~ExecutionEngine() {
+void ExecutionEngine::join_team() {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     stop_ = true;
   }
   wake_.notify_all();
   for (std::thread& w : workers_) w.join();
+  workers_.clear();
+}
+
+ExecutionEngine::~ExecutionEngine() { join_team(); }
+
+bool ExecutionEngine::recycle() {
+  // The fault fires *before* teardown so an injected respawn failure leaves
+  // the old team fully intact — degraded but serviceable, never headless.
+  if (robust::fault_fire("engine.team_respawn")) return false;
+  join_team();
+  {
+    // Reset the mailbox so the fresh workers (whose `seen` restarts at 0)
+    // do not observe a stale generation and replay the last dispatch.
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = false;
+    generation_ = 0;
+    fn_ = nullptr;
+    ctx_ = nullptr;
+    remaining_ = 0;
+  }
+  barrier_arrived_.store(0, std::memory_order_relaxed);
+  barrier_generation_.store(0, std::memory_order_relaxed);
+  pinned_cpus_.clear();
+  spawn_team();
+  ++recycles_;
+  return true;
 }
 
 void ExecutionEngine::worker_loop(int tid) {

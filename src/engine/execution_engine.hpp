@@ -60,6 +60,20 @@ class ExecutionEngine {
   [[nodiscard]] std::uint64_t dispatch_count() const noexcept {
     return dispatches_;
   }
+  /// Successful recycle() calls (the server's self-healing counter).
+  [[nodiscard]] std::uint64_t recycle_count() const noexcept {
+    return recycles_;
+  }
+
+  /// Self-healing: tear the worker team down (join every thread) and re-spawn
+  /// + re-pin a fresh one through the same topology path as construction.
+  /// The server watchdog calls this after a job overran its deadline badly
+  /// enough to suggest a wedged/poisoned team.  Must not be called
+  /// concurrently with a dispatch (the caller serializes, e.g. the server
+  /// executor between jobs).  Returns false — leaving the existing team fully
+  /// intact and serviceable — when the respawn is vetoed (fault point
+  /// `engine.team_respawn`).
+  [[nodiscard]] bool recycle();
 
   /// Hot-path dispatch: run `fn(ctx, tid, nthreads())` on every team member
   /// and return when all have finished.  The caller runs tid 0 inline.
@@ -91,11 +105,14 @@ class ExecutionEngine {
 
  private:
   void worker_loop(int tid);
+  void spawn_team();
+  void join_team();
 
   EngineConfig cfg_;
   int nthreads_ = 1;
   std::vector<int> pinned_cpus_;
   std::uint64_t dispatches_ = 0;
+  std::uint64_t recycles_ = 0;
 
   // Dispatch mailbox: `generation_` bumps under `mutex_` after `fn_`/`ctx_`
   // are staged; workers sleep on `wake_` until they observe a new generation

@@ -123,24 +123,47 @@ OptimizedSpmv OptimizedSpmv::create(const CsrMatrix& A, const Plan& plan,
     }
   }
 
-  // Partition and kernel selection over whatever survived.
+  // Partition and kernel selection over whatever survived.  The range-kernel
+  // selections and raw-array views below also serve the cancellable chunk
+  // walk (run() with a CancelToken), which exists on unbound instances too;
+  // the engine overload re-points the CSR views at its NUMA copies.
   if (o.bcsr_ || o.sell_) {
     // Partition is unused by these whole-format kernels but kept consistent.
     o.part_ = balanced_nnz_partition(A.rowptr(), A.nrows(), t);
+    if (o.sell_)
+      o.ext_part_ = balanced_nnz_partition(o.sell_->chunk_ptr(),
+                                           o.sell_->num_chunks(), t);
+    else
+      o.ext_part_ = balanced_nnz_partition(o.bcsr_->blockptr(),
+                                           o.bcsr_->num_block_rows(), t);
   } else if (o.split_) {
     o.part_ = balanced_nnz_partition(o.split_->short_part().rowptr(),
                                      o.split_->short_part().nrows(), t);
     o.csr_fn_ = kernels::select_csr_kernel(o.plan_.sched, o.plan_.prefetch,
                                            o.plan_.compute);
+    const CsrMatrix& s = o.split_->short_part();
+    o.rp_ = s.rowptr();
+    o.ci_ = s.colind();
+    o.va_ = s.values();
+    o.csr_range_fn_ =
+        kernels::select_csr_range(o.plan_.compute, o.plan_.prefetch);
+    o.partials_.assign(static_cast<std::size_t>(t), 0.0);
   } else if (o.delta_) {
     o.part_ = balanced_nnz_partition(A.rowptr(), A.nrows(), t);
     o.delta_fn_ = kernels::select_delta_kernel(o.plan_.sched, o.plan_.prefetch,
                                                o.plan_.compute);
+    o.delta_range_fn_ =
+        kernels::select_delta_range(o.plan_.compute, o.plan_.prefetch);
   } else {
     o.csr_ = &A;
     o.part_ = balanced_nnz_partition(A.rowptr(), A.nrows(), t);
     o.csr_fn_ = kernels::select_csr_kernel(o.plan_.sched, o.plan_.prefetch,
                                            o.plan_.compute);
+    o.rp_ = A.rowptr();
+    o.ci_ = A.colind();
+    o.va_ = A.values();
+    o.csr_range_fn_ =
+        kernels::select_csr_range(o.plan_.compute, o.plan_.prefetch);
   }
 
   o.pre_sec_ = timer.elapsed_sec();
@@ -184,26 +207,10 @@ OptimizedSpmv OptimizedSpmv::create(const CsrMatrix& A, const Plan& plan,
     o.rp_ = dst_rp;
     o.ci_ = dst_ci;
     o.va_ = dst_va;
-    o.csr_range_fn_ =
-        kernels::select_csr_range(o.plan_.compute, o.plan_.prefetch);
-  } else if (o.split_) {
-    const CsrMatrix& s = o.split_->short_part();
-    o.rp_ = s.rowptr();
-    o.ci_ = s.colind();
-    o.va_ = s.values();
-    o.csr_range_fn_ =
-        kernels::select_csr_range(o.plan_.compute, o.plan_.prefetch);
-    o.partials_.assign(static_cast<std::size_t>(eng.nthreads()), 0.0);
-  } else if (o.delta_) {
-    o.delta_range_fn_ =
-        kernels::select_delta_range(o.plan_.compute, o.plan_.prefetch);
-  } else if (o.sell_) {
-    o.ext_part_ = balanced_nnz_partition(o.sell_->chunk_ptr(),
-                                         o.sell_->num_chunks(), eng.nthreads());
-  } else if (o.bcsr_) {
-    o.ext_part_ = balanced_nnz_partition(
-        o.bcsr_->blockptr(), o.bcsr_->num_block_rows(), eng.nthreads());
   }
+  // Split/delta range kernels, SELL/BCSR slice partitions, and the raw-array
+  // views were already selected by the base create() (team size matches:
+  // it ran with eng.nthreads()).
 
   if ((o.rp_ != nullptr || o.delta_) &&
       o.plan_.sched != kernels::Sched::BalancedStatic)
@@ -365,6 +372,224 @@ void OptimizedSpmv::run_many(std::span<const value_t> X, std::span<value_t> Y,
     throw std::invalid_argument(
         "OptimizedSpmv::run_many: batch size mismatch");
   run_many(X.data(), Y.data(), nrhs);
+}
+
+void OptimizedSpmv::cancellable_body(int tid, int nt, const value_t* x,
+                                     value_t* y,
+                                     CancelCtx& c) const noexcept {
+  // Poll = one relaxed load of the sticky flag plus the token (an atomic
+  // load, and a clock read when a deadline is set).  Members that trip set
+  // `aborted` so the rest stop at their own next poll without re-reading the
+  // clock.  Invariant: an early abort never changes how many barriers a
+  // member passes — only lockstep phases (split phase 2, handled below with
+  // a published stop flag) may break, and they break uniformly.
+  const auto tripped = [&c]() noexcept {
+    if (c.aborted.load(std::memory_order_relaxed)) return true;
+    if (c.tok.cancelled()) {
+      c.aborted.store(true, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  };
+
+  if (bcsr_ || sell_) {
+    // Whole-format slices: walk this member's chunk/block-row range in
+    // bounded quanta.  SELL chunks hold sell_native_chunk() rows and BCSR
+    // block rows hold br rows, so the row quantum stays on the same order.
+    const index_t quantum = std::max<index_t>(1, kCancelChunkRows / 8);
+    index_t lo = ext_part_.bounds[tid];
+    const index_t end = ext_part_.bounds[tid + 1];
+    while (lo < end) {
+      if (tripped()) return;
+      const index_t hi = std::min<index_t>(end, lo + quantum);
+      if (bcsr_)
+        kernels::spmv_bcsr_block_rows(*bcsr_, lo, hi, x, y);
+      else
+        kernels::spmv_sell_chunks(*sell_, lo, hi, x, y);
+      c.done.fetch_add(hi - lo, std::memory_order_relaxed);
+      lo = hi;
+    }
+    return;
+  }
+
+  if (merge_fn_ != nullptr) {
+    // One merge span (its rows+nnz share) is the chunk quantum.  An aborting
+    // member skips its remaining spans but still arrives at both barriers,
+    // and member 0 skips the carry fix-up on abort (y is discarded anyway).
+    const int p = merge_part_.nworkers();
+    index_t* crow = merge_carry_.row.data();
+    value_t* cval = merge_carry_.val.data();
+    for (int k = tid; k < p; k += nt) {
+      if (tripped()) break;
+      merge_fn_(rp_, ci_, va_, merge_part_, k, x, y, crow, cval, pf_dist_);
+      c.done.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (engine_ != nullptr) engine_->team_barrier();
+    if (tid == 0 && !c.aborted.load(std::memory_order_relaxed))
+      kernels::merge_fixup(p, merge_part_.nrows, crow, cval, y);
+    if (engine_ != nullptr) engine_->team_barrier();
+    return;
+  }
+
+  // Phase 1: CSR / delta / split-short rows in kCancelChunkRows slices.
+  if (plan_.sched == kernels::Sched::BalancedStatic || cursor_ == nullptr) {
+    index_t lo = part_.bounds[tid];
+    const index_t end = part_.bounds[tid + 1];
+    while (lo < end) {
+      if (tripped()) break;
+      const index_t hi = std::min<index_t>(end, lo + kCancelChunkRows);
+      if (delta_)
+        delta_range_fn_(*delta_, lo, hi, x, y, pf_dist_);
+      else
+        csr_range_fn_(rp_, ci_, va_, lo, hi, x, y, pf_dist_);
+      c.done.fetch_add(hi - lo, std::memory_order_relaxed);
+      lo = hi;
+    }
+  } else {
+    // Dynamic/guided: the shared cursor already hands out bounded chunks;
+    // cap them at the cancel quantum and poll per pull.
+    const index_t n = nrows_;
+    const index_t chunk = std::min<index_t>(
+        kCancelChunkRows,
+        plan_.sched == kernels::Sched::Dynamic
+            ? std::max<index_t>(1, static_cast<index_t>(plan_.dynamic_chunk))
+            : std::max<index_t>(64, n / (static_cast<index_t>(nt) * 16)));
+    std::atomic<index_t>& cur = *cursor_;
+    for (;;) {
+      if (tripped()) break;
+      const index_t lo = cur.fetch_add(chunk, std::memory_order_relaxed);
+      if (lo >= n) break;
+      const index_t hi = std::min<index_t>(n, lo + chunk);
+      if (delta_)
+        delta_range_fn_(*delta_, lo, hi, x, y, pf_dist_);
+      else
+        csr_range_fn_(rp_, ci_, va_, lo, hi, x, y, pf_dist_);
+      c.done.fetch_add(hi - lo, std::memory_order_relaxed);
+    }
+  }
+  if (!split_) return;
+
+  // Phase 2: long rows in lockstep.  Member 0 publishes the abort decision,
+  // a barrier makes it visible, and every member reads the same value before
+  // member 0 can write the next one (the trailing barriers of this iteration
+  // order the reads before that write) — so the team always breaks out of
+  // the same iteration and barrier counts stay equal.
+  const index_t L = split_->num_long_rows();
+  const index_t* lrows = split_->long_rows();
+  const index_t* lrowptr = split_->long_rowptr();
+  const index_t* lcolind = split_->long_colind();
+  const value_t* lvals = split_->long_values();
+  value_t* partials = partials_.data();
+  for (index_t k = 0; k < L; ++k) {
+    if (tid == 0 && tripped())
+      c.stop.store(true, std::memory_order_relaxed);
+    if (engine_ != nullptr) engine_->team_barrier();
+    if (c.stop.load(std::memory_order_relaxed)) break;
+    const index_t lo = lrowptr[k];
+    const index_t hi = lrowptr[k + 1];
+    const index_t per = (hi - lo + nt - 1) / nt;
+    const index_t jlo = std::min<index_t>(hi, lo + tid * per);
+    const index_t jhi = std::min<index_t>(hi, jlo + per);
+    partials[tid] = kernels::long_row_partial(lcolind, lvals, jlo, jhi, x);
+    if (engine_ != nullptr) engine_->team_barrier();
+    if (tid == 0) {
+      value_t sum = 0.0;
+      for (int t = 0; t < nt; ++t) sum += partials[t];
+      y[lrows[k]] = sum;
+      c.done.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (engine_ != nullptr) engine_->team_barrier();
+  }
+}
+
+std::int64_t OptimizedSpmv::cancel_units_total() const noexcept {
+  if (merge_fn_ != nullptr) return merge_part_.nworkers();
+  if (sell_) return sell_->num_chunks();
+  if (bcsr_) return bcsr_->num_block_rows();
+  if (split_)
+    return static_cast<std::int64_t>(split_->short_part().nrows()) +
+           split_->num_long_rows();
+  return nrows_;
+}
+
+const char* OptimizedSpmv::cancel_units_name() const noexcept {
+  if (merge_fn_ != nullptr) return "merge spans";
+  if (sell_) return "SELL chunks";
+  if (bcsr_) return "block rows";
+  return "rows";
+}
+
+namespace {
+
+std::string progress_string(std::int64_t done, std::int64_t total,
+                            const char* units) {
+  return "after " + std::to_string(done) + " of " + std::to_string(total) +
+         " " + units;
+}
+
+}  // namespace
+
+Status OptimizedSpmv::run(const value_t* x, value_t* y,
+                          const robust::CancelToken& tok) const {
+  CancelCtx c{tok};
+  if (engine_ != nullptr) {
+    if (cursor_) cursor_->store(0, std::memory_order_relaxed);
+    engine_->parallel([this, x, y, &c](int tid, int nt) {
+      cancellable_body(tid, nt, x, y, c);
+    });
+  } else {
+    cancellable_body(0, 1, x, y, c);
+  }
+  if (!c.aborted.load(std::memory_order_relaxed)) return Unit{};
+  return tok.to_error(progress_string(c.done.load(std::memory_order_relaxed),
+                                      cancel_units_total(),
+                                      cancel_units_name()))
+      .with_context("while running SpMV (" + std::to_string(nrows_) +
+                    " rows)");
+}
+
+Status OptimizedSpmv::run_many(const value_t* X, value_t* Y, int nrhs,
+                               const robust::CancelToken& tok) const {
+  if (nrhs <= 0) return Unit{};
+  CancelCtx c{tok};
+  if (engine_ == nullptr) {
+    for (int r = 0; r < nrhs; ++r) {
+      if (tok.cancelled()) {
+        c.aborted.store(true, std::memory_order_relaxed);
+        break;
+      }
+      cancellable_body(0, 1, X + static_cast<std::size_t>(r) * ncols_,
+                       Y + static_cast<std::size_t>(r) * nrows_, c);
+      if (c.aborted.load(std::memory_order_relaxed)) break;
+    }
+  } else {
+    if (cursor_) cursor_->store(0, std::memory_order_relaxed);
+    engine_->parallel([this, X, Y, nrhs, &c](int tid, int nt) {
+      for (int r = 0; r < nrhs; ++r) {
+        cancellable_body(tid, nt, X + static_cast<std::size_t>(r) * ncols_,
+                         Y + static_cast<std::size_t>(r) * nrows_, c);
+        if (r + 1 == nrhs) break;
+        // Item boundary: member 0 publishes continue/stop and re-arms the
+        // cursor; the barrier pair keeps the decision uniform and keeps any
+        // member from pulling next-item chunks before the re-arm.
+        engine_->team_barrier();
+        if (tid == 0) {
+          if (c.tok.cancelled()) c.aborted.store(true, std::memory_order_relaxed);
+          c.stop.store(c.aborted.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+          if (cursor_) cursor_->store(0, std::memory_order_relaxed);
+        }
+        engine_->team_barrier();
+        if (c.stop.load(std::memory_order_relaxed)) break;
+      }
+    });
+  }
+  if (!c.aborted.load(std::memory_order_relaxed)) return Unit{};
+  return tok.to_error(progress_string(
+                          c.done.load(std::memory_order_relaxed),
+                          cancel_units_total() * nrhs, cancel_units_name()))
+      .with_context("while running batched SpMV (" + std::to_string(nrhs) +
+                    " right-hand sides)");
 }
 
 PlacementStats OptimizedSpmv::placement() const {

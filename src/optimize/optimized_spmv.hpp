@@ -18,7 +18,9 @@
 #include "engine/execution_engine.hpp"
 #include "kernels/team_body.hpp"
 #include "optimize/plan.hpp"
+#include "robust/cancel.hpp"
 #include "robust/degradation.hpp"
+#include "robust/error.hpp"
 #include "sparse/delta_csr.hpp"
 #include "sparse/sell.hpp"
 #include "sparse/bcsr.hpp"
@@ -83,6 +85,30 @@ class OptimizedSpmv {
   void run_many(std::span<const value_t> X, std::span<value_t> Y,
                 int nrhs) const;
 
+  /// Cooperative-cancellation matvec (DESIGN.md §10).  Polls `tok` at chunk
+  /// granularity — kCancelChunkRows-row slices for CSR/delta/split, one span
+  /// for merge-path, chunk/block-row slices for SELL/BCSR, one long row for
+  /// split phase 2 — and unwinds when it trips, returning a typed
+  /// DeadlineExceeded/Cancelled error with partial-progress context; `y` is
+  /// then partially written and must be discarded.  A run that completes is
+  /// row-for-row bitwise identical to run() (rows are never subdivided, so
+  /// summation order is unchanged).  Engine-bound instances execute on the
+  /// full team exactly like run(); unbound instances execute the chunk walk
+  /// serially (this path exists for the server, which always binds an
+  /// engine).
+  [[nodiscard]] Status run(const value_t* x, value_t* y,
+                           const robust::CancelToken& tok) const;
+
+  /// Batched cancellable variant: polls between chunks and between
+  /// right-hand sides; one team dispatch for the whole batch.
+  [[nodiscard]] Status run_many(const value_t* X, value_t* Y, int nrhs,
+                                const robust::CancelToken& tok) const;
+
+  /// Row-chunk quantum of the cancellable paths: the deadline overshoot is
+  /// bounded by the cost of one chunk of the active format (for formats that
+  /// never subdivide a row, a single pathological row is the quantum floor).
+  static constexpr index_t kCancelChunkRows = 2048;
+
   [[nodiscard]] const Plan& plan() const noexcept { return plan_; }
   [[nodiscard]] const robust::DegradationLog& degradation() const noexcept {
     return degradation_;
@@ -110,6 +136,27 @@ class OptimizedSpmv {
   /// parallel region (split plans use team barriers for phase 2).
   void engine_body(int tid, int nt, const value_t* x,
                    value_t* y) const noexcept;
+
+  /// Per-call shared state of a cancellable run: the token, the sticky abort
+  /// flag every member polls, a barrier-published uniform-stop flag for the
+  /// phases that must break in lockstep (split phase 2, run_many item
+  /// boundaries), and the progress counter for the partial-progress context.
+  struct CancelCtx {
+    const robust::CancelToken& tok;
+    std::atomic<bool> aborted{false};
+    std::atomic<bool> stop{false};
+    std::atomic<std::int64_t> done{0};
+  };
+
+  /// Cancellable counterpart of engine_body; safe for any team size
+  /// including the serial unbound case (barriers are engine-guarded).
+  void cancellable_body(int tid, int nt, const value_t* x, value_t* y,
+                        CancelCtx& c) const noexcept;
+
+  /// Work units one matvec completes ("rows", "merge spans", ...) for the
+  /// progress message.
+  [[nodiscard]] std::int64_t cancel_units_total() const noexcept;
+  [[nodiscard]] const char* cancel_units_name() const noexcept;
 
   Plan plan_;
   robust::DegradationLog degradation_;

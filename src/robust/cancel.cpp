@@ -1,0 +1,90 @@
+#include "robust/cancel.hpp"
+
+#include <atomic>
+#include <chrono>
+
+namespace spmvopt::robust {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double now_sec() noexcept {
+  return std::chrono::duration<double>(Clock::now().time_since_epoch())
+      .count();
+}
+
+constexpr double kNoDeadline = std::numeric_limits<double>::infinity();
+
+}  // namespace
+
+struct CancelToken::State {
+  std::atomic<bool> cancelled{false};      ///< explicit cancel()
+  std::atomic<bool> deadline_hit{false};   ///< latched on first expired poll
+  double deadline = kNoDeadline;           ///< steady-clock seconds, immutable
+};
+
+CancelToken::CancelToken() : state_(std::make_shared<State>()) {}
+
+CancelToken CancelToken::after_seconds(double seconds) {
+  CancelToken tok;
+  tok.state_->deadline = now_sec() + seconds;
+  return tok;
+}
+
+CancelToken CancelToken::after_ms(std::uint32_t deadline_ms) {
+  if (deadline_ms == 0) return CancelToken();
+  return after_seconds(static_cast<double>(deadline_ms) * 1e-3);
+}
+
+const CancelToken& CancelToken::never() {
+  static const CancelToken tok;
+  return tok;
+}
+
+void CancelToken::cancel() const noexcept {
+  state_->cancelled.store(true, std::memory_order_relaxed);
+}
+
+bool CancelToken::cancelled() const noexcept {
+  State& s = *state_;
+  if (s.cancelled.load(std::memory_order_relaxed)) return true;
+  if (s.deadline_hit.load(std::memory_order_relaxed)) return true;
+  if (s.deadline != kNoDeadline && now_sec() >= s.deadline) {
+    s.deadline_hit.store(true, std::memory_order_relaxed);
+    return true;
+  }
+  return false;
+}
+
+CancelToken::Why CancelToken::why() const noexcept {
+  // Explicit cancellation wins: a watchdog/client cancel on a token that
+  // also has a deadline should report Cancelled, not Deadline.
+  if (state_->cancelled.load(std::memory_order_relaxed)) return Why::Cancelled;
+  if (cancelled()) return Why::Deadline;
+  return Why::None;
+}
+
+bool CancelToken::has_deadline() const noexcept {
+  return state_->deadline != kNoDeadline;
+}
+
+double CancelToken::remaining_seconds() const noexcept {
+  if (!has_deadline()) return kNoDeadline;
+  const double left = state_->deadline - now_sec();
+  return left > 0.0 ? left : 0.0;
+}
+
+Error CancelToken::to_error(const std::string& progress) const {
+  const Why w = why();
+  const ErrorCategory cat = w == Why::Cancelled ? ErrorCategory::Cancelled
+                                                : ErrorCategory::DeadlineExceeded;
+  std::string msg = w == Why::Cancelled ? "work cancelled" : "deadline exceeded";
+  if (!progress.empty()) {
+    msg += " ";
+    msg += progress;
+  }
+  return Error(cat, std::move(msg));
+}
+
+}  // namespace spmvopt::robust

@@ -1,0 +1,81 @@
+// Cooperative cancellation and deadlines (DESIGN.md §10).
+//
+// A CancelToken is a cheap, copyable handle to shared cancellation state: an
+// explicit cancel flag plus an optional steady-clock deadline.  Long-running
+// work — engine team bodies, merge/SELL/BCSR kernel loops, solver iterations,
+// plan-cache conversions — polls `cancelled()` at *chunk* granularity (a few
+// thousand rows, one solver iteration) and unwinds cooperatively, returning a
+// typed Error (DeadlineExceeded / Cancelled) with partial-progress context.
+// Nothing is ever pre-empted: a token only requests that the work stop at its
+// next polling point, so data structures are always left consistent.
+//
+// Copies share state: the server cancels the token held by an executing job
+// from the watchdog or a `cancel(request_id)` verb, and every team member
+// polling its own copy observes the flag.  Polling is wait-free (one relaxed
+// atomic load; plus one clock read when a deadline is set).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <string>
+
+#include "robust/error.hpp"
+
+namespace spmvopt::robust {
+
+class CancelToken {
+ public:
+  /// Why the token reports `cancelled()`.
+  enum class Why : std::uint8_t {
+    None,       ///< not cancelled
+    Cancelled,  ///< cancel() was called
+    Deadline,   ///< the deadline passed
+  };
+
+  /// A live token with no deadline; cancellable via cancel().
+  CancelToken();
+
+  /// A token that trips `seconds` from now (steady clock).  Non-positive
+  /// budgets produce an already-expired token.
+  [[nodiscard]] static CancelToken after_seconds(double seconds);
+
+  /// Millisecond variant matching the wire protocol's `deadline_ms` field;
+  /// 0 means "no deadline".
+  [[nodiscard]] static CancelToken after_ms(std::uint32_t deadline_ms);
+
+  /// The singleton never-cancelled token: polling it is a single relaxed
+  /// load and it has no deadline.  Use as a default for call sites that
+  /// need a token reference but no cancellation.
+  [[nodiscard]] static const CancelToken& never();
+
+  /// Request cooperative stop.  Thread-safe, idempotent, callable from any
+  /// holder of a copy.  Explicit cancellation wins over a later deadline
+  /// trip when reporting `why()`.
+  void cancel() const noexcept;
+
+  /// True once cancel() was called or the deadline passed.  This is the
+  /// polling entry point for kernels; the deadline trip is latched so
+  /// subsequent polls are pure atomic loads.
+  [[nodiscard]] bool cancelled() const noexcept;
+
+  /// Why the token is cancelled (None while still live).
+  [[nodiscard]] Why why() const noexcept;
+
+  [[nodiscard]] bool has_deadline() const noexcept;
+
+  /// Seconds until the deadline (+inf when none, 0 when already past).
+  [[nodiscard]] double remaining_seconds() const noexcept;
+
+  /// A typed Error for abandoned work: category DeadlineExceeded or
+  /// Cancelled per why(), with `progress` ("after 12288 of 100000 rows",
+  /// "after 17 CG iterations") folded into the message as the
+  /// partial-progress context.  Call only when cancelled().
+  [[nodiscard]] Error to_error(const std::string& progress) const;
+
+ private:
+  struct State;
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace spmvopt::robust

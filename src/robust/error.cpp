@@ -8,6 +8,8 @@ const char* error_category_name(ErrorCategory c) noexcept {
     case ErrorCategory::Format: return "format";
     case ErrorCategory::Resource: return "resource";
     case ErrorCategory::Internal: return "internal";
+    case ErrorCategory::DeadlineExceeded: return "deadline";
+    case ErrorCategory::Cancelled: return "cancelled";
   }
   return "internal";
 }
@@ -18,6 +20,8 @@ int exit_code_for(ErrorCategory c) noexcept {
     case ErrorCategory::Io: return 66;        // EX_NOINPUT
     case ErrorCategory::Internal: return 70;  // EX_SOFTWARE
     case ErrorCategory::Resource: return 71;  // EX_OSERR
+    case ErrorCategory::DeadlineExceeded: return 75;  // EX_TEMPFAIL
+    case ErrorCategory::Cancelled: return 75;         // EX_TEMPFAIL
   }
   return 70;
 }

@@ -12,6 +12,11 @@
 //   Resource  the input is well-formed but exceeds a limit (index range,
 //             SPMVOPT_MAX_NNZ / SPMVOPT_MAX_BYTES ceilings, out of memory)
 //   Internal  a bug or an unclassified failure — never expected in normal use
+//   DeadlineExceeded  the work was abandoned cooperatively because its
+//             deadline passed (see robust/cancel.hpp); retrying with a wider
+//             deadline may succeed
+//   Cancelled the caller (or the server watchdog) explicitly cancelled the
+//             work mid-flight; the request itself was well-formed
 //
 // Checked entry points return Expected<T>; the historical throwing functions
 // remain as shims that unwrap via value_or_throw(), raising SpmvException
@@ -27,14 +32,25 @@
 
 namespace spmvopt {
 
-enum class ErrorCategory { Io, Format, Resource, Internal };
+// Wire note: the category crosses the spmvoptd protocol as a u8 of the enum
+// value, so entries are append-only — never reorder or remove.
+enum class ErrorCategory {
+  Io,
+  Format,
+  Resource,
+  Internal,
+  DeadlineExceeded,
+  Cancelled,
+};
 
-/// "io" | "format" | "resource" | "internal".
+/// "io" | "format" | "resource" | "internal" | "deadline" | "cancelled".
 [[nodiscard]] const char* error_category_name(ErrorCategory c) noexcept;
 
 /// BSD-sysexits-compatible process exit code for a category (the CLI
 /// contract, covered by test_cli): Format→65 (EX_DATAERR), Io→66
-/// (EX_NOINPUT), Internal→70 (EX_SOFTWARE), Resource→71 (EX_OSERR).
+/// (EX_NOINPUT), Internal→70 (EX_SOFTWARE), Resource→71 (EX_OSERR),
+/// DeadlineExceeded/Cancelled→75 (EX_TEMPFAIL — the transient-failure code:
+/// the same request may succeed with a wider deadline or no cancel).
 [[nodiscard]] int exit_code_for(ErrorCategory c) noexcept;
 
 /// Exit code for malformed command lines (EX_USAGE); no ErrorCategory maps

@@ -26,6 +26,9 @@ constexpr const char* kPointNames[] = {
     "classify.profile_overrun",  // profiling exceeds its wall-clock budget
     "server.frame_truncate",     // protocol frame cut short mid-payload
     "server.evict_during_run",   // plan-cache eviction races an executing job
+    "server.watchdog_fire",      // watchdog declares the executing job overdue
+    "engine.team_respawn",       // engine team re-spawn fails during recycle
+    "client.retry_exhaust",      // client retry budget forced to exhaustion
 };
 constexpr std::size_t kPointCount = std::size(kPointNames);
 

@@ -4,41 +4,98 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 #include <utility>
+
+#include "robust/fault_inject.hpp"
 
 namespace spmvopt::server {
 
-Expected<Client> Client::connect(const std::string& socket_path) {
+namespace {
+
+// splitmix64: a tiny, deterministic jitter stream.  Not for security — it
+// only decorrelates retry wakeups across clients.
+std::uint64_t mix64(std::uint64_t z) {
+  z += 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+int connect_unix(const std::string& socket_path, Error* out_err) {
   sockaddr_un addr{};
   addr.sun_family = AF_UNIX;
-  if (socket_path.size() >= sizeof(addr.sun_path))
-    return Error(ErrorCategory::Io,
-                 "socket path too long for AF_UNIX: " + socket_path);
+  if (socket_path.size() >= sizeof(addr.sun_path)) {
+    *out_err = Error(ErrorCategory::Io,
+                     "socket path too long for AF_UNIX: " + socket_path);
+    return -1;
+  }
   std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
 
   const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (fd < 0)
-    return Error(ErrorCategory::Io,
-                 std::string("socket(): ") + std::strerror(errno));
+  if (fd < 0) {
+    *out_err = Error(ErrorCategory::Io,
+                     std::string("socket(): ") + std::strerror(errno));
+    return -1;
+  }
   if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
       0) {
     const int err = errno;
     ::close(fd);
-    return Error(ErrorCategory::Io, "connect(" + socket_path +
-                                        "): " + std::strerror(err) +
-                                        " (is spmvoptd running?)");
+    *out_err = Error(ErrorCategory::Io, "connect(" + socket_path +
+                                            "): " + std::strerror(err) +
+                                            " (is spmvoptd running?)");
+    return -1;
   }
-  return Client(fd);
+  return fd;
 }
 
-Client::Client(Client&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
+}  // namespace
+
+std::vector<double> backoff_schedule_ms(const RetryPolicy& policy,
+                                        std::uint64_t request_id,
+                                        int attempts) {
+  // Decorrelated jitter (the classic AWS variant): each delay is uniform in
+  // [base, prev * 3], capped.  The stream is a pure function of
+  // (seed, request_id), so the same call retried twice sleeps identically.
+  std::vector<double> delays;
+  std::uint64_t state = mix64(policy.seed ^ mix64(request_id));
+  double prev = policy.base_delay_ms;
+  for (int attempt = 1; attempt < attempts; ++attempt) {
+    state = mix64(state);
+    const double u =
+        static_cast<double>(state >> 11) / 9007199254740992.0;  // [0, 1)
+    const double hi = std::min(policy.max_delay_ms, prev * 3.0);
+    const double lo = std::min(policy.base_delay_ms, hi);
+    const double d = lo + u * (hi - lo);
+    delays.push_back(d);
+    prev = d;
+  }
+  return delays;
+}
+
+Expected<Client> Client::connect(const std::string& socket_path) {
+  Error err(ErrorCategory::Io, "unreachable");
+  const int fd = connect_unix(socket_path, &err);
+  if (fd < 0) return err;
+  return Client(fd, socket_path);
+}
+
+Client::Client(Client&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      path_(std::move(other.path_)),
+      policy_(other.policy_) {}
 
 Client& Client::operator=(Client&& other) noexcept {
   if (this != &other) {
     if (fd_ >= 0) ::close(fd_);
     fd_ = std::exchange(other.fd_, -1);
+    path_ = std::move(other.path_);
+    policy_ = other.policy_;
   }
   return *this;
 }
@@ -47,9 +104,22 @@ Client::~Client() {
   if (fd_ >= 0) ::close(fd_);
 }
 
-Expected<Reply> Client::roundtrip(const Request& req) {
+Status Client::reconnect() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  Error err(ErrorCategory::Io, "unreachable");
+  const int fd = connect_unix(path_, &err);
+  if (fd < 0) return err;
+  fd_ = fd;
+  return Unit{};
+}
+
+Expected<Reply> Client::roundtrip_once(const Request& req,
+                                       const RequestHeader& hdr) {
   if (fd_ < 0) return Error(ErrorCategory::Io, "client is not connected");
-  if (Status s = write_frame(fd_, encode_request(req)); !s.ok())
+  if (Status s = write_frame(fd_, encode_request(req, hdr)); !s.ok())
     return std::move(s).error().with_context("sending request to spmvoptd");
   auto frame = read_frame(fd_);
   if (!frame.ok())
@@ -60,10 +130,68 @@ Expected<Reply> Client::roundtrip(const Request& req) {
   auto reply = decode_reply(*frame.value());
   if (!reply.ok())
     return std::move(reply).error().with_context("decoding spmvoptd reply");
-  // A typed server-side failure travels back as the Error it was.
-  if (const auto* err = std::get_if<ErrorReply>(&reply.value()))
-    return Error(err->category, err->message);
-  return std::move(reply.value());
+  if (reply.value().request_id != hdr.request_id)
+    return Error(ErrorCategory::Internal,
+                 "reply for request " +
+                     std::to_string(reply.value().request_id) +
+                     " answered request " + std::to_string(hdr.request_id));
+  return std::move(reply.value().reply);
+}
+
+Expected<Reply> Client::call(const Request& req, const CallOptions& opts) {
+  const RequestHeader hdr{opts.request_id, opts.deadline_ms};
+  // Retry-safety is the caller's idempotency claim: only named requests are
+  // ever re-sent, and a Shutdown never is (a lost reply leaves the server
+  // state unknown — re-sending could kill a freshly restarted instance).
+  const bool retryable_call = opts.request_id != 0 &&
+                              !std::holds_alternative<ShutdownRequest>(req);
+  const int max_attempts =
+      retryable_call ? std::max(1, policy_.max_attempts) : 1;
+  const std::vector<double> delays =
+      backoff_schedule_ms(policy_, opts.request_id, max_attempts);
+
+  Error last(ErrorCategory::Internal, "retry loop made no attempt");
+  int attempts_made = 0;
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    if (attempt > 0) {
+      // Deterministic testing: force the "budget exhausted" path without
+      // burning real attempts or sleeping out the schedule.
+      if (robust::fault_fire("client.retry_exhaust")) break;
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+          delays[static_cast<std::size_t>(attempt) - 1]));
+      if (fd_ < 0) {
+        if (Status s = reconnect(); !s.ok()) {
+          last = std::move(s).error();
+          continue;
+        }
+      }
+    }
+    ++attempts_made;
+
+    auto reply = roundtrip_once(req, hdr);
+    if (!reply.ok()) {
+      last = std::move(reply).error();
+      // Transport failures poison the stream: drop the socket so the next
+      // attempt reconnects from a clean frame boundary.
+      if (last.category() == ErrorCategory::Io && fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+      }
+      if (!retryable_call) break;
+      continue;
+    }
+    if (const auto* err = std::get_if<ErrorReply>(&reply.value())) {
+      last = Error(err->category, err->message);
+      if (err->retryable && retryable_call) continue;
+      break;  // typed terminal failure (deadline, cancel, format, ...)
+    }
+    return std::move(reply.value());
+  }
+  if (attempts_made > 1)
+    return std::move(last).with_context(
+        "after " + std::to_string(attempts_made) + " attempts on request " +
+        std::to_string(opts.request_id));
+  return last;
 }
 
 namespace {
@@ -77,8 +205,9 @@ Error unexpected_reply(const char* expected) {
 
 }  // namespace
 
-Expected<SubmitReply> Client::submit(const CsrMatrix& A) {
-  auto reply = roundtrip(Request(SubmitRequest{A}));
+Expected<SubmitReply> Client::submit(const CsrMatrix& A,
+                                     const CallOptions& opts) {
+  auto reply = call(Request(SubmitRequest{A}), opts);
   if (!reply.ok()) return reply.error();
   auto* ok = std::get_if<SubmitReply>(&reply.value());
   if (!ok) return unexpected_reply("SubmitOk");
@@ -86,11 +215,12 @@ Expected<SubmitReply> Client::submit(const CsrMatrix& A) {
 }
 
 Expected<std::vector<value_t>> Client::run(const Fingerprint& fp,
-                                           std::span<const value_t> x) {
+                                           std::span<const value_t> x,
+                                           const CallOptions& opts) {
   RunRequest req;
   req.fp = fp;
   req.x.assign(x.begin(), x.end());
-  auto reply = roundtrip(Request(std::move(req)));
+  auto reply = call(Request(std::move(req)), opts);
   if (!reply.ok()) return reply.error();
   auto* ok = std::get_if<RunReply>(&reply.value());
   if (!ok) return unexpected_reply("RunOk");
@@ -99,12 +229,13 @@ Expected<std::vector<value_t>> Client::run(const Fingerprint& fp,
 
 Expected<std::vector<value_t>> Client::run_many(const Fingerprint& fp,
                                                 std::span<const value_t> X,
-                                                int nrhs) {
+                                                int nrhs,
+                                                const CallOptions& opts) {
   RunManyRequest req;
   req.fp = fp;
   req.nrhs = static_cast<std::int32_t>(nrhs);
   req.X.assign(X.begin(), X.end());
-  auto reply = roundtrip(Request(std::move(req)));
+  auto reply = call(Request(std::move(req)), opts);
   if (!reply.ok()) return reply.error();
   auto* ok = std::get_if<RunManyReply>(&reply.value());
   if (!ok) return unexpected_reply("RunManyOk");
@@ -113,22 +244,33 @@ Expected<std::vector<value_t>> Client::run_many(const Fingerprint& fp,
 
 Expected<SolveReply> Client::solve(const Fingerprint& fp, SolveMethod method,
                                    std::span<const value_t> b,
-                                   int max_iterations, double rel_tolerance) {
+                                   int max_iterations, double rel_tolerance,
+                                   const CallOptions& opts) {
   SolveRequest req;
   req.fp = fp;
   req.method = method;
   req.max_iterations = static_cast<std::int32_t>(max_iterations);
   req.rel_tolerance = rel_tolerance;
   req.b.assign(b.begin(), b.end());
-  auto reply = roundtrip(Request(std::move(req)));
+  auto reply = call(Request(std::move(req)), opts);
   if (!reply.ok()) return reply.error();
   auto* ok = std::get_if<SolveReply>(&reply.value());
   if (!ok) return unexpected_reply("SolveOk");
   return std::move(*ok);
 }
 
-Expected<std::string> Client::stats_json() {
-  auto reply = roundtrip(Request(StatsRequest{}));
+Expected<CancelReply::Outcome> Client::cancel(std::uint64_t target_id) {
+  // A cancel is naturally idempotent but races the target's completion; it
+  // is sent exactly once so its answer reflects one observable moment.
+  auto reply = call(Request(CancelRequest{target_id}), CallOptions{});
+  if (!reply.ok()) return reply.error();
+  auto* ok = std::get_if<CancelReply>(&reply.value());
+  if (!ok) return unexpected_reply("CancelOk");
+  return ok->outcome;
+}
+
+Expected<std::string> Client::stats_json(const CallOptions& opts) {
+  auto reply = call(Request(StatsRequest{}), opts);
   if (!reply.ok()) return reply.error();
   auto* ok = std::get_if<StatsReply>(&reply.value());
   if (!ok) return unexpected_reply("StatsOk");
@@ -136,7 +278,7 @@ Expected<std::string> Client::stats_json() {
 }
 
 Status Client::ping() {
-  auto reply = roundtrip(Request(PingRequest{}));
+  auto reply = call(Request(PingRequest{}), CallOptions{});
   if (!reply.ok()) return reply.error();
   const auto* pong = std::get_if<PongReply>(&reply.value());
   if (!pong) return unexpected_reply("Pong");
@@ -149,7 +291,7 @@ Status Client::ping() {
 }
 
 Status Client::shutdown_server() {
-  auto reply = roundtrip(Request(ShutdownRequest{}));
+  auto reply = call(Request(ShutdownRequest{}), CallOptions{});
   if (!reply.ok()) return reply.error();
   if (!std::holds_alternative<ShutdownReply>(reply.value()))
     return unexpected_reply("ShutdownOk");

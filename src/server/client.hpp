@@ -5,8 +5,20 @@
 // Every call returns Expected<>: a server-side ErrorReply surfaces as an
 // Error carrying the server's category and message, transport failures as
 // Io/Format errors, so callers branch on category, not message text.
+//
+// Retries (DESIGN.md §10): a call made with a nonzero `request_id` is an
+// idempotency claim — the caller asserts that re-sending the same request is
+// safe.  Only such calls are retried, and only on failures where a retry can
+// help: transport Io errors (the client transparently reconnects) and
+// ErrorReplies the server marked `retryable` (overload, draining).
+// Deadline/cancel trips, Format and Internal errors are never retried, and
+// shutdown_server() is never retried regardless of id.  Backoff between
+// attempts is exponential with decorrelated jitter from a deterministic
+// seeded generator, so tests can assert the exact schedule via
+// backoff_schedule_ms().
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <string>
 #include <vector>
@@ -17,6 +29,29 @@
 #include "support/fingerprint.hpp"
 
 namespace spmvopt::server {
+
+/// Per-call envelope knobs; the defaults reproduce pre-v2 behavior
+/// (unnamed request, no deadline, no retries).
+struct CallOptions {
+  std::uint64_t request_id = 0;  ///< nonzero = idempotent, addressable, retried
+  std::uint32_t deadline_ms = 0;  ///< server-side budget (queue + execution)
+};
+
+/// Bounded exponential backoff with decorrelated jitter.  Deterministic for
+/// a given (seed, request_id) pair — see backoff_schedule_ms().
+struct RetryPolicy {
+  int max_attempts = 4;        ///< total tries, including the first
+  double base_delay_ms = 25.0;
+  double max_delay_ms = 2000.0;
+  std::uint64_t seed = 42;     ///< jitter stream seed (tests pin this)
+};
+
+/// The exact delays (ms) a client with `policy` would sleep before retry
+/// attempts 2..attempts of request `request_id`.  Pure: this IS the
+/// client's schedule, exposed so tests assert determinism and bounds
+/// without sleeping.
+[[nodiscard]] std::vector<double> backoff_schedule_ms(
+    const RetryPolicy& policy, std::uint64_t request_id, int attempts);
 
 class Client {
  public:
@@ -29,40 +64,67 @@ class Client {
   Client& operator=(const Client&) = delete;
   ~Client();
 
+  /// Replace the retry policy (applies to subsequent calls).
+  void set_retry_policy(RetryPolicy policy) noexcept { policy_ = policy; }
+  [[nodiscard]] const RetryPolicy& retry_policy() const noexcept {
+    return policy_;
+  }
+
   /// Upload a matrix; the reply carries the fingerprint to use for jobs,
   /// the plan that will run, and which cache tier satisfied the submit.
-  [[nodiscard]] Expected<SubmitReply> submit(const CsrMatrix& A);
+  [[nodiscard]] Expected<SubmitReply> submit(const CsrMatrix& A,
+                                             const CallOptions& opts = {});
 
   /// y = A x on the server, by fingerprint.
-  [[nodiscard]] Expected<std::vector<value_t>> run(const Fingerprint& fp,
-                                                   std::span<const value_t> x);
+  [[nodiscard]] Expected<std::vector<value_t>> run(
+      const Fingerprint& fp, std::span<const value_t> x,
+      const CallOptions& opts = {});
 
   /// Batched multi-RHS SpMV (X is nrhs vectors of ncols, vector-major).
   [[nodiscard]] Expected<std::vector<value_t>> run_many(
-      const Fingerprint& fp, std::span<const value_t> X, int nrhs);
+      const Fingerprint& fp, std::span<const value_t> X, int nrhs,
+      const CallOptions& opts = {});
 
   [[nodiscard]] Expected<SolveReply> solve(const Fingerprint& fp,
                                            SolveMethod method,
                                            std::span<const value_t> b,
                                            int max_iterations = 1000,
-                                           double rel_tolerance = 1e-8);
+                                           double rel_tolerance = 1e-8,
+                                           const CallOptions& opts = {});
+
+  /// Cancel the queued or executing request named `target_id` (the
+  /// request_id its submitter chose).  Unknown ids are not an error — the
+  /// reply says what state the target was found in.
+  [[nodiscard]] Expected<CancelReply::Outcome> cancel(std::uint64_t target_id);
 
   /// Server counters as a JSON document (see server::stats_to_json).
-  [[nodiscard]] Expected<std::string> stats_json();
+  [[nodiscard]] Expected<std::string> stats_json(const CallOptions& opts = {});
 
   /// Version handshake round trip.
   [[nodiscard]] Status ping();
 
   /// Ask the server to exit its serve loop (replies before stopping).
+  /// Never retried: a lost reply leaves the server state unknown.
   [[nodiscard]] Status shutdown_server();
 
   [[nodiscard]] int fd() const noexcept { return fd_; }
 
  private:
-  explicit Client(int fd) : fd_(fd) {}
-  [[nodiscard]] Expected<Reply> roundtrip(const Request& req);
+  Client(int fd, std::string path) : fd_(fd), path_(std::move(path)) {}
+  /// One send/recv round trip; ErrorReply stays in-band (the retry loop
+  /// inspects its retryable bit).
+  [[nodiscard]] Expected<Reply> roundtrip_once(const Request& req,
+                                               const RequestHeader& hdr);
+  /// The retry loop: backoff + reconnect around roundtrip_once per the
+  /// policy above; converts a terminal ErrorReply into its Error.
+  [[nodiscard]] Expected<Reply> call(const Request& req,
+                                     const CallOptions& opts);
+  /// Tear down and re-establish the socket (between retry attempts).
+  [[nodiscard]] Status reconnect();
 
   int fd_ = -1;
+  std::string path_;
+  RetryPolicy policy_;
 };
 
 }  // namespace spmvopt::server

@@ -4,6 +4,7 @@
 #include <fstream>
 #include <system_error>
 #include <utility>
+#include <vector>
 
 #include "classify/feature_classifier.hpp"
 #include "sparse/binary_io.hpp"
@@ -127,12 +128,23 @@ Expected<PlanCache::EntryPtr> PlanCache::build_and_insert(
   return EntryPtr(entry);
 }
 
-Expected<PlanCache::EntryPtr> PlanCache::admit(CsrMatrix matrix,
-                                               bool degrade_to_baseline) {
+Expected<PlanCache::EntryPtr> PlanCache::admit(
+    CsrMatrix matrix, bool degrade_to_baseline,
+    const robust::CancelToken* cancel) {
+  // Poll between the heavy stages (fingerprint, classify, convert): an
+  // admission abandoned here leaves the cache untouched — no half-built
+  // entry, and the persisted image (if any) is independently valid.
+  const auto tripped = [cancel] { return cancel && cancel->cancelled(); };
+  if (tripped())
+    return cancel->to_error("before fingerprinting the submitted matrix");
+
   const Fingerprint fp = fingerprint_of(matrix);
   if (EntryPtr hit = find(fp)) return hit;
 
   persist_matrix(fp, matrix);
+  if (tripped())
+    return cancel->to_error("after fingerprinting, before classification")
+        .with_context("while admitting " + fp.key());
 
   // Overload shedding: skip the classification stage entirely and run the
   // always-valid baseline-CSR plan (the degradation ladder's bottom rung).
@@ -154,6 +166,9 @@ Expected<PlanCache::EntryPtr> PlanCache::admit(CsrMatrix matrix,
   const optimize::Plan plan = optimize::plan_for_classes(classes, matrix);
   const double classify_seconds = t.elapsed_sec();
   remember_plan(fp, plan);
+  if (tripped())
+    return cancel->to_error("after classification, before conversion")
+        .with_context("while admitting " + fp.key());
   {
     std::lock_guard lock(mu_);
     ++stats_.misses;
@@ -196,6 +211,22 @@ Expected<PlanCache::EntryPtr> PlanCache::reload(const Fingerprint& fp) {
   }
   return build_and_insert(std::move(m.value()), fp, plan, CacheState::Persist,
                           0.0);
+}
+
+std::size_t PlanCache::flush() {
+  if (cfg_.persist_dir.empty()) return 0;
+  // Snapshot under the lock, write without it: the image writes go through
+  // the checksummed tmp+rename path and can take a while.
+  std::vector<EntryPtr> resident;
+  {
+    std::lock_guard lock(mu_);
+    resident.assign(lru_.begin(), lru_.end());
+  }
+  for (const EntryPtr& e : resident) {
+    persist_matrix(e->fp, e->matrix);
+    remember_plan(e->fp, e->plan);
+  }
+  return resident.size();
 }
 
 void PlanCache::evict_all() {

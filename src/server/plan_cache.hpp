@@ -36,6 +36,7 @@
 
 #include "engine/execution_engine.hpp"
 #include "optimize/optimized_spmv.hpp"
+#include "robust/cancel.hpp"
 #include "robust/error.hpp"
 #include "server/protocol.hpp"
 #include "sparse/csr.hpp"
@@ -88,9 +89,13 @@ class PlanCache {
   /// build whatever is missing, insert, evict LRU back under budget.
   /// `degrade_to_baseline` (the overload-shedding rung) skips classification
   /// and pins the baseline-CSR plan.  Resource error when the matrix alone
-  /// exceeds the byte budget.
-  [[nodiscard]] Expected<EntryPtr> admit(CsrMatrix matrix,
-                                         bool degrade_to_baseline = false);
+  /// exceeds the byte budget.  `cancel`, when set, is polled between the
+  /// heavy stages (classification, conversion) — a trip abandons admission
+  /// with a typed DeadlineExceeded/Cancelled error and leaves the cache
+  /// unchanged (no half-built entry).
+  [[nodiscard]] Expected<EntryPtr> admit(
+      CsrMatrix matrix, bool degrade_to_baseline = false,
+      const robust::CancelToken* cancel = nullptr);
 
   /// Recover an evicted/earlier-life matrix from the persistent tier by
   /// fingerprint.  Format error when the tier is disabled or has no image
@@ -99,6 +104,12 @@ class PlanCache {
 
   /// Drop every resident entry (in-flight holders keep theirs alive).
   void evict_all();
+
+  /// Write every resident matrix image + remembered plan to the persistent
+  /// tier (the graceful-drain path: nothing resident-only is lost across a
+  /// restart).  Best-effort; returns the number of entries walked.  No-op
+  /// (returns 0) when the tier is disabled.
+  std::size_t flush();
 
   [[nodiscard]] PlanCacheStats stats() const;
   [[nodiscard]] const PlanCacheConfig& config() const noexcept { return cfg_; }

@@ -3,6 +3,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <sstream>
@@ -163,80 +164,98 @@ const char* cache_state_name(CacheState s) noexcept {
 
 // ----------------------------------------------------------------- encode
 
-std::string encode_request(const Request& req) {
+std::string encode_request(const Request& req, const RequestHeader& hdr) {
   Writer w;
+  w.u8(kV2Magic);
   std::visit(
-      [&w](const auto& r) {
+      [&w, &hdr](const auto& r) {
         using T = std::decay_t<decltype(r)>;
+        const auto envelope = [&w, &hdr](MsgType t) {
+          w.u8(static_cast<std::uint8_t>(t));
+          w.u64(hdr.request_id);
+          w.u32(hdr.deadline_ms);
+        };
         if constexpr (std::is_same_v<T, SubmitRequest>) {
-          w.u8(static_cast<std::uint8_t>(MsgType::Submit));
+          envelope(MsgType::Submit);
           std::ostringstream img;
           write_csr_binary(img, r.matrix);
           w.blob(img.str());
         } else if constexpr (std::is_same_v<T, RunRequest>) {
-          w.u8(static_cast<std::uint8_t>(MsgType::Run));
+          envelope(MsgType::Run);
           w.fingerprint(r.fp);
           w.doubles(r.x);
         } else if constexpr (std::is_same_v<T, RunManyRequest>) {
-          w.u8(static_cast<std::uint8_t>(MsgType::RunMany));
+          envelope(MsgType::RunMany);
           w.fingerprint(r.fp);
           w.i32(r.nrhs);
           w.doubles(r.X);
         } else if constexpr (std::is_same_v<T, SolveRequest>) {
-          w.u8(static_cast<std::uint8_t>(MsgType::Solve));
+          envelope(MsgType::Solve);
           w.fingerprint(r.fp);
           w.u8(static_cast<std::uint8_t>(r.method));
           w.i32(r.max_iterations);
           w.f64(r.rel_tolerance);
           w.doubles(r.b);
         } else if constexpr (std::is_same_v<T, StatsRequest>) {
-          w.u8(static_cast<std::uint8_t>(MsgType::Stats));
+          envelope(MsgType::Stats);
         } else if constexpr (std::is_same_v<T, PingRequest>) {
-          w.u8(static_cast<std::uint8_t>(MsgType::Ping));
+          envelope(MsgType::Ping);
           w.u32(kProtocolVersion);
         } else if constexpr (std::is_same_v<T, ShutdownRequest>) {
-          w.u8(static_cast<std::uint8_t>(MsgType::Shutdown));
+          envelope(MsgType::Shutdown);
+        } else if constexpr (std::is_same_v<T, CancelRequest>) {
+          envelope(MsgType::Cancel);
+          w.u64(r.target_id);
         }
       },
       req);
   return w.take();
 }
 
-std::string encode_reply(const Reply& reply) {
+std::string encode_reply(const Reply& reply, std::uint64_t request_id) {
   Writer w;
+  w.u8(kV2Magic);
   std::visit(
-      [&w](const auto& r) {
+      [&w, request_id](const auto& r) {
         using T = std::decay_t<decltype(r)>;
+        const auto envelope = [&w, request_id](MsgType t) {
+          w.u8(static_cast<std::uint8_t>(t));
+          w.u64(request_id);
+        };
         if constexpr (std::is_same_v<T, SubmitReply>) {
-          w.u8(static_cast<std::uint8_t>(MsgType::SubmitOk));
+          envelope(MsgType::SubmitOk);
           w.fingerprint(r.fp);
           w.u8(static_cast<std::uint8_t>(r.state));
           w.blob(r.plan);
           w.f64(r.pre_seconds);
         } else if constexpr (std::is_same_v<T, RunReply>) {
-          w.u8(static_cast<std::uint8_t>(MsgType::RunOk));
+          envelope(MsgType::RunOk);
           w.doubles(r.y);
         } else if constexpr (std::is_same_v<T, RunManyReply>) {
-          w.u8(static_cast<std::uint8_t>(MsgType::RunManyOk));
+          envelope(MsgType::RunManyOk);
           w.i32(r.nrhs);
           w.doubles(r.Y);
         } else if constexpr (std::is_same_v<T, SolveReply>) {
-          w.u8(static_cast<std::uint8_t>(MsgType::SolveOk));
+          envelope(MsgType::SolveOk);
           w.u8(r.converged ? 1 : 0);
           w.i32(r.iterations);
           w.f64(r.residual);
           w.doubles(r.x);
         } else if constexpr (std::is_same_v<T, StatsReply>) {
-          w.u8(static_cast<std::uint8_t>(MsgType::StatsOk));
+          envelope(MsgType::StatsOk);
           w.blob(r.json);
         } else if constexpr (std::is_same_v<T, PongReply>) {
-          w.u8(static_cast<std::uint8_t>(MsgType::Pong));
+          envelope(MsgType::Pong);
           w.u32(r.protocol_version);
         } else if constexpr (std::is_same_v<T, ShutdownReply>) {
-          w.u8(static_cast<std::uint8_t>(MsgType::ShutdownOk));
+          envelope(MsgType::ShutdownOk);
+        } else if constexpr (std::is_same_v<T, CancelReply>) {
+          envelope(MsgType::CancelOk);
+          w.u8(static_cast<std::uint8_t>(r.outcome));
         } else if constexpr (std::is_same_v<T, ErrorReply>) {
-          w.u8(static_cast<std::uint8_t>(MsgType::Error));
+          envelope(MsgType::Error);
           w.u8(static_cast<std::uint8_t>(r.category));
+          w.u8(r.retryable ? 1 : 0);
           w.blob(r.message);
         }
       },
@@ -246,22 +265,67 @@ std::string encode_reply(const Reply& reply) {
 
 // ----------------------------------------------------------------- decode
 
-std::optional<MsgType> peek_type(std::string_view payload) noexcept {
-  if (payload.empty()) return std::nullopt;
-  return static_cast<MsgType>(static_cast<std::uint8_t>(payload[0]));
+namespace {
+
+/// True when `b` is a type byte the v1 protocol could legitimately have sent
+/// first in a payload (requests, and replies for the client side).
+bool plausible_v1_type(std::uint8_t b) noexcept {
+  return (b >= 1 && b <= 7) || (b >= 64 && b <= 70) || b == 127;
 }
 
-Expected<Request> decode_request(std::string_view payload) {
+Error version_error(std::uint8_t first_byte) {
+  if (plausible_v1_type(first_byte))
+    return Error(ErrorCategory::Format,
+                 "protocol: v1 frame rejected (type byte " +
+                     std::to_string(first_byte) +
+                     "); this endpoint speaks protocol v" +
+                     std::to_string(kProtocolVersion) +
+                     " — upgrade the client");
+  return Error(ErrorCategory::Format,
+               "protocol: unknown version magic byte " +
+                   std::to_string(first_byte));
+}
+
+}  // namespace
+
+std::optional<MsgType> peek_type(std::string_view payload) noexcept {
+  if (payload.empty()) return std::nullopt;
+  const auto first = static_cast<std::uint8_t>(payload[0]);
+  if (first == kV2Magic) {
+    if (payload.size() < 2) return std::nullopt;
+    return static_cast<MsgType>(static_cast<std::uint8_t>(payload[1]));
+  }
+  return static_cast<MsgType>(first);  // v1 payload: the raw type byte
+}
+
+std::optional<RequestHeader> peek_request_header(
+    std::string_view payload) noexcept {
   Reader r(payload);
-  std::uint8_t type_byte = 0;
-  if (!r.u8(type_byte))
+  std::uint8_t magic = 0, type = 0;
+  RequestHeader hdr;
+  if (!r.u8(magic) || magic != kV2Magic || !r.u8(type) ||
+      !r.u64(hdr.request_id) || !r.u32(hdr.deadline_ms))
+    return std::nullopt;
+  return hdr;
+}
+
+Expected<RequestEnvelope> decode_request(std::string_view payload) {
+  Reader r(payload);
+  std::uint8_t magic = 0;
+  if (!r.u8(magic))
     return Error(ErrorCategory::Format, "protocol: empty request payload");
+  if (magic != kV2Magic) return version_error(magic);
+  std::uint8_t type_byte = 0;
+  RequestHeader hdr;
+  if (!r.u8(type_byte) || !r.u64(hdr.request_id) || !r.u32(hdr.deadline_ms))
+    return Error(ErrorCategory::Format,
+                 "protocol: truncated request envelope");
   const auto type = static_cast<MsgType>(type_byte);
 
-  const auto finish = [&r, type](Request req) -> Expected<Request> {
+  const auto finish = [&r, &hdr, type](Request req) -> Expected<RequestEnvelope> {
     if (r.truncated()) return truncation_error(type);
     if (!r.exhausted()) return trailing_error(type);
-    return req;
+    return RequestEnvelope{hdr, std::move(req)};
   };
 
   switch (type) {
@@ -274,7 +338,7 @@ Expected<Request> decode_request(std::string_view payload) {
       if (!m.ok())
         return std::move(m).error().with_context(
             "while decoding a submitted matrix image");
-      return Request(SubmitRequest{std::move(m.value())});
+      return RequestEnvelope{hdr, SubmitRequest{std::move(m.value())}};
     }
     case MsgType::Run: {
       RunRequest req;
@@ -319,23 +383,34 @@ Expected<Request> decode_request(std::string_view payload) {
     }
     case MsgType::Shutdown:
       return finish(ShutdownRequest{});
+    case MsgType::Cancel: {
+      CancelRequest req;
+      r.u64(req.target_id);
+      return finish(req);
+    }
     default:
       return Error(ErrorCategory::Format, "protocol: unknown request type " +
                                               std::to_string(type_byte));
   }
 }
 
-Expected<Reply> decode_reply(std::string_view payload) {
+Expected<ReplyEnvelope> decode_reply(std::string_view payload) {
   Reader r(payload);
-  std::uint8_t type_byte = 0;
-  if (!r.u8(type_byte))
+  std::uint8_t magic = 0;
+  if (!r.u8(magic))
     return Error(ErrorCategory::Format, "protocol: empty reply payload");
+  if (magic != kV2Magic) return version_error(magic);
+  std::uint8_t type_byte = 0;
+  std::uint64_t request_id = 0;
+  if (!r.u8(type_byte) || !r.u64(request_id))
+    return Error(ErrorCategory::Format, "protocol: truncated reply envelope");
   const auto type = static_cast<MsgType>(type_byte);
 
-  const auto finish = [&r, type](Reply reply) -> Expected<Reply> {
+  const auto finish = [&r, request_id,
+                       type](Reply reply) -> Expected<ReplyEnvelope> {
     if (r.truncated()) return truncation_error(type);
     if (!r.exhausted()) return trailing_error(type);
-    return reply;
+    return ReplyEnvelope{request_id, std::move(reply)};
   };
 
   switch (type) {
@@ -389,16 +464,30 @@ Expected<Reply> decode_reply(std::string_view payload) {
     }
     case MsgType::ShutdownOk:
       return finish(ShutdownReply{});
+    case MsgType::CancelOk: {
+      CancelReply rep;
+      std::uint8_t outcome = 0;
+      r.u8(outcome);
+      if (outcome > static_cast<std::uint8_t>(CancelReply::Outcome::Running))
+        return Error(ErrorCategory::Format,
+                     "protocol: unknown cancel outcome " +
+                         std::to_string(outcome));
+      rep.outcome = static_cast<CancelReply::Outcome>(outcome);
+      return finish(rep);
+    }
     case MsgType::Error: {
       ErrorReply rep;
       std::uint8_t cat = 0;
+      std::uint8_t retryable = 0;
       std::string_view msg;
       r.u8(cat);
+      r.u8(retryable);
       r.blob(msg);
-      if (cat > static_cast<std::uint8_t>(ErrorCategory::Internal))
+      if (cat > static_cast<std::uint8_t>(ErrorCategory::Cancelled))
         return Error(ErrorCategory::Format,
                      "protocol: unknown error category " + std::to_string(cat));
       rep.category = static_cast<ErrorCategory>(cat);
+      rep.retryable = (retryable != 0);
       rep.message = std::string(msg);
       return finish(std::move(rep));
     }
@@ -421,26 +510,44 @@ Status write_frame(int fd, std::string_view payload) {
   for (int i = 0; i < 4; ++i)
     prefix[i] = static_cast<char>((n >> (8 * i)) & 0xff);
 
-  // send() with MSG_NOSIGNAL, not write(): a peer that vanished mid-reply
+  // sendmsg() with MSG_NOSIGNAL, not write(): a peer that vanished mid-reply
   // must surface as EPIPE, not kill the server with SIGPIPE.  Frames only
-  // ever travel over sockets (Unix-domain or socketpair in tests).
-  const auto write_all = [fd](const char* p, std::size_t len) -> bool {
-    while (len > 0) {
-      const ssize_t w = ::send(fd, p, len, MSG_NOSIGNAL);
-      if (w < 0) {
-        if (errno == EINTR) continue;
-        return false;
-      }
-      p += w;
-      len -= static_cast<std::size_t>(w);
+  // ever travel over sockets (Unix-domain or socketpair in tests).  The
+  // prefix and payload go out as one scatter-gather vector — one syscall in
+  // the common case — and a short send (signal, full socket buffer) advances
+  // the vector and loops; it is never treated as a failure, let alone frame
+  // truncation.
+  iovec iov[2];
+  iov[0].iov_base = prefix;
+  iov[0].iov_len = sizeof prefix;
+  iov[1].iov_base = const_cast<char*>(payload.data());
+  iov[1].iov_len = payload.size();
+  msghdr msg{};
+  msg.msg_iov = iov;
+  msg.msg_iovlen = 2;
+  std::size_t remaining = sizeof prefix + payload.size();
+  while (remaining > 0) {
+    const ssize_t w = ::sendmsg(fd, &msg, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return Error(ErrorCategory::Io,
+                   std::string("protocol: frame write failed: ") +
+                       std::strerror(errno));
     }
-    return true;
-  };
-  if (!write_all(prefix, sizeof prefix) ||
-      !write_all(payload.data(), payload.size()))
-    return Error(ErrorCategory::Io,
-                 std::string("protocol: frame write failed: ") +
-                     std::strerror(errno));
+    remaining -= static_cast<std::size_t>(w);
+    auto advanced = static_cast<std::size_t>(w);
+    while (advanced > 0 && msg.msg_iovlen > 0) {
+      iovec& head = msg.msg_iov[0];
+      const std::size_t take = std::min(advanced, head.iov_len);
+      head.iov_base = static_cast<char*>(head.iov_base) + take;
+      head.iov_len -= take;
+      advanced -= take;
+      if (head.iov_len == 0) {
+        ++msg.msg_iov;
+        --msg.msg_iovlen;
+      }
+    }
+  }
   return Unit{};
 }
 

@@ -1,9 +1,21 @@
 // spmvoptd wire protocol: length-prefixed binary frames over a stream.
 //
-// Frame layout (DESIGN.md §9):
+// Frame layout (DESIGN.md §9, §10), protocol v2:
 //
 //   [u32 payload_length][payload]
-//   payload = [u8 MsgType][message body, type-specific]
+//   request payload = [u8 0xA2][u8 MsgType][u64 request_id][u32 deadline_ms]
+//                     [message body, type-specific]
+//   reply payload   = [u8 0xA2][u8 MsgType][u64 request_id]
+//                     [message body, type-specific]
+//
+// The leading 0xA2 version magic disambiguates against v1 payloads, whose
+// first byte was the MsgType (1..7 / 64..70 / 127 — none of which is 0xA2),
+// so a v1 client frame decodes to a well-formed typed rejection instead of
+// being misparsed.  `request_id` is a caller-chosen idempotency token (0 =
+// unnamed): it keys the `cancel(request_id)` verb and the client's
+// retry-safety rule, and every reply echoes the id of the request it answers.
+// `deadline_ms` (0 = none) arms a server-side CancelToken covering queue wait
+// and execution.
 //
 // All integers are little-endian fixed-width; doubles are raw IEEE-754 bits.
 // A submitted matrix travels as an embedded binary-cache image (the
@@ -34,7 +46,12 @@ namespace spmvopt::server {
 
 /// Bumped when the frame or any message body changes incompatibly.  Sent in
 /// every Ping/Pong so mismatched peers fail loudly at handshake time.
-inline constexpr std::uint32_t kProtocolVersion = 1;
+/// v2: request/reply envelope (version magic, request id, deadline), the
+/// Cancel verb, and the retryable bit on ErrorReply.
+inline constexpr std::uint32_t kProtocolVersion = 2;
+
+/// First payload byte of every v2 message; disjoint from every v1 type byte.
+inline constexpr std::uint8_t kV2Magic = 0xA2;
 
 /// Ceiling on a single frame payload (Resource error beyond).  Generous —
 /// a frame carries at most one matrix image — but bounded, so a garbage
@@ -50,6 +67,7 @@ enum class MsgType : std::uint8_t {
   Stats = 5,
   Ping = 6,
   Shutdown = 7,
+  Cancel = 8,
   // Replies.
   SubmitOk = 64,
   RunOk = 65,
@@ -58,6 +76,7 @@ enum class MsgType : std::uint8_t {
   StatsOk = 68,
   Pong = 69,
   ShutdownOk = 70,
+  CancelOk = 71,
   Error = 127,
 };
 
@@ -104,9 +123,26 @@ struct StatsRequest {};
 struct PingRequest {};
 struct ShutdownRequest {};
 
+/// Cancel the queued or executing request carrying `target_id` (idempotent;
+/// unknown ids answer CancelReply::Unknown, never an error).
+struct CancelRequest {
+  std::uint64_t target_id = 0;
+};
+
 using Request = std::variant<SubmitRequest, RunRequest, RunManyRequest,
                              SolveRequest, StatsRequest, PingRequest,
-                             ShutdownRequest>;
+                             ShutdownRequest, CancelRequest>;
+
+/// Per-request envelope fields shared by every request type.
+struct RequestHeader {
+  std::uint64_t request_id = 0;  ///< idempotency token; 0 = unnamed
+  std::uint32_t deadline_ms = 0; ///< end-to-end budget; 0 = no deadline
+};
+
+struct RequestEnvelope {
+  RequestHeader header;
+  Request request;
+};
 
 // ----------------------------------------------------------------- replies
 
@@ -143,27 +179,59 @@ struct PongReply {
 
 struct ShutdownReply {};
 
+struct CancelReply {
+  enum class Outcome : std::uint8_t {
+    Unknown = 0,  ///< no queued or executing request carries the id
+    Queued = 1,   ///< cancelled while still waiting in the queue
+    Running = 2,  ///< cancellation requested on the executing job
+  };
+  Outcome outcome = Outcome::Unknown;
+};
+
 struct ErrorReply {
   ErrorCategory category = ErrorCategory::Internal;
+  /// Server marks errors a client may safely retry (transient overload,
+  /// drain-time rejection) — the client's backoff loop keys off this, not
+  /// off message text.
+  bool retryable = false;
   std::string message;
 };
 
 using Reply = std::variant<SubmitReply, RunReply, RunManyReply, SolveReply,
-                           StatsReply, PongReply, ShutdownReply, ErrorReply>;
+                           StatsReply, PongReply, ShutdownReply, CancelReply,
+                           ErrorReply>;
+
+struct ReplyEnvelope {
+  std::uint64_t request_id = 0;  ///< echo of the request's id
+  Reply reply;
+};
 
 // ------------------------------------------------------------------ codec
 
-/// Serialize to a frame payload (type byte + body); framing not included.
-[[nodiscard]] std::string encode_request(const Request& req);
-[[nodiscard]] std::string encode_reply(const Reply& reply);
+/// Serialize to a frame payload (envelope + body); framing not included.
+[[nodiscard]] std::string encode_request(const Request& req,
+                                         const RequestHeader& hdr = {});
+[[nodiscard]] std::string encode_reply(const Reply& reply,
+                                       std::uint64_t request_id = 0);
 
 /// Parse a frame payload.  Truncated/garbage bodies -> Format; an embedded
-/// matrix image that exceeds the ingestion ceilings -> Resource.
-[[nodiscard]] Expected<Request> decode_request(std::string_view payload);
-[[nodiscard]] Expected<Reply> decode_reply(std::string_view payload);
+/// matrix image that exceeds the ingestion ceilings -> Resource.  A v1
+/// payload (no 0xA2 magic, recognizable v1 type byte) -> a Format error that
+/// names the version mismatch, so pre-v2 clients get a typed rejection.
+[[nodiscard]] Expected<RequestEnvelope> decode_request(
+    std::string_view payload);
+[[nodiscard]] Expected<ReplyEnvelope> decode_reply(std::string_view payload);
 
-/// MsgType of a payload without a full decode; nullopt when empty.
+/// MsgType of a payload without a full decode; nullopt when empty.  For a
+/// v1 payload this returns the raw v1 type byte — good enough for routing,
+/// since the full decode produces the typed rejection.
 [[nodiscard]] std::optional<MsgType> peek_type(std::string_view payload) noexcept;
+
+/// Envelope header of a v2 request payload without decoding the body (the
+/// reader thread stamps deadlines and routes Cancel with this); nullopt for
+/// v1/truncated payloads.
+[[nodiscard]] std::optional<RequestHeader> peek_request_header(
+    std::string_view payload) noexcept;
 
 // ---------------------------------------------------------------- framing
 

@@ -27,10 +27,10 @@ PlanCacheConfig with_engine(PlanCacheConfig cache,
   return cache;
 }
 
-Reply error_reply(Error e) {
+Reply error_reply(Error e, bool retryable = false) {
   std::string msg = e.message();
   for (const std::string& frame : e.context()) msg += "; " + frame;
-  return ErrorReply{e.category(), std::move(msg)};
+  return ErrorReply{e.category(), retryable, std::move(msg)};
 }
 
 }  // namespace
@@ -46,9 +46,12 @@ std::string stats_to_json(const ServerStats& s) {
       .set("resident_bytes", static_cast<std::uint64_t>(s.cache.resident_bytes))
       .set("entries", static_cast<std::uint64_t>(s.cache.entries));
   Json engine = Json::object();
-  engine.set("threads", s.engine_threads).set("dispatches", s.engine_dispatches);
+  engine.set("threads", s.engine_threads)
+      .set("dispatches", s.engine_dispatches)
+      .set("recycles", s.engine_recycles)
+      .set("recycle_failures", s.engine_recycle_failures);
   Json doc = Json::object();
-  doc.set("schema", "spmvopt-server-stats/v1")
+  doc.set("schema", "spmvopt-server-stats/v2")
       .set("requests", s.requests)
       .set("submits", s.submits)
       .set("runs", s.runs)
@@ -57,6 +60,10 @@ std::string stats_to_json(const ServerStats& s) {
       .set("errors", s.errors)
       .set("rejected_overload", s.rejected_overload)
       .set("shed_submits", s.shed_submits)
+      .set("deadline_exceeded", s.deadline_exceeded)
+      .set("cancelled", s.cancelled)
+      .set("expired_in_queue", s.expired_in_queue)
+      .set("watchdog_fires", s.watchdog_fires)
       .set("busy_seconds", s.busy_seconds)
       .set("max_request_seconds", s.max_request_seconds)
       .set("cache", std::move(cache))
@@ -79,9 +86,10 @@ Expected<PlanCache::EntryPtr> SpmvServer::lookup(const Fingerprint& fp) {
   return cache_.reload(fp);
 }
 
-Reply SpmvServer::handle_submit(SubmitRequest& req, bool shed) {
+Reply SpmvServer::handle_submit(SubmitRequest& req, bool shed,
+                                const robust::CancelToken* cancel) {
   const std::uint64_t hot_before = cache_.stats().hot_hits;
-  auto admitted = cache_.admit(std::move(req.matrix), shed);
+  auto admitted = cache_.admit(std::move(req.matrix), shed, cancel);
   if (!admitted.ok()) return error_reply(std::move(admitted).error());
   const PlanCache::EntryPtr& entry = admitted.value();
   const bool hot = cache_.stats().hot_hits > hot_before;
@@ -96,7 +104,8 @@ Reply SpmvServer::handle_submit(SubmitRequest& req, bool shed) {
   return reply;
 }
 
-Reply SpmvServer::handle_run(const RunRequest& req) {
+Reply SpmvServer::handle_run(const RunRequest& req,
+                             const robust::CancelToken& tok) {
   auto found = lookup(req.fp);
   if (!found.ok()) return error_reply(std::move(found).error());
   const PlanCache::EntryPtr entry = found.value();
@@ -112,11 +121,13 @@ Reply SpmvServer::handle_run(const RunRequest& req) {
 
   RunReply reply;
   reply.y.resize(static_cast<std::size_t>(entry->spmv.nrows()));
-  entry->spmv.run(req.x.data(), reply.y.data());
+  Status st = entry->spmv.run(req.x.data(), reply.y.data(), tok);
+  if (!st.ok()) return error_reply(std::move(st).error());
   return reply;
 }
 
-Reply SpmvServer::handle_run_many(const RunManyRequest& req) {
+Reply SpmvServer::handle_run_many(const RunManyRequest& req,
+                                  const robust::CancelToken& tok) {
   auto found = lookup(req.fp);
   if (!found.ok()) return error_reply(std::move(found).error());
   const PlanCache::EntryPtr entry = found.value();
@@ -135,11 +146,13 @@ Reply SpmvServer::handle_run_many(const RunManyRequest& req) {
   RunManyReply reply;
   reply.nrhs = req.nrhs;
   reply.Y.resize(nrhs * static_cast<std::size_t>(entry->spmv.nrows()));
-  entry->spmv.run_many(req.X.data(), reply.Y.data(), req.nrhs);
+  Status st = entry->spmv.run_many(req.X.data(), reply.Y.data(), req.nrhs, tok);
+  if (!st.ok()) return error_reply(std::move(st).error());
   return reply;
 }
 
-Reply SpmvServer::handle_solve(const SolveRequest& req) {
+Reply SpmvServer::handle_solve(const SolveRequest& req,
+                               const robust::CancelToken& tok) {
   auto found = lookup(req.fp);
   if (!found.ok()) return error_reply(std::move(found).error());
   const PlanCache::EntryPtr entry = found.value();
@@ -162,6 +175,7 @@ Reply SpmvServer::handle_solve(const SolveRequest& req) {
   solvers::SolverOptions opt;
   opt.max_iterations = req.max_iterations;
   opt.rel_tolerance = req.rel_tolerance;
+  opt.cancel = &tok;
 
   SolveReply reply;
   reply.x.assign(static_cast<std::size_t>(n), 0.0);
@@ -169,40 +183,55 @@ Reply SpmvServer::handle_solve(const SolveRequest& req) {
       req.method == SolveMethod::Cg
           ? solvers::cg(op, req.b, reply.x, opt)
           : solvers::bicgstab(op, req.b, reply.x, opt);
+  if (result.aborted != solvers::SolveAbort::None)
+    return error_reply(
+        tok.to_error("after " + std::to_string(result.iterations) +
+                     " completed iterations")
+            .with_context("while solving " + req.fp.key()));
   reply.converged = result.converged;
   reply.iterations = result.iterations;
   reply.residual = result.residual_norm;
   return reply;
 }
 
-Reply SpmvServer::handle(Request req, bool shed) {
+Reply SpmvServer::handle(Request req, bool shed,
+                         const robust::CancelToken* cancel) {
   std::lock_guard lock(mu_);
+  const robust::CancelToken& tok =
+      cancel != nullptr ? *cancel : robust::CancelToken::never();
   Timer t;
   Reply reply;
   try {
     reply = std::visit(
-        [this, shed](auto& r) -> Reply {
+        [this, shed, cancel, &tok](auto& r) -> Reply {
           using T = std::decay_t<decltype(r)>;
           if constexpr (std::is_same_v<T, SubmitRequest>) {
             ++stats_.submits;
-            return handle_submit(r, shed);
+            return handle_submit(r, shed, cancel);
           } else if constexpr (std::is_same_v<T, RunRequest>) {
             ++stats_.runs;
-            return handle_run(r);
+            return handle_run(r, tok);
           } else if constexpr (std::is_same_v<T, RunManyRequest>) {
             ++stats_.run_manys;
-            return handle_run_many(r);
+            return handle_run_many(r, tok);
           } else if constexpr (std::is_same_v<T, SolveRequest>) {
             ++stats_.solves;
-            return handle_solve(r);
+            return handle_solve(r, tok);
           } else if constexpr (std::is_same_v<T, StatsRequest>) {
             ServerStats snapshot = stats_;
+            snapshot.watchdog_fires =
+                watchdog_fires_.load(std::memory_order_relaxed);
             snapshot.cache = cache_.stats();
             snapshot.engine_dispatches = engine_.dispatch_count();
             snapshot.engine_threads = engine_.nthreads();
             return StatsReply{stats_to_json(snapshot)};
           } else if constexpr (std::is_same_v<T, PingRequest>) {
             return PongReply{};
+          } else if constexpr (std::is_same_v<T, CancelRequest>) {
+            // The core has no queue; the transport resolves cancel verbs
+            // out-of-band before they reach handle().  In-process callers
+            // get an honest Unknown.
+            return CancelReply{CancelReply::Outcome::Unknown};
           } else {
             static_assert(std::is_same_v<T, ShutdownRequest>);
             shutdown_.store(true, std::memory_order_release);
@@ -213,12 +242,18 @@ Reply SpmvServer::handle(Request req, bool shed) {
   } catch (const SpmvException& e) {
     reply = error_reply(e.error());
   } catch (const std::bad_alloc&) {
-    reply = Reply(ErrorReply{ErrorCategory::Resource, "out of memory"});
+    reply = Reply(ErrorReply{ErrorCategory::Resource, false, "out of memory"});
   } catch (const std::exception& e) {
-    reply = Reply(ErrorReply{ErrorCategory::Internal, e.what()});
+    reply = Reply(ErrorReply{ErrorCategory::Internal, false, e.what()});
   }
   ++stats_.requests;
-  if (std::holds_alternative<ErrorReply>(reply)) ++stats_.errors;
+  if (const auto* err = std::get_if<ErrorReply>(&reply)) {
+    ++stats_.errors;
+    if (err->category == ErrorCategory::DeadlineExceeded)
+      ++stats_.deadline_exceeded;
+    else if (err->category == ErrorCategory::Cancelled)
+      ++stats_.cancelled;
+  }
   const double sec = t.elapsed_sec();
   stats_.busy_seconds += sec;
   if (sec > stats_.max_request_seconds) stats_.max_request_seconds = sec;
@@ -232,9 +267,56 @@ void SpmvServer::note_rejected() {
   ++stats_.errors;
 }
 
+void SpmvServer::note_expired_in_queue(robust::CancelToken::Why why) {
+  std::lock_guard lock(mu_);
+  ++stats_.requests;
+  ++stats_.errors;
+  ++stats_.expired_in_queue;
+  if (why == robust::CancelToken::Why::Deadline)
+    ++stats_.deadline_exceeded;
+  else
+    ++stats_.cancelled;
+}
+
+void SpmvServer::note_watchdog(std::uint64_t request_id,
+                               double running_seconds) {
+  // No mu_ here: the watchdog reports while handle() may be wedged inside
+  // the very job being reported.
+  watchdog_fires_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard lock(health_mu_);
+  health_.record("watchdog",
+                 "request " + std::to_string(request_id) + " overdue after " +
+                     std::to_string(running_seconds) +
+                     " s; token cancelled, team recycle queued");
+}
+
+bool SpmvServer::recycle_engine(const std::string& reason) {
+  bool ok;
+  {
+    std::lock_guard lock(mu_);  // never recycle while a dispatch is live
+    ok = engine_.recycle();
+    if (ok)
+      ++stats_.engine_recycles;
+    else
+      ++stats_.engine_recycle_failures;
+  }
+  std::lock_guard lock(health_mu_);
+  health_.record("engine",
+                 ok ? "worker team recycled: " + reason
+                    : "team re-spawn vetoed (" + reason +
+                          "); previous team kept serving");
+  return ok;
+}
+
+robust::DegradationLog SpmvServer::health() const {
+  std::lock_guard lock(health_mu_);
+  return health_;
+}
+
 ServerStats SpmvServer::stats() const {
   std::lock_guard lock(mu_);
   ServerStats snapshot = stats_;
+  snapshot.watchdog_fires = watchdog_fires_.load(std::memory_order_relaxed);
   snapshot.cache = cache_.stats();
   snapshot.engine_dispatches = engine_.dispatch_count();
   snapshot.engine_threads = engine_.nthreads();
@@ -276,9 +358,14 @@ Status SocketServer::start() {
     std::lock_guard lock(jobs_mu_);
     started_ = true;
     stopping_ = false;
+    draining_ = false;
+    recycle_pending_ = false;
+    exec_ = Executing{};
   }
   accepter_ = std::thread([this] { accept_loop(); });
   executor_ = std::thread([this] { executor_loop(); });
+  if (core_.config().watchdog_poll_ms > 0)
+    watchdog_ = std::thread([this] { watchdog_loop(); });
   return Unit{};
 }
 
@@ -287,7 +374,7 @@ void SocketServer::accept_loop() {
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) {
       if (errno == EINTR || errno == ECONNABORTED) continue;
-      return;  // listener shut down (stop or shutdown request)
+      return;  // listener shut down (stop, drain or shutdown request)
     }
     auto conn = std::make_shared<Connection>();
     conn->fd = fd;
@@ -295,9 +382,10 @@ void SocketServer::accept_loop() {
       // Register AND spawn under the lock: stop() must never observe a
       // registered connection whose reader it cannot join yet.
       std::lock_guard lock(jobs_mu_);
-      if (stopping_) {
+      if (stopping_ || draining_) {
         ::close(fd);
-        return;
+        if (stopping_) return;
+        continue;  // draining: turn new connections away, keep accepting
       }
       conns_.push_back(conn);
       conn->reader = std::thread([this, conn] { reader_loop(conn); });
@@ -316,30 +404,65 @@ void SocketServer::reader_loop(const std::shared_ptr<Connection>& conn) {
     }
     if (!frame.value().has_value()) break;  // clean EOF
 
+    const std::string& payload = *frame.value();
+    const auto hdr = peek_request_header(payload);  // nullopt for v1 junk
+
+    // cancel(request_id) resolves here, out-of-band: it skips the queue
+    // and admission control, because cancellation has to land exactly when
+    // the server is saturated or wedged on the target job.
+    if (hdr && peek_type(payload) == MsgType::Cancel) {
+      auto env = decode_request(payload);
+      Reply reply =
+          env.ok()
+              ? Reply(cancel_request(
+                    std::get<CancelRequest>(env.value().request).target_id))
+              : error_reply(std::move(env).error());
+      write_reply(*conn, reply, hdr->request_id);
+      continue;
+    }
+
+    Job job;
+    job.header = hdr.value_or(RequestHeader{});
+    job.token = robust::CancelToken::after_ms(job.header.deadline_ms);
+    job.has_deadline = job.header.deadline_ms != 0;
+    if (job.has_deadline)
+      job.deadline_at = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(job.header.deadline_ms);
+
     // Admission control happens here, before the job can reach the
-    // executor: reject at the hard ceiling, mark for shedding above the
-    // soft one.
+    // executor: reject while draining, reject at the hard ceiling, mark
+    // for shedding above the soft one.
     bool reject = false;
-    bool shed = false;
+    bool drain_reject = false;
     {
       std::lock_guard lock(jobs_mu_);
       if (stopping_) break;
-      if (in_flight_ >= core_.config().max_in_flight) {
+      if (draining_) {
+        drain_reject = true;
+      } else if (in_flight_ >= core_.config().max_in_flight) {
         reject = true;
       } else {
-        shed = in_flight_ >= core_.config().shed_in_flight;
+        job.shed = in_flight_ >= core_.config().shed_in_flight;
         ++in_flight_;
-        conn->queue.push_back(Job{std::move(*frame.value()), shed});
+        job.payload = std::move(*frame.value());
+        conn->queue.push_back(std::move(job));
       }
     }
-    if (reject) {
+    if (drain_reject) {
+      write_reply(*conn,
+                  Reply(ErrorReply{ErrorCategory::Resource, /*retryable=*/true,
+                                   "server draining: not accepting new work; "
+                                   "retry after restart"}),
+                  job.header.request_id);
+    } else if (reject) {
       core_.note_rejected();
       write_reply(*conn,
                   Reply(ErrorReply{
-                      ErrorCategory::Resource,
+                      ErrorCategory::Resource, /*retryable=*/true,
                       "server overloaded: " +
                           std::to_string(core_.config().max_in_flight) +
-                          " jobs already in flight; retry later"}));
+                          " jobs already in flight; retry later"}),
+                  job.header.request_id);
     } else {
       jobs_cv_.notify_one();
     }
@@ -351,8 +474,28 @@ void SocketServer::reader_loop(const std::shared_ptr<Connection>& conn) {
   jobs_cv_.notify_one();  // let the executor reap
 }
 
-void SocketServer::write_reply(Connection& conn, const Reply& reply) {
-  const std::string payload = encode_reply(reply);
+CancelReply SocketServer::cancel_request(std::uint64_t target_id) {
+  // Unnamed requests (id 0) are unaddressable by design.
+  if (target_id == 0) return CancelReply{CancelReply::Outcome::Unknown};
+  std::lock_guard lock(jobs_mu_);
+  if (exec_.active && exec_.request_id == target_id) {
+    exec_.token.cancel();
+    return CancelReply{CancelReply::Outcome::Running};
+  }
+  for (const auto& c : conns_)
+    for (Job& j : c->queue)
+      if (j.header.request_id == target_id) {
+        // Mark only: the executor flushes the job as a typed Cancelled
+        // reply at dequeue, preserving per-connection reply order.
+        j.token.cancel();
+        return CancelReply{CancelReply::Outcome::Queued};
+      }
+  return CancelReply{CancelReply::Outcome::Unknown};
+}
+
+void SocketServer::write_reply(Connection& conn, const Reply& reply,
+                               std::uint64_t request_id) {
+  const std::string payload = encode_reply(reply, request_id);
   std::lock_guard lock(conn.write_mu);
   (void)write_frame(conn.fd, payload);  // a vanished client is not our error
 }
@@ -402,26 +545,60 @@ void SocketServer::executor_loop() {
     if (!conn) continue;
 
     Reply reply;
-    auto req = decode_request(job.payload);
-    if (!req.ok())
-      reply = error_reply(std::move(req).error());
-    else
-      reply = core_.handle(std::move(req.value()), job.shed);
-    write_reply(*conn, reply);
+    if (job.token.cancelled()) {
+      // Deadline passed (or a cancel verb landed) while the job waited in
+      // the queue: answer the typed error without ever executing.
+      reply = error_reply(
+          job.token.to_error("while queued, before execution started"));
+      core_.note_expired_in_queue(job.token.why());
+    } else {
+      auto req = decode_request(job.payload);
+      if (!req.ok()) {
+        reply = error_reply(std::move(req).error());
+      } else {
+        {
+          std::lock_guard lock(jobs_mu_);
+          exec_.active = true;
+          exec_.watchdog_fired = false;
+          exec_.request_id = job.header.request_id;
+          exec_.token = job.token;
+          exec_.has_deadline = job.has_deadline;
+          exec_.deadline_at = job.deadline_at;
+          exec_.started = std::chrono::steady_clock::now();
+        }
+        reply =
+            core_.handle(std::move(req.value().request), job.shed, &job.token);
+        {
+          std::lock_guard lock(jobs_mu_);
+          exec_.active = false;
+        }
+      }
+    }
+    write_reply(*conn, reply, job.header.request_id);
 
     bool initiate_stop = false;
+    bool do_recycle = false;
     {
       std::lock_guard lock(jobs_mu_);
       --in_flight_;
+      if (in_flight_ == 0) stopped_cv_.notify_all();  // drain() waiters
+      if (recycle_pending_) {
+        recycle_pending_ = false;
+        do_recycle = true;
+      }
       if (core_.shutdown_requested() && !stopping_) {
         stopping_ = true;
         initiate_stop = true;
       }
     }
+    // Self-healing between jobs: the engine is idle here, so a team
+    // re-spawn cannot race a dispatch.
+    if (do_recycle) (void)core_.recycle_engine("watchdog escalation");
     if (initiate_stop) {
       close_all_fds();
       jobs_cv_.notify_all();
       stopped_cv_.notify_all();
+      watchdog_cv_.notify_all();
       break;
     }
   }
@@ -430,6 +607,44 @@ void SocketServer::executor_loop() {
     stopping_ = true;
   }
   stopped_cv_.notify_all();
+  watchdog_cv_.notify_all();
+}
+
+void SocketServer::watchdog_loop() {
+  using clock = std::chrono::steady_clock;
+  const auto& cfg = core_.config();
+  std::unique_lock lock(jobs_mu_);
+  while (!stopping_) {
+    watchdog_cv_.wait_for(lock,
+                          std::chrono::milliseconds(cfg.watchdog_poll_ms),
+                          [this] { return stopping_; });
+    if (stopping_) break;
+    if (!exec_.active || exec_.watchdog_fired) continue;
+
+    const auto now = clock::now();
+    bool overdue = false;
+    if (exec_.has_deadline) {
+      overdue = now > exec_.deadline_at +
+                          std::chrono::milliseconds(cfg.watchdog_grace_ms);
+    } else if (cfg.watchdog_stuck_ms > 0) {
+      overdue = now > exec_.started +
+                          std::chrono::milliseconds(cfg.watchdog_stuck_ms);
+    }
+    // Deterministic testing: the fault point forces a fire on whatever job
+    // is executing, without waiting out a real grace window.
+    if (robust::fault_fire("server.watchdog_fire")) overdue = true;
+    if (!overdue) continue;
+
+    exec_.watchdog_fired = true;
+    recycle_pending_ = true;
+    exec_.token.cancel();
+    const std::uint64_t id = exec_.request_id;
+    const double running =
+        std::chrono::duration<double>(now - exec_.started).count();
+    lock.unlock();  // note_watchdog must not wait behind a wedged executor
+    core_.note_watchdog(id, running);
+    lock.lock();
+  }
 }
 
 void SocketServer::close_all_fds() {
@@ -445,6 +660,37 @@ void SocketServer::wait() {
   stopped_cv_.wait(lock, [this] { return stopping_ || !started_; });
 }
 
+void SocketServer::drain(double grace_seconds) {
+  {
+    std::lock_guard lock(jobs_mu_);
+    if (!started_ || stopping_) return;
+    draining_ = true;
+    // Turn the listener away; live readers answer "draining" from now on.
+    if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  }
+
+  const auto grace_end =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(grace_seconds < 0 ? 0 : grace_seconds));
+  {
+    std::unique_lock lock(jobs_mu_);
+    stopped_cv_.wait_until(lock, grace_end,
+                           [this] { return in_flight_ == 0 || stopping_; });
+    if (in_flight_ > 0 && !stopping_) {
+      // Grace expired: cancel everything still in flight; the executor
+      // flushes each as a typed Cancelled reply against its own token.
+      for (const auto& c : conns_)
+        for (Job& j : c->queue) j.token.cancel();
+      if (exec_.active) exec_.token.cancel();
+      stopped_cv_.wait(lock, [this] { return in_flight_ == 0 || stopping_; });
+    }
+  }
+  // Everything settled: make resident plans/matrices survive the restart.
+  (void)core_.cache().flush();
+  stop();
+}
+
 void SocketServer::stop() {
   {
     std::lock_guard lock(jobs_mu_);
@@ -454,9 +700,11 @@ void SocketServer::stop() {
   close_all_fds();
   jobs_cv_.notify_all();
   stopped_cv_.notify_all();
+  watchdog_cv_.notify_all();
 
   if (accepter_.joinable()) accepter_.join();
   if (executor_.joinable()) executor_.join();
+  if (watchdog_.joinable()) watchdog_.join();
 
   std::vector<std::shared_ptr<Connection>> conns;
   {

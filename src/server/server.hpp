@@ -1,4 +1,4 @@
-// spmvoptd server core + Unix-domain-socket transport (DESIGN.md §9).
+// spmvoptd server core + Unix-domain-socket transport (DESIGN.md §9, §10).
 //
 // Two layers:
 //
@@ -7,7 +7,10 @@
 //                 turns decoded Requests into Replies.  handle() serializes
 //                 internally (the engine admits one dispatch at a time), so
 //                 it is callable from tests in-process and from the socket
-//                 executor alike.
+//                 executor alike.  A caller-supplied CancelToken threads
+//                 through to the kernels and solvers, so deadline/cancel
+//                 trips surface as typed ErrorReplies with partial-progress
+//                 context.
 //
 //   SocketServer  the transport: an accept loop on a Unix-domain socket, one
 //                 reader thread per connection feeding a per-client FIFO job
@@ -18,13 +21,31 @@
 //                   in_flight >= shed_in_flight  -> submits run the
 //                       baseline-CSR plan (classification cost shed);
 //                   in_flight >= max_in_flight   -> typed Resource error
-//                       reply, job never enqueued.
+//                       reply (retryable), job never enqueued;
+//                   draining                     -> typed Resource error
+//                       reply (retryable), job never enqueued.
+//
+// Request lifecycle (v2): the reader stamps each job with its envelope
+// header and arms a CancelToken from `deadline_ms` covering queue wait AND
+// execution.  The executor re-checks the token at dequeue (a job whose
+// deadline passed while queued answers DeadlineExceeded without running) and
+// passes it into handle().  `cancel(request_id)` is routed out-of-band by
+// the reader — it skips admission control, because cancellation must work
+// precisely when the server is saturated.
+//
+// Self-healing: a watchdog thread sweeps the executing job.  A job still
+// running `watchdog_grace_ms` past its deadline (or past `watchdog_stuck_ms`
+// with no deadline) means the cooperative poll failed — the watchdog cancels
+// its token, and once the executor surfaces, the engine worker team is
+// recycled (re-spawned and re-pinned) between jobs.  Every fire and recycle
+// is recorded in the server's health log.
 //
 // Error replies never tear down a connection: a malformed frame gets a typed
 // Format reply and the reader keeps going (only a broken fd ends a session).
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -35,6 +56,8 @@
 #include <vector>
 
 #include "engine/execution_engine.hpp"
+#include "robust/cancel.hpp"
+#include "robust/degradation.hpp"
 #include "server/plan_cache.hpp"
 #include "server/protocol.hpp"
 #include "support/topology.hpp"
@@ -50,6 +73,14 @@ struct ServerConfig {
   int max_in_flight = 64;
   /// Jobs queued-or-executing before submits shed to baseline-CSR plans.
   int shed_in_flight = 32;
+  /// Watchdog sweep interval; <= 0 disables the watchdog thread.
+  int watchdog_poll_ms = 50;
+  /// Slack past an executing job's deadline before the watchdog declares
+  /// the cooperative poll failed and escalates (cancel + team recycle).
+  int watchdog_grace_ms = 500;
+  /// Ceiling on a deadline-less executing job before it counts as stuck;
+  /// <= 0 disables the no-deadline ceiling.
+  int watchdog_stuck_ms = 30'000;
 };
 
 /// Structured request/latency/cache counters, exposed via a Stats request.
@@ -62,6 +93,12 @@ struct ServerStats {
   std::uint64_t errors = 0;             ///< Error replies from handle()
   std::uint64_t rejected_overload = 0;  ///< jobs refused at admission
   std::uint64_t shed_submits = 0;       ///< submits degraded to baseline
+  std::uint64_t deadline_exceeded = 0;  ///< typed DeadlineExceeded replies
+  std::uint64_t cancelled = 0;          ///< typed Cancelled replies
+  std::uint64_t expired_in_queue = 0;   ///< jobs already tripped at dequeue
+  std::uint64_t watchdog_fires = 0;     ///< overdue/stuck jobs detected
+  std::uint64_t engine_recycles = 0;    ///< worker-team re-spawns
+  std::uint64_t engine_recycle_failures = 0;  ///< vetoed re-spawns (old team kept)
   double busy_seconds = 0.0;            ///< total time inside handle()
   double max_request_seconds = 0.0;
   PlanCacheStats cache;
@@ -81,17 +118,41 @@ class SpmvServer {
 
   /// Process one request (by value: a submit's matrix is moved into the
   /// cache, not copied).  `shed` marks the overload rung decided at
-  /// admission: submits then run the baseline plan.  Never throws — every
-  /// failure becomes an ErrorReply.
-  [[nodiscard]] Reply handle(Request req, bool shed = false);
+  /// admission: submits then run the baseline plan.  `cancel`, when set, is
+  /// polled cooperatively by the kernels/solvers; a trip yields a typed
+  /// DeadlineExceeded/Cancelled ErrorReply with partial-progress context.
+  /// Never throws — every failure becomes an ErrorReply.
+  [[nodiscard]] Reply handle(Request req, bool shed = false,
+                             const robust::CancelToken* cancel = nullptr);
 
   /// Transport callback: a job was refused at admission (overload ladder's
   /// top rung); feeds the rejected_overload counter.
   void note_rejected();
 
+  /// Transport callback: a queued job's token had already tripped at
+  /// dequeue time (deadline passed or cancel verb landed while waiting);
+  /// the job never executed.
+  void note_expired_in_queue(robust::CancelToken::Why why);
+
+  /// Transport callback: the watchdog caught an overdue/stuck job and
+  /// cancelled its token.  Lock-free counter + health-log record — callable
+  /// while handle() is (potentially wedged) inside a job.
+  void note_watchdog(std::uint64_t request_id, double running_seconds);
+
+  /// Self-healing escalation: join, re-spawn and re-pin the engine worker
+  /// team.  Serializes against handle(), so a recycle never races a
+  /// dispatch — call it between jobs.  False when the re-spawn was vetoed
+  /// (`engine.team_respawn` fault): the old team keeps serving and the
+  /// failure is recorded.
+  [[nodiscard]] bool recycle_engine(const std::string& reason);
+
   [[nodiscard]] ServerStats stats() const;
   [[nodiscard]] const ServerConfig& config() const noexcept { return cfg_; }
   [[nodiscard]] PlanCache& cache() noexcept { return cache_; }
+
+  /// Snapshot of the self-healing record: one entry per watchdog fire and
+  /// per team recycle (attempted or vetoed).
+  [[nodiscard]] robust::DegradationLog health() const;
 
   /// Set once a ShutdownRequest was processed; the transport polls it.
   [[nodiscard]] bool shutdown_requested() const noexcept {
@@ -99,10 +160,12 @@ class SpmvServer {
   }
 
  private:
-  Reply handle_submit(SubmitRequest& req, bool shed);
-  Reply handle_run(const RunRequest& req);
-  Reply handle_run_many(const RunManyRequest& req);
-  Reply handle_solve(const SolveRequest& req);
+  Reply handle_submit(SubmitRequest& req, bool shed,
+                      const robust::CancelToken* cancel);
+  Reply handle_run(const RunRequest& req, const robust::CancelToken& tok);
+  Reply handle_run_many(const RunManyRequest& req,
+                        const robust::CancelToken& tok);
+  Reply handle_solve(const SolveRequest& req, const robust::CancelToken& tok);
 
   /// Resident lookup falling back to the persistent tier; error reply text
   /// tells the client to re-submit.
@@ -115,6 +178,12 @@ class SpmvServer {
 
   mutable std::mutex mu_;  ///< serializes handle() (engine + counters)
   ServerStats stats_;
+
+  /// Watchdog-side state sits outside mu_: the watchdog must record fires
+  /// while handle() holds mu_ inside a wedged job.
+  std::atomic<std::uint64_t> watchdog_fires_{0};
+  mutable std::mutex health_mu_;
+  robust::DegradationLog health_;
 };
 
 class SocketServer {
@@ -127,12 +196,20 @@ class SocketServer {
   SocketServer& operator=(const SocketServer&) = delete;
 
   /// Bind + listen on the Unix socket (an existing stale socket file is
-  /// replaced), then spawn the accept and executor threads.  Io on bind
-  /// failure.
+  /// replaced), then spawn the accept, executor and watchdog threads.  Io on
+  /// bind failure.
   [[nodiscard]] Status start();
 
   /// Block until a shutdown request or stop() ends the serve loop.
   void wait();
+
+  /// Graceful drain (the SIGTERM path): stop accepting connections, answer
+  /// new frames with a retryable "draining" error, and give in-flight jobs
+  /// `grace_seconds` to finish against their own deadlines.  Jobs still
+  /// in flight when the grace expires get their tokens cancelled and are
+  /// flushed as typed Cancelled replies.  The persistent cache tier is
+  /// flushed, then the server stops.  Idempotent with stop().
+  void drain(double grace_seconds);
 
   /// Idempotent: close the listener and every connection, drain threads.
   void stop();
@@ -143,8 +220,12 @@ class SocketServer {
 
  private:
   struct Job {
-    std::string payload;  ///< encoded request frame payload
-    bool shed = false;    ///< admission decision at enqueue time
+    std::string payload;    ///< encoded request frame payload
+    bool shed = false;      ///< admission decision at enqueue time
+    RequestHeader header;   ///< v2 envelope (id 0 / no deadline for v1 junk)
+    robust::CancelToken token;  ///< armed from header.deadline_ms at enqueue
+    bool has_deadline = false;
+    std::chrono::steady_clock::time_point deadline_at;  ///< set if has_deadline
   };
   struct Connection {
     int fd = -1;
@@ -153,11 +234,28 @@ class SocketServer {
     std::deque<Job> queue;        ///< FIFO per client, guarded by jobs_mu_
     bool closed = false;          ///< reader exited, guarded by jobs_mu_
   };
+  /// The job currently inside core_.handle(), visible to the watchdog and
+  /// to cancel(request_id).  Guarded by jobs_mu_ (the token itself is
+  /// thread-safe to cancel).
+  struct Executing {
+    bool active = false;
+    bool watchdog_fired = false;
+    std::uint64_t request_id = 0;
+    robust::CancelToken token;
+    bool has_deadline = false;
+    std::chrono::steady_clock::time_point deadline_at;
+    std::chrono::steady_clock::time_point started;
+  };
 
   void accept_loop();
   void reader_loop(const std::shared_ptr<Connection>& conn);
   void executor_loop();
-  void write_reply(Connection& conn, const Reply& reply);
+  void watchdog_loop();
+  /// Resolve a cancel(request_id) verb: executing match beats queued match;
+  /// id 0 (unnamed) and misses answer Unknown.  Never an error.
+  [[nodiscard]] CancelReply cancel_request(std::uint64_t target_id);
+  void write_reply(Connection& conn, const Reply& reply,
+                   std::uint64_t request_id = 0);
   /// Close listener + all connection fds so blocked reads/accepts return.
   void close_all_fds();
 
@@ -166,13 +264,19 @@ class SocketServer {
   int listen_fd_ = -1;
   std::thread accepter_;
   std::thread executor_;
+  std::thread watchdog_;
 
   std::mutex jobs_mu_;
   std::condition_variable jobs_cv_;      ///< executor wakeup
-  std::condition_variable stopped_cv_;   ///< wait() wakeup
+  std::condition_variable stopped_cv_;   ///< wait()/drain() wakeup
+  std::condition_variable watchdog_cv_;  ///< watchdog shutdown wakeup
   std::vector<std::shared_ptr<Connection>> conns_;
   std::size_t rr_next_ = 0;              ///< round-robin drain cursor
   int in_flight_ = 0;                    ///< queued + executing jobs
+  Executing exec_;                       ///< watchdog/cancel view of the
+                                         ///< job inside handle()
+  bool recycle_pending_ = false;         ///< watchdog asked for a team recycle
+  bool draining_ = false;                ///< SIGTERM drain in progress
   bool stopping_ = false;
   bool started_ = false;
 };

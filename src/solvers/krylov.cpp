@@ -17,6 +17,15 @@ void require_square_system(const LinearOperator& A, std::size_t b, std::size_t x
     throw std::invalid_argument("solver: vector size mismatch");
 }
 
+/// Per-iteration cancellation poll: None while live, else which way the
+/// token tripped.
+SolveAbort poll_cancel(const robust::CancelToken* tok) noexcept {
+  if (tok == nullptr || !tok->cancelled()) return SolveAbort::None;
+  return tok->why() == robust::CancelToken::Why::Cancelled
+             ? SolveAbort::Cancelled
+             : SolveAbort::DeadlineExceeded;
+}
+
 }  // namespace
 
 SolveResult cg(const LinearOperator& A, std::span<const value_t> b,
@@ -39,6 +48,8 @@ SolveResult cg(const LinearOperator& A, std::span<const value_t> b,
 
   SolveResult result;
   for (int it = 0; it < opt.max_iterations; ++it) {
+    if ((result.aborted = poll_cancel(opt.cancel)) != SolveAbort::None)
+      return result;  // x = the last completed iterate
     result.iterations = it + 1;
     // Sizes were validated once at entry; the inner loop takes the raw
     // noexcept path (one engine dispatch per matvec when A is engine-bound).
@@ -81,6 +92,8 @@ SolveResult bicgstab(const LinearOperator& A, std::span<const value_t> b,
 
   SolveResult result;
   for (int it = 0; it < opt.max_iterations; ++it) {
+    if ((result.aborted = poll_cancel(opt.cancel)) != SolveAbort::None)
+      return result;  // x = the last completed iterate
     result.iterations = it + 1;
     if (rho == 0.0) break;
     A.apply(p.data(), v.data());
@@ -161,6 +174,8 @@ SolveResult gmres(const LinearOperator& A, std::span<const value_t> b,
 
     int j = 0;
     for (; j < m && total_iters < opt.max_iterations; ++j, ++total_iters) {
+      if ((result.aborted = poll_cancel(opt.cancel)) != SolveAbort::None)
+        break;  // fall through to the update: x absorbs the j columns built
       // Arnoldi with modified Gram-Schmidt.
       A.apply(V[static_cast<std::size_t>(j)], w);
       for (int i = 0; i <= j; ++i) {
@@ -226,6 +241,10 @@ SolveResult gmres(const LinearOperator& A, std::span<const value_t> b,
 
     if (result.residual_norm <= opt.rel_tolerance) {
       result.converged = true;
+      result.iterations = total_iters;
+      return result;
+    }
+    if (result.aborted != SolveAbort::None) {
       result.iterations = total_iters;
       return result;
     }

@@ -8,6 +8,7 @@
 
 #include <span>
 
+#include "robust/cancel.hpp"
 #include "solvers/operator.hpp"
 
 namespace spmvopt::solvers {
@@ -15,12 +16,21 @@ namespace spmvopt::solvers {
 struct SolverOptions {
   int max_iterations = 1000;
   double rel_tolerance = 1e-8;  ///< on ||r|| / ||b||
+  /// Cooperative cancellation: polled once per iteration (per inner/Arnoldi
+  /// iteration for GMRES, i.e. per SpMV).  When it trips the solver returns
+  /// early with `aborted` set; `x` holds the last completed iterate — valid
+  /// partial progress, usable as a warm start for a retry.
+  const robust::CancelToken* cancel = nullptr;
 };
+
+/// Why a solve returned before convergence or max_iterations (DESIGN.md §10).
+enum class SolveAbort { None, Cancelled, DeadlineExceeded };
 
 struct SolveResult {
   bool converged = false;
   int iterations = 0;
   double residual_norm = 0.0;  ///< final relative residual
+  SolveAbort aborted = SolveAbort::None;
 };
 
 /// Conjugate Gradient — requires a symmetric positive-definite operator.

@@ -257,9 +257,22 @@ Expected<CsrMatrix> load_csr_cached(const std::string& mtx_path,
   if (!csr.ok())
     return std::move(csr).error().with_context(
         "while recovering cache '" + cache_path + "'");
-  // Rewrite is best-effort: a read-only cache directory must not make the
-  // load fail when the matrix itself is fine.
-  (void)write_csr_binary_file_checked(cache_path, csr.value());
+  // Recovery is bounded to ONE rewrite attempt.  A failed write (e.g. a
+  // read-only cache directory) keeps the load best-effort — the matrix
+  // itself is fine.  But a write that reports success and still does not
+  // read back means the medium is lying (persistent corruption): surface a
+  // typed error instead of silently re-running this recovery forever.
+  if (write_csr_binary_file_checked(cache_path, csr.value()).ok()) {
+    Expected<CsrMatrix> verify = read_csr_binary_file_checked(cache_path);
+    if (!verify.ok())
+      return std::move(verify)
+          .error()
+          .with_context("while verifying the rewritten cache '" + cache_path +
+                        "'")
+          .with_context(
+              "cache remains corrupt after its one rewrite attempt; "
+              "not retrying");
+  }
   return csr;
 }
 

@@ -40,8 +40,12 @@ Status write_csr_binary_file_checked(const std::string& path,
     const std::string& path);
 
 /// Load `cache_path` if it parses cleanly; on any cache failure fall back to
-/// re-reading `mtx_path` and best-effort rewrite the cache (auto-recovery,
-/// DESIGN.md §6).  Only fails when the source .mtx itself cannot be read.
+/// re-reading `mtx_path` and rewrite the cache (auto-recovery, DESIGN.md
+/// §6).  Recovery is bounded: exactly one rewrite attempt per load.  A
+/// rewrite the filesystem refuses (read-only directory) stays best-effort,
+/// but a rewrite that "succeeds" yet still fails to read back returns the
+/// typed verify error — persistent corruption must surface, not loop.
+/// Otherwise only fails when the source .mtx itself cannot be read.
 /// `recovered`, when non-null, reports whether the fallback path ran.
 [[nodiscard]] Expected<CsrMatrix> load_csr_cached(const std::string& mtx_path,
                                                   const std::string& cache_path,

@@ -1,0 +1,239 @@
+// Randomized chaos soak for spmvoptd (DESIGN.md §10).
+//
+// Concurrent tenants fire a seeded random mix of submits, runs (with and
+// without deadlines), multi-vector runs, solves, cancel verbs and stats
+// polls at a live SocketServer.  Invariants checked throughout:
+//
+//   - every reply is well-typed: the only error categories a healthy server
+//     may produce here are DeadlineExceeded, Cancelled and Resource
+//     (admission-control rejection) — Io/Internal/Format mean a real bug;
+//   - every successful run answer matches the ULP oracle;
+//   - the soak ends in a graceful drain that refuses new connections.
+//
+// The soak is time-boxed via SPMVOPT_CHAOS_SECONDS (default 2; the CI
+// sanitizer jobs raise it).  The random streams are pure functions of a
+// fixed seed and the worker index, so a failing soak replays exactly.  This
+// suite carries both the `server` and `robust` labels and is the load the
+// TSan shard leans on hardest.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gen/generators.hpp"
+#include "server/client.hpp"
+#include "server/protocol.hpp"
+#include "server/server.hpp"
+#include "support/fingerprint.hpp"
+#include "verify/oracle.hpp"
+
+#include <unistd.h>
+
+namespace spmvopt::server {
+namespace {
+
+namespace fs = std::filesystem;
+
+double soak_seconds() {
+  const char* env = std::getenv("SPMVOPT_CHAOS_SECONDS");
+  if (env == nullptr) return 2.0;
+  char* end = nullptr;
+  const double s = std::strtod(env, &end);
+  return (end == env || s <= 0.0) ? 2.0 : s;
+}
+
+std::uint64_t mix64(std::uint64_t z) {
+  z += 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+/// One pre-submitted tenant matrix the workers run against.
+struct Tenant {
+  CsrMatrix matrix;
+  Fingerprint fp;
+};
+
+class ChaosSoak : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    socket_path_ = (fs::temp_directory_path() /
+                    ("spmvoptd_chaos_" + std::to_string(::getpid()) + ".sock"))
+                       .string();
+    ServerConfig cfg;
+    cfg.engine_threads = 2;
+    cfg.watchdog_poll_ms = 10;  // sweep fast: more self-healing interleavings
+    core_ = std::make_unique<SpmvServer>(cfg);
+    sock_ = std::make_unique<SocketServer>(*core_, socket_path_);
+    auto started = sock_->start();
+    ASSERT_TRUE(started.ok()) << started.error().to_string();
+  }
+  void TearDown() override {
+    if (sock_) sock_->stop();
+  }
+
+  std::string socket_path_;
+  std::unique_ptr<SpmvServer> core_;
+  std::unique_ptr<SocketServer> sock_;
+};
+
+TEST_F(ChaosSoak, RandomizedTenantsNeverSeeAMalformedReply) {
+  // A spread of shapes: regular, irregular, SPD (solvable), and a
+  // monster-row skew heavy enough that short deadlines trip mid-kernel.
+  std::vector<Tenant> tenants;
+  tenants.push_back({gen::random_uniform(400, 8, 11), {}});
+  tenants.push_back({gen::stencil_2d_5pt(24, 24), {}});
+  tenants.push_back({gen::banded(500, 6, 8, 13), {}});
+  tenants.push_back({gen::monster_row(20'000, 20'000, 6, 0, 17), {}});
+  {
+    auto c = Client::connect(socket_path_);
+    ASSERT_TRUE(c.ok()) << c.error().to_string();
+    for (auto& t : tenants) {
+      auto sub = c.value().submit(t.matrix);
+      ASSERT_TRUE(sub.ok()) << sub.error().to_string();
+      t.fp = sub.value().fp;
+    }
+  }
+
+  constexpr int kWorkers = 4;
+  const auto end =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(soak_seconds()));
+
+  std::atomic<int> failures{0};
+  std::mutex failure_mu;
+  std::vector<std::string> failure_notes;
+  const auto note_failure = [&](const std::string& what) {
+    ++failures;
+    std::lock_guard lock(failure_mu);
+    if (failure_notes.size() < 8) failure_notes.push_back(what);
+  };
+  // A reply category a healthy server may legitimately produce under this
+  // load; anything else is a bug the soak exists to catch.
+  const auto benign = [](ErrorCategory c) {
+    return c == ErrorCategory::DeadlineExceeded ||
+           c == ErrorCategory::Cancelled || c == ErrorCategory::Resource;
+  };
+
+  std::vector<std::thread> workers;
+  for (int w = 0; w < kWorkers; ++w) {
+    workers.emplace_back([&, w] {
+      auto conn = Client::connect(socket_path_);
+      if (!conn.ok()) {
+        note_failure("connect: " + conn.error().to_string());
+        return;
+      }
+      Client c = std::move(conn.value());
+      RetryPolicy policy;
+      policy.max_attempts = 2;
+      policy.base_delay_ms = 1.0;
+      policy.max_delay_ms = 4.0;
+      policy.seed = static_cast<std::uint64_t>(w) + 1;
+      c.set_retry_policy(policy);
+
+      std::uint64_t rng = mix64(0xC0FFEEull + static_cast<std::uint64_t>(w));
+      std::uint64_t iter = 0;
+      while (std::chrono::steady_clock::now() < end) {
+        ++iter;
+        rng = mix64(rng);
+        const auto& t = tenants[rng % tenants.size()];
+        CallOptions opts;
+        opts.request_id = static_cast<std::uint64_t>(w + 1) * 1'000'000 + iter;
+
+        switch (mix64(rng) % 8) {
+          case 0: {  // re-submit: hot/warm ladder under contention
+            auto r = c.submit(t.matrix, opts);
+            if (!r.ok() && !benign(r.error().category()))
+              note_failure("submit: " + r.error().to_string());
+            break;
+          }
+          case 1: case 2: {  // plain run, oracle-checked
+            const auto x = gen::test_vector(t.matrix.ncols(), rng);
+            auto r = c.run(t.fp, x, opts);
+            if (r.ok()) {
+              if (!verify::check_spmv(t.matrix, x, r.value()).pass())
+                note_failure("run answer failed the ULP oracle");
+            } else if (!benign(r.error().category())) {
+              note_failure("run: " + r.error().to_string());
+            }
+            break;
+          }
+          case 3: {  // deadline run: ok or a typed deadline/cancel trip
+            opts.deadline_ms = 1 + static_cast<std::uint32_t>(rng % 5);
+            const auto x = gen::test_vector(t.matrix.ncols(), rng);
+            auto r = c.run(t.fp, x, opts);
+            if (r.ok()) {
+              if (!verify::check_spmv(t.matrix, x, r.value()).pass())
+                note_failure("deadline run answer failed the ULP oracle");
+            } else if (!benign(r.error().category())) {
+              note_failure("deadline run: " + r.error().to_string());
+            }
+            break;
+          }
+          case 4: {  // multi-vector run
+            constexpr int kRhs = 3;
+            std::vector<value_t> X;
+            for (int v = 0; v < kRhs; ++v) {
+              const auto x = gen::test_vector(t.matrix.ncols(), rng + v);
+              X.insert(X.end(), x.begin(), x.end());
+            }
+            auto r = c.run_many(t.fp, X, kRhs, opts);
+            if (!r.ok() && !benign(r.error().category()))
+              note_failure("run_many: " + r.error().to_string());
+            break;
+          }
+          case 5: {  // short-budget solve: converged, stalled or tripped
+            opts.deadline_ms = 2 + static_cast<std::uint32_t>(rng % 8);
+            std::vector<value_t> b(
+                static_cast<std::size_t>(t.matrix.nrows()), 1.0);
+            auto r = c.solve(t.fp, SolveMethod::Cg, b, 40, 1e-10, opts);
+            if (!r.ok() && !benign(r.error().category()))
+              note_failure("solve: " + r.error().to_string());
+            break;
+          }
+          case 6: {  // cancel a random id: mostly misses, sometimes lands
+            auto r = c.cancel(1'000'000 + mix64(rng) % (kWorkers * 2'000'000));
+            if (!r.ok()) note_failure("cancel: " + r.error().to_string());
+            break;
+          }
+          default: {  // stats poll: always answerable, always valid JSON tag
+            auto r = c.stats_json();
+            if (!r.ok())
+              note_failure("stats: " + r.error().to_string());
+            else if (r.value().find("spmvopt-server-stats/v2") ==
+                     std::string::npos)
+              note_failure("stats reply lost its schema tag");
+            break;
+          }
+        }
+      }
+    });
+  }
+  for (auto& th : workers) th.join();
+
+  if (failures.load() != 0) {
+    std::string all;
+    for (const auto& n : failure_notes) all += "\n  " + n;
+    ADD_FAILURE() << failures.load() << " chaos failures, first few:" << all;
+  }
+  const ServerStats st = core_->stats();
+  EXPECT_GT(st.requests, 0u);
+
+  // The soak ends the way production does: a graceful drain that flushes,
+  // stops, and refuses new connections.
+  sock_->drain(1.0);
+  EXPECT_FALSE(Client::connect(socket_path_).ok());
+}
+
+}  // namespace
+}  // namespace spmvopt::server

@@ -9,6 +9,7 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <filesystem>
 #include <fstream>
@@ -16,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "robust/fault_inject.hpp"
 #include "spmvopt/spmvopt.hpp"
 
 namespace spmvopt {
@@ -295,6 +297,48 @@ TEST(Engine, RunManyMatchesPerRhsRuns) {
       EXPECT_TRUE(report.pass()) << report.to_string();
     }
   }
+}
+
+TEST(Engine, RecycleRespawnsTheTeamAndKeepsAnswersCorrect) {
+  // The server's self-healing escalation: a recycle joins the old worker
+  // team and spawns (and re-pins) a fresh one.  Dispatches before and after
+  // must both match the oracle — a recycle is invisible to correctness.
+  const CsrMatrix a = gen::random_uniform(300, 8, 3);
+  ExecutionEngine eng({.nthreads = 2, .pin = PinPolicy::None});
+  const auto spmv = optimize::OptimizedSpmv::create(a, {}, eng);
+  const auto x = gen::test_vector(a.ncols());
+  std::vector<value_t> y(static_cast<std::size_t>(a.nrows()));
+  spmv.run(x.data(), y.data());
+  EXPECT_TRUE(verify::check_spmv(a, x, y).pass());
+
+  const auto before = eng.dispatch_count();
+  ASSERT_TRUE(eng.recycle());
+  EXPECT_EQ(eng.recycle_count(), 1u);
+  EXPECT_EQ(eng.nthreads(), 2);
+
+  std::fill(y.begin(), y.end(), -1.0);
+  spmv.run(x.data(), y.data());
+  EXPECT_TRUE(verify::check_spmv(a, x, y).pass());
+  EXPECT_GT(eng.dispatch_count(), before);
+}
+
+TEST(Engine, VetoedRecycleKeepsTheOldTeamServing) {
+  if (!robust::fault_injection_enabled())
+    GTEST_SKIP() << "built without SPMVOPT_FAULT_INJECTION";
+  const CsrMatrix a = gen::random_uniform(300, 8, 5);
+  ExecutionEngine eng({.nthreads = 2, .pin = PinPolicy::None});
+  const auto spmv = optimize::OptimizedSpmv::create(a, {}, eng);
+
+  robust::fault_arm("engine.team_respawn");
+  EXPECT_FALSE(eng.recycle());
+  robust::fault_disarm_all();
+  EXPECT_EQ(eng.recycle_count(), 0u);
+
+  // The veto fired before teardown: the previous team keeps serving.
+  const auto x = gen::test_vector(a.ncols());
+  std::vector<value_t> y(static_cast<std::size_t>(a.nrows()));
+  spmv.run(x.data(), y.data());
+  EXPECT_TRUE(verify::check_spmv(a, x, y).pass());
 }
 
 TEST(Engine, CgRoutesThroughEngineAndConverges) {

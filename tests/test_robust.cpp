@@ -1,12 +1,15 @@
-// Unit tests for the robustness primitives (DESIGN.md §6): the error
+// Unit tests for the robustness primitives (DESIGN.md §6, §10): the error
 // taxonomy, Expected<>, CRC32, overflow-checked arithmetic, the degradation
-// log, and the resource-ceiling env knobs.
+// log, cooperative cancellation tokens, and the resource-ceiling env knobs.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdint>
 #include <cstdlib>
 #include <limits>
+#include <thread>
 
+#include "robust/cancel.hpp"
 #include "robust/degradation.hpp"
 #include "robust/error.hpp"
 #include "support/checked.hpp"
@@ -113,6 +116,72 @@ TEST(DegradationLog, RecordsAndQueries) {
   const std::string s = log.to_string();
   EXPECT_NE(s.find("dropped delta"), std::string::npos);
   EXPECT_NE(s.find("dropped split"), std::string::npos);
+}
+
+TEST(CancelToken, FreshTokenIsLive) {
+  robust::CancelToken tok;
+  EXPECT_FALSE(tok.cancelled());
+  EXPECT_EQ(tok.why(), robust::CancelToken::Why::None);
+  EXPECT_FALSE(tok.has_deadline());
+  EXPECT_GT(tok.remaining_seconds(), 1e18);  // effectively infinite
+}
+
+TEST(CancelToken, CancelIsSharedAcrossCopiesAndIdempotent) {
+  robust::CancelToken tok;
+  robust::CancelToken copy = tok;  // shares state, not a snapshot
+  copy.cancel();
+  copy.cancel();  // idempotent
+  EXPECT_TRUE(tok.cancelled());
+  EXPECT_EQ(tok.why(), robust::CancelToken::Why::Cancelled);
+
+  const Error e = tok.to_error("after 12288 of 100000 rows");
+  EXPECT_EQ(e.category(), ErrorCategory::Cancelled);
+  EXPECT_NE(e.message().find("after 12288 of 100000 rows"), std::string::npos)
+      << e.message();
+}
+
+TEST(CancelToken, NonPositiveBudgetIsAlreadyExpired) {
+  const auto tok = robust::CancelToken::after_seconds(0.0);
+  EXPECT_TRUE(tok.cancelled());
+  EXPECT_EQ(tok.why(), robust::CancelToken::Why::Deadline);
+  EXPECT_EQ(tok.remaining_seconds(), 0.0);
+  EXPECT_EQ(tok.to_error("before starting").category(),
+            ErrorCategory::DeadlineExceeded);
+}
+
+TEST(CancelToken, AfterMsZeroMeansNoDeadline) {
+  // The wire contract: deadline_ms == 0 arms *no* deadline, but the token
+  // stays cancellable (the cancel verb and the watchdog still reach it).
+  const auto tok = robust::CancelToken::after_ms(0);
+  EXPECT_FALSE(tok.has_deadline());
+  EXPECT_FALSE(tok.cancelled());
+  tok.cancel();
+  EXPECT_TRUE(tok.cancelled());
+  EXPECT_EQ(tok.why(), robust::CancelToken::Why::Cancelled);
+}
+
+TEST(CancelToken, DeadlineTripsAndLatches) {
+  const auto tok = robust::CancelToken::after_ms(5);
+  EXPECT_TRUE(tok.has_deadline());
+  EXPECT_LE(tok.remaining_seconds(), 0.005 + 1e-9);
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_TRUE(tok.cancelled());
+  EXPECT_TRUE(tok.cancelled());  // latched: repeat polls stay tripped
+  EXPECT_EQ(tok.why(), robust::CancelToken::Why::Deadline);
+}
+
+TEST(CancelToken, ExplicitCancelWinsOverALaterDeadline) {
+  const auto tok = robust::CancelToken::after_seconds(3600.0);
+  tok.cancel();
+  EXPECT_TRUE(tok.cancelled());
+  EXPECT_EQ(tok.why(), robust::CancelToken::Why::Cancelled);
+  EXPECT_EQ(tok.to_error("x").category(), ErrorCategory::Cancelled);
+}
+
+TEST(CancelToken, NeverTokenStaysLive) {
+  const robust::CancelToken& tok = robust::CancelToken::never();
+  EXPECT_FALSE(tok.cancelled());
+  EXPECT_FALSE(tok.has_deadline());
 }
 
 TEST(ResourceCeilings, ReadFreshFromEnvironment) {

@@ -5,6 +5,7 @@
 // clients (the TSan shard exercises this), and the server fault points.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <cstdlib>
@@ -17,6 +18,7 @@
 #include <vector>
 
 #include "gen/generators.hpp"
+#include "robust/cancel.hpp"
 #include "robust/fault_inject.hpp"
 #include "server/client.hpp"
 #include "server/plan_cache.hpp"
@@ -26,7 +28,11 @@
 #include "verify/oracle.hpp"
 
 #include <sys/socket.h>
+#include <sys/un.h>
 #include <unistd.h>
+
+#include <chrono>
+#include <cstring>
 
 namespace spmvopt::server {
 namespace {
@@ -35,6 +41,21 @@ namespace fs = std::filesystem;
 
 CsrMatrix small_matrix(std::uint64_t seed = 7) {
   return gen::random_uniform(200, 6, seed);
+}
+
+/// An IMB monster-row matrix heavy enough that a multi-vector run over it
+/// takes tens of milliseconds — comfortably longer than the short deadlines
+/// the cancellation tests arm, comfortably shorter than a test timeout.
+CsrMatrix heavy_matrix() { return gen::monster_row(50'000, 50'000, 8, 0, 7); }
+
+std::vector<value_t> heavy_rhs(const CsrMatrix& a, int nrhs) {
+  std::vector<value_t> X;
+  X.reserve(static_cast<std::size_t>(a.ncols()) * static_cast<std::size_t>(nrhs));
+  for (int r = 0; r < nrhs; ++r) {
+    const auto x = gen::test_vector(a.ncols(), 7 + static_cast<std::uint64_t>(r));
+    X.insert(X.end(), x.begin(), x.end());
+  }
+  return X;
 }
 
 /// A unique, auto-cleaned directory under the system temp dir.
@@ -95,7 +116,7 @@ TEST(Protocol, RequestsRoundTrip) {
   {
     auto r = decode_request(encode_request(SubmitRequest{a}));
     ASSERT_TRUE(r.ok()) << r.error().to_string();
-    const auto& req = std::get<SubmitRequest>(r.value());
+    const auto& req = std::get<SubmitRequest>(r.value().request);
     EXPECT_TRUE(req.matrix.equals(a));
   }
   {
@@ -104,7 +125,7 @@ TEST(Protocol, RequestsRoundTrip) {
     in.x = {1.0, -2.5, 3.25};
     auto r = decode_request(encode_request(in));
     ASSERT_TRUE(r.ok()) << r.error().to_string();
-    const auto& req = std::get<RunRequest>(r.value());
+    const auto& req = std::get<RunRequest>(r.value().request);
     EXPECT_EQ(req.fp, fp);
     EXPECT_EQ(req.x, in.x);
   }
@@ -115,7 +136,7 @@ TEST(Protocol, RequestsRoundTrip) {
     in.X = {1.0, 2.0, 3.0, 4.0};
     auto r = decode_request(encode_request(in));
     ASSERT_TRUE(r.ok()) << r.error().to_string();
-    const auto& req = std::get<RunManyRequest>(r.value());
+    const auto& req = std::get<RunManyRequest>(r.value().request);
     EXPECT_EQ(req.nrhs, 2);
     EXPECT_EQ(req.X, in.X);
   }
@@ -128,7 +149,7 @@ TEST(Protocol, RequestsRoundTrip) {
     in.b = {0.5, 0.25};
     auto r = decode_request(encode_request(in));
     ASSERT_TRUE(r.ok()) << r.error().to_string();
-    const auto& req = std::get<SolveRequest>(r.value());
+    const auto& req = std::get<SolveRequest>(r.value().request);
     EXPECT_EQ(req.method, SolveMethod::Bicgstab);
     EXPECT_EQ(req.max_iterations, 321);
     EXPECT_DOUBLE_EQ(req.rel_tolerance, 1e-6);
@@ -136,11 +157,64 @@ TEST(Protocol, RequestsRoundTrip) {
   }
   for (const Request& in :
        {Request(StatsRequest{}), Request(PingRequest{}),
-        Request(ShutdownRequest{})}) {
+        Request(ShutdownRequest{}), Request(CancelRequest{99})}) {
     auto r = decode_request(encode_request(in));
     ASSERT_TRUE(r.ok()) << r.error().to_string();
-    EXPECT_EQ(r.value().index(), in.index());
+    EXPECT_EQ(r.value().request.index(), in.index());
   }
+}
+
+TEST(Protocol, EnvelopeCarriesIdAndDeadline) {
+  // The v2 envelope: request_id and deadline_ms survive the codec, and a
+  // reply echoes the id of the request it answers.
+  RunRequest in;
+  in.fp = fingerprint_of(small_matrix());
+  in.x = {1.0, 2.0};
+  const RequestHeader hdr{0xDEADBEEFCAFEull, 1500};
+  const std::string payload = encode_request(Request(in), hdr);
+
+  const auto peeked = peek_request_header(payload);
+  ASSERT_TRUE(peeked.has_value());
+  EXPECT_EQ(peeked->request_id, hdr.request_id);
+  EXPECT_EQ(peeked->deadline_ms, hdr.deadline_ms);
+
+  auto r = decode_request(payload);
+  ASSERT_TRUE(r.ok()) << r.error().to_string();
+  EXPECT_EQ(r.value().header.request_id, hdr.request_id);
+  EXPECT_EQ(r.value().header.deadline_ms, hdr.deadline_ms);
+
+  auto rep = decode_reply(encode_reply(PongReply{}, hdr.request_id));
+  ASSERT_TRUE(rep.ok());
+  EXPECT_EQ(rep.value().request_id, hdr.request_id);
+}
+
+TEST(Protocol, V1PayloadIsATypedVersionRejection) {
+  // A pre-v2 frame starts with its raw type byte (Ping = 6), not the 0xA2
+  // magic.  It must decode to a Format error naming the mismatch — a typed
+  // rejection an old client can log, never a misparse.
+  std::string v1_ping(1, static_cast<char>(6));
+  auto r = decode_request(v1_ping);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().category(), ErrorCategory::Format);
+  EXPECT_NE(r.error().message().find("v1"), std::string::npos)
+      << r.error().message();
+  // peek still routes it (raw v1 type byte) so the reader can reply.
+  EXPECT_EQ(peek_type(v1_ping), MsgType::Ping);
+  EXPECT_FALSE(peek_request_header(v1_ping).has_value());
+}
+
+TEST(Protocol, CancelRoundTripsWithItsTarget) {
+  auto r = decode_request(encode_request(CancelRequest{1234}));
+  ASSERT_TRUE(r.ok()) << r.error().to_string();
+  EXPECT_EQ(std::get<CancelRequest>(r.value().request).target_id, 1234u);
+
+  CancelReply in;
+  in.outcome = CancelReply::Outcome::Running;
+  auto rep = decode_reply(encode_reply(in, 7));
+  ASSERT_TRUE(rep.ok());
+  EXPECT_EQ(std::get<CancelReply>(rep.value().reply).outcome,
+            CancelReply::Outcome::Running);
+  EXPECT_EQ(rep.value().request_id, 7u);
 }
 
 TEST(Protocol, RepliesRoundTrip) {
@@ -152,7 +226,7 @@ TEST(Protocol, RepliesRoundTrip) {
     in.pre_seconds = 0.125;
     auto r = decode_reply(encode_reply(in));
     ASSERT_TRUE(r.ok()) << r.error().to_string();
-    const auto& rep = std::get<SubmitReply>(r.value());
+    const auto& rep = std::get<SubmitReply>(r.value().reply);
     EXPECT_EQ(rep.fp, in.fp);
     EXPECT_EQ(rep.state, CacheState::Warm);
     EXPECT_EQ(rep.plan, in.plan);
@@ -161,7 +235,7 @@ TEST(Protocol, RepliesRoundTrip) {
   {
     auto r = decode_reply(encode_reply(RunReply{{1.0, 2.0, -3.0}}));
     ASSERT_TRUE(r.ok());
-    EXPECT_EQ(std::get<RunReply>(r.value()).y,
+    EXPECT_EQ(std::get<RunReply>(r.value().reply).y,
               (std::vector<value_t>{1.0, 2.0, -3.0}));
   }
   {
@@ -172,23 +246,24 @@ TEST(Protocol, RepliesRoundTrip) {
     in.x = {4.0, 5.0};
     auto r = decode_reply(encode_reply(in));
     ASSERT_TRUE(r.ok());
-    const auto& rep = std::get<SolveReply>(r.value());
+    const auto& rep = std::get<SolveReply>(r.value().reply);
     EXPECT_TRUE(rep.converged);
     EXPECT_EQ(rep.iterations, 17);
     EXPECT_EQ(rep.x, in.x);
   }
   {
     auto r = decode_reply(encode_reply(
-        ErrorReply{ErrorCategory::Resource, "too big"}));
+        ErrorReply{ErrorCategory::Resource, /*retryable=*/true, "too big"}));
     ASSERT_TRUE(r.ok());
-    const auto& rep = std::get<ErrorReply>(r.value());
+    const auto& rep = std::get<ErrorReply>(r.value().reply);
     EXPECT_EQ(rep.category, ErrorCategory::Resource);
+    EXPECT_TRUE(rep.retryable);
     EXPECT_EQ(rep.message, "too big");
   }
   {
     auto r = decode_reply(encode_reply(PongReply{}));
     ASSERT_TRUE(r.ok());
-    EXPECT_EQ(std::get<PongReply>(r.value()).protocol_version,
+    EXPECT_EQ(std::get<PongReply>(r.value().reply).protocol_version,
               kProtocolVersion);
   }
 }
@@ -419,7 +494,7 @@ TEST(SpmvServer, StatsReplyIsStructuredJson) {
   SpmvServer srv(memory_only_config());
   (void)srv.handle(SubmitRequest{small_matrix()});
   const auto& rep = expect_reply<StatsReply>(srv.handle(StatsRequest{}));
-  EXPECT_NE(rep.json.find("\"schema\": \"spmvopt-server-stats/v1\""),
+  EXPECT_NE(rep.json.find("\"schema\": \"spmvopt-server-stats/v2\""),
             std::string::npos);
   EXPECT_NE(rep.json.find("\"misses\": 1"), std::string::npos);
 }
@@ -581,7 +656,7 @@ TEST_F(SocketFixture, FullSessionOverTheSocket) {
 
   auto stats = c.stats_json();
   ASSERT_TRUE(stats.ok());
-  EXPECT_NE(stats.value().find("spmvopt-server-stats/v1"), std::string::npos);
+  EXPECT_NE(stats.value().find("spmvopt-server-stats/v2"), std::string::npos);
 
   ASSERT_TRUE(c.shutdown_server().ok());
   sock_->wait();  // returns because the shutdown request stopped the loop
@@ -695,6 +770,172 @@ TEST(ServerFaults, FrameTruncationYieldsATypedFormatError) {
   ::close(fds[1]);
 }
 
+// ------------------------------------------- deadlines and cancellation
+
+TEST(SpmvServer, ExpiredTokenStopsARunBeforeItStarts) {
+  SpmvServer srv(memory_only_config());
+  const CsrMatrix a = small_matrix();
+  const auto sub = expect_reply<SubmitReply>(srv.handle(SubmitRequest{a}));
+
+  RunRequest run;
+  run.fp = sub.fp;
+  run.x = gen::test_vector(a.ncols());
+  const auto tok = robust::CancelToken::after_seconds(0.0);
+  const auto err = expect_error(srv.handle(run, false, &tok),
+                                ErrorCategory::DeadlineExceeded);
+  EXPECT_FALSE(err.retryable);
+  EXPECT_EQ(srv.stats().deadline_exceeded, 1u);
+}
+
+TEST(SpmvServer, CancelledTokenAbortsASolveWithProgressContext) {
+  SpmvServer srv(memory_only_config());
+  const CsrMatrix a = gen::stencil_2d_5pt(16, 16);
+  const auto sub = expect_reply<SubmitReply>(srv.handle(SubmitRequest{a}));
+
+  SolveRequest sr;
+  sr.fp = sub.fp;
+  sr.method = SolveMethod::Cg;
+  sr.b.assign(static_cast<std::size_t>(a.nrows()), 1.0);
+  robust::CancelToken tok;
+  tok.cancel();
+  const auto err =
+      expect_error(srv.handle(sr, false, &tok), ErrorCategory::Cancelled);
+  EXPECT_NE(err.message.find("iteration"), std::string::npos) << err.message;
+  EXPECT_EQ(srv.stats().cancelled, 1u);
+}
+
+TEST(SpmvServer, DeadlineTripsMidSolveWellBeforeTheFullRun) {
+  // A CG solve that would grind through max_iterations (the tolerance is
+  // unreachable) must instead surface DeadlineExceeded within the deadline
+  // plus a few iteration quanta — not after the full iteration budget.
+  SpmvServer srv(memory_only_config());
+  const CsrMatrix a = gen::stencil_2d_5pt(128, 128);
+  const auto sub = expect_reply<SubmitReply>(srv.handle(SubmitRequest{a}));
+
+  SolveRequest sr;
+  sr.fp = sub.fp;
+  sr.method = SolveMethod::Cg;
+  sr.max_iterations = 1'000'000;
+  sr.rel_tolerance = 1e-300;
+  sr.b.assign(static_cast<std::size_t>(a.nrows()), 1.0);
+
+  const auto tok = robust::CancelToken::after_ms(20);
+  const auto t0 = std::chrono::steady_clock::now();
+  const Reply reply = srv.handle(sr, false, &tok);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  const auto err = expect_error(reply, ErrorCategory::DeadlineExceeded);
+  EXPECT_NE(err.message.find("iteration"), std::string::npos) << err.message;
+  // One iteration on a 16k-unknown stencil is far under a second; an entire
+  // uncancelled run would be tens of seconds.
+  EXPECT_LT(elapsed, 5.0);
+  EXPECT_EQ(srv.stats().deadline_exceeded, 1u);
+}
+
+TEST(SpmvServer, DeadlineTripsMidRunManyOnAMonsterRow) {
+  SpmvServer srv(memory_only_config());
+  const CsrMatrix a = heavy_matrix();
+  const auto sub = expect_reply<SubmitReply>(srv.handle(SubmitRequest{a}));
+
+  RunManyRequest rm;
+  rm.fp = sub.fp;
+  rm.nrhs = 96;
+  rm.X = heavy_rhs(a, rm.nrhs);
+  const auto tok = robust::CancelToken::after_ms(10);
+  const auto t0 = std::chrono::steady_clock::now();
+  const Reply reply = srv.handle(rm, false, &tok);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  const auto err = expect_error(reply, ErrorCategory::DeadlineExceeded);
+  EXPECT_FALSE(err.retryable);
+  // The 10 ms budget plus chunk-granularity slack; never the full sweep.
+  EXPECT_LT(elapsed, 5.0);
+}
+
+TEST(SpmvServer, InProcessCancelRequestAnswersUnknown) {
+  // cancel(request_id) is resolved by the transport layer; the core has no
+  // queue, so a cancel that reaches handle() truthfully answers Unknown.
+  SpmvServer srv(memory_only_config());
+  const auto rep = expect_reply<CancelReply>(srv.handle(CancelRequest{42}));
+  EXPECT_EQ(rep.outcome, CancelReply::Outcome::Unknown);
+}
+
+TEST(SpmvServer, StatsJsonCarriesTheSelfHealingCounters) {
+  SpmvServer srv(memory_only_config());
+  const auto& rep = expect_reply<StatsReply>(srv.handle(StatsRequest{}));
+  EXPECT_NE(rep.json.find("\"deadline_exceeded\""), std::string::npos);
+  EXPECT_NE(rep.json.find("\"cancelled\""), std::string::npos);
+  EXPECT_NE(rep.json.find("\"expired_in_queue\""), std::string::npos);
+  EXPECT_NE(rep.json.find("\"watchdog_fires\""), std::string::npos);
+  EXPECT_NE(rep.json.find("\"recycles\""), std::string::npos);
+}
+
+TEST(SpmvServer, RecycleEngineRespawnsTheTeam) {
+  SpmvServer srv(memory_only_config());
+  const CsrMatrix a = small_matrix();
+  const auto sub = expect_reply<SubmitReply>(srv.handle(SubmitRequest{a}));
+
+  ASSERT_TRUE(srv.recycle_engine("test-initiated recycle"));
+  EXPECT_EQ(srv.stats().engine_recycles, 1u);
+  EXPECT_EQ(srv.stats().engine_recycle_failures, 0u);
+  EXPECT_FALSE(srv.health().entries().empty());
+
+  // The recycled team still computes correct answers.
+  RunRequest run;
+  run.fp = sub.fp;
+  run.x = gen::test_vector(a.ncols());
+  const auto& rep = expect_reply<RunReply>(srv.handle(run));
+  expect_ulp_match(a, run.x, rep.y);
+}
+
+TEST(SpmvServer, PlanCacheFlushRewritesResidentEntries) {
+  TempDir dir("flush");
+  ServerConfig cfg = memory_only_config();
+  cfg.cache.persist_dir = dir.str();
+  SpmvServer srv(cfg);
+  (void)expect_reply<SubmitReply>(srv.handle(SubmitRequest{small_matrix(21)}));
+  (void)expect_reply<SubmitReply>(srv.handle(SubmitRequest{small_matrix(22)}));
+
+  // Wipe the persistent tier behind the server's back; flush must restore
+  // every resident entry (the drain path relies on this).
+  for (const auto& e : fs::directory_iterator(dir.path()))
+    fs::remove_all(e.path());
+  ASSERT_TRUE(fs::is_empty(dir.path()));
+  EXPECT_EQ(srv.cache().flush(), 2u);
+  EXPECT_FALSE(fs::is_empty(dir.path()));
+}
+
+// ------------------------------------------------- retrying client policy
+
+TEST(ClientRetry, BackoffScheduleIsDeterministicAndBounded) {
+  RetryPolicy policy;
+  policy.max_attempts = 6;
+  policy.base_delay_ms = 10.0;
+  policy.max_delay_ms = 100.0;
+  policy.seed = 1234;
+
+  const auto a = backoff_schedule_ms(policy, 77, policy.max_attempts);
+  const auto b = backoff_schedule_ms(policy, 77, policy.max_attempts);
+  ASSERT_EQ(a.size(), 5u);  // attempts - 1 sleeps
+  EXPECT_EQ(a, b);  // pure function of (seed, request_id)
+
+  double prev = policy.base_delay_ms;
+  for (const double d : a) {
+    EXPECT_GE(d, policy.base_delay_ms * 0.0);  // non-negative
+    EXPECT_LE(d, policy.max_delay_ms);
+    EXPECT_LE(d, std::max(policy.base_delay_ms, prev * 3.0));
+    prev = d;
+  }
+
+  // Different request ids decorrelate: the streams differ somewhere.
+  const auto other = backoff_schedule_ms(policy, 78, policy.max_attempts);
+  EXPECT_NE(a, other);
+}
+
+// ------------------------------------------------------- socket transport
+
 TEST(ServerFaults, EvictionDuringARunningJobIsSafe) {
   if (!robust::fault_injection_enabled())
     GTEST_SKIP() << "built without SPMVOPT_FAULT_INJECTION";
@@ -714,6 +955,317 @@ TEST(ServerFaults, EvictionDuringARunningJobIsSafe) {
   const ServerStats st = srv.stats();
   EXPECT_EQ(st.cache.entries, 0u);
   EXPECT_GE(st.cache.evictions, 1u);
+}
+
+// -------------------------------------- deadlines/cancel over the socket
+
+/// Connect a raw fd to the server socket, bypassing Client, so a test can
+/// pipeline several frames without waiting for replies.
+int raw_connect(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) return -1;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+TEST_F(SocketFixture, MonsterRowDeadlineDoesNotStarveSmallRequests) {
+  // The acceptance scenario (ISSUE 8): a monster-row request with a 10 ms
+  // deadline must come back as a typed DeadlineExceeded in bounded time,
+  // while concurrent small requests on another connection complete with
+  // oracle-checked answers — the deadline frees the executor instead of
+  // letting one tenant monopolize it.
+  Client heavy = connect();
+  const CsrMatrix big = heavy_matrix();
+  auto bigsub = heavy.submit(big);
+  ASSERT_TRUE(bigsub.ok()) << bigsub.error().to_string();
+
+  std::atomic<bool> heavy_done{false};
+  Error heavy_err(ErrorCategory::Internal, "run_many unexpectedly succeeded");
+  double heavy_seconds = 0.0;
+  std::thread monster([&] {
+    CallOptions opts;
+    opts.request_id = 101;
+    opts.deadline_ms = 10;
+    const auto t0 = std::chrono::steady_clock::now();
+    auto r = heavy.run_many(bigsub.value().fp, heavy_rhs(big, 96), 96, opts);
+    heavy_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    if (!r.ok()) heavy_err = std::move(r).error();
+    heavy_done.store(true);
+  });
+
+  // Meanwhile: a small tenant keeps getting correct answers.
+  Client small = connect();
+  const CsrMatrix a = small_matrix(33);
+  auto sub = small.submit(a);
+  ASSERT_TRUE(sub.ok()) << sub.error().to_string();
+  const auto x = gen::test_vector(a.ncols());
+  for (int r = 0; r < 6; ++r) {
+    auto y = small.run(sub.value().fp, x);
+    ASSERT_TRUE(y.ok()) << y.error().to_string();
+    expect_ulp_match(a, x, y.value());
+  }
+
+  monster.join();
+  ASSERT_TRUE(heavy_done.load());
+  EXPECT_EQ(heavy_err.category(), ErrorCategory::DeadlineExceeded)
+      << heavy_err.to_string();
+  // Deadline + chunk-quantum slack, never the full multi-vector sweep.
+  EXPECT_LT(heavy_seconds, 5.0);
+  EXPECT_GE(core_->stats().deadline_exceeded, 1u);
+}
+
+TEST_F(SocketFixture, DeadlinePassedInQueueNeverExecutes) {
+  // Two frames pipelined on one connection: a heavy no-deadline job followed
+  // by a 1 ms-deadline job.  The second expires while queued behind the
+  // first and must answer DeadlineExceeded without ever running.
+  Client c = connect();
+  const CsrMatrix big = heavy_matrix();
+  auto bigsub = c.submit(big);
+  ASSERT_TRUE(bigsub.ok()) << bigsub.error().to_string();
+  const CsrMatrix a = small_matrix(44);
+  auto sub = c.submit(a);
+  ASSERT_TRUE(sub.ok()) << sub.error().to_string();
+
+  const int fd = raw_connect(socket_path_);
+  ASSERT_GE(fd, 0);
+  RunManyRequest rm;
+  rm.fp = bigsub.value().fp;
+  rm.nrhs = 96;
+  rm.X = heavy_rhs(big, rm.nrhs);
+  RunRequest run;
+  run.fp = sub.value().fp;
+  run.x = gen::test_vector(a.ncols());
+  ASSERT_TRUE(
+      write_frame(fd, encode_request(Request(std::move(rm)),
+                                     RequestHeader{1, 0}))
+          .ok());
+  ASSERT_TRUE(
+      write_frame(fd, encode_request(Request(std::move(run)),
+                                     RequestHeader{2, 1}))
+          .ok());
+
+  auto frame1 = read_frame(fd);
+  ASSERT_TRUE(frame1.ok() && frame1.value().has_value());
+  auto rep1 = decode_reply(*frame1.value());
+  ASSERT_TRUE(rep1.ok());
+  EXPECT_EQ(rep1.value().request_id, 1u);
+  EXPECT_TRUE(std::holds_alternative<RunManyReply>(rep1.value().reply));
+
+  auto frame2 = read_frame(fd);
+  ASSERT_TRUE(frame2.ok() && frame2.value().has_value());
+  auto rep2 = decode_reply(*frame2.value());
+  ASSERT_TRUE(rep2.ok());
+  EXPECT_EQ(rep2.value().request_id, 2u);
+  expect_error(rep2.value().reply, ErrorCategory::DeadlineExceeded);
+  EXPECT_GE(core_->stats().expired_in_queue, 1u);
+  ::close(fd);
+}
+
+TEST_F(SocketFixture, CancelVerbTargetsTheNamedRequest) {
+  Client a = connect();
+  const CsrMatrix big = heavy_matrix();
+  auto bigsub = a.submit(big);
+  ASSERT_TRUE(bigsub.ok()) << bigsub.error().to_string();
+
+  Client b = connect();
+  // Unknown and unnamed ids answer Unknown, never an error.
+  auto miss = b.cancel(999);
+  ASSERT_TRUE(miss.ok()) << miss.error().to_string();
+  EXPECT_EQ(miss.value(), CancelReply::Outcome::Unknown);
+  auto zero = b.cancel(0);
+  ASSERT_TRUE(zero.ok());
+  EXPECT_EQ(zero.value(), CancelReply::Outcome::Unknown);
+
+  std::atomic<bool> done{false};
+  bool run_ok = false;
+  Error run_err(ErrorCategory::Internal, "unset");
+  std::thread monster([&] {
+    CallOptions opts;
+    opts.request_id = 55;
+    auto r = a.run_many(bigsub.value().fp, heavy_rhs(big, 96), 96, opts);
+    run_ok = r.ok();
+    if (!r.ok()) run_err = std::move(r).error();
+    done.store(true);
+  });
+
+  // Race the target: cancel(55) until it lands (Queued or Running) or the
+  // job wins the race and finishes.
+  bool landed = false;
+  while (!done.load()) {
+    auto out = b.cancel(55);
+    ASSERT_TRUE(out.ok()) << out.error().to_string();
+    if (out.value() != CancelReply::Outcome::Unknown) {
+      landed = true;
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  monster.join();
+
+  if (run_ok) {
+    // The job completed before the cancel could land: legal, but the verb
+    // must then have answered Unknown throughout.
+    EXPECT_FALSE(landed);
+  } else {
+    EXPECT_EQ(run_err.category(), ErrorCategory::Cancelled)
+        << run_err.to_string();
+    EXPECT_GE(core_->stats().cancelled, 1u);
+  }
+  // Cancellation is idempotent: re-cancelling a finished id is Unknown.
+  auto after = b.cancel(55);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after.value(), CancelReply::Outcome::Unknown);
+}
+
+class WatchdogSocketFixture : public SocketFixture {
+ protected:
+  void configure(ServerConfig& cfg) override {
+    cfg.watchdog_poll_ms = 5;  // sweep fast enough to catch a ~30 ms job
+  }
+};
+
+TEST_F(WatchdogSocketFixture, WatchdogFireCancelsAndRecyclesTheTeam) {
+  if (!robust::fault_injection_enabled())
+    GTEST_SKIP() << "built without SPMVOPT_FAULT_INJECTION";
+  Client c = connect();
+  const CsrMatrix big = heavy_matrix();
+  auto bigsub = c.submit(big);
+  ASSERT_TRUE(bigsub.ok()) << bigsub.error().to_string();
+
+  // Arm AFTER the submit so the fire lands on the run_many below, then let
+  // the watchdog declare it overdue on its next sweep.
+  robust::fault_arm("server.watchdog_fire");
+  CallOptions opts;
+  opts.request_id = 9;
+  auto r = c.run_many(bigsub.value().fp, heavy_rhs(big, 96), 96, opts);
+  robust::fault_disarm_all();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().category(), ErrorCategory::Cancelled)
+      << r.error().to_string();
+
+  // The team recycle happens after the reply is flushed; give it a moment.
+  ServerStats st;
+  const auto give_up =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  do {
+    st = core_->stats();
+    if (st.watchdog_fires >= 1 && st.engine_recycles >= 1) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  } while (std::chrono::steady_clock::now() < give_up);
+  EXPECT_GE(st.watchdog_fires, 1u);
+  EXPECT_GE(st.engine_recycles, 1u);
+  EXPECT_FALSE(core_->health().entries().empty());
+
+  // Self-healing means the recycled team still computes correct answers.
+  const CsrMatrix a = small_matrix(66);
+  auto sub = c.submit(a);
+  ASSERT_TRUE(sub.ok()) << sub.error().to_string();
+  const auto x = gen::test_vector(a.ncols());
+  auto y = c.run(sub.value().fp, x);
+  ASSERT_TRUE(y.ok()) << y.error().to_string();
+  expect_ulp_match(a, x, y.value());
+}
+
+// ----------------------------------------------------------- drain paths
+
+TEST_F(SocketFixture, DrainWithIdleServerStopsAndRefusesNewConnections) {
+  Client c = connect();
+  ASSERT_TRUE(c.ping().ok());
+  sock_->drain(0.5);
+  EXPECT_FALSE(Client::connect(socket_path_).ok());
+}
+
+TEST_F(SocketFixture, DrainCancelsWorkThatOutlivesTheGrace) {
+  Client c = connect();
+  const CsrMatrix big = heavy_matrix();
+  auto bigsub = c.submit(big);
+  ASSERT_TRUE(bigsub.ok()) << bigsub.error().to_string();
+
+  std::atomic<bool> done{false};
+  bool run_ok = false;
+  Error run_err(ErrorCategory::Internal, "unset");
+  std::thread monster([&] {
+    // Unnamed on purpose: the drain-time rejection is retryable, and a
+    // retrying client would spin against a dying server.
+    auto r = c.run_many(bigsub.value().fp, heavy_rhs(big, 96), 96);
+    run_ok = r.ok();
+    if (!r.ok()) run_err = std::move(r).error();
+    done.store(true);
+  });
+  // Let the frame reach the server, then drain with zero grace: whatever is
+  // in flight gets its token cancelled and flushed as a typed reply.
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  sock_->drain(0.0);
+  monster.join();
+
+  if (!run_ok) {
+    // Cancelled mid-run, rejected at admission while draining, or the
+    // connection died with the server — all legal ends; a hang is not.
+    EXPECT_TRUE(run_err.category() == ErrorCategory::Cancelled ||
+                run_err.category() == ErrorCategory::Resource ||
+                run_err.category() == ErrorCategory::Io)
+        << run_err.to_string();
+  }
+  EXPECT_FALSE(Client::connect(socket_path_).ok());
+}
+
+// ------------------------------------------------- client retry over socket
+
+TEST_F(RejectingSocketFixture, NamedRequestsRetryUntilTheBudgetExhausts) {
+  Client c = connect();
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.base_delay_ms = 1.0;
+  policy.max_delay_ms = 2.0;
+  c.set_retry_policy(policy);
+
+  CallOptions opts;
+  opts.request_id = 5;
+  auto sub = c.submit(small_matrix(), opts);
+  ASSERT_FALSE(sub.ok());
+  EXPECT_EQ(sub.error().category(), ErrorCategory::Resource);
+  EXPECT_NE(sub.error().to_string().find("after 3 attempts"),
+            std::string::npos)
+      << sub.error().to_string();
+  EXPECT_GE(core_->stats().rejected_overload, 3u);
+
+  // Unnamed requests make exactly one attempt: no idempotency token, no
+  // retry-safety claim.
+  const std::uint64_t before = core_->stats().rejected_overload;
+  EXPECT_FALSE(c.submit(small_matrix()).ok());
+  EXPECT_EQ(core_->stats().rejected_overload, before + 1);
+}
+
+TEST_F(RejectingSocketFixture, RetryExhaustFaultShortCircuitsTheSchedule) {
+  if (!robust::fault_injection_enabled())
+    GTEST_SKIP() << "built without SPMVOPT_FAULT_INJECTION";
+  Client c = connect();
+  RetryPolicy policy;
+  policy.max_attempts = 4;
+  policy.base_delay_ms = 1.0;
+  policy.max_delay_ms = 2.0;
+  c.set_retry_policy(policy);
+
+  robust::fault_arm("client.retry_exhaust");
+  CallOptions opts;
+  opts.request_id = 6;
+  auto sub = c.submit(small_matrix(), opts);
+  robust::fault_disarm_all();
+  ASSERT_FALSE(sub.ok());
+  EXPECT_EQ(sub.error().category(), ErrorCategory::Resource);
+  // The fault cut the loop after the first attempt: one server-side
+  // rejection, not four.
+  EXPECT_EQ(core_->stats().rejected_overload, 1u);
 }
 
 }  // namespace

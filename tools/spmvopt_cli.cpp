@@ -26,7 +26,9 @@
 // regression (unless --advisory), so CI can gate on it directly.
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -396,11 +398,30 @@ int cmd_compare(const std::vector<std::string>& args) {
 /// sysexits codes the rest of the CLI uses.
 int cmd_client(const std::vector<std::string>& args) {
   std::string socket_path = "/tmp/spmvoptd.sock";
+  server::CallOptions opts;
   std::vector<std::string> pos;
+  const auto parse_u64 = [](const std::string& flag,
+                            const std::string& v) -> std::uint64_t {
+    char* end = nullptr;
+    const unsigned long long n = std::strtoull(v.c_str(), &end, 10);
+    if (end == v.c_str() || *end != '\0')
+      throw UsageError(flag + " expects a non-negative integer, got '" + v +
+                       "'");
+    return n;
+  };
   for (std::size_t i = 0; i < args.size(); ++i) {
     if (args[i] == "--socket") {
       if (i + 1 >= args.size()) throw UsageError("--socket requires a path");
       socket_path = args[++i];
+    } else if (args[i] == "--deadline-ms") {
+      if (i + 1 >= args.size())
+        throw UsageError("--deadline-ms requires a value");
+      opts.deadline_ms =
+          static_cast<std::uint32_t>(parse_u64("--deadline-ms", args[++i]));
+    } else if (args[i] == "--request-id") {
+      if (i + 1 >= args.size())
+        throw UsageError("--request-id requires a value");
+      opts.request_id = parse_u64("--request-id", args[++i]);
     } else if (!args[i].empty() && args[i][0] == '-') {
       throw UsageError("unknown client flag '" + args[i] + "'");
     } else {
@@ -408,7 +429,8 @@ int cmd_client(const std::vector<std::string>& args) {
     }
   }
   if (pos.empty())
-    throw UsageError("client needs an op: ping|stats|shutdown|submit|run");
+    throw UsageError(
+        "client needs an op: ping|stats|shutdown|submit|run|cancel");
   const std::string& op = pos[0];
 
   auto client = server::Client::connect(socket_path);
@@ -434,10 +456,22 @@ int cmd_client(const std::vector<std::string>& args) {
     std::printf("server at %s is shutting down\n", socket_path.c_str());
     return 0;
   }
+  if (op == "cancel" && pos.size() == 2) {
+    const std::uint64_t target = parse_u64("cancel", pos[1]);
+    auto outcome = c.cancel(target);
+    if (!outcome.ok()) throw SpmvException(std::move(outcome).error());
+    const char* what =
+        outcome.value() == server::CancelReply::Outcome::Running  ? "running"
+        : outcome.value() == server::CancelReply::Outcome::Queued ? "queued"
+                                                                  : "unknown";
+    std::printf("cancel %llu: %s\n", static_cast<unsigned long long>(target),
+                what);
+    return 0;
+  }
   if ((op == "submit" || op == "run") && pos.size() == 2) {
     const CsrMatrix a = load_matrix(pos[1]);
     Timer t;
-    auto sub = c.submit(a);
+    auto sub = c.submit(a, opts);
     if (!sub.ok()) throw SpmvException(std::move(sub).error());
     const double submit_sec = t.elapsed_sec();
     std::printf("submit %s: fingerprint %s, cache %s, plan [%s]\n"
@@ -450,7 +484,7 @@ int cmd_client(const std::vector<std::string>& args) {
 
     const std::vector<value_t> x(static_cast<std::size_t>(a.ncols()), 1.0);
     t.reset();
-    auto y = c.run(sub.value().fp, x);
+    auto y = c.run(sub.value().fp, x, opts);
     if (!y.ok()) throw SpmvException(std::move(y).error());
     double norm = 0.0;
     for (const value_t v : y.value()) norm += v * v;
@@ -459,7 +493,7 @@ int cmd_client(const std::vector<std::string>& args) {
     return 0;
   }
   throw UsageError("client op must be ping|stats|shutdown|submit <matrix>|"
-                   "run <matrix>");
+                   "run <matrix>|cancel <request-id>");
 }
 
 int usage() {
@@ -479,6 +513,8 @@ int usage() {
                "                       [--advisory]\n"
                "  spmvopt_cli client   ping|stats|shutdown [--socket PATH]\n"
                "  spmvopt_cli client   submit|run <matrix> [--socket PATH]\n"
+               "                       [--deadline-ms N] [--request-id N]\n"
+               "  spmvopt_cli client   cancel <request-id> [--socket PATH]\n"
                "<matrix>: *.mtx | *.csrbin | suite:NAME\n");
   return kExitUsage;
 }

@@ -2,13 +2,20 @@
 //
 //   spmvoptd [--socket PATH] [--cache-dir DIR] [--max-bytes N]
 //            [--threads N] [--pin=compact|scatter] [--max-inflight N]
-//            [--shed N]
+//            [--shed N] [--drain-ms N] [--watchdog-ms N]
 //
 // Binds a Unix-domain socket, keeps a persistent ExecutionEngine warm, and
 // serves submit/run/solve requests from any number of clients, amortizing
 // the per-matrix optimization cost (feature extraction, classification,
 // format conversion) across all of them through the fingerprint-keyed plan
-// cache.  SIGINT/SIGTERM (or a client Shutdown request) stop it cleanly.
+// cache.
+//
+// Shutdown paths (DESIGN.md §10): SIGTERM drains gracefully — the listener
+// closes, new frames answer a retryable "draining" error, in-flight jobs get
+// --drain-ms to finish against their own deadlines (then their tokens are
+// cancelled and flushed as typed replies), and the resident cache is flushed
+// to the persistent tier.  SIGINT and a client Shutdown request stop
+// immediately.
 //
 // Exit codes follow BSD sysexits: 0 success, 64 usage, 66 cannot bind.
 #include <atomic>
@@ -35,7 +42,11 @@ int usage() {
       "                [--threads N]       compute team size (default: cores)\n"
       "                [--pin=compact|scatter]  worker affinity\n"
       "                [--max-inflight N]  reject jobs beyond this (def 64)\n"
-      "                [--shed N]          shed submits beyond this (def 32)\n");
+      "                [--shed N]          shed submits beyond this (def 32)\n"
+      "                [--drain-ms N]      SIGTERM grace for in-flight jobs\n"
+      "                                    (default 5000)\n"
+      "                [--watchdog-ms N]   stuck-job sweep interval (def 50;\n"
+      "                                    0 disables the watchdog)\n");
   return kExitUsage;
 }
 
@@ -56,6 +67,7 @@ long long parse_positive(const char* flag, const std::string& value) {
 int main(int argc, char** argv) {
   std::string socket_path = "/tmp/spmvoptd.sock";
   server::ServerConfig cfg;
+  long long drain_ms = 5000;
 
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -91,6 +103,20 @@ int main(int argc, char** argv) {
     } else if (a == "--shed") {
       cfg.shed_in_flight =
           static_cast<int>(parse_positive("--shed", next("--shed")));
+    } else if (a == "--drain-ms") {
+      drain_ms = parse_positive("--drain-ms", next("--drain-ms"));
+    } else if (a == "--watchdog-ms") {
+      const std::string v = next("--watchdog-ms");
+      char* end = nullptr;
+      const long long n = std::strtoll(v.c_str(), &end, 10);
+      if (end == v.c_str() || *end != '\0' || n < 0) {
+        std::fprintf(stderr,
+                     "spmvoptd: --watchdog-ms expects a non-negative "
+                     "integer, got '%s'\n",
+                     v.c_str());
+        return kExitUsage;
+      }
+      cfg.watchdog_poll_ms = static_cast<int>(n);
     } else if (a == "--help" || a == "-h") {
       (void)usage();
       return 0;
@@ -124,9 +150,19 @@ int main(int argc, char** argv) {
                cfg.max_in_flight);
 
   std::atomic<bool> quitting{false};
-  std::thread signal_thread([&sigs, &sock, &quitting] {
+  std::thread signal_thread([&sigs, &sock, &quitting, drain_ms] {
     int sig = 0;
-    if (sigwait(&sigs, &sig) == 0 && !quitting.load())
+    const bool caught = sigwait(&sigs, &sig) == 0 && !quitting.load();
+    if (caught && sig == SIGTERM) {
+      // Graceful drain: finish in-flight work against its deadlines, flush
+      // the persistent cache tier, then stop.
+      std::fprintf(stderr,
+                   "spmvoptd: caught SIGTERM, draining (%lld ms grace)\n",
+                   drain_ms);
+      sock.drain(static_cast<double>(drain_ms) / 1000.0);
+      return;
+    }
+    if (caught)
       std::fprintf(stderr, "spmvoptd: caught signal %d, shutting down\n", sig);
     sock.stop();
   });
