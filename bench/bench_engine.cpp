@@ -11,8 +11,17 @@
 //   * BM_SmallSpmv/...     — the same plan on the same small matrix, engine
 //     vs OpenMP execution, across operand sizes where overhead matters;
 //   * BM_Batch/...         — run_many(nrhs) vs nrhs separate run() calls:
-//     one dispatch amortized over a batch.
+//     one dispatch amortized over a batch;
+//   * BM_DispatchPool      — the same no-op dispatch through a pool-backed
+//     engine (task-group publish + steal + completion handoff), the cost of
+//     concurrent-caller safety relative to the condvar mailbox;
+//   * BM_Contended*        — N caller threads × one machine (UseRealTime):
+//     engines sharing one work-stealing pool vs the serialized-mailbox
+//     arrangement a multi-tenant server would otherwise use.  The pool's
+//     win is aggregate throughput, not per-dispatch latency.
 #include <benchmark/benchmark.h>
+
+#include <mutex>
 
 #include <string>
 #include <vector>
@@ -85,6 +94,61 @@ void BM_DispatchOmp(benchmark::State& state) {
   }
 }
 
+engine::StealPool& shared_pool() {
+  static engine::StealPool pool({.nthreads = 0, .pin = PinPolicy::None});
+  return pool;
+}
+
+engine::ExecutionEngine& pooled_team() {
+  static engine::ExecutionEngine eng(
+      engine::EngineConfig{.pin = PinPolicy::None, .pool = &shared_pool()});
+  return eng;
+}
+
+void BM_DispatchPool(benchmark::State& state) {
+  engine::ExecutionEngine& eng = pooled_team();
+  for (auto _ : state) {
+    eng.parallel([](int, int) {});
+  }
+  state.SetLabel(std::to_string(eng.nthreads()) + " span(s), " +
+                 std::to_string(shared_pool().nworkers()) + " worker(s)");
+}
+
+/// N caller threads, each with a matvec of its own, all sharing ONE pool:
+/// the multi-executor server shape.  Real time, because the metric is how
+/// long N tenants take together.
+void BM_ContendedPool(benchmark::State& state) {
+  Workload& w = workload(1);
+  // Magic static: one thread builds the instance, the rest wait, then all
+  // run() it concurrently — the pooled path's per-call scratch makes that
+  // safe (it is the server's hot-cache-entry case).
+  static const auto spmv =
+      optimize::OptimizedSpmv::create(w.a, {}, pooled_team());
+  std::vector<value_t> y(static_cast<std::size_t>(w.a.nrows()));
+  for (auto _ : state) {
+    spmv.run(w.x.data(), y.data());
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetLabel(std::to_string(state.threads()) + " caller(s), shared pool");
+}
+
+/// The arrangement the pool replaces: one mailbox engine, N callers forced
+/// to serialize every dispatch behind a mutex (concurrent run_team on a
+/// mailbox engine is undefined — this lock is what a server must do).
+void BM_ContendedMailbox(benchmark::State& state) {
+  static std::mutex dispatch_mu;
+  Workload& w = workload(1);
+  static const auto spmv = optimize::OptimizedSpmv::create(w.a, {}, team());
+  std::vector<value_t> y(static_cast<std::size_t>(w.a.nrows()));
+  for (auto _ : state) {
+    std::lock_guard lock(dispatch_mu);
+    spmv.run(w.x.data(), y.data());
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetLabel(std::to_string(state.threads()) +
+                 " caller(s), serialized mailbox");
+}
+
 void BM_SmallSpmv(benchmark::State& state, bool use_engine) {
   Workload& w = workload(static_cast<int>(state.range(0)));
   const optimize::Plan plan;  // baseline balanced-static CSR
@@ -125,6 +189,11 @@ void BM_Batch(benchmark::State& state, bool batched) {
 
 BENCHMARK(BM_DispatchEngine)->Unit(benchmark::kNanosecond);
 BENCHMARK(BM_DispatchOmp)->Unit(benchmark::kNanosecond);
+BENCHMARK(BM_DispatchPool)->Unit(benchmark::kNanosecond);
+BENCHMARK(BM_ContendedPool)
+    ->Threads(1)->Threads(4)->UseRealTime()->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_ContendedMailbox)
+    ->Threads(1)->Threads(4)->UseRealTime()->Unit(benchmark::kMicrosecond);
 BENCHMARK_CAPTURE(BM_SmallSpmv, engine, true)
     ->DenseRange(0, 2)->Unit(benchmark::kMicrosecond);
 BENCHMARK_CAPTURE(BM_SmallSpmv, omp, false)

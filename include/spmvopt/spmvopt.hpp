@@ -39,8 +39,10 @@
 #include "kernels/spmm.hpp"
 #include "kernels/spmv.hpp"
 
-// Persistent, affinity-pinned execution engine + host topology probe.
+// Persistent, affinity-pinned execution engine + host topology probe, and
+// the shared work-stealing pool that backs it for concurrent callers.
 #include "engine/execution_engine.hpp"
+#include "engine/steal_pool.hpp"
 #include "support/topology.hpp"
 
 // Plans, the optimizers, and the plan-bound executor.

@@ -32,6 +32,13 @@ bool pin_self(int cpu) {
 }  // namespace
 
 ExecutionEngine::ExecutionEngine(EngineConfig cfg) : cfg_(cfg) {
+  if (cfg_.pool != nullptr) {
+    // Pool-backed: no private team.  nthreads is the span count per
+    // dispatch; by default one span per pool worker.
+    nthreads_ = cfg_.nthreads > 0 ? cfg_.nthreads : cfg_.pool->nworkers();
+    pinned_cpus_ = cfg_.pool->pinned_cpus();
+    return;
+  }
   nthreads_ = cfg_.nthreads > 0 ? cfg_.nthreads : default_threads();
   spawn_team();
 }
@@ -73,12 +80,22 @@ void ExecutionEngine::join_team() {
   workers_.clear();
 }
 
-ExecutionEngine::~ExecutionEngine() { join_team(); }
+ExecutionEngine::~ExecutionEngine() {
+  if (cfg_.pool == nullptr) join_team();
+}
 
 bool ExecutionEngine::recycle() {
   // The fault fires *before* teardown so an injected respawn failure leaves
   // the old team fully intact — degraded but serviceable, never headless.
   if (robust::fault_fire("engine.team_respawn")) return false;
+  if (cfg_.pool != nullptr) {
+    // Pool-backed: the watchdog semantics delegate to the shared pool.  The
+    // caller guarantees quiescence (no dispatch in flight), same as here.
+    cfg_.pool->recycle();
+    pinned_cpus_ = cfg_.pool->pinned_cpus();
+    ++recycles_;
+    return true;
+  }
   join_team();
   {
     // Reset the mailbox so the fresh workers (whose `seen` restarts at 0)
@@ -120,9 +137,13 @@ void ExecutionEngine::worker_loop(int tid) {
 }
 
 void ExecutionEngine::run_team(TeamFn fn, void* ctx) noexcept {
-  ++dispatches_;
+  dispatches_.fetch_add(1, std::memory_order_relaxed);
   if (nthreads_ == 1) {  // degenerate team: a direct call, no synchronization
     fn(ctx, 0, 1);
+    return;
+  }
+  if (cfg_.pool != nullptr) {
+    cfg_.pool->run_spans(fn, ctx, nthreads_);
     return;
   }
   {

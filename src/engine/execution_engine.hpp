@@ -13,10 +13,21 @@
 // dispatch, so an engine of size 1 degenerates to a direct call with zero
 // synchronization — the fast path for small matrices.
 //
-// Threading contract: one dispatch at a time per engine (run_team blocks
-// until the team is done).  Engines are not thread-safe; share one engine
-// across call sites, not across concurrent callers.  Team functions must not
-// throw and must not dispatch recursively.
+// Threading contract (mailbox mode): one dispatch at a time per engine
+// (run_team blocks until the team is done).  Mailbox engines are not
+// thread-safe; share one engine across call sites, not across concurrent
+// callers.  Team functions must not throw and must not dispatch recursively.
+//
+// Pool-backed mode (DESIGN.md §12): when EngineConfig::pool is set, the
+// engine spawns no private team — every dispatch becomes a task group of
+// nthreads() spans on the shared work-stealing StealPool, and run_team IS
+// thread-safe (N callers' spans interleave on the pool's workers instead of
+// serializing).  The single-caller fast paths are preserved: a size-1
+// dispatch is still a direct call, and mailbox engines are untouched.
+// team_barrier() is forbidden in pool-backed dispatches — spans of one group
+// may execute sequentially on one worker, so an in-dispatch barrier can
+// deadlock; pooled team bodies must be phased (dispatch, join, fix up)
+// instead.
 #pragma once
 
 #include <atomic>
@@ -26,6 +37,7 @@
 #include <thread>
 #include <vector>
 
+#include "engine/steal_pool.hpp"
 #include "support/numa_alloc.hpp"
 #include "support/partition.hpp"
 #include "support/topology.hpp"
@@ -39,6 +51,12 @@ struct EngineConfig {
   /// Pin the calling thread too (it is team member 0).  Off for callers that
   /// must keep their own affinity (e.g. a server's request thread).
   bool pin_main = true;
+  /// Pool-backed mode: run dispatches as task spans on this shared
+  /// work-stealing pool instead of a private mailbox team.  The pool must
+  /// outlive the engine; pin/pin_main are then the pool's concern and
+  /// nthreads only sets the span count (partition granularity), defaulting
+  /// to the pool's worker count.
+  StealPool* pool = nullptr;
 };
 
 class ExecutionEngine {
@@ -51,6 +69,10 @@ class ExecutionEngine {
 
   [[nodiscard]] int nthreads() const noexcept { return nthreads_; }
   [[nodiscard]] PinPolicy pin_policy() const noexcept { return cfg_.pin; }
+  /// True when dispatches run on a shared StealPool (concurrent-caller
+  /// safe, but team_barrier() is forbidden inside dispatches).
+  [[nodiscard]] bool pooled() const noexcept { return cfg_.pool != nullptr; }
+  [[nodiscard]] StealPool* pool() const noexcept { return cfg_.pool; }
   /// CPU id each team member was pinned to; empty when policy is None or
   /// pinning failed (non-Linux, restricted cgroup).
   [[nodiscard]] const std::vector<int>& pinned_cpus() const noexcept {
@@ -58,7 +80,7 @@ class ExecutionEngine {
   }
   /// Dispatches served since construction (stats for bench/CLI output).
   [[nodiscard]] std::uint64_t dispatch_count() const noexcept {
-    return dispatches_;
+    return dispatches_.load(std::memory_order_relaxed);
   }
   /// Successful recycle() calls (the server's self-healing counter).
   [[nodiscard]] std::uint64_t recycle_count() const noexcept {
@@ -91,7 +113,9 @@ class ExecutionEngine {
   }
 
   /// In-dispatch barrier: every team member must call it the same number of
-  /// times.  Valid only inside a team function.
+  /// times.  Valid only inside a team function, and only in mailbox mode —
+  /// a pool-backed dispatch may run several spans on one worker, so a
+  /// barrier inside one would deadlock.
   void team_barrier() noexcept;
 
   /// A zero-filled value vector whose pages were first-touched by the team,
@@ -111,7 +135,8 @@ class ExecutionEngine {
   EngineConfig cfg_;
   int nthreads_ = 1;
   std::vector<int> pinned_cpus_;
-  std::uint64_t dispatches_ = 0;
+  /// Atomic because pool-backed engines accept concurrent run_team calls.
+  std::atomic<std::uint64_t> dispatches_{0};
   std::uint64_t recycles_ = 0;
 
   // Dispatch mailbox: `generation_` bumps under `mutex_` after `fn_`/`ctx_`

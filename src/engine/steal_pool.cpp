@@ -1,0 +1,393 @@
+#include "engine/steal_pool.hpp"
+
+#include <bit>
+#include <chrono>
+
+#include "support/cpu_info.hpp"
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace spmvopt::engine {
+
+namespace {
+
+bool pin_self(int cpu) {
+#if defined(__linux__)
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(static_cast<unsigned>(cpu), &set);
+  return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+#else
+  (void)cpu;
+  return false;
+#endif
+}
+
+void cpu_pause() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#else
+  std::this_thread::yield();
+#endif
+}
+
+/// The per-slot victim-selection stream: a pure function of (seed, slot),
+/// shared between the pool and steal_schedule() so tests replay exactly
+/// what the pool does.
+Xoshiro256 victim_stream(std::uint64_t seed, int self) {
+  return Xoshiro256(seed ^ (0x9E3779B97F4A7C15ull *
+                            static_cast<std::uint64_t>(self + 1)));
+}
+
+int next_victim(Xoshiro256& rng, int ndeques, int self) {
+  if (ndeques <= 1) return self;
+  int v = static_cast<int>(rng.bounded(static_cast<std::uint64_t>(ndeques - 1)));
+  if (v >= self) ++v;  // uniform over the other ndeques-1 slots
+  return v;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------- ChaseLevDeque
+//
+// The Lê/Antoniu/Cohen/Zappa Nardelli C11 algorithm, with the standalone
+// fences replaced by equivalent-or-stronger orderings on top_/bottom_
+// themselves: TSan does not model thread fences, but it tracks
+// release/acquire pairs on the atomic objects precisely — and the
+// happens-before edge thieves need (owner's ring-slot publication ->
+// bottom_ release store -> thief's acquire load) is exactly such a pair.
+
+ChaseLevDeque::ChaseLevDeque(std::size_t initial_capacity) {
+  const std::size_t cap = std::bit_ceil(initial_capacity < 2u
+                                            ? std::size_t{2}
+                                            : initial_capacity);
+  rings_.push_back(std::make_unique<Ring>(cap));
+  ring_.store(rings_.back().get(), std::memory_order_relaxed);
+}
+
+ChaseLevDeque::Ring* ChaseLevDeque::grow(Ring* old, std::int64_t bottom,
+                                         std::int64_t top) {
+  rings_.push_back(std::make_unique<Ring>((old->mask + 1) * 2));
+  Ring* nr = rings_.back().get();
+  for (std::int64_t i = top; i < bottom; ++i) nr->store(i, old->load(i));
+  // The old ring stays in rings_ until destruction: a thief that loaded it
+  // before this store may still read a slot, and [top, bottom) is identical
+  // in both rings, so either its CAS fails or the value is correct.
+  ring_.store(nr, std::memory_order_release);
+  return nr;
+}
+
+void ChaseLevDeque::push(std::uint64_t w) {
+  const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+  const std::int64_t t = top_.load(std::memory_order_acquire);
+  Ring* r = ring_.load(std::memory_order_relaxed);
+  if (b - t > static_cast<std::int64_t>(r->mask)) r = grow(r, b, t);
+  r->store(b, w);
+  bottom_.store(b + 1, std::memory_order_seq_cst);  // publish to thieves
+}
+
+bool ChaseLevDeque::pop(std::uint64_t& out) {
+  const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+  Ring* r = ring_.load(std::memory_order_relaxed);
+  bottom_.store(b, std::memory_order_seq_cst);
+  std::int64_t t = top_.load(std::memory_order_seq_cst);
+  if (t <= b) {
+    out = r->load(b);
+    if (t == b) {
+      // Last element: race any thief for it via the top CAS.
+      const bool won = top_.compare_exchange_strong(
+          t, t + 1, std::memory_order_seq_cst, std::memory_order_relaxed);
+      bottom_.store(b + 1, std::memory_order_relaxed);
+      return won;
+    }
+    return true;
+  }
+  bottom_.store(b + 1, std::memory_order_relaxed);  // was empty; restore
+  return false;
+}
+
+ChaseLevDeque::Steal ChaseLevDeque::steal(std::uint64_t& out) {
+  std::int64_t t = top_.load(std::memory_order_seq_cst);
+  const std::int64_t b = bottom_.load(std::memory_order_seq_cst);
+  if (t >= b) return Steal::Empty;
+  Ring* r = ring_.load(std::memory_order_acquire);
+  out = r->load(t);
+  if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                    std::memory_order_relaxed))
+    return Steal::Lost;
+  return Steal::Ok;
+}
+
+std::int64_t ChaseLevDeque::size_estimate() const noexcept {
+  return bottom_.load(std::memory_order_relaxed) -
+         top_.load(std::memory_order_relaxed);
+}
+
+// -------------------------------------------------------------- StealPool
+
+StealPool::StealPool(StealPoolConfig cfg) : cfg_(cfg) {
+  nworkers_ = cfg_.nthreads > 0 ? cfg_.nthreads : default_threads();
+  if (cfg_.max_submitters < 1) cfg_.max_submitters = 1;
+  if (cfg_.max_submitters > 32) cfg_.max_submitters = 32;
+  if (cfg_.spin_sweeps < 1) cfg_.spin_sweeps = 1;
+  ndeques_ = nworkers_ + cfg_.max_submitters;
+  deques_.reserve(static_cast<std::size_t>(ndeques_));
+  for (int i = 0; i < ndeques_; ++i)
+    deques_.push_back(std::make_unique<ChaseLevDeque>());
+  submitter_free_.store(cfg_.max_submitters == 32
+                            ? ~0u
+                            : (1u << cfg_.max_submitters) - 1u,
+                        std::memory_order_relaxed);
+  spawn_workers();
+}
+
+StealPool::~StealPool() { join_workers(); }
+
+void StealPool::spawn_workers() {
+  std::vector<int> cpus = pin_cpus(topology(), cfg_.pin, nworkers_);
+  workers_.reserve(static_cast<std::size_t>(nworkers_));
+  for (int slot = 0; slot < nworkers_; ++slot)
+    workers_.emplace_back([this, slot] { worker_loop(slot); });
+  bool pinned_ok = !cpus.empty();
+  if (pinned_ok) {
+#if defined(__linux__)
+    for (int slot = 0; slot < nworkers_; ++slot) {
+      cpu_set_t set;
+      CPU_ZERO(&set);
+      CPU_SET(static_cast<unsigned>(cpus[static_cast<std::size_t>(slot)]),
+              &set);
+      if (pthread_setaffinity_np(
+              workers_[static_cast<std::size_t>(slot)].native_handle(),
+              sizeof(set), &set) != 0)
+        pinned_ok = false;
+    }
+#else
+    pinned_ok = false;
+#endif
+  }
+  if (pinned_ok) pinned_cpus_ = std::move(cpus);
+  (void)pin_self;  // non-Linux builds
+}
+
+void StealPool::join_workers() {
+  {
+    std::lock_guard<std::mutex> lk(park_mu_);
+    stop_.store(true, std::memory_order_seq_cst);
+  }
+  park_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+  workers_.clear();
+}
+
+void StealPool::recycle() {
+  // Contract: no run_spans in flight (every group completed), so all
+  // deques are empty and the fresh workers start from a clean slate.
+  join_workers();
+  stop_.store(false, std::memory_order_seq_cst);
+  pinned_cpus_.clear();
+  spawn_workers();
+  recycles_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::vector<int> StealPool::steal_schedule(std::uint64_t seed, int self,
+                                           int ndeques, int count) {
+  Xoshiro256 rng = victim_stream(seed, self);
+  std::vector<int> out;
+  out.reserve(static_cast<std::size_t>(count < 0 ? 0 : count));
+  for (int i = 0; i < count; ++i) out.push_back(next_victim(rng, ndeques, self));
+  return out;
+}
+
+StealPoolStats StealPool::stats() const noexcept {
+  StealPoolStats s;
+  s.workers = nworkers_;
+  s.dispatches = dispatches_.load(std::memory_order_relaxed);
+  s.inline_runs = inline_runs_.load(std::memory_order_relaxed);
+  s.tasks = tasks_.load(std::memory_order_relaxed);
+  s.steals = steals_.load(std::memory_order_relaxed);
+  s.failed_steals = failed_steals_.load(std::memory_order_relaxed);
+  s.parks = parks_.load(std::memory_order_relaxed);
+  s.wakes = wakes_.load(std::memory_order_relaxed);
+  s.recycles = recycles_.load(std::memory_order_relaxed);
+  return s;
+}
+
+int StealPool::acquire_submitter_slot() noexcept {
+  std::uint32_t m = submitter_free_.load(std::memory_order_relaxed);
+  while (m != 0) {
+    const int bit = std::countr_zero(m);
+    if (submitter_free_.compare_exchange_weak(m, m & ~(1u << bit),
+                                              std::memory_order_acquire,
+                                              std::memory_order_relaxed))
+      return nworkers_ + bit;
+  }
+  return -1;
+}
+
+void StealPool::release_submitter_slot(int slot) noexcept {
+  submitter_free_.fetch_or(1u << (slot - nworkers_),
+                           std::memory_order_release);
+}
+
+void StealPool::push_word(int self, TaskGroup* g) {
+  // pending_ rises before the word is visible: a momentarily-too-high count
+  // only costs a waker a spin, while too-low could strand a parked worker.
+  pending_.fetch_add(1, std::memory_order_seq_cst);
+  deques_[static_cast<std::size_t>(self)]->push(
+      reinterpret_cast<std::uint64_t>(g));
+  maybe_wake();
+}
+
+void StealPool::maybe_wake() {
+  if (parked_.load(std::memory_order_seq_cst) == 0) return;
+  // Empty critical section: a worker between its parked_ increment and its
+  // wait() holds park_mu_, so acquiring it here orders this notify after
+  // the wait entry (or the worker re-checks pending_ and never sleeps).
+  { std::lock_guard<std::mutex> lk(park_mu_); }
+  park_cv_.notify_all();
+  wakes_.fetch_add(1, std::memory_order_relaxed);
+}
+
+bool StealPool::acquire(int self, Xoshiro256& rng, std::uint64_t& out) {
+  if (deques_[static_cast<std::size_t>(self)]->pop(out)) {
+    pending_.fetch_sub(1, std::memory_order_seq_cst);
+    return true;
+  }
+  // One randomized sweep: ndeques-1 probes.  Lost CAS races count as
+  // failures and simply move on — the word went to whoever won it.
+  for (int i = 1; i < ndeques_; ++i) {
+    const int victim = next_victim(rng, ndeques_, self);
+    switch (deques_[static_cast<std::size_t>(victim)]->steal(out)) {
+      case ChaseLevDeque::Steal::Ok:
+        pending_.fetch_sub(1, std::memory_order_seq_cst);
+        steals_.fetch_add(1, std::memory_order_relaxed);
+        return true;
+      case ChaseLevDeque::Steal::Lost:
+      case ChaseLevDeque::Steal::Empty:
+        failed_steals_.fetch_add(1, std::memory_order_relaxed);
+        break;
+    }
+  }
+  return false;
+}
+
+void StealPool::consume(int self, std::uint64_t w) {
+  auto* g = reinterpret_cast<TaskGroup*>(w);
+  const int span = g->next.fetch_add(1, std::memory_order_relaxed);
+  if (span < g->nspans) {
+    // Clone-before-execute: while unclaimed spans remain, at least one live
+    // word must exist somewhere, or a span could be lost.  Two clones make
+    // the fan-out a binary tree; a clone that arrives after all spans are
+    // claimed takes the span >= nspans branch and dies without effect.
+    const int unclaimed = g->nspans - g->next.load(std::memory_order_relaxed);
+    const int clones = unclaimed >= 2 ? 2 : (unclaimed == 1 ? 1 : 0);
+    for (int i = 0; i < clones; ++i) {
+      g->live.fetch_add(1, std::memory_order_relaxed);
+      push_word(self, g);
+    }
+    g->fn(g->ctx, span, g->nspans);
+    tasks_.fetch_add(1, std::memory_order_relaxed);
+  }
+  // Release this word's (and span's) liveness.  acq_rel: the submitter's
+  // acquire load of live==0 must see every span's writes, and the RMW chain
+  // extends each finisher's release sequence to that final value.  The
+  // group is stack memory in the submitter — never touch g after this.
+  if (g->live.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    // Pool-level completion handoff (see header): lock-then-unlock orders
+    // the notify after any submitter's wait entry without touching g.
+    { std::lock_guard<std::mutex> lk(completion_mu_); }
+    completion_cv_.notify_all();
+  }
+}
+
+void StealPool::run_spans(SpanFn fn, void* ctx, int nspans) noexcept {
+  dispatches_.fetch_add(1, std::memory_order_relaxed);
+  if (nspans <= 0) return;
+  if (nspans == 1) {  // degenerate group: a direct call, no pool traffic
+    fn(ctx, 0, 1);
+    tasks_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  const int slot = acquire_submitter_slot();
+  if (slot < 0) {
+    // More concurrent submitters than slots: run inline.  Correct and
+    // bounded — the machine is already saturated with pool participants.
+    inline_runs_.fetch_add(1, std::memory_order_relaxed);
+    for (int s = 0; s < nspans; ++s) fn(ctx, s, nspans);
+    tasks_.fetch_add(static_cast<std::uint64_t>(nspans),
+                     std::memory_order_relaxed);
+    return;
+  }
+
+  TaskGroup g{fn, ctx, nspans};
+  Xoshiro256 rng = victim_stream(cfg_.seed, slot);
+  push_word(slot, &g);
+
+  // Participate until our group completes: drain our own deque (mostly our
+  // group's clones), steal to help, and only then sleep.  The bounded wait
+  // re-polls so a word that appears after a failed sweep still gets help.
+  int idle = 0;
+  while (g.live.load(std::memory_order_acquire) != 0) {
+    std::uint64_t w;
+    if (acquire(slot, rng, w)) {
+      consume(slot, w);
+      idle = 0;
+      continue;
+    }
+    if (++idle < 4) {
+      std::this_thread::yield();
+      continue;
+    }
+    std::unique_lock<std::mutex> lk(completion_mu_);
+    completion_cv_.wait_for(lk, std::chrono::milliseconds(1), [&g] {
+      return g.live.load(std::memory_order_acquire) == 0;
+    });
+  }
+  release_submitter_slot(slot);
+}
+
+void StealPool::worker_loop(int slot) {
+  Xoshiro256 rng = victim_stream(cfg_.seed, slot);
+  int sweeps = 0;
+  for (;;) {
+    std::uint64_t w;
+    if (acquire(slot, rng, w)) {
+      consume(slot, w);
+      sweeps = 0;
+      continue;
+    }
+    if (stop_.load(std::memory_order_relaxed)) return;
+    if (++sweeps < cfg_.spin_sweeps) {
+      // Exponential backoff while spinning: cheap pauses first, then yield
+      // so an oversubscribed host (spans > cores) keeps making progress.
+      const int pauses = 1 << (sweeps < 6 ? sweeps : 6);
+      for (int i = 0; i < pauses; ++i) cpu_pause();
+      std::this_thread::yield();
+      continue;
+    }
+    {
+      std::unique_lock<std::mutex> lk(park_mu_);
+      // Dekker handshake with push_word: parked_ rises before the pending_
+      // re-check, and the pusher bumps pending_ before reading parked_ —
+      // under seq_cst one of the two must observe the other.
+      parked_.fetch_add(1, std::memory_order_seq_cst);
+      if (!stop_.load(std::memory_order_relaxed) &&
+          pending_.load(std::memory_order_seq_cst) == 0) {
+        parks_.fetch_add(1, std::memory_order_relaxed);
+        park_cv_.wait(lk, [this] {
+          return stop_.load(std::memory_order_relaxed) ||
+                 pending_.load(std::memory_order_seq_cst) != 0;
+        });
+      }
+      parked_.fetch_sub(1, std::memory_order_seq_cst);
+    }
+    sweeps = 0;
+  }
+}
+
+}  // namespace spmvopt::engine

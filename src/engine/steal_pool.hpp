@@ -1,0 +1,233 @@
+// StealPool: a nonblocking work-stealing thread pool the engine's team
+// bodies run on when many callers must share one machine (DESIGN.md §12).
+//
+// The condvar-mailbox ExecutionEngine is the fastest possible shape for ONE
+// caller: a ~4 ns dispatch to a private pinned team.  A server has M
+// concurrent executors, and M private teams either fight over the same
+// cores or serialize behind one.  The pool inverts the ownership: one set
+// of workers (pinned once, via the same support/topology path as the
+// engine), and every dispatch becomes a *task group* of N spans that any
+// worker — or the submitting caller itself — may claim and execute.
+//
+// Structure (the Chase-Lev formulation, in the C11 weak-memory-correct
+// version of Lê/Antoniu/Cohen/Zappa Nardelli, PPoPP'13):
+//
+//   * one lock-free deque per participant — every worker AND every
+//     registered submitter slot owns one.  Owners push/pop 64-bit task
+//     words LIFO at the bottom; thieves steal FIFO at the top with a CAS.
+//   * a task word is a pointer to a TaskGroup; consuming a word claims one
+//     span via an atomic cursor (`next.fetch_add`), which makes exact-once
+//     span execution a structural invariant rather than a protocol to keep.
+//   * fan-out is by lazy cloning: a consumer that observes unclaimed spans
+//     pushes up to two copies of the word onto its own deque before
+//     executing its span.  Words spread as a binary tree, idle workers
+//     steal them, and a word that arrives after all spans are claimed dies
+//     quietly.  The group's `live` count (outstanding words + running
+//     spans) reaches zero exactly when every span has finished.
+//   * idle policy is spin-then-park: a worker that fails a few full steal
+//     sweeps backs off exponentially (yield) and finally parks on a
+//     condvar, but only after re-checking the global pending-word count
+//     under the park mutex — the submitter's increment-then-notify order
+//     makes the lost-wakeup race impossible.
+//   * victim selection is a per-slot xoshiro256** stream seeded from
+//     (config seed ^ slot), so a failing interleaving replays: the exact
+//     probe order of every participant is a pure function of the seed
+//     (steal_schedule() exposes it to tests).
+//
+// Contracts: span functions must not throw and must not call run_spans on
+// the same pool (spans may serialize on one worker — a nested dispatch or
+// an in-span barrier can deadlock; the engine's team_barrier is therefore
+// forbidden in pool-backed dispatches).  recycle() and destruction require
+// that no run_spans call is in flight.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "support/rng.hpp"
+#include "support/topology.hpp"
+
+namespace spmvopt::engine {
+
+/// Lock-free single-owner deque of 64-bit task words (Chase-Lev).  The
+/// owner pushes and pops at the bottom; any other thread steals at the top.
+/// Growth is owner-only; retired rings are kept until destruction so racing
+/// thieves never read freed memory.
+class ChaseLevDeque {
+ public:
+  explicit ChaseLevDeque(std::size_t initial_capacity = 64);
+
+  ChaseLevDeque(const ChaseLevDeque&) = delete;
+  ChaseLevDeque& operator=(const ChaseLevDeque&) = delete;
+
+  /// Owner only: append at the bottom (grows when full).
+  void push(std::uint64_t w);
+
+  /// Owner only: LIFO pop from the bottom; false when empty.  The
+  /// last-element race against a thief is resolved by a CAS on top — the
+  /// word is consumed exactly once.
+  [[nodiscard]] bool pop(std::uint64_t& out);
+
+  enum class Steal { Ok, Empty, Lost };
+
+  /// Any thread: FIFO steal from the top.  Lost means another thief (or the
+  /// owner, on the last element) won the CAS — worth retrying elsewhere.
+  [[nodiscard]] Steal steal(std::uint64_t& out);
+
+  /// Owner-observed size estimate (exact for the owner, racy for others).
+  [[nodiscard]] std::int64_t size_estimate() const noexcept;
+
+ private:
+  struct Ring {
+    explicit Ring(std::size_t cap) : mask(cap - 1), slots(cap) {}
+    std::size_t mask;
+    std::vector<std::atomic<std::uint64_t>> slots;
+    std::uint64_t& at(std::int64_t) = delete;  // use load/store below
+    [[nodiscard]] std::uint64_t load(std::int64_t i) const noexcept {
+      return slots[static_cast<std::size_t>(i) & mask].load(
+          std::memory_order_relaxed);
+    }
+    void store(std::int64_t i, std::uint64_t w) noexcept {
+      slots[static_cast<std::size_t>(i) & mask].store(
+          w, std::memory_order_relaxed);
+    }
+  };
+
+  Ring* grow(Ring* old, std::int64_t bottom, std::int64_t top);
+
+  std::atomic<std::int64_t> top_{0};
+  std::atomic<std::int64_t> bottom_{0};
+  std::atomic<Ring*> ring_;
+  std::vector<std::unique_ptr<Ring>> rings_;  ///< current + retired (owner)
+};
+
+struct StealPoolConfig {
+  int nthreads = 0;  ///< worker count; <= 0 means default_threads()
+  PinPolicy pin = PinPolicy::None;
+  /// Seed of every participant's victim-selection stream; the probe order
+  /// of slot s is a pure function of (seed ^ s), so failures replay.
+  std::uint64_t seed = 0x9E3779B97F4A7C15ull;
+  /// Concurrent external callers that get their own deque slot; callers
+  /// beyond this run their spans inline (correct, just unshared).
+  int max_submitters = 16;
+  /// Failed full steal sweeps before an idle worker parks.
+  int spin_sweeps = 32;
+};
+
+/// Aggregate counters (monotonic since construction; relaxed reads).
+struct StealPoolStats {
+  int workers = 0;
+  std::uint64_t dispatches = 0;     ///< run_spans calls (incl. inline)
+  std::uint64_t inline_runs = 0;    ///< saturated-submitter serial fallbacks
+  std::uint64_t tasks = 0;          ///< spans executed
+  std::uint64_t steals = 0;         ///< successful steals
+  std::uint64_t failed_steals = 0;  ///< probes that found nothing / lost CAS
+  std::uint64_t parks = 0;          ///< worker park transitions
+  std::uint64_t wakes = 0;          ///< push-side notify rounds issued
+  std::uint64_t recycles = 0;       ///< successful recycle() calls
+};
+
+class StealPool {
+ public:
+  explicit StealPool(StealPoolConfig cfg = {});
+  ~StealPool();
+
+  StealPool(const StealPool&) = delete;
+  StealPool& operator=(const StealPool&) = delete;
+
+  [[nodiscard]] int nworkers() const noexcept { return nworkers_; }
+  [[nodiscard]] const std::vector<int>& pinned_cpus() const noexcept {
+    return pinned_cpus_;
+  }
+  [[nodiscard]] StealPoolStats stats() const noexcept;
+
+  /// Run `fn(ctx, span, nspans)` for every span in [0, nspans), on whichever
+  /// participants claim them, and return when all have finished.  The caller
+  /// participates: it seeds its own deque slot, executes spans, and steals
+  /// while waiting.  Safe to call from many threads concurrently — that is
+  /// the point.  Must not be called from inside a span.
+  using SpanFn = void (*)(void* ctx, int span, int nspans);
+  void run_spans(SpanFn fn, void* ctx, int nspans) noexcept;
+
+  /// Self-healing counterpart of ExecutionEngine::recycle(): join every
+  /// worker and re-spawn + re-pin a fresh set.  Caller must guarantee no
+  /// run_spans is in flight (the server quiesces its executors first).
+  void recycle();
+
+  /// The deterministic steal schedule: the first `count` victim deque slots
+  /// participant `self` probes in a pool with `ndeques` deques under `seed`.
+  /// Exposed so tests can replay and assert the exact probe order the pool
+  /// will use.
+  [[nodiscard]] static std::vector<int> steal_schedule(std::uint64_t seed,
+                                                       int self, int ndeques,
+                                                       int count);
+
+ private:
+  /// One dispatch: `next` claims spans exactly once; `live` counts
+  /// outstanding task words plus running spans and hits zero exactly at
+  /// completion (while any span is unclaimed, at least one live word
+  /// exists — the clone-before-execute rule maintains it).
+  struct TaskGroup {
+    SpanFn fn;
+    void* ctx;
+    int nspans;
+    std::atomic<int> next{0};
+    std::atomic<int> live{1};  ///< the initial word
+  };
+
+  void worker_loop(int slot);
+  void spawn_workers();
+  void join_workers();
+  /// Claim one word from our own deque, else steal; false when nothing is
+  /// visible anywhere right now.
+  [[nodiscard]] bool acquire(int self, Xoshiro256& rng, std::uint64_t& out);
+  /// Execute one consumed word: claim a span, clone for fan-out, run.
+  void consume(int self, std::uint64_t w);
+  void push_word(int self, TaskGroup* g);
+  void maybe_wake();
+  [[nodiscard]] int acquire_submitter_slot() noexcept;
+  void release_submitter_slot(int slot) noexcept;
+
+  StealPoolConfig cfg_;
+  int nworkers_ = 1;
+  int ndeques_ = 2;  ///< nworkers_ + max_submitters
+  std::vector<int> pinned_cpus_;
+  std::vector<std::unique_ptr<ChaseLevDeque>> deques_;
+  std::vector<std::thread> workers_;
+
+  /// Free submitter slots as a bitmask (bit i = slot nworkers_+i free).
+  std::atomic<std::uint32_t> submitter_free_{0};
+
+  /// Task words currently in deques (approximate from the outside, exact
+  /// protocol-wise: incremented before push, decremented after a
+  /// successful pop/steal).  Workers park only when it reads zero.
+  std::atomic<std::int64_t> pending_{0};
+  std::atomic<bool> stop_{false};
+
+  std::mutex park_mu_;
+  std::condition_variable park_cv_;
+  std::atomic<int> parked_{0};
+
+  /// Completion handoff: the last decrement of a group's `live` notifies
+  /// here.  Pool-level (not group-level) so the notifier never touches
+  /// group memory after its final decrement — the submitter may already
+  /// have destroyed the stack-allocated group.
+  std::mutex completion_mu_;
+  std::condition_variable completion_cv_;
+
+  std::atomic<std::uint64_t> dispatches_{0};
+  std::atomic<std::uint64_t> inline_runs_{0};
+  std::atomic<std::uint64_t> tasks_{0};
+  std::atomic<std::uint64_t> steals_{0};
+  std::atomic<std::uint64_t> failed_steals_{0};
+  std::atomic<std::uint64_t> parks_{0};
+  std::atomic<std::uint64_t> wakes_{0};
+  std::atomic<std::uint64_t> recycles_{0};
+};
+
+}  // namespace spmvopt::engine

@@ -305,6 +305,10 @@ void OptimizedSpmv::engine_body(int tid, int nt, const value_t* x,
 
 void OptimizedSpmv::run(const value_t* x, value_t* y) const noexcept {
   if (engine_ != nullptr) {
+    if (engine_->pooled()) {
+      pooled_run(x, y);
+      return;
+    }
     if (cursor_) cursor_->store(0, std::memory_order_relaxed);
     engine_->parallel(
         [this, x, y](int tid, int nt) { engine_body(tid, nt, x, y); });
@@ -342,6 +346,14 @@ void OptimizedSpmv::run_many(const value_t* X, value_t* Y,
     for (int r = 0; r < nrhs; ++r)
       run(X + static_cast<std::size_t>(r) * ncols_,
           Y + static_cast<std::size_t>(r) * nrows_);
+    return;
+  }
+  if (engine_->pooled()) {
+    // Pool-backed: one task group per item (no cursor re-arm barriers; pool
+    // dispatch is cheap and per-item groups keep the batch stealable).
+    for (int r = 0; r < nrhs; ++r)
+      pooled_run(X + static_cast<std::size_t>(r) * ncols_,
+                 Y + static_cast<std::size_t>(r) * nrows_);
     return;
   }
   // One dispatch for the whole batch: the team stays resident across the
@@ -502,6 +514,241 @@ void OptimizedSpmv::cancellable_body(int tid, int nt, const value_t* x,
   }
 }
 
+void OptimizedSpmv::pooled_run(const value_t* x, value_t* y) const noexcept {
+  engine::ExecutionEngine& eng = *engine_;
+
+  if (bcsr_ || sell_) {
+    // Disjoint chunk/block-row slices — already barrier-free.
+    eng.parallel([this, x, y](int tid, int) {
+      if (bcsr_)
+        kernels::spmv_bcsr_block_rows(*bcsr_, ext_part_.bounds[tid],
+                                      ext_part_.bounds[tid + 1], x, y);
+      else
+        kernels::spmv_sell_chunks(*sell_, ext_part_.bounds[tid],
+                                  ext_part_.bounds[tid + 1], x, y);
+    });
+    return;
+  }
+
+  if (merge_fn_ != nullptr) {
+    // Phased merge: spans in parallel into a per-call carry, then the caller
+    // folds the carries in serially after the join (the in-dispatch barrier +
+    // member-0 fix-up of the mailbox path is illegal on a pool).
+    const int p = merge_part_.nworkers();
+    kernels::MergeCarry carry;
+    carry.resize(p);
+    index_t* crow = carry.row.data();
+    value_t* cval = carry.val.data();
+    eng.parallel([this, x, y, crow, cval, p](int tid, int nt) {
+      for (int k = tid; k < p; k += nt)
+        merge_fn_(rp_, ci_, va_, merge_part_, k, x, y, crow, cval, pf_dist_);
+    });
+    kernels::merge_fixup(p, merge_part_.nrows, crow, cval, y);
+    return;
+  }
+
+  // Phase 1: CSR / delta / split-short rows.  Dynamic/guided scheduling uses
+  // a per-call cursor (not the shared cursor_) so concurrent run() calls on
+  // one instance never fight over chunk hand-out state.
+  if (plan_.sched == kernels::Sched::BalancedStatic) {
+    eng.parallel([this, x, y](int tid, int) {
+      const index_t lo = part_.bounds[tid];
+      const index_t hi = part_.bounds[tid + 1];
+      if (delta_)
+        delta_range_fn_(*delta_, lo, hi, x, y, pf_dist_);
+      else
+        csr_range_fn_(rp_, ci_, va_, lo, hi, x, y, pf_dist_);
+    });
+  } else {
+    std::atomic<index_t> cur{0};
+    eng.parallel([this, x, y, &cur](int, int nt) {
+      const index_t n = nrows_;
+      const index_t chunk =
+          plan_.sched == kernels::Sched::Dynamic
+              ? std::max<index_t>(1, static_cast<index_t>(plan_.dynamic_chunk))
+              : std::max<index_t>(64, n / (static_cast<index_t>(nt) * 16));
+      for (;;) {
+        const index_t lo = cur.fetch_add(chunk, std::memory_order_relaxed);
+        if (lo >= n) break;
+        const index_t hi = std::min<index_t>(n, lo + chunk);
+        if (delta_)
+          delta_range_fn_(*delta_, lo, hi, x, y, pf_dist_);
+        else
+          csr_range_fn_(rp_, ci_, va_, lo, hi, x, y, pf_dist_);
+      }
+    });
+  }
+  if (!split_) return;
+
+  // Phase 2: every span computes its column slice of every long row into a
+  // per-call L×nt scratch; the caller reduces each row in tid-ascending order
+  // after the join — the same summation order as the mailbox path, so the
+  // result stays bitwise identical.
+  const index_t L = split_->num_long_rows();
+  const index_t* lrows = split_->long_rows();
+  const index_t* lrowptr = split_->long_rowptr();
+  const index_t* lcolind = split_->long_colind();
+  const value_t* lvals = split_->long_values();
+  const int nt = eng.nthreads();
+  aligned_vector<value_t> partials(
+      static_cast<std::size_t>(L) * static_cast<std::size_t>(nt), 0.0);
+  value_t* part = partials.data();
+  eng.parallel([&, x](int tid, int ntl) {
+    for (index_t k = 0; k < L; ++k) {
+      const index_t lo = lrowptr[k];
+      const index_t hi = lrowptr[k + 1];
+      const index_t per = (hi - lo + ntl - 1) / ntl;
+      const index_t jlo = std::min<index_t>(hi, lo + tid * per);
+      const index_t jhi = std::min<index_t>(hi, jlo + per);
+      part[static_cast<std::size_t>(k) * static_cast<std::size_t>(ntl) + tid] =
+          kernels::long_row_partial(lcolind, lvals, jlo, jhi, x);
+    }
+  });
+  for (index_t k = 0; k < L; ++k) {
+    value_t sum = 0.0;
+    for (int t = 0; t < nt; ++t)
+      sum += part[static_cast<std::size_t>(k) * static_cast<std::size_t>(nt) +
+                  t];
+    y[lrows[k]] = sum;
+  }
+}
+
+void OptimizedSpmv::pooled_cancellable(const value_t* x, value_t* y,
+                                       CancelCtx& c) const noexcept {
+  // Same sticky-flag poll as cancellable_body.  The poll sits *inside* every
+  // span body at kCancelChunkRows granularity: a dispatch whose spans are
+  // stolen across pool workers still observes a trip within one chunk, not
+  // one partition (the stolen-sub-span granularity fix, DESIGN.md §12).
+  const auto tripped = [&c]() noexcept {
+    if (c.aborted.load(std::memory_order_relaxed)) return true;
+    if (c.tok.cancelled()) {
+      c.aborted.store(true, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  };
+  engine::ExecutionEngine& eng = *engine_;
+
+  if (bcsr_ || sell_) {
+    eng.parallel([&, this, x, y](int tid, int) {
+      const index_t quantum = std::max<index_t>(1, kCancelChunkRows / 8);
+      index_t lo = ext_part_.bounds[tid];
+      const index_t end = ext_part_.bounds[tid + 1];
+      while (lo < end) {
+        if (tripped()) return;
+        const index_t hi = std::min<index_t>(end, lo + quantum);
+        if (bcsr_)
+          kernels::spmv_bcsr_block_rows(*bcsr_, lo, hi, x, y);
+        else
+          kernels::spmv_sell_chunks(*sell_, lo, hi, x, y);
+        c.done.fetch_add(hi - lo, std::memory_order_relaxed);
+        lo = hi;
+      }
+    });
+    return;
+  }
+
+  if (merge_fn_ != nullptr) {
+    const int p = merge_part_.nworkers();
+    kernels::MergeCarry carry;
+    carry.resize(p);
+    index_t* crow = carry.row.data();
+    value_t* cval = carry.val.data();
+    eng.parallel([&, this, x, y](int tid, int nt) {
+      for (int k = tid; k < p; k += nt) {
+        if (tripped()) break;
+        merge_fn_(rp_, ci_, va_, merge_part_, k, x, y, crow, cval, pf_dist_);
+        c.done.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+    // Fix-up only on a clean join; an aborted y is discarded anyway.
+    if (!c.aborted.load(std::memory_order_relaxed))
+      kernels::merge_fixup(p, merge_part_.nrows, crow, cval, y);
+    return;
+  }
+
+  // Phase 1 in kCancelChunkRows slices (per-call cursor for dynamic plans).
+  if (plan_.sched == kernels::Sched::BalancedStatic) {
+    eng.parallel([&, this, x, y](int tid, int) {
+      index_t lo = part_.bounds[tid];
+      const index_t end = part_.bounds[tid + 1];
+      while (lo < end) {
+        if (tripped()) break;
+        const index_t hi = std::min<index_t>(end, lo + kCancelChunkRows);
+        if (delta_)
+          delta_range_fn_(*delta_, lo, hi, x, y, pf_dist_);
+        else
+          csr_range_fn_(rp_, ci_, va_, lo, hi, x, y, pf_dist_);
+        c.done.fetch_add(hi - lo, std::memory_order_relaxed);
+        lo = hi;
+      }
+    });
+  } else {
+    std::atomic<index_t> cur{0};
+    eng.parallel([&, this, x, y](int, int nt) {
+      const index_t n = nrows_;
+      const index_t chunk = std::min<index_t>(
+          kCancelChunkRows,
+          plan_.sched == kernels::Sched::Dynamic
+              ? std::max<index_t>(1, static_cast<index_t>(plan_.dynamic_chunk))
+              : std::max<index_t>(64, n / (static_cast<index_t>(nt) * 16)));
+      for (;;) {
+        if (tripped()) break;
+        const index_t lo = cur.fetch_add(chunk, std::memory_order_relaxed);
+        if (lo >= n) break;
+        const index_t hi = std::min<index_t>(n, lo + chunk);
+        if (delta_)
+          delta_range_fn_(*delta_, lo, hi, x, y, pf_dist_);
+        else
+          csr_range_fn_(rp_, ci_, va_, lo, hi, x, y, pf_dist_);
+        c.done.fetch_add(hi - lo, std::memory_order_relaxed);
+      }
+    });
+  }
+  if (!split_ || c.aborted.load(std::memory_order_relaxed)) return;
+
+  // Phase 2: spans poll once per long row (the row quantum floor of the
+  // mailbox path); a span that trips records the lowest row it abandoned so
+  // the caller reduces only rows every span completed.
+  const index_t L = split_->num_long_rows();
+  const index_t* lrows = split_->long_rows();
+  const index_t* lrowptr = split_->long_rowptr();
+  const index_t* lcolind = split_->long_colind();
+  const value_t* lvals = split_->long_values();
+  const int nt = eng.nthreads();
+  aligned_vector<value_t> partials(
+      static_cast<std::size_t>(L) * static_cast<std::size_t>(nt), 0.0);
+  value_t* part = partials.data();
+  std::atomic<index_t> complete{L};
+  eng.parallel([&, x](int tid, int ntl) {
+    for (index_t k = 0; k < L; ++k) {
+      if (tripped()) {
+        index_t seen = complete.load(std::memory_order_relaxed);
+        while (k < seen && !complete.compare_exchange_weak(
+                               seen, k, std::memory_order_relaxed))
+          ;
+        return;
+      }
+      const index_t lo = lrowptr[k];
+      const index_t hi = lrowptr[k + 1];
+      const index_t per = (hi - lo + ntl - 1) / ntl;
+      const index_t jlo = std::min<index_t>(hi, lo + tid * per);
+      const index_t jhi = std::min<index_t>(hi, jlo + per);
+      part[static_cast<std::size_t>(k) * static_cast<std::size_t>(ntl) + tid] =
+          kernels::long_row_partial(lcolind, lvals, jlo, jhi, x);
+    }
+  });
+  const index_t upto = complete.load(std::memory_order_relaxed);
+  for (index_t k = 0; k < upto; ++k) {
+    value_t sum = 0.0;
+    for (int t = 0; t < nt; ++t)
+      sum += part[static_cast<std::size_t>(k) * static_cast<std::size_t>(nt) +
+                  t];
+    y[lrows[k]] = sum;
+    c.done.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
 std::int64_t OptimizedSpmv::cancel_units_total() const noexcept {
   if (merge_fn_ != nullptr) return merge_part_.nworkers();
   if (sell_) return sell_->num_chunks();
@@ -532,7 +779,9 @@ std::string progress_string(std::int64_t done, std::int64_t total,
 Status OptimizedSpmv::run(const value_t* x, value_t* y,
                           const robust::CancelToken& tok) const {
   CancelCtx c{tok};
-  if (engine_ != nullptr) {
+  if (engine_ != nullptr && engine_->pooled()) {
+    pooled_cancellable(x, y, c);
+  } else if (engine_ != nullptr) {
     if (cursor_) cursor_->store(0, std::memory_order_relaxed);
     engine_->parallel([this, x, y, &c](int tid, int nt) {
       cancellable_body(tid, nt, x, y, c);
@@ -560,6 +809,18 @@ Status OptimizedSpmv::run_many(const value_t* X, value_t* Y, int nrhs,
       }
       cancellable_body(0, 1, X + static_cast<std::size_t>(r) * ncols_,
                        Y + static_cast<std::size_t>(r) * nrows_, c);
+      if (c.aborted.load(std::memory_order_relaxed)) break;
+    }
+  } else if (engine_->pooled()) {
+    // Per-item groups with an item-boundary poll — batch semantics match the
+    // mailbox path (stop between right-hand sides, partial y discarded).
+    for (int r = 0; r < nrhs; ++r) {
+      if (tok.cancelled()) {
+        c.aborted.store(true, std::memory_order_relaxed);
+        break;
+      }
+      pooled_cancellable(X + static_cast<std::size_t>(r) * ncols_,
+                         Y + static_cast<std::size_t>(r) * nrows_, c);
       if (c.aborted.load(std::memory_order_relaxed)) break;
     }
   } else {

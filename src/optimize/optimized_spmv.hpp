@@ -153,6 +153,20 @@ class OptimizedSpmv {
   void cancellable_body(int tid, int nt, const value_t* x, value_t* y,
                         CancelCtx& c) const noexcept;
 
+  /// Pool-backed phased matvec (engine_->pooled()): no in-dispatch barriers
+  /// — a stealing pool may serialize a group's spans on one worker, so the
+  /// barrier phases become dispatch/join/fix-up sequences driven by the
+  /// caller — and all mutable scratch (dynamic cursor, merge carry, split
+  /// partials) is per-call, so N concurrent run() calls on one instance
+  /// (the multi-executor server on one hot cache entry) are safe.
+  void pooled_run(const value_t* x, value_t* y) const noexcept;
+
+  /// Cancellable pooled counterpart: polls at kCancelChunkRows granularity
+  /// *inside* every span — a task split across stolen sub-spans observes a
+  /// trip within one chunk, not one partition.
+  void pooled_cancellable(const value_t* x, value_t* y,
+                          CancelCtx& c) const noexcept;
+
   /// Work units one matvec completes ("rows", "merge spans", ...) for the
   /// progress message.
   [[nodiscard]] std::int64_t cancel_units_total() const noexcept;

@@ -120,6 +120,16 @@ Expected<PlanCache::EntryPtr> PlanCache::build_and_insert(
                      std::to_string(cfg_.max_resident_bytes) + "-byte budget");
 
   std::lock_guard lock(mu_);
+  // Duplicate-admit race: two executors can miss on the same fingerprint and
+  // both reach here (the build above runs unlocked, on purpose).  Admitting
+  // the second copy would overwrite the entries_ iterator, orphaning the
+  // loser's lru_ node — an unevictable ghost that double-counts
+  // resident_bytes and entries forever.  Keep the winner, drop our build.
+  if (const auto it = entries_.find(fp); it != entries_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);  // bump recency, as a hit
+    ++stats_.hot_hits;
+    return *it->second;
+  }
   evict_to_fit(entry->bytes);
   lru_.push_front(entry);
   entries_[fp] = lru_.begin();

@@ -50,8 +50,15 @@ std::string stats_to_json(const ServerStats& s) {
       .set("dispatches", s.engine_dispatches)
       .set("recycles", s.engine_recycles)
       .set("recycle_failures", s.engine_recycle_failures);
+  Json pool = Json::object();
+  pool.set("workers", s.pool_workers)
+      .set("tasks", s.pool_tasks)
+      .set("steals", s.pool_steals)
+      .set("parks", s.pool_parks);
   Json doc = Json::object();
   doc.set("schema", "spmvopt-server-stats/v2")
+      .set("executors", s.executors)
+      .set("peak_concurrent", s.peak_concurrent)
       .set("requests", s.requests)
       .set("submits", s.submits)
       .set("runs", s.runs)
@@ -67,17 +74,25 @@ std::string stats_to_json(const ServerStats& s) {
       .set("busy_seconds", s.busy_seconds)
       .set("max_request_seconds", s.max_request_seconds)
       .set("cache", std::move(cache))
-      .set("engine", std::move(engine));
+      .set("engine", std::move(engine))
+      .set("pool", std::move(pool));
   return doc.dump();
 }
 
 SpmvServer::SpmvServer(ServerConfig cfg)
     : cfg_(std::move(cfg)),
+      // Multi-executor mode swaps the private mailbox team for one shared
+      // work-stealing pool all executors' dispatches land on.
+      pool_(cfg_.executors > 1
+                ? std::make_unique<engine::StealPool>(engine::StealPoolConfig{
+                      .nthreads = cfg_.engine_threads, .pin = cfg_.pin})
+                : nullptr),
       // pin_main=false: handle() is called from transport/executor threads
       // that must keep their own affinity; the workers carry the pinning.
       engine_(engine::EngineConfig{.nthreads = cfg_.engine_threads,
                                    .pin = cfg_.pin,
-                                   .pin_main = false}),
+                                   .pin_main = false,
+                                   .pool = pool_.get()}),
       cache_(with_engine(cfg_.cache, engine_)) {}
 
 Expected<PlanCache::EntryPtr> SpmvServer::lookup(const Fingerprint& fp) {
@@ -87,13 +102,14 @@ Expected<PlanCache::EntryPtr> SpmvServer::lookup(const Fingerprint& fp) {
 }
 
 Reply SpmvServer::handle_submit(SubmitRequest& req, bool shed,
+                                bool& shed_applied,
                                 const robust::CancelToken* cancel) {
   const std::uint64_t hot_before = cache_.stats().hot_hits;
   auto admitted = cache_.admit(std::move(req.matrix), shed, cancel);
   if (!admitted.ok()) return error_reply(std::move(admitted).error());
   const PlanCache::EntryPtr& entry = admitted.value();
   const bool hot = cache_.stats().hot_hits > hot_before;
-  if (shed && !hot) ++stats_.shed_submits;
+  shed_applied = shed && !hot;
 
   SubmitReply reply;
   reply.fp = entry->fp;
@@ -196,35 +212,47 @@ Reply SpmvServer::handle_solve(const SolveRequest& req,
 
 Reply SpmvServer::handle(Request req, bool shed,
                          const robust::CancelToken* cancel) {
-  std::lock_guard lock(mu_);
+  // Mailbox mode serializes the whole request behind dispatch_mu_ (one
+  // engine dispatch at a time).  Pooled mode takes no lock here: the shared
+  // StealPool accepts concurrent dispatches, the cache locks internally,
+  // and the counters are settled under the stats-only mu_ afterwards.
+  std::unique_lock<std::mutex> dispatch_lock(dispatch_mu_, std::defer_lock);
+  if (!engine_.pooled()) dispatch_lock.lock();
+
+  const int now_executing =
+      executing_.fetch_add(1, std::memory_order_relaxed) + 1;
+  std::uint64_t peak = peak_executing_.load(std::memory_order_relaxed);
+  while (static_cast<std::uint64_t>(now_executing) > peak &&
+         !peak_executing_.compare_exchange_weak(
+             peak, static_cast<std::uint64_t>(now_executing),
+             std::memory_order_relaxed))
+    ;
+
   const robust::CancelToken& tok =
       cancel != nullptr ? *cancel : robust::CancelToken::never();
+  std::uint64_t ServerStats::* verb_counter = nullptr;  // bumped under mu_ below
+  bool shed_applied = false;
   Timer t;
   Reply reply;
   try {
     reply = std::visit(
-        [this, shed, cancel, &tok](auto& r) -> Reply {
+        [this, shed, &shed_applied, &verb_counter, cancel,
+         &tok](auto& r) -> Reply {
           using T = std::decay_t<decltype(r)>;
           if constexpr (std::is_same_v<T, SubmitRequest>) {
-            ++stats_.submits;
-            return handle_submit(r, shed, cancel);
+            verb_counter = &ServerStats::submits;
+            return handle_submit(r, shed, shed_applied, cancel);
           } else if constexpr (std::is_same_v<T, RunRequest>) {
-            ++stats_.runs;
+            verb_counter = &ServerStats::runs;
             return handle_run(r, tok);
           } else if constexpr (std::is_same_v<T, RunManyRequest>) {
-            ++stats_.run_manys;
+            verb_counter = &ServerStats::run_manys;
             return handle_run_many(r, tok);
           } else if constexpr (std::is_same_v<T, SolveRequest>) {
-            ++stats_.solves;
+            verb_counter = &ServerStats::solves;
             return handle_solve(r, tok);
           } else if constexpr (std::is_same_v<T, StatsRequest>) {
-            ServerStats snapshot = stats_;
-            snapshot.watchdog_fires =
-                watchdog_fires_.load(std::memory_order_relaxed);
-            snapshot.cache = cache_.stats();
-            snapshot.engine_dispatches = engine_.dispatch_count();
-            snapshot.engine_threads = engine_.nthreads();
-            return StatsReply{stats_to_json(snapshot)};
+            return StatsReply{stats_to_json(stats())};
           } else if constexpr (std::is_same_v<T, PingRequest>) {
             return PongReply{};
           } else if constexpr (std::is_same_v<T, CancelRequest>) {
@@ -246,6 +274,12 @@ Reply SpmvServer::handle(Request req, bool shed,
   } catch (const std::exception& e) {
     reply = Reply(ErrorReply{ErrorCategory::Internal, false, e.what()});
   }
+  const double sec = t.elapsed_sec();
+  executing_.fetch_sub(1, std::memory_order_relaxed);
+
+  std::lock_guard lock(mu_);
+  if (verb_counter != nullptr) ++(stats_.*verb_counter);
+  if (shed_applied) ++stats_.shed_submits;
   ++stats_.requests;
   if (const auto* err = std::get_if<ErrorReply>(&reply)) {
     ++stats_.errors;
@@ -254,7 +288,6 @@ Reply SpmvServer::handle(Request req, bool shed,
     else if (err->category == ErrorCategory::Cancelled)
       ++stats_.cancelled;
   }
-  const double sec = t.elapsed_sec();
   stats_.busy_seconds += sec;
   if (sec > stats_.max_request_seconds) stats_.max_request_seconds = sec;
   return reply;
@@ -293,8 +326,14 @@ void SpmvServer::note_watchdog(std::uint64_t request_id,
 bool SpmvServer::recycle_engine(const std::string& reason) {
   bool ok;
   {
-    std::lock_guard lock(mu_);  // never recycle while a dispatch is live
+    // Mailbox mode: dispatch_mu_ excludes handle(), so no dispatch is live.
+    // Pooled mode: handle() does not take dispatch_mu_ — the transport must
+    // quiesce its executors first (SocketServer's recycling_ gate does).
+    std::lock_guard dlock(dispatch_mu_);
     ok = engine_.recycle();
+  }
+  {
+    std::lock_guard lock(mu_);
     if (ok)
       ++stats_.engine_recycles;
     else
@@ -314,12 +353,24 @@ robust::DegradationLog SpmvServer::health() const {
 }
 
 ServerStats SpmvServer::stats() const {
-  std::lock_guard lock(mu_);
-  ServerStats snapshot = stats_;
+  ServerStats snapshot;
+  {
+    std::lock_guard lock(mu_);
+    snapshot = stats_;
+  }
   snapshot.watchdog_fires = watchdog_fires_.load(std::memory_order_relaxed);
   snapshot.cache = cache_.stats();
   snapshot.engine_dispatches = engine_.dispatch_count();
   snapshot.engine_threads = engine_.nthreads();
+  snapshot.executors = cfg_.executors > 1 ? cfg_.executors : 1;
+  snapshot.peak_concurrent = peak_executing_.load(std::memory_order_relaxed);
+  if (pool_ != nullptr) {
+    const engine::StealPoolStats ps = pool_->stats();
+    snapshot.pool_workers = static_cast<std::uint64_t>(ps.workers);
+    snapshot.pool_tasks = ps.tasks;
+    snapshot.pool_steals = ps.steals;
+    snapshot.pool_parks = ps.parks;
+  }
   return snapshot;
 }
 
@@ -354,16 +405,21 @@ Status SocketServer::start() {
                                         "': " + std::strerror(err));
   }
 
+  const int nexec = std::max(1, core_.config().executors);
   {
     std::lock_guard lock(jobs_mu_);
     started_ = true;
     stopping_ = false;
     draining_ = false;
     recycle_pending_ = false;
-    exec_ = Executing{};
+    recycling_ = false;
+    exec_.assign(static_cast<std::size_t>(nexec), Executing{});
   }
   accepter_ = std::thread([this] { accept_loop(); });
-  executor_ = std::thread([this] { executor_loop(); });
+  executors_.clear();
+  executors_.reserve(static_cast<std::size_t>(nexec));
+  for (int slot = 0; slot < nexec; ++slot)
+    executors_.emplace_back([this, slot] { executor_loop(slot); });
   if (core_.config().watchdog_poll_ms > 0)
     watchdog_ = std::thread([this] { watchdog_loop(); });
   return Unit{};
@@ -478,10 +534,11 @@ CancelReply SocketServer::cancel_request(std::uint64_t target_id) {
   // Unnamed requests (id 0) are unaddressable by design.
   if (target_id == 0) return CancelReply{CancelReply::Outcome::Unknown};
   std::lock_guard lock(jobs_mu_);
-  if (exec_.active && exec_.request_id == target_id) {
-    exec_.token.cancel();
-    return CancelReply{CancelReply::Outcome::Running};
-  }
+  for (Executing& e : exec_)
+    if (e.active && e.request_id == target_id) {
+      e.token.cancel();
+      return CancelReply{CancelReply::Outcome::Running};
+    }
   for (const auto& c : conns_)
     for (Job& j : c->queue)
       if (j.header.request_id == target_id) {
@@ -500,7 +557,7 @@ void SocketServer::write_reply(Connection& conn, const Reply& reply,
   (void)write_frame(conn.fd, payload);  // a vanished client is not our error
 }
 
-void SocketServer::executor_loop() {
+void SocketServer::executor_loop(int slot) {
   while (true) {
     std::shared_ptr<Connection> conn;
     Job job;
@@ -510,14 +567,18 @@ void SocketServer::executor_loop() {
       jobs_cv_.wait(lock, [this] {
         if (stopping_) return true;
         for (const auto& c : conns_)
-          if (!c->queue.empty() || c->closed) return true;
+          if (c->closed && c->queue.empty() && !c->busy) return true;
+        if (recycling_) return false;  // hold new work until the recycle ends
+        for (const auto& c : conns_)
+          if (!c->queue.empty() && !c->busy) return true;
         return false;
       });
       if (stopping_) break;
 
-      // Reap sessions whose reader exited and whose queue is drained.
+      // Reap sessions whose reader exited, whose queue is drained, and that
+      // no peer executor is still writing a reply to.
       for (auto it = conns_.begin(); it != conns_.end();) {
-        if ((*it)->closed && (*it)->queue.empty()) {
+        if ((*it)->closed && (*it)->queue.empty() && !(*it)->busy) {
           reap.push_back(*it);
           it = conns_.erase(it);
         } else {
@@ -527,14 +588,19 @@ void SocketServer::executor_loop() {
       rr_next_ = conns_.empty() ? 0 : rr_next_ % conns_.size();
 
       // Round-robin across clients: each gets one job per sweep, so a
-      // pipelining client cannot starve the others.
-      for (std::size_t i = 0; i < conns_.size() && !conn; ++i) {
-        auto& c = conns_[(rr_next_ + i) % conns_.size()];
-        if (!c->queue.empty()) {
-          conn = c;
-          job = std::move(c->queue.front());
-          c->queue.pop_front();
-          rr_next_ = (rr_next_ + i + 1) % conns_.size();
+      // pipelining client cannot starve the others.  A connection a peer is
+      // already serving is skipped: one executor per client at a time keeps
+      // per-connection replies in FIFO order.
+      if (!recycling_) {
+        for (std::size_t i = 0; i < conns_.size() && !conn; ++i) {
+          auto& c = conns_[(rr_next_ + i) % conns_.size()];
+          if (!c->queue.empty() && !c->busy) {
+            conn = c;
+            job = std::move(c->queue.front());
+            c->queue.pop_front();
+            c->busy = true;
+            rr_next_ = (rr_next_ + i + 1) % conns_.size();
+          }
         }
       }
     }
@@ -558,19 +624,20 @@ void SocketServer::executor_loop() {
       } else {
         {
           std::lock_guard lock(jobs_mu_);
-          exec_.active = true;
-          exec_.watchdog_fired = false;
-          exec_.request_id = job.header.request_id;
-          exec_.token = job.token;
-          exec_.has_deadline = job.has_deadline;
-          exec_.deadline_at = job.deadline_at;
-          exec_.started = std::chrono::steady_clock::now();
+          Executing& e = exec_[static_cast<std::size_t>(slot)];
+          e.active = true;
+          e.watchdog_fired = false;
+          e.request_id = job.header.request_id;
+          e.token = job.token;
+          e.has_deadline = job.has_deadline;
+          e.deadline_at = job.deadline_at;
+          e.started = std::chrono::steady_clock::now();
         }
         reply =
             core_.handle(std::move(req.value().request), job.shed, &job.token);
         {
           std::lock_guard lock(jobs_mu_);
-          exec_.active = false;
+          exec_[static_cast<std::size_t>(slot)].active = false;
         }
       }
     }
@@ -580,10 +647,14 @@ void SocketServer::executor_loop() {
     bool do_recycle = false;
     {
       std::lock_guard lock(jobs_mu_);
+      conn->busy = false;
       --in_flight_;
       if (in_flight_ == 0) stopped_cv_.notify_all();  // drain() waiters
-      if (recycle_pending_) {
+      if (recycle_pending_ && !recycling_) {
+        // Claim the recycle: peers stop dequeuing (recycling_ gates the
+        // wait predicate above) until the engine/pool is fresh again.
         recycle_pending_ = false;
+        recycling_ = true;
         do_recycle = true;
       }
       if (core_.shutdown_requested() && !stopping_) {
@@ -591,9 +662,30 @@ void SocketServer::executor_loop() {
         initiate_stop = true;
       }
     }
-    // Self-healing between jobs: the engine is idle here, so a team
-    // re-spawn cannot race a dispatch.
-    if (do_recycle) (void)core_.recycle_engine("watchdog escalation");
+    // The connection is serviceable again (and a peer may be waiting for
+    // this slot to go inactive during a recycle claim).
+    jobs_cv_.notify_all();
+    if (do_recycle) {
+      // Self-healing between jobs: wait for every peer to surface — the
+      // engine/pool recycle requires no dispatch in flight — then re-spawn.
+      bool quiesced;
+      {
+        std::unique_lock lock(jobs_mu_);
+        jobs_cv_.wait(lock, [this] {
+          if (stopping_) return true;
+          for (const Executing& e : exec_)
+            if (e.active) return false;
+          return true;
+        });
+        quiesced = !stopping_;
+      }
+      if (quiesced) (void)core_.recycle_engine("watchdog escalation");
+      {
+        std::lock_guard lock(jobs_mu_);
+        recycling_ = false;
+      }
+      jobs_cv_.notify_all();
+    }
     if (initiate_stop) {
       close_all_fds();
       jobs_cv_.notify_all();
@@ -606,6 +698,7 @@ void SocketServer::executor_loop() {
     std::lock_guard lock(jobs_mu_);
     stopping_ = true;
   }
+  jobs_cv_.notify_all();  // peers must observe stopping_ and exit too
   stopped_cv_.notify_all();
   watchdog_cv_.notify_all();
 }
@@ -619,31 +712,37 @@ void SocketServer::watchdog_loop() {
                           std::chrono::milliseconds(cfg.watchdog_poll_ms),
                           [this] { return stopping_; });
     if (stopping_) break;
-    if (!exec_.active || exec_.watchdog_fired) continue;
 
-    const auto now = clock::now();
-    bool overdue = false;
-    if (exec_.has_deadline) {
-      overdue = now > exec_.deadline_at +
-                          std::chrono::milliseconds(cfg.watchdog_grace_ms);
-    } else if (cfg.watchdog_stuck_ms > 0) {
-      overdue = now > exec_.started +
-                          std::chrono::milliseconds(cfg.watchdog_stuck_ms);
+    // Sweep every executor slot; each overdue job fires once.
+    for (std::size_t s = 0; s < exec_.size(); ++s) {
+      Executing& e = exec_[s];
+      if (!e.active || e.watchdog_fired) continue;
+
+      const auto now = clock::now();
+      bool overdue = false;
+      if (e.has_deadline) {
+        overdue = now > e.deadline_at +
+                            std::chrono::milliseconds(cfg.watchdog_grace_ms);
+      } else if (cfg.watchdog_stuck_ms > 0) {
+        overdue = now > e.started +
+                            std::chrono::milliseconds(cfg.watchdog_stuck_ms);
+      }
+      // Deterministic testing: the fault point forces a fire on whatever job
+      // is executing, without waiting out a real grace window.
+      if (robust::fault_fire("server.watchdog_fire")) overdue = true;
+      if (!overdue) continue;
+
+      e.watchdog_fired = true;
+      recycle_pending_ = true;
+      e.token.cancel();
+      const std::uint64_t id = e.request_id;
+      const double running =
+          std::chrono::duration<double>(now - e.started).count();
+      lock.unlock();  // note_watchdog must not wait behind a wedged executor
+      core_.note_watchdog(id, running);
+      lock.lock();
+      if (stopping_) break;
     }
-    // Deterministic testing: the fault point forces a fire on whatever job
-    // is executing, without waiting out a real grace window.
-    if (robust::fault_fire("server.watchdog_fire")) overdue = true;
-    if (!overdue) continue;
-
-    exec_.watchdog_fired = true;
-    recycle_pending_ = true;
-    exec_.token.cancel();
-    const std::uint64_t id = exec_.request_id;
-    const double running =
-        std::chrono::duration<double>(now - exec_.started).count();
-    lock.unlock();  // note_watchdog must not wait behind a wedged executor
-    core_.note_watchdog(id, running);
-    lock.lock();
   }
 }
 
@@ -682,7 +781,8 @@ void SocketServer::drain(double grace_seconds) {
       // flushes each as a typed Cancelled reply against its own token.
       for (const auto& c : conns_)
         for (Job& j : c->queue) j.token.cancel();
-      if (exec_.active) exec_.token.cancel();
+      for (Executing& e : exec_)
+        if (e.active) e.token.cancel();
       stopped_cv_.wait(lock, [this] { return in_flight_ == 0 || stopping_; });
     }
   }
@@ -702,8 +802,17 @@ void SocketServer::stop() {
   stopped_cv_.notify_all();
   watchdog_cv_.notify_all();
 
+  // stop() races with itself: the signal thread's drain()->stop() sets
+  // stopping_ and wakes stopped_cv_ BEFORE joining, so the main thread's
+  // wait()-then-stop() arrives here while the first stop() is mid-join.
+  // Two threads join()ing the same std::thread (or iterating executors_
+  // while a peer clear()s it) is undefined and deadlocks in glibc — the
+  // teardown phase must run exactly once, later callers waiting it out.
+  std::lock_guard teardown(stop_join_mu_);
   if (accepter_.joinable()) accepter_.join();
-  if (executor_.joinable()) executor_.join();
+  for (std::thread& ex : executors_)
+    if (ex.joinable()) ex.join();
+  executors_.clear();
   if (watchdog_.joinable()) watchdog_.join();
 
   std::vector<std::shared_ptr<Connection>> conns;

@@ -4,19 +4,25 @@
 //
 //   SpmvServer    the transport-free request processor: owns the persistent
 //                 ExecutionEngine and the fingerprint-keyed PlanCache, and
-//                 turns decoded Requests into Replies.  handle() serializes
-//                 internally (the engine admits one dispatch at a time), so
-//                 it is callable from tests in-process and from the socket
-//                 executor alike.  A caller-supplied CancelToken threads
-//                 through to the kernels and solvers, so deadline/cancel
-//                 trips surface as typed ErrorReplies with partial-progress
-//                 context.
+//                 turns decoded Requests into Replies.  With the default
+//                 single executor, handle() serializes internally (the
+//                 mailbox engine admits one dispatch at a time); with
+//                 `executors > 1` the engine is backed by a shared
+//                 work-stealing StealPool (DESIGN.md §12) and handle() is
+//                 fully concurrent — M requests' dispatches interleave on
+//                 the pool workers.  Either way it is callable from tests
+//                 in-process and from the socket executors alike.  A
+//                 caller-supplied CancelToken threads through to the kernels
+//                 and solvers, so deadline/cancel trips surface as typed
+//                 ErrorReplies with partial-progress context.
 //
 //   SocketServer  the transport: an accept loop on a Unix-domain socket, one
 //                 reader thread per connection feeding a per-client FIFO job
-//                 queue, and one executor thread draining the queues
-//                 round-robin onto SpmvServer.  Admission control happens at
-//                 enqueue time, *before* a job can occupy the executor:
+//                 queue, and M executor threads draining the queues
+//                 round-robin onto SpmvServer (a connection is served by one
+//                 executor at a time, preserving per-client reply order).
+//                 Admission control happens at enqueue time, *before* a job
+//                 can occupy an executor:
 //
 //                   in_flight >= shed_in_flight  -> submits run the
 //                       baseline-CSR plan (classification cost shed);
@@ -33,12 +39,14 @@
 // the reader — it skips admission control, because cancellation must work
 // precisely when the server is saturated.
 //
-// Self-healing: a watchdog thread sweeps the executing job.  A job still
+// Self-healing: a watchdog thread sweeps every executing job.  A job still
 // running `watchdog_grace_ms` past its deadline (or past `watchdog_stuck_ms`
 // with no deadline) means the cooperative poll failed — the watchdog cancels
-// its token, and once the executor surfaces, the engine worker team is
-// recycled (re-spawned and re-pinned) between jobs.  Every fire and recycle
-// is recorded in the server's health log.
+// its token, and once an executor surfaces, the engine worker team (or the
+// shared pool, in multi-executor mode) is recycled between jobs: the
+// recycling executor first quiesces its peers, because a pool recycle
+// requires no dispatch in flight.  Every fire and recycle is recorded in the
+// server's health log.
 //
 // Error replies never tear down a connection: a malformed frame gets a typed
 // Format reply and the reader keeps going (only a broken fd ends a session).
@@ -69,6 +77,11 @@ struct ServerConfig {
   int engine_threads = 0;         ///< compute team size; <= 0: default_threads()
   PinPolicy pin = PinPolicy::None;  ///< None by default: a daemon should not
                                     ///< claim CPUs unless told to
+  /// Concurrent executor threads draining the job queues.  1 (default)
+  /// keeps the single-executor condvar-mailbox engine; > 1 backs the engine
+  /// with a shared work-stealing StealPool so M jobs' dispatches interleave
+  /// on one worker set instead of serializing (DESIGN.md §12).
+  int executors = 1;
   /// Jobs queued-or-executing before new ones are rejected (Resource).
   int max_in_flight = 64;
   /// Jobs queued-or-executing before submits shed to baseline-CSR plans.
@@ -104,6 +117,13 @@ struct ServerStats {
   PlanCacheStats cache;
   std::uint64_t engine_dispatches = 0;
   int engine_threads = 0;
+  int executors = 1;                     ///< configured executor count
+  std::uint64_t peak_concurrent = 0;     ///< max simultaneous handle() calls
+  // Shared-pool counters (all zero in single-executor mailbox mode).
+  std::uint64_t pool_workers = 0;
+  std::uint64_t pool_tasks = 0;   ///< spans executed
+  std::uint64_t pool_steals = 0;  ///< successful steals
+  std::uint64_t pool_parks = 0;   ///< worker park transitions
 };
 
 /// Render the counters as a stable-key JSON object (the StatsReply body).
@@ -160,7 +180,7 @@ class SpmvServer {
   }
 
  private:
-  Reply handle_submit(SubmitRequest& req, bool shed,
+  Reply handle_submit(SubmitRequest& req, bool shed, bool& shed_applied,
                       const robust::CancelToken* cancel);
   Reply handle_run(const RunRequest& req, const robust::CancelToken& tok);
   Reply handle_run_many(const RunManyRequest& req,
@@ -172,12 +192,22 @@ class SpmvServer {
   Expected<PlanCache::EntryPtr> lookup(const Fingerprint& fp);
 
   ServerConfig cfg_;
+  /// The shared work-stealing pool behind multi-executor mode; null when
+  /// executors <= 1.  Declared before engine_ (the engine holds a pointer
+  /// into it and must be destroyed first).
+  std::unique_ptr<engine::StealPool> pool_;
   engine::ExecutionEngine engine_;
   PlanCache cache_;
   std::atomic<bool> shutdown_{false};
 
-  mutable std::mutex mu_;  ///< serializes handle() (engine + counters)
+  /// Serializes dispatches in mailbox mode (held across handle()); in
+  /// pooled mode handle() never takes it — dispatches are concurrent and
+  /// recycle quiescence is the transport's job.
+  std::mutex dispatch_mu_;
+  mutable std::mutex mu_;  ///< guards the counters only
   ServerStats stats_;
+  std::atomic<int> executing_{0};  ///< handle() calls currently inside
+  std::atomic<std::uint64_t> peak_executing_{0};
 
   /// Watchdog-side state sits outside mu_: the watchdog must record fires
   /// while handle() holds mu_ inside a wedged job.
@@ -233,10 +263,14 @@ class SocketServer {
     std::mutex write_mu;          ///< reader (rejects) vs executor (replies)
     std::deque<Job> queue;        ///< FIFO per client, guarded by jobs_mu_
     bool closed = false;          ///< reader exited, guarded by jobs_mu_
+    /// An executor is serving this connection right now; other executors
+    /// skip it (per-client FIFO reply order) and the reaper leaves it alone
+    /// (its fd is still being written to).  Guarded by jobs_mu_.
+    bool busy = false;
   };
-  /// The job currently inside core_.handle(), visible to the watchdog and
-  /// to cancel(request_id).  Guarded by jobs_mu_ (the token itself is
-  /// thread-safe to cancel).
+  /// One executor slot's job currently inside core_.handle(), visible to
+  /// the watchdog and to cancel(request_id).  Guarded by jobs_mu_ (the
+  /// token itself is thread-safe to cancel).
   struct Executing {
     bool active = false;
     bool watchdog_fired = false;
@@ -249,7 +283,7 @@ class SocketServer {
 
   void accept_loop();
   void reader_loop(const std::shared_ptr<Connection>& conn);
-  void executor_loop();
+  void executor_loop(int slot);
   void watchdog_loop();
   /// Resolve a cancel(request_id) verb: executing match beats queued match;
   /// id 0 (unnamed) and misses answer Unknown.  Never an error.
@@ -263,19 +297,25 @@ class SocketServer {
   std::string path_;
   int listen_fd_ = -1;
   std::thread accepter_;
-  std::thread executor_;
+  std::vector<std::thread> executors_;   ///< max(1, config().executors)
   std::thread watchdog_;
 
   std::mutex jobs_mu_;
+  /// Serializes stop()'s thread-join phase: drain() (signal thread) and
+  /// wait()-then-stop() (main) may both reach stop() — see stop().
+  std::mutex stop_join_mu_;
   std::condition_variable jobs_cv_;      ///< executor wakeup
   std::condition_variable stopped_cv_;   ///< wait()/drain() wakeup
   std::condition_variable watchdog_cv_;  ///< watchdog shutdown wakeup
   std::vector<std::shared_ptr<Connection>> conns_;
   std::size_t rr_next_ = 0;              ///< round-robin drain cursor
   int in_flight_ = 0;                    ///< queued + executing jobs
-  Executing exec_;                       ///< watchdog/cancel view of the
-                                         ///< job inside handle()
+  std::vector<Executing> exec_;          ///< per-executor watchdog/cancel
+                                         ///< view of the job inside handle()
   bool recycle_pending_ = false;         ///< watchdog asked for a team recycle
+  /// An executor claimed the recycle: peers stop dequeuing until the
+  /// engine/pool is quiescent, recycled, and this clears.
+  bool recycling_ = false;
   bool draining_ = false;                ///< SIGTERM drain in progress
   bool stopping_ = false;
   bool started_ = false;

@@ -72,6 +72,7 @@ class ChaosSoak : public ::testing::Test {
     ServerConfig cfg;
     cfg.engine_threads = 2;
     cfg.watchdog_poll_ms = 10;  // sweep fast: more self-healing interleavings
+    configure(cfg);
     core_ = std::make_unique<SpmvServer>(cfg);
     sock_ = std::make_unique<SocketServer>(*core_, socket_path_);
     auto started = sock_->start();
@@ -80,13 +81,18 @@ class ChaosSoak : public ::testing::Test {
   void TearDown() override {
     if (sock_) sock_->stop();
   }
+  virtual void configure(ServerConfig&) {}
+
+  /// The randomized soak body, shared by the single- and multi-executor
+  /// suites (only the ServerConfig differs).
+  void soak_and_drain();
 
   std::string socket_path_;
   std::unique_ptr<SpmvServer> core_;
   std::unique_ptr<SocketServer> sock_;
 };
 
-TEST_F(ChaosSoak, RandomizedTenantsNeverSeeAMalformedReply) {
+void ChaosSoak::soak_and_drain() {
   // A spread of shapes: regular, irregular, SPD (solvable), and a
   // monster-row skew heavy enough that short deadlines trip mid-kernel.
   std::vector<Tenant> tenants;
@@ -233,6 +239,27 @@ TEST_F(ChaosSoak, RandomizedTenantsNeverSeeAMalformedReply) {
   // stops, and refuses new connections.
   sock_->drain(1.0);
   EXPECT_FALSE(Client::connect(socket_path_).ok());
+}
+
+TEST_F(ChaosSoak, RandomizedTenantsNeverSeeAMalformedReply) {
+  soak_and_drain();
+}
+
+/// The same soak against the M=4 work-stealing configuration: four executors
+/// dispatching concurrently onto one shared pool, so every invariant above
+/// now also covers the steal/park/cancel interleavings the serialized server
+/// never produces.  This is the load the TSan shard leans on hardest for the
+/// scheduler.
+class ChaosSoakMultiExec : public ChaosSoak {
+ protected:
+  void configure(ServerConfig& cfg) override { cfg.executors = 4; }
+};
+
+TEST_F(ChaosSoakMultiExec, RandomizedTenantsNeverSeeAMalformedReply) {
+  soak_and_drain();
+  const ServerStats st = core_->stats();
+  EXPECT_EQ(st.executors, 4);
+  EXPECT_GT(st.pool_tasks, 0u);
 }
 
 }  // namespace

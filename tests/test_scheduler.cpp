@@ -1,0 +1,427 @@
+// The work-stealing execution scheduler (engine/steal_pool, DESIGN.md §12):
+// Chase-Lev deque invariants under contention, exact-once span execution,
+// park/unpark races, deterministic victim selection, and the multi-caller
+// concurrency battery — K threads running the full adversarial fuzz catalog
+// through one shared pool against the Kahan oracle, plus the mid-dispatch
+// cancellation-granularity regression.
+//
+// Everything here must pass under TSan (the CI server shard) and ASan+UBSan:
+// the deque tests are exactly the interleavings a data race would corrupt.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <iterator>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/execution_engine.hpp"
+#include "engine/steal_pool.hpp"
+#include "gen/generators.hpp"
+#include "optimize/optimized_spmv.hpp"
+#include "optimize/plan.hpp"
+#include "robust/cancel.hpp"
+#include "robust/error.hpp"
+#include "verify/fuzz.hpp"
+#include "verify/oracle.hpp"
+
+namespace spmvopt {
+namespace {
+
+using engine::ChaseLevDeque;
+using engine::EngineConfig;
+using engine::ExecutionEngine;
+using engine::StealPool;
+using engine::StealPoolConfig;
+
+// ------------------------------------------------------------- deque tests
+
+TEST(ChaseLev, OwnerPopsLifoThievesStealFifo) {
+  ChaseLevDeque d;
+  for (std::uint64_t v = 1; v <= 4; ++v) d.push(v);
+  EXPECT_EQ(d.size_estimate(), 4);
+
+  std::uint64_t w = 0;
+  ASSERT_EQ(d.steal(w), ChaseLevDeque::Steal::Ok);  // oldest first
+  EXPECT_EQ(w, 1u);
+  ASSERT_TRUE(d.pop(w));  // newest first
+  EXPECT_EQ(w, 4u);
+  ASSERT_EQ(d.steal(w), ChaseLevDeque::Steal::Ok);
+  EXPECT_EQ(w, 2u);
+  ASSERT_TRUE(d.pop(w));  // the last element: owner wins the CAS race
+  EXPECT_EQ(w, 3u);
+  EXPECT_FALSE(d.pop(w));
+  EXPECT_EQ(d.steal(w), ChaseLevDeque::Steal::Empty);
+}
+
+/// Owner pushes and intermittently pops while thieves steal: every value is
+/// consumed exactly once — no loss, no duplication.  This is the core deque
+/// invariant; a broken last-element CAS or a stale ring read duplicates or
+/// drops a word and fails the per-value count.
+TEST(ChaseLev, ContendedConsumptionIsExactlyOnce) {
+  constexpr int kValues = 20000;
+  constexpr int kThieves = 3;
+  ChaseLevDeque d(2);  // start tiny: force concurrent growth too
+  std::vector<std::atomic<int>> seen(kValues + 1);
+  std::atomic<bool> done{false};
+
+  std::vector<std::thread> thieves;
+  thieves.reserve(kThieves);
+  for (int t = 0; t < kThieves; ++t) {
+    thieves.emplace_back([&] {
+      std::uint64_t w = 0;
+      while (!done.load(std::memory_order_acquire)) {
+        if (d.steal(w) == ChaseLevDeque::Steal::Ok)
+          seen[w].fetch_add(1, std::memory_order_relaxed);
+      }
+      while (d.steal(w) == ChaseLevDeque::Steal::Ok)
+        seen[w].fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+
+  std::uint64_t w = 0;
+  for (int v = 1; v <= kValues; ++v) {
+    d.push(static_cast<std::uint64_t>(v));
+    if (v % 3 == 0 && d.pop(w)) seen[w].fetch_add(1, std::memory_order_relaxed);
+  }
+  while (d.pop(w)) seen[w].fetch_add(1, std::memory_order_relaxed);
+  done.store(true, std::memory_order_release);
+  for (std::thread& t : thieves) t.join();
+
+  for (int v = 1; v <= kValues; ++v)
+    ASSERT_EQ(seen[v].load(), 1) << "value " << v;
+}
+
+// -------------------------------------------------------------- pool tests
+
+struct SpanCounters {
+  explicit SpanCounters(int n) : counts(static_cast<std::size_t>(n)) {}
+  std::vector<std::atomic<int>> counts;
+};
+
+void count_span(void* ctx, int span, int /*nspans*/) {
+  static_cast<SpanCounters*>(ctx)->counts[static_cast<std::size_t>(span)]
+      .fetch_add(1, std::memory_order_relaxed);
+}
+
+/// Exact cover: K submitter threads x D dispatches x several span counts
+/// through one pool — every span of every dispatch executes exactly once.
+/// This is the invariant the lazy-cloning protocol must keep: a lost clone
+/// leaves a count at 0, a double execution pushes one to 2.
+TEST(StealPool, ConcurrentDispatchesCoverEverySpanExactlyOnce) {
+  StealPool pool({.nthreads = 3});
+  constexpr int kCallers = 4;
+  constexpr int kDispatches = 50;
+  const int span_counts[] = {1, 2, 3, 7, 16};
+
+  std::vector<std::unique_ptr<SpanCounters>> groups;
+  for (int c = 0; c < kCallers; ++c)
+    for (int d = 0; d < kDispatches; ++d)
+      for (int n : span_counts) groups.push_back(std::make_unique<SpanCounters>(n));
+
+  std::vector<std::thread> callers;
+  callers.reserve(kCallers);
+  std::size_t gi = 0;
+  for (int c = 0; c < kCallers; ++c) {
+    const std::size_t base = gi;
+    callers.emplace_back([&pool, &groups, base, &span_counts] {
+      std::size_t g = base;
+      for (int d = 0; d < kDispatches; ++d)
+        for (int n : span_counts)
+          pool.run_spans(count_span, groups[g++].get(), n);
+    });
+    gi += static_cast<std::size_t>(kDispatches) * std::size(span_counts);
+  }
+  for (std::thread& t : callers) t.join();
+
+  for (const auto& g : groups)
+    for (std::size_t s = 0; s < g->counts.size(); ++s)
+      ASSERT_EQ(g->counts[s].load(), 1) << "span " << s;
+
+  const engine::StealPoolStats st = pool.stats();
+  EXPECT_EQ(st.dispatches,
+            static_cast<std::uint64_t>(kCallers) * kDispatches *
+                std::size(span_counts));
+  // Every span of every group ran exactly once, so the task counter is the
+  // exact total span count (inline fallbacks count their spans too).
+  std::uint64_t total_spans = 0;
+  for (int n : span_counts) total_spans += static_cast<std::uint64_t>(n);
+  EXPECT_EQ(st.tasks, total_spans * kCallers * kDispatches);
+}
+
+/// Saturated submitters fall back to inline execution, still exactly once.
+TEST(StealPool, SaturatedSubmitterSlotsRunInline) {
+  StealPool pool({.nthreads = 2, .max_submitters = 1});
+  constexpr int kCallers = 4;
+  constexpr int kDispatches = 40;
+  constexpr int kSpans = 5;
+
+  std::vector<std::unique_ptr<SpanCounters>> groups;
+  for (int i = 0; i < kCallers * kDispatches; ++i)
+    groups.push_back(std::make_unique<SpanCounters>(kSpans));
+
+  std::vector<std::thread> callers;
+  for (int c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&, c] {
+      for (int d = 0; d < kDispatches; ++d)
+        pool.run_spans(count_span, groups[static_cast<std::size_t>(c) * kDispatches + d].get(),
+                       kSpans);
+    });
+  }
+  for (std::thread& t : callers) t.join();
+
+  for (const auto& g : groups)
+    for (std::size_t s = 0; s < g->counts.size(); ++s)
+      ASSERT_EQ(g->counts[s].load(), 1);
+}
+
+/// Park/unpark races: let the workers park, then burst dispatches at them,
+/// repeatedly.  A lost wakeup deadlocks this test (the ctest TIMEOUT is the
+/// failure detector); the stats assert proves the park path actually ran.
+TEST(StealPool, IdleBurstCyclesNeverLoseAWakeup) {
+  StealPool pool({.nthreads = 2, .spin_sweeps = 2});  // park fast
+  for (int cycle = 0; cycle < 20; ++cycle) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));  // let them park
+    SpanCounters g(8);
+    pool.run_spans(count_span, &g, 8);
+    for (std::size_t s = 0; s < g.counts.size(); ++s)
+      ASSERT_EQ(g.counts[s].load(), 1) << "cycle " << cycle;
+  }
+  EXPECT_GT(pool.stats().parks, 0u);
+}
+
+TEST(StealPool, RecycleRespawnsWorkersAndKeepsServing) {
+  StealPool pool({.nthreads = 2});
+  SpanCounters before(4);
+  pool.run_spans(count_span, &before, 4);
+  pool.recycle();
+  SpanCounters after(4);
+  pool.run_spans(count_span, &after, 4);
+  for (std::size_t s = 0; s < 4; ++s) {
+    EXPECT_EQ(before.counts[s].load(), 1);
+    EXPECT_EQ(after.counts[s].load(), 1);
+  }
+  EXPECT_EQ(pool.stats().recycles, 1u);
+}
+
+TEST(StealPool, StealScheduleIsDeterministicAndValid) {
+  constexpr std::uint64_t kSeed = 0xDEADBEEFull;
+  constexpr int kDeques = 6;
+  const auto a = StealPool::steal_schedule(kSeed, 2, kDeques, 64);
+  const auto b = StealPool::steal_schedule(kSeed, 2, kDeques, 64);
+  EXPECT_EQ(a, b);  // pure function of (seed, self)
+
+  std::set<int> victims;
+  for (int v : a) {
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, kDeques);
+    EXPECT_NE(v, 2);  // never probes itself
+    victims.insert(v);
+  }
+  EXPECT_EQ(victims.size(), static_cast<std::size_t>(kDeques - 1))
+      << "64 draws must cover all 5 other slots under this seed";
+
+  // Different slots get different probe orders (they'd otherwise convoy).
+  EXPECT_NE(a, StealPool::steal_schedule(kSeed, 3, kDeques, 64));
+  // Different seeds replay differently.
+  EXPECT_NE(a, StealPool::steal_schedule(kSeed + 1, 2, kDeques, 64));
+}
+
+// ------------------------------------------- pool-backed engine + SpMV
+
+TEST(PooledEngine, SizeOneDispatchBypassesThePool) {
+  StealPool pool({.nthreads = 2});
+  ExecutionEngine eng(EngineConfig{.nthreads = 1, .pool = &pool});
+  ASSERT_TRUE(eng.pooled());
+  const std::uint64_t before = pool.stats().dispatches;
+  std::atomic<int> ran{0};
+  eng.parallel([&](int, int) { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 1);
+  // The size-1 fast path is a direct call: no pool traffic at all.
+  EXPECT_EQ(pool.stats().dispatches, before);
+}
+
+TEST(PooledEngine, RecycleDelegatesToThePool) {
+  StealPool pool({.nthreads = 2});
+  ExecutionEngine eng(EngineConfig{.nthreads = 4, .pool = &pool});
+  ASSERT_TRUE(eng.recycle());
+  EXPECT_EQ(pool.stats().recycles, 1u);
+  std::atomic<int> ran{0};
+  eng.parallel([&](int, int) { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 4);
+}
+
+/// The multi-caller concurrency battery: K threads each run the full
+/// adversarial fuzz catalog through ONE shared pool, at several engine span
+/// counts and across the plan families with distinct pooled code paths
+/// (baseline static, dynamic cursor, merge fix-up, split long-row
+/// reduction), every result checked against the Kahan oracle.  Concurrent
+/// run() calls on the SAME OptimizedSpmv instance are part of the contract
+/// being tested (the server's hot-cache-entry case).
+TEST(PooledSpmv, ConcurrentCallersMatchOracleAcrossCatalog) {
+  StealPool pool({.nthreads = 2});
+  const auto cases = verify::adversarial_suite();
+
+  optimize::Plan dynamic_plan;
+  dynamic_plan.sched = kernels::Sched::Dynamic;
+  dynamic_plan.dynamic_chunk = 4;
+  optimize::Plan merge_plan;
+  merge_plan.merge_path = true;
+  optimize::Plan split_plan;
+  split_plan.split_long_rows = true;
+  const optimize::Plan plans[] = {optimize::Plan{}, dynamic_plan, merge_plan,
+                                  split_plan};
+
+  struct Bound {
+    const CsrMatrix* A;
+    const char* name;
+    optimize::OptimizedSpmv spmv;
+    std::vector<value_t> x;
+  };
+  std::vector<std::unique_ptr<ExecutionEngine>> engines;
+  std::vector<Bound> bound;
+  for (int nt : {1, 2, 3, 7, 16}) {
+    engines.push_back(std::make_unique<ExecutionEngine>(
+        EngineConfig{.nthreads = nt, .pool = &pool}));
+    ExecutionEngine& eng = *engines.back();
+    for (const optimize::Plan& plan : plans) {
+      for (const auto& fc : cases) {
+        Bound b;
+        b.A = &fc.matrix;
+        b.name = fc.name.c_str();
+        b.spmv = optimize::OptimizedSpmv::create(fc.matrix, plan, eng);
+        b.x = gen::test_vector(fc.matrix.ncols());
+        bound.push_back(std::move(b));
+      }
+    }
+  }
+
+  constexpr int kCallers = 4;
+  std::vector<std::string> failures(kCallers);
+  std::vector<std::thread> callers;
+  for (int c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&bound, &failures, c] {
+      for (const Bound& b : bound) {
+        std::vector<value_t> y(static_cast<std::size_t>(b.A->nrows()), -1.0);
+        b.spmv.run(b.x.data(), y.data());
+        const auto report = verify::check_spmv(*b.A, b.x, y);
+        if (!report.pass()) {
+          failures[static_cast<std::size_t>(c)] =
+              std::string(b.name) + " [" + b.spmv.plan().to_string() +
+              "/nt=" + std::to_string(b.spmv.nthreads()) +
+              "]: " + report.to_string();
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& t : callers) t.join();
+  for (const std::string& f : failures) EXPECT_TRUE(f.empty()) << f;
+}
+
+/// Cancellation granularity across stolen sub-spans: a dispatch whose spans
+/// are distributed over pool workers must observe a deadline trip within
+/// one kCancelChunkRows chunk — not run its whole partition first.  The
+/// token below is already expired when run() starts, so every span must
+/// abort at its FIRST poll; if polling happened per-partition instead of
+/// per-chunk, the full matvec would complete and report success.
+TEST(PooledSpmv, ExpiredDeadlineTripsWithinOneChunk) {
+  StealPool pool({.nthreads = 2});
+  ExecutionEngine eng(EngineConfig{.nthreads = 4, .pool = &pool});
+  const CsrMatrix A = gen::stencil_3d_7pt(32, 32, 32);  // 32k rows: > 1 chunk
+  const std::vector<value_t> x = gen::test_vector(A.ncols());
+
+  for (const bool use_merge : {false, true}) {
+    optimize::Plan plan;
+    plan.merge_path = use_merge;
+    const auto spmv = optimize::OptimizedSpmv::create(A, plan, eng);
+    std::vector<value_t> y(static_cast<std::size_t>(A.nrows()));
+
+    const robust::CancelToken tok = robust::CancelToken::after_seconds(0.0);
+    ASSERT_TRUE(tok.cancelled());
+    Status st = spmv.run(x.data(), y.data(), tok);
+    ASSERT_FALSE(st.ok()) << "an expired deadline must abort the pooled run";
+    EXPECT_EQ(std::move(st).error().category(),
+              ErrorCategory::DeadlineExceeded);
+  }
+
+  // A live token on the same instances still completes and verifies.
+  optimize::Plan plan;
+  const auto spmv = optimize::OptimizedSpmv::create(A, plan, eng);
+  std::vector<value_t> y(static_cast<std::size_t>(A.nrows()));
+  Status ok = spmv.run(x.data(), y.data(), robust::CancelToken::never());
+  ASSERT_TRUE(ok.ok());
+  EXPECT_TRUE(verify::check_spmv(A, x, y).pass());
+}
+
+/// Mid-flight trip: a token that is LIVE when the dispatch starts and is
+/// cancelled concurrently while spans execute on pool workers.  Retried
+/// because the race is real — the matvec may legitimately finish first on a
+/// fast machine — but the matrix is large enough (1.8M nnz, memory-bound)
+/// that a 100 us cancel lands mid-run within a few attempts; every trip must
+/// surface as a typed Cancelled error, never a silent success-with-garbage.
+TEST(PooledSpmv, MidDispatchCancelUnwindsAcrossStolenSpans) {
+  StealPool pool({.nthreads = 2});
+  ExecutionEngine eng(EngineConfig{.nthreads = 4, .pool = &pool});
+  const CsrMatrix A = gen::stencil_3d_7pt(64, 64, 64);
+  const std::vector<value_t> x = gen::test_vector(A.ncols());
+  const auto spmv =
+      optimize::OptimizedSpmv::create(A, optimize::Plan{}, eng);
+  std::vector<value_t> y(static_cast<std::size_t>(A.nrows()));
+
+  bool tripped = false;
+  for (int attempt = 0; attempt < 50 && !tripped; ++attempt) {
+    const robust::CancelToken tok;  // live, no deadline
+    std::thread canceller([&tok] {
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+      tok.cancel();
+    });
+    Status st = spmv.run(x.data(), y.data(), tok);
+    canceller.join();
+    if (!st.ok()) {
+      EXPECT_EQ(std::move(st).error().category(), ErrorCategory::Cancelled);
+      tripped = true;
+    }
+  }
+  EXPECT_TRUE(tripped) << "a 100 us cancel never landed inside a ~1 ms "
+                          "dispatch across 50 attempts";
+}
+
+/// Batched pooled runs: run_many through the pool (per-item task groups)
+/// matches per-item run() bitwise, and a cancelled batch reports the typed
+/// error.
+TEST(PooledSpmv, RunManyMatchesSequentialRuns) {
+  StealPool pool({.nthreads = 2});
+  ExecutionEngine eng(EngineConfig{.nthreads = 3, .pool = &pool});
+  const CsrMatrix A = gen::stencil_3d_7pt(12, 12, 12);
+  optimize::Plan plan;
+  plan.sched = kernels::Sched::Dynamic;
+  const auto spmv = optimize::OptimizedSpmv::create(A, plan, eng);
+
+  constexpr int kRhs = 3;
+  const auto n = static_cast<std::size_t>(A.nrows());
+  std::vector<value_t> X;
+  for (int r = 0; r < kRhs; ++r) {
+    const auto xr = gen::test_vector(A.ncols(), 100 + static_cast<std::uint64_t>(r));
+    X.insert(X.end(), xr.begin(), xr.end());
+  }
+  std::vector<value_t> Y_batch(n * kRhs), Y_seq(n * kRhs);
+  spmv.run_many(X.data(), Y_batch.data(), kRhs);
+  for (int r = 0; r < kRhs; ++r)
+    spmv.run(X.data() + static_cast<std::size_t>(r) * A.ncols(),
+             Y_seq.data() + static_cast<std::size_t>(r) * n);
+  for (std::size_t i = 0; i < Y_batch.size(); ++i)
+    ASSERT_EQ(Y_batch[i], Y_seq[i]) << "index " << i;
+
+  const robust::CancelToken expired = robust::CancelToken::after_seconds(0.0);
+  Status st = spmv.run_many(X.data(), Y_batch.data(), kRhs, expired);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(std::move(st).error().category(), ErrorCategory::DeadlineExceeded);
+}
+
+}  // namespace
+}  // namespace spmvopt

@@ -1268,5 +1268,276 @@ TEST_F(RejectingSocketFixture, RetryExhaustFaultShortCircuitsTheSchedule) {
   EXPECT_EQ(core_->stats().rejected_overload, 1u);
 }
 
+// ------------------------------------------- multi-executor mode (M > 1)
+
+/// executors=4 on a shared work-stealing pool (DESIGN.md §12): requests
+/// from different connections execute CONCURRENTLY instead of serializing
+/// behind one executor's mailbox engine.
+class MultiExecSocketFixture : public SocketFixture {
+ protected:
+  void configure(ServerConfig& cfg) override {
+    cfg.executors = 4;
+    cfg.engine_threads = 2;
+    cfg.watchdog_poll_ms = 5;
+  }
+};
+
+TEST_F(MultiExecSocketFixture, SmallTenantCompletesWhileMonsterStillRuns) {
+  // Stronger than the single-executor no-starvation test: there the small
+  // tenant waits for the monster's DEADLINE to free the executor; here it
+  // must complete while the monster is STILL RUNNING — a second executor
+  // picks it up, and peak_concurrent proves the overlap.
+  Client heavy = connect();
+  const CsrMatrix big = heavy_matrix();
+  auto bigsub = heavy.submit(big);
+  ASSERT_TRUE(bigsub.ok()) << bigsub.error().to_string();
+
+  std::atomic<bool> heavy_done{false};
+  std::thread monster([&] {
+    CallOptions opts;
+    opts.request_id = 77;  // named so the test can cancel it when done
+    (void)heavy.run_many(bigsub.value().fp, heavy_rhs(big, 96), 96, opts);
+    heavy_done.store(true);
+  });
+
+  // Keep the small tenant running until its requests demonstrably overlap
+  // the monster's EXECUTION (peak_concurrent >= 2).  Wall-clock overlap
+  // alone proves nothing: the monster's 38 MB payload spends a while on the
+  // wire before its handle() ever starts.
+  Client small = connect();
+  const CsrMatrix a = small_matrix(33);
+  auto sub = small.submit(a);
+  ASSERT_TRUE(sub.ok()) << sub.error().to_string();
+  const auto x = gen::test_vector(a.ncols());
+  bool overlapped = false;
+  for (int r = 0; r < 5000 && !heavy_done.load() && !overlapped; ++r) {
+    auto y = small.run(sub.value().fp, x);
+    ASSERT_TRUE(y.ok()) << y.error().to_string();
+    expect_ulp_match(a, x, y.value());
+    overlapped = core_->stats().peak_concurrent >= 2;
+  }
+  // Don't sit through the rest of the 96-vector sweep: cancel it.
+  while (!heavy_done.load()) {
+    auto out = small.cancel(77);
+    ASSERT_TRUE(out.ok()) << out.error().to_string();
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  monster.join();
+
+  EXPECT_TRUE(overlapped)
+      << "small requests serialized behind the monster despite M=4";
+  const ServerStats st = core_->stats();
+  EXPECT_EQ(st.executors, 4);
+  EXPECT_GE(st.peak_concurrent, 2u);
+}
+
+TEST_F(MultiExecSocketFixture, StatsJsonCarriesExecutorAndPoolCounters) {
+  Client c = connect();
+  const CsrMatrix a = small_matrix(5);
+  auto sub = c.submit(a);
+  ASSERT_TRUE(sub.ok()) << sub.error().to_string();
+  const auto x = gen::test_vector(a.ncols());
+  ASSERT_TRUE(c.run(sub.value().fp, x).ok());
+
+  auto stats = c.stats_json();
+  ASSERT_TRUE(stats.ok()) << stats.error().to_string();
+  const std::string& json = stats.value();
+  // Schema stays v2: the pool object is additive, and it is ALWAYS present
+  // (zeroed in mailbox mode) so dashboards never branch on its existence.
+  EXPECT_NE(json.find("\"schema\": \"spmvopt-server-stats/v2\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"executors\": 4"), std::string::npos);
+  EXPECT_NE(json.find("\"peak_concurrent\""), std::string::npos);
+  EXPECT_NE(json.find("\"pool\""), std::string::npos);
+  for (const char* key : {"\"workers\"", "\"tasks\"", "\"steals\"",
+                          "\"parks\""})
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+
+  const ServerStats st = core_->stats();
+  EXPECT_GT(st.pool_workers, 0);
+  EXPECT_GT(st.pool_tasks, 0u);  // the run above dispatched through the pool
+}
+
+TEST_F(MultiExecSocketFixture, CancelVerbLandsAcrossExecutors) {
+  Client a = connect();
+  const CsrMatrix big = heavy_matrix();
+  auto bigsub = a.submit(big);
+  ASSERT_TRUE(bigsub.ok()) << bigsub.error().to_string();
+
+  Client b = connect();
+  std::atomic<bool> done{false};
+  bool run_ok = false;
+  Error run_err(ErrorCategory::Internal, "unset");
+  std::thread monster([&] {
+    CallOptions opts;
+    opts.request_id = 55;
+    auto r = a.run_many(bigsub.value().fp, heavy_rhs(big, 96), 96, opts);
+    run_ok = r.ok();
+    if (!r.ok()) run_err = std::move(r).error();
+    done.store(true);
+  });
+
+  // With M=4 the canceller's own requests run on a DIFFERENT executor than
+  // the target: the registry sweep must find the id in a peer's slot.
+  bool landed = false;
+  while (!done.load()) {
+    auto out = b.cancel(55);
+    ASSERT_TRUE(out.ok()) << out.error().to_string();
+    if (out.value() != CancelReply::Outcome::Unknown) {
+      landed = true;
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  monster.join();
+  if (run_ok) {
+    EXPECT_FALSE(landed);
+  } else {
+    EXPECT_EQ(run_err.category(), ErrorCategory::Cancelled)
+        << run_err.to_string();
+  }
+}
+
+TEST_F(MultiExecSocketFixture, WatchdogQuiescesPeersBeforeRecycling) {
+  if (!robust::fault_injection_enabled())
+    GTEST_SKIP() << "built without SPMVOPT_FAULT_INJECTION";
+  Client c = connect();
+  const CsrMatrix big = heavy_matrix();
+  auto bigsub = c.submit(big);
+  ASSERT_TRUE(bigsub.ok()) << bigsub.error().to_string();
+
+  // A peer tenant stays live through the whole fire-and-recycle episode:
+  // the recycle gate must drain it, recycle, and let it resume — never
+  // recycle the pool under its feet, never deadlock against it.
+  std::atomic<bool> stop_peer{false};
+  std::atomic<int> peer_failures{0};
+  std::thread peer([&] {
+    auto pc = Client::connect(socket_path_);
+    if (!pc.ok()) {
+      ++peer_failures;
+      return;
+    }
+    const CsrMatrix a = small_matrix(88);
+    auto sub = pc.value().submit(a);
+    if (!sub.ok()) {
+      ++peer_failures;
+      return;
+    }
+    const auto x = gen::test_vector(a.ncols());
+    while (!stop_peer.load()) {
+      auto y = pc.value().run(sub.value().fp, x);
+      if (!y.ok()) {
+        // The one-shot fault sweeps whichever entries are active at poll
+        // time, so the peer's own run can absorb the fire and be cancelled
+        // — a legitimate watchdog outcome.  Anything else is a failure.
+        if (y.error().category() != ErrorCategory::Cancelled) ++peer_failures;
+      } else if (!verify::check_spmv(a, x, y.value()).pass()) {
+        ++peer_failures;
+      }
+    }
+  });
+
+  // Because the fire is one-shot and the peer may absorb it (above), re-arm
+  // and rerun until the monster is the one the watchdog cancels.
+  const std::vector<value_t> rhs = heavy_rhs(big, 96);
+  bool monster_tripped = false;
+  for (int attempt = 0; attempt < 10 && !monster_tripped; ++attempt) {
+    robust::fault_arm("server.watchdog_fire");
+    CallOptions opts;
+    opts.request_id = 9;
+    auto r = c.run_many(bigsub.value().fp, rhs, 96, opts);
+    if (!r.ok()) {
+      EXPECT_EQ(r.error().category(), ErrorCategory::Cancelled)
+          << r.error().to_string();
+      monster_tripped = true;
+    }
+  }
+  robust::fault_disarm_all();
+
+  ServerStats st;
+  const auto give_up =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  do {
+    st = core_->stats();
+    if (st.watchdog_fires >= 1 && st.engine_recycles >= 1) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  } while (std::chrono::steady_clock::now() < give_up);
+  stop_peer.store(true);
+  peer.join();
+
+  EXPECT_TRUE(monster_tripped);
+  EXPECT_GE(st.watchdog_fires, 1u);
+  EXPECT_GE(st.engine_recycles, 1u);
+  EXPECT_EQ(peer_failures.load(), 0);
+
+  // Post-recycle correctness on a fresh pool.
+  const CsrMatrix a = small_matrix(66);
+  auto sub = c.submit(a);
+  ASSERT_TRUE(sub.ok()) << sub.error().to_string();
+  const auto x = gen::test_vector(a.ncols());
+  auto y = c.run(sub.value().fp, x);
+  ASSERT_TRUE(y.ok()) << y.error().to_string();
+  expect_ulp_match(a, x, y.value());
+}
+
+TEST_F(MultiExecSocketFixture, DrainCancelsEveryInFlightExecutor) {
+  const CsrMatrix big = heavy_matrix();
+  Fingerprint fp;
+  {
+    Client c = connect();
+    auto bigsub = c.submit(big);
+    ASSERT_TRUE(bigsub.ok()) << bigsub.error().to_string();
+    fp = bigsub.value().fp;
+  }
+  constexpr int kHeavy = 3;
+  std::atomic<int> resolved{0};
+  std::vector<std::thread> monsters;
+  for (int i = 0; i < kHeavy; ++i) {
+    monsters.emplace_back([&] {
+      auto c = Client::connect(socket_path_);
+      if (!c.ok()) {
+        ++resolved;  // server already draining: also a legal resolution
+        return;
+      }
+      // Unnamed on purpose (retryable rejection; see the M=1 drain test).
+      auto r = c.value().run_many(fp, heavy_rhs(big, 96), 96);
+      if (!r.ok()) {
+        const ErrorCategory cat = r.error().category();
+        EXPECT_TRUE(cat == ErrorCategory::Cancelled ||
+                    cat == ErrorCategory::Resource ||
+                    cat == ErrorCategory::Io)
+            << r.error().to_string();
+      }
+      ++resolved;
+    });
+  }
+  // Let the frames land on distinct executors, then pull the plug.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  sock_->drain(0.0);
+  for (auto& t : monsters) t.join();
+  EXPECT_EQ(resolved.load(), kHeavy);  // a hang, not an error, is the bug
+  EXPECT_FALSE(Client::connect(socket_path_).ok());
+}
+
+TEST_F(MultiExecSocketFixture, DrainRacingWaitThenStopShutsDownOnce) {
+  // The daemon's exact shutdown arrangement: a signal thread calls
+  // drain() (which ends in stop()) while the main thread sits in wait()
+  // and calls stop() itself the moment stopping_ wakes it.  Both threads
+  // reach stop()'s join phase; before it was serialized this deadlocked
+  // deterministically at executors > 1 (two join()s of one std::thread).
+  Client c = connect();
+  const CsrMatrix a = small_matrix(33);
+  auto sub = c.submit(a);
+  ASSERT_TRUE(sub.ok()) << sub.error().to_string();
+  auto y = c.run(sub.value().fp, gen::test_vector(a.ncols()));
+  ASSERT_TRUE(y.ok()) << y.error().to_string();
+
+  std::thread signal_thread([this] { sock_->drain(0.05); });
+  sock_->wait();
+  sock_->stop();
+  signal_thread.join();  // a deadlock here trips the ctest timeout
+  EXPECT_FALSE(Client::connect(socket_path_).ok());
+}
+
 }  // namespace
 }  // namespace spmvopt::server

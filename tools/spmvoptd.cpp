@@ -1,8 +1,8 @@
 // spmvoptd — the long-running multi-tenant SpMV server (DESIGN.md §9).
 //
 //   spmvoptd [--socket PATH] [--cache-dir DIR] [--max-bytes N]
-//            [--threads N] [--pin=compact|scatter] [--max-inflight N]
-//            [--shed N] [--drain-ms N] [--watchdog-ms N]
+//            [--threads N] [--executors N] [--pin=compact|scatter]
+//            [--max-inflight N] [--shed N] [--drain-ms N] [--watchdog-ms N]
 //
 // Binds a Unix-domain socket, keeps a persistent ExecutionEngine warm, and
 // serves submit/run/solve requests from any number of clients, amortizing
@@ -40,6 +40,9 @@ int usage() {
       "                [--cache-dir DIR]   persistent matrix+plan tier\n"
       "                [--max-bytes N]     resident cache budget (bytes)\n"
       "                [--threads N]       compute team size (default: cores)\n"
+      "                [--executors N]     concurrent request executors; > 1\n"
+      "                                    shares one work-stealing pool\n"
+      "                                    (default 1: serialized mailbox)\n"
       "                [--pin=compact|scatter]  worker affinity\n"
       "                [--max-inflight N]  reject jobs beyond this (def 64)\n"
       "                [--shed N]          shed submits beyond this (def 32)\n"
@@ -89,6 +92,9 @@ int main(int argc, char** argv) {
     } else if (a == "--threads") {
       cfg.engine_threads =
           static_cast<int>(parse_positive("--threads", next("--threads")));
+    } else if (a == "--executors") {
+      cfg.executors =
+          static_cast<int>(parse_positive("--executors", next("--executors")));
     } else if (a.rfind("--pin=", 0) == 0) {
       const auto p = parse_pin_policy(a.substr(6));
       if (!p) {
@@ -142,9 +148,10 @@ int main(int argc, char** argv) {
     return exit_code_for(ErrorCategory::Io);
   }
   std::fprintf(stderr,
-               "spmvoptd: listening on %s (%d compute threads, %s cache, "
-               "%d max in-flight)\n",
+               "spmvoptd: listening on %s (%d compute threads, %d executors, "
+               "%s cache, %d max in-flight)\n",
                socket_path.c_str(), core.stats().engine_threads,
+               cfg.executors > 1 ? cfg.executors : 1,
                cfg.cache.persist_dir.empty() ? "memory-only"
                                              : cfg.cache.persist_dir.c_str(),
                cfg.max_in_flight);
