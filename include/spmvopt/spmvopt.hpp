@@ -23,6 +23,9 @@
 // DESIGN.md §8 (raw-pointer noexcept hot path + checked std::span overload).
 #pragma once
 
+// Typed operand descriptors for the dtype-aware API (DESIGN.md §8).
+#include "support/dtype.hpp"
+
 // Matrix formats and I/O.
 #include "sparse/csr.hpp"
 #include "sparse/coo.hpp"
@@ -37,6 +40,7 @@
 #include "kernels/merge_csr.hpp"
 #include "kernels/registry.hpp"
 #include "kernels/spmm.hpp"
+#include "kernels/spmm_blocked.hpp"
 #include "kernels/spmv.hpp"
 
 // Persistent, affinity-pinned execution engine + host topology probe, and

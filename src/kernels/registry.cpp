@@ -1,12 +1,16 @@
 #include "kernels/registry.hpp"
 
+#include <omp.h>
+
 #include <algorithm>
 #include <memory>
 #include <stdexcept>
+#include <vector>
 
 #include "kernels/bcsr_kernels.hpp"
 #include "kernels/merge_csr.hpp"
 #include "kernels/sell_kernels.hpp"
+#include "kernels/spmm_blocked.hpp"
 #include "kernels/spmv.hpp"
 #include "kernels/team_body.hpp"
 #include "sparse/bcsr.hpp"
@@ -133,6 +137,99 @@ BoundSpmv bind_bcsr(const CsrMatrix& a, int) {
   return [b](const value_t* x, value_t* y) { spmv_bcsr(*b, x, y); };
 }
 
+// ---------------------------------------------------------------------------
+// spmm.* — register-blocked multi-RHS variants (DESIGN.md §13).  One bound
+// state per (matrix, threads): the balanced partition plus, for the f32/
+// f32x64 value modes, a shared float copy of the value stream made once at
+// bind (that copy IS the variant's storage format, like delta's encoding).
+// The closures speak vector-major double at the boundary and pack/convert
+// per call, so every registry consumer (differential, bench, CLI) drives
+// them like any other variant.
+// ---------------------------------------------------------------------------
+
+struct SpmmState {
+  const CsrMatrix* a;
+  RowPartition part;
+  std::shared_ptr<const std::vector<float>> vals_f32;  // null for F64
+  SpmmRangeFn fn;
+
+  [[nodiscard]] const void* values(Precision prec) const noexcept {
+    return prec == Precision::F64 ? static_cast<const void*>(a->values())
+                                  : static_cast<const void*>(vals_f32->data());
+  }
+};
+
+template <Precision P>
+std::shared_ptr<const SpmmState> make_spmm_state(const CsrMatrix& a, int t,
+                                                 SpmmIsa isa) {
+  const SpmmRangeFn fn = select_spmm_range(isa, P);
+  if (fn == nullptr) return nullptr;
+  auto st = std::make_shared<SpmmState>();
+  st->a = &a;
+  st->part = make_part(a, t);
+  st->fn = fn;
+  if constexpr (P != Precision::F64) {
+    auto vals = std::make_shared<std::vector<float>>(
+        static_cast<std::size_t>(a.nnz()));
+    const value_t* src = a.values();
+    for (std::size_t j = 0; j < vals->size(); ++j)
+      (*vals)[j] = static_cast<float>(src[j]);
+    st->vals_f32 = std::move(vals);
+  }
+  return st;
+}
+
+/// Pack, run the fused kernel over the bound partition, unpack.
+template <Precision P>
+void spmm_state_run(const SpmmState& st, const value_t* X, value_t* Y,
+                    index_t k) {
+  const CsrMatrix& a = *st.a;
+  const std::size_t xp_n = static_cast<std::size_t>(a.ncols()) *
+                           static_cast<std::size_t>(k);
+  const std::size_t yp_n = static_cast<std::size_t>(a.nrows()) *
+                           static_cast<std::size_t>(k);
+  // Per-call scratch: concurrent callers of one bound closure are safe.
+  if constexpr (operand_dtype(P) == Dtype::F32) {
+    std::vector<float> xp(xp_n), yp(yp_n);
+    spmm_pack_rhs(X, a.ncols(), k, xp.data(), P);
+#pragma omp parallel num_threads(st.part.nthreads())
+    {
+      const auto t = static_cast<std::size_t>(omp_get_thread_num());
+      st.fn(a.rowptr(), a.colind(), st.values(P), st.part.bounds[t],
+            st.part.bounds[t + 1], xp.data(), yp.data(), k);
+    }
+    spmm_unpack_result(yp.data(), a.nrows(), k, Y, P);
+  } else {
+    std::vector<double> xp(xp_n), yp(yp_n);
+    spmm_pack_rhs(X, a.ncols(), k, xp.data(), P);
+#pragma omp parallel num_threads(st.part.nthreads())
+    {
+      const auto t = static_cast<std::size_t>(omp_get_thread_num());
+      st.fn(a.rowptr(), a.colind(), st.values(P), st.part.bounds[t],
+            st.part.bounds[t + 1], xp.data(), yp.data(), k);
+    }
+    spmm_unpack_result(yp.data(), a.nrows(), k, Y, P);
+  }
+}
+
+template <SpmmIsa ISA, Precision P>
+BoundSpmv bind_spmm_spmv(const CsrMatrix& a, int t) {
+  auto st = make_spmm_state<P>(a, t, ISA);
+  if (st == nullptr) return {};
+  return [st = std::move(st)](const value_t* x, value_t* y) {
+    spmm_state_run<P>(*st, x, y, 1);
+  };
+}
+
+template <SpmmIsa ISA, Precision P>
+BoundSpmm bind_spmm_many(const CsrMatrix& a, int t) {
+  auto st = make_spmm_state<P>(a, t, ISA);
+  if (st == nullptr) return {};
+  return [st = std::move(st)](const value_t* X, value_t* Y, index_t nrhs) {
+    spmm_state_run<P>(*st, X, Y, nrhs);
+  };
+}
+
 }  // namespace
 
 const std::vector<KernelVariant>& registry() {
@@ -153,6 +250,42 @@ const std::vector<KernelVariant>& registry() {
       {"sym", {.needs_symmetric = true}, false, &bind_sym},
       {"sell", {}, true, &bind_sell},
       {"bcsr", {}, true, &bind_bcsr},
+      // Register-blocked multi-RHS SpMM, precision-suffixed.  The scalar
+      // fallback always registers; the SIMD variants only exist in binaries
+      // compiled for their ISA (the -march capability guard: with
+      // SPMVOPT_NATIVE compile-time support is runtime support, so an
+      // AVX-512 name simply never appears on a host without it).
+      {"spmm.scalar.f64", {}, true,
+       &bind_spmm_spmv<SpmmIsa::Scalar, Precision::F64>, Precision::F64,
+       &bind_spmm_many<SpmmIsa::Scalar, Precision::F64>},
+      {"spmm.scalar.f32", {}, true,
+       &bind_spmm_spmv<SpmmIsa::Scalar, Precision::F32>, Precision::F32,
+       &bind_spmm_many<SpmmIsa::Scalar, Precision::F32>},
+      {"spmm.scalar.f32x64", {}, true,
+       &bind_spmm_spmv<SpmmIsa::Scalar, Precision::F32F64>, Precision::F32F64,
+       &bind_spmm_many<SpmmIsa::Scalar, Precision::F32F64>},
+#if defined(__AVX2__)
+      {"spmm.avx2.f64", {}, true,
+       &bind_spmm_spmv<SpmmIsa::Avx2, Precision::F64>, Precision::F64,
+       &bind_spmm_many<SpmmIsa::Avx2, Precision::F64>},
+      {"spmm.avx2.f32", {}, true,
+       &bind_spmm_spmv<SpmmIsa::Avx2, Precision::F32>, Precision::F32,
+       &bind_spmm_many<SpmmIsa::Avx2, Precision::F32>},
+      {"spmm.avx2.f32x64", {}, true,
+       &bind_spmm_spmv<SpmmIsa::Avx2, Precision::F32F64>, Precision::F32F64,
+       &bind_spmm_many<SpmmIsa::Avx2, Precision::F32F64>},
+#endif
+#if defined(__AVX512F__)
+      {"spmm.avx512.f64", {}, true,
+       &bind_spmm_spmv<SpmmIsa::Avx512, Precision::F64>, Precision::F64,
+       &bind_spmm_many<SpmmIsa::Avx512, Precision::F64>},
+      {"spmm.avx512.f32", {}, true,
+       &bind_spmm_spmv<SpmmIsa::Avx512, Precision::F32>, Precision::F32,
+       &bind_spmm_many<SpmmIsa::Avx512, Precision::F32>},
+      {"spmm.avx512.f32x64", {}, true,
+       &bind_spmm_spmv<SpmmIsa::Avx512, Precision::F32F64>, Precision::F32F64,
+       &bind_spmm_many<SpmmIsa::Avx512, Precision::F32F64>},
+#endif
   };
   return table;
 }

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "sparse/csr.hpp"
+#include "support/dtype.hpp"
 #include "support/types.hpp"
 
 namespace spmvopt::kernels {
@@ -35,15 +36,29 @@ struct KernelRequirements {
 /// A named y = A*x variant bound to one matrix at one thread count.
 using BoundSpmv = std::function<void(const value_t* x, value_t* y)>;
 
+/// A named Y = A*X multi-RHS variant: X and Y are `nrhs` vector-major
+/// double vectors (the run_many layout — vector r at X + r*ncols).  Any
+/// packing or precision conversion happens inside the closure; callers
+/// always speak double at the boundary (conversion shims per DESIGN.md §8).
+using BoundSpmm =
+    std::function<void(const value_t* X, value_t* Y, index_t nrhs)>;
+
 struct KernelVariant {
   const char* name;
   KernelRequirements req;
-  /// Extension formats (SELL-C-σ, BCSR) sit outside the paper's CSR pool;
-  /// sweeps that reproduce the paper exactly filter on this.
+  /// Extension formats (SELL-C-σ, BCSR, the spmm.* blocked variants) sit
+  /// outside the paper's CSR pool; sweeps that reproduce the paper exactly
+  /// filter on this.
   bool extension = false;
   /// Bind to `A` for `threads`.  Returns an empty function when `req` is not
   /// met by this matrix (caller skips the variant).
   BoundSpmv (*bind)(const CsrMatrix& A, int threads);
+  /// Value mode of the bound computation.  The differential runner selects
+  /// its reference oracle and error policy per precision (DESIGN.md §13).
+  Precision prec = Precision::F64;
+  /// Multi-RHS binding; null for single-vector variants.  The spmm.*
+  /// variants provide it (their bind() runs the same kernel at nrhs == 1).
+  BoundSpmm (*bind_spmm)(const CsrMatrix& A, int threads) = nullptr;
 };
 
 /// The full table, fixed order, stable names.

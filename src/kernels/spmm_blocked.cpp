@@ -1,0 +1,366 @@
+#include "kernels/spmm_blocked.hpp"
+
+#include <cstddef>
+
+#if defined(__AVX2__) || defined(__AVX512F__)
+#include <immintrin.h>
+#endif
+
+namespace spmvopt::kernels {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Scalar fallback: fixed-width column blocks held in a local accumulator
+// array the compiler keeps in registers.  One template serves all three
+// precisions (VT = value storage, OT = operand storage, AT = accumulator).
+// ---------------------------------------------------------------------------
+
+template <class VT, class OT, class AT>
+void range_scalar(const index_t* rowptr, const index_t* colind,
+                  const void* vals_raw, index_t lo, index_t hi,
+                  const void* xp_raw, void* yp_raw, index_t k) {
+  const VT* vals = static_cast<const VT*>(vals_raw);
+  const OT* X = static_cast<const OT*>(xp_raw);
+  OT* Y = static_cast<OT*>(yp_raw);
+  constexpr index_t kBlock = 8;
+  for (index_t i = lo; i < hi; ++i) {
+    const index_t b = rowptr[i], e = rowptr[i + 1];
+    OT* yr = Y + static_cast<std::size_t>(i) * k;
+    for (index_t c0 = 0; c0 < k; c0 += kBlock) {
+      const index_t cb = k - c0 < kBlock ? k - c0 : kBlock;
+      AT acc[kBlock] = {};
+      for (index_t j = b; j < e; ++j) {
+        const AT v = static_cast<AT>(vals[j]);
+        const OT* xr =
+            X + static_cast<std::size_t>(colind[j]) * k + c0;
+        for (index_t c = 0; c < cb; ++c)
+          acc[c] += v * static_cast<AT>(xr[c]);
+      }
+      for (index_t c = 0; c < cb; ++c)
+        yr[c0 + c] = static_cast<OT>(acc[c]);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// AVX2: double operands in blocks of 8 columns (two ymm accumulators),
+// then 4, then a scalar tail; float operands in blocks of 16/8 + tail.
+// The f64 and f32x64 paths share one template — only the value broadcast
+// differs (double load vs float load widened by the set1 conversion).
+// ---------------------------------------------------------------------------
+
+#if defined(__AVX2__)
+
+template <class VT>
+void range_avx2_pd(const index_t* rowptr, const index_t* colind,
+                   const void* vals_raw, index_t lo, index_t hi,
+                   const void* xp_raw, void* yp_raw, index_t k) {
+  const VT* vals = static_cast<const VT*>(vals_raw);
+  const double* X = static_cast<const double*>(xp_raw);
+  double* Y = static_cast<double*>(yp_raw);
+  for (index_t i = lo; i < hi; ++i) {
+    const index_t b = rowptr[i], e = rowptr[i + 1];
+    double* yr = Y + static_cast<std::size_t>(i) * k;
+    index_t c0 = 0;
+    for (; c0 + 8 <= k; c0 += 8) {
+      __m256d a0 = _mm256_setzero_pd();
+      __m256d a1 = _mm256_setzero_pd();
+      for (index_t j = b; j < e; ++j) {
+        const __m256d v = _mm256_set1_pd(static_cast<double>(vals[j]));
+        const double* xr =
+            X + static_cast<std::size_t>(colind[j]) * k + c0;
+        a0 = _mm256_fmadd_pd(v, _mm256_loadu_pd(xr), a0);
+        a1 = _mm256_fmadd_pd(v, _mm256_loadu_pd(xr + 4), a1);
+      }
+      _mm256_storeu_pd(yr + c0, a0);
+      _mm256_storeu_pd(yr + c0 + 4, a1);
+    }
+    for (; c0 + 4 <= k; c0 += 4) {
+      __m256d a0 = _mm256_setzero_pd();
+      for (index_t j = b; j < e; ++j) {
+        const __m256d v = _mm256_set1_pd(static_cast<double>(vals[j]));
+        const double* xr =
+            X + static_cast<std::size_t>(colind[j]) * k + c0;
+        a0 = _mm256_fmadd_pd(v, _mm256_loadu_pd(xr), a0);
+      }
+      _mm256_storeu_pd(yr + c0, a0);
+    }
+    if (c0 < k) {
+      const index_t cb = k - c0;
+      double acc[3] = {};
+      for (index_t j = b; j < e; ++j) {
+        const double v = static_cast<double>(vals[j]);
+        const double* xr =
+            X + static_cast<std::size_t>(colind[j]) * k + c0;
+        for (index_t c = 0; c < cb; ++c) acc[c] += v * xr[c];
+      }
+      for (index_t c = 0; c < cb; ++c) yr[c0 + c] = acc[c];
+    }
+  }
+}
+
+void range_avx2_ps(const index_t* rowptr, const index_t* colind,
+                   const void* vals_raw, index_t lo, index_t hi,
+                   const void* xp_raw, void* yp_raw, index_t k) {
+  const float* vals = static_cast<const float*>(vals_raw);
+  const float* X = static_cast<const float*>(xp_raw);
+  float* Y = static_cast<float*>(yp_raw);
+  for (index_t i = lo; i < hi; ++i) {
+    const index_t b = rowptr[i], e = rowptr[i + 1];
+    float* yr = Y + static_cast<std::size_t>(i) * k;
+    index_t c0 = 0;
+    for (; c0 + 16 <= k; c0 += 16) {
+      __m256 a0 = _mm256_setzero_ps();
+      __m256 a1 = _mm256_setzero_ps();
+      for (index_t j = b; j < e; ++j) {
+        const __m256 v = _mm256_set1_ps(vals[j]);
+        const float* xr =
+            X + static_cast<std::size_t>(colind[j]) * k + c0;
+        a0 = _mm256_fmadd_ps(v, _mm256_loadu_ps(xr), a0);
+        a1 = _mm256_fmadd_ps(v, _mm256_loadu_ps(xr + 8), a1);
+      }
+      _mm256_storeu_ps(yr + c0, a0);
+      _mm256_storeu_ps(yr + c0 + 8, a1);
+    }
+    for (; c0 + 8 <= k; c0 += 8) {
+      __m256 a0 = _mm256_setzero_ps();
+      for (index_t j = b; j < e; ++j) {
+        const __m256 v = _mm256_set1_ps(vals[j]);
+        const float* xr =
+            X + static_cast<std::size_t>(colind[j]) * k + c0;
+        a0 = _mm256_fmadd_ps(v, _mm256_loadu_ps(xr), a0);
+      }
+      _mm256_storeu_ps(yr + c0, a0);
+    }
+    if (c0 < k) {
+      const index_t cb = k - c0;
+      float acc[7] = {};
+      for (index_t j = b; j < e; ++j) {
+        const float v = vals[j];
+        const float* xr =
+            X + static_cast<std::size_t>(colind[j]) * k + c0;
+        for (index_t c = 0; c < cb; ++c) acc[c] += v * xr[c];
+      }
+      for (index_t c = 0; c < cb; ++c) yr[c0 + c] = acc[c];
+    }
+  }
+}
+
+#endif  // __AVX2__
+
+// ---------------------------------------------------------------------------
+// AVX-512: same shape with zmm registers — 16/8-column double blocks and
+// 32/16-column float blocks, AVX2-width then scalar tails.
+// ---------------------------------------------------------------------------
+
+#if defined(__AVX512F__)
+
+template <class VT>
+void range_avx512_pd(const index_t* rowptr, const index_t* colind,
+                     const void* vals_raw, index_t lo, index_t hi,
+                     const void* xp_raw, void* yp_raw, index_t k) {
+  const VT* vals = static_cast<const VT*>(vals_raw);
+  const double* X = static_cast<const double*>(xp_raw);
+  double* Y = static_cast<double*>(yp_raw);
+  for (index_t i = lo; i < hi; ++i) {
+    const index_t b = rowptr[i], e = rowptr[i + 1];
+    double* yr = Y + static_cast<std::size_t>(i) * k;
+    index_t c0 = 0;
+    for (; c0 + 16 <= k; c0 += 16) {
+      __m512d a0 = _mm512_setzero_pd();
+      __m512d a1 = _mm512_setzero_pd();
+      for (index_t j = b; j < e; ++j) {
+        const __m512d v = _mm512_set1_pd(static_cast<double>(vals[j]));
+        const double* xr =
+            X + static_cast<std::size_t>(colind[j]) * k + c0;
+        a0 = _mm512_fmadd_pd(v, _mm512_loadu_pd(xr), a0);
+        a1 = _mm512_fmadd_pd(v, _mm512_loadu_pd(xr + 8), a1);
+      }
+      _mm512_storeu_pd(yr + c0, a0);
+      _mm512_storeu_pd(yr + c0 + 8, a1);
+    }
+    for (; c0 + 8 <= k; c0 += 8) {
+      __m512d a0 = _mm512_setzero_pd();
+      for (index_t j = b; j < e; ++j) {
+        const __m512d v = _mm512_set1_pd(static_cast<double>(vals[j]));
+        const double* xr =
+            X + static_cast<std::size_t>(colind[j]) * k + c0;
+        a0 = _mm512_fmadd_pd(v, _mm512_loadu_pd(xr), a0);
+      }
+      _mm512_storeu_pd(yr + c0, a0);
+    }
+    if (c0 < k) {
+      const index_t cb = k - c0;
+      double acc[7] = {};
+      for (index_t j = b; j < e; ++j) {
+        const double v = static_cast<double>(vals[j]);
+        const double* xr =
+            X + static_cast<std::size_t>(colind[j]) * k + c0;
+        for (index_t c = 0; c < cb; ++c) acc[c] += v * xr[c];
+      }
+      for (index_t c = 0; c < cb; ++c) yr[c0 + c] = acc[c];
+    }
+  }
+}
+
+void range_avx512_ps(const index_t* rowptr, const index_t* colind,
+                     const void* vals_raw, index_t lo, index_t hi,
+                     const void* xp_raw, void* yp_raw, index_t k) {
+  const float* vals = static_cast<const float*>(vals_raw);
+  const float* X = static_cast<const float*>(xp_raw);
+  float* Y = static_cast<float*>(yp_raw);
+  for (index_t i = lo; i < hi; ++i) {
+    const index_t b = rowptr[i], e = rowptr[i + 1];
+    float* yr = Y + static_cast<std::size_t>(i) * k;
+    index_t c0 = 0;
+    for (; c0 + 32 <= k; c0 += 32) {
+      __m512 a0 = _mm512_setzero_ps();
+      __m512 a1 = _mm512_setzero_ps();
+      for (index_t j = b; j < e; ++j) {
+        const __m512 v = _mm512_set1_ps(vals[j]);
+        const float* xr =
+            X + static_cast<std::size_t>(colind[j]) * k + c0;
+        a0 = _mm512_fmadd_ps(v, _mm512_loadu_ps(xr), a0);
+        a1 = _mm512_fmadd_ps(v, _mm512_loadu_ps(xr + 16), a1);
+      }
+      _mm512_storeu_ps(yr + c0, a0);
+      _mm512_storeu_ps(yr + c0 + 16, a1);
+    }
+    for (; c0 + 16 <= k; c0 += 16) {
+      __m512 a0 = _mm512_setzero_ps();
+      for (index_t j = b; j < e; ++j) {
+        const __m512 v = _mm512_set1_ps(vals[j]);
+        const float* xr =
+            X + static_cast<std::size_t>(colind[j]) * k + c0;
+        a0 = _mm512_fmadd_ps(v, _mm512_loadu_ps(xr), a0);
+      }
+      _mm512_storeu_ps(yr + c0, a0);
+    }
+    if (c0 < k) {
+      const index_t cb = k - c0;
+      float acc[15] = {};
+      for (index_t j = b; j < e; ++j) {
+        const float v = vals[j];
+        const float* xr =
+            X + static_cast<std::size_t>(colind[j]) * k + c0;
+        for (index_t c = 0; c < cb; ++c) acc[c] += v * xr[c];
+      }
+      for (index_t c = 0; c < cb; ++c) yr[c0 + c] = acc[c];
+    }
+  }
+}
+
+#endif  // __AVX512F__
+
+}  // namespace
+
+const char* spmm_isa_name(SpmmIsa isa) noexcept {
+  switch (isa) {
+    case SpmmIsa::Avx2: return "avx2";
+    case SpmmIsa::Avx512: return "avx512";
+    case SpmmIsa::Scalar: break;
+  }
+  return "scalar";
+}
+
+bool spmm_isa_available(SpmmIsa isa) noexcept {
+  switch (isa) {
+    case SpmmIsa::Scalar:
+      return true;
+    case SpmmIsa::Avx2:
+#if defined(__AVX2__)
+      return true;
+#else
+      return false;
+#endif
+    case SpmmIsa::Avx512:
+#if defined(__AVX512F__)
+      return true;
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+SpmmIsa spmm_best_isa() noexcept {
+#if defined(__AVX512F__)
+  return SpmmIsa::Avx512;
+#elif defined(__AVX2__)
+  return SpmmIsa::Avx2;
+#else
+  return SpmmIsa::Scalar;
+#endif
+}
+
+SpmmRangeFn select_spmm_range(SpmmIsa isa, Precision prec) noexcept {
+  switch (isa) {
+    case SpmmIsa::Scalar:
+      switch (prec) {
+        case Precision::F64: return &range_scalar<double, double, double>;
+        case Precision::F32: return &range_scalar<float, float, float>;
+        case Precision::F32F64: return &range_scalar<float, double, double>;
+      }
+      return nullptr;
+    case SpmmIsa::Avx2:
+#if defined(__AVX2__)
+      switch (prec) {
+        case Precision::F64: return &range_avx2_pd<double>;
+        case Precision::F32: return &range_avx2_ps;
+        case Precision::F32F64: return &range_avx2_pd<float>;
+      }
+#endif
+      return nullptr;
+    case SpmmIsa::Avx512:
+#if defined(__AVX512F__)
+      switch (prec) {
+        case Precision::F64: return &range_avx512_pd<double>;
+        case Precision::F32: return &range_avx512_ps;
+        case Precision::F32F64: return &range_avx512_pd<float>;
+      }
+#endif
+      return nullptr;
+  }
+  return nullptr;
+}
+
+void spmm_pack_rhs(const value_t* X, index_t n, index_t k, void* xp_raw,
+                   Precision prec) noexcept {
+  if (operand_dtype(prec) == Dtype::F32) {
+    float* Xp = static_cast<float*>(xp_raw);
+    for (index_t r = 0; r < k; ++r) {
+      const value_t* src = X + static_cast<std::size_t>(r) * n;
+      for (index_t j = 0; j < n; ++j)
+        Xp[static_cast<std::size_t>(j) * k + r] = static_cast<float>(src[j]);
+    }
+  } else {
+    double* Xp = static_cast<double*>(xp_raw);
+    for (index_t r = 0; r < k; ++r) {
+      const value_t* src = X + static_cast<std::size_t>(r) * n;
+      for (index_t j = 0; j < n; ++j)
+        Xp[static_cast<std::size_t>(j) * k + r] = src[j];
+    }
+  }
+}
+
+void spmm_unpack_result(const void* yp_raw, index_t n, index_t k, value_t* Y,
+                        Precision prec) noexcept {
+  if (operand_dtype(prec) == Dtype::F32) {
+    const float* Yp = static_cast<const float*>(yp_raw);
+    for (index_t r = 0; r < k; ++r) {
+      value_t* dst = Y + static_cast<std::size_t>(r) * n;
+      for (index_t i = 0; i < n; ++i)
+        dst[i] =
+            static_cast<value_t>(Yp[static_cast<std::size_t>(i) * k + r]);
+    }
+  } else {
+    const double* Yp = static_cast<const double*>(yp_raw);
+    for (index_t r = 0; r < k; ++r) {
+      value_t* dst = Y + static_cast<std::size_t>(r) * n;
+      for (index_t i = 0; i < n; ++i)
+        dst[i] = Yp[static_cast<std::size_t>(i) * k + r];
+    }
+  }
+}
+
+}  // namespace spmvopt::kernels

@@ -1,0 +1,71 @@
+// Register-blocked multi-RHS SpMM with mixed-precision value modes
+// (DESIGN.md §13).
+//
+// The kernel vectorizes ACROSS right-hand-side columns instead of along a
+// row: operands are packed row-major (element (j, r) of an n×k block at
+// `X[j*k + r]`), so each nonzero a_ij contributes one broadcast multiply
+// against a unit-stride slice of X's row j.  A column block wide enough to
+// fill two vector registers stays resident in registers across the whole
+// row — per nonzero that is 1 value load + 1 column-index load + 2 FMAs,
+// versus SpMV's gather-limited 1 load + 1 gather + horizontal reduction.
+// Matrix traffic (the MB-class bottleneck, paper §V) is amortized over k
+// columns.
+//
+// Determinism contract: for a fixed SpmmRangeFn, each (row, column) output
+// is accumulated in ascending-j order in a dedicated register lane — the
+// result is a pure function of the row range, bitwise identical across
+// thread counts, execution modes, and call batching.  Different ISAs (or
+// the scalar fallback) may round differently (FMA contraction); cross-ISA
+// comparisons go through the ULP/forward-bound oracle, not bitwise.
+#pragma once
+
+#include "support/dtype.hpp"
+#include "support/types.hpp"
+
+namespace spmvopt::kernels {
+
+/// Instruction set of a blocked-SpMM variant.  Registration is gated by
+/// the compile-time macros (`__AVX2__` / `__AVX512F__`): with
+/// SPMVOPT_NATIVE the binary targets the build host, so compile-time
+/// support IS runtime support, and AVX-512 variants simply do not register
+/// on hosts without it.
+enum class SpmmIsa : std::uint8_t { Scalar = 0, Avx2 = 1, Avx512 = 2 };
+
+[[nodiscard]] const char* spmm_isa_name(SpmmIsa isa) noexcept;
+
+/// True when the ISA's kernels are compiled into this binary.
+[[nodiscard]] bool spmm_isa_available(SpmmIsa isa) noexcept;
+
+/// Widest ISA compiled into this binary.
+[[nodiscard]] SpmmIsa spmm_best_isa() noexcept;
+
+/// Fused blocked SpMM over the row range [lo, hi).  Buffer element types
+/// are fixed by the Precision the function was selected for:
+///
+///   precision   vals     Xp / Yp    accumulate
+///   F64         double   double     double
+///   F32         float    float      float
+///   F32F64      float    double     double
+///
+/// Xp is row-major ncols×k, Yp row-major nrows×k (only rows [lo,hi) are
+/// written).  k >= 1; k == 1 degenerates to SpMV.
+using SpmmRangeFn = void (*)(const index_t* rowptr, const index_t* colind,
+                             const void* vals, index_t lo, index_t hi,
+                             const void* Xp, void* Yp, index_t k);
+
+/// Kernel for (isa, precision); nullptr when the ISA is not compiled in.
+[[nodiscard]] SpmmRangeFn select_spmm_range(SpmmIsa isa,
+                                            Precision prec) noexcept;
+
+/// Pack `k` vector-major double vectors of length n (the run_many layout,
+/// vector r at X + r*n) into a row-major n×k block in `prec`'s operand
+/// dtype.  Xp must hold n*k elements of that dtype.
+void spmm_pack_rhs(const value_t* X, index_t n, index_t k, void* Xp,
+                   Precision prec) noexcept;
+
+/// Inverse of spmm_pack_rhs for the result block: row-major n×k in `prec`'s
+/// operand dtype back to k vector-major double vectors.
+void spmm_unpack_result(const void* Yp, index_t n, index_t k, value_t* Y,
+                        Precision prec) noexcept;
+
+}  // namespace spmvopt::kernels

@@ -1,7 +1,10 @@
 #include "optimize/optimized_spmv.hpp"
 
+#include <omp.h>
+
 #include <algorithm>
 #include <stdexcept>
+#include <vector>
 
 #include "kernels/bcsr_kernels.hpp"
 #include "kernels/sell_kernels.hpp"
@@ -23,6 +26,12 @@ OptimizedSpmv OptimizedSpmv::create(const CsrMatrix& A, const Plan& plan,
   o.ncols_ = A.ncols();
   o.pf_dist_ = static_cast<index_t>(cpu_info().doubles_per_line());
 
+  if (plan.precision != Precision::F64 &&
+      (plan.delta || plan.split_long_rows || plan.merge_path || plan.sell ||
+       plan.bcsr))
+    throw std::invalid_argument(
+        "OptimizedSpmv: a non-f64 precision is a whole-value-format plan "
+        "(plain CSR only; no delta/split/merge/sell/bcsr)");
   if (plan.split_long_rows && plan.delta)
     throw std::invalid_argument(
         "OptimizedSpmv: split and delta cannot be combined");
@@ -166,6 +175,24 @@ OptimizedSpmv OptimizedSpmv::create(const CsrMatrix& A, const Plan& plan,
         kernels::select_csr_range(o.plan_.compute, o.plan_.prefetch);
   }
 
+  // Fused register-blocked SpMM (DESIGN.md §13) binds to plain-CSR plans
+  // only — the structural formats reorder values, and the merge partition
+  // is its own schedule.  The non-F64 value modes additionally convert the
+  // value stream to float here, once (that copy IS their storage format).
+  if (o.csr_ != nullptr && o.merge_fn_ == nullptr) {
+    o.spmm_fn_ = kernels::select_spmm_range(kernels::spmm_best_isa(),
+                                            o.plan_.precision);
+    if (o.plan_.precision != Precision::F64) {
+      auto vals = std::make_shared<std::vector<float>>(
+          static_cast<std::size_t>(A.nnz()));
+      const value_t* src = A.values();
+      for (std::size_t j = 0; j < vals->size(); ++j)
+        (*vals)[j] = static_cast<float>(src[j]);
+      o.vals_f32_ = std::move(vals);
+      o.vaf_ = o.vals_f32_->data();
+    }
+  }
+
   o.pre_sec_ = timer.elapsed_sec();
   return o;
 }
@@ -190,6 +217,11 @@ OptimizedSpmv OptimizedSpmv::create(const CsrMatrix& A, const Plan& plan,
     index_t* dst_rp = o.own_rowptr_.data();
     index_t* dst_ci = o.own_colind_.data();
     value_t* dst_va = o.own_vals_.data();
+    float* dst_vf = nullptr;
+    if (o.plan_.precision != Precision::F64) {
+      o.own_vals_f32_ = numa_vector<float>(static_cast<std::size_t>(A.nnz()));
+      dst_vf = o.own_vals_f32_.data();
+    }
     const RowPartition& part = o.part_;
     eng.parallel([&](int tid, int nt) {
       for (int p = tid; p < part.nthreads(); p += nt) {
@@ -202,11 +234,20 @@ OptimizedSpmv OptimizedSpmv::create(const CsrMatrix& A, const Plan& plan,
         const std::size_t jn = static_cast<std::size_t>(src_rp[hi] - j0);
         first_touch_copy(dst_ci + j0, src_ci + j0, jn);
         first_touch_copy(dst_va + j0, src_va + j0, jn);
+        // The converting copy first-touches the float stream the same way.
+        if (dst_vf != nullptr)
+          for (std::size_t q = 0; q < jn; ++q)
+            dst_vf[static_cast<std::size_t>(j0) + q] =
+                static_cast<float>(src_va[static_cast<std::size_t>(j0) + q]);
       }
     });
     o.rp_ = dst_rp;
     o.ci_ = dst_ci;
     o.va_ = dst_va;
+    if (dst_vf != nullptr) {
+      o.vaf_ = dst_vf;
+      o.vals_f32_.reset();
+    }
   }
   // Split/delta range kernels, SELL/BCSR slice partitions, and the raw-array
   // views were already selected by the base create() (team size matches:
@@ -303,7 +344,72 @@ void OptimizedSpmv::engine_body(int tid, int nt, const value_t* x,
   }
 }
 
+void OptimizedSpmv::spmm_dispatch(const void* Xp, void* Yp,
+                                  index_t k) const noexcept {
+  const void* vals = plan_.precision == Precision::F64
+                         ? static_cast<const void*>(va_)
+                         : static_cast<const void*>(vaf_);
+  if (engine_ != nullptr) {
+    // Barrier-free body: legal in mailbox AND pooled mode, and since each
+    // member's row range is fixed by the balanced partition, the result is
+    // bitwise identical to the unbound path below.
+    engine_->parallel([this, vals, Xp, Yp, k](int tid, int) {
+      spmm_fn_(rp_, ci_, vals, part_.bounds[tid], part_.bounds[tid + 1], Xp,
+               Yp, k);
+    });
+    return;
+  }
+#pragma omp parallel num_threads(part_.nthreads())
+  {
+    const int tid = omp_get_thread_num();
+    spmm_fn_(rp_, ci_, vals, part_.bounds[tid], part_.bounds[tid + 1], Xp, Yp,
+             k);
+  }
+}
+
+void OptimizedSpmv::prec_run(const value_t* x, value_t* y) const noexcept {
+  if (plan_.precision == Precision::F32F64) {
+    // Double operands, float value stream: no conversion on the hot path —
+    // an n×1 row-major block IS the plain vector.
+    spmm_dispatch(x, y, 1);
+    return;
+  }
+  // F32: round the operands at the boundary (O(n), amortized against the
+  // O(nnz) kernel), run in float, widen the result back.
+  std::vector<float> xf(static_cast<std::size_t>(ncols_));
+  std::vector<float> yf(static_cast<std::size_t>(nrows_));
+  kernels::spmm_pack_rhs(x, ncols_, 1, xf.data(), Precision::F32);
+  spmm_dispatch(xf.data(), yf.data(), 1);
+  kernels::spmm_unpack_result(yf.data(), nrows_, 1, y, Precision::F32);
+}
+
+void OptimizedSpmv::spmm_run_batch(const value_t* X, value_t* Y,
+                                   index_t nrhs) const noexcept {
+  const Precision prec = plan_.precision;
+  const std::size_t xn =
+      static_cast<std::size_t>(ncols_) * static_cast<std::size_t>(nrhs);
+  const std::size_t yn =
+      static_cast<std::size_t>(nrows_) * static_cast<std::size_t>(nrhs);
+  // Per-call scratch: concurrent run_many() callers on one instance (the
+  // multi-executor server) never share pack buffers.
+  if (operand_dtype(prec) == Dtype::F32) {
+    std::vector<float> xp(xn), yp(yn);
+    kernels::spmm_pack_rhs(X, ncols_, nrhs, xp.data(), prec);
+    spmm_dispatch(xp.data(), yp.data(), nrhs);
+    kernels::spmm_unpack_result(yp.data(), nrows_, nrhs, Y, prec);
+  } else {
+    std::vector<double> xp(xn), yp(yn);
+    kernels::spmm_pack_rhs(X, ncols_, nrhs, xp.data(), prec);
+    spmm_dispatch(xp.data(), yp.data(), nrhs);
+    kernels::spmm_unpack_result(yp.data(), nrows_, nrhs, Y, prec);
+  }
+}
+
 void OptimizedSpmv::run(const value_t* x, value_t* y) const noexcept {
+  if (plan_.precision != Precision::F64) {
+    prec_run(x, y);
+    return;
+  }
   if (engine_ != nullptr) {
     if (engine_->pooled()) {
       pooled_run(x, y);
@@ -342,6 +448,16 @@ void OptimizedSpmv::run(std::span<const value_t> x,
 void OptimizedSpmv::run_many(const value_t* X, value_t* Y,
                              int nrhs) const noexcept {
   if (nrhs <= 0) return;
+  if (spmm_fn_ != nullptr && nrhs >= 2) {
+    // Plain-CSR batch: one fused register-blocked SpMM — the matrix streams
+    // through the cores once for the whole batch (DESIGN.md §13).
+    spmm_run_batch(X, Y, static_cast<index_t>(nrhs));
+    return;
+  }
+  if (plan_.precision != Precision::F64) {
+    prec_run(X, Y);  // nrhs == 1
+    return;
+  }
   if (engine_ == nullptr) {
     for (int r = 0; r < nrhs; ++r)
       run(X + static_cast<std::size_t>(r) * ncols_,
@@ -384,6 +500,92 @@ void OptimizedSpmv::run_many(std::span<const value_t> X, std::span<value_t> Y,
     throw std::invalid_argument(
         "OptimizedSpmv::run_many: batch size mismatch");
   run_many(X.data(), Y.data(), nrhs);
+}
+
+void OptimizedSpmv::run(ConstVectorView x, VectorView y) const {
+  if (x.count != ncols_ || y.count != nrows_)
+    throw std::invalid_argument("OptimizedSpmv::run: vector size mismatch");
+  if (x.dtype == Dtype::F64 && y.dtype == Dtype::F64) {
+    run(static_cast<const value_t*>(x.data), static_cast<value_t*>(y.data));
+    return;
+  }
+  // f32 operand views: widen on the way in, narrow on the way out.  The
+  // computation itself still runs in the plan's precision.
+  std::vector<value_t> xd, yd;
+  const value_t* xptr;
+  if (x.dtype == Dtype::F32) {
+    const float* xs = static_cast<const float*>(x.data);
+    xd.assign(xs, xs + x.count);
+    xptr = xd.data();
+  } else {
+    xptr = static_cast<const value_t*>(x.data);
+  }
+  value_t* yptr;
+  if (y.dtype == Dtype::F32) {
+    yd.resize(static_cast<std::size_t>(nrows_));
+    yptr = yd.data();
+  } else {
+    yptr = static_cast<value_t*>(y.data);
+  }
+  run(xptr, yptr);
+  if (y.dtype == Dtype::F32) {
+    float* yo = static_cast<float*>(y.data);
+    for (index_t i = 0; i < nrows_; ++i)
+      yo[i] = static_cast<float>(yd[static_cast<std::size_t>(i)]);
+  }
+}
+
+void OptimizedSpmv::run_many(ConstMatrixView X, MatrixView Y) const {
+  if (X.rows != Y.rows)
+    throw std::invalid_argument(
+        "OptimizedSpmv::run_many: right-hand-side count mismatch");
+  if (X.cols != ncols_ || Y.cols != nrows_)
+    throw std::invalid_argument(
+        "OptimizedSpmv::run_many: batch extent mismatch");
+  if (X.row_stride() < X.cols || Y.row_stride() < Y.cols)
+    throw std::invalid_argument(
+        "OptimizedSpmv::run_many: row stride below row extent");
+  const index_t nrhs = X.rows;
+  if (nrhs <= 0) return;
+  if (X.dtype == Dtype::F64 && Y.dtype == Dtype::F64 &&
+      X.row_stride() == X.cols && Y.row_stride() == Y.cols) {
+    run_many(static_cast<const value_t*>(X.data),
+             static_cast<value_t*>(Y.data), static_cast<int>(nrhs));
+    return;
+  }
+  // Strided or f32 views: gather into the contiguous vector-major double
+  // layout, run, scatter back.
+  std::vector<value_t> xb(static_cast<std::size_t>(ncols_) *
+                          static_cast<std::size_t>(nrhs));
+  std::vector<value_t> yb(static_cast<std::size_t>(nrows_) *
+                          static_cast<std::size_t>(nrhs));
+  for (index_t r = 0; r < nrhs; ++r) {
+    value_t* dst = xb.data() + static_cast<std::size_t>(r) * ncols_;
+    const std::size_t off =
+        static_cast<std::size_t>(r) * static_cast<std::size_t>(X.row_stride());
+    if (X.dtype == Dtype::F32) {
+      const float* src = static_cast<const float*>(X.data) + off;
+      for (index_t j = 0; j < ncols_; ++j)
+        dst[j] = static_cast<value_t>(src[j]);
+    } else {
+      const value_t* src = static_cast<const value_t*>(X.data) + off;
+      std::copy(src, src + ncols_, dst);
+    }
+  }
+  run_many(xb.data(), yb.data(), static_cast<int>(nrhs));
+  for (index_t r = 0; r < nrhs; ++r) {
+    const value_t* src = yb.data() + static_cast<std::size_t>(r) * nrows_;
+    const std::size_t off =
+        static_cast<std::size_t>(r) * static_cast<std::size_t>(Y.row_stride());
+    if (Y.dtype == Dtype::F32) {
+      float* dst = static_cast<float*>(Y.data) + off;
+      for (index_t i = 0; i < nrows_; ++i)
+        dst[i] = static_cast<float>(src[i]);
+    } else {
+      value_t* dst = static_cast<value_t*>(Y.data) + off;
+      std::copy(src, src + nrows_, dst);
+    }
+  }
 }
 
 void OptimizedSpmv::cancellable_body(int tid, int nt, const value_t* x,
@@ -776,8 +978,72 @@ std::string progress_string(std::int64_t done, std::int64_t total,
 
 }  // namespace
 
+void OptimizedSpmv::spmm_cancellable(const void* Xp, void* Yp, index_t k,
+                                     CancelCtx& c) const noexcept {
+  const void* vals = plan_.precision == Precision::F64
+                         ? static_cast<const void*>(va_)
+                         : static_cast<const void*>(vaf_);
+  const auto walk = [this, vals, Xp, Yp, k, &c](index_t lo,
+                                                index_t end) noexcept {
+    while (lo < end) {
+      if (c.aborted.load(std::memory_order_relaxed)) return;
+      if (c.tok.cancelled()) {
+        c.aborted.store(true, std::memory_order_relaxed);
+        return;
+      }
+      const index_t hi = std::min<index_t>(end, lo + kCancelChunkRows);
+      spmm_fn_(rp_, ci_, vals, lo, hi, Xp, Yp, k);
+      c.done.fetch_add(static_cast<std::int64_t>(hi - lo) * k,
+                       std::memory_order_relaxed);
+      lo = hi;
+    }
+  };
+  if (engine_ != nullptr) {
+    engine_->parallel([&walk, this](int tid, int) {
+      walk(part_.bounds[tid], part_.bounds[tid + 1]);
+    });
+  } else {
+    walk(0, nrows_);
+  }
+}
+
+Status OptimizedSpmv::spmm_run_cancellable(
+    const value_t* X, value_t* Y, index_t nrhs,
+    const robust::CancelToken& tok) const {
+  CancelCtx c{tok};
+  const Precision prec = plan_.precision;
+  const std::size_t xn =
+      static_cast<std::size_t>(ncols_) * static_cast<std::size_t>(nrhs);
+  const std::size_t yn =
+      static_cast<std::size_t>(nrows_) * static_cast<std::size_t>(nrhs);
+  if (operand_dtype(prec) == Dtype::F32) {
+    std::vector<float> xp(xn), yp(yn);
+    kernels::spmm_pack_rhs(X, ncols_, nrhs, xp.data(), prec);
+    spmm_cancellable(xp.data(), yp.data(), nrhs, c);
+    if (!c.aborted.load(std::memory_order_relaxed))
+      kernels::spmm_unpack_result(yp.data(), nrows_, nrhs, Y, prec);
+  } else if (nrhs == 1) {
+    // A vector-major 1-RHS batch is already the packed layout.
+    spmm_cancellable(X, Y, 1, c);
+  } else {
+    std::vector<double> xp(xn), yp(yn);
+    kernels::spmm_pack_rhs(X, ncols_, nrhs, xp.data(), prec);
+    spmm_cancellable(xp.data(), yp.data(), nrhs, c);
+    if (!c.aborted.load(std::memory_order_relaxed))
+      kernels::spmm_unpack_result(yp.data(), nrows_, nrhs, Y, prec);
+  }
+  if (!c.aborted.load(std::memory_order_relaxed)) return Unit{};
+  return tok.to_error(progress_string(
+                          c.done.load(std::memory_order_relaxed),
+                          static_cast<std::int64_t>(nrows_) * nrhs, "rows"))
+      .with_context("while running fused SpMM (" + std::to_string(nrhs) +
+                    " right-hand sides)");
+}
+
 Status OptimizedSpmv::run(const value_t* x, value_t* y,
                           const robust::CancelToken& tok) const {
+  if (plan_.precision != Precision::F64)
+    return spmm_run_cancellable(x, y, 1, tok);
   CancelCtx c{tok};
   if (engine_ != nullptr && engine_->pooled()) {
     pooled_cancellable(x, y, c);
@@ -800,6 +1066,10 @@ Status OptimizedSpmv::run(const value_t* x, value_t* y,
 Status OptimizedSpmv::run_many(const value_t* X, value_t* Y, int nrhs,
                                const robust::CancelToken& tok) const {
   if (nrhs <= 0) return Unit{};
+  // Mirror the non-cancellable routing exactly, so a run that completes is
+  // bitwise identical to run_many() without a token.
+  if (spmm_fn_ != nullptr && (nrhs >= 2 || plan_.precision != Precision::F64))
+    return spmm_run_cancellable(X, Y, static_cast<index_t>(nrhs), tok);
   CancelCtx c{tok};
   if (engine_ == nullptr) {
     for (int r = 0; r < nrhs; ++r) {

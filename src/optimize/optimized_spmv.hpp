@@ -16,6 +16,7 @@
 #include <span>
 
 #include "engine/execution_engine.hpp"
+#include "kernels/spmm_blocked.hpp"
 #include "kernels/team_body.hpp"
 #include "optimize/plan.hpp"
 #include "robust/cancel.hpp"
@@ -76,14 +77,31 @@ class OptimizedSpmv {
 
   /// Batched multi-RHS entry: Y[r] = A * X[r] for r in [0, nrhs), X packed
   /// as nrhs vectors of length ncols(), Y as nrhs vectors of length nrows().
-  /// Engine-bound instances amortize one team dispatch across the whole
-  /// batch (the iterative-solver sweep case, §IV-D); unbound instances loop
-  /// run().
+  /// Plain-CSR instances (spmm_fused()) execute the whole batch as ONE
+  /// register-blocked SpMM (DESIGN.md §13): the matrix streams through the
+  /// cores once, vectorized across the RHS columns — tolerance-equivalent
+  /// (ULP oracle) to nrhs repeated run() calls, not bitwise, since the fused
+  /// kernel's summation order differs from the single-vector kernel's.
+  /// Within the fused kernel results ARE bitwise identical across thread
+  /// counts, execution modes and batch compositions.  Non-fusable formats
+  /// (delta/split/merge/sell/bcsr) keep the per-item dispatch; engine-bound
+  /// instances still amortize one team dispatch across the whole batch.
   void run_many(const value_t* X, value_t* Y, int nrhs) const noexcept;
 
   /// Checked overload (X.size() == nrhs*ncols(), Y.size() == nrhs*nrows()).
   void run_many(std::span<const value_t> X, std::span<value_t> Y,
                 int nrhs) const;
+
+  /// Typed single-vector entry (DESIGN.md §8): accepts f64 or f32 operand
+  /// views and converts at the boundary (the computation's value mode stays
+  /// the plan's precision).  Checked; throws on extent mismatch.
+  void run(ConstVectorView x, VectorView y) const;
+
+  /// Typed batched entry: X.rows right-hand sides, X.cols == ncols() and
+  /// Y.cols == nrows(), arbitrary row stride.  Contiguous f64 views hit the
+  /// raw run_many() path directly; strided or f32 views convert/gather at
+  /// the boundary.
+  void run_many(ConstMatrixView X, MatrixView Y) const;
 
   /// Cooperative-cancellation matvec (DESIGN.md §10).  Polls `tok` at chunk
   /// granularity — kCancelChunkRows-row slices for CSR/delta/split, one span
@@ -110,6 +128,15 @@ class OptimizedSpmv {
   static constexpr index_t kCancelChunkRows = 2048;
 
   [[nodiscard]] const Plan& plan() const noexcept { return plan_; }
+  /// Value mode this instance computes in (the plan's precision).
+  [[nodiscard]] Precision precision() const noexcept {
+    return plan_.precision;
+  }
+  /// True when run_many() fuses a batch into one register-blocked SpMM
+  /// dispatch (plain-CSR plans; the structural formats keep per-item runs).
+  [[nodiscard]] bool spmm_fused() const noexcept {
+    return spmm_fn_ != nullptr;
+  }
   [[nodiscard]] const robust::DegradationLog& degradation() const noexcept {
     return degradation_;
   }
@@ -172,6 +199,35 @@ class OptimizedSpmv {
   [[nodiscard]] std::int64_t cancel_units_total() const noexcept;
   [[nodiscard]] const char* cancel_units_name() const noexcept;
 
+  /// Single-vector matvec in a non-F64 value mode: the register-blocked
+  /// kernel at k == 1 (float-storage traffic is the point — the value
+  /// stream is half the bytes).  F32 converts the operands at the boundary.
+  void prec_run(const value_t* x, value_t* y) const noexcept;
+
+  /// One fused SpMM dispatch over the balanced partition: Xp/Yp are
+  /// row-major blocks in the precision's operand dtype.  Barrier-free, so
+  /// one body serves unbound OpenMP, mailbox and pooled execution —
+  /// bitwise-identical results across all three (rows are never
+  /// subdivided; each (row, column) accumulates in ascending-j order).
+  void spmm_dispatch(const void* Xp, void* Yp, index_t k) const noexcept;
+
+  /// Fused batch: pack the vector-major double batch, dispatch, unpack.
+  /// Per-call scratch — concurrent callers on one instance are safe.
+  void spmm_run_batch(const value_t* X, value_t* Y,
+                      index_t nrhs) const noexcept;
+
+  /// Cancellable fused dispatch: each member walks its partition range in
+  /// kCancelChunkRows slices, polling the sticky flag per slice; progress
+  /// counts rows × columns.
+  void spmm_cancellable(const void* Xp, void* Yp, index_t k,
+                        CancelCtx& c) const noexcept;
+
+  /// Cancellable fused batch with the pack/unpack boundary and the typed
+  /// partial-progress error of the other cancellable paths.
+  [[nodiscard]] Status spmm_run_cancellable(
+      const value_t* X, value_t* Y, index_t nrhs,
+      const robust::CancelToken& tok) const;
+
   Plan plan_;
   robust::DegradationLog degradation_;
   const CsrMatrix* csr_ = nullptr;  ///< view; null when a converted format owns
@@ -206,6 +262,15 @@ class OptimizedSpmv {
   numa_vector<index_t> own_colind_;
   numa_vector<value_t> own_vals_;
   RowPartition ext_part_;  ///< chunk (SELL) / block-row (BCSR) partition
+  /// Fused register-blocked SpMM kernel (widest compiled ISA, the plan's
+  /// precision); non-null exactly when the plan runs on plain CSR.
+  kernels::SpmmRangeFn spmm_fn_ = nullptr;
+  /// Float value stream for the f32/f32x64 modes, converted once at
+  /// create(); shared so the bound object stays copyable.  The engine
+  /// overload replaces it with a NUMA first-touch copy.
+  std::shared_ptr<const std::vector<float>> vals_f32_;
+  numa_vector<float> own_vals_f32_;
+  const float* vaf_ = nullptr;
   /// Work-stealing cursor for Auto/Dynamic plans inside the team (shared so
   /// the bound object stays copyable; reset before each dispatch).
   std::shared_ptr<std::atomic<index_t>> cursor_;

@@ -22,6 +22,7 @@ std::string Plan::to_string() const {
   };
   if (sell) return "sell";
   if (bcsr) return "bcsr";
+  if (precision != Precision::F64) append(precision_name(precision));
   switch (sched) {
     case Sched::BalancedStatic: break;  // the default; not printed
     case Sched::Auto: append("auto"); break;
@@ -80,6 +81,13 @@ std::string serialize_plan(const Plan& plan) {
   s += " bcsr=";
   s += plan.bcsr ? '1' : '0';
   s += " chunk=" + std::to_string(plan.dynamic_chunk);
+  // Compatibility is one-way by design: plans persisted BEFORE the
+  // precision field existed carry no `prec` key and parse here with the F64
+  // default (exactly what they meant); plans persisted by this version need
+  // this version to read (unknown keys fail closed, per the stale-cache
+  // contract above).
+  s += " prec=";
+  s += precision_name(plan.precision);
   return s;
 }
 
@@ -130,6 +138,13 @@ std::optional<Plan> deserialize_plan(std::string_view text) {
       if (!parse_bool(v, plan.sell)) return std::nullopt;
     } else if (k == "bcsr") {
       if (!parse_bool(v, plan.bcsr)) return std::nullopt;
+    } else if (k == "prec") {
+      // Absent in plans persisted before the precision field existed; the
+      // default (F64) is exactly what those plans meant.
+      if (v == "f64") plan.precision = Precision::F64;
+      else if (v == "f32") plan.precision = Precision::F32;
+      else if (v == "f32x64") plan.precision = Precision::F32F64;
+      else return std::nullopt;
     } else if (k == "chunk") {
       int chunk = 0;
       for (char c : v) {
@@ -212,6 +227,13 @@ Plan merge_plans(const Plan& a, const Plan& b) {
   // bcsr if both were requested — it handles more patterns).
   if (a.bcsr || b.bcsr) m = bcsr_plan();
   if (a.sell || b.sell) m = sell_plan();
+  // Precision is a value-format change that only the plain-CSR blocked
+  // kernel executes: it survives a merge only when no structural format won.
+  const Precision prec =
+      a.precision != Precision::F64 ? a.precision : b.precision;
+  if (prec != Precision::F64 && !m.delta && !m.split_long_rows &&
+      !m.merge_path && !m.sell && !m.bcsr)
+    m.precision = prec;
   return m;
 }
 
@@ -258,6 +280,13 @@ std::vector<Plan> enumerate_plans(const CsrMatrix& A,
       plans.push_back(p);
     }
   if (include_extensions) {
+    // Mixed-precision value modes (extensions like sell/bcsr: beyond the
+    // paper's pool).  Plain CSR only; the register-blocked kernel runs them.
+    for (Precision prec : {Precision::F32F64, Precision::F32}) {
+      Plan p;
+      p.precision = prec;
+      plans.push_back(p);
+    }
     plans.push_back(sell_plan());
     // BCSR only enters the search space when its sampled fill estimate says
     // some block shape pays (OSKI's precondition) — otherwise it degenerates

@@ -18,6 +18,7 @@
 #include "classify/classes.hpp"
 #include "kernels/compose.hpp"
 #include "sparse/csr.hpp"
+#include "support/dtype.hpp"
 
 namespace spmvopt::optimize {
 
@@ -42,6 +43,12 @@ struct Plan {
   /// the plan falls back to plain CSR when no blocking pays (query the
   /// created OptimizedSpmv's plan() for what actually runs).
   bool bcsr = false;
+  /// Value mode (DESIGN.md §13): float storage (f32x64) halves the MB-class
+  /// value-stream traffic; full f32 also accumulates in float.  A non-F64
+  /// precision is a whole-value-format change that runs the register-blocked
+  /// kernel on plain CSR — combining it with delta/split/merge/sell/bcsr
+  /// throws at OptimizedSpmv::create.
+  Precision precision = Precision::F64;
   int dynamic_chunk = 64;        ///< only for Sched::Dynamic
 
   [[nodiscard]] bool operator==(const Plan&) const = default;

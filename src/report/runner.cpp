@@ -6,6 +6,7 @@
 
 #include "classify/feature_classifier.hpp"
 #include "engine/execution_engine.hpp"
+#include "gen/generators.hpp"
 #include "gen/suite.hpp"
 #include "kernels/spmv.hpp"
 #include "optimize/optimized_spmv.hpp"
@@ -62,6 +63,12 @@ VariantPool variant_pool(const std::string& kind) {
     optimize::Plan dyn;                        // IMB-d: dynamic row scheduling
     dyn.sched = kernels::Sched::Dynamic;       //   (merge's row-parallel rival)
     add(dyn);
+    optimize::Plan f32x64;                     // MB: halve value-stream bytes
+    f32x64.precision = Precision::F32F64;      //   (float storage, f64 math)
+    add(f32x64);
+    optimize::Plan f32;                        // MB: full float pipeline
+    f32.precision = Precision::F32;
+    add(f32);
   } else {
     // "plans": the trivial-combined candidate pool of Table V.
     for (const auto& p : optimize::combined_optimization_plans()) add(p);
@@ -80,6 +87,8 @@ BenchRunner::BenchRunner(RunnerConfig config) : config_(std::move(config)) {
     config_.thread_counts.push_back(default_threads());
   for (int t : config_.thread_counts)
     if (t < 1) throw std::invalid_argument("BenchRunner: thread count < 1");
+  if (config_.nrhs < 1)
+    throw std::invalid_argument("BenchRunner: nrhs < 1");
   if (config_.scale <= 0.0) config_.scale = suite_scale();
 }
 
@@ -114,7 +123,7 @@ BenchDocument BenchRunner::run() const {
     proto.ncols = a.ncols();
     proto.nnz = a.nnz();
 
-    if (pool.include_serial) {
+    if (pool.include_serial && config_.nrhs == 1) {
       // The serial reference ignores the thread sweep: one cell at t=1.
       BenchResult cell = proto;
       cell.variant = "serial";
@@ -143,10 +152,46 @@ BenchDocument BenchRunner::run() const {
         cell.plan = spmv.plan().to_string();
         cell.threads = threads;
         cell.engine = config_.use_engine;
-        const auto samples = perf::measure_gflops_samples(
-            a,
-            [&spmv](const value_t* x, value_t* y) { spmv.run(x, y); },
-            config_.measure);
+        perf::RateSamples samples;
+        if (config_.nrhs == 1) {
+          samples = perf::measure_gflops_samples(
+              a,
+              [&spmv](const value_t* x, value_t* y) { spmv.run(x, y); },
+              config_.measure);
+        } else {
+          // Batched cell: one op = nrhs matvecs, either as a single fused
+          // run_many dispatch or as nrhs repeated run() dispatches — the
+          // variant name stays the plan's, so the comparator lines the two
+          // modes up cell for cell.
+          const int nrhs = config_.nrhs;
+          std::vector<value_t> X;
+          X.reserve(static_cast<std::size_t>(a.ncols()) *
+                    static_cast<std::size_t>(nrhs));
+          for (int r = 0; r < nrhs; ++r) {
+            const auto x = gen::test_vector(
+                a.ncols(), 7 + static_cast<std::uint64_t>(r));
+            X.insert(X.end(), x.begin(), x.end());
+          }
+          std::vector<value_t> Y(static_cast<std::size_t>(a.nrows()) *
+                                 static_cast<std::size_t>(nrhs));
+          const double flops = 2.0 * static_cast<double>(a.nnz()) *
+                               static_cast<double>(nrhs);
+          if (config_.fuse_many) {
+            samples = perf::measure_rate_samples(
+                [&] { spmv.run_many(X.data(), Y.data(), nrhs); }, flops,
+                config_.measure);
+          } else {
+            samples = perf::measure_rate_samples(
+                [&] {
+                  for (int r = 0; r < nrhs; ++r)
+                    spmv.run(X.data() + static_cast<std::size_t>(r) *
+                                            static_cast<std::size_t>(a.ncols()),
+                             Y.data() + static_cast<std::size_t>(r) *
+                                            static_cast<std::size_t>(a.nrows()));
+                },
+                flops, config_.measure);
+          }
+        }
         fill_cell_stats(samples.gflops, config_.confidence, config_.iqr_fence,
                         &cell);
         doc.results.push_back(std::move(cell));

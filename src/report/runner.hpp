@@ -42,6 +42,17 @@ struct RunnerConfig {
   double scale = 0.0;          ///< suite scale for "full"; <=0 -> suite_scale()
   double confidence = 0.95;    ///< CI level attached to every cell
   double iqr_fence = 1.5;      ///< Tukey fence factor for outlier rejection
+  /// Right-hand sides per operation.  1 sweeps run() (the classic SpMV
+  /// document); > 1 sweeps the same variant pool as batched ops of `nrhs`
+  /// vectors (flops = 2·nnz·nrhs), keeping variant names identical so
+  /// `spmvopt compare` matches cells between an nrhs=1 and an nrhs=N
+  /// document — or between the two batched modes below.
+  int nrhs = 1;
+  /// Batched-op dispatch when nrhs > 1: true issues one run_many() (the
+  /// register-blocked fused SpMM for plain-CSR plans, DESIGN.md §13);
+  /// false issues nrhs repeated run() dispatches — the amortization
+  /// baseline the fused path is gated against.
+  bool fuse_many = true;
   /// Progress sink (one line per matrix), e.g. for CLI verbosity; may be
   /// empty.
   std::function<void(const std::string&)> progress;

@@ -229,17 +229,30 @@ Expected<std::vector<value_t>> Client::run(const Fingerprint& fp,
 
 Expected<std::vector<value_t>> Client::run_many(const Fingerprint& fp,
                                                 std::span<const value_t> X,
-                                                int nrhs,
+                                                int nrhs, Dtype dtype,
                                                 const CallOptions& opts) {
   RunManyRequest req;
   req.fp = fp;
   req.nrhs = static_cast<std::int32_t>(nrhs);
+  req.dtype = dtype;
   req.X.assign(X.begin(), X.end());
   auto reply = call(Request(std::move(req)), opts);
   if (!reply.ok()) return reply.error();
   auto* ok = std::get_if<RunManyReply>(&reply.value());
   if (!ok) return unexpected_reply("RunManyOk");
+  if (ok->dtype != dtype)
+    return Error(ErrorCategory::Format,
+                 std::string("run_many: reply dtype ") +
+                     dtype_name(ok->dtype) + " does not echo request dtype " +
+                     dtype_name(dtype));
   return std::move(ok->Y);
+}
+
+Expected<std::vector<value_t>> Client::run_many(const Fingerprint& fp,
+                                                std::span<const value_t> X,
+                                                int nrhs,
+                                                const CallOptions& opts) {
+  return run_many(fp, X, nrhs, Dtype::F64, opts);
 }
 
 Expected<SolveReply> Client::solve(const Fingerprint& fp, SolveMethod method,

@@ -81,6 +81,12 @@ class Client {
       const CallOptions& opts = {});
 
   /// Batched multi-RHS SpMV (X is nrhs vectors of ncols, vector-major).
+  /// `dtype` selects the wire encoding of X and of the reply's Y (F32 halves
+  /// the payload; entries round through binary32 in transit).  Both sides
+  /// keep vector<value_t> in memory — the codec converts at the boundary.
+  [[nodiscard]] Expected<std::vector<value_t>> run_many(
+      const Fingerprint& fp, std::span<const value_t> X, int nrhs,
+      Dtype dtype, const CallOptions& opts = {});
   [[nodiscard]] Expected<std::vector<value_t>> run_many(
       const Fingerprint& fp, std::span<const value_t> X, int nrhs,
       const CallOptions& opts = {});

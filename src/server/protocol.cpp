@@ -45,6 +45,24 @@ class Writer {
     u64(v.size());
     bytes(v.data(), v.size_bytes());
   }
+  /// Same vector, but entries travel as IEEE-754 binary32 (half the bytes).
+  /// In-memory representation stays vector<value_t> on both sides.
+  void floats(std::span<const value_t> v) {
+    u64(v.size());
+    for (const value_t e : v) {
+      const float f = static_cast<float>(e);
+      std::uint32_t bits;
+      std::memcpy(&bits, &f, sizeof bits);
+      u32(bits);
+    }
+  }
+  /// Dispatch on a run_many payload's wire dtype.
+  void values(std::span<const value_t> v, Dtype dtype) {
+    if (dtype == Dtype::F32)
+      floats(v);
+    else
+      doubles(v);
+  }
   void fingerprint(const Fingerprint& f) {
     i32(f.nrows);
     i32(f.ncols);
@@ -119,6 +137,23 @@ class Reader {
     pos_ += static_cast<std::size_t>(n) * sizeof(value_t);
     return true;
   }
+  bool floats(std::vector<value_t>& out) {
+    std::uint64_t n = 0;
+    if (!u64(n)) return false;
+    if (n > (buf_.size() - pos_) / sizeof(float)) return fail();
+    out.resize(static_cast<std::size_t>(n));
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      std::uint32_t bits = 0;
+      u32(bits);  // cannot fail: length was bounds-checked above
+      float f;
+      std::memcpy(&f, &bits, sizeof f);
+      out[i] = static_cast<value_t>(f);
+    }
+    return true;
+  }
+  bool values(std::vector<value_t>& out, Dtype dtype) {
+    return dtype == Dtype::F32 ? floats(out) : doubles(out);
+  }
   bool fingerprint(Fingerprint& f) {
     return i32(f.nrows) && i32(f.ncols) && i32(f.nnz) &&
            u32(f.structure_crc) && u32(f.values_crc);
@@ -148,6 +183,17 @@ Error trailing_error(MsgType t) {
   return Error(ErrorCategory::Format,
                "protocol: trailing bytes after message body (type " +
                    std::to_string(static_cast<int>(t)) + ")");
+}
+
+/// Validate a wire dtype byte.  The rejection names the offending value so a
+/// future-dtype client gets an actionable error, not a generic truncation.
+[[nodiscard]] std::optional<Error> parse_dtype(std::uint8_t byte, Dtype& out) {
+  if (byte > static_cast<std::uint8_t>(Dtype::F32))
+    return Error(ErrorCategory::Format,
+                 "protocol: unknown dtype " + std::to_string(byte) +
+                     " (this side understands f64=0, f32=1)");
+  out = static_cast<Dtype>(byte);
+  return std::nullopt;
 }
 
 }  // namespace
@@ -188,7 +234,8 @@ std::string encode_request(const Request& req, const RequestHeader& hdr) {
           envelope(MsgType::RunMany);
           w.fingerprint(r.fp);
           w.i32(r.nrhs);
-          w.doubles(r.X);
+          w.u8(static_cast<std::uint8_t>(r.dtype));
+          w.values(r.X, r.dtype);
         } else if constexpr (std::is_same_v<T, SolveRequest>) {
           envelope(MsgType::Solve);
           w.fingerprint(r.fp);
@@ -234,7 +281,8 @@ std::string encode_reply(const Reply& reply, std::uint64_t request_id) {
         } else if constexpr (std::is_same_v<T, RunManyReply>) {
           envelope(MsgType::RunManyOk);
           w.i32(r.nrhs);
-          w.doubles(r.Y);
+          w.u8(static_cast<std::uint8_t>(r.dtype));
+          w.values(r.Y, r.dtype);
         } else if constexpr (std::is_same_v<T, SolveReply>) {
           envelope(MsgType::SolveOk);
           w.u8(r.converged ? 1 : 0);
@@ -348,9 +396,13 @@ Expected<RequestEnvelope> decode_request(std::string_view payload) {
     }
     case MsgType::RunMany: {
       RunManyRequest req;
+      std::uint8_t dtype = 0;
       r.fingerprint(req.fp);
       r.i32(req.nrhs);
-      r.doubles(req.X);
+      r.u8(dtype);
+      if (r.truncated()) return truncation_error(type);
+      if (auto err = parse_dtype(dtype, req.dtype)) return *std::move(err);
+      r.values(req.X, req.dtype);
       return finish(std::move(req));
     }
     case MsgType::Solve: {
@@ -436,8 +488,12 @@ Expected<ReplyEnvelope> decode_reply(std::string_view payload) {
     }
     case MsgType::RunManyOk: {
       RunManyReply rep;
+      std::uint8_t dtype = 0;
       r.i32(rep.nrhs);
-      r.doubles(rep.Y);
+      r.u8(dtype);
+      if (r.truncated()) return truncation_error(type);
+      if (auto err = parse_dtype(dtype, rep.dtype)) return *std::move(err);
+      r.values(rep.Y, rep.dtype);
       return finish(std::move(rep));
     }
     case MsgType::SolveOk: {

@@ -39,6 +39,7 @@
 
 #include "robust/error.hpp"
 #include "sparse/csr.hpp"
+#include "support/dtype.hpp"
 #include "support/fingerprint.hpp"
 #include "support/types.hpp"
 
@@ -108,6 +109,12 @@ struct RunRequest {
 struct RunManyRequest {
   Fingerprint fp;
   std::int32_t nrhs = 0;
+  /// Wire dtype of X — and of the reply's Y, which echoes it.  F32 halves
+  /// the payload (entries travel as IEEE-754 binary32); in memory both sides
+  /// keep vector<value_t> and the codec converts at the boundary, matching
+  /// the typed-view convention (DESIGN.md §8).  An unknown dtype byte
+  /// decodes to a Format error naming the value.
+  Dtype dtype = Dtype::F64;
   std::vector<value_t> X;  ///< nrhs * ncols entries, vector-major
 };
 
@@ -159,6 +166,7 @@ struct RunReply {
 
 struct RunManyReply {
   std::int32_t nrhs = 0;
+  Dtype dtype = Dtype::F64;  ///< echo of the request's dtype; codes Y's bits
   std::vector<value_t> Y;
 };
 

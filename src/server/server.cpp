@@ -161,6 +161,7 @@ Reply SpmvServer::handle_run_many(const RunManyRequest& req,
 
   RunManyReply reply;
   reply.nrhs = req.nrhs;
+  reply.dtype = req.dtype;  // Y travels back in the dtype the caller spoke
   reply.Y.resize(nrhs * static_cast<std::size_t>(entry->spmv.nrows()));
   Status st = entry->spmv.run_many(req.X.data(), reply.Y.data(), req.nrhs, tok);
   if (!st.ok()) return error_reply(std::move(st).error());

@@ -72,6 +72,94 @@ SolveResult cg(const LinearOperator& A, std::span<const value_t> b,
   return result;
 }
 
+std::vector<SolveResult> block_cg(const LinearOperator& A,
+                                  std::span<const value_t> B,
+                                  std::span<value_t> X, int nrhs,
+                                  const SolverOptions& opt) {
+  if (A.nrows() != A.ncols())
+    throw std::invalid_argument("solver: operator must be square");
+  if (nrhs <= 0)
+    throw std::invalid_argument("block_cg: nrhs must be positive");
+  const std::size_t n = static_cast<std::size_t>(A.nrows());
+  if (B.size() != n * static_cast<std::size_t>(nrhs) || X.size() != B.size())
+    throw std::invalid_argument("solver: vector size mismatch");
+
+  const std::size_t ns = static_cast<std::size_t>(nrhs);
+  std::vector<value_t> R(n * ns), P(n * ns), AP(n * ns);
+  std::vector<double> bnorm(ns), rr(ns);
+  std::vector<SolveResult> results(ns);
+  // live := still iterating.  Frozen systems keep p = 0, so the shared batch
+  // matvec computes A*0 for them and every per-system update is a no-op —
+  // one apply_many() per iteration regardless of how many systems remain.
+  std::vector<char> live(ns, 1);
+
+  const auto sys = [n](std::vector<value_t>& v, std::size_t r) {
+    return std::span<value_t>(v.data() + r * n, n);
+  };
+
+  // R = B - A X (one batched matvec for every system's initial residual).
+  A.apply_many(X.data(), R.data(), static_cast<index_t>(ns));
+  for (std::size_t r = 0; r < ns; ++r) {
+    const std::span<const value_t> br = B.subspan(r * n, n);
+    bnorm[r] = nrm2(br);
+    if (bnorm[r] == 0.0) {
+      fill(X.subspan(r * n, n), 0.0);
+      fill(sys(R, r), 0.0);
+      results[r].converged = true;
+      live[r] = 0;
+    } else {
+      const std::span<value_t> rr_span = sys(R, r);
+      for (std::size_t i = 0; i < n; ++i) rr_span[i] = br[i] - rr_span[i];
+    }
+    copy(sys(R, r), sys(P, r));  // frozen systems copy a zero residual
+    rr[r] = dot(sys(R, r), sys(R, r));
+  }
+
+  std::size_t remaining = 0;
+  for (char l : live) remaining += static_cast<std::size_t>(l);
+
+  for (int it = 0; it < opt.max_iterations && remaining > 0; ++it) {
+    const SolveAbort abort = poll_cancel(opt.cancel);
+    if (abort != SolveAbort::None) {
+      for (std::size_t r = 0; r < ns; ++r)
+        if (live[r]) results[r].aborted = abort;
+      return results;  // each x_r = its last completed iterate
+    }
+    A.apply_many(P.data(), AP.data(), static_cast<index_t>(ns));
+    for (std::size_t r = 0; r < ns; ++r) {
+      if (!live[r]) continue;
+      results[r].iterations = it + 1;
+      const std::span<value_t> p = sys(P, r);
+      const std::span<value_t> ap = sys(AP, r);
+      const double pAp = dot(p, ap);
+      if (pAp <= 0.0) {  // not SPD (or breakdown): freeze at current iterate
+        results[r].residual_norm = std::sqrt(rr[r]) / bnorm[r];
+        fill(p, 0.0);
+        live[r] = 0;
+        --remaining;
+        continue;
+      }
+      const double alpha = rr[r] / pAp;
+      axpy(alpha, p, X.subspan(r * n, n));
+      axpy(-alpha, ap, sys(R, r));
+      const double rr_new = dot(sys(R, r), sys(R, r));
+      results[r].residual_norm = std::sqrt(rr_new) / bnorm[r];
+      if (results[r].residual_norm <= opt.rel_tolerance) {
+        results[r].converged = true;
+        fill(p, 0.0);
+        live[r] = 0;
+        --remaining;
+        continue;
+      }
+      xpby(sys(R, r), rr_new / rr[r], p);  // p = r + beta p
+      rr[r] = rr_new;
+    }
+  }
+  for (std::size_t r = 0; r < ns; ++r)
+    if (live[r]) results[r].residual_norm = std::sqrt(rr[r]) / bnorm[r];
+  return results;
+}
+
 SolveResult bicgstab(const LinearOperator& A, std::span<const value_t> b,
                      std::span<value_t> x, const SolverOptions& opt) {
   require_square_system(A, b.size(), x.size());

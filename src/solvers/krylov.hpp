@@ -7,6 +7,7 @@
 #pragma once
 
 #include <span>
+#include <vector>
 
 #include "robust/cancel.hpp"
 #include "solvers/operator.hpp"
@@ -36,6 +37,21 @@ struct SolveResult {
 /// Conjugate Gradient — requires a symmetric positive-definite operator.
 [[nodiscard]] SolveResult cg(const LinearOperator& A, std::span<const value_t> b,
                              std::span<value_t> x, const SolverOptions& opt = {});
+
+/// Batched CG: solves A x_r = b_r for `nrhs` independent right-hand sides
+/// simultaneously, issuing ONE apply_many() per iteration instead of nrhs
+/// apply() calls.  When `A` comes from an OptimizedSpmv, each iteration's
+/// matvec block runs the fused register-blocked SpMM (DESIGN.md §13), which
+/// streams the matrix once for all systems — the bandwidth amortization the
+/// multi-RHS kernel exists for.  B and X are vector-major (system r at
+/// B + r*n), matching apply_many().  Each system keeps its own CG scalars;
+/// systems that converge are frozen (their direction is zeroed so the shared
+/// matvec leaves them unchanged) while the rest continue.  Returns one
+/// SolveResult per system, in order.
+[[nodiscard]] std::vector<SolveResult> block_cg(const LinearOperator& A,
+                                                std::span<const value_t> B,
+                                                std::span<value_t> X, int nrhs,
+                                                const SolverOptions& opt = {});
 
 /// BiCGSTAB — general nonsymmetric systems.
 [[nodiscard]] SolveResult bicgstab(const LinearOperator& A,

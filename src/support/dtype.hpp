@@ -1,0 +1,150 @@
+// Value-type vocabulary for the dtype-aware kernel API (DESIGN.md §8).
+//
+// Two orthogonal notions live here:
+//
+//  * Dtype — the storage type of a caller-visible operand buffer (a vector
+//    or a batch of right-hand sides).  The typed entry points accept either
+//    f64 or f32 operands and convert at the boundary.
+//
+//  * Precision — the *value mode* of a bound computation: what the matrix
+//    value stream is stored as and what the accumulators are.  F32F64 is
+//    the memory-bandwidth play from the paper's MB class: float storage
+//    halves the dominant value-stream traffic while x/y and every
+//    accumulation stay double, so no operand conversion touches the hot
+//    path.
+//
+// The view structs are deliberately dumb descriptors (pointer + extent +
+// dtype tag) — no ownership, no arithmetic.  They exist so public entry
+// points (`OptimizedSpmv::run/run_many`, `LinearOperator::apply`, registry
+// binding) are typed once instead of growing a `double*`/`float*` overload
+// matrix.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "support/types.hpp"
+
+namespace spmvopt {
+
+/// Storage type of an operand buffer.  The numeric values are wire-stable:
+/// the server protocol serializes a Dtype as this byte (DESIGN.md §9).
+enum class Dtype : std::uint8_t { F64 = 0, F32 = 1 };
+
+[[nodiscard]] constexpr std::size_t dtype_size(Dtype d) noexcept {
+  return d == Dtype::F32 ? sizeof(float) : sizeof(double);
+}
+
+[[nodiscard]] constexpr const char* dtype_name(Dtype d) noexcept {
+  return d == Dtype::F32 ? "f32" : "f64";
+}
+
+/// Value mode of a bound computation (matrix storage × accumulation).
+enum class Precision : std::uint8_t {
+  F64 = 0,     ///< double storage, double accumulate (the default)
+  F32 = 1,     ///< float storage, float accumulate
+  F32F64 = 2,  ///< float storage, double x/y and accumulate ("f32x64")
+};
+
+/// Canonical short name, used in registry variant names and Plan
+/// serialization ("f64", "f32", "f32x64").
+[[nodiscard]] constexpr const char* precision_name(Precision p) noexcept {
+  switch (p) {
+    case Precision::F32: return "f32";
+    case Precision::F32F64: return "f32x64";
+    case Precision::F64: break;
+  }
+  return "f64";
+}
+
+/// Storage dtype of the matrix value stream under a precision.
+[[nodiscard]] constexpr Dtype value_dtype(Precision p) noexcept {
+  return p == Precision::F64 ? Dtype::F64 : Dtype::F32;
+}
+
+/// Dtype of the x/y operands (and accumulators) under a precision.
+[[nodiscard]] constexpr Dtype operand_dtype(Precision p) noexcept {
+  return p == Precision::F32 ? Dtype::F32 : Dtype::F64;
+}
+
+/// Read-only typed vector descriptor: `count` elements of `dtype` at `data`.
+struct ConstVectorView {
+  const void* data = nullptr;
+  index_t count = 0;
+  Dtype dtype = Dtype::F64;
+
+  [[nodiscard]] static ConstVectorView of(const double* p, index_t n) noexcept {
+    return {p, n, Dtype::F64};
+  }
+  [[nodiscard]] static ConstVectorView of(const float* p, index_t n) noexcept {
+    return {p, n, Dtype::F32};
+  }
+};
+
+/// Mutable typed vector descriptor.
+struct VectorView {
+  void* data = nullptr;
+  index_t count = 0;
+  Dtype dtype = Dtype::F64;
+
+  [[nodiscard]] static VectorView of(double* p, index_t n) noexcept {
+    return {p, n, Dtype::F64};
+  }
+  [[nodiscard]] static VectorView of(float* p, index_t n) noexcept {
+    return {p, n, Dtype::F32};
+  }
+  [[nodiscard]] ConstVectorView as_const() const noexcept {
+    return {data, count, dtype};
+  }
+};
+
+/// Read-only typed matrix descriptor: `rows` vectors of `cols` elements,
+/// row r starting at element offset `r * stride` (stride >= cols, in
+/// elements of `dtype`).  run_many treats rows as right-hand sides.
+struct ConstMatrixView {
+  const void* data = nullptr;
+  index_t rows = 0;
+  index_t cols = 0;
+  index_t stride = 0;  ///< element stride between rows; 0 means `cols`
+  Dtype dtype = Dtype::F64;
+
+  [[nodiscard]] static ConstMatrixView of(const double* p, index_t rows,
+                                          index_t cols,
+                                          index_t stride = 0) noexcept {
+    return {p, rows, cols, stride == 0 ? cols : stride, Dtype::F64};
+  }
+  [[nodiscard]] static ConstMatrixView of(const float* p, index_t rows,
+                                          index_t cols,
+                                          index_t stride = 0) noexcept {
+    return {p, rows, cols, stride == 0 ? cols : stride, Dtype::F32};
+  }
+  [[nodiscard]] index_t row_stride() const noexcept {
+    return stride == 0 ? cols : stride;
+  }
+};
+
+/// Mutable typed matrix descriptor.
+struct MatrixView {
+  void* data = nullptr;
+  index_t rows = 0;
+  index_t cols = 0;
+  index_t stride = 0;
+  Dtype dtype = Dtype::F64;
+
+  [[nodiscard]] static MatrixView of(double* p, index_t rows, index_t cols,
+                                     index_t stride = 0) noexcept {
+    return {p, rows, cols, stride == 0 ? cols : stride, Dtype::F64};
+  }
+  [[nodiscard]] static MatrixView of(float* p, index_t rows, index_t cols,
+                                     index_t stride = 0) noexcept {
+    return {p, rows, cols, stride == 0 ? cols : stride, Dtype::F32};
+  }
+  [[nodiscard]] index_t row_stride() const noexcept {
+    return stride == 0 ? cols : stride;
+  }
+  [[nodiscard]] ConstMatrixView as_const() const noexcept {
+    return {data, rows, cols, stride, dtype};
+  }
+};
+
+}  // namespace spmvopt

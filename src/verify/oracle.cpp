@@ -68,6 +68,62 @@ Oracle kahan_reference(const CsrMatrix& A, std::span<const value_t> x) {
   return o;
 }
 
+Oracle kahan_reference(const CsrMatrix& A, std::span<const value_t> x,
+                       Precision prec) {
+  if (prec == Precision::F64) return kahan_reference(A, x);
+  if (x.size() != static_cast<std::size_t>(A.ncols()))
+    throw std::invalid_argument("kahan_reference: x size != ncols");
+  // Accumulation epsilon: what the kernel's adds round with.
+  const double eps = prec == Precision::F32
+                         ? static_cast<double>(
+                               std::numeric_limits<float>::epsilon())
+                         : std::numeric_limits<double>::epsilon();
+  const bool round_x = prec == Precision::F32;
+  const index_t* rowptr = A.rowptr();
+  const index_t* colind = A.colind();
+  const value_t* vals = A.values();
+
+  Oracle o;
+  o.y.resize(static_cast<std::size_t>(A.nrows()));
+  o.row_bound.resize(static_cast<std::size_t>(A.nrows()));
+  for (index_t i = 0; i < A.nrows(); ++i) {
+    value_t sum = 0.0;
+    value_t c = 0.0;
+    double abs_sum = 0.0;
+    for (index_t j = rowptr[i]; j < rowptr[i + 1]; ++j) {
+      // Round the storage exactly as the mixed-precision kernel does: the
+      // value stream is float, and under F32 the packed operands are too.
+      const value_t a = static_cast<double>(static_cast<float>(vals[j]));
+      value_t xj = x[static_cast<std::size_t>(colind[j])];
+      if (round_x) xj = static_cast<double>(static_cast<float>(xj));
+      const value_t term = a * xj;
+      abs_sum += std::abs(term);
+      const value_t s = sum + term;
+      if (std::abs(sum) >= std::abs(term))
+        c += (sum - s) + term;
+      else
+        c += (term - s) + sum;
+      sum = s;
+    }
+    const auto nnz_i = static_cast<double>(rowptr[i + 1] - rowptr[i]);
+    o.y[static_cast<std::size_t>(i)] = sum + c;
+    o.row_bound[static_cast<std::size_t>(i)] = (nnz_i + 1.0) * eps * abs_sum;
+  }
+  return o;
+}
+
+UlpPolicy policy_for(Precision prec, UlpPolicy base) {
+  if (prec != Precision::F32) return base;
+  // 1 float ULP == 2^29 double ULPs for normal magnitudes (52 - 23 mantissa
+  // bits); saturate instead of wrapping for pathological base budgets.
+  constexpr std::uint64_t kShift = 29;
+  UlpPolicy p = base;
+  p.max_ulps = base.max_ulps >= (std::uint64_t{1} << (64 - kShift))
+                   ? std::numeric_limits<std::uint64_t>::max()
+                   : base.max_ulps << kShift;
+  return p;
+}
+
 CompareReport compare(const Oracle& oracle, std::span<const value_t> actual,
                       const UlpPolicy& policy) {
   if (actual.size() != oracle.y.size())

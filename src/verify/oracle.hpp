@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "sparse/csr.hpp"
+#include "support/dtype.hpp"
 #include "support/types.hpp"
 
 namespace spmvopt::verify {
@@ -56,6 +57,25 @@ struct Oracle {
 /// Compute the oracle for y = A*x.  `x` must have A.ncols() entries.
 [[nodiscard]] Oracle kahan_reference(const CsrMatrix& A,
                                      std::span<const value_t> x);
+
+/// Per-precision oracle (DESIGN.md §13): models the error of a kernel
+/// running in `prec`'s value mode.  The reference first rounds the inputs
+/// exactly as the kernel's storage does — matrix values through float for
+/// F32/F32F64, and x through float for F32 — then sums in compensated
+/// double, so the reference is the (near-)exact answer for the values the
+/// kernel actually saw.  The row bound uses the ACCUMULATION epsilon
+/// (float for F32, double otherwise): the classical recursive-summation
+/// worst case in the arithmetic the kernel adds in.
+[[nodiscard]] Oracle kahan_reference(const CsrMatrix& A,
+                                     std::span<const value_t> x,
+                                     Precision prec);
+
+/// Widen a policy's ULP arm for a precision's accumulation width.  Float
+/// accumulation (F32) quantizes results to float: one float ULP spans
+/// 2^29 double ULPs at the same magnitude, so the double-ULP budget scales
+/// by that factor.  F64 and F32F64 accumulate in double and keep `base`
+/// unchanged.
+[[nodiscard]] UlpPolicy policy_for(Precision prec, UlpPolicy base = {});
 
 /// One failing row, with everything needed to debug it.
 struct RowFailure {

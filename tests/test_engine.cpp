@@ -217,7 +217,11 @@ void expect_oracle_pass(const CsrMatrix& a, const optimize::OptimizedSpmv& s,
                         const std::vector<value_t>& x) {
   std::vector<value_t> y(static_cast<std::size_t>(a.nrows()), -1.0);
   s.run(x.data(), y.data());
-  const auto report = verify::check_spmv(a, x, y);
+  // Plans carry a value mode now: judge each against the oracle that rounds
+  // inputs the way the plan's kernel does (DESIGN.md §13).
+  const auto oracle = verify::kahan_reference(a, x, s.precision());
+  const auto report =
+      verify::compare(oracle, y, verify::policy_for(s.precision()));
   EXPECT_TRUE(report.pass()) << report.to_string();
 }
 

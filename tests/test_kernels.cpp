@@ -8,6 +8,7 @@
 #include <functional>
 #include <stdexcept>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "gen/generators.hpp"
@@ -259,12 +260,40 @@ TEST(Kernels, RegistryNamesAreSortedAndComplete) {
     EXPECT_NE(kernels::find_kernel(n), nullptr) << n;
   // Pin the full listing: growing the registry must update this test, so the
   // variant count and the sorted order stay deterministic for CLI/server
-  // error-message consumers.
-  ASSERT_EQ(kernels::registry().size(), 16u);
-  EXPECT_EQ(joined,
-            "balanced, bcsr, delta, delta_vector, merge, omp_auto, "
-            "omp_dynamic, omp_guided, omp_static, prefetch, sell, serial, "
-            "split, sym, unroll_vector, vector");
+  // error-message consumers.  The spmm.* blocked variants register per
+  // compiled ISA, so the expected set is built under the same macros the
+  // registry itself uses (the -march capability guard: compile-time support
+  // IS the availability condition for these names).
+  std::vector<std::string> expected{
+      "balanced",       "bcsr",          "delta",
+      "delta_vector",   "merge",         "omp_auto",
+      "omp_dynamic",    "omp_guided",    "omp_static",
+      "prefetch",       "sell",          "serial",
+      "split",          "spmm.scalar.f32", "spmm.scalar.f32x64",
+      "spmm.scalar.f64", "sym",          "unroll_vector",
+      "vector"};
+#if defined(__AVX2__)
+  expected.insert(expected.end(),
+                  {"spmm.avx2.f32", "spmm.avx2.f32x64", "spmm.avx2.f64"});
+#endif
+#if defined(__AVX512F__)
+  expected.insert(expected.end(), {"spmm.avx512.f32", "spmm.avx512.f32x64",
+                                   "spmm.avx512.f64"});
+#endif
+  std::sort(expected.begin(), expected.end());
+  ASSERT_EQ(kernels::registry().size(), expected.size());
+  EXPECT_EQ(names, expected);
+  // Every spmm.* variant carries a batched binding and a matching precision
+  // suffix; every non-spmm variant stays single-vector f64.
+  for (const auto& v : kernels::registry()) {
+    const bool is_spmm = std::string_view(v.name).starts_with("spmm.");
+    EXPECT_EQ(v.bind_spmm != nullptr, is_spmm) << v.name;
+    if (!is_spmm) EXPECT_EQ(v.prec, Precision::F64) << v.name;
+    if (is_spmm)
+      EXPECT_TRUE(std::string_view(v.name).ends_with(
+          std::string(".") + precision_name(v.prec)))
+          << v.name;
+  }
 }
 
 TEST(Kernels, UnknownNameErrorPath) {

@@ -19,8 +19,16 @@ void expect_correct(const CsrMatrix& a, const OptimizedSpmv& spmv) {
   a.multiply(x, expected);
   std::vector<value_t> y(static_cast<std::size_t>(a.nrows()), std::nan(""));
   spmv.run(x.data(), y.data());
+  // The tolerance follows the plan's value mode: f32 storage rounds each
+  // matrix value to ~2^-24 relative, and full-f32 additionally accumulates
+  // in float (test matrices keep row sums well-conditioned, so a loose
+  // relative band suffices here; the ULP-principled check lives in the
+  // differential suite).
+  double tol = 1e-9;
+  if (spmv.precision() == Precision::F32F64) tol = 1e-5;
+  if (spmv.precision() == Precision::F32) tol = 1e-3;
   for (std::size_t i = 0; i < y.size(); ++i)
-    ASSERT_NEAR(y[i], expected[i], 1e-9 * std::max(1.0, std::abs(expected[i])));
+    ASSERT_NEAR(y[i], expected[i], tol * std::max(1.0, std::abs(expected[i])));
 }
 
 TEST(OptimizedSpmv, EveryEnumeratedPlanIsCorrectOnEveryFamily) {

@@ -1,0 +1,619 @@
+// Register-blocked multi-RHS SpMM and the dtype-aware kernel API
+// (DESIGN.md §8, §13): ISA-variant correctness against per-precision
+// oracles, SpMM-vs-repeated-SpMV equivalence across RHS widths, thread
+// counts and execution modes, bitwise determinism of a fixed kernel, the
+// precision-suffixed registry entries, mixed-precision plans end to end
+// (including the cancellable fused path), block CG over apply_many, the
+// typed view entry points, and the protocol's run_many dtype byte.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <filesystem>
+#include <limits>
+#include <memory>
+#include <span>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include <unistd.h>
+
+#include "engine/execution_engine.hpp"
+#include "gen/generators.hpp"
+#include "kernels/registry.hpp"
+#include "kernels/spmm_blocked.hpp"
+#include "optimize/optimized_spmv.hpp"
+#include "robust/cancel.hpp"
+#include "server/client.hpp"
+#include "server/protocol.hpp"
+#include "server/server.hpp"
+#include "solvers/krylov.hpp"
+#include "solvers/operator.hpp"
+#include "support/fingerprint.hpp"
+#include "verify/fuzz.hpp"
+#include "verify/oracle.hpp"
+
+namespace spmvopt {
+namespace {
+
+constexpr index_t kRhsWidths[] = {1, 2, 3, 8, 17};
+constexpr double kFltMax = 3.402823466e+38;
+
+std::vector<value_t> batch_of(const CsrMatrix& a, index_t nrhs,
+                              std::uint64_t seed = 7) {
+  // Vector-major: vector r occupies X[r*ncols .. (r+1)*ncols).
+  std::vector<value_t> X;
+  X.reserve(static_cast<std::size_t>(a.ncols()) *
+            static_cast<std::size_t>(nrhs));
+  for (index_t r = 0; r < nrhs; ++r) {
+    const auto x =
+        gen::test_vector(a.ncols(), seed + static_cast<std::uint64_t>(r));
+    X.insert(X.end(), x.begin(), x.end());
+  }
+  return X;
+}
+
+/// Whether (A, x) stays finite in `prec`'s value mode (mirrors the guard the
+/// differential runner applies; see src/verify/differential.cpp).
+bool prec_safe(const CsrMatrix& a, std::span<const value_t> x,
+               Precision prec) {
+  if (prec == Precision::F64) return true;
+  for (index_t k = 0; k < a.nnz(); ++k)
+    if (std::abs(a.values()[static_cast<std::size_t>(k)]) > kFltMax)
+      return false;
+  if (prec == Precision::F32F64) return true;
+  for (const value_t v : x)
+    if (std::abs(v) > kFltMax) return false;
+  for (index_t i = 0; i < a.nrows(); ++i) {
+    double abs_sum = 0.0;
+    for (index_t k = a.rowptr()[i]; k < a.rowptr()[i + 1]; ++k) {
+      const double av = static_cast<double>(
+          static_cast<float>(a.values()[static_cast<std::size_t>(k)]));
+      const double xv = static_cast<double>(static_cast<float>(
+          x[static_cast<std::size_t>(a.colind()[static_cast<std::size_t>(k)])]));
+      abs_sum += std::abs(av * xv);
+    }
+    if (abs_sum > kFltMax) return false;
+  }
+  return true;
+}
+
+void expect_oracle(const CsrMatrix& a, std::span<const value_t> x,
+                   std::span<const value_t> y, Precision prec,
+                   const std::string& what) {
+  const verify::Oracle oracle = verify::kahan_reference(a, x, prec);
+  const verify::CompareReport rep =
+      verify::compare(oracle, y, verify::policy_for(prec));
+  EXPECT_TRUE(rep.pass()) << what << ": " << rep.to_string();
+}
+
+// ------------------------------------------------------ raw range kernels
+
+TEST(SpmmBlocked, ScalarKernelsExistForEveryPrecision) {
+  for (Precision p : {Precision::F64, Precision::F32, Precision::F32F64})
+    EXPECT_NE(kernels::select_spmm_range(kernels::SpmmIsa::Scalar, p), nullptr)
+        << precision_name(p);
+  EXPECT_TRUE(kernels::spmm_isa_available(kernels::SpmmIsa::Scalar));
+  // The best ISA must be compiled in (it is how OptimizedSpmv selects).
+  EXPECT_TRUE(kernels::spmm_isa_available(kernels::spmm_best_isa()));
+}
+
+TEST(SpmmBlocked, CompileTimeGateMatchesAvailability) {
+  // The -march capability guard: a variant registers iff its macro was on.
+#if defined(__AVX2__)
+  EXPECT_TRUE(kernels::spmm_isa_available(kernels::SpmmIsa::Avx2));
+#else
+  EXPECT_FALSE(kernels::spmm_isa_available(kernels::SpmmIsa::Avx2));
+  EXPECT_EQ(kernels::select_spmm_range(kernels::SpmmIsa::Avx2,
+                                       Precision::F64),
+            nullptr);
+#endif
+#if defined(__AVX512F__)
+  EXPECT_TRUE(kernels::spmm_isa_available(kernels::SpmmIsa::Avx512));
+#else
+  EXPECT_FALSE(kernels::spmm_isa_available(kernels::SpmmIsa::Avx512));
+#endif
+}
+
+TEST(SpmmBlocked, PackUnpackRoundTripsEveryPrecision) {
+  constexpr index_t n = 11, k = 5;
+  const std::vector<value_t> X = batch_of(gen::dense(n), k, 3);
+  for (Precision p : {Precision::F64, Precision::F32, Precision::F32F64}) {
+    SCOPED_TRACE(precision_name(p));
+    std::vector<std::uint8_t> packed(
+        static_cast<std::size_t>(n) * k * dtype_size(operand_dtype(p)));
+    kernels::spmm_pack_rhs(X.data(), n, k, packed.data(), p);
+    std::vector<value_t> back(static_cast<std::size_t>(n) * k,
+                              std::numeric_limits<value_t>::quiet_NaN());
+    kernels::spmm_unpack_result(packed.data(), n, k, back.data(), p);
+    for (std::size_t i = 0; i < back.size(); ++i) {
+      const value_t want = operand_dtype(p) == Dtype::F32
+                               ? static_cast<value_t>(
+                                     static_cast<float>(X[i]))
+                               : X[i];
+      EXPECT_EQ(back[i], want) << i;
+    }
+  }
+}
+
+TEST(SpmmBlocked, EveryCompiledIsaMatchesTheOracleAcrossWidths) {
+  const CsrMatrix a = gen::random_uniform(700, 9, 11);
+  for (kernels::SpmmIsa isa : {kernels::SpmmIsa::Scalar,
+                               kernels::SpmmIsa::Avx2,
+                               kernels::SpmmIsa::Avx512}) {
+    if (!kernels::spmm_isa_available(isa)) continue;
+    for (Precision p :
+         {Precision::F64, Precision::F32, Precision::F32F64}) {
+      const kernels::SpmmRangeFn fn = kernels::select_spmm_range(isa, p);
+      ASSERT_NE(fn, nullptr);
+      std::vector<float> vals_f32;
+      const void* vals = a.values();
+      if (value_dtype(p) == Dtype::F32) {
+        vals_f32.assign(a.values(), a.values() + a.nnz());
+        vals = vals_f32.data();
+      }
+      for (index_t k : kRhsWidths) {
+        SCOPED_TRACE(std::string(kernels::spmm_isa_name(isa)) + "." +
+                     precision_name(p) + " k=" + std::to_string(k));
+        const std::vector<value_t> X = batch_of(a, k);
+        const std::size_t esz = dtype_size(operand_dtype(p));
+        std::vector<std::uint8_t> Xp(
+            static_cast<std::size_t>(a.ncols()) * k * esz);
+        std::vector<std::uint8_t> Yp(
+            static_cast<std::size_t>(a.nrows()) * k * esz, 0xAA);
+        kernels::spmm_pack_rhs(X.data(), a.ncols(), k, Xp.data(), p);
+        fn(a.rowptr(), a.colind(), vals, 0, a.nrows(), Xp.data(), Yp.data(),
+           k);
+        std::vector<value_t> Y(static_cast<std::size_t>(a.nrows()) * k);
+        kernels::spmm_unpack_result(Yp.data(), a.nrows(), k, Y.data(), p);
+        for (index_t r = 0; r < k; ++r)
+          expect_oracle(
+              a,
+              std::span<const value_t>(
+                  X.data() + static_cast<std::size_t>(r) * a.ncols(),
+                  static_cast<std::size_t>(a.ncols())),
+              std::span<const value_t>(
+                  Y.data() + static_cast<std::size_t>(r) * a.nrows(),
+                  static_cast<std::size_t>(a.nrows())),
+              p, "rhs " + std::to_string(r));
+      }
+    }
+  }
+}
+
+// --------------------------------------------------------------- registry
+
+TEST(SpmmBlocked, RegistryEntriesBindAndAreThreadCountBitwiseStable) {
+  const CsrMatrix a = gen::power_law(900, 7, 2.0, 13);
+  const std::vector<value_t> X = batch_of(a, 8);
+  for (const auto& v : kernels::registry()) {
+    if (v.bind_spmm == nullptr) continue;
+    SCOPED_TRACE(v.name);
+    // Same kernel, different thread counts: the determinism contract says
+    // each (row, column) accumulates j-ascending in a dedicated lane, so
+    // the partitioning must not change a single bit.
+    std::vector<value_t> y1(static_cast<std::size_t>(a.nrows()) * 8);
+    std::vector<value_t> y4(y1.size());
+    kernels::BoundSpmm m1 = v.bind_spmm(a, 1);
+    kernels::BoundSpmm m4 = v.bind_spmm(a, 4);
+    ASSERT_TRUE(m1 && m4);
+    m1(X.data(), y1.data(), 8);
+    m4(X.data(), y4.data(), 8);
+    for (std::size_t i = 0; i < y1.size(); ++i)
+      ASSERT_EQ(y1[i], y4[i]) << v.name << " diverges at " << i;
+    // And the single-vector shim runs the same kernel at nrhs == 1.
+    std::vector<value_t> y(static_cast<std::size_t>(a.nrows()));
+    kernels::BoundSpmv single = v.bind(a, 2);
+    ASSERT_TRUE(single);
+    single(X.data(), y.data());
+    for (index_t i = 0; i < a.nrows(); ++i)
+      ASSERT_EQ(y[static_cast<std::size_t>(i)],
+                y1[static_cast<std::size_t>(i)]);
+  }
+}
+
+TEST(SpmmBlocked, RequireKernelErrorNamesTheSpmmVariants) {
+  try {
+    static_cast<void>(kernels::require_kernel("no_such_kernel"));
+    FAIL() << "require_kernel must throw";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("spmm.scalar.f64"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("spmm.scalar.f32x64"), std::string::npos) << msg;
+  }
+}
+
+// ------------------------------------------- fused run_many on OptimizedSpmv
+
+TEST(SpmmBlocked, FusedRunManyMatchesRepeatedRunsEveryWidthAndMode) {
+  const CsrMatrix a = gen::random_uniform(1200, 10, 5);
+  engine::ExecutionEngine eng({.nthreads = 3, .pin = PinPolicy::None});
+  const auto unbound = optimize::OptimizedSpmv::create(a, {}, 3);
+  const auto bound = optimize::OptimizedSpmv::create(a, {}, eng);
+  EXPECT_TRUE(unbound.spmm_fused());
+  EXPECT_TRUE(bound.spmm_fused());
+  for (const auto* spmv : {&unbound, &bound}) {
+    for (index_t k : kRhsWidths) {
+      SCOPED_TRACE(std::string(spmv == &bound ? "engine" : "threads") +
+                   " k=" + std::to_string(k));
+      const std::vector<value_t> X = batch_of(a, k);
+      std::vector<value_t> Y(static_cast<std::size_t>(a.nrows()) * k,
+                             std::numeric_limits<value_t>::quiet_NaN());
+      spmv->run_many(X.data(), Y.data(), static_cast<int>(k));
+      // Tolerance equivalence (not bitwise): the fused kernel accumulates
+      // per (row, column) in a different order than the gathered SpMV.
+      for (index_t r = 0; r < k; ++r)
+        expect_oracle(
+            a,
+            std::span<const value_t>(
+                X.data() + static_cast<std::size_t>(r) * a.ncols(),
+                static_cast<std::size_t>(a.ncols())),
+            std::span<const value_t>(
+                Y.data() + static_cast<std::size_t>(r) * a.nrows(),
+                static_cast<std::size_t>(a.nrows())),
+            Precision::F64, "rhs " + std::to_string(r));
+    }
+  }
+  // Non-plain-CSR plans cannot fuse: run_many falls back to per-rhs runs.
+  optimize::Plan merge;
+  merge.merge_path = true;
+  EXPECT_FALSE(optimize::OptimizedSpmv::create(a, merge, 3).spmm_fused());
+}
+
+TEST(SpmmBlocked, CancellableFusedRunManyIsBitwiseAndAbortsMidway) {
+  const CsrMatrix a = gen::monster_row(30'000, 30'000, 6, 0, 3);
+  const auto spmv = optimize::OptimizedSpmv::create(a, {}, 2);
+  ASSERT_TRUE(spmv.spmm_fused());
+  constexpr int kRhs = 4;
+  const std::vector<value_t> X = batch_of(a, kRhs);
+  std::vector<value_t> plain(static_cast<std::size_t>(a.nrows()) * kRhs);
+  std::vector<value_t> tokened(plain.size(), -1.0);
+  spmv.run_many(X.data(), plain.data(), kRhs);
+  const Status ok =
+      spmv.run_many(X.data(), tokened.data(), kRhs,
+                    robust::CancelToken::never());
+  ASSERT_TRUE(ok.ok());
+  // A completed cancellable batch mirrors the non-cancellable routing
+  // bitwise: same kernel, same partition, same dedicated lanes.
+  for (std::size_t i = 0; i < plain.size(); ++i)
+    ASSERT_EQ(plain[i], tokened[i]) << i;
+
+  robust::CancelToken tok;
+  tok.cancel();
+  const Status aborted =
+      spmv.run_many(X.data(), tokened.data(), kRhs, tok);
+  ASSERT_FALSE(aborted.ok());
+  EXPECT_EQ(aborted.error().category(), ErrorCategory::Cancelled);
+}
+
+// -------------------------------------------------- mixed-precision plans
+
+TEST(SpmmBlocked, PrecisionPlansMatchTheirOraclesAcrossModes) {
+  const CsrMatrix a = gen::stencil_3d_7pt(14, 14, 14);
+  const std::vector<value_t> x = gen::test_vector(a.ncols());
+  engine::ExecutionEngine eng({.nthreads = 3, .pin = PinPolicy::None});
+  for (Precision p : {Precision::F32F64, Precision::F32}) {
+    optimize::Plan plan;
+    plan.precision = p;
+    for (int mode = 0; mode < 2; ++mode) {
+      SCOPED_TRACE(std::string(precision_name(p)) +
+                   (mode == 0 ? "/threads" : "/engine"));
+      const auto spmv = mode == 0
+                            ? optimize::OptimizedSpmv::create(a, plan, 3)
+                            : optimize::OptimizedSpmv::create(a, plan, eng);
+      EXPECT_EQ(spmv.precision(), p);
+      std::vector<value_t> y(static_cast<std::size_t>(a.nrows()),
+                             std::numeric_limits<value_t>::quiet_NaN());
+      spmv.run(x.data(), y.data());
+      expect_oracle(a, x, y, p, "run");
+      // And through the cancellable entry, which must agree bitwise.
+      std::vector<value_t> yc(y.size(), -1.0);
+      ASSERT_TRUE(
+          spmv.run(x.data(), yc.data(), robust::CancelToken::never()).ok());
+      for (std::size_t i = 0; i < y.size(); ++i) ASSERT_EQ(y[i], yc[i]);
+      constexpr int kRhs = 3;
+      const std::vector<value_t> X = batch_of(a, kRhs);
+      std::vector<value_t> Y(static_cast<std::size_t>(a.nrows()) * kRhs);
+      spmv.run_many(X.data(), Y.data(), kRhs);
+      for (int r = 0; r < kRhs; ++r)
+        expect_oracle(
+            a,
+            std::span<const value_t>(
+                X.data() + static_cast<std::size_t>(r) * a.ncols(),
+                static_cast<std::size_t>(a.ncols())),
+            std::span<const value_t>(
+                Y.data() + static_cast<std::size_t>(r) * a.nrows(),
+                static_cast<std::size_t>(a.nrows())),
+            p, "rhs " + std::to_string(r));
+    }
+  }
+}
+
+TEST(SpmmBlocked, PrecisionConflictsWithStructuralFormatsThrow) {
+  const CsrMatrix a = gen::dense(16);
+  for (auto structural : {&optimize::Plan::merge_path, &optimize::Plan::delta,
+                          &optimize::Plan::split_long_rows,
+                          &optimize::Plan::sell, &optimize::Plan::bcsr}) {
+    optimize::Plan p;
+    p.precision = Precision::F32F64;
+    p.*structural = true;
+    EXPECT_THROW((void)optimize::OptimizedSpmv::create(a, p, 2),
+                 std::invalid_argument);
+  }
+}
+
+TEST(SpmmBlocked, PrecisionSurvivesPlanSerialization) {
+  for (Precision p : {Precision::F64, Precision::F32, Precision::F32F64}) {
+    optimize::Plan in;
+    in.precision = p;
+    const auto back = optimize::deserialize_plan(optimize::serialize_plan(in));
+    ASSERT_TRUE(back.has_value()) << precision_name(p);
+    EXPECT_EQ(back->precision, p);
+  }
+  // Plans persisted before the precision field carry no `prec` key and must
+  // still parse (to F64 — exactly what they meant).
+  const auto old = optimize::deserialize_plan(
+      "plan1 sched=auto pf=1 compute=vector delta=0 split=0 merge=0 sell=0 "
+      "bcsr=0 chunk=64");
+  ASSERT_TRUE(old.has_value());
+  EXPECT_EQ(old->precision, Precision::F64);
+  // Unknown precision values fail closed.
+  EXPECT_FALSE(optimize::deserialize_plan(
+                   "plan1 sched=auto pf=0 compute=scalar delta=0 split=0 "
+                   "merge=0 sell=0 bcsr=0 chunk=64 prec=f16")
+                   .has_value());
+}
+
+TEST(SpmmBlocked, AdversarialCatalogPassesEveryPrecision) {
+  // The fuzz catalog's hazards (denormals, huge dynamic range, cancellation
+  // rows) against the per-precision oracle; float-unsafe matrices are
+  // skipped for the non-f64 modes, mirroring the differential runner.
+  for (const auto& c : verify::adversarial_suite()) {
+    SCOPED_TRACE(c.name);
+    const CsrMatrix& a = c.matrix;
+    const std::vector<value_t> x = verify::adversarial_vector(a.ncols());
+    for (Precision p :
+         {Precision::F64, Precision::F32F64, Precision::F32}) {
+      if (!prec_safe(a, x, p)) continue;
+      optimize::Plan plan;
+      plan.precision = p;
+      const auto spmv = optimize::OptimizedSpmv::create(a, plan, 3);
+      std::vector<value_t> y(static_cast<std::size_t>(a.nrows()),
+                             std::numeric_limits<value_t>::quiet_NaN());
+      spmv.run(x.data(), y.data());
+      expect_oracle(a, x, y, p, precision_name(p));
+    }
+  }
+}
+
+// ------------------------------------------------- solvers over apply_many
+
+TEST(SpmmBlocked, OperatorApplyManyRoutesThroughTheFusedKernel) {
+  const CsrMatrix a = gen::random_uniform(800, 8, 21);
+  const auto spmv = optimize::OptimizedSpmv::create(a, {}, 2);
+  const auto op = solvers::LinearOperator::from_optimized(spmv);
+  EXPECT_TRUE(op.has_apply_many());
+  // from_csr has no batched callable and falls back to looped applies.
+  EXPECT_FALSE(solvers::LinearOperator::from_csr(a).has_apply_many());
+
+  constexpr index_t kRhs = 3;
+  const std::vector<value_t> X = batch_of(a, kRhs);
+  std::vector<value_t> fused(static_cast<std::size_t>(a.nrows()) * kRhs);
+  op.apply_many(X.data(), fused.data(), kRhs);
+  std::vector<value_t> direct(fused.size(), -1.0);
+  spmv.run_many(X.data(), direct.data(), kRhs);
+  for (std::size_t i = 0; i < fused.size(); ++i)
+    ASSERT_EQ(fused[i], direct[i]);
+}
+
+TEST(SpmmBlocked, BlockCgSolvesEverySystemLikeScalarCg) {
+  const CsrMatrix a = gen::stencil_2d_5pt(24, 24);
+  const auto spmv = optimize::OptimizedSpmv::create(a, {}, 2);
+  const auto op = solvers::LinearOperator::from_optimized(spmv);
+  constexpr int kRhs = 3;
+  const std::size_t n = static_cast<std::size_t>(a.nrows());
+  const std::vector<value_t> B = batch_of(a, kRhs, 17);
+  std::vector<value_t> X(n * kRhs, 0.0);
+  solvers::SolverOptions opt;
+  opt.max_iterations = 2000;
+  opt.rel_tolerance = 1e-10;
+  const auto results = solvers::block_cg(op, B, X, kRhs, opt);
+  ASSERT_EQ(results.size(), static_cast<std::size_t>(kRhs));
+  for (int r = 0; r < kRhs; ++r) {
+    SCOPED_TRACE("system " + std::to_string(r));
+    EXPECT_TRUE(results[static_cast<std::size_t>(r)].converged);
+    // Each solution satisfies its own system: residual check from scratch.
+    std::vector<value_t> Ax(n);
+    op.apply(X.data() + static_cast<std::size_t>(r) * n, Ax.data());
+    double rn = 0.0, bn = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double d = Ax[i] - B[static_cast<std::size_t>(r) * n + i];
+      rn += d * d;
+      bn += B[static_cast<std::size_t>(r) * n + i] *
+            B[static_cast<std::size_t>(r) * n + i];
+    }
+    EXPECT_LE(std::sqrt(rn), 1e-8 * std::sqrt(bn));
+  }
+  // Zero right-hand side inside a batch: converges immediately to x = 0.
+  std::vector<value_t> B0(n * 2, 0.0);
+  std::copy(B.begin(), B.begin() + static_cast<std::ptrdiff_t>(n), B0.begin());
+  std::vector<value_t> X0(n * 2, 1.0);
+  const auto mixed = solvers::block_cg(op, B0, X0, 2, opt);
+  EXPECT_TRUE(mixed[1].converged);
+  EXPECT_EQ(mixed[1].iterations, 0);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(X0[n + i], 0.0);
+}
+
+// ----------------------------------------------------- typed entry points
+
+TEST(SpmmBlocked, TypedViewsConvertAtTheBoundary) {
+  const CsrMatrix a = gen::stencil_2d_5pt(20, 20);
+  const auto spmv = optimize::OptimizedSpmv::create(a, {}, 2);
+  const std::vector<value_t> x = gen::test_vector(a.ncols());
+  std::vector<value_t> y64(static_cast<std::size_t>(a.nrows()));
+  spmv.run(ConstVectorView::of(x.data(), a.ncols()),
+           VectorView::of(y64.data(), a.nrows()));
+  expect_oracle(a, x, y64, Precision::F64, "f64 views");
+
+  // f32 operand views: x rounds through float on the way in.
+  std::vector<float> xf(x.begin(), x.end());
+  std::vector<float> yf(static_cast<std::size_t>(a.nrows()),
+                        std::numeric_limits<float>::quiet_NaN());
+  spmv.run(ConstVectorView::of(xf.data(), a.ncols()),
+           VectorView::of(yf.data(), a.nrows()));
+  const std::vector<value_t> x_rounded(xf.begin(), xf.end());
+  const verify::Oracle oracle = verify::kahan_reference(a, x_rounded);
+  for (index_t i = 0; i < a.nrows(); ++i)
+    EXPECT_NEAR(static_cast<double>(yf[static_cast<std::size_t>(i)]),
+                oracle.y[static_cast<std::size_t>(i)],
+                1e-5 * std::max(1.0,
+                                std::abs(oracle.y[static_cast<std::size_t>(i)])));
+
+  // Size mismatches are rejected at the typed boundary.
+  EXPECT_THROW(spmv.run(ConstVectorView::of(x.data(), a.ncols() - 1),
+                        VectorView::of(y64.data(), a.nrows())),
+               std::invalid_argument);
+}
+
+TEST(SpmmBlocked, TypedRunManyHonorsRowStrides) {
+  const CsrMatrix a = gen::random_uniform(300, 7, 9);
+  const auto spmv = optimize::OptimizedSpmv::create(a, {}, 2);
+  constexpr index_t kRhs = 4;
+  const std::vector<value_t> X = batch_of(a, kRhs);
+  std::vector<value_t> Y(static_cast<std::size_t>(a.nrows()) * kRhs);
+  spmv.run_many(X.data(), Y.data(), kRhs);
+
+  // The same batch through strided views: each rhs row padded by 3 junk
+  // elements that must be read around / left untouched.
+  const index_t xstride = a.ncols() + 3, ystride = a.nrows() + 3;
+  std::vector<value_t> Xs(static_cast<std::size_t>(xstride) * kRhs, 1e9);
+  std::vector<value_t> Ys(static_cast<std::size_t>(ystride) * kRhs, -7.0);
+  for (index_t r = 0; r < kRhs; ++r)
+    std::copy(X.begin() + static_cast<std::ptrdiff_t>(r) * a.ncols(),
+              X.begin() + static_cast<std::ptrdiff_t>(r + 1) * a.ncols(),
+              Xs.begin() + static_cast<std::ptrdiff_t>(r) * xstride);
+  spmv.run_many(
+      ConstMatrixView::of(Xs.data(), kRhs, a.ncols(), xstride),
+      MatrixView::of(Ys.data(), kRhs, a.nrows(), ystride));
+  for (index_t r = 0; r < kRhs; ++r) {
+    for (index_t i = 0; i < a.nrows(); ++i)
+      ASSERT_EQ(Ys[static_cast<std::size_t>(r) * ystride +
+                   static_cast<std::size_t>(i)],
+                Y[static_cast<std::size_t>(r) * a.nrows() +
+                  static_cast<std::size_t>(i)]);
+    for (index_t pad = a.nrows(); pad < ystride; ++pad)
+      ASSERT_EQ(Ys[static_cast<std::size_t>(r) * ystride +
+                   static_cast<std::size_t>(pad)],
+                -7.0);  // padding untouched
+  }
+}
+
+// ------------------------------------------------------- protocol dtype
+
+TEST(SpmmBlocked, ProtocolRunManyDtypeRoundTrips) {
+  using namespace server;
+  const CsrMatrix a = gen::random_uniform(60, 5, 3);
+  RunManyRequest in;
+  in.fp = fingerprint_of(a);
+  in.nrhs = 2;
+  in.dtype = Dtype::F32;
+  in.X = {1.0, -2.5, 0.375, 1e-3, 42.0, -0.0};
+  auto r = decode_request(encode_request(Request(in)));
+  ASSERT_TRUE(r.ok()) << r.error().to_string();
+  const auto& req = std::get<RunManyRequest>(r.value().request);
+  EXPECT_EQ(req.dtype, Dtype::F32);
+  ASSERT_EQ(req.X.size(), in.X.size());
+  for (std::size_t i = 0; i < in.X.size(); ++i)
+    EXPECT_EQ(req.X[i],
+              static_cast<value_t>(static_cast<float>(in.X[i])))
+        << i;  // entries quantize through binary32 in transit
+
+  RunManyReply rep_in;
+  rep_in.nrhs = 2;
+  rep_in.dtype = Dtype::F32;
+  rep_in.Y = {0.5, 0.25, -8.0};
+  auto rep = decode_reply(encode_reply(Reply(rep_in)));
+  ASSERT_TRUE(rep.ok()) << rep.error().to_string();
+  const auto& out = std::get<RunManyReply>(rep.value().reply);
+  EXPECT_EQ(out.dtype, Dtype::F32);
+  EXPECT_EQ(out.Y, rep_in.Y);  // these values are float-exact
+
+  // F64 frames carry full doubles.
+  in.dtype = Dtype::F64;
+  auto r64 = decode_request(encode_request(Request(in)));
+  ASSERT_TRUE(r64.ok());
+  EXPECT_EQ(std::get<RunManyRequest>(r64.value().request).X, in.X);
+}
+
+TEST(SpmmBlocked, ProtocolUnknownDtypeIsATypedFormatRejection) {
+  using namespace server;
+  RunManyRequest in;
+  in.fp = fingerprint_of(gen::dense(4));
+  in.nrhs = 1;
+  in.X = {1.0, 2.0, 3.0, 4.0};
+  std::string payload = encode_request(Request(in));
+  // The dtype byte sits right after the i32 nrhs: magic(1) + type(1) +
+  // id(8) + deadline(4) + fingerprint(20) + nrhs(4).
+  const std::size_t dtype_off = 1 + 1 + 8 + 4 + 20 + 4;
+  ASSERT_EQ(static_cast<std::uint8_t>(payload[dtype_off]), 0u);
+  payload[dtype_off] = static_cast<char>(7);
+  auto r = decode_request(payload);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().category(), ErrorCategory::Format);
+  EXPECT_NE(r.error().message().find("dtype 7"), std::string::npos)
+      << r.error().message();
+}
+
+TEST(SpmmBlocked, ClientRunManyF32RoundTripsOverTheSocket) {
+  using namespace server;
+  namespace fs = std::filesystem;
+  const std::string socket_path =
+      (fs::temp_directory_path() /
+       ("spmm_dtype_test_" + std::to_string(::getpid()) + ".sock"))
+          .string();
+  ServerConfig cfg;
+  cfg.engine_threads = 2;
+  SpmvServer core(cfg);
+  SocketServer sock(core, socket_path);
+  auto started = sock.start();
+  ASSERT_TRUE(started.ok()) << started.error().to_string();
+
+  auto client = Client::connect(socket_path);
+  ASSERT_TRUE(client.ok()) << client.error().to_string();
+  Client& c = client.value();
+  const CsrMatrix a = gen::stencil_2d_5pt(16, 16);
+  auto sub = c.submit(a);
+  ASSERT_TRUE(sub.ok()) << sub.error().to_string();
+
+  constexpr int kRhs = 2;
+  const std::vector<value_t> X = batch_of(a, kRhs);
+  auto y32 = c.run_many(sub.value().fp, X, kRhs, Dtype::F32);
+  ASSERT_TRUE(y32.ok()) << y32.error().to_string();
+  ASSERT_EQ(y32.value().size(),
+            static_cast<std::size_t>(a.nrows()) * kRhs);
+  // The request's X quantized through binary32 on the way out, so compare
+  // against an oracle over the rounded operands; the reply's Y rounds too.
+  for (int r = 0; r < kRhs; ++r) {
+    std::vector<value_t> xr(
+        X.begin() + static_cast<std::ptrdiff_t>(r) * a.ncols(),
+        X.begin() + static_cast<std::ptrdiff_t>(r + 1) * a.ncols());
+    for (auto& v : xr) v = static_cast<value_t>(static_cast<float>(v));
+    const verify::Oracle oracle = verify::kahan_reference(a, xr);
+    for (index_t i = 0; i < a.nrows(); ++i) {
+      const double got =
+          y32.value()[static_cast<std::size_t>(r) * a.nrows() +
+                      static_cast<std::size_t>(i)];
+      const double want = oracle.y[static_cast<std::size_t>(i)];
+      EXPECT_NEAR(got, want, 1e-5 * std::max(1.0, std::abs(want)));
+    }
+  }
+  // The default-dtype overload still speaks f64 end to end.
+  auto y64 = c.run_many(sub.value().fp, X, kRhs);
+  ASSERT_TRUE(y64.ok()) << y64.error().to_string();
+  sock.stop();
+}
+
+}  // namespace
+}  // namespace spmvopt

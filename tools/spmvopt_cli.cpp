@@ -140,12 +140,14 @@ int cmd_generate(const std::string& family, const std::string& out, index_t n) {
   else if (family == "poisson3d") a = gen::stencil_3d_7pt(n, n, n);
   else if (family == "dense") a = gen::dense(n);
   else if (family == "banded") a = gen::banded(n * n, 150, 12);
+  else if (family == "diagonal") a = gen::diagonal(n * n);
   else if (family == "random") a = gen::random_uniform(n * n, 8);
   else if (family == "powerlaw") a = gen::power_law(n * n, 12, 1.8);
   else if (family == "fewdense") a = gen::few_dense_rows(n * n, 3, 8, n * n / 2);
   else
     throw UsageError(
-        "family must be poisson2d|poisson3d|dense|banded|random|powerlaw|fewdense");
+        "family must be poisson2d|poisson3d|dense|banded|diagonal|random|"
+        "powerlaw|fewdense");
   save_matrix(out, a);
   std::printf("generated %s (%d x %d, %d nnz) -> %s\n", family.c_str(),
               a.nrows(), a.ncols(), a.nnz(), out.c_str());
@@ -308,6 +310,16 @@ int cmd_bench_suite(const std::vector<std::string>& args) {
     else if (a == "--threads") cfg.thread_counts = parse_thread_list(next("--threads"));
     else if (a == "--out") out_path = next("--out");
     else if (a == "--engine") cfg.use_engine = true;
+    else if (a == "--nrhs") {
+      const std::string& tok = next("--nrhs");
+      try {
+        cfg.nrhs = std::stoi(tok);
+      } catch (const std::exception&) {
+        throw UsageError("--nrhs expects a positive integer");
+      }
+      if (cfg.nrhs < 1) throw UsageError("--nrhs expects a positive integer");
+    }
+    else if (a == "--no-fuse") cfg.fuse_many = false;
     else if (a.rfind("--pin=", 0) == 0) {
       const auto p = parse_pin_policy(a.substr(6));
       if (!p) throw UsageError("--pin expects compact|scatter|none");
@@ -509,6 +521,7 @@ int usage() {
                "  spmvopt_cli bench    --suite smoke|full [--kind kernels|plans]\n"
                "                       [--threads N[,N...]] [--out FILE]\n"
                "                       [--engine] [--pin=compact|scatter]\n"
+               "                       [--nrhs N] [--no-fuse]\n"
                "  spmvopt_cli compare  <old.json> <new.json> [--threshold F]\n"
                "                       [--advisory]\n"
                "  spmvopt_cli client   ping|stats|shutdown [--socket PATH]\n"
