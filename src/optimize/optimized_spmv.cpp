@@ -15,6 +15,97 @@
 
 namespace spmvopt::optimize {
 
+// ----------------------------------------------------------- scratch pool
+
+SpmmScratch* SpmmScratchPool::pop_or_create() noexcept {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (!free_.empty()) {
+      SpmmScratch* s = free_.back();
+      free_.pop_back();
+      return s;
+    }
+  }
+  try {
+    auto owned = std::make_unique<SpmmScratch>();
+    SpmmScratch* s = owned.get();
+    std::lock_guard<std::mutex> lk(mu_);
+    all_.reserve(all_.size() + 1);
+    free_.reserve(all_.capacity());  // release() must never reallocate
+    all_.push_back(std::move(owned));
+    return s;
+  } catch (...) {
+    return nullptr;
+  }
+}
+
+SpmmScratch* SpmmScratchPool::try_acquire(std::size_t xf_n, std::size_t yf_n,
+                                          std::size_t xd_n,
+                                          std::size_t yd_n) noexcept {
+  SpmmScratch* s = pop_or_create();
+  if (s == nullptr) return nullptr;
+  try {
+    s->xf.resize(xf_n);
+    s->yf.resize(yf_n);
+    s->xd.resize(xd_n);
+    s->yd.resize(yd_n);
+    return s;
+  } catch (...) {
+    release(s);
+    return nullptr;
+  }
+}
+
+SpmmScratch* SpmmScratchPool::acquire_or_wait(std::size_t xf_n,
+                                              std::size_t yf_n) noexcept {
+  const auto fits = [xf_n, yf_n](const SpmmScratch* s) noexcept {
+    return s->xf.capacity() >= xf_n && s->yf.capacity() >= yf_n;
+  };
+  const auto take_fit = [&]() noexcept -> SpmmScratch* {
+    const auto it = std::find_if(free_.begin(), free_.end(), fits);
+    if (it == free_.end()) return nullptr;
+    SpmmScratch* s = *it;
+    free_.erase(it);
+    return s;
+  };
+  SpmmScratch* s = nullptr;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    s = take_fit();
+  }
+  if (s == nullptr) {
+    if ((s = try_acquire(xf_n, yf_n, 0, 0)) != nullptr) return s;
+    // Allocation failed.  The seed guarantees a fitting buffer exists and
+    // its leaseholder will release it, so wait for one: callers serialize
+    // on the seed under memory pressure instead of failing.
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_.wait(lk, [&] { return (s = take_fit()) != nullptr; });
+  }
+  // Within reserved capacity: resize cannot allocate (and cannot throw).
+  s->xf.resize(xf_n);
+  s->yf.resize(yf_n);
+  return s;
+}
+
+void SpmmScratchPool::release(SpmmScratch* s) noexcept {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    free_.push_back(s);  // never reallocates: capacity >= all_.size()
+  }
+  cv_.notify_one();
+}
+
+void SpmmScratchPool::seed(std::size_t xf_n, std::size_t yf_n) {
+  auto owned = std::make_unique<SpmmScratch>();
+  owned->xf.resize(xf_n);
+  owned->yf.resize(yf_n);
+  std::lock_guard<std::mutex> lk(mu_);
+  all_.reserve(all_.size() + 1);
+  free_.reserve(all_.capacity());
+  free_.push_back(owned.get());
+  all_.push_back(std::move(owned));
+}
+
 OptimizedSpmv OptimizedSpmv::create(const CsrMatrix& A, const Plan& plan,
                                     int nthreads) {
   const int t = nthreads > 0 ? nthreads : default_threads();
@@ -182,6 +273,7 @@ OptimizedSpmv OptimizedSpmv::create(const CsrMatrix& A, const Plan& plan,
   if (o.csr_ != nullptr && o.merge_fn_ == nullptr) {
     o.spmm_fn_ = kernels::select_spmm_range(kernels::spmm_best_isa(),
                                             o.plan_.precision);
+    o.spmm_scratch_ = std::make_shared<SpmmScratchPool>();
     if (o.plan_.precision != Precision::F64) {
       auto vals = std::make_shared<std::vector<float>>(
           static_cast<std::size_t>(A.nnz()));
@@ -191,6 +283,12 @@ OptimizedSpmv OptimizedSpmv::create(const CsrMatrix& A, const Plan& plan,
       o.vals_f32_ = std::move(vals);
       o.vaf_ = o.vals_f32_->data();
     }
+    // F32 operand mode: seed one single-vector pack buffer so the noexcept
+    // prec_run can always proceed without allocating (under memory pressure
+    // concurrent callers serialize on the seed instead of terminating).
+    if (operand_dtype(o.plan_.precision) == Dtype::F32)
+      o.spmm_scratch_->seed(static_cast<std::size_t>(A.ncols()),
+                            static_cast<std::size_t>(A.nrows()));
   }
 
   o.pre_sec_ = timer.elapsed_sec();
@@ -349,22 +447,49 @@ void OptimizedSpmv::spmm_dispatch(const void* Xp, void* Yp,
   const void* vals = plan_.precision == Precision::F64
                          ? static_cast<const void*>(va_)
                          : static_cast<const void*>(vaf_);
-  if (engine_ != nullptr) {
-    // Barrier-free body: legal in mailbox AND pooled mode, and since each
-    // member's row range is fixed by the balanced partition, the result is
-    // bitwise identical to the unbound path below.
-    engine_->parallel([this, vals, Xp, Yp, k](int tid, int) {
+  if (plan_.sched == kernels::Sched::BalancedStatic) {
+    if (engine_ != nullptr) {
+      // Barrier-free body: legal in mailbox AND pooled mode, and since each
+      // member's row range is fixed by the balanced partition, the result is
+      // bitwise identical to the unbound path below.
+      engine_->parallel([this, vals, Xp, Yp, k](int tid, int) {
+        spmm_fn_(rp_, ci_, vals, part_.bounds[tid], part_.bounds[tid + 1], Xp,
+                 Yp, k);
+      });
+      return;
+    }
+#pragma omp parallel num_threads(part_.nthreads())
+    {
+      const int tid = omp_get_thread_num();
       spmm_fn_(rp_, ci_, vals, part_.bounds[tid], part_.bounds[tid + 1], Xp,
                Yp, k);
-    });
+    }
+    return;
+  }
+  // Auto/Dynamic: the plan asked for work stealing (skewed row lengths), so
+  // honor it with a per-call cursor (concurrent callers never share chunk
+  // hand-out state) and the SpMV paths' chunking.  Rows are never
+  // subdivided, so the result stays bitwise identical to the static walk.
+  std::atomic<index_t> cur{0};
+  const auto body = [this, vals, Xp, Yp, k, &cur](int, int nt) noexcept {
+    const index_t n = nrows_;
+    const index_t chunk =
+        plan_.sched == kernels::Sched::Dynamic
+            ? std::max<index_t>(1, static_cast<index_t>(plan_.dynamic_chunk))
+            : std::max<index_t>(64, n / (static_cast<index_t>(nt) * 16));
+    for (;;) {
+      const index_t lo = cur.fetch_add(chunk, std::memory_order_relaxed);
+      if (lo >= n) break;
+      const index_t hi = std::min<index_t>(n, lo + chunk);
+      spmm_fn_(rp_, ci_, vals, lo, hi, Xp, Yp, k);
+    }
+  };
+  if (engine_ != nullptr) {
+    engine_->parallel([&body](int tid, int nt) { body(tid, nt); });
     return;
   }
 #pragma omp parallel num_threads(part_.nthreads())
-  {
-    const int tid = omp_get_thread_num();
-    spmm_fn_(rp_, ci_, vals, part_.bounds[tid], part_.bounds[tid + 1], Xp, Yp,
-             k);
-  }
+  body(omp_get_thread_num(), omp_get_num_threads());
 }
 
 void OptimizedSpmv::prec_run(const value_t* x, value_t* y) const noexcept {
@@ -375,12 +500,17 @@ void OptimizedSpmv::prec_run(const value_t* x, value_t* y) const noexcept {
     return;
   }
   // F32: round the operands at the boundary (O(n), amortized against the
-  // O(nnz) kernel), run in float, widen the result back.
-  std::vector<float> xf(static_cast<std::size_t>(ncols_));
-  std::vector<float> yf(static_cast<std::size_t>(nrows_));
-  kernels::spmm_pack_rhs(x, ncols_, 1, xf.data(), Precision::F32);
-  spmm_dispatch(xf.data(), yf.data(), 1);
-  kernels::spmm_unpack_result(yf.data(), nrows_, 1, y, Precision::F32);
+  // O(nnz) kernel), run in float, widen the result back.  The pack scratch
+  // is a lease: steady-state callers (block_cg's per-iteration apply) reuse
+  // capacity instead of allocating, and the create()-time seed means this
+  // noexcept can always proceed — memory pressure serializes concurrent
+  // callers on the seed rather than terminating on bad_alloc.
+  SpmmScratch* s = spmm_scratch_->acquire_or_wait(
+      static_cast<std::size_t>(ncols_), static_cast<std::size_t>(nrows_));
+  kernels::spmm_pack_rhs(x, ncols_, 1, s->xf.data(), Precision::F32);
+  spmm_dispatch(s->xf.data(), s->yf.data(), 1);
+  kernels::spmm_unpack_result(s->yf.data(), nrows_, 1, y, Precision::F32);
+  spmm_scratch_->release(s);
 }
 
 void OptimizedSpmv::spmm_run_batch(const value_t* X, value_t* Y,
@@ -390,18 +520,41 @@ void OptimizedSpmv::spmm_run_batch(const value_t* X, value_t* Y,
       static_cast<std::size_t>(ncols_) * static_cast<std::size_t>(nrhs);
   const std::size_t yn =
       static_cast<std::size_t>(nrows_) * static_cast<std::size_t>(nrhs);
-  // Per-call scratch: concurrent run_many() callers on one instance (the
-  // multi-executor server) never share pack buffers.
+  // Leased scratch: concurrent run_many() callers on one instance (the
+  // multi-executor server) never share a pack buffer, and repeat callers
+  // (block_cg's hot loop) reuse capacity instead of allocating per call.
   if (operand_dtype(prec) == Dtype::F32) {
-    std::vector<float> xp(xn), yp(yn);
-    kernels::spmm_pack_rhs(X, ncols_, nrhs, xp.data(), prec);
-    spmm_dispatch(xp.data(), yp.data(), nrhs);
-    kernels::spmm_unpack_result(yp.data(), nrows_, nrhs, Y, prec);
-  } else {
-    std::vector<double> xp(xn), yp(yn);
-    kernels::spmm_pack_rhs(X, ncols_, nrhs, xp.data(), prec);
-    spmm_dispatch(xp.data(), yp.data(), nrhs);
-    kernels::spmm_unpack_result(yp.data(), nrows_, nrhs, Y, prec);
+    if (SpmmScratch* s = spmm_scratch_->try_acquire(xn, yn, 0, 0)) {
+      kernels::spmm_pack_rhs(X, ncols_, nrhs, s->xf.data(), prec);
+      spmm_dispatch(s->xf.data(), s->yf.data(), nrhs);
+      kernels::spmm_unpack_result(s->yf.data(), nrows_, nrhs, Y, prec);
+      spmm_scratch_->release(s);
+      return;
+    }
+    // Batch scratch unavailable under memory pressure: degrade to per-item
+    // fused runs on the seeded single-vector scratch (still noexcept-safe).
+    for (index_t r = 0; r < nrhs; ++r)
+      prec_run(X + static_cast<std::size_t>(r) * ncols_,
+               Y + static_cast<std::size_t>(r) * nrows_);
+    return;
+  }
+  if (SpmmScratch* s = spmm_scratch_->try_acquire(0, 0, xn, yn)) {
+    kernels::spmm_pack_rhs(X, ncols_, nrhs, s->xd.data(), prec);
+    spmm_dispatch(s->xd.data(), s->yd.data(), nrhs);
+    kernels::spmm_unpack_result(s->yd.data(), nrows_, nrhs, Y, prec);
+    spmm_scratch_->release(s);
+    return;
+  }
+  // f64-operand fallback needs no staging at all: a vector-major 1-RHS
+  // block IS the packed layout, so the batch degrades to allocation-free
+  // k == 1 dispatches (F32F64) / plan-scheduled runs (F64).
+  for (index_t r = 0; r < nrhs; ++r) {
+    const value_t* xr = X + static_cast<std::size_t>(r) * ncols_;
+    value_t* yr = Y + static_cast<std::size_t>(r) * nrows_;
+    if (prec == Precision::F64)
+      run(xr, yr);
+    else
+      spmm_dispatch(xr, yr, 1);
   }
 }
 
@@ -448,9 +601,13 @@ void OptimizedSpmv::run(std::span<const value_t> x,
 void OptimizedSpmv::run_many(const value_t* X, value_t* Y,
                              int nrhs) const noexcept {
   if (nrhs <= 0) return;
-  if (spmm_fn_ != nullptr && nrhs >= 2) {
+  if (spmm_fn_ != nullptr && nrhs >= 2 &&
+      (fuse_batches_ || plan_.precision != Precision::F64)) {
     // Plain-CSR batch: one fused register-blocked SpMM — the matrix streams
-    // through the cores once for the whole batch (DESIGN.md §13).
+    // through the cores once for the whole batch (DESIGN.md §13).  F64
+    // plans can opt out via set_batch_fusion(false) when bitwise equality
+    // with repeated run() matters more than bandwidth amortization; the
+    // non-F64 modes cannot (the fused kernel is their value format).
     spmm_run_batch(X, Y, static_cast<index_t>(nrhs));
     return;
   }
@@ -610,9 +767,12 @@ void OptimizedSpmv::cancellable_body(int tid, int nt, const value_t* x,
     // Whole-format slices: walk this member's chunk/block-row range in
     // bounded quanta.  SELL chunks hold sell_native_chunk() rows and BCSR
     // block rows hold br rows, so the row quantum stays on the same order.
+    // The serial unbound walk (nt == 1) covers every partition, not just
+    // slice 0 of a multi-thread partition.
     const index_t quantum = std::max<index_t>(1, kCancelChunkRows / 8);
     index_t lo = ext_part_.bounds[tid];
-    const index_t end = ext_part_.bounds[tid + 1];
+    const index_t end = nt == 1 ? ext_part_.bounds[ext_part_.nthreads()]
+                                : ext_part_.bounds[tid + 1];
     while (lo < end) {
       if (tripped()) return;
       const index_t hi = std::min<index_t>(end, lo + quantum);
@@ -646,9 +806,11 @@ void OptimizedSpmv::cancellable_body(int tid, int nt, const value_t* x,
   }
 
   // Phase 1: CSR / delta / split-short rows in kCancelChunkRows slices.
+  // The serial unbound walk (nt == 1) covers every partition.
   if (plan_.sched == kernels::Sched::BalancedStatic || cursor_ == nullptr) {
     index_t lo = part_.bounds[tid];
-    const index_t end = part_.bounds[tid + 1];
+    const index_t end = nt == 1 ? part_.bounds[part_.nthreads()]
+                                : part_.bounds[tid + 1];
     while (lo < end) {
       if (tripped()) break;
       const index_t hi = std::min<index_t>(end, lo + kCancelChunkRows);
@@ -998,13 +1160,41 @@ void OptimizedSpmv::spmm_cancellable(const void* Xp, void* Yp, index_t k,
       lo = hi;
     }
   };
-  if (engine_ != nullptr) {
+  if (engine_ == nullptr) {
+    walk(0, nrows_);
+    return;
+  }
+  if (plan_.sched == kernels::Sched::BalancedStatic) {
     engine_->parallel([&walk, this](int tid, int) {
       walk(part_.bounds[tid], part_.bounds[tid + 1]);
     });
-  } else {
-    walk(0, nrows_);
+    return;
   }
+  // Auto/Dynamic: honor the plan's work stealing with a per-call cursor;
+  // chunks are capped at the cancel quantum so a trip is observed within
+  // one chunk regardless of the plan's dynamic_chunk.
+  std::atomic<index_t> cur{0};
+  engine_->parallel([&, this, vals, Xp, Yp, k](int, int nt) {
+    const index_t n = nrows_;
+    const index_t chunk = std::min<index_t>(
+        kCancelChunkRows,
+        plan_.sched == kernels::Sched::Dynamic
+            ? std::max<index_t>(1, static_cast<index_t>(plan_.dynamic_chunk))
+            : std::max<index_t>(64, n / (static_cast<index_t>(nt) * 16)));
+    for (;;) {
+      if (c.aborted.load(std::memory_order_relaxed)) return;
+      if (c.tok.cancelled()) {
+        c.aborted.store(true, std::memory_order_relaxed);
+        return;
+      }
+      const index_t lo = cur.fetch_add(chunk, std::memory_order_relaxed);
+      if (lo >= n) return;
+      const index_t hi = std::min<index_t>(n, lo + chunk);
+      spmm_fn_(rp_, ci_, vals, lo, hi, Xp, Yp, k);
+      c.done.fetch_add(static_cast<std::int64_t>(hi - lo) * k,
+                       std::memory_order_relaxed);
+    }
+  });
 }
 
 Status OptimizedSpmv::spmm_run_cancellable(
@@ -1016,21 +1206,33 @@ Status OptimizedSpmv::spmm_run_cancellable(
       static_cast<std::size_t>(ncols_) * static_cast<std::size_t>(nrhs);
   const std::size_t yn =
       static_cast<std::size_t>(nrows_) * static_cast<std::size_t>(nrhs);
-  if (operand_dtype(prec) == Dtype::F32) {
-    std::vector<float> xp(xn), yp(yn);
-    kernels::spmm_pack_rhs(X, ncols_, nrhs, xp.data(), prec);
-    spmm_cancellable(xp.data(), yp.data(), nrhs, c);
-    if (!c.aborted.load(std::memory_order_relaxed))
-      kernels::spmm_unpack_result(yp.data(), nrows_, nrhs, Y, prec);
-  } else if (nrhs == 1) {
+  const bool f32_ops = operand_dtype(prec) == Dtype::F32;
+  if (!f32_ops && nrhs == 1) {
     // A vector-major 1-RHS batch is already the packed layout.
     spmm_cancellable(X, Y, 1, c);
   } else {
-    std::vector<double> xp(xn), yp(yn);
-    kernels::spmm_pack_rhs(X, ncols_, nrhs, xp.data(), prec);
-    spmm_cancellable(xp.data(), yp.data(), nrhs, c);
-    if (!c.aborted.load(std::memory_order_relaxed))
-      kernels::spmm_unpack_result(yp.data(), nrows_, nrhs, Y, prec);
+    // Leased pack scratch (reused across calls); a failed lease surfaces as
+    // a typed Resource error — this path is the server's, and bad_alloc
+    // escaping into it would terminate the whole multi-tenant process.
+    SpmmScratch* s = f32_ops ? spmm_scratch_->try_acquire(xn, yn, 0, 0)
+                             : spmm_scratch_->try_acquire(0, 0, xn, yn);
+    if (s == nullptr)
+      return Error(ErrorCategory::Resource,
+                   "fused SpMM: pack scratch allocation failed (" +
+                       std::to_string(nrhs) + " right-hand sides, " +
+                       std::to_string(xn + yn) + " elements)");
+    if (f32_ops) {
+      kernels::spmm_pack_rhs(X, ncols_, nrhs, s->xf.data(), prec);
+      spmm_cancellable(s->xf.data(), s->yf.data(), nrhs, c);
+      if (!c.aborted.load(std::memory_order_relaxed))
+        kernels::spmm_unpack_result(s->yf.data(), nrows_, nrhs, Y, prec);
+    } else {
+      kernels::spmm_pack_rhs(X, ncols_, nrhs, s->xd.data(), prec);
+      spmm_cancellable(s->xd.data(), s->yd.data(), nrhs, c);
+      if (!c.aborted.load(std::memory_order_relaxed))
+        kernels::spmm_unpack_result(s->yd.data(), nrows_, nrhs, Y, prec);
+    }
+    spmm_scratch_->release(s);
   }
   if (!c.aborted.load(std::memory_order_relaxed)) return Unit{};
   return tok.to_error(progress_string(
@@ -1068,7 +1270,8 @@ Status OptimizedSpmv::run_many(const value_t* X, value_t* Y, int nrhs,
   if (nrhs <= 0) return Unit{};
   // Mirror the non-cancellable routing exactly, so a run that completes is
   // bitwise identical to run_many() without a token.
-  if (spmm_fn_ != nullptr && (nrhs >= 2 || plan_.precision != Precision::F64))
+  if (spmm_fn_ != nullptr && (plan_.precision != Precision::F64 ||
+                              (fuse_batches_ && nrhs >= 2)))
     return spmm_run_cancellable(X, Y, static_cast<index_t>(nrhs), tok);
   CancelCtx c{tok};
   if (engine_ == nullptr) {

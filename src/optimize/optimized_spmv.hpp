@@ -12,8 +12,11 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <memory>
+#include <mutex>
 #include <span>
+#include <vector>
 
 #include "engine/execution_engine.hpp"
 #include "kernels/spmm_blocked.hpp"
@@ -30,6 +33,53 @@
 #include "support/partition.hpp"
 
 namespace spmvopt::optimize {
+
+/// Pack/unpack scratch of one fused-SpMM call (the operand-dtype staging
+/// buffers of DESIGN.md §13).  Leased from SpmmScratchPool so steady-state
+/// batch callers (block_cg's per-iteration apply_many) reuse capacity
+/// instead of allocating on every call.
+struct SpmmScratch {
+  std::vector<float> xf, yf;    ///< f32-operand modes (F32)
+  std::vector<double> xd, yd;   ///< f64-operand modes (F64 batch, F32F64)
+};
+
+/// Mutex-guarded free list of SpmmScratch buffers shared by all concurrent
+/// callers on one OptimizedSpmv (the multi-executor server runs N calls on
+/// one hot cache entry).  Everything past construction is noexcept: release
+/// never allocates (the free-list capacity is pre-reserved alongside every
+/// buffer), and acquisition failure is reported (`try_acquire`) or absorbed
+/// by waiting for a lease to return (`acquire_or_wait`) instead of letting
+/// std::bad_alloc escape into the noexcept run paths.
+class SpmmScratchPool {
+ public:
+  /// Lease a buffer with at least the requested element counts, reusing a
+  /// free one when possible.  Returns nullptr when a needed allocation
+  /// fails — callers fall back to an allocation-free route.
+  [[nodiscard]] SpmmScratch* try_acquire(std::size_t xf_n, std::size_t yf_n,
+                                         std::size_t xd_n,
+                                         std::size_t yd_n) noexcept;
+
+  /// try_acquire that, on allocation failure, blocks for a released lease
+  /// instead of failing.  Only legal when a seed() guarantees every pooled
+  /// buffer already holds the requested capacity (so the retry after a
+  /// release never needs to allocate) — the F32 single-vector path.
+  [[nodiscard]] SpmmScratch* acquire_or_wait(std::size_t xf_n,
+                                             std::size_t yf_n) noexcept;
+
+  void release(SpmmScratch* s) noexcept;
+
+  /// Pre-populate one buffer with float capacity (xf_n, yf_n); called at
+  /// create() time (may throw — create() is the throwing boundary).
+  void seed(std::size_t xf_n, std::size_t yf_n);
+
+ private:
+  [[nodiscard]] SpmmScratch* pop_or_create() noexcept;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<std::unique_ptr<SpmmScratch>> all_;
+  std::vector<SpmmScratch*> free_;  ///< capacity kept >= all_.size()
+};
 
 /// Where the bound matrix's pages live and who runs it (DESIGN.md §8).
 struct PlacementStats {
@@ -83,9 +133,12 @@ class OptimizedSpmv {
   /// (ULP oracle) to nrhs repeated run() calls, not bitwise, since the fused
   /// kernel's summation order differs from the single-vector kernel's.
   /// Within the fused kernel results ARE bitwise identical across thread
-  /// counts, execution modes and batch compositions.  Non-fusable formats
-  /// (delta/split/merge/sell/bcsr) keep the per-item dispatch; engine-bound
-  /// instances still amortize one team dispatch across the whole batch.
+  /// counts, execution modes, batch compositions and plan schedules (the
+  /// fused dispatch honors Sched::Auto/Dynamic with a work-stealing
+  /// cursor).  Non-fusable formats (delta/split/merge/sell/bcsr) keep the
+  /// per-item dispatch, as do F64 plans after set_batch_fusion(false);
+  /// engine-bound instances still amortize one team dispatch across the
+  /// whole batch.
   void run_many(const value_t* X, value_t* Y, int nrhs) const noexcept;
 
   /// Checked overload (X.size() == nrhs*ncols(), Y.size() == nrhs*nrows()).
@@ -133,10 +186,20 @@ class OptimizedSpmv {
     return plan_.precision;
   }
   /// True when run_many() fuses a batch into one register-blocked SpMM
-  /// dispatch (plain-CSR plans; the structural formats keep per-item runs).
+  /// dispatch (plain-CSR plans; the structural formats keep per-item runs,
+  /// and set_batch_fusion(false) opts an F64 plan out).
   [[nodiscard]] bool spmm_fused() const noexcept {
-    return spmm_fn_ != nullptr;
+    return spmm_fn_ != nullptr &&
+           (fuse_batches_ || plan_.precision != Precision::F64);
   }
+  /// Opt in/out of batch fusion for F64 plans: with fusion off, run_many()
+  /// issues nrhs plan-scheduled run() dispatches, bitwise identical to the
+  /// caller looping run() itself (the fused kernel is tolerance-equivalent,
+  /// not bitwise — its per-row summation order differs).  Non-F64 value
+  /// modes ignore this: the fused kernel IS their value format.  Set before
+  /// sharing the instance across threads; the flag is not synchronized.
+  void set_batch_fusion(bool on) noexcept { fuse_batches_ = on; }
+  [[nodiscard]] bool batch_fusion() const noexcept { return fuse_batches_; }
   [[nodiscard]] const robust::DegradationLog& degradation() const noexcept {
     return degradation_;
   }
@@ -204,15 +267,20 @@ class OptimizedSpmv {
   /// stream is half the bytes).  F32 converts the operands at the boundary.
   void prec_run(const value_t* x, value_t* y) const noexcept;
 
-  /// One fused SpMM dispatch over the balanced partition: Xp/Yp are
-  /// row-major blocks in the precision's operand dtype.  Barrier-free, so
-  /// one body serves unbound OpenMP, mailbox and pooled execution —
-  /// bitwise-identical results across all three (rows are never
+  /// One fused SpMM dispatch honoring the plan's schedule: the balanced
+  /// partition for BalancedStatic, a per-call work-stealing cursor for
+  /// Auto/Dynamic (same chunking as the SpMV paths).  Xp/Yp are row-major
+  /// blocks in the precision's operand dtype.  Barrier-free, so one body
+  /// serves unbound OpenMP, mailbox and pooled execution — and results are
+  /// bitwise identical across all modes AND schedules (rows are never
   /// subdivided; each (row, column) accumulates in ascending-j order).
   void spmm_dispatch(const void* Xp, void* Yp, index_t k) const noexcept;
 
   /// Fused batch: pack the vector-major double batch, dispatch, unpack.
-  /// Per-call scratch — concurrent callers on one instance are safe.
+  /// Pack scratch is leased from spmm_scratch_ (reused across calls,
+  /// per-lease — concurrent callers on one instance are safe); when even
+  /// the lease allocation fails, the batch degrades to allocation-free
+  /// per-item dispatches instead of letting bad_alloc hit the noexcept.
   void spmm_run_batch(const value_t* X, value_t* Y,
                       index_t nrhs) const noexcept;
 
@@ -274,6 +342,13 @@ class OptimizedSpmv {
   /// Work-stealing cursor for Auto/Dynamic plans inside the team (shared so
   /// the bound object stays copyable; reset before each dispatch).
   std::shared_ptr<std::atomic<index_t>> cursor_;
+  /// Lease pool for the fused-SpMM pack buffers (shared so the bound object
+  /// stays copyable); non-null exactly when spmm_fn_ is bound.  Seeded with
+  /// one single-vector float buffer for F32-operand plans so prec_run can
+  /// always proceed without allocating.
+  std::shared_ptr<SpmmScratchPool> spmm_scratch_;
+  /// run_many() fuses F64 batches through spmm_fn_ unless opted out.
+  bool fuse_batches_ = true;
   mutable aligned_vector<value_t> partials_;  ///< split phase-2 scratch
 };
 

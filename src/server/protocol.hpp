@@ -1,6 +1,6 @@
 // spmvoptd wire protocol: length-prefixed binary frames over a stream.
 //
-// Frame layout (DESIGN.md §9, §10), protocol v2:
+// Frame layout (DESIGN.md §9, §10), protocol v3 (v2 envelope, unchanged):
 //
 //   [u32 payload_length][payload]
 //   request payload = [u8 0xA2][u8 MsgType][u64 request_id][u32 deadline_ms]
@@ -49,9 +49,14 @@ namespace spmvopt::server {
 /// every Ping/Pong so mismatched peers fail loudly at handshake time.
 /// v2: request/reply envelope (version magic, request id, deadline), the
 /// Cancel verb, and the retryable bit on ErrorReply.
-inline constexpr std::uint32_t kProtocolVersion = 2;
+/// v3: dtype byte in the RunMany request and RunManyOk reply bodies (between
+/// nrhs and the value payload) — a v2 peer would misparse it as the low byte
+/// of the value-array length, so the body change forces the bump.
+inline constexpr std::uint32_t kProtocolVersion = 3;
 
-/// First payload byte of every v2 message; disjoint from every v1 type byte.
+/// First payload byte of every v2+ message; disjoint from every v1 type
+/// byte.  v3 keeps the v2 envelope, so the magic is unchanged — version
+/// mismatch within the magic is caught by the Ping/Pong handshake.
 inline constexpr std::uint8_t kV2Magic = 0xA2;
 
 /// Ceiling on a single frame payload (Resource error beyond).  Generous —

@@ -288,6 +288,82 @@ TEST(SpmmBlocked, CancellableFusedRunManyIsBitwiseAndAbortsMidway) {
   EXPECT_EQ(aborted.error().category(), ErrorCategory::Cancelled);
 }
 
+TEST(SpmmBlocked, BatchFusionOptOutMatchesRepeatedRunBitwise) {
+  const CsrMatrix a = gen::random_uniform(900, 8, 7);
+  auto spmv = optimize::OptimizedSpmv::create(a, {}, 3);
+  ASSERT_TRUE(spmv.spmm_fused());
+  constexpr int kRhs = 5;
+  const std::vector<value_t> X = batch_of(a, kRhs);
+  std::vector<value_t> looped(static_cast<std::size_t>(a.nrows()) * kRhs);
+  for (int r = 0; r < kRhs; ++r)
+    spmv.run(X.data() + static_cast<std::size_t>(r) * a.ncols(),
+             looped.data() + static_cast<std::size_t>(r) * a.nrows());
+  // Opted out, an F64 batch is exactly nrhs plan-scheduled run() calls —
+  // bitwise, not just tolerance-equivalent.
+  spmv.set_batch_fusion(false);
+  EXPECT_FALSE(spmv.spmm_fused());
+  std::vector<value_t> unfused(looped.size(), -1.0);
+  spmv.run_many(X.data(), unfused.data(), kRhs);
+  for (std::size_t i = 0; i < looped.size(); ++i)
+    ASSERT_EQ(looped[i], unfused[i]) << i;
+  // The cancellable entry mirrors the opt-out routing.
+  std::vector<value_t> tokened(looped.size(), -1.0);
+  ASSERT_TRUE(spmv.run_many(X.data(), tokened.data(), kRhs,
+                            robust::CancelToken::never())
+                  .ok());
+  for (std::size_t i = 0; i < looped.size(); ++i)
+    ASSERT_EQ(looped[i], tokened[i]) << i;
+  // Re-enabled, the fused batch differs only within oracle tolerance.
+  spmv.set_batch_fusion(true);
+  EXPECT_TRUE(spmv.spmm_fused());
+  // Non-F64 value modes ignore the opt-out: the fused kernel IS their
+  // value format.
+  optimize::Plan f32;
+  f32.precision = Precision::F32;
+  auto prec = optimize::OptimizedSpmv::create(a, f32, 3);
+  prec.set_batch_fusion(false);
+  EXPECT_TRUE(prec.spmm_fused());
+}
+
+TEST(SpmmBlocked, FusedBatchHonorsDynamicSchedulesBitwise) {
+  // The fused dispatch never subdivides a row, so Auto/Dynamic work
+  // stealing must reproduce the static partition's result bit for bit —
+  // while actually honoring the plan's schedule (the load-balance choice
+  // the classifier made for skewed matrices).
+  const CsrMatrix a = gen::monster_row(8'000, 8'000, 5, 0, 2);
+  engine::ExecutionEngine eng({.nthreads = 3, .pin = PinPolicy::None});
+  constexpr int kRhs = 4;
+  const std::vector<value_t> X = batch_of(a, kRhs);
+  std::vector<value_t> want(static_cast<std::size_t>(a.nrows()) * kRhs);
+  optimize::OptimizedSpmv::create(a, {}, 3).run_many(X.data(), want.data(),
+                                                     kRhs);
+  for (kernels::Sched sched :
+       {kernels::Sched::Auto, kernels::Sched::Dynamic}) {
+    optimize::Plan plan;
+    plan.sched = sched;
+    for (int mode = 0; mode < 2; ++mode) {
+      SCOPED_TRACE(std::string(sched == kernels::Sched::Auto ? "auto"
+                                                             : "dynamic") +
+                   (mode == 0 ? "/threads" : "/engine"));
+      const auto spmv = mode == 0
+                            ? optimize::OptimizedSpmv::create(a, plan, 3)
+                            : optimize::OptimizedSpmv::create(a, plan, eng);
+      ASSERT_TRUE(spmv.spmm_fused());
+      std::vector<value_t> Y(want.size(), -1.0);
+      spmv.run_many(X.data(), Y.data(), kRhs);
+      for (std::size_t i = 0; i < want.size(); ++i)
+        ASSERT_EQ(want[i], Y[i]) << i;
+      // Cancellable routing agrees bitwise on a clean completion.
+      std::vector<value_t> Yc(want.size(), -1.0);
+      ASSERT_TRUE(spmv.run_many(X.data(), Yc.data(), kRhs,
+                                robust::CancelToken::never())
+                      .ok());
+      for (std::size_t i = 0; i < want.size(); ++i)
+        ASSERT_EQ(want[i], Yc[i]) << i;
+    }
+  }
+}
+
 // -------------------------------------------------- mixed-precision plans
 
 TEST(SpmmBlocked, PrecisionPlansMatchTheirOraclesAcrossModes) {
